@@ -1,0 +1,53 @@
+//! Figure 3(b) companion + ablation X3 — AltrALG variants.
+//!
+//! Criterion-grade measurement of the three AltrALG configurations on
+//! the Figure 3(b) workload (ε ~ N(0.1, 0.05²)): the paper's algorithm
+//! without bounding, with Lemma-2 bounding, and the incremental-pmf
+//! extension. Also includes an error-prone pool (mean 0.7) where the
+//! bound actually prunes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jury_core::altr::{AltrAlg, AltrConfig};
+use jury_core::juror::Juror;
+use jury_data::distributions::Truncation;
+use jury_data::pools::{rate_pool, PoolConfig};
+use std::hint::black_box;
+
+fn pool(n: usize, mean: f64) -> Vec<Juror> {
+    rate_pool(&PoolConfig {
+        size: n,
+        rate_mean: mean,
+        rate_std: 0.05,
+        truncation: Truncation::Resample,
+        seed: 0xA17A,
+        ..Default::default()
+    })
+}
+
+fn bench_altr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("altr_scaling");
+    group.sample_size(10);
+    for &n in &[250usize, 500, 1000] {
+        let reliable = pool(n, 0.1);
+        group.bench_with_input(BenchmarkId::new("paper", n), &reliable, |b, p| {
+            b.iter(|| AltrAlg::solve(black_box(p), &AltrConfig::paper_without_bound()))
+        });
+        group.bench_with_input(BenchmarkId::new("paper_bounded", n), &reliable, |b, p| {
+            b.iter(|| AltrAlg::solve(black_box(p), &AltrConfig::paper_with_bound()))
+        });
+        group.bench_with_input(BenchmarkId::new("incremental", n), &reliable, |b, p| {
+            b.iter(|| AltrAlg::solve(black_box(p), &AltrConfig::default()))
+        });
+        // Error-prone pool: γ < 1 prefixes appear, the bound prunes.
+        let error_prone = pool(n, 0.7);
+        group.bench_with_input(
+            BenchmarkId::new("paper_bounded_errorprone", n),
+            &error_prone,
+            |b, p| b.iter(|| AltrAlg::solve(black_box(p), &AltrConfig::paper_with_bound())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_altr);
+criterion_main!(benches);

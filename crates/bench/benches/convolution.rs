@@ -1,0 +1,33 @@
+//! Ablation X2 — the direct-vs-FFT convolution cutoff.
+//!
+//! CBA merges sub-jury distributions by polynomial multiplication; the
+//! adaptive dispatcher (`jury_numeric::conv::DEFAULT_FFT_CUTOFF`) flips
+//! from the schoolbook loop to the FFT path once `len(a)·len(b)` is
+//! large. This bench regenerates the trade-off curve that justifies the
+//! cutoff constant.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jury_numeric::conv::{convolve_direct, convolve_fft};
+use std::hint::black_box;
+
+fn vector(n: usize, phase: f64) -> Vec<f64> {
+    (0..n).map(|i| ((i as f64 * 0.7 + phase).sin().abs()) / n as f64).collect()
+}
+
+fn bench_convolution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("convolution");
+    for &n in &[16usize, 32, 64, 128, 256, 512, 1024, 4096] {
+        let a = vector(n, 0.0);
+        let b = vector(n, 1.3);
+        group.bench_with_input(BenchmarkId::new("direct", n), &n, |bench, _| {
+            bench.iter(|| convolve_direct(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("fft", n), &n, |bench, _| {
+            bench.iter(|| convolve_fft(black_box(&a), black_box(&b)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_convolution);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Ablation X4 — HITS/PageRank cost on synthetic retweet graphs.
+//!
+//! §4.1's parameter-estimation pipeline spends its time in graph
+//! construction and power iterations. This bench measures the parse →
+//! graph step and both rankers over growing micro-blog corpora.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jury_graph::{hits, pagerank, HitsConfig, PageRankConfig};
+use jury_microblog::graph_builder::build_retweet_graph;
+use jury_microblog::synth::{MicroblogDataset, SynthConfig};
+use std::hint::black_box;
+
+fn bench_ranking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_ranking");
+    group.sample_size(20);
+    for &n_users in &[500usize, 2000] {
+        let dataset = MicroblogDataset::generate(&SynthConfig {
+            n_users,
+            n_tweets: n_users * 10,
+            seed: 0x6EA9,
+            ..Default::default()
+        });
+        group.bench_with_input(
+            BenchmarkId::new("parse_and_build", n_users),
+            &dataset,
+            |b, d| b.iter(|| build_retweet_graph(black_box(&d.tweets))),
+        );
+        let rg = dataset.build_graph();
+        group.bench_with_input(BenchmarkId::new("hits", n_users), &rg, |b, rg| {
+            b.iter(|| hits(black_box(&rg.graph), &HitsConfig::default()))
+        });
+        group.bench_with_input(BenchmarkId::new("pagerank", n_users), &rg, |b, rg| {
+            b.iter(|| pagerank(black_box(&rg.graph), &PageRankConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ranking);
+criterion_main!(benches);

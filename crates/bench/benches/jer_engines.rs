@@ -1,0 +1,46 @@
+//! Ablation X1 — JER engine scaling.
+//!
+//! Measures the paper's §3.1 complexity claims: naive enumeration is
+//! exponential, the Lemma-1 dynamic program is `O(n²)` and CBA is
+//! `O(n log n)`; the DP should win on small juries and CBA beyond the
+//! `Auto` crossover (`jury_core::jer::AUTO_CBA_THRESHOLD`). The `O(n)`
+//! refined-normal approximation rides along as the screening-accuracy
+//! ablation's speed side (accuracy is pinned by `jury-numeric` tests).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jury_core::jer::JerEngine;
+use jury_numeric::approx::refined_normal_tail;
+use std::hint::black_box;
+
+fn rates(n: usize) -> Vec<f64> {
+    (0..n).map(|i| 0.05 + 0.9 * ((i * 37 % 100) as f64 / 100.0)).collect()
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("jer_engines");
+    for &n in &[15usize, 63, 255, 1023, 4095] {
+        let eps = rates(n);
+        if n <= 15 {
+            group.bench_with_input(BenchmarkId::new("naive", n), &eps, |b, eps| {
+                b.iter(|| JerEngine::Naive.jer(black_box(eps)))
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("dp", n), &eps, |b, eps| {
+            b.iter(|| JerEngine::DynamicProgramming.jer(black_box(eps)))
+        });
+        group.bench_with_input(BenchmarkId::new("tail_dp", n), &eps, |b, eps| {
+            b.iter(|| JerEngine::TailDp.jer(black_box(eps)))
+        });
+        group.bench_with_input(BenchmarkId::new("cba", n), &eps, |b, eps| {
+            b.iter(|| JerEngine::Convolution.jer(black_box(eps)))
+        });
+        // O(n) refined-normal screening approximation (ablation X5).
+        group.bench_with_input(BenchmarkId::new("refined_normal", n), &eps, |b, eps| {
+            b.iter(|| refined_normal_tail(black_box(eps), eps.len().div_ceil(2)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

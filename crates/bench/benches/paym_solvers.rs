@@ -1,0 +1,55 @@
+//! Figures 3(c)–3(f) companion — PayM solver costs.
+//!
+//! PayALG is linear-ish in the pool (the paper calls it "a linear time
+//! cost"); exact enumeration is exponential and only viable on tiny
+//! pools. This bench quantifies both, plus the crossbeam-parallel exact
+//! solver's speedup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jury_core::exact::{exact_paym, exact_paym_parallel, ExactConfig};
+use jury_core::paym::{PayAlg, PayConfig};
+use jury_data::distributions::Truncation;
+use jury_data::pools::{paid_pool, PoolConfig};
+use std::hint::black_box;
+
+fn bench_paym(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paym_solvers");
+    group.sample_size(10);
+
+    for &n in &[1000usize, 4000] {
+        let pool = paid_pool(&PoolConfig {
+            size: n,
+            rate_mean: 0.2,
+            rate_std: 0.05,
+            cost_mean: 0.4,
+            cost_std: 0.2,
+            truncation: Truncation::Resample,
+            seed: 0x9A9,
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", n), &pool, |b, p| {
+            b.iter(|| PayAlg::solve(black_box(p), 0.5, &PayConfig::default()))
+        });
+    }
+
+    for &n in &[16usize, 20] {
+        let pool = paid_pool(&PoolConfig {
+            size: n,
+            rate_mean: 0.2,
+            rate_std: 0.05,
+            cost_mean: 0.05,
+            cost_std: 0.2,
+            truncation: Truncation::Resample,
+            seed: 0x9A9,
+        });
+        group.bench_with_input(BenchmarkId::new("exact", n), &pool, |b, p| {
+            b.iter(|| exact_paym(black_box(p), 1.0, &ExactConfig::default()))
+        });
+        group.bench_with_input(BenchmarkId::new("exact_parallel", n), &pool, |b, p| {
+            b.iter(|| exact_paym_parallel(black_box(p), 1.0, &ExactConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_paym);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Extension bench — plain vs weighted majority voting.
+//!
+//! The paper aggregates with plain majority voting (Definition 3); the
+//! log-odds weighted variant is this repository's extension. The bench
+//! measures aggregation throughput for both and, more interestingly,
+//! Monte-Carlo-estimates their error rates on a heterogeneous jury —
+//! weighted MV is the Bayes-optimal aggregator when rates are known.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jury_core::juror::pool_from_rates;
+use jury_core::jury::Jury;
+use jury_core::voting::{majority_vote, weighted_majority_vote, Voting};
+use jury_sim::voting_sim::simulate_voting;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_voting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("voting_aggregation");
+    for &n in &[5usize, 51, 501] {
+        let rates: Vec<f64> = (0..n).map(|i| 0.05 + 0.5 * (i as f64 / n as f64)).collect();
+        let jury = Jury::new(pool_from_rates(&rates).unwrap()).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let votings: Vec<Voting> =
+            (0..64).map(|_| simulate_voting(&jury, true, &mut rng)).collect();
+
+        group.bench_with_input(BenchmarkId::new("majority", n), &votings, |b, vs| {
+            b.iter(|| {
+                vs.iter().map(|v| majority_vote(black_box(v)).as_bool()).filter(|&x| x).count()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("weighted", n), &votings, |b, vs| {
+            b.iter(|| {
+                vs.iter()
+                    .map(|v| weighted_majority_vote(&jury, black_box(v)).unwrap().as_bool())
+                    .filter(|&x| x)
+                    .count()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_voting);
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! Regenerates the paper's fig3d. Pass --quick for a fast smoke run.
+
+fn main() {
+    let quick = jury_bench::experiments::quick_mode();
+    for report in jury_bench::experiments::fig3d::run(quick) {
+        report.emit();
+    }
+}

@@ -1,0 +1,37 @@
+//! Regenerates every table and figure of the paper's evaluation in
+//! sequence, writing CSV artefacts under `target/experiments/`.
+//!
+//! Pass `--quick` (or set `JURY_BENCH_QUICK=1`) for a downscaled smoke
+//! run that finishes in seconds.
+
+use jury_bench::experiments as exp;
+
+/// An experiment stage: display name plus its `run(quick)` entry point.
+type Stage = (&'static str, fn(bool) -> Vec<jury_bench::Report>);
+
+fn main() {
+    let quick = exp::quick_mode();
+    println!(
+        "Reproducing all evaluation artefacts ({} mode)\n",
+        if quick { "quick" } else { "full paper-scale" }
+    );
+    let stages: [Stage; 10] = [
+        ("Table 2", exp::table2::run),
+        ("Figure 3(a)", exp::fig3a::run),
+        ("Figure 3(b)", exp::fig3b::run),
+        ("Figure 3(c)", exp::fig3c::run),
+        ("Figure 3(d)", exp::fig3d::run),
+        ("Figure 3(e)", exp::fig3e::run),
+        ("Figure 3(f)", exp::fig3f::run),
+        ("Figure 3(g)", exp::fig3g::run),
+        ("Figure 3(h)", exp::fig3h::run),
+        ("Figure 3(i)", exp::fig3i::run),
+    ];
+    for (name, run) in stages {
+        let (reports, secs) = jury_bench::time_it(|| run(quick));
+        println!("--- {name} ({secs:.1}s) ---");
+        for report in reports {
+            report.emit();
+        }
+    }
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's table2. Pass --quick for a fast smoke run.
+
+fn main() {
+    let quick = jury_bench::experiments::quick_mode();
+    for report in jury_bench::experiments::table2::run(quick) {
+        report.emit();
+    }
+}

@@ -1,0 +1,70 @@
+//! Figure 3(a) — optimal jury size vs. mean individual error rate.
+//!
+//! For N = 1000 candidates with ε ~ N(mean, std²) truncated to (0,1),
+//! AltrALG's optimal jury size is plotted against the mean for spreads
+//! {0.1, 0.2, 0.3}. The paper's shape: large (noisy) sizes while the
+//! mean is below 0.5 — the optimisation surface is flat — then a sharp
+//! collapse towards size 1 once candidates are error-prone ("the hands
+//! of the few"), with the turning point at mean ≈ 0.5.
+
+use crate::report::{fmt_f, Report};
+use jury_core::altr::{AltrAlg, AltrConfig};
+use jury_data::distributions::Truncation;
+use jury_data::pools::{rate_pool, PoolConfig};
+use jury_data::workloads::WORKLOAD_SEED;
+
+/// Regenerates Figure 3(a).
+pub fn run(quick: bool) -> Vec<Report> {
+    let pool_size = if quick { 120 } else { 1000 };
+    let means: Vec<f64> = if quick {
+        (1..=9).map(|i| 0.1 * i as f64).collect()
+    } else {
+        (1..=19).map(|i| 0.05 * i as f64).collect()
+    };
+    let stds = [0.1, 0.2, 0.3];
+
+    let mut report = Report::new(
+        "fig3a",
+        "Figure 3(a): Jury Size v.s. Individual Error-rate",
+        &["mean", "var(0.1) size", "var(0.2) size", "var(0.3) size"],
+    );
+    for (mi, &mean) in means.iter().enumerate() {
+        let mut cells = vec![fmt_f(mean, 2)];
+        for (si, &std) in stds.iter().enumerate() {
+            let pool = rate_pool(&PoolConfig {
+                size: pool_size,
+                rate_mean: mean,
+                rate_std: std,
+                truncation: Truncation::Resample,
+                seed: WORKLOAD_SEED ^ ((si as u64) << 32) ^ mi as u64,
+                ..Default::default()
+            });
+            let sel = AltrAlg::solve(&pool, &AltrConfig::default())
+                .expect("non-empty pool");
+            cells.push(sel.size().to_string());
+        }
+        report.push_row(&cells);
+    }
+    vec![report]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_paper() {
+        let reports = run(true);
+        let report = &reports[0];
+        assert!(report.len() >= 9);
+        let csv = reports[0].to_csv();
+        let rows: Vec<Vec<&str>> =
+            csv.lines().skip(1).map(|l| l.split(',').collect()).collect();
+        // Reliable regime (mean 0.1): large juries.
+        let low: usize = rows[0][1].parse().unwrap();
+        // Error-prone regime (mean 0.9): tiny juries.
+        let high: usize = rows[8][1].parse().unwrap();
+        assert!(low > high, "low-mean size {low} should exceed high-mean size {high}");
+        assert!(high <= 3, "error-prone pools must shrink to the hands of the few");
+    }
+}

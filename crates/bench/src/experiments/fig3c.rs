@@ -1,0 +1,94 @@
+//! Figure 3(c) — budget vs. total cost of the selected jury.
+//!
+//! PayALG on pools of 1000 candidates (ε ~ N(0.2, 0.05²)) whose payment
+//! requirements follow N(m, 0.2²) for m ∈ {0.3, 0.4, 0.5, 0.6}; the
+//! budget sweeps 0.1–0.5. The paper's shape: spent cost grows with the
+//! budget and stays below it; cheaper pools (smaller m) spend closer to
+//! the budget because more enlargements fit.
+
+use crate::report::{fmt_f, Report};
+use jury_core::paym::{PayAlg, PayConfig};
+use jury_data::workloads::{fig3cd_budgets, fig3cd_grid};
+
+/// Regenerates Figure 3(c).
+pub fn run(quick: bool) -> Vec<Report> {
+    let grid = if quick { quick_grid() } else { fig3cd_grid() };
+    let budgets = fig3cd_budgets();
+
+    let mut report = Report::new(
+        "fig3c",
+        "Figure 3(c): Budget v.s. Total Cost",
+        &["B", "m(0.3)", "m(0.4)", "m(0.5)", "m(0.6)"],
+    );
+    for &budget in &budgets {
+        let mut cells = vec![fmt_f(budget, 1)];
+        for cell in &grid {
+            let cost = match PayAlg::solve(&cell.pool, budget, &PayConfig::default()) {
+                Ok(sel) => sel.total_cost,
+                Err(_) => 0.0, // no affordable juror at this budget
+            };
+            cells.push(fmt_f(cost, 4));
+        }
+        report.push_row(&cells);
+    }
+    vec![report]
+}
+
+fn quick_grid() -> Vec<jury_data::workloads::Fig3cdCell> {
+    use jury_data::distributions::Truncation;
+    use jury_data::pools::{paid_pool, PoolConfig};
+    [0.3, 0.4, 0.5, 0.6]
+        .iter()
+        .enumerate()
+        .map(|(i, &cost_mean)| jury_data::workloads::Fig3cdCell {
+            cost_mean,
+            pool: paid_pool(&PoolConfig {
+                size: 150,
+                rate_mean: 0.2,
+                rate_std: 0.05,
+                cost_mean,
+                cost_std: 0.2,
+                truncation: Truncation::Resample,
+                seed: 0xC0FFEE ^ i as u64,
+            }),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_never_exceeds_budget() {
+        let reports = run(true);
+        let csv = reports[0].to_csv();
+        for line in csv.lines().skip(1) {
+            let cells: Vec<f64> =
+                line.split(',').map(|c| c.parse().unwrap()).collect();
+            let budget = cells[0];
+            for &cost in &cells[1..] {
+                assert!(cost <= budget + 1e-9, "cost {cost} > budget {budget}");
+            }
+        }
+    }
+
+    #[test]
+    fn spent_cost_grows_with_budget() {
+        let reports = run(true);
+        let csv = reports[0].to_csv();
+        let rows: Vec<Vec<f64>> = csv
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').map(|c| c.parse().unwrap()).collect())
+            .collect();
+        // For each pool column, the largest budget spends at least as
+        // much as the smallest one.
+        for col in 1..rows[0].len() {
+            assert!(
+                rows.last().unwrap()[col] + 1e-9 >= rows[0][col],
+                "column {col} shrank"
+            );
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Figure 3(d) — budget vs. JER of the selected jury.
+//!
+//! Same pools and budgets as Figure 3(c). The paper's shape: a rising
+//! budget lowers JER (looser constraint, bigger feasible juries), and at
+//! equal budget the cheaper pool (smaller requirement mean) achieves a
+//! lower JER.
+
+use crate::report::{fmt_f, Report};
+use jury_core::paym::{PayAlg, PayConfig};
+use jury_data::workloads::{fig3cd_budgets, fig3cd_grid};
+
+/// Regenerates Figure 3(d).
+pub fn run(quick: bool) -> Vec<Report> {
+    let grid = if quick { quick_grid() } else { fig3cd_grid() };
+    let budgets = fig3cd_budgets();
+
+    let mut report = Report::new(
+        "fig3d",
+        "Figure 3(d): Budget v.s. JER",
+        &["B", "m(0.3)", "m(0.4)", "m(0.5)", "m(0.6)"],
+    );
+    for &budget in &budgets {
+        let mut cells = vec![fmt_f(budget, 1)];
+        for cell in &grid {
+            let jer = match PayAlg::solve(&cell.pool, budget, &PayConfig::default()) {
+                Ok(sel) => sel.jer,
+                Err(_) => f64::NAN, // no jury formable
+            };
+            cells.push(fmt_f(jer, 6));
+        }
+        report.push_row(&cells);
+    }
+    vec![report]
+}
+
+fn quick_grid() -> Vec<jury_data::workloads::Fig3cdCell> {
+    use jury_data::distributions::Truncation;
+    use jury_data::pools::{paid_pool, PoolConfig};
+    [0.3, 0.4, 0.5, 0.6]
+        .iter()
+        .enumerate()
+        .map(|(i, &cost_mean)| jury_data::workloads::Fig3cdCell {
+            cost_mean,
+            pool: paid_pool(&PoolConfig {
+                size: 150,
+                rate_mean: 0.2,
+                rate_std: 0.05,
+                cost_mean,
+                cost_std: 0.2,
+                truncation: Truncation::Resample,
+                seed: 0xC0FFEE ^ i as u64,
+            }),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<Vec<f64>> {
+        let reports = run(true);
+        reports[0]
+            .to_csv()
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').map(|c| c.parse().unwrap()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn jer_improves_with_budget() {
+        let rows = rows();
+        for col in 1..rows[0].len() {
+            let first = rows[0][col];
+            let last = rows.last().unwrap()[col];
+            if first.is_nan() || last.is_nan() {
+                continue;
+            }
+            assert!(last <= first + 1e-9, "column {col}: {last} > {first}");
+        }
+    }
+
+    #[test]
+    fn cheaper_pool_wins_at_top_budget() {
+        let rows = rows();
+        let last = rows.last().unwrap();
+        // m(0.3) vs m(0.6) at the largest budget.
+        if !last[1].is_nan() && !last[4].is_nan() {
+            assert!(
+                last[1] <= last[4] + 1e-9,
+                "m(0.3)={} should beat m(0.6)={}",
+                last[1],
+                last[4]
+            );
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Figure 3(e) — APPX vs OPT on total cost.
+//!
+//! PayALG ("APPX") against exhaustive enumeration ("OPT") on a small
+//! PayM pool (N = 22, ε ~ N(0.2, 0.05²/0.1²), r ~ N(0.05, 0.2²)⁺),
+//! budgets 0.5–1.5. The paper's shape: OPT's spent cost tracks the
+//! budget tightly (the constraint binds); APPX spends no more than OPT.
+
+use crate::report::{fmt_f, Report};
+use jury_core::exact::{exact_paym_parallel, ExactConfig};
+use jury_core::paym::{PayAlg, PayConfig};
+use jury_data::workloads::{fig3ef_budgets, fig3ef_grid};
+
+/// Regenerates Figure 3(e). The same solver runs back Figure 3(f); see
+/// [`super::fig3f`].
+pub fn run(quick: bool) -> Vec<Report> {
+    let grid = fig3ef_grid();
+    let budgets = if quick {
+        vec![0.5, 1.0, 1.5]
+    } else {
+        fig3ef_budgets()
+    };
+
+    let mut reports = Vec::new();
+    for cell in &grid {
+        let mut report = Report::new(
+            format!("fig3e_var{}", (cell.rate_std * 100.0) as u32),
+            format!(
+                "Figure 3(e): APPX v.s. OPT on Total Cost (rate std {})",
+                cell.rate_std
+            ),
+            &["B", "APPX cost", "OPT cost"],
+        );
+        for &budget in &budgets {
+            let appx = PayAlg::solve(&cell.pool, budget, &PayConfig::default())
+                .map(|s| s.total_cost)
+                .unwrap_or(0.0);
+            let opt = exact_paym_parallel(&cell.pool, budget, &ExactConfig::default())
+                .map(|s| s.total_cost)
+                .unwrap_or(0.0);
+            report.push_row(&[fmt_f(budget, 1), fmt_f(appx, 4), fmt_f(opt, 4)]);
+        }
+        reports.push(report);
+    }
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_respect_budget() {
+        let reports = run(true);
+        assert_eq!(reports.len(), 2); // one per rate-std cell
+        for report in &reports {
+            for line in report.to_csv().lines().skip(1) {
+                let cells: Vec<f64> =
+                    line.split(',').map(|c| c.parse().unwrap()).collect();
+                assert!(cells[1] <= cells[0] + 1e-9, "APPX overspent: {line}");
+                assert!(cells[2] <= cells[0] + 1e-9, "OPT overspent: {line}");
+            }
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Figure 3(f) — APPX vs OPT on JER.
+//!
+//! Same setting as Figure 3(e), comparing the achieved Jury Error Rate.
+//! The paper's shape: OPT ≤ APPX everywhere; the gap is largest at the
+//! tightest budget and closes as the budget loosens (the paper reports
+//! the heuristic matching OPT on 4 of 11 budgets).
+
+use crate::report::{fmt_f, Report};
+use jury_core::exact::{exact_paym_parallel, ExactConfig};
+use jury_core::paym::{PayAlg, PayConfig};
+use jury_data::workloads::{fig3ef_budgets, fig3ef_grid};
+
+/// Regenerates Figure 3(f).
+pub fn run(quick: bool) -> Vec<Report> {
+    let grid = fig3ef_grid();
+    let budgets = if quick {
+        vec![0.5, 1.0, 1.5]
+    } else {
+        fig3ef_budgets()
+    };
+
+    let mut reports = Vec::new();
+    for cell in &grid {
+        let mut report = Report::new(
+            format!("fig3f_var{}", (cell.rate_std * 100.0) as u32),
+            format!("Figure 3(f): APPX v.s. OPT on JER (rate std {})", cell.rate_std),
+            &["B", "APPX JER", "OPT JER", "optimal?"],
+        );
+        let mut hits = 0usize;
+        for &budget in &budgets {
+            let appx = PayAlg::solve(&cell.pool, budget, &PayConfig::default())
+                .map(|s| s.jer)
+                .unwrap_or(f64::NAN);
+            let opt = exact_paym_parallel(&cell.pool, budget, &ExactConfig::default())
+                .map(|s| s.jer)
+                .unwrap_or(f64::NAN);
+            let optimal = (appx - opt).abs() < 1e-9;
+            if optimal {
+                hits += 1;
+            }
+            report.push_row(&[
+                fmt_f(budget, 1),
+                fmt_f(appx, 6),
+                fmt_f(opt, 6),
+                if optimal { "yes".into() } else { "no".into() },
+            ]);
+        }
+        report.title =
+            format!("{} — APPX optimal on {hits}/{} budgets", report.title, budgets.len());
+        reports.push(report);
+    }
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opt_dominates_appx() {
+        for report in run(true) {
+            for line in report.to_csv().lines().skip(1) {
+                let cells: Vec<&str> = line.split(',').collect();
+                let appx: f64 = cells[1].parse().unwrap();
+                let opt: f64 = cells[2].parse().unwrap();
+                if appx.is_nan() || opt.is_nan() {
+                    continue;
+                }
+                assert!(opt <= appx + 1e-9, "OPT {opt} worse than APPX {appx}");
+            }
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Figure 3(h) — precision & recall of PayALG on Twitter-like data.
+//!
+//! The paper takes the top 20 candidates per ranker (exact enumeration
+//! must stay feasible), budgets of {0.1%, 1%, 10%, 20%} of
+//! `M = mean requirement × candidate count`, and reports the precision
+//! and recall of the greedy selection against the enumerated optimum.
+//! Their finding: HITS pools give precision/recall 1 while PageRank
+//! pools resemble ground truth less — many near-equal error rates widen
+//! the space of JER-equivalent juries.
+
+use crate::report::{fmt_f, Report};
+use crate::twitter::{budget_scale_m, build_twitter_pools};
+use jury_core::exact::{exact_paym_parallel, ExactConfig};
+use jury_core::metrics::precision_recall;
+use jury_core::paym::{PayAlg, PayConfig};
+
+/// Budget fractions of M used by the paper.
+pub const BUDGET_FRACTIONS: [f64; 4] = [0.001, 0.01, 0.1, 0.2];
+
+/// Regenerates Figure 3(h).
+pub fn run(quick: bool) -> Vec<Report> {
+    let (n_users, top_k) = if quick { (600, 12) } else { (8000, 20) };
+    let pools = build_twitter_pools(n_users, top_k);
+
+    let mut report = Report::new(
+        "fig3h",
+        "Figure 3(h): Precision & Recall on Twitter Data",
+        &["B (xM)", "HT-Prec", "HT-Rec", "PR-Prec", "PR-Rec"],
+    );
+    for &fraction in &BUDGET_FRACTIONS {
+        let mut cells = vec![format!("{fraction}")];
+        for jurors in [&pools.hits.jurors, &pools.pagerank.jurors] {
+            let budget = fraction * budget_scale_m(jurors);
+            let (prec, rec) = match (
+                PayAlg::solve(jurors, budget, &PayConfig::default()),
+                exact_paym_parallel(jurors, budget, &ExactConfig::default()),
+            ) {
+                (Ok(appx), Ok(opt)) => {
+                    let pr = precision_recall(&appx.members, &opt.members);
+                    (pr.precision, pr.recall)
+                }
+                // No feasible jury at this budget for either solver.
+                _ => (f64::NAN, f64::NAN),
+            };
+            cells.push(fmt_f(prec, 3));
+            cells.push(fmt_f(rec, 3));
+        }
+        report.push_row(&cells);
+    }
+    vec![report]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_all_budget_rows() {
+        let reports = run(true);
+        assert_eq!(reports[0].len(), BUDGET_FRACTIONS.len());
+    }
+
+    #[test]
+    fn values_are_probabilities_when_defined() {
+        for report in run(true) {
+            for line in report.to_csv().lines().skip(1) {
+                for cell in line.split(',').skip(1) {
+                    let v: f64 = cell.parse().unwrap();
+                    if !v.is_nan() {
+                        assert!((0.0..=1.0).contains(&v), "{v}");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! One module per table/figure of the paper's evaluation (§5).
+//!
+//! Every module exposes `run(quick) -> Vec<Report>`: `quick = true`
+//! shrinks pool sizes so integration tests and smoke runs finish in
+//! seconds, `quick = false` uses the paper's parameters. The binaries in
+//! `src/bin/` are one-line wrappers; `reproduce` chains everything.
+//!
+//! | Module | Paper artefact |
+//! |---|---|
+//! | [`table2`] | Table 2 — motivating-example JERs |
+//! | [`fig3a`] | Fig 3(a) — jury size vs mean error rate |
+//! | [`fig3b`] | Fig 3(b) — AltrALG efficiency (±bounding) |
+//! | [`fig3c`] | Fig 3(c) — budget vs total cost (PayALG) |
+//! | [`fig3d`] | Fig 3(d) — budget vs JER (PayALG) |
+//! | [`fig3e`] | Fig 3(e) — APPX vs OPT, total cost |
+//! | [`fig3f`] | Fig 3(f) — APPX vs OPT, JER |
+//! | [`fig3g`] | Fig 3(g) — efficiency on Twitter-like data |
+//! | [`fig3h`] | Fig 3(h) — precision & recall on Twitter-like data |
+//! | [`fig3i`] | Fig 3(i) — jury size on Twitter-like data |
+
+pub mod fig3a;
+pub mod fig3b;
+pub mod fig3c;
+pub mod fig3d;
+pub mod fig3e;
+pub mod fig3f;
+pub mod fig3g;
+pub mod fig3h;
+pub mod fig3i;
+pub mod table2;
+
+/// Reads the quick-mode switch from the environment
+/// (`JURY_BENCH_QUICK=1`) or a `--quick` CLI flag.
+pub fn quick_mode() -> bool {
+    std::env::var_os("JURY_BENCH_QUICK").is_some_and(|v| v == "1")
+        || std::env::args().any(|a| a == "--quick")
+}

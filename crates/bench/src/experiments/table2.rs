@@ -1,0 +1,63 @@
+//! Table 2 — the motivating example's jury error rates.
+//!
+//! Seven users A–G (Figure 1) with error rates .1/.2/.2/.3/.3/.4/.4; the
+//! table lists JER for the juries discussed in §1. Our column adds the
+//! exact (unrounded) values; the paper's printed "0.0805" for
+//! {A…G} is a typo for the exact 0.085248 (its own text says "0.085").
+
+use crate::report::{fmt_f, Report};
+use jury_core::jer::JerEngine;
+
+/// The Figure-1 error rates, indexed A=0 … G=6.
+pub const FIGURE1_RATES: [f64; 7] = [0.1, 0.2, 0.2, 0.3, 0.3, 0.4, 0.4];
+
+/// Table 2 rows: (label, member indices).
+pub const TABLE2_JURIES: [(&str, &[usize]); 7] = [
+    ("C", &[2]),
+    ("A", &[0]),
+    ("C,D,E", &[2, 3, 4]),
+    ("A,B,C", &[0, 1, 2]),
+    ("A,B,C,D,E", &[0, 1, 2, 3, 4]),
+    ("A,B,C,D,E,F,G", &[0, 1, 2, 3, 4, 5, 6]),
+    ("A,B,C,F,G", &[0, 1, 2, 5, 6]),
+];
+
+/// Regenerates Table 2.
+pub fn run(_quick: bool) -> Vec<Report> {
+    let mut report = Report::new(
+        "table2",
+        "Table 2: Error-rate of Example in Figure 1",
+        &["crowd", "individual error-rates", "JER (exact)", "JER (paper)"],
+    );
+    let paper_values = ["0.2", "0.1", "0.174", "0.072", "0.0703", "0.0805*", "0.104"];
+    for ((label, members), paper) in TABLE2_JURIES.iter().zip(paper_values) {
+        let eps: Vec<f64> = members.iter().map(|&i| FIGURE1_RATES[i]).collect();
+        let jer = JerEngine::Auto.jer(&eps);
+        let rates = eps
+            .iter()
+            .map(|e| format!("{e:.1}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        report.push_row(&[label.to_string(), rates, fmt_f(jer, 6), paper.to_string()]);
+    }
+    vec![report]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_all_paper_rows() {
+        let reports = run(true);
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].len(), 7);
+        let csv = reports[0].to_csv();
+        // Exact values for the juries the paper rounds.
+        assert!(csv.contains("0.174000"));
+        assert!(csv.contains("0.072000"));
+        assert!(csv.contains("0.070360"));
+        assert!(csv.contains("0.085248"));
+        assert!(csv.contains("0.103840"));
+    }
+}

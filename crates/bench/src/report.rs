@@ -1,0 +1,246 @@
+//! Result tables: aligned stdout rendering plus CSV artefacts.
+//!
+//! Each experiment binary builds one [`Report`] per figure, prints it,
+//! and persists it under `target/experiments/<id>.csv`. The CSV columns
+//! are exactly the printed columns, so the artefacts are diffable across
+//! runs.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A column-oriented result table.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Experiment identifier, e.g. `fig3a` — used as the CSV file stem.
+    pub id: String,
+    /// Human-readable title printed above the table.
+    pub title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Report {
+    /// Creates an empty report with column headers.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        headers: &[&str],
+    ) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    ///
+    /// # Panics
+    /// Panics if the cell count differs from the header count.
+    pub fn push_row(&mut self, cells: &[String]) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Convenience: appends a row of displayable values.
+    pub fn row(&mut self, cells: &[&dyn std::fmt::Display]) {
+        let cells: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        self.push_row(&cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ({}) ==", self.title, self.id);
+        let header_line: Vec<String> = self
+            .headers
+            .iter()
+            .zip(&widths)
+            .map(|(h, w)| format!("{h:>w$}"))
+            .collect();
+        let _ = writeln!(out, "{}", header_line.join("  "));
+        let _ = writeln!(out, "{}", "-".repeat(header_line.join("  ").len()));
+        for row in &self.rows {
+            let line: Vec<String> =
+                row.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}")).collect();
+            let _ = writeln!(out, "{}", line.join("  "));
+        }
+        out
+    }
+
+    /// CSV serialisation (header + rows; cells containing commas or
+    /// quotes are quoted).
+    pub fn to_csv(&self) -> String {
+        fn escape(cell: &str) -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Default artefact directory: `target/experiments` relative to the
+    /// workspace (honours `CARGO_TARGET_DIR` when set).
+    pub fn default_dir() -> PathBuf {
+        let target = std::env::var_os("CARGO_TARGET_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("target"));
+        target.join("experiments")
+    }
+
+    /// Writes the CSV artefact into `dir` (created if missing). Returns
+    /// the file path.
+    pub fn write_csv_to(&self, dir: &Path) -> io::Result<PathBuf> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.csv", self.id));
+        fs::write(&path, self.to_csv())?;
+        Ok(path)
+    }
+
+    /// Prints the table to stdout and writes the CSV artefact to the
+    /// default directory, reporting where it went.
+    pub fn emit(&self) {
+        print!("{}", self.render());
+        match self.write_csv_to(&Self::default_dir()) {
+            Ok(path) => println!("[csv] {}\n", path.display()),
+            Err(e) => eprintln!("[csv] write failed: {e}\n"),
+        }
+    }
+}
+
+/// Formats a float with fixed precision for table cells.
+pub fn fmt_f(value: f64, decimals: usize) -> String {
+    format!("{value:.decimals$}")
+}
+
+/// Formats seconds in engineering-friendly units.
+pub fn fmt_secs(seconds: f64) -> String {
+    if seconds < 1e-3 {
+        format!("{:.1}us", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2}ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.3}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut r = Report::new("unit", "Unit Test Table", &["x", "y"]);
+        r.push_row(&["1".into(), "2.5".into()]);
+        r.push_row(&["10".into(), "0.25".into()]);
+        r
+    }
+
+    #[test]
+    fn render_contains_everything() {
+        let text = sample().render();
+        assert!(text.contains("Unit Test Table"));
+        assert!(text.contains("x"));
+        assert!(text.contains("0.25"));
+    }
+
+    #[test]
+    fn render_aligns_columns() {
+        let text = sample().render();
+        // Header and rows share the right-aligned "y" column: "2.5" and
+        // "0.25" both end at the same offset.
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[1].len(), lines[3].len());
+        assert_eq!(lines[3].len(), lines[4].len());
+    }
+
+    #[test]
+    fn csv_round_trip_shape() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "x,y");
+        assert_eq!(lines[2], "10,0.25");
+    }
+
+    #[test]
+    fn csv_escapes_specials() {
+        let mut r = Report::new("q", "Q", &["a"]);
+        r.push_row(&["he,llo".into()]);
+        r.push_row(&["say \"hi\"".into()]);
+        let csv = r.to_csv();
+        assert!(csv.contains("\"he,llo\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_is_enforced() {
+        let mut r = Report::new("w", "W", &["a", "b"]);
+        r.push_row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn writes_csv_artifact() {
+        let dir = std::env::temp_dir().join("jury-bench-report-test");
+        let path = sample().write_csv_to(&dir).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("x,y"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f(0.07036, 4), "0.0704");
+        assert_eq!(fmt_f(1.0, 2), "1.00");
+        assert_eq!(fmt_secs(0.0000005), "0.5us");
+        assert_eq!(fmt_secs(0.0123), "12.30ms");
+        assert_eq!(fmt_secs(2.5), "2.500s");
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let r = Report::new("e", "E", &["a"]);
+        assert!(r.is_empty());
+        assert_eq!(sample().len(), 2);
+    }
+}

@@ -1,0 +1,67 @@
+//! Wall-clock timing helpers for the efficiency figures.
+//!
+//! The paper's Figures 3(b) and 3(g) plot end-to-end solver running time
+//! against pool size. Criterion handles the statistically careful
+//! micro-benchmarks; these helpers serve the figure binaries, which need
+//! one representative wall-clock number per configuration.
+
+use std::time::Instant;
+
+/// Runs `f` once and returns `(result, seconds)`.
+pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// Runs `f` `repeats` times and returns the *minimum* elapsed seconds
+/// together with the last result — the minimum is the standard
+/// low-variance statistic for wall-clock comparisons.
+///
+/// # Panics
+/// Panics if `repeats` is zero.
+pub fn time_best_of<T>(repeats: usize, mut f: impl FnMut() -> T) -> (T, f64) {
+    assert!(repeats > 0, "need at least one repetition");
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..repeats {
+        let (out, secs) = time_it(&mut f);
+        best = best.min(secs);
+        last = Some(out);
+    }
+    (last.expect("repeats > 0"), best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_it_returns_result_and_positive_time() {
+        let (value, secs) = time_it(|| (0..1000).sum::<u64>());
+        assert_eq!(value, 499500);
+        assert!(secs >= 0.0);
+    }
+
+    #[test]
+    fn best_of_is_no_larger_than_single() {
+        let work = || {
+            let mut acc = 0u64;
+            for i in 0..10_000 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        };
+        let (_, single) = time_it(work);
+        let (_, best) = time_best_of(5, work);
+        // Allow generous scheduling noise; the min of 5 should not exceed
+        // a single cold run by much.
+        assert!(best <= single * 10.0 + 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one repetition")]
+    fn zero_repeats_rejected() {
+        let _ = time_best_of(0, || ());
+    }
+}

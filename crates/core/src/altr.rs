@@ -1,0 +1,428 @@
+//! `AltrALG` — JSP on the altruism model (Algorithm 3, §3.2).
+//!
+//! Lemma 3 proves JER is monotone increasing in any member's individual
+//! error rate at fixed jury size, so for every size `n` the best jury is
+//! the `n` lowest-ε candidates. AltrALG therefore sorts the pool by ε and
+//! scans odd prefix sizes `1, 3, 5, …, N`, keeping the prefix with minimum
+//! JER. The scan is exact: unlike JER's behaviour in ε, JER is *not*
+//! monotone in `n` (Table 2's 5-vs-7 example), so every odd size must be
+//! inspected.
+//!
+//! Two strategies:
+//!
+//! * [`AltrStrategy::PaperRecompute`] — Algorithm 3 as printed: each
+//!   prefix's JER is recomputed from scratch with a configurable engine;
+//!   with the Lemma-2 lower-bound check (`γ < 1` gate, then prune when the
+//!   bound already exceeds the incumbent JER) optionally enabled, exactly
+//!   like lines 5–13 of the pseudo-code. `O(N² log N)` with CBA.
+//! * [`AltrStrategy::Incremental`] — an extension: maintain the
+//!   carelessness pmf and extend it by two jurors per step (`O(n)` each),
+//!   making the whole scan `O(N²)` with a much smaller constant. Produces
+//!   identical selections; the `altr_scaling` bench quantifies the gap.
+
+use crate::error::JuryError;
+use crate::jer::{jer_gamma, jer_lower_bound, JerEngine};
+use crate::juror::Juror;
+use crate::problem::{Selection, SolverStats};
+use jury_numeric::poibin::PoiBin;
+
+/// Which AltrALG implementation to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AltrStrategy {
+    /// Paper-faithful Algorithm 3 (fresh JER per candidate size).
+    PaperRecompute,
+    /// Incremental pmf extension (same output, `O(N²)` total).
+    #[default]
+    Incremental,
+}
+
+/// Configuration for [`AltrAlg::solve`].
+#[derive(Debug, Clone, Copy)]
+pub struct AltrConfig {
+    /// Implementation choice.
+    pub strategy: AltrStrategy,
+    /// Enable the Lemma-2 lower-bound pruning (only meaningful for
+    /// [`AltrStrategy::PaperRecompute`]; the incremental variant's JER
+    /// updates are already cheaper than the bound itself).
+    pub use_lower_bound: bool,
+    /// JER engine for recomputation.
+    pub engine: JerEngine,
+}
+
+impl Default for AltrConfig {
+    fn default() -> Self {
+        Self {
+            strategy: AltrStrategy::Incremental,
+            use_lower_bound: false,
+            engine: JerEngine::Auto,
+        }
+    }
+}
+
+impl AltrConfig {
+    /// The paper's Algorithm 3 with lower-bound checking enabled —
+    /// the configuration labelled `m(·, b)` in Figure 3(b).
+    pub fn paper_with_bound() -> Self {
+        Self {
+            strategy: AltrStrategy::PaperRecompute,
+            use_lower_bound: true,
+            engine: JerEngine::Convolution,
+        }
+    }
+
+    /// The paper's Algorithm 3 without bounding — the `m(·)` lines of
+    /// Figure 3(b).
+    pub fn paper_without_bound() -> Self {
+        Self {
+            strategy: AltrStrategy::PaperRecompute,
+            use_lower_bound: false,
+            engine: JerEngine::Convolution,
+        }
+    }
+}
+
+/// The AltrM solver.
+pub struct AltrAlg;
+
+impl AltrAlg {
+    /// Selects the minimum-JER jury from `pool` (exact under AltrM).
+    ///
+    /// Returned member indices refer to positions in `pool`.
+    ///
+    /// # Errors
+    /// [`JuryError::EmptyPool`] when `pool` is empty.
+    pub fn solve(pool: &[Juror], config: &AltrConfig) -> Result<Selection, JuryError> {
+        if pool.is_empty() {
+            return Err(JuryError::EmptyPool);
+        }
+        let order = sorted_order(pool);
+        let eps_sorted: Vec<f64> = order.iter().map(|&i| pool[i].epsilon()).collect();
+
+        let (best_n, best_jer, stats) = match config.strategy {
+            AltrStrategy::PaperRecompute => scan_recompute(&eps_sorted, config),
+            AltrStrategy::Incremental => scan_incremental(&eps_sorted),
+        };
+
+        let mut members: Vec<usize> = order[..best_n].to_vec();
+        members.sort_unstable();
+        let total_cost = members.iter().map(|&i| pool[i].cost).sum();
+        Ok(Selection { members, jer: best_jer, total_cost, stats })
+    }
+
+    /// JER of the best `n`-juror jury for every odd `n` — the full
+    /// size-vs-JER profile behind Figure 3(a). Computed incrementally in
+    /// `O(N²)`.
+    ///
+    /// Returns `(n, jer)` pairs for `n = 1, 3, 5, …`.
+    pub fn jer_profile(pool: &[Juror]) -> Vec<(usize, f64)> {
+        let order = sorted_order(pool);
+        let eps_sorted: Vec<f64> = order.iter().map(|&i| pool[i].epsilon()).collect();
+        profile(&eps_sorted)
+    }
+
+    /// Best jury of a *fixed* odd size `n` — by Lemma 3 this is simply
+    /// the `n` lowest-ε candidates, so no scan is needed. Useful when the
+    /// application dictates the panel size (e.g. a fixed `@`-mention
+    /// budget per question).
+    ///
+    /// # Errors
+    /// [`JuryError::EmptyPool`] for an empty pool,
+    /// [`JuryError::EvenJurySize`] for even `n`, and
+    /// [`JuryError::EmptyJury`] for `n == 0`; `n` larger than the pool is
+    /// clamped to the largest odd feasible size.
+    pub fn solve_fixed_size(pool: &[Juror], n: usize) -> Result<Selection, JuryError> {
+        if pool.is_empty() {
+            return Err(JuryError::EmptyPool);
+        }
+        if n == 0 {
+            return Err(JuryError::EmptyJury);
+        }
+        if n.is_multiple_of(2) {
+            return Err(JuryError::EvenJurySize(n));
+        }
+        let order = sorted_order(pool);
+        let n = n.min(if order.len() % 2 == 1 { order.len() } else { order.len() - 1 });
+        let eps: Vec<f64> = order[..n].iter().map(|&i| pool[i].epsilon()).collect();
+        let jer = JerEngine::Auto.jer(&eps);
+        let mut members: Vec<usize> = order[..n].to_vec();
+        members.sort_unstable();
+        let total_cost = members.iter().map(|&i| pool[i].cost).sum();
+        Ok(Selection {
+            members,
+            jer,
+            total_cost,
+            stats: SolverStats {
+                jer_evaluations: 1,
+                pruned_by_bound: 0,
+                candidates_considered: 1,
+            },
+        })
+    }
+}
+
+/// Pool indices sorted ascending by ε (ties by index for determinism).
+fn sorted_order(pool: &[Juror]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..pool.len()).collect();
+    order.sort_by(|&a, &b| {
+        pool[a].epsilon().total_cmp(&pool[b].epsilon()).then(a.cmp(&b))
+    });
+    order
+}
+
+/// Odd-size JER profile over prefixes of `eps_sorted`.
+fn profile(eps_sorted: &[f64]) -> Vec<(usize, f64)> {
+    let mut out = Vec::with_capacity(eps_sorted.len().div_ceil(2));
+    let mut pmf = PoiBin::empty();
+    for (i, &e) in eps_sorted.iter().enumerate() {
+        pmf.push(e);
+        let n = i + 1;
+        if n % 2 == 1 {
+            out.push((n, pmf.tail(JerEngine::majority_threshold(n))));
+        }
+    }
+    out
+}
+
+fn scan_incremental(eps_sorted: &[f64]) -> (usize, f64, SolverStats) {
+    let mut stats = SolverStats::default();
+    let mut best_n = 0usize;
+    let mut best_jer = f64::INFINITY;
+    for (n, jer) in profile(eps_sorted) {
+        stats.candidates_considered += 1;
+        stats.jer_evaluations += 1;
+        if jer < best_jer {
+            best_jer = jer;
+            best_n = n;
+        }
+    }
+    (best_n, best_jer, stats)
+}
+
+fn scan_recompute(eps_sorted: &[f64], config: &AltrConfig) -> (usize, f64, SolverStats) {
+    let mut stats = SolverStats::default();
+    // Seed with the single best juror, as Algorithm 3 line 1 does.
+    let mut best_n = 1usize;
+    let mut best_jer = eps_sorted[0];
+    stats.candidates_considered += 1;
+    stats.jer_evaluations += 1;
+
+    let mut n = 3usize;
+    while n <= eps_sorted.len() {
+        stats.candidates_considered += 1;
+        let cand = &eps_sorted[..n];
+        // Algorithm 3 lines 5-13: try the Lemma-2 bound first when γ < 1;
+        // a candidate whose *lower* bound already exceeds the incumbent
+        // JER cannot win, so its exact JER is never computed.
+        let mut skip = false;
+        if config.use_lower_bound && jer_gamma(cand) < 1.0 {
+            if let Some(lb) = jer_lower_bound(cand) {
+                if lb > best_jer {
+                    stats.pruned_by_bound += 1;
+                    skip = true;
+                }
+            }
+        }
+        if !skip {
+            let jer = config.engine.jer(cand);
+            stats.jer_evaluations += 1;
+            if jer < best_jer {
+                best_jer = jer;
+                best_n = n;
+            }
+        }
+        n += 2;
+    }
+    (best_n, best_jer, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::juror::pool_from_rates;
+
+    const TABLE2: [f64; 7] = [0.1, 0.2, 0.2, 0.3, 0.3, 0.4, 0.4];
+
+    fn configs() -> Vec<AltrConfig> {
+        vec![
+            AltrConfig::default(),
+            AltrConfig::paper_with_bound(),
+            AltrConfig::paper_without_bound(),
+            AltrConfig {
+                strategy: AltrStrategy::PaperRecompute,
+                use_lower_bound: false,
+                engine: JerEngine::TailDp,
+            },
+        ]
+    }
+
+    #[test]
+    fn selects_size_five_on_motivating_example() {
+        let pool = pool_from_rates(&TABLE2).unwrap();
+        for config in configs() {
+            let sel = AltrAlg::solve(&pool, &config).unwrap();
+            assert_eq!(sel.members, vec![0, 1, 2, 3, 4], "{config:?}");
+            assert!((sel.jer - 0.07036).abs() < 1e-9, "{config:?}");
+        }
+    }
+
+    #[test]
+    fn single_candidate_pool() {
+        let pool = pool_from_rates(&[0.42]).unwrap();
+        let sel = AltrAlg::solve(&pool, &AltrConfig::default()).unwrap();
+        assert_eq!(sel.members, vec![0]);
+        assert!((sel.jer - 0.42).abs() < 1e-15);
+    }
+
+    #[test]
+    fn empty_pool_is_an_error() {
+        assert_eq!(
+            AltrAlg::solve(&[], &AltrConfig::default()),
+            Err(JuryError::EmptyPool)
+        );
+    }
+
+    #[test]
+    fn unsorted_pool_is_handled() {
+        // Same multiset as TABLE2 but shuffled; the selection must pick
+        // the five *lowest-ε* jurors wherever they sit in the pool.
+        let shuffled = [0.4, 0.3, 0.1, 0.4, 0.2, 0.3, 0.2];
+        let pool = pool_from_rates(&shuffled).unwrap();
+        let sel = AltrAlg::solve(&pool, &AltrConfig::default()).unwrap();
+        let mut rates: Vec<f64> = sel.members.iter().map(|&i| shuffled[i]).collect();
+        rates.sort_by(f64::total_cmp);
+        assert_eq!(rates, vec![0.1, 0.2, 0.2, 0.3, 0.3]);
+        assert!((sel.jer - 0.07036).abs() < 1e-9);
+    }
+
+    #[test]
+    fn error_prone_pool_prefers_hands_of_the_few() {
+        // All candidates worse than a coin flip: the best jury is the
+        // single least-bad juror ("truth rests in the hands of a few").
+        let pool = pool_from_rates(&[0.6, 0.65, 0.7, 0.75, 0.8]).unwrap();
+        for config in configs() {
+            let sel = AltrAlg::solve(&pool, &config).unwrap();
+            assert_eq!(sel.members, vec![0], "{config:?}");
+            assert!((sel.jer - 0.6).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn reliable_pool_takes_everyone_odd() {
+        // Homogeneous reliable jurors: bigger is strictly better (up to
+        // the largest odd size).
+        let pool = pool_from_rates(&[0.2; 9]).unwrap();
+        let sel = AltrAlg::solve(&pool, &AltrConfig::default()).unwrap();
+        assert_eq!(sel.size(), 9);
+    }
+
+    #[test]
+    fn strategies_agree_on_random_pools() {
+        // Deterministic xorshift pools of varied sizes and regimes.
+        let mut state = 0x853c49e6748fea9bu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for trial in 0..20 {
+            let n = 1 + (trial * 7) % 40;
+            let rates: Vec<f64> = (0..n).map(|_| 0.02 + 0.96 * next()).collect();
+            let pool = pool_from_rates(&rates).unwrap();
+            let a = AltrAlg::solve(&pool, &AltrConfig::default()).unwrap();
+            let b = AltrAlg::solve(&pool, &AltrConfig::paper_without_bound()).unwrap();
+            let c = AltrAlg::solve(&pool, &AltrConfig::paper_with_bound()).unwrap();
+            assert!((a.jer - b.jer).abs() < 1e-9, "trial {trial}");
+            assert!((a.jer - c.jer).abs() < 1e-9, "trial {trial}");
+            assert_eq!(a.members, b.members, "trial {trial}");
+            assert_eq!(a.members, c.members, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn bound_pruning_never_changes_the_answer_but_saves_work() {
+        // Error-prone pool where γ < 1 candidates occur and pruning fires.
+        let rates: Vec<f64> = (0..41).map(|i| 0.55 + 0.4 * (i as f64 / 41.0)).collect();
+        let pool = pool_from_rates(&rates).unwrap();
+        let with = AltrAlg::solve(&pool, &AltrConfig::paper_with_bound()).unwrap();
+        let without = AltrAlg::solve(&pool, &AltrConfig::paper_without_bound()).unwrap();
+        assert_eq!(with.members, without.members);
+        assert!((with.jer - without.jer).abs() < 1e-12);
+        assert!(with.stats.pruned_by_bound > 0, "pruning never fired");
+        assert!(with.stats.jer_evaluations < without.stats.jer_evaluations);
+    }
+
+    #[test]
+    fn profile_covers_all_odd_sizes_and_matches_solver() {
+        let pool = pool_from_rates(&TABLE2).unwrap();
+        let profile = AltrAlg::jer_profile(&pool);
+        assert_eq!(
+            profile.iter().map(|&(n, _)| n).collect::<Vec<_>>(),
+            vec![1, 3, 5, 7]
+        );
+        let best = profile.iter().cloned().min_by(|a, b| a.1.total_cmp(&b.1)).unwrap();
+        let sel = AltrAlg::solve(&pool, &AltrConfig::default()).unwrap();
+        assert_eq!(best.0, sel.size());
+        assert!((best.1 - sel.jer).abs() < 1e-12);
+        // Spot-check against Table 2 values.
+        assert!((profile[0].1 - 0.1).abs() < 1e-12);
+        assert!((profile[1].1 - 0.072).abs() < 1e-12);
+        assert!((profile[2].1 - 0.07036).abs() < 1e-12);
+        assert!((profile[3].1 - 0.085248).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let pool = pool_from_rates(&TABLE2).unwrap();
+        let sel = AltrAlg::solve(&pool, &AltrConfig::default()).unwrap();
+        assert_eq!(sel.stats.candidates_considered, 4); // sizes 1,3,5,7
+        assert_eq!(sel.stats.jer_evaluations, 4);
+        assert_eq!(sel.stats.pruned_by_bound, 0);
+    }
+
+    #[test]
+    fn fixed_size_selection_is_sorted_prefix() {
+        let pool = pool_from_rates(&TABLE2).unwrap();
+        let sel = AltrAlg::solve_fixed_size(&pool, 3).unwrap();
+        assert_eq!(sel.members, vec![0, 1, 2]);
+        assert!((sel.jer - 0.072).abs() < 1e-12);
+        // Oversized request clamps to the largest odd size.
+        let all = AltrAlg::solve_fixed_size(&pool, 99).unwrap();
+        assert_eq!(all.size(), 7);
+        // Invalid sizes are rejected.
+        assert_eq!(AltrAlg::solve_fixed_size(&pool, 4), Err(JuryError::EvenJurySize(4)));
+        assert_eq!(AltrAlg::solve_fixed_size(&pool, 0), Err(JuryError::EmptyJury));
+        assert_eq!(AltrAlg::solve_fixed_size(&[], 3), Err(JuryError::EmptyPool));
+    }
+
+    #[test]
+    fn fixed_size_matches_profile_entry() {
+        let rates = [0.31, 0.18, 0.44, 0.27, 0.09, 0.36, 0.22];
+        let pool = pool_from_rates(&rates).unwrap();
+        let profile = AltrAlg::jer_profile(&pool);
+        for (n, jer) in profile {
+            let sel = AltrAlg::solve_fixed_size(&pool, n).unwrap();
+            assert!((sel.jer - jer).abs() < 1e-12, "n={n}");
+            assert_eq!(sel.size(), n);
+        }
+    }
+
+    #[test]
+    fn optimality_vs_brute_force_over_all_odd_subsets() {
+        // Exhaustively verify Lemma 3 + scan = global optimum on a small
+        // pool: no odd *subset* (not only prefixes) beats the selection.
+        let rates = [0.12, 0.48, 0.33, 0.21, 0.44, 0.27, 0.39];
+        let pool = pool_from_rates(&rates).unwrap();
+        let sel = AltrAlg::solve(&pool, &AltrConfig::default()).unwrap();
+        let n = rates.len();
+        let mut best = f64::INFINITY;
+        for mask in 1u32..(1 << n) {
+            if mask.count_ones() % 2 == 0 {
+                continue;
+            }
+            let eps: Vec<f64> = (0..n).filter(|&i| mask >> i & 1 == 1).map(|i| rates[i]).collect();
+            best = best.min(JerEngine::Auto.jer(&eps));
+        }
+        assert!((sel.jer - best).abs() < 1e-12, "solver {} vs brute {}", sel.jer, best);
+    }
+}

@@ -1,0 +1,113 @@
+//! Error type for jury-selection operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Everything that can go wrong constructing juries or running solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JuryError {
+    /// An individual error rate was outside the open interval `(0, 1)`
+    /// required by Definition 4.
+    InvalidErrorRate(f64),
+    /// A juror cost/payment requirement was negative or not finite.
+    InvalidCost(f64),
+    /// A jury must have an odd number of members for majority voting to
+    /// produce a clear answer (§2.1.1).
+    EvenJurySize(usize),
+    /// A jury must have at least one member.
+    EmptyJury,
+    /// A voting's ballot count differs from the jury size.
+    VotingSizeMismatch {
+        /// Size of the jury being voted.
+        expected: usize,
+        /// Number of ballots supplied.
+        actual: usize,
+    },
+    /// The candidate pool is empty but a jury was requested.
+    EmptyPool,
+    /// Under PayM no single candidate fits the budget, so no jury exists.
+    NoFeasibleJury {
+        /// The budget that could not accommodate any juror.
+        budget: f64,
+    },
+    /// The given budget is negative or not finite.
+    InvalidBudget(f64),
+    /// The exact solver refuses pools beyond its exponential-cost limit.
+    PoolTooLargeForExact {
+        /// Pool size requested.
+        size: usize,
+        /// Maximum size supported.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for JuryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidErrorRate(e) => {
+                write!(f, "individual error rate must lie strictly in (0,1), got {e}")
+            }
+            Self::InvalidCost(c) => {
+                write!(f, "juror cost must be finite and non-negative, got {c}")
+            }
+            Self::EvenJurySize(n) => {
+                write!(f, "majority voting requires an odd jury size, got {n}")
+            }
+            Self::EmptyJury => write!(f, "a jury needs at least one juror"),
+            Self::VotingSizeMismatch { expected, actual } => {
+                write!(f, "voting has {actual} ballots for a jury of size {expected}")
+            }
+            Self::EmptyPool => write!(f, "candidate pool is empty"),
+            Self::NoFeasibleJury { budget } => {
+                write!(f, "no candidate juror is affordable within budget {budget}")
+            }
+            Self::InvalidBudget(b) => {
+                write!(f, "budget must be finite and non-negative, got {b}")
+            }
+            Self::PoolTooLargeForExact { size, limit } => {
+                write!(
+                    f,
+                    "exact enumeration is exponential: pool of {size} exceeds the limit of {limit}"
+                )
+            }
+        }
+    }
+}
+
+impl Error for JuryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let cases: Vec<(JuryError, &str)> = vec![
+            (JuryError::InvalidErrorRate(1.5), "error rate"),
+            (JuryError::InvalidCost(-1.0), "cost"),
+            (JuryError::EvenJurySize(4), "odd"),
+            (JuryError::EmptyJury, "at least one"),
+            (JuryError::VotingSizeMismatch { expected: 3, actual: 2 }, "ballots"),
+            (JuryError::EmptyPool, "empty"),
+            (JuryError::NoFeasibleJury { budget: 0.1 }, "affordable"),
+            (JuryError::InvalidBudget(f64::NAN), "budget"),
+            (JuryError::PoolTooLargeForExact { size: 40, limit: 26 }, "exponential"),
+        ];
+        for (err, needle) in cases {
+            let text = err.to_string();
+            assert!(text.contains(needle), "{text:?} missing {needle:?}");
+        }
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_error(_: &dyn Error) {}
+        takes_error(&JuryError::EmptyJury);
+    }
+
+    #[test]
+    fn equality() {
+        assert_eq!(JuryError::EvenJurySize(2), JuryError::EvenJurySize(2));
+        assert_ne!(JuryError::EvenJurySize(2), JuryError::EvenJurySize(4));
+    }
+}

@@ -1,0 +1,448 @@
+//! Exact (exponential) JSP solvers — the evaluation's "OPT" ground truth.
+//!
+//! §5.1.2 of the paper computes ground truth for PayM "via enumerating all
+//! possible combinations of jurors", feasible only for small pools (the
+//! paper uses 22 and 20 candidates). This module implements that
+//! enumeration as a depth-first search over include/exclude decisions
+//! with two structural optimisations that do not affect exactness:
+//!
+//! * **cost-sorted branch pruning** — candidates are visited in ascending
+//!   cost order, so the moment the cheapest remaining candidate exceeds
+//!   the residual budget the entire include-subtree is skipped;
+//! * **incremental pmf stack** — each include extends the parent's
+//!   carelessness distribution by one [`PoiBin::push`] (`O(n)`), so a
+//!   subset's JER never costs more than `O(n)` on top of its parent.
+//!
+//! [`exact_paym_parallel`] splits the DFS over prefix assignments of the
+//! first `K` candidates and fans the subtrees out over crossbeam-scoped
+//! threads; sequential and parallel versions return bit-identical results
+//! (same tree, deterministic tie-breaking).
+
+use crate::error::JuryError;
+use crate::jer::JerEngine;
+use crate::juror::Juror;
+use crate::problem::{Selection, SolverStats};
+use jury_numeric::poibin::PoiBin;
+
+/// Hard cap on pool size for exact enumeration: `2^26` subsets is already
+/// ~10⁸ JER evaluations.
+pub const EXACT_POOL_LIMIT: usize = 26;
+
+/// Configuration for the exact solvers.
+#[derive(Debug, Clone, Copy)]
+pub struct ExactConfig {
+    /// Refuse pools larger than this (≤ [`EXACT_POOL_LIMIT`]).
+    pub max_pool: usize,
+    /// Worker threads for [`exact_paym_parallel`] (0 = one per available
+    /// core).
+    pub threads: usize,
+}
+
+impl Default for ExactConfig {
+    fn default() -> Self {
+        Self { max_pool: EXACT_POOL_LIMIT, threads: 0 }
+    }
+}
+
+/// A candidate optimum during enumeration, ordered by
+/// `(jer, cost, size, members)` so ties resolve deterministically.
+#[derive(Debug, Clone)]
+struct Best {
+    jer: f64,
+    cost: f64,
+    members: Vec<usize>, // sorted pool indices
+    evaluations: usize,
+}
+
+impl Best {
+    fn none() -> Self {
+        Self { jer: f64::INFINITY, cost: f64::INFINITY, members: vec![], evaluations: 0 }
+    }
+
+    fn consider(&mut self, jer: f64, cost: f64, members: &[usize]) {
+        self.evaluations += 1;
+        let better = jer < self.jer
+            || (jer == self.jer
+                && (cost < self.cost
+                    || (cost == self.cost
+                        && (members.len() < self.members.len()
+                            || (members.len() == self.members.len()
+                                && members < self.members.as_slice())))));
+        if better {
+            self.jer = jer;
+            self.cost = cost;
+            self.members = members.to_vec();
+        }
+    }
+
+    fn merge(mut self, other: Best) -> Best {
+        let evals = self.evaluations + other.evaluations;
+        self.consider(other.jer, other.cost, &other.members);
+        // consider() bumped the counter once; correct to the true total.
+        self.evaluations = evals;
+        self
+    }
+}
+
+fn validate(pool: &[Juror], budget: f64, config: &ExactConfig) -> Result<Vec<usize>, JuryError> {
+    if pool.is_empty() {
+        return Err(JuryError::EmptyPool);
+    }
+    if budget.is_nan() || budget < 0.0 {
+        return Err(JuryError::InvalidBudget(budget));
+    }
+    let limit = config.max_pool.min(EXACT_POOL_LIMIT);
+    if pool.len() > limit {
+        return Err(JuryError::PoolTooLargeForExact { size: pool.len(), limit });
+    }
+    // Ascending cost (ties by index) enables subtree pruning.
+    let mut order: Vec<usize> = (0..pool.len()).collect();
+    order.sort_by(|&a, &b| pool[a].cost.total_cmp(&pool[b].cost).then(a.cmp(&b)));
+    if pool[order[0]].cost > budget {
+        return Err(JuryError::NoFeasibleJury { budget });
+    }
+    Ok(order)
+}
+
+/// Mutable enumeration state shared along one DFS path.
+///
+/// `chosen` holds *pool indices* of included jurors (path order), `pmfs`
+/// the matching carelessness distributions (`pmfs[k]` = distribution of
+/// the first `k` chosen).
+struct SearchState {
+    chosen: Vec<usize>,
+    pmfs: Vec<PoiBin>,
+    best: Best,
+}
+
+impl SearchState {
+    fn new(capacity: usize) -> Self {
+        Self {
+            chosen: Vec::with_capacity(capacity),
+            pmfs: vec![PoiBin::empty()],
+            best: Best::none(),
+        }
+    }
+
+    /// Resets the path (keeps the incumbent best across subtree roots).
+    fn reset_path(&mut self) {
+        self.chosen.clear();
+        self.pmfs.truncate(1);
+    }
+
+    /// Extends the path by including `juror` from `pool`.
+    fn include(&mut self, pool: &[Juror], juror: usize) {
+        let mut next = self.pmfs[self.chosen.len()].clone();
+        next.push(pool[juror].epsilon());
+        self.pmfs.truncate(self.chosen.len() + 1);
+        self.pmfs.push(next);
+        self.chosen.push(juror);
+    }
+}
+
+/// DFS over include/exclude decisions for `order[idx..]`.
+fn dfs(pool: &[Juror], order: &[usize], budget: f64, idx: usize, spent: f64, state: &mut SearchState) {
+    // Leaf, or no remaining candidate fits the residual budget (costs are
+    // ascending, so order[idx] is the cheapest remaining): the only
+    // feasible completion is "take nothing more" — evaluate and stop.
+    if idx == order.len() || spent + pool[order[idx]].cost > budget {
+        if state.chosen.len() % 2 == 1 {
+            let n = state.chosen.len();
+            let jer = state.pmfs[n].tail(JerEngine::majority_threshold(n));
+            let mut members = state.chosen.clone();
+            members.sort_unstable();
+            state.best.consider(jer, spent, &members);
+        }
+        return;
+    }
+
+    let juror = order[idx];
+    // Include branch.
+    state.include(pool, juror);
+    dfs(pool, order, budget, idx + 1, spent + pool[juror].cost, state);
+    state.chosen.pop();
+    // Exclude branch.
+    dfs(pool, order, budget, idx + 1, spent, state);
+}
+
+fn best_to_selection(best: Best, budget: f64) -> Result<Selection, JuryError> {
+    if best.members.is_empty() {
+        return Err(JuryError::NoFeasibleJury { budget });
+    }
+    Ok(Selection {
+        members: best.members,
+        jer: best.jer,
+        total_cost: best.cost,
+        stats: SolverStats {
+            jer_evaluations: best.evaluations,
+            pruned_by_bound: 0,
+            candidates_considered: best.evaluations,
+        },
+    })
+}
+
+/// Sequential exact PayM solver: minimum-JER odd subset within budget.
+///
+/// Pass `budget = f64::MAX` for exact AltrM ground truth.
+pub fn exact_paym(pool: &[Juror], budget: f64, config: &ExactConfig) -> Result<Selection, JuryError> {
+    let order = validate(pool, budget, config)?;
+    let mut state = SearchState::new(pool.len());
+    dfs(pool, &order, budget, 0, 0.0, &mut state);
+    best_to_selection(state.best, budget)
+}
+
+/// Parallel exact PayM solver (crossbeam-scoped threads). Returns exactly
+/// the same selection as [`exact_paym`].
+pub fn exact_paym_parallel(
+    pool: &[Juror],
+    budget: f64,
+    config: &ExactConfig,
+) -> Result<Selection, JuryError> {
+    let order = validate(pool, budget, config)?;
+    let threads = if config.threads == 0 {
+        std::thread::available_parallelism().map(usize::from).unwrap_or(4)
+    } else {
+        config.threads
+    };
+    // Fix the include/exclude pattern of the first K candidates; each
+    // pattern is an independent subtree.
+    let k = prefix_bits(order.len(), threads);
+    let patterns = 1u32 << k;
+    let counter = std::sync::atomic::AtomicU32::new(0);
+
+    let merged = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let order = &order;
+            let counter = &counter;
+            handles.push(scope.spawn(move |_| {
+                let mut state = SearchState::new(pool.len());
+                loop {
+                    let pattern =
+                        counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if pattern >= patterns {
+                        break;
+                    }
+                    // Materialise the prefix decisions; skip infeasible
+                    // prefixes (budget exceeded part-way).
+                    state.reset_path();
+                    let mut spent = 0.0;
+                    let mut feasible = true;
+                    for (bit, &juror) in order[..k].iter().enumerate() {
+                        if pattern >> bit & 1 == 1 {
+                            spent += pool[juror].cost;
+                            if spent > budget {
+                                feasible = false;
+                                break;
+                            }
+                            state.include(pool, juror);
+                        }
+                    }
+                    if feasible {
+                        dfs(pool, order, budget, k, spent, &mut state);
+                    }
+                }
+                state.best
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("exact solver worker panicked"))
+            .fold(Best::none(), Best::merge)
+    })
+    .expect("crossbeam scope");
+
+    best_to_selection(merged, budget)
+}
+
+/// Number of leading candidates whose include/exclude pattern is fixed
+/// per parallel task: enough patterns to keep `threads` busy (≥ 4 tasks
+/// per thread) without splitting past the pool size.
+fn prefix_bits(n: usize, threads: usize) -> usize {
+    let want = (threads * 4).next_power_of_two().trailing_zeros() as usize;
+    want.min(n.saturating_sub(1)).min(12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::juror::{pool_from_rates, pool_from_rates_and_costs};
+    use crate::paym::{PayAlg, PayConfig};
+
+    fn brute_force_reference(pool: &[Juror], budget: f64) -> Option<(f64, Vec<usize>)> {
+        let n = pool.len();
+        let mut best: Option<(f64, f64, Vec<usize>)> = None;
+        for mask in 1u32..(1 << n) {
+            if mask.count_ones() % 2 == 0 {
+                continue;
+            }
+            let members: Vec<usize> = (0..n).filter(|&i| mask >> i & 1 == 1).collect();
+            let cost: f64 = members.iter().map(|&i| pool[i].cost).sum();
+            if cost > budget {
+                continue;
+            }
+            let eps: Vec<f64> = members.iter().map(|&i| pool[i].epsilon()).collect();
+            let jer = JerEngine::DynamicProgramming.jer(&eps);
+            let better = match &best {
+                None => true,
+                Some((bj, bc, bm)) => {
+                    jer < *bj
+                        || (jer == *bj
+                            && (cost < *bc
+                                || (cost == *bc
+                                    && (members.len() < bm.len()
+                                        || (members.len() == bm.len() && &members < bm)))))
+                }
+            };
+            if better {
+                best = Some((jer, cost, members));
+            }
+        }
+        best.map(|(j, _, m)| (j, m))
+    }
+
+    #[test]
+    fn matches_naive_bitmask_reference() {
+        let pool = pool_from_rates_and_costs(&[
+            (0.1, 0.2),
+            (0.2, 0.2),
+            (0.2, 0.3),
+            (0.3, 0.4),
+            (0.3, 0.65),
+            (0.4, 0.05),
+            (0.4, 0.05),
+        ])
+        .unwrap();
+        for budget in [0.05, 0.3, 0.5, 0.8, 1.0, 1.85, 5.0] {
+            let exact = exact_paym(&pool, budget, &ExactConfig::default()).unwrap();
+            let (ref_jer, ref_members) = brute_force_reference(&pool, budget).unwrap();
+            assert!((exact.jer - ref_jer).abs() < 1e-12, "budget {budget}");
+            assert_eq!(exact.members, ref_members, "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn altruism_ground_truth_finds_table2_optimum() {
+        let pool = pool_from_rates(&[0.1, 0.2, 0.2, 0.3, 0.3, 0.4, 0.4]).unwrap();
+        let sel = exact_paym(&pool, f64::MAX, &ExactConfig::default()).unwrap();
+        assert_eq!(sel.members, vec![0, 1, 2, 3, 4]);
+        assert!((sel.jer - 0.07036).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let pool = pool_from_rates_and_costs(&[
+            (0.15, 0.1),
+            (0.25, 0.3),
+            (0.35, 0.05),
+            (0.2, 0.4),
+            (0.45, 0.02),
+            (0.3, 0.15),
+            (0.1, 0.6),
+            (0.4, 0.08),
+            (0.22, 0.2),
+            (0.33, 0.12),
+            (0.28, 0.25),
+        ])
+        .unwrap();
+        for budget in [0.1, 0.35, 0.7, 1.4] {
+            let seq = exact_paym(&pool, budget, &ExactConfig::default()).unwrap();
+            for threads in [1, 2, 4, 7] {
+                let par = exact_paym_parallel(
+                    &pool,
+                    budget,
+                    &ExactConfig { threads, ..Default::default() },
+                )
+                .unwrap();
+                assert_eq!(par.members, seq.members, "budget {budget} threads {threads}");
+                assert!((par.jer - seq.jer).abs() < 1e-12);
+                assert_eq!(par.stats.jer_evaluations, seq.stats.jer_evaluations);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_never_worse_than_greedy() {
+        let pool = pool_from_rates_and_costs(&[
+            (0.12, 0.3),
+            (0.18, 0.22),
+            (0.25, 0.15),
+            (0.3, 0.1),
+            (0.35, 0.07),
+            (0.42, 0.03),
+            (0.2, 0.28),
+            (0.15, 0.4),
+        ])
+        .unwrap();
+        for budget in [0.1, 0.25, 0.5, 0.75, 1.0] {
+            let Ok(greedy) = PayAlg::solve(&pool, budget, &PayConfig::default()) else {
+                continue;
+            };
+            let exact = exact_paym(&pool, budget, &ExactConfig::default()).unwrap();
+            assert!(
+                exact.jer <= greedy.jer + 1e-12,
+                "budget {budget}: exact {} > greedy {}",
+                exact.jer,
+                greedy.jer
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_oversized_pools() {
+        let rates = vec![0.3; 30];
+        let pool = pool_from_rates(&rates).unwrap();
+        assert!(matches!(
+            exact_paym(&pool, 1.0, &ExactConfig::default()),
+            Err(JuryError::PoolTooLargeForExact { size: 30, .. })
+        ));
+        // A stricter custom limit also applies.
+        let small = pool_from_rates(&[0.3; 10]).unwrap();
+        assert!(matches!(
+            exact_paym(&small, 1.0, &ExactConfig { max_pool: 5, threads: 0 }),
+            Err(JuryError::PoolTooLargeForExact { size: 10, limit: 5 })
+        ));
+    }
+
+    #[test]
+    fn error_cases() {
+        assert_eq!(
+            exact_paym(&[], 1.0, &ExactConfig::default()),
+            Err(JuryError::EmptyPool)
+        );
+        let pool = pool_from_rates_and_costs(&[(0.2, 0.5)]).unwrap();
+        assert_eq!(
+            exact_paym(&pool, 0.1, &ExactConfig::default()),
+            Err(JuryError::NoFeasibleJury { budget: 0.1 })
+        );
+        assert!(matches!(
+            exact_paym(&pool, -1.0, &ExactConfig::default()),
+            Err(JuryError::InvalidBudget(_))
+        ));
+    }
+
+    #[test]
+    fn budget_pruning_reduces_evaluations() {
+        let pool = pool_from_rates_and_costs(&[
+            (0.1, 0.5),
+            (0.2, 0.5),
+            (0.3, 0.5),
+            (0.4, 0.5),
+            (0.25, 0.5),
+            (0.35, 0.5),
+        ])
+        .unwrap();
+        let tight = exact_paym(&pool, 0.5, &ExactConfig::default()).unwrap();
+        let loose = exact_paym(&pool, 3.0, &ExactConfig::default()).unwrap();
+        assert!(tight.stats.jer_evaluations < loose.stats.jer_evaluations);
+        assert_eq!(tight.size(), 1); // only single jurors affordable
+    }
+
+    #[test]
+    fn prefix_bits_is_sane() {
+        assert_eq!(prefix_bits(1, 8), 0);
+        assert!(prefix_bits(20, 8) >= 5);
+        assert!(prefix_bits(20, 8) <= 12);
+        assert!(prefix_bits(6, 64) <= 5);
+    }
+}

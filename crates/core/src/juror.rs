@@ -1,0 +1,225 @@
+//! Juror domain types.
+//!
+//! Definition 4 of the paper requires individual error rates to lie
+//! *strictly* inside `(0, 1)` — a juror who is always right (or always
+//! wrong) trivialises selection. [`ErrorRate`] enforces that invariant at
+//! construction so every downstream algorithm can assume it. [`Juror`]
+//! couples an id with an error rate and a PayM payment requirement.
+
+use crate::error::JuryError;
+
+/// Margin used by [`ErrorRate::clamped`] to pull values off the endpoints
+/// of the unit interval. Normalised ranking scores (§4.1.3) can hit the
+/// endpoints exactly; the clamp keeps them valid Definition-4 rates.
+pub const ERROR_RATE_MARGIN: f64 = 1e-9;
+
+/// An individual error rate `ε ∈ (0, 1)` (Definition 4).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct ErrorRate(f64);
+
+impl ErrorRate {
+    /// Validates and wraps a raw probability.
+    pub fn new(value: f64) -> Result<Self, JuryError> {
+        if value.is_finite() && value > 0.0 && value < 1.0 {
+            Ok(Self(value))
+        } else {
+            Err(JuryError::InvalidErrorRate(value))
+        }
+    }
+
+    /// Clamps an arbitrary finite value into
+    /// `[ERROR_RATE_MARGIN, 1 - ERROR_RATE_MARGIN]` and wraps it. Used for
+    /// estimated rates that may touch 0 or 1 after normalisation.
+    ///
+    /// # Panics
+    /// Panics if `value` is NaN — an estimated score that is not a number
+    /// is a bug upstream, not a boundary case.
+    pub fn clamped(value: f64) -> Self {
+        assert!(!value.is_nan(), "error rate must not be NaN");
+        Self(value.clamp(ERROR_RATE_MARGIN, 1.0 - ERROR_RATE_MARGIN))
+    }
+
+    /// The raw probability.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// The complement `1 - ε` (probability of a correct vote).
+    #[inline]
+    pub fn reliability(self) -> f64 {
+        1.0 - self.0
+    }
+
+    /// Log-odds of a *correct* vote, `ln((1-ε)/ε)` — the optimal weight
+    /// for weighted majority voting.
+    #[inline]
+    pub fn log_odds(self) -> f64 {
+        (self.reliability() / self.0).ln()
+    }
+}
+
+impl TryFrom<f64> for ErrorRate {
+    type Error = JuryError;
+    fn try_from(value: f64) -> Result<Self, JuryError> {
+        Self::new(value)
+    }
+}
+
+impl From<ErrorRate> for f64 {
+    fn from(e: ErrorRate) -> f64 {
+        e.get()
+    }
+}
+
+/// A candidate juror: an id into the pool, an individual error rate and a
+/// PayM payment requirement (`0` under AltrM).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Juror {
+    /// Stable identifier (index into the candidate pool or interned user
+    /// id from the retweet graph).
+    pub id: u32,
+    /// Probability of voting against the ground truth (Definition 4).
+    pub error_rate: ErrorRate,
+    /// Payment requirement `r_i ≥ 0` (Definition 8). Ignored by AltrM.
+    pub cost: f64,
+}
+
+impl Juror {
+    /// Creates a juror.
+    ///
+    /// # Panics
+    /// Panics if `cost` is negative or not finite; use
+    /// [`Juror::try_new`] for fallible construction.
+    pub fn new(id: u32, error_rate: ErrorRate, cost: f64) -> Self {
+        Self::try_new(id, error_rate, cost).expect("valid juror cost")
+    }
+
+    /// Fallible constructor validating the cost.
+    pub fn try_new(id: u32, error_rate: ErrorRate, cost: f64) -> Result<Self, JuryError> {
+        if !cost.is_finite() || cost < 0.0 {
+            return Err(JuryError::InvalidCost(cost));
+        }
+        Ok(Self { id, error_rate, cost })
+    }
+
+    /// A free juror (AltrM).
+    pub fn free(id: u32, error_rate: ErrorRate) -> Self {
+        Self { id, error_rate, cost: 0.0 }
+    }
+
+    /// The raw error-rate value (shorthand for `error_rate.get()`).
+    #[inline]
+    pub fn epsilon(&self) -> f64 {
+        self.error_rate.get()
+    }
+
+    /// The paper's PayALG sort key: `ε_i · r_i`.
+    #[inline]
+    pub fn greedy_key(&self) -> f64 {
+        self.epsilon() * self.cost
+    }
+}
+
+/// Builds a free-juror pool from raw error rates; ids are positional.
+///
+/// Fails on the first invalid rate.
+pub fn pool_from_rates(rates: &[f64]) -> Result<Vec<Juror>, JuryError> {
+    rates
+        .iter()
+        .enumerate()
+        .map(|(i, &e)| Ok(Juror::free(i as u32, ErrorRate::new(e)?)))
+        .collect()
+}
+
+/// Builds a paid-juror pool from `(error_rate, cost)` pairs; ids are
+/// positional.
+pub fn pool_from_rates_and_costs(pairs: &[(f64, f64)]) -> Result<Vec<Juror>, JuryError> {
+    pairs
+        .iter()
+        .enumerate()
+        .map(|(i, &(e, c))| Juror::try_new(i as u32, ErrorRate::new(e)?, c))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_open_interval() {
+        assert!(ErrorRate::new(0.5).is_ok());
+        assert!(ErrorRate::new(1e-12).is_ok());
+        assert!(ErrorRate::new(1.0 - 1e-12).is_ok());
+    }
+
+    #[test]
+    fn rejects_endpoints_and_garbage() {
+        for bad in [0.0, 1.0, -0.1, 1.1, f64::NAN, f64::INFINITY] {
+            assert!(ErrorRate::new(bad).is_err(), "{bad} should be rejected");
+        }
+    }
+
+    #[test]
+    fn clamped_pulls_endpoints_in() {
+        assert_eq!(ErrorRate::clamped(0.0).get(), ERROR_RATE_MARGIN);
+        assert_eq!(ErrorRate::clamped(1.0).get(), 1.0 - ERROR_RATE_MARGIN);
+        assert_eq!(ErrorRate::clamped(-5.0).get(), ERROR_RATE_MARGIN);
+        assert_eq!(ErrorRate::clamped(0.3).get(), 0.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn clamped_rejects_nan() {
+        let _ = ErrorRate::clamped(f64::NAN);
+    }
+
+    #[test]
+    fn reliability_and_log_odds() {
+        let e = ErrorRate::new(0.2).unwrap();
+        assert!((e.reliability() - 0.8).abs() < 1e-15);
+        assert!((e.log_odds() - (0.8f64 / 0.2).ln()).abs() < 1e-15);
+        // ε = 0.5 carries no information: log-odds zero.
+        assert!(ErrorRate::new(0.5).unwrap().log_odds().abs() < 1e-15);
+        // ε > 0.5 has negative weight (an adversarial signal).
+        assert!(ErrorRate::new(0.9).unwrap().log_odds() < 0.0);
+    }
+
+    #[test]
+    fn conversions() {
+        let e: ErrorRate = 0.25f64.try_into().unwrap();
+        let raw: f64 = e.into();
+        assert_eq!(raw, 0.25);
+        assert!(ErrorRate::try_from(2.0).is_err());
+    }
+
+    #[test]
+    fn juror_construction() {
+        let j = Juror::new(7, ErrorRate::new(0.3).unwrap(), 0.4);
+        assert_eq!(j.id, 7);
+        assert_eq!(j.epsilon(), 0.3);
+        assert!((j.greedy_key() - 0.12).abs() < 1e-15);
+        let free = Juror::free(1, ErrorRate::new(0.1).unwrap());
+        assert_eq!(free.cost, 0.0);
+    }
+
+    #[test]
+    fn juror_rejects_bad_cost() {
+        let e = ErrorRate::new(0.3).unwrap();
+        assert_eq!(Juror::try_new(0, e, -1.0), Err(JuryError::InvalidCost(-1.0)));
+        assert!(Juror::try_new(0, e, f64::INFINITY).is_err());
+        assert!(Juror::try_new(0, e, 0.0).is_ok());
+    }
+
+    #[test]
+    fn pool_builders() {
+        let pool = pool_from_rates(&[0.1, 0.2]).unwrap();
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool[1].id, 1);
+        assert!(pool_from_rates(&[0.1, 1.2]).is_err());
+
+        let paid = pool_from_rates_and_costs(&[(0.1, 0.5), (0.2, 0.0)]).unwrap();
+        assert_eq!(paid[0].cost, 0.5);
+        assert!(pool_from_rates_and_costs(&[(0.1, -0.5)]).is_err());
+    }
+}

@@ -1,0 +1,151 @@
+//! The [`Jury`] type — an odd-sized set of jurors (Definition 1).
+//!
+//! Majority voting needs an odd size to always produce a clear answer
+//! (§2.1.1), so [`Jury::new`] rejects even sizes. The jury exposes its
+//! majority threshold `(n+1)/2` and computes its JER through any
+//! [`JerEngine`].
+
+use crate::error::JuryError;
+use crate::jer::JerEngine;
+use crate::juror::Juror;
+
+/// An odd-sized, non-empty set of jurors that can hold a voting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Jury {
+    members: Vec<Juror>,
+}
+
+impl Jury {
+    /// Validates and wraps a member list.
+    ///
+    /// # Errors
+    /// [`JuryError::EmptyJury`] for no members,
+    /// [`JuryError::EvenJurySize`] for an even count.
+    pub fn new(members: Vec<Juror>) -> Result<Self, JuryError> {
+        if members.is_empty() {
+            return Err(JuryError::EmptyJury);
+        }
+        if members.len().is_multiple_of(2) {
+            return Err(JuryError::EvenJurySize(members.len()));
+        }
+        Ok(Self { members })
+    }
+
+    /// The jurors, in the order supplied.
+    #[inline]
+    pub fn members(&self) -> &[Juror] {
+        &self.members
+    }
+
+    /// Jury size `n` (odd).
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The majority threshold `(n+1)/2`: a voting fails when at least this
+    /// many jurors are wrong (Definition 6).
+    #[inline]
+    pub fn majority_threshold(&self) -> usize {
+        self.members.len().div_ceil(2)
+    }
+
+    /// Individual error rates in member order.
+    pub fn error_rates(&self) -> Vec<f64> {
+        self.members.iter().map(Juror::epsilon).collect()
+    }
+
+    /// Total payment requirement of all members.
+    pub fn total_cost(&self) -> f64 {
+        self.members.iter().map(|j| j.cost).sum()
+    }
+
+    /// Jury Error Rate (Definition 6) computed by `engine`.
+    pub fn jer(&self, engine: JerEngine) -> f64 {
+        engine.jer(&self.error_rates())
+    }
+
+    /// Member ids in member order.
+    pub fn ids(&self) -> Vec<u32> {
+        self.members.iter().map(|j| j.id).collect()
+    }
+}
+
+impl TryFrom<Vec<Juror>> for Jury {
+    type Error = JuryError;
+    fn try_from(members: Vec<Juror>) -> Result<Self, JuryError> {
+        Self::new(members)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::juror::{pool_from_rates, ErrorRate};
+
+    fn jury_of(rates: &[f64]) -> Jury {
+        Jury::new(pool_from_rates(rates).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn accepts_odd_sizes() {
+        for n in [1usize, 3, 5, 7, 21] {
+            let rates = vec![0.3; n];
+            assert_eq!(jury_of(&rates).size(), n);
+        }
+    }
+
+    #[test]
+    fn rejects_even_and_empty() {
+        assert_eq!(Jury::new(vec![]), Err(JuryError::EmptyJury));
+        let two = pool_from_rates(&[0.1, 0.2]).unwrap();
+        assert_eq!(Jury::new(two), Err(JuryError::EvenJurySize(2)));
+    }
+
+    #[test]
+    fn majority_threshold_is_half_plus_one() {
+        assert_eq!(jury_of(&[0.1; 1]).majority_threshold(), 1);
+        assert_eq!(jury_of(&[0.1; 3]).majority_threshold(), 2);
+        assert_eq!(jury_of(&[0.1; 5]).majority_threshold(), 3);
+        assert_eq!(jury_of(&[0.1; 9]).majority_threshold(), 5);
+    }
+
+    #[test]
+    fn jer_of_singleton_is_its_error_rate() {
+        let j = jury_of(&[0.2]);
+        assert!((j.jer(JerEngine::Auto) - 0.2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn jer_motivating_example() {
+        let j = jury_of(&[0.2, 0.3, 0.3]);
+        assert!((j.jer(JerEngine::Auto) - 0.174).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_cost_sums_members() {
+        let e = ErrorRate::new(0.3).unwrap();
+        let jury = Jury::new(vec![
+            Juror::new(0, e, 0.25),
+            Juror::new(1, e, 0.5),
+            Juror::new(2, e, 0.0),
+        ])
+        .unwrap();
+        assert!((jury.total_cost() - 0.75).abs() < 1e-15);
+    }
+
+    #[test]
+    fn accessors_round_trip() {
+        let j = jury_of(&[0.1, 0.2, 0.3]);
+        assert_eq!(j.ids(), vec![0, 1, 2]);
+        assert_eq!(j.error_rates(), vec![0.1, 0.2, 0.3]);
+        assert_eq!(j.members().len(), 3);
+    }
+
+    #[test]
+    fn try_from_vec() {
+        let pool = pool_from_rates(&[0.1, 0.2, 0.3]).unwrap();
+        let jury: Jury = pool.try_into().unwrap();
+        assert_eq!(jury.size(), 3);
+    }
+}

@@ -1,0 +1,106 @@
+//! Selection-quality metrics.
+//!
+//! Figure 3(h) of the paper reports the *precision* and *recall* of the
+//! greedy PayALG selection against the enumerated ground-truth optimum:
+//! precision = |S ∩ T| / |S|, recall = |S ∩ T| / |T| where `S` is the
+//! selected jury and `T` the optimal one.
+
+use std::collections::HashSet;
+
+/// Precision and recall of a selection versus ground truth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrecisionRecall {
+    /// Fraction of selected members that are in the ground truth
+    /// (1.0 when nothing was selected — vacuously no false positives).
+    pub precision: f64,
+    /// Fraction of ground-truth members that were selected
+    /// (1.0 when the ground truth is empty).
+    pub recall: f64,
+}
+
+impl PrecisionRecall {
+    /// Harmonic mean of precision and recall (0 when both are 0).
+    pub fn f1(&self) -> f64 {
+        let s = self.precision + self.recall;
+        if s == 0.0 {
+            0.0
+        } else {
+            2.0 * self.precision * self.recall / s
+        }
+    }
+}
+
+/// Computes precision/recall of `selected` against `truth` (both are sets
+/// of pool indices or juror ids; duplicates are ignored).
+pub fn precision_recall(selected: &[usize], truth: &[usize]) -> PrecisionRecall {
+    let sel: HashSet<usize> = selected.iter().copied().collect();
+    let tru: HashSet<usize> = truth.iter().copied().collect();
+    let hits = sel.intersection(&tru).count() as f64;
+    PrecisionRecall {
+        precision: if sel.is_empty() { 1.0 } else { hits / sel.len() as f64 },
+        recall: if tru.is_empty() { 1.0 } else { hits / tru.len() as f64 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_match() {
+        let pr = precision_recall(&[1, 2, 3], &[3, 2, 1]);
+        assert_eq!(pr.precision, 1.0);
+        assert_eq!(pr.recall, 1.0);
+        assert_eq!(pr.f1(), 1.0);
+    }
+
+    #[test]
+    fn disjoint_sets() {
+        let pr = precision_recall(&[1, 2], &[3, 4]);
+        assert_eq!(pr.precision, 0.0);
+        assert_eq!(pr.recall, 0.0);
+        assert_eq!(pr.f1(), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        // selected {1,2,3,4}, truth {3,4,5}: hits 2.
+        let pr = precision_recall(&[1, 2, 3, 4], &[3, 4, 5]);
+        assert!((pr.precision - 0.5).abs() < 1e-15);
+        assert!((pr.recall - 2.0 / 3.0).abs() < 1e-15);
+        let f1 = pr.f1();
+        assert!((f1 - (2.0 * 0.5 * (2.0 / 3.0) / (0.5 + 2.0 / 3.0))).abs() < 1e-15);
+    }
+
+    #[test]
+    fn oversized_selection_hurts_precision_only() {
+        let pr = precision_recall(&[1, 2, 3, 4, 5], &[1, 2, 3]);
+        assert!((pr.precision - 0.6).abs() < 1e-15);
+        assert_eq!(pr.recall, 1.0);
+    }
+
+    #[test]
+    fn undersized_selection_hurts_recall_only() {
+        let pr = precision_recall(&[1], &[1, 2, 3]);
+        assert_eq!(pr.precision, 1.0);
+        assert!((pr.recall - 1.0 / 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn empty_edge_cases() {
+        assert_eq!(precision_recall(&[], &[]), PrecisionRecall { precision: 1.0, recall: 1.0 });
+        let pr = precision_recall(&[], &[1]);
+        assert_eq!(pr.precision, 1.0);
+        assert_eq!(pr.recall, 0.0);
+        let pr = precision_recall(&[1], &[]);
+        assert_eq!(pr.precision, 0.0);
+        assert_eq!(pr.recall, 1.0);
+    }
+
+    #[test]
+    fn duplicates_are_ignored() {
+        let pr = precision_recall(&[1, 1, 2], &[1, 2, 2]);
+        assert_eq!(pr.precision, 1.0);
+        assert_eq!(pr.recall, 1.0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Crowdsourcing models (§2.2).
+//!
+//! [`CrowdModel::Altruism`] (Definition 7) allows any jury; workers
+//! participate out of interest or obligation. [`CrowdModel::PayAsYouGo`]
+//! (Definition 8) attaches a payment requirement to every juror and only
+//! allows juries whose total payment fits a budget.
+
+use crate::error::JuryError;
+use crate::jury::Jury;
+
+/// Which crowdsourcing model governs jury feasibility.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CrowdModel {
+    /// Altruism Jurors Model — every jury is allowed (Definition 7).
+    Altruism,
+    /// Pay-as-you-go Model — a jury is allowed iff its total payment is at
+    /// most `budget` (Definition 8).
+    PayAsYouGo {
+        /// Total payment budget `B ≥ 0`.
+        budget: f64,
+    },
+}
+
+impl CrowdModel {
+    /// Validated PayM constructor.
+    pub fn pay_as_you_go(budget: f64) -> Result<Self, JuryError> {
+        if !budget.is_finite() || budget < 0.0 {
+            return Err(JuryError::InvalidBudget(budget));
+        }
+        Ok(Self::PayAsYouGo { budget })
+    }
+
+    /// Whether `jury` is *allowed* under this model (paper's terminology
+    /// for feasible).
+    pub fn allows(&self, jury: &Jury) -> bool {
+        match *self {
+            CrowdModel::Altruism => true,
+            CrowdModel::PayAsYouGo { budget } => jury.total_cost() <= budget + 1e-12,
+        }
+    }
+
+    /// The budget, if this is PayM.
+    pub fn budget(&self) -> Option<f64> {
+        match *self {
+            CrowdModel::Altruism => None,
+            CrowdModel::PayAsYouGo { budget } => Some(budget),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::juror::{ErrorRate, Juror};
+
+    fn jury_with_costs(costs: &[f64]) -> Jury {
+        let e = ErrorRate::new(0.2).unwrap();
+        Jury::new(costs.iter().enumerate().map(|(i, &c)| Juror::new(i as u32, e, c)).collect())
+            .unwrap()
+    }
+
+    #[test]
+    fn altruism_allows_everything() {
+        let jury = jury_with_costs(&[100.0, 200.0, 300.0]);
+        assert!(CrowdModel::Altruism.allows(&jury));
+        assert_eq!(CrowdModel::Altruism.budget(), None);
+    }
+
+    #[test]
+    fn paym_enforces_budget() {
+        let jury = jury_with_costs(&[0.3, 0.3, 0.3]);
+        let tight = CrowdModel::pay_as_you_go(0.5).unwrap();
+        let loose = CrowdModel::pay_as_you_go(1.0).unwrap();
+        assert!(!tight.allows(&jury));
+        assert!(loose.allows(&jury));
+        assert_eq!(loose.budget(), Some(1.0));
+    }
+
+    #[test]
+    fn paym_budget_boundary_is_inclusive() {
+        let jury = jury_with_costs(&[0.25, 0.25, 0.5]);
+        let exact = CrowdModel::pay_as_you_go(1.0).unwrap();
+        assert!(exact.allows(&jury));
+    }
+
+    #[test]
+    fn rejects_bad_budgets() {
+        assert!(CrowdModel::pay_as_you_go(-0.1).is_err());
+        assert!(CrowdModel::pay_as_you_go(f64::NAN).is_err());
+        assert!(CrowdModel::pay_as_you_go(f64::INFINITY).is_err());
+        assert!(CrowdModel::pay_as_you_go(0.0).is_ok());
+    }
+}

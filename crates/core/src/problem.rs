@@ -1,0 +1,183 @@
+//! The Jury Selection Problem facade (Definition 9).
+//!
+//! Couples a candidate pool with a [`CrowdModel`] and dispatches to the
+//! model's solver: [`AltrAlg`] for AltrM (exact, by
+//! Lemma 3) and [`PayAlg`] for PayM (the greedy
+//! heuristic — the problem is NP-hard, Lemma 4). The exact exponential
+//! solver is also reachable for small pools via
+//! [`JurySelectionProblem::solve_exact`].
+
+use crate::altr::{AltrAlg, AltrConfig};
+use crate::error::JuryError;
+use crate::exact::{exact_paym, ExactConfig};
+use crate::juror::Juror;
+use crate::model::CrowdModel;
+use crate::paym::{PayAlg, PayConfig};
+
+/// Counters describing the work a solver performed — the quantities the
+/// paper's efficiency figures (3b, 3g) are about.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Candidate juries whose JER was computed exactly.
+    pub jer_evaluations: usize,
+    /// Candidate juries skipped thanks to the Lemma-2 lower bound.
+    pub pruned_by_bound: usize,
+    /// Candidate juries examined in total.
+    pub candidates_considered: usize,
+}
+
+/// A solver's answer: which pool members form the jury and how good it is.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Selection {
+    /// Indices **into the candidate pool slice** (not juror ids), sorted
+    /// ascending. Map through the pool to recover ids or costs.
+    pub members: Vec<usize>,
+    /// The selected jury's Jury Error Rate.
+    pub jer: f64,
+    /// Total payment requirement of the selected jury.
+    pub total_cost: f64,
+    /// Work counters.
+    pub stats: SolverStats,
+}
+
+impl Selection {
+    /// Jury size.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Resolves member indices to the jurors of `pool`.
+    ///
+    /// # Panics
+    /// Panics if `pool` is not the pool this selection was made from
+    /// (indices out of range).
+    pub fn jurors<'a>(&self, pool: &'a [Juror]) -> Vec<&'a Juror> {
+        self.members.iter().map(|&i| &pool[i]).collect()
+    }
+
+    /// Resolves member indices to juror ids.
+    pub fn ids(&self, pool: &[Juror]) -> Vec<u32> {
+        self.members.iter().map(|&i| pool[i].id).collect()
+    }
+}
+
+/// A fully-specified JSP instance: pool + crowdsourcing model
+/// (Definition 9).
+#[derive(Debug, Clone)]
+pub struct JurySelectionProblem {
+    pool: Vec<Juror>,
+    model: CrowdModel,
+}
+
+impl JurySelectionProblem {
+    /// JSP under the altruism model.
+    pub fn altruism(pool: Vec<Juror>) -> Self {
+        Self { pool, model: CrowdModel::Altruism }
+    }
+
+    /// JSP under the pay-as-you-go model.
+    ///
+    /// # Errors
+    /// [`JuryError::InvalidBudget`] for negative/non-finite budgets.
+    pub fn pay_as_you_go(pool: Vec<Juror>, budget: f64) -> Result<Self, JuryError> {
+        Ok(Self { pool, model: CrowdModel::pay_as_you_go(budget)? })
+    }
+
+    /// The candidate pool.
+    pub fn pool(&self) -> &[Juror] {
+        &self.pool
+    }
+
+    /// The governing model.
+    pub fn model(&self) -> CrowdModel {
+        self.model
+    }
+
+    /// Solves with the model's default algorithm: `AltrALG` (exact) for
+    /// AltrM, `PayALG` (greedy heuristic) for PayM.
+    pub fn solve(&self) -> Result<Selection, JuryError> {
+        match self.model {
+            CrowdModel::Altruism => AltrAlg::solve(&self.pool, &AltrConfig::default()),
+            CrowdModel::PayAsYouGo { budget } => {
+                PayAlg::solve(&self.pool, budget, &PayConfig::default())
+            }
+        }
+    }
+
+    /// Solves by exhaustive enumeration — exponential, for ground truth on
+    /// small pools (§5.1.2's "OPT").
+    pub fn solve_exact(&self) -> Result<Selection, JuryError> {
+        let budget = self.model.budget().unwrap_or(f64::MAX);
+        exact_paym(&self.pool, budget, &ExactConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::juror::{pool_from_rates, pool_from_rates_and_costs};
+
+    #[test]
+    fn altruism_solves_motivating_example() {
+        let pool = pool_from_rates(&[0.1, 0.2, 0.2, 0.3, 0.3, 0.4, 0.4]).unwrap();
+        let sel = JurySelectionProblem::altruism(pool).solve().unwrap();
+        assert_eq!(sel.members, vec![0, 1, 2, 3, 4]);
+        assert!((sel.jer - 0.07036).abs() < 1e-9);
+        assert_eq!(sel.size(), 5);
+    }
+
+    #[test]
+    fn paym_respects_budget_from_motivating_example() {
+        // Figure 1 costs: A..G ask 0.2, 0.2, 0.3, 0.4, 0.65, 0.05, 0.05.
+        let pool = pool_from_rates_and_costs(&[
+            (0.1, 0.2),
+            (0.2, 0.2),
+            (0.2, 0.3),
+            (0.3, 0.4),
+            (0.3, 0.65),
+            (0.4, 0.05),
+            (0.4, 0.05),
+        ])
+        .unwrap();
+        let problem = JurySelectionProblem::pay_as_you_go(pool.clone(), 1.0).unwrap();
+        let sel = problem.solve().unwrap();
+        assert!(sel.total_cost <= 1.0 + 1e-12);
+        assert!(sel.size() % 2 == 1);
+        // D+E alone cost 1.05 > B: they cannot both be in.
+        let chosen: Vec<usize> = sel.members.clone();
+        assert!(!(chosen.contains(&3) && chosen.contains(&4)));
+    }
+
+    #[test]
+    fn selection_resolvers() {
+        let pool = pool_from_rates(&[0.3, 0.1, 0.2]).unwrap();
+        let sel = JurySelectionProblem::altruism(pool.clone()).solve().unwrap();
+        let ids = sel.ids(&pool);
+        let jurors = sel.jurors(&pool);
+        assert_eq!(ids.len(), jurors.len());
+        for (&id, j) in ids.iter().zip(&jurors) {
+            assert_eq!(id, j.id);
+        }
+    }
+
+    #[test]
+    fn empty_pool_errors() {
+        let p = JurySelectionProblem::altruism(vec![]);
+        assert_eq!(p.solve(), Err(JuryError::EmptyPool));
+    }
+
+    #[test]
+    fn invalid_budget_rejected_up_front() {
+        let pool = pool_from_rates(&[0.1]).unwrap();
+        assert!(JurySelectionProblem::pay_as_you_go(pool, -1.0).is_err());
+    }
+
+    #[test]
+    fn exact_matches_altr_on_small_pool() {
+        let pool = pool_from_rates(&[0.15, 0.3, 0.45, 0.2, 0.35]).unwrap();
+        let problem = JurySelectionProblem::altruism(pool);
+        let fast = problem.solve().unwrap();
+        let exact = problem.solve_exact().unwrap();
+        assert!((fast.jer - exact.jer).abs() < 1e-12);
+    }
+}

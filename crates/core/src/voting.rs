@@ -1,0 +1,211 @@
+//! Votings and voting schemes.
+//!
+//! Definition 2 of the paper: a *voting* is a valid instance of a jury —
+//! one binary ballot per juror. Definition 3: *majority voting* outputs
+//! the opinion supported by more than half of the (odd-sized) jury.
+//!
+//! Beyond the paper's plain MV we provide the classical log-odds
+//! *weighted* majority vote as an extension: each ballot is weighted by
+//! `ln((1-ε)/ε)`, which is the Bayes-optimal aggregation when individual
+//! error rates are known. The `weighted_voting` bench compares both.
+
+use crate::error::JuryError;
+use crate::jury::Jury;
+
+/// Outcome of aggregating a voting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// The jury decided "yes"/true/1.
+    Yes,
+    /// The jury decided "no"/false/0.
+    No,
+}
+
+impl Decision {
+    /// Decision as the paper's binary value.
+    #[inline]
+    pub fn as_bool(self) -> bool {
+        matches!(self, Decision::Yes)
+    }
+
+    /// From a binary value.
+    #[inline]
+    pub fn from_bool(b: bool) -> Self {
+        if b {
+            Decision::Yes
+        } else {
+            Decision::No
+        }
+    }
+}
+
+/// A voting: one boolean ballot per juror, in jury member order
+/// (Definition 2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Voting {
+    ballots: Vec<bool>,
+}
+
+impl Voting {
+    /// Wraps ballots for a jury of matching (odd) size.
+    ///
+    /// # Errors
+    /// [`JuryError::EmptyJury`] / [`JuryError::EvenJurySize`] mirror the
+    /// jury invariants so a `Voting` is always aggregatable.
+    pub fn new(ballots: Vec<bool>) -> Result<Self, JuryError> {
+        if ballots.is_empty() {
+            return Err(JuryError::EmptyJury);
+        }
+        if ballots.len().is_multiple_of(2) {
+            return Err(JuryError::EvenJurySize(ballots.len()));
+        }
+        Ok(Self { ballots })
+    }
+
+    /// The ballots in member order.
+    #[inline]
+    pub fn ballots(&self) -> &[bool] {
+        &self.ballots
+    }
+
+    /// Number of ballots.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ballots.len()
+    }
+
+    /// Always false (a voting cannot be empty) — for API completeness.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ballots.is_empty()
+    }
+
+    /// Number of "yes" ballots.
+    pub fn yes_count(&self) -> usize {
+        self.ballots.iter().filter(|&&b| b).count()
+    }
+}
+
+/// Majority voting (Definition 3): `Yes` iff yes-ballots reach
+/// `(n+1)/2`.
+pub fn majority_vote(voting: &Voting) -> Decision {
+    let n = voting.len();
+    Decision::from_bool(voting.yes_count() >= n.div_ceil(2))
+}
+
+/// Weighted majority voting: ballots weighted by the jurors' log-odds
+/// `ln((1-ε)/ε)`; `Yes` iff the signed weight sum is positive (ties —
+/// measure-zero with real weights — resolve to `No`, matching plain MV's
+/// conservative `0` branch).
+///
+/// # Errors
+/// [`JuryError::VotingSizeMismatch`] if ballot count differs from the
+/// jury size.
+pub fn weighted_majority_vote(jury: &Jury, voting: &Voting) -> Result<Decision, JuryError> {
+    if jury.size() != voting.len() {
+        return Err(JuryError::VotingSizeMismatch {
+            expected: jury.size(),
+            actual: voting.len(),
+        });
+    }
+    let score: f64 = jury
+        .members()
+        .iter()
+        .zip(voting.ballots())
+        .map(|(j, &b)| {
+            let w = j.error_rate.log_odds();
+            if b {
+                w
+            } else {
+                -w
+            }
+        })
+        .sum();
+    Ok(Decision::from_bool(score > 0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::juror::pool_from_rates;
+
+    fn voting(bits: &[bool]) -> Voting {
+        Voting::new(bits.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn decision_conversions() {
+        assert!(Decision::Yes.as_bool());
+        assert!(!Decision::No.as_bool());
+        assert_eq!(Decision::from_bool(true), Decision::Yes);
+        assert_eq!(Decision::from_bool(false), Decision::No);
+    }
+
+    #[test]
+    fn voting_validation() {
+        assert_eq!(Voting::new(vec![]), Err(JuryError::EmptyJury));
+        assert_eq!(Voting::new(vec![true, false]), Err(JuryError::EvenJurySize(2)));
+        assert!(Voting::new(vec![true]).is_ok());
+    }
+
+    #[test]
+    fn majority_basic() {
+        assert_eq!(majority_vote(&voting(&[true, true, false])), Decision::Yes);
+        assert_eq!(majority_vote(&voting(&[false, false, true])), Decision::No);
+        assert_eq!(majority_vote(&voting(&[true])), Decision::Yes);
+        assert_eq!(majority_vote(&voting(&[false])), Decision::No);
+    }
+
+    #[test]
+    fn majority_threshold_exact() {
+        // 5 jurors: 3 yes is a majority, 2 is not.
+        assert_eq!(majority_vote(&voting(&[true, true, true, false, false])), Decision::Yes);
+        assert_eq!(majority_vote(&voting(&[true, true, false, false, false])), Decision::No);
+    }
+
+    #[test]
+    fn yes_count() {
+        assert_eq!(voting(&[true, false, true]).yes_count(), 2);
+    }
+
+    #[test]
+    fn weighted_vote_follows_reliable_minority() {
+        // One excellent juror (ε=0.01) voting Yes outweighs two mediocre
+        // (ε=0.45) voting No: log-odds 4.6 vs 2·0.2.
+        let jury = Jury::new(pool_from_rates(&[0.01, 0.45, 0.45]).unwrap()).unwrap();
+        let v = voting(&[true, false, false]);
+        assert_eq!(weighted_majority_vote(&jury, &v).unwrap(), Decision::Yes);
+        // Plain MV disagrees — that's the point of the extension.
+        assert_eq!(majority_vote(&v), Decision::No);
+    }
+
+    #[test]
+    fn weighted_vote_equals_plain_for_uniform_rates() {
+        let jury = Jury::new(pool_from_rates(&[0.3, 0.3, 0.3, 0.3, 0.3]).unwrap()).unwrap();
+        for pattern in 0..32u32 {
+            let bits: Vec<bool> = (0..5).map(|i| pattern >> i & 1 == 1).collect();
+            let v = voting(&bits);
+            assert_eq!(weighted_majority_vote(&jury, &v).unwrap(), majority_vote(&v));
+        }
+    }
+
+    #[test]
+    fn weighted_vote_checks_sizes() {
+        let jury = Jury::new(pool_from_rates(&[0.1, 0.2, 0.3]).unwrap()).unwrap();
+        let v = voting(&[true]);
+        assert_eq!(
+            weighted_majority_vote(&jury, &v),
+            Err(JuryError::VotingSizeMismatch { expected: 3, actual: 1 })
+        );
+    }
+
+    #[test]
+    fn adversarial_juror_counts_against_their_ballot() {
+        // ε = 0.9: their "yes" is evidence for No.
+        let jury = Jury::new(pool_from_rates(&[0.9, 0.4, 0.4]).unwrap()).unwrap();
+        let v = voting(&[true, false, false]);
+        assert_eq!(weighted_majority_vote(&jury, &v).unwrap(), Decision::No);
+        let v2 = voting(&[false, true, true]);
+        assert_eq!(weighted_majority_vote(&jury, &v2).unwrap(), Decision::Yes);
+    }
+}

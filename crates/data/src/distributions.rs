@@ -1,0 +1,206 @@
+//! Normal sampling with domain truncation.
+//!
+//! The allowed dependency set contains `rand` but not `rand_distr`, so
+//! the Gaussian comes from a hand-rolled Box–Muller transform. Samples
+//! are forced into a target interval by one of two policies:
+//!
+//! * [`Truncation::Resample`] — rejection sampling: redraw until the
+//!   value lands inside (falls back to clamping after a bounded number of
+//!   attempts so pathological parameters cannot hang the generator);
+//! * [`Truncation::Clamp`] — clip to the interval endpoints, creating
+//!   atoms at the boundaries.
+//!
+//! Rejection preserves the bell shape inside the domain and is the
+//! default for all experiment workloads.
+
+use rand::Rng;
+
+/// Maximum redraw attempts before [`Truncation::Resample`] falls back to
+/// clamping.
+const MAX_REJECTION_ATTEMPTS: usize = 64;
+
+/// How out-of-domain normal draws are handled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Truncation {
+    /// Redraw until inside the domain (default).
+    #[default]
+    Resample,
+    /// Clamp to the domain endpoints.
+    Clamp,
+}
+
+/// A `N(mean, std_dev²)` sampler truncated to `[lo, hi]`.
+#[derive(Debug, Clone, Copy)]
+pub struct NormalSampler {
+    mean: f64,
+    std_dev: f64,
+    lo: f64,
+    hi: f64,
+    truncation: Truncation,
+    /// Cached second Box–Muller variate.
+    // Box–Muller yields pairs; we keep one for the next call.
+    spare: Option<f64>,
+}
+
+impl NormalSampler {
+    /// Creates a sampler.
+    ///
+    /// # Panics
+    /// Panics if `std_dev < 0`, bounds are not finite, or `lo >= hi`.
+    pub fn new(mean: f64, std_dev: f64, lo: f64, hi: f64, truncation: Truncation) -> Self {
+        assert!(std_dev >= 0.0, "standard deviation must be non-negative");
+        assert!(mean.is_finite() && lo.is_finite() && hi.is_finite(), "parameters must be finite");
+        assert!(lo < hi, "empty truncation interval [{lo}, {hi}]");
+        Self { mean, std_dev, lo, hi, truncation, spare: None }
+    }
+
+    /// Standard normal variate via Box–Muller.
+    fn standard<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        // u1 in (0,1] to keep ln(u1) finite.
+        let u1: f64 = 1.0 - rng.gen::<f64>();
+        let u2: f64 = rng.gen();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Draws one truncated sample.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        match self.truncation {
+            Truncation::Clamp => {
+                let x = self.mean + self.std_dev * self.standard(rng);
+                x.clamp(self.lo, self.hi)
+            }
+            Truncation::Resample => {
+                for _ in 0..MAX_REJECTION_ATTEMPTS {
+                    let x = self.mean + self.std_dev * self.standard(rng);
+                    if x >= self.lo && x <= self.hi {
+                        return x;
+                    }
+                }
+                // Pathological parameters (domain far in the tail):
+                // degrade gracefully instead of spinning.
+                (self.mean + self.std_dev * self.standard(rng)).clamp(self.lo, self.hi)
+            }
+        }
+    }
+
+    /// Draws `n` samples.
+    pub fn sample_n<R: Rng + ?Sized>(&mut self, n: usize, rng: &mut R) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn samples_respect_bounds() {
+        for trunc in [Truncation::Resample, Truncation::Clamp] {
+            let mut s = NormalSampler::new(0.5, 0.5, 0.0, 1.0, trunc);
+            let mut r = rng(1);
+            for _ in 0..5000 {
+                let x = s.sample(&mut r);
+                assert!((0.0..=1.0).contains(&x), "{trunc:?}: {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn mean_is_close_for_mild_truncation() {
+        let mut s = NormalSampler::new(0.5, 0.1, 0.0, 1.0, Truncation::Resample);
+        let mut r = rng(2);
+        let xs = s.sample_n(50_000, &mut r);
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - 0.5).abs() < 0.005, "mean {mean}");
+    }
+
+    #[test]
+    fn std_dev_is_close_for_mild_truncation() {
+        let mut s = NormalSampler::new(0.5, 0.1, 0.0, 1.0, Truncation::Resample);
+        let mut r = rng(3);
+        let xs = s.sample_n(50_000, &mut r);
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+        assert!((var.sqrt() - 0.1).abs() < 0.01, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn clamping_creates_boundary_atoms_rejection_does_not() {
+        // Mean outside the domain: clamping piles mass on the boundary.
+        let mut clamp = NormalSampler::new(-0.5, 0.3, 0.0, 1.0, Truncation::Clamp);
+        let mut resample = NormalSampler::new(-0.5, 0.3, 0.0, 1.0, Truncation::Resample);
+        let mut r = rng(4);
+        let clamped = clamp.sample_n(2000, &mut r);
+        let resampled = resample.sample_n(2000, &mut r);
+        let clamp_atoms = clamped.iter().filter(|&&x| x == 0.0).count();
+        let resample_atoms = resampled.iter().filter(|&&x| x == 0.0).count();
+        assert!(clamp_atoms > 1500, "clamp atoms {clamp_atoms}");
+        // Rejection only clamps via the bounded-attempt fallback
+        // ((1-p)^64 ≈ 4.6% here), so atoms are rare rather than dominant.
+        assert!(
+            resample_atoms < clamp_atoms / 10,
+            "resample atoms {resample_atoms} vs clamp {clamp_atoms}"
+        );
+    }
+
+    #[test]
+    fn zero_std_dev_is_constant() {
+        let mut s = NormalSampler::new(0.3, 0.0, 0.0, 1.0, Truncation::Resample);
+        let mut r = rng(5);
+        for _ in 0..100 {
+            assert_eq!(s.sample(&mut r), 0.3);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = NormalSampler::new(0.2, 0.1, 0.0, 1.0, Truncation::Resample);
+        let mut b = NormalSampler::new(0.2, 0.1, 0.0, 1.0, Truncation::Resample);
+        let xs = a.sample_n(100, &mut rng(6));
+        let ys = b.sample_n(100, &mut rng(6));
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn gaussian_shape_sanity() {
+        // ~68% of unclipped mass within one σ.
+        let mut s = NormalSampler::new(0.0, 1.0, -100.0, 100.0, Truncation::Resample);
+        let mut r = rng(7);
+        let xs = s.sample_n(50_000, &mut r);
+        let within = xs.iter().filter(|x| x.abs() <= 1.0).count() as f64 / xs.len() as f64;
+        assert!((within - 0.6827).abs() < 0.01, "within-1σ {within}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty truncation interval")]
+    fn rejects_inverted_bounds() {
+        let _ = NormalSampler::new(0.0, 1.0, 1.0, 0.0, Truncation::Resample);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_std() {
+        let _ = NormalSampler::new(0.0, -1.0, 0.0, 1.0, Truncation::Resample);
+    }
+
+    #[test]
+    fn pathological_domain_falls_back_to_clamp() {
+        // Domain 40σ away: rejection cannot hit it; fallback must clamp.
+        let mut s = NormalSampler::new(0.0, 0.1, 4.0, 5.0, Truncation::Resample);
+        let mut r = rng(8);
+        let x = s.sample(&mut r);
+        assert!((4.0..=5.0).contains(&x));
+    }
+}

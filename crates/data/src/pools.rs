@@ -1,0 +1,173 @@
+//! Synthetic juror-pool constructors.
+//!
+//! Pools are what §5.1's experiments consume: `N` candidate jurors whose
+//! error rates (and, for PayM, payment requirements) are drawn from
+//! truncated normals. Error rates live strictly inside `(0, 1)`
+//! (Definition 4 — the truncation interval keeps a small margin);
+//! requirements live in `[0, ∞)` truncated to `[0, cost_hi]`.
+
+use crate::distributions::{NormalSampler, Truncation};
+use jury_core::juror::{ErrorRate, Juror};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Margin keeping sampled error rates away from 0 and 1.
+const RATE_MARGIN: f64 = 1e-6;
+
+/// Upper truncation for sampled payment requirements. Requirements in the
+/// paper's experiments are O(1); anything above this is a parameter
+/// mistake, not a workload.
+const COST_HI: f64 = 1e3;
+
+/// Parameters of a synthetic pool.
+#[derive(Debug, Clone, Copy)]
+pub struct PoolConfig {
+    /// Number of candidate jurors.
+    pub size: usize,
+    /// Mean of the error-rate normal.
+    pub rate_mean: f64,
+    /// Standard deviation of the error-rate normal (the paper's "var"
+    /// legend parameter — see the crate docs).
+    pub rate_std: f64,
+    /// Mean of the requirement normal (PayM pools).
+    pub cost_mean: f64,
+    /// Standard deviation of the requirement normal.
+    pub cost_std: f64,
+    /// Truncation policy for out-of-domain draws.
+    pub truncation: Truncation,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        Self {
+            size: 1000,
+            rate_mean: 0.2,
+            rate_std: 0.05,
+            cost_mean: 0.4,
+            cost_std: 0.2,
+            truncation: Truncation::Resample,
+            seed: 42,
+        }
+    }
+}
+
+/// AltrM pool: free jurors with sampled error rates.
+pub fn rate_pool(config: &PoolConfig) -> Vec<Juror> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rates = NormalSampler::new(
+        config.rate_mean,
+        config.rate_std,
+        RATE_MARGIN,
+        1.0 - RATE_MARGIN,
+        config.truncation,
+    );
+    (0..config.size)
+        .map(|i| Juror::free(i as u32, ErrorRate::clamped(rates.sample(&mut rng))))
+        .collect()
+}
+
+/// PayM pool: jurors with sampled error rates and payment requirements.
+pub fn paid_pool(config: &PoolConfig) -> Vec<Juror> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rates = NormalSampler::new(
+        config.rate_mean,
+        config.rate_std,
+        RATE_MARGIN,
+        1.0 - RATE_MARGIN,
+        config.truncation,
+    );
+    let mut costs =
+        NormalSampler::new(config.cost_mean, config.cost_std, 0.0, COST_HI, config.truncation);
+    (0..config.size)
+        .map(|i| {
+            Juror::new(
+                i as u32,
+                ErrorRate::clamped(rates.sample(&mut rng)),
+                costs.sample(&mut rng),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_pool_has_requested_size_and_valid_rates() {
+        let pool = rate_pool(&PoolConfig { size: 500, ..Default::default() });
+        assert_eq!(pool.len(), 500);
+        for j in &pool {
+            let e = j.epsilon();
+            assert!(e > 0.0 && e < 1.0);
+            assert_eq!(j.cost, 0.0);
+        }
+    }
+
+    #[test]
+    fn rate_pool_sample_mean_tracks_config() {
+        let pool = rate_pool(&PoolConfig {
+            size: 20_000,
+            rate_mean: 0.3,
+            rate_std: 0.1,
+            ..Default::default()
+        });
+        let mean: f64 = pool.iter().map(Juror::epsilon).sum::<f64>() / pool.len() as f64;
+        assert!((mean - 0.3).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn paid_pool_costs_are_non_negative() {
+        let pool = paid_pool(&PoolConfig { size: 2000, ..Default::default() });
+        for j in &pool {
+            assert!(j.cost >= 0.0);
+            assert!(j.cost <= 1e3);
+        }
+    }
+
+    #[test]
+    fn paid_pool_cost_mean_tracks_config() {
+        let pool = paid_pool(&PoolConfig {
+            size: 20_000,
+            cost_mean: 0.5,
+            cost_std: 0.1,
+            ..Default::default()
+        });
+        let mean: f64 = pool.iter().map(|j| j.cost).sum::<f64>() / pool.len() as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn pools_are_deterministic_per_seed() {
+        let cfg = PoolConfig { size: 100, seed: 9, ..Default::default() };
+        assert_eq!(paid_pool(&cfg), paid_pool(&cfg));
+        assert_ne!(
+            paid_pool(&cfg),
+            paid_pool(&PoolConfig { seed: 10, ..cfg })
+        );
+    }
+
+    #[test]
+    fn ids_are_positional() {
+        let pool = rate_pool(&PoolConfig { size: 10, ..Default::default() });
+        for (i, j) in pool.iter().enumerate() {
+            assert_eq!(j.id as usize, i);
+        }
+    }
+
+    #[test]
+    fn extreme_mean_pools_stay_valid() {
+        // Mean 0.9 with σ 0.3: heavy truncation at the top.
+        let pool = rate_pool(&PoolConfig {
+            size: 5000,
+            rate_mean: 0.9,
+            rate_std: 0.3,
+            ..Default::default()
+        });
+        for j in &pool {
+            assert!(j.epsilon() > 0.0 && j.epsilon() < 1.0);
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Property-based tests for the synthetic data generators.
+
+use jury_data::distributions::{NormalSampler, Truncation};
+use jury_data::pools::{paid_pool, rate_pool, PoolConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #[test]
+    fn samples_always_inside_bounds(
+        mean in -2.0..3.0f64,
+        std in 0.0..1.0f64,
+        seed in 0u64..1000,
+    ) {
+        for trunc in [Truncation::Resample, Truncation::Clamp] {
+            let mut sampler = NormalSampler::new(mean, std, 0.0, 1.0, trunc);
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..200 {
+                let x = sampler.sample(&mut rng);
+                prop_assert!((0.0..=1.0).contains(&x), "{trunc:?}: {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic(seed in 0u64..1000) {
+        let make = || {
+            let mut s = NormalSampler::new(0.3, 0.2, 0.0, 1.0, Truncation::Resample);
+            let mut rng = StdRng::seed_from_u64(seed);
+            s.sample_n(50, &mut rng)
+        };
+        prop_assert_eq!(make(), make());
+    }
+
+    #[test]
+    fn pools_are_valid_for_any_parameters(
+        size in 1usize..200,
+        rate_mean in 0.01..0.99f64,
+        rate_std in 0.0..0.5f64,
+        cost_mean in 0.0..2.0f64,
+        cost_std in 0.0..1.0f64,
+        seed in 0u64..500,
+    ) {
+        let config = PoolConfig {
+            size,
+            rate_mean,
+            rate_std,
+            cost_mean,
+            cost_std,
+            truncation: Truncation::Resample,
+            seed,
+        };
+        let free = rate_pool(&config);
+        prop_assert_eq!(free.len(), size);
+        for (i, j) in free.iter().enumerate() {
+            prop_assert_eq!(j.id as usize, i);
+            prop_assert!(j.epsilon() > 0.0 && j.epsilon() < 1.0);
+            prop_assert_eq!(j.cost, 0.0);
+        }
+        let paid = paid_pool(&config);
+        prop_assert_eq!(paid.len(), size);
+        for j in &paid {
+            prop_assert!(j.epsilon() > 0.0 && j.epsilon() < 1.0);
+            prop_assert!(j.cost >= 0.0 && j.cost.is_finite());
+        }
+    }
+
+    #[test]
+    fn zero_spread_pools_are_constant(
+        rate_mean in 0.05..0.95f64,
+        seed in 0u64..100,
+    ) {
+        let pool = rate_pool(&PoolConfig {
+            size: 20,
+            rate_mean,
+            rate_std: 0.0,
+            seed,
+            ..Default::default()
+        });
+        for j in &pool {
+            prop_assert!((j.epsilon() - rate_mean).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,612 @@
+//! EM estimation of individual error rates from vote history.
+//!
+//! §4 of the paper estimates error rates from graph structure and notes
+//! that "any other reasonable measures can be smoothly plugged in"; its
+//! related work cites Raykar et al.'s *Learning from Crowds* and
+//! Ipeirotis et al.'s quality management, both of which infer worker
+//! error rates from *observed answers*. This module supplies that
+//! plug-in: the one-coin Dawid–Skene model fitted with
+//! expectation-maximisation.
+//!
+//! Model: each task `t` has a latent binary truth `z_t ~ Bernoulli(π)`;
+//! juror `i` votes `1 − z_t` with probability `ε_i` (the same error rate
+//! in both directions — the paper's Definition 4 is exactly this
+//! one-coin assumption). EM alternates
+//!
+//! * **E-step** — posterior `q_t = Pr(z_t = 1 | votes, ε, π)` computed in
+//!   log space for numerical robustness;
+//! * **M-step** — `ε_i` = expected fraction of tasks juror `i`
+//!   contradicted, `π` = mean posterior; both Laplace-smoothed so no
+//!   rate ever hits 0 or 1 (Definition 4 needs the open interval).
+//!
+//! The one-coin likelihood is symmetric under `(ε, z) → (1−ε, 1−z)`:
+//! the data alone cannot distinguish a reliable crowd from an
+//! adversarial crowd voting on inverted truths. Initialising the
+//! posteriors from majority votes pins the fit to the
+//! *crowd-is-mostly-right* mode — for a genuinely adversarial crowd the
+//! returned rates read as `1 − ε` and the posteriors as `1 − q`. This is
+//! inherent to the model, not a defect of the fit; a handful of
+//! gold-truth tasks ([`VoteMatrix::push_gold_task`]) pins the posteriors
+//! and breaks the symmetry when calibration against adversarial crowds
+//! matters.
+
+use jury_core::juror::ErrorRate;
+
+/// Sparse task × juror vote matrix (jurors may skip tasks).
+#[derive(Debug, Clone, Default)]
+pub struct VoteMatrix {
+    n_jurors: usize,
+    /// One row per task: `(juror index, vote)` pairs, juror-sorted.
+    tasks: Vec<Vec<(usize, bool)>>,
+    /// Known ground truth for *gold* tasks, aligned with `tasks`
+    /// (`None` = latent). Gold tasks pin their posterior and break the
+    /// one-coin label symmetry.
+    gold: Vec<Option<bool>>,
+}
+
+impl VoteMatrix {
+    /// An empty matrix over `n_jurors` jurors.
+    pub fn new(n_jurors: usize) -> Self {
+        Self { n_jurors, tasks: Vec::new(), gold: Vec::new() }
+    }
+
+    /// Number of jurors.
+    pub fn n_jurors(&self) -> usize {
+        self.n_jurors
+    }
+
+    /// Number of tasks recorded.
+    pub fn n_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Records one task's votes as `(juror index, vote)` pairs.
+    ///
+    /// # Panics
+    /// Panics on out-of-range juror indices or duplicate jurors within a
+    /// task.
+    pub fn push_task(&mut self, votes: &[(usize, bool)]) {
+        let mut row: Vec<(usize, bool)> = votes.to_vec();
+        row.sort_unstable_by_key(|&(j, _)| j);
+        for pair in row.windows(2) {
+            assert_ne!(pair[0].0, pair[1].0, "duplicate juror in task");
+        }
+        if let Some(&(j, _)) = row.last() {
+            assert!(j < self.n_jurors, "juror index {j} out of range");
+        }
+        self.tasks.push(row);
+        self.gold.push(None);
+    }
+
+    /// Records a *gold* task: votes plus the known ground truth. Gold
+    /// tasks anchor the EM posteriors (`q_t` is clamped to the truth),
+    /// breaking the label symmetry and calibrating against adversarial
+    /// crowds.
+    ///
+    /// # Panics
+    /// As [`VoteMatrix::push_task`].
+    pub fn push_gold_task(&mut self, votes: &[(usize, bool)], truth: bool) {
+        self.push_task(votes);
+        *self.gold.last_mut().expect("just pushed") = Some(truth);
+    }
+
+    /// Number of gold tasks recorded.
+    pub fn n_gold_tasks(&self) -> usize {
+        self.gold.iter().filter(|g| g.is_some()).count()
+    }
+
+    /// Records a dense task (every juror voted), ballots in juror order.
+    ///
+    /// # Panics
+    /// Panics if `ballots.len() != n_jurors`.
+    pub fn push_dense_task(&mut self, ballots: &[bool]) {
+        assert_eq!(ballots.len(), self.n_jurors, "dense task needs every juror");
+        self.tasks
+            .push(ballots.iter().copied().enumerate().collect());
+        self.gold.push(None);
+    }
+
+    /// Votes cast by each juror (for coverage checks).
+    pub fn votes_per_juror(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_jurors];
+        for task in &self.tasks {
+            for &(j, _) in task {
+                counts[j] += 1;
+            }
+        }
+        counts
+    }
+}
+
+/// EM fitting options.
+#[derive(Debug, Clone, Copy)]
+pub struct EmConfig {
+    /// Maximum EM iterations.
+    pub max_iterations: usize,
+    /// Stop when the mean absolute change of all `ε_i` falls below this.
+    pub tolerance: f64,
+    /// Laplace smoothing pseudo-counts added to the error/correct tallies
+    /// (keeps every rate strictly inside `(0, 1)`).
+    pub smoothing: f64,
+}
+
+impl Default for EmConfig {
+    fn default() -> Self {
+        Self { max_iterations: 200, tolerance: 1e-9, smoothing: 0.5 }
+    }
+}
+
+/// Result of an EM fit.
+#[derive(Debug, Clone)]
+pub struct EmEstimate {
+    /// Estimated individual error rates, one per juror.
+    pub error_rates: Vec<ErrorRate>,
+    /// Posterior `Pr(z_t = 1)` per task.
+    pub task_posteriors: Vec<f64>,
+    /// Estimated prior `π = Pr(z = 1)`.
+    pub prior_yes: f64,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Whether the tolerance was met before `max_iterations`.
+    pub converged: bool,
+    /// Final observed-data log-likelihood (raw, without the smoothing
+    /// penalty). Because the M-step maximises the *smoothed* (MAP)
+    /// objective, the quantity guaranteed non-decreasing across
+    /// iterations is `log_likelihood` **plus** the Beta(1+s, 1+s)
+    /// log-prior of every rate and of `prior_yes` — see
+    /// `penalized_log_likelihood` in the tests.
+    pub log_likelihood: f64,
+}
+
+/// Fits the one-coin Dawid–Skene model to `votes`.
+///
+/// # Panics
+/// Panics if the matrix has no tasks or a juror never voted (their rate
+/// is unidentifiable — filter them out first, e.g. via
+/// [`VoteMatrix::votes_per_juror`]).
+pub fn estimate_error_rates_em(votes: &VoteMatrix, config: &EmConfig) -> EmEstimate {
+    assert!(votes.n_tasks() > 0, "need at least one task");
+    let coverage = votes.votes_per_juror();
+    assert!(
+        coverage.iter().all(|&c| c > 0),
+        "every juror needs at least one vote; coverage {coverage:?}"
+    );
+
+    let n = votes.n_jurors;
+    let t_count = votes.n_tasks();
+
+    // Initial posteriors from per-task majority: selects the
+    // crowd-is-mostly-right mode of the symmetric likelihood. Gold tasks
+    // start (and stay) pinned at their known truth.
+    let mut q: Vec<f64> = votes
+        .tasks
+        .iter()
+        .zip(&votes.gold)
+        .map(|(task, gold)| match gold {
+            Some(truth) => {
+                if *truth {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            None => {
+                let yes = task.iter().filter(|&&(_, v)| v).count() as f64;
+                // Soft majority: pull towards 0/1 but never exactly there.
+                (0.05f64).max((yes / task.len() as f64).min(0.95))
+            }
+        })
+        .collect();
+
+    let mut eps = vec![0.25f64; n];
+    // Gold tasks carry mode information the majority-vote initialisation
+    // lacks: seed ε from each juror's error frequency on gold tasks and
+    // re-label the latent posteriors accordingly, otherwise a strongly
+    // adversarial crowd leaves EM stuck in the mirrored local optimum.
+    if votes.n_gold_tasks() > 0 {
+        let mut err = vec![config.smoothing; n];
+        let mut tot = vec![2.0 * config.smoothing; n];
+        for (task, gold) in votes.tasks.iter().zip(&votes.gold) {
+            let Some(truth) = gold else { continue };
+            for &(j, vote) in task {
+                if vote != *truth {
+                    err[j] += 1.0;
+                }
+                tot[j] += 1.0;
+            }
+        }
+        for (e, (a, b)) in eps.iter_mut().zip(err.iter().zip(&tot)) {
+            *e = a / b;
+        }
+        for ((task, qt), gold) in votes.tasks.iter().zip(q.iter_mut()).zip(&votes.gold) {
+            if gold.is_some() {
+                continue; // already pinned
+            }
+            let mut log_yes = 0.5f64.ln();
+            let mut log_no = 0.5f64.ln();
+            for &(j, vote) in task {
+                let e = eps[j];
+                if vote {
+                    log_yes += (1.0 - e).ln();
+                    log_no += e.ln();
+                } else {
+                    log_yes += e.ln();
+                    log_no += (1.0 - e).ln();
+                }
+            }
+            let max = log_yes.max(log_no);
+            *qt = (log_yes - max).exp()
+                / ((log_yes - max).exp() + (log_no - max).exp());
+        }
+    }
+    let mut prior = 0.5f64;
+    let mut iterations = 0;
+    let mut converged = false;
+    let mut log_likelihood = f64::NEG_INFINITY;
+
+    while iterations < config.max_iterations {
+        iterations += 1;
+
+        // M-step: ε_i from current posteriors.
+        let mut err_mass = vec![config.smoothing; n];
+        let mut tot_mass = vec![2.0 * config.smoothing; n];
+        for (task, &qt) in votes.tasks.iter().zip(&q) {
+            for &(j, vote) in task {
+                // Juror j erred if vote != z: probability q·1(v=0) + (1−q)·1(v=1).
+                err_mass[j] += if vote { 1.0 - qt } else { qt };
+                tot_mass[j] += 1.0;
+            }
+        }
+        let new_eps: Vec<f64> =
+            err_mass.iter().zip(&tot_mass).map(|(e, t)| e / t).collect();
+        prior = (q.iter().sum::<f64>() + config.smoothing)
+            / (t_count as f64 + 2.0 * config.smoothing);
+
+        // E-step in log space + observed-data log-likelihood. Gold tasks
+        // contribute their fixed-label likelihood and keep q pinned.
+        log_likelihood = 0.0;
+        for ((task, qt), gold) in votes.tasks.iter().zip(q.iter_mut()).zip(&votes.gold) {
+            let mut log_yes = prior.ln();
+            let mut log_no = (1.0 - prior).ln();
+            for &(j, vote) in task {
+                let e = new_eps[j];
+                if vote {
+                    log_yes += (1.0 - e).ln();
+                    log_no += e.ln();
+                } else {
+                    log_yes += e.ln();
+                    log_no += (1.0 - e).ln();
+                }
+            }
+            match gold {
+                Some(true) => {
+                    *qt = 1.0;
+                    log_likelihood += log_yes;
+                }
+                Some(false) => {
+                    *qt = 0.0;
+                    log_likelihood += log_no;
+                }
+                None => {
+                    let max = log_yes.max(log_no);
+                    let denom = (log_yes - max).exp() + (log_no - max).exp();
+                    *qt = (log_yes - max).exp() / denom;
+                    log_likelihood += max + denom.ln();
+                }
+            }
+        }
+
+        let delta: f64 =
+            new_eps.iter().zip(&eps).map(|(a, b)| (a - b).abs()).sum::<f64>() / n as f64;
+        eps = new_eps;
+        if delta < config.tolerance {
+            converged = true;
+            break;
+        }
+    }
+
+    EmEstimate {
+        error_rates: eps.iter().map(|&e| ErrorRate::clamped(e)).collect(),
+        task_posteriors: q,
+        prior_yes: prior,
+        iterations,
+        converged,
+        log_likelihood,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Generates a vote history from planted rates and returns
+    /// (matrix, truths).
+    fn planted(
+        rates: &[f64],
+        tasks: usize,
+        participation: f64,
+        seed: u64,
+    ) -> (VoteMatrix, Vec<bool>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut matrix = VoteMatrix::new(rates.len());
+        let mut truths = Vec::with_capacity(tasks);
+        for _ in 0..tasks {
+            let truth = rng.gen_bool(0.5);
+            truths.push(truth);
+            let mut row = Vec::new();
+            for (j, &e) in rates.iter().enumerate() {
+                if rng.gen_bool(participation) {
+                    let errs = rng.gen_bool(e);
+                    row.push((j, if errs { !truth } else { truth }));
+                }
+            }
+            if row.is_empty() {
+                row.push((0, truth));
+            }
+            matrix.push_task(&row);
+        }
+        (matrix, truths)
+    }
+
+    #[test]
+    fn recovers_planted_rates_dense() {
+        let rates = [0.05, 0.15, 0.25, 0.35, 0.45];
+        let (matrix, _) = planted(&rates, 3000, 1.0, 1);
+        let fit = estimate_error_rates_em(&matrix, &EmConfig::default());
+        for (est, &truth) in fit.error_rates.iter().zip(&rates) {
+            assert!(
+                (est.get() - truth).abs() < 0.04,
+                "estimated {} for planted {truth}",
+                est.get()
+            );
+        }
+    }
+
+    #[test]
+    fn recovers_planted_rates_sparse() {
+        let rates = [0.1, 0.2, 0.3, 0.15, 0.4, 0.25];
+        let (matrix, _) = planted(&rates, 6000, 0.5, 2);
+        let fit = estimate_error_rates_em(&matrix, &EmConfig::default());
+        for (est, &truth) in fit.error_rates.iter().zip(&rates) {
+            assert!(
+                (est.get() - truth).abs() < 0.05,
+                "estimated {} for planted {truth}",
+                est.get()
+            );
+        }
+    }
+
+    #[test]
+    fn posteriors_recover_truths() {
+        let rates = [0.1, 0.15, 0.2, 0.1, 0.25];
+        let (matrix, truths) = planted(&rates, 500, 1.0, 3);
+        let fit = estimate_error_rates_em(&matrix, &EmConfig::default());
+        let correct = fit
+            .task_posteriors
+            .iter()
+            .zip(&truths)
+            .filter(|(&q, &z)| (q > 0.5) == z)
+            .count();
+        // The Bayes-optimal labeling error for these rates is a few
+        // percent; 95% recovery leaves headroom for that plus noise.
+        assert!(
+            correct as f64 / truths.len() as f64 > 0.95,
+            "only {correct}/{} truths recovered",
+            truths.len()
+        );
+    }
+
+    #[test]
+    fn em_beats_majority_vote_labels() {
+        // One strong juror among noisy ones: EM should weight them up and
+        // label tasks better than the raw majority.
+        let rates = [0.02, 0.42, 0.42, 0.42, 0.42];
+        let (matrix, truths) = planted(&rates, 2000, 1.0, 4);
+        let fit = estimate_error_rates_em(&matrix, &EmConfig::default());
+        let em_correct = fit
+            .task_posteriors
+            .iter()
+            .zip(&truths)
+            .filter(|(&q, &z)| (q > 0.5) == z)
+            .count();
+        let mv_correct = matrix
+            .tasks
+            .iter()
+            .zip(&truths)
+            .filter(|(task, &z)| {
+                let yes = task.iter().filter(|&&(_, v)| v).count();
+                (yes * 2 > task.len()) == z
+            })
+            .count();
+        assert!(
+            em_correct > mv_correct,
+            "EM {em_correct} should beat MV {mv_correct}"
+        );
+        // And the strong juror's rate is identified as much lower.
+        assert!(fit.error_rates[0].get() < 0.1);
+        assert!(fit.error_rates[1].get() > 0.3);
+    }
+
+    /// The MAP objective the smoothed M-step actually maximises: raw
+    /// likelihood plus Beta log-priors on every rate and on π.
+    fn penalized_log_likelihood(fit: &EmEstimate, smoothing: f64) -> f64 {
+        let prior_pen: f64 = fit
+            .error_rates
+            .iter()
+            .map(|e| smoothing * (e.get().ln() + (1.0 - e.get()).ln()))
+            .sum();
+        let pi_pen = smoothing * (fit.prior_yes.ln() + (1.0 - fit.prior_yes).ln());
+        fit.log_likelihood + prior_pen + pi_pen
+    }
+
+    #[test]
+    fn penalized_likelihood_is_monotone_over_refits() {
+        // MAP-EM guarantees the *smoothed* objective never decreases;
+        // the raw likelihood can dip slightly when the prior pulls rates
+        // off their unsmoothed optimum.
+        let rates = [0.2, 0.3, 0.25, 0.15];
+        let (matrix, _) = planted(&rates, 400, 1.0, 5);
+        let config = EmConfig { tolerance: 0.0, ..Default::default() };
+        let mut prev = f64::NEG_INFINITY;
+        for iters in [1usize, 2, 5, 20, 100] {
+            let fit = estimate_error_rates_em(
+                &matrix,
+                &EmConfig { max_iterations: iters, ..config },
+            );
+            let pen = penalized_log_likelihood(&fit, config.smoothing);
+            assert!(
+                pen >= prev - 1e-9,
+                "objective regressed at {iters} iterations: {pen} < {prev}"
+            );
+            prev = pen;
+        }
+    }
+
+    #[test]
+    fn convergence_is_reported() {
+        let rates = [0.2, 0.3];
+        let (matrix, _) = planted(&rates, 200, 1.0, 6);
+        let fit = estimate_error_rates_em(&matrix, &EmConfig::default());
+        assert!(fit.converged);
+        assert!(fit.iterations < 200);
+        let unconverged = estimate_error_rates_em(
+            &matrix,
+            &EmConfig { max_iterations: 1, tolerance: 0.0, ..Default::default() },
+        );
+        assert!(!unconverged.converged);
+        assert_eq!(unconverged.iterations, 1);
+    }
+
+    #[test]
+    fn rates_stay_in_open_interval() {
+        // A juror who is always right: smoothing must keep ε > 0.
+        let mut matrix = VoteMatrix::new(2);
+        for i in 0..50 {
+            let truth = i % 2 == 0;
+            matrix.push_dense_task(&[truth, truth]);
+        }
+        let fit = estimate_error_rates_em(&matrix, &EmConfig::default());
+        for e in &fit.error_rates {
+            assert!(e.get() > 0.0 && e.get() < 1.0);
+        }
+    }
+
+    #[test]
+    fn adversarial_crowd_lands_in_mirrored_mode() {
+        // Majority-wrong crowd: the one-coin likelihood is symmetric, and
+        // majority-vote initialisation pins EM to the crowd-mostly-right
+        // mode — so a planted ε = 0.9 crowd comes back as ε ≈ 0.1 with
+        // posteriors that *disagree* with the hidden truths. That is the
+        // documented, inherent behaviour.
+        let rates = [0.9, 0.9, 0.9];
+        let (matrix, truths) = planted(&rates, 1000, 1.0, 7);
+        let fit = estimate_error_rates_em(&matrix, &EmConfig::default());
+        for e in &fit.error_rates {
+            assert!((e.get() - 0.1).abs() < 0.05, "mirrored rate {}", e.get());
+        }
+        let agree = fit
+            .task_posteriors
+            .iter()
+            .zip(&truths)
+            .filter(|(&q, &z)| (q > 0.5) == z)
+            .count();
+        assert!(
+            (agree as f64) < 0.1 * truths.len() as f64,
+            "posteriors should mirror the truths, agreed on {agree}"
+        );
+    }
+
+    #[test]
+    fn vote_matrix_validation() {
+        let mut m = VoteMatrix::new(3);
+        m.push_task(&[(0, true), (2, false)]);
+        assert_eq!(m.n_tasks(), 1);
+        assert_eq!(m.votes_per_juror(), vec![1, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn vote_matrix_checks_indices() {
+        let mut m = VoteMatrix::new(2);
+        m.push_task(&[(5, true)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate juror")]
+    fn vote_matrix_checks_duplicates() {
+        let mut m = VoteMatrix::new(2);
+        m.push_task(&[(1, true), (1, false)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one task")]
+    fn em_rejects_empty_history() {
+        let m = VoteMatrix::new(2);
+        let _ = estimate_error_rates_em(&m, &EmConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one vote")]
+    fn em_rejects_silent_jurors() {
+        let mut m = VoteMatrix::new(3);
+        m.push_task(&[(0, true), (1, false)]); // juror 2 never votes
+        let _ = estimate_error_rates_em(&m, &EmConfig::default());
+    }
+
+    #[test]
+    fn gold_tasks_break_adversarial_symmetry() {
+        // Same adversarial crowd as above, but 5% of tasks carry known
+        // truths: the anchored fit lands in the *correct* mode, reporting
+        // the genuinely high error rates.
+        let rates = [0.9, 0.9, 0.9];
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut matrix = VoteMatrix::new(rates.len());
+        let mut truths = Vec::new();
+        for t in 0..1000 {
+            let truth = rng.gen_bool(0.5);
+            truths.push(truth);
+            let row: Vec<(usize, bool)> = rates
+                .iter()
+                .enumerate()
+                .map(|(j, &e)| (j, if rng.gen_bool(e) { !truth } else { truth }))
+                .collect();
+            if t % 20 == 0 {
+                matrix.push_gold_task(&row, truth);
+            } else {
+                matrix.push_task(&row);
+            }
+        }
+        assert_eq!(matrix.n_gold_tasks(), 50);
+        let fit = estimate_error_rates_em(&matrix, &EmConfig::default());
+        for e in &fit.error_rates {
+            assert!(e.get() > 0.8, "anchored rate {} should be high", e.get());
+        }
+        // Posteriors now agree with the hidden truths.
+        let agree = fit
+            .task_posteriors
+            .iter()
+            .zip(&truths)
+            .filter(|(&q, &z)| (q > 0.5) == z)
+            .count();
+        assert!(
+            agree as f64 > 0.9 * truths.len() as f64,
+            "anchored posteriors agreed on only {agree}"
+        );
+    }
+
+    #[test]
+    fn gold_tasks_posteriors_stay_pinned() {
+        let mut matrix = VoteMatrix::new(2);
+        matrix.push_gold_task(&[(0, false), (1, false)], true); // both wrong
+        matrix.push_task(&[(0, true), (1, true)]);
+        let fit = estimate_error_rates_em(&matrix, &EmConfig::default());
+        assert_eq!(fit.task_posteriors[0], 1.0);
+        // Both jurors contradicted a known truth once: rates above the
+        // smoothed prior.
+        for e in &fit.error_rates {
+            assert!(e.get() > 0.3);
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Ranking scores → individual error rates (§4.1.3).
+//!
+//! Because social-network scores are power-law distributed, the paper
+//! normalises a user's quality score `s_i` into an error rate with an
+//! exponential decay:
+//!
+//! ```text
+//! ε_i = β^(−α·(s_i − min)/(max − min))        α = β = 10 in §5.2
+//! ```
+//!
+//! The best-scored user gets `β^{-α}` (≈ 1e-10 with the defaults — nearly
+//! perfect) and the worst gets `β^0 = 1`. Definition 4 requires rates
+//! strictly inside `(0, 1)`, so results are clamped via
+//! [`ErrorRate::clamped`].
+
+use jury_core::juror::ErrorRate;
+
+/// Parameters of the §4.1.3 normalisation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NormalizationParams {
+    /// Exponent scale α (paper: 10).
+    pub alpha: f64,
+    /// Base β (paper: 10).
+    pub beta: f64,
+}
+
+impl Default for NormalizationParams {
+    fn default() -> Self {
+        Self { alpha: 10.0, beta: 10.0 }
+    }
+}
+
+impl NormalizationParams {
+    /// Maps one min–max-normalised share `z ∈ [0, 1]` to an error rate.
+    #[inline]
+    pub fn rate_for_share(&self, z: f64) -> ErrorRate {
+        ErrorRate::clamped(self.beta.powf(-self.alpha * z))
+    }
+}
+
+/// Applies the normalisation to a score vector.
+///
+/// When every score is identical the min–max share is undefined (0/0);
+/// we assign the neutral mid-range share `z = 0.5` to every user — no one
+/// is *relatively* more authoritative, and the extreme alternatives
+/// (everyone perfect / everyone hopeless) would poison selection.
+///
+/// # Panics
+/// Panics if any score is not finite.
+pub fn scores_to_error_rates(scores: &[f64], params: &NormalizationParams) -> Vec<ErrorRate> {
+    assert!(
+        scores.iter().all(|s| s.is_finite()),
+        "ranking scores must be finite"
+    );
+    if scores.is_empty() {
+        return Vec::new();
+    }
+    let min = scores.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = max - min;
+    scores
+        .iter()
+        .map(|&s| {
+            let z = if span <= 0.0 { 0.5 } else { (s - min) / span };
+            params.rate_for_share(z)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extremes_map_to_best_and_worst() {
+        let params = NormalizationParams::default();
+        let rates = scores_to_error_rates(&[0.0, 1.0], &params);
+        // worst: β^0 = 1, clamped just below 1.
+        assert!(rates[0].get() > 0.999_999);
+        assert!(rates[0].get() < 1.0);
+        // best: β^{-α} = 1e-10, clamped to the margin.
+        assert!(rates[1].get() <= 1e-9);
+        assert!(rates[1].get() > 0.0);
+    }
+
+    #[test]
+    fn midpoint_share() {
+        let params = NormalizationParams::default();
+        let rates = scores_to_error_rates(&[0.0, 0.5, 1.0], &params);
+        // z = 0.5 → 10^-5.
+        assert!((rates[1].get() - 1e-5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn higher_score_never_higher_rate() {
+        let params = NormalizationParams::default();
+        let scores = [0.1, 0.9, 0.3, 0.6, 0.2, 0.85];
+        let rates = scores_to_error_rates(&scores, &params);
+        for i in 0..scores.len() {
+            for j in 0..scores.len() {
+                if scores[i] < scores[j] {
+                    assert!(rates[i].get() >= rates[j].get());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_equal_scores_get_neutral_rate() {
+        let params = NormalizationParams::default();
+        let rates = scores_to_error_rates(&[0.7; 5], &params);
+        for r in &rates {
+            assert!((r.get() - 1e-5).abs() < 1e-12); // z = 0.5
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(scores_to_error_rates(&[], &NormalizationParams::default()).is_empty());
+    }
+
+    #[test]
+    fn custom_parameters() {
+        // α = 1, β = e: ε = e^{-z}; midpoint = e^{-0.5}.
+        let params = NormalizationParams { alpha: 1.0, beta: std::f64::consts::E };
+        let rates = scores_to_error_rates(&[0.0, 0.5, 1.0], &params);
+        assert!((rates[1].get() - (-0.5f64).exp()).abs() < 1e-12);
+        assert!((rates[2].get() - (-1.0f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_invariance() {
+        // Min–max normalisation makes the map invariant to affine score
+        // transformations.
+        let params = NormalizationParams::default();
+        let base = scores_to_error_rates(&[1.0, 2.0, 5.0], &params);
+        let scaled = scores_to_error_rates(&[10.0, 20.0, 50.0], &params);
+        let shifted = scores_to_error_rates(&[101.0, 102.0, 105.0], &params);
+        for i in 0..3 {
+            assert!((base[i].get() - scaled[i].get()).abs() < 1e-12);
+            assert!((base[i].get() - shifted[i].get()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan_scores() {
+        let _ = scores_to_error_rates(&[0.1, f64::NAN], &NormalizationParams::default());
+    }
+
+    #[test]
+    fn single_score_is_all_equal_case() {
+        let rates = scores_to_error_rates(&[42.0], &NormalizationParams::default());
+        assert!((rates[0].get() - 1e-5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,31 @@
+//! Parameter estimation (§4 of the paper).
+//!
+//! Turns raw micro-blog data into a pool of candidate [`Juror`]s:
+//!
+//! 1. build the retweet graph (Algorithm 5, in `jury-microblog`);
+//! 2. rank users with HITS authority scores (Algorithm 6) or PageRank
+//!    (Algorithm 7), both in `jury-graph`;
+//! 3. normalise ranking scores into individual error rates with the
+//!    exponential map of §4.1.3 ([`error_rate`]);
+//! 4. estimate payment requirements from account ages per §4.2
+//!    ([`requirement`]);
+//!    (alternatively, estimate error rates from *observed vote history*
+//!    with one-coin Dawid–Skene EM ([`em`]) — the pluggable estimator
+//!    §4 anticipates, following the learning-from-crowds line of work
+//!    the paper cites);
+//! 5. assemble everything through the end-to-end [`pipeline`].
+//!
+//! [`Juror`]: jury_core::Juror
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod em;
+pub mod error_rate;
+pub mod pipeline;
+pub mod requirement;
+
+pub use em::{estimate_error_rates_em, EmConfig, EmEstimate, VoteMatrix};
+pub use error_rate::{scores_to_error_rates, NormalizationParams};
+pub use pipeline::{estimate_candidates, EstimatedCandidates, PipelineConfig, RankingAlgorithm};
+pub use requirement::ages_to_requirements;

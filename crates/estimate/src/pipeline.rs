@@ -1,0 +1,229 @@
+//! End-to-end parameter estimation: tweets → candidate juror pool.
+//!
+//! Mirrors the paper's system overview (Figure 2, upper half): raw tweets
+//! are parsed into the retweet graph, users are ranked (HITS or
+//! PageRank), the top-k users by score are kept as candidates (the paper
+//! keeps the 5,000 best of 689,050, and the top 20 for the
+//! precision/recall study), scores become error rates and account ages
+//! become payment requirements.
+
+use crate::error_rate::{scores_to_error_rates, NormalizationParams};
+use crate::requirement::ages_to_requirements;
+use jury_core::juror::Juror;
+use jury_graph::{hits, pagerank, HitsConfig, PageRankConfig};
+use jury_microblog::graph_builder::build_retweet_graph;
+use jury_microblog::tweet::Tweet;
+
+/// Which user-ranking algorithm scores the retweet graph.
+#[derive(Debug, Clone, Copy)]
+pub enum RankingAlgorithm {
+    /// HITS authority scores (paper Algorithm 6) — the "HT" datasets.
+    Hits(HitsConfig),
+    /// PageRank scores (paper Algorithm 7) — the "PR" datasets.
+    PageRank(PageRankConfig),
+}
+
+impl Default for RankingAlgorithm {
+    fn default() -> Self {
+        Self::Hits(HitsConfig::default())
+    }
+}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineConfig {
+    /// Ranking algorithm (default HITS).
+    pub ranking: RankingAlgorithm,
+    /// Score → error-rate normalisation (default α = β = 10).
+    pub normalization: NormalizationParams,
+    /// Keep only the `k` best-scored users as candidates (`None` = all).
+    pub top_k: Option<usize>,
+}
+
+/// The estimated candidate pool, parallel-indexed: `jurors[i]` belongs to
+/// `usernames[i]` and carried raw score `scores[i]`.
+#[derive(Debug, Clone)]
+pub struct EstimatedCandidates {
+    /// Candidate jurors: id = index into this pool, ε from normalised
+    /// score, cost from normalised account age.
+    pub jurors: Vec<Juror>,
+    /// Usernames aligned with `jurors`.
+    pub usernames: Vec<String>,
+    /// Raw ranking scores aligned with `jurors` (descending).
+    pub scores: Vec<f64>,
+}
+
+impl EstimatedCandidates {
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.jurors.len()
+    }
+
+    /// `true` when no candidates were produced (empty tweet set).
+    pub fn is_empty(&self) -> bool {
+        self.jurors.is_empty()
+    }
+
+    /// Index of a username, if it survived top-k selection.
+    pub fn index_of(&self, username: &str) -> Option<usize> {
+        self.usernames.iter().position(|u| u == username)
+    }
+}
+
+/// Runs the full §4 estimation pipeline.
+///
+/// `age_of_user` supplies each username's account age in days (§4.2);
+/// users with unknown age are treated as brand-new (age 0 ⇒ cheapest
+/// after normalisation — a cautious default for unknown accounts).
+pub fn estimate_candidates(
+    tweets: &[Tweet],
+    age_of_user: impl Fn(&str) -> Option<u32>,
+    config: &PipelineConfig,
+) -> EstimatedCandidates {
+    let rg = build_retweet_graph(tweets);
+    let n = rg.graph.node_count();
+    if n == 0 {
+        return EstimatedCandidates { jurors: vec![], usernames: vec![], scores: vec![] };
+    }
+
+    let scores: Vec<f64> = match &config.ranking {
+        RankingAlgorithm::Hits(cfg) => hits(&rg.graph, cfg).authority,
+        RankingAlgorithm::PageRank(cfg) => pagerank(&rg.graph, cfg).scores,
+    };
+
+    // Rank users by score descending (ties by node id for determinism)
+    // and keep the top k.
+    let mut by_score: Vec<u32> = (0..n as u32).collect();
+    by_score.sort_by(|&a, &b| {
+        scores[b as usize].total_cmp(&scores[a as usize]).then(a.cmp(&b))
+    });
+    if let Some(k) = config.top_k {
+        by_score.truncate(k);
+    }
+
+    let usernames: Vec<String> =
+        by_score.iter().map(|&id| rg.username(id).to_owned()).collect();
+    let kept_scores: Vec<f64> = by_score.iter().map(|&id| scores[id as usize]).collect();
+
+    // Error rates from scores — normalised *within the kept candidates*,
+    // as the paper does after its top-k cut.
+    let rates = scores_to_error_rates(&kept_scores, &config.normalization);
+
+    // Requirements from account ages.
+    let ages: Vec<u32> =
+        usernames.iter().map(|u| age_of_user(u).unwrap_or(0)).collect();
+    let requirements = ages_to_requirements(&ages);
+
+    let jurors: Vec<Juror> = rates
+        .iter()
+        .zip(&requirements)
+        .enumerate()
+        .map(|(i, (&rate, &req))| Juror::new(i as u32, rate, req))
+        .collect();
+
+    EstimatedCandidates { jurors, usernames, scores: kept_scores }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fan_tweets() -> Vec<Tweet> {
+        // star: fans f1..f4 all retweet "hub"; hub retweets "minor" once.
+        let mut tweets: Vec<Tweet> = (1..=4)
+            .map(|i| Tweet::new(format!("f{i}"), "RT @hub: insight"))
+            .collect();
+        tweets.push(Tweet::new("hub", "RT @minor: source"));
+        tweets
+    }
+
+    #[test]
+    fn empty_tweets_give_empty_pool() {
+        let c = estimate_candidates(&[], |_| None, &PipelineConfig::default());
+        assert!(c.is_empty());
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn hub_gets_lowest_error_rate_hits() {
+        let c = estimate_candidates(&fan_tweets(), |_| Some(100), &PipelineConfig::default());
+        assert_eq!(c.usernames[0], "hub"); // highest authority first
+        let hub = &c.jurors[0];
+        for other in &c.jurors[1..] {
+            assert!(hub.epsilon() <= other.epsilon());
+        }
+    }
+
+    #[test]
+    fn pagerank_ranks_cited_users_above_fans() {
+        // PageRank differs from HITS here: "hub" passes its whole mass to
+        // "minor" (its only out-link), so the chain end can outrank the
+        // hub. What must hold is that both cited users beat the uncited
+        // fans — the paper's §5.2.1 observation that the two rankings
+        // broadly agree on who the top users are, not on exact order.
+        let config = PipelineConfig {
+            ranking: RankingAlgorithm::PageRank(Default::default()),
+            ..Default::default()
+        };
+        let c = estimate_candidates(&fan_tweets(), |_| Some(100), &config);
+        let top_two: Vec<&str> = c.usernames[..2].iter().map(String::as_str).collect();
+        assert!(top_two.contains(&"hub"));
+        assert!(top_two.contains(&"minor"));
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let config = PipelineConfig { top_k: Some(2), ..Default::default() };
+        let c = estimate_candidates(&fan_tweets(), |_| Some(1), &config);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.usernames.len(), 2);
+        assert_eq!(c.scores.len(), 2);
+    }
+
+    #[test]
+    fn ages_become_costs() {
+        // hub is ancient, fans brand new: hub costs 1.0, fans 0.0.
+        let c = estimate_candidates(
+            &fan_tweets(),
+            |u| Some(if u == "hub" { 3650 } else { 10 }),
+            &PipelineConfig::default(),
+        );
+        let hub_idx = c.index_of("hub").unwrap();
+        assert!((c.jurors[hub_idx].cost - 1.0).abs() < 1e-12);
+        let fan_idx = c.index_of("f1").unwrap();
+        assert!(c.jurors[fan_idx].cost < 1e-12);
+    }
+
+    #[test]
+    fn unknown_ages_default_to_new_accounts() {
+        let c = estimate_candidates(
+            &fan_tweets(),
+            |u| if u == "hub" { Some(1000) } else { None },
+            &PipelineConfig::default(),
+        );
+        let fan_idx = c.index_of("f2").unwrap();
+        assert_eq!(c.jurors[fan_idx].cost, 0.0);
+    }
+
+    #[test]
+    fn juror_ids_are_pool_positions() {
+        let c = estimate_candidates(&fan_tweets(), |_| Some(5), &PipelineConfig::default());
+        for (i, j) in c.jurors.iter().enumerate() {
+            assert_eq!(j.id as usize, i);
+        }
+    }
+
+    #[test]
+    fn scores_are_descending() {
+        let c = estimate_candidates(&fan_tweets(), |_| Some(5), &PipelineConfig::default());
+        for w in c.scores.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn index_of_missing_user() {
+        let c = estimate_candidates(&fan_tweets(), |_| None, &PipelineConfig::default());
+        assert!(c.index_of("nobody").is_none());
+    }
+}

@@ -1,0 +1,49 @@
+//! Account age → payment requirement (§4.2).
+//!
+//! The paper's optional indicator: "the more experienced a user is, the
+//! less he or she will be interested in a task", so the requirement is the
+//! min–max normalised account age `r_i = (t_i − min)/(max − min) ∈ [0,1]`.
+//! Any other estimator "can be smoothly plugged in" — this module is that
+//! pluggable default.
+
+use jury_microblog::account::{normalize_ages, AccountAge};
+
+/// Normalises account ages (in days) into payment requirements.
+///
+/// Delegates to the micro-blog substrate's min–max normalisation; equal
+/// ages all map to 0 (no relative-experience premium).
+pub fn ages_to_requirements(ages_days: &[u32]) -> Vec<f64> {
+    let ages: Vec<AccountAge> = ages_days.iter().map(|&d| AccountAge(d)).collect();
+    normalize_ages(&ages)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oldest_account_demands_most() {
+        let r = ages_to_requirements(&[100, 2000, 1050]);
+        assert_eq!(r[0], 0.0);
+        assert_eq!(r[1], 1.0);
+        assert!((r[2] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn requirements_are_in_unit_interval() {
+        let r = ages_to_requirements(&[3, 1, 4, 1, 5, 9, 2, 6]);
+        for v in r {
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn equal_ages_are_free() {
+        assert_eq!(ages_to_requirements(&[365; 3]), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn empty() {
+        assert!(ages_to_requirements(&[]).is_empty());
+    }
+}

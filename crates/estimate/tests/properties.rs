@@ -1,0 +1,129 @@
+//! Property-based tests for parameter estimation.
+
+use jury_estimate::em::{estimate_error_rates_em, EmConfig, VoteMatrix};
+use jury_estimate::error_rate::{scores_to_error_rates, NormalizationParams};
+use jury_estimate::requirement::ages_to_requirements;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn normalisation_is_antitone(scores in vec(0.0..1000.0f64, 2..40)) {
+        let rates = scores_to_error_rates(&scores, &NormalizationParams::default());
+        for i in 0..scores.len() {
+            for j in 0..scores.len() {
+                if scores[i] < scores[j] {
+                    prop_assert!(rates[i].get() >= rates[j].get() - 1e-15);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn normalisation_stays_in_open_interval(
+        scores in vec(-1e6..1e6f64, 1..40),
+        alpha in 0.5..20.0f64,
+        beta in 1.5..20.0f64,
+    ) {
+        let rates = scores_to_error_rates(&scores, &NormalizationParams { alpha, beta });
+        for r in rates {
+            prop_assert!(r.get() > 0.0 && r.get() < 1.0);
+        }
+    }
+
+    #[test]
+    fn normalisation_is_shift_scale_invariant(
+        scores in vec(0.0..100.0f64, 2..20),
+        shift in -50.0..50.0f64,
+        scale in 0.1..10.0f64,
+    ) {
+        let base = scores_to_error_rates(&scores, &NormalizationParams::default());
+        let transformed: Vec<f64> = scores.iter().map(|s| s * scale + shift).collect();
+        let mapped = scores_to_error_rates(&transformed, &NormalizationParams::default());
+        for (a, b) in base.iter().zip(&mapped) {
+            prop_assert!((a.get() - b.get()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn requirements_are_normalised_and_monotone(ages in vec(0u32..20_000, 1..50)) {
+        let reqs = ages_to_requirements(&ages);
+        prop_assert_eq!(reqs.len(), ages.len());
+        for r in &reqs {
+            prop_assert!((0.0..=1.0).contains(r));
+        }
+        for i in 0..ages.len() {
+            for j in 0..ages.len() {
+                if ages[i] < ages[j] {
+                    prop_assert!(reqs[i] <= reqs[j] + 1e-15);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn em_rates_are_valid_and_fit_converges(
+        votes in vec(vec(any::<bool>(), 3..8), 5..40),
+    ) {
+        // Arbitrary dense vote matrices with a fixed juror count per run.
+        let n_jurors = votes[0].len();
+        let mut matrix = VoteMatrix::new(n_jurors);
+        for row in &votes {
+            let row: Vec<bool> =
+                row.iter().copied().cycle().take(n_jurors).collect();
+            matrix.push_dense_task(&row);
+        }
+        let fit = estimate_error_rates_em(&matrix, &EmConfig::default());
+        prop_assert_eq!(fit.error_rates.len(), n_jurors);
+        for e in &fit.error_rates {
+            prop_assert!(e.get() > 0.0 && e.get() < 1.0);
+        }
+        for q in &fit.task_posteriors {
+            prop_assert!((0.0..=1.0).contains(q));
+        }
+        prop_assert!(fit.prior_yes > 0.0 && fit.prior_yes < 1.0);
+        prop_assert!(fit.log_likelihood <= 0.0);
+    }
+
+    #[test]
+    fn em_map_objective_never_decreases_with_more_iterations(
+        seed in 0u64..200,
+    ) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rates = [0.15, 0.3, 0.45];
+        let mut matrix = VoteMatrix::new(rates.len());
+        for _ in 0..60 {
+            let truth = rng.gen_bool(0.5);
+            let row: Vec<bool> = rates
+                .iter()
+                .map(|&e| if rng.gen_bool(e) { !truth } else { truth })
+                .collect();
+            matrix.push_dense_task(&row);
+        }
+        // MAP-EM monotonicity holds for likelihood + Beta log-priors
+        // (the smoothing pseudo-counts), not for the raw likelihood.
+        let config = EmConfig { tolerance: 0.0, ..Default::default() };
+        let penalized = |fit: &jury_estimate::em::EmEstimate| -> f64 {
+            let rate_pen: f64 = fit
+                .error_rates
+                .iter()
+                .map(|e| config.smoothing * (e.get().ln() + (1.0 - e.get()).ln()))
+                .sum();
+            let pi_pen =
+                config.smoothing * (fit.prior_yes.ln() + (1.0 - fit.prior_yes).ln());
+            fit.log_likelihood + rate_pen + pi_pen
+        };
+        let mut prev = f64::NEG_INFINITY;
+        for iters in [1usize, 3, 10, 50] {
+            let fit = estimate_error_rates_em(
+                &matrix,
+                &EmConfig { max_iterations: iters, ..config },
+            );
+            let pen = penalized(&fit);
+            prop_assert!(pen >= prev - 1e-9, "{} < {}", pen, prev);
+            prev = pen;
+        }
+    }
+}

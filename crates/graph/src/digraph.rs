@@ -1,0 +1,300 @@
+//! Compact directed graph with deduplicated edges.
+//!
+//! The retweet graph of the paper's Algorithm 5 links `user1 → user2`
+//! "once and only once for each pair", i.e. parallel edges collapse.
+//! [`DiGraphBuilder`] performs that deduplication with a hash set during
+//! construction; [`DiGraph`] then stores forward and reverse adjacency in
+//! CSR (compressed sparse row) form so ranking iterations stream
+//! cache-friendly over flat arrays.
+
+use std::collections::HashSet;
+
+/// Dense node identifier (index into per-node arrays).
+pub type NodeId = u32;
+
+/// Incremental builder that deduplicates edges and tracks the node count.
+#[derive(Debug, Default, Clone)]
+pub struct DiGraphBuilder {
+    n: usize,
+    edges: Vec<(NodeId, NodeId)>,
+    seen: HashSet<(NodeId, NodeId)>,
+    allow_self_loops: bool,
+}
+
+impl DiGraphBuilder {
+    /// A builder with no nodes or edges. Nodes appear implicitly when
+    /// referenced by an edge, or explicitly via [`Self::ensure_node`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A builder that keeps self-loops (`u → u`). By default they are
+    /// dropped: a user retweeting themselves carries no authority signal.
+    pub fn with_self_loops(mut self) -> Self {
+        self.allow_self_loops = true;
+        self
+    }
+
+    /// Makes sure node `id` exists even if isolated.
+    pub fn ensure_node(&mut self, id: NodeId) -> &mut Self {
+        self.n = self.n.max(id as usize + 1);
+        self
+    }
+
+    /// Adds the edge `from → to` if not already present. Returns `true`
+    /// if the edge was new.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId) -> bool {
+        if from == to && !self.allow_self_loops {
+            self.ensure_node(from);
+            return false;
+        }
+        self.n = self.n.max(from.max(to) as usize + 1);
+        if self.seen.insert((from, to)) {
+            self.edges.push((from, to));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Current node count.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Current (deduplicated) edge count.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalises into CSR form.
+    pub fn build(self) -> DiGraph {
+        DiGraph::from_edges(self.n, &self.edges)
+    }
+}
+
+/// Immutable directed graph in CSR form with both edge directions.
+#[derive(Debug, Clone)]
+pub struct DiGraph {
+    n: usize,
+    out_offsets: Vec<u32>,
+    out_targets: Vec<NodeId>,
+    in_offsets: Vec<u32>,
+    in_sources: Vec<NodeId>,
+}
+
+impl DiGraph {
+    /// Builds from an explicit edge list over `n` nodes. Edges are assumed
+    /// already deduplicated (use [`DiGraphBuilder`] otherwise).
+    ///
+    /// # Panics
+    /// Panics if any endpoint is `>= n`.
+    pub fn from_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Self {
+        for &(u, v) in edges {
+            assert!(
+                (u as usize) < n && (v as usize) < n,
+                "edge ({u},{v}) out of bounds for {n} nodes"
+            );
+        }
+        let (out_offsets, out_targets) = csr(n, edges.iter().copied());
+        let (in_offsets, in_sources) = csr(n, edges.iter().map(|&(u, v)| (v, u)));
+        Self { n, out_offsets, out_targets, in_offsets, in_sources }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of directed edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// `true` when there are no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Successors of `u` (nodes `v` with an edge `u → v`).
+    #[inline]
+    pub fn successors(&self, u: NodeId) -> &[NodeId] {
+        let lo = self.out_offsets[u as usize] as usize;
+        let hi = self.out_offsets[u as usize + 1] as usize;
+        &self.out_targets[lo..hi]
+    }
+
+    /// Predecessors of `u` (nodes `v` with an edge `v → u`).
+    #[inline]
+    pub fn predecessors(&self, u: NodeId) -> &[NodeId] {
+        let lo = self.in_offsets[u as usize] as usize;
+        let hi = self.in_offsets[u as usize + 1] as usize;
+        &self.in_sources[lo..hi]
+    }
+
+    /// Out-degree of `u`.
+    #[inline]
+    pub fn out_degree(&self, u: NodeId) -> usize {
+        self.successors(u).len()
+    }
+
+    /// In-degree of `u`.
+    #[inline]
+    pub fn in_degree(&self, u: NodeId) -> usize {
+        self.predecessors(u).len()
+    }
+
+    /// Iterates all edges as `(from, to)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        (0..self.n as u32).flat_map(move |u| {
+            self.successors(u).iter().map(move |&v| (u, v))
+        })
+    }
+
+    /// Nodes with no incident edges at all.
+    pub fn isolated_nodes(&self) -> Vec<NodeId> {
+        (0..self.n as u32)
+            .filter(|&u| self.out_degree(u) == 0 && self.in_degree(u) == 0)
+            .collect()
+    }
+}
+
+/// Builds CSR offsets/targets from an edge iterator keyed by source.
+fn csr(n: usize, edges: impl Iterator<Item = (NodeId, NodeId)> + Clone) -> (Vec<u32>, Vec<NodeId>) {
+    let mut offsets = vec![0u32; n + 1];
+    for (u, _) in edges.clone() {
+        offsets[u as usize + 1] += 1;
+    }
+    for i in 0..n {
+        offsets[i + 1] += offsets[i];
+    }
+    let mut cursor = offsets.clone();
+    let mut targets = vec![0 as NodeId; offsets[n] as usize];
+    for (u, v) in edges {
+        let slot = cursor[u as usize] as usize;
+        targets[slot] = v;
+        cursor[u as usize] += 1;
+    }
+    // Sort each adjacency run for deterministic iteration and binary search.
+    for u in 0..n {
+        let lo = offsets[u] as usize;
+        let hi = offsets[u + 1] as usize;
+        targets[lo..hi].sort_unstable();
+    }
+    (offsets, targets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> DiGraph {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        let mut b = DiGraphBuilder::new();
+        b.add_edge(0, 1);
+        b.add_edge(0, 2);
+        b.add_edge(1, 3);
+        b.add_edge(2, 3);
+        b.build()
+    }
+
+    #[test]
+    fn builder_counts_nodes_and_edges() {
+        let mut b = DiGraphBuilder::new();
+        assert!(b.add_edge(0, 5));
+        assert_eq!(b.node_count(), 6);
+        assert_eq!(b.edge_count(), 1);
+    }
+
+    #[test]
+    fn builder_dedups_parallel_edges() {
+        let mut b = DiGraphBuilder::new();
+        assert!(b.add_edge(1, 2));
+        assert!(!b.add_edge(1, 2));
+        assert!(b.add_edge(2, 1)); // reverse direction is distinct
+        assert_eq!(b.edge_count(), 2);
+    }
+
+    #[test]
+    fn builder_drops_self_loops_by_default() {
+        let mut b = DiGraphBuilder::new();
+        assert!(!b.add_edge(3, 3));
+        assert_eq!(b.edge_count(), 0);
+        assert_eq!(b.node_count(), 4); // node still materialises
+
+        let mut b = DiGraphBuilder::new().with_self_loops();
+        assert!(b.add_edge(3, 3));
+        assert_eq!(b.edge_count(), 1);
+    }
+
+    #[test]
+    fn ensure_node_creates_isolated_nodes() {
+        let mut b = DiGraphBuilder::new();
+        b.ensure_node(9);
+        let g = b.build();
+        assert_eq!(g.node_count(), 10);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.isolated_nodes().len(), 10);
+    }
+
+    #[test]
+    fn adjacency_is_correct_and_sorted() {
+        let g = diamond();
+        assert_eq!(g.successors(0), &[1, 2]);
+        assert_eq!(g.successors(1), &[3]);
+        assert_eq!(g.successors(3), &[] as &[NodeId]);
+        assert_eq!(g.predecessors(3), &[1, 2]);
+        assert_eq!(g.predecessors(0), &[] as &[NodeId]);
+    }
+
+    #[test]
+    fn degrees() {
+        let g = diamond();
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.in_degree(0), 0);
+        assert_eq!(g.out_degree(3), 0);
+        assert_eq!(g.in_degree(3), 2);
+    }
+
+    #[test]
+    fn edges_iterator_covers_all() {
+        let g = diamond();
+        let mut edges: Vec<_> = g.edges().collect();
+        edges.sort_unstable();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn from_edges_direct() {
+        let g = DiGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.successors(2), &[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn from_edges_bounds_checked() {
+        let _ = DiGraph::from_edges(2, &[(0, 5)]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = DiGraphBuilder::new().build();
+        assert!(g.is_empty());
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn isolated_nodes_mixed() {
+        let mut b = DiGraphBuilder::new();
+        b.add_edge(0, 1);
+        b.ensure_node(3);
+        let g = b.build();
+        assert_eq!(g.isolated_nodes(), vec![2, 3]);
+    }
+}

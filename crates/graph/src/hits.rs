@@ -1,0 +1,243 @@
+//! HITS (Hyperlink-Induced Topic Search) user ranking.
+//!
+//! The paper's Algorithm 6 computes *quality scores* as HITS authority
+//! scores on the retweet graph: an edge `u → v` means `u` retweeted `v`,
+//! so `v` accumulates authority from `u`'s hub weight. The iteration is
+//!
+//! ```text
+//! Score[v] ← Σ_{(u,v)∈E} Hub[u]     then normalise Score
+//! Hub[u]   ← Σ_{(u,v)∈E} Score[v]   then normalise Hub
+//! ```
+//!
+//! Algorithm 6 says "Normalize" without naming the norm. Classic HITS
+//! (Kleinberg 1999) uses L2; summing scores to 1 (L1) is also common in
+//! the expert-finding literature. Both are supported via [`Norm`]; L2 is
+//! the default. The fixpoint direction (who ranks above whom) is identical,
+//! only the scale differs.
+
+use crate::digraph::DiGraph;
+
+/// Vector normalisation applied after each half-iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Norm {
+    /// Divide by the Euclidean norm (classic HITS).
+    #[default]
+    L2,
+    /// Divide by the sum of entries (scores form a distribution).
+    L1,
+    /// Divide by the maximum entry (scores in `[0, 1]`, max = 1).
+    Max,
+}
+
+impl Norm {
+    fn apply(self, v: &mut [f64]) {
+        let denom = match self {
+            Norm::L2 => v.iter().map(|x| x * x).sum::<f64>().sqrt(),
+            Norm::L1 => v.iter().sum::<f64>(),
+            Norm::Max => v.iter().cloned().fold(0.0f64, f64::max),
+        };
+        if denom > 0.0 {
+            for x in v.iter_mut() {
+                *x /= denom;
+            }
+        }
+    }
+}
+
+/// Configuration for the HITS iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct HitsConfig {
+    /// Maximum number of full (authority + hub) iterations.
+    pub max_iterations: usize,
+    /// Stop once the L1 change of the authority vector between successive
+    /// iterations falls below this threshold.
+    pub tolerance: f64,
+    /// Normalisation applied after each update.
+    pub norm: Norm,
+}
+
+impl Default for HitsConfig {
+    fn default() -> Self {
+        Self { max_iterations: 100, tolerance: 1e-10, norm: Norm::L2 }
+    }
+}
+
+/// Result of a HITS run.
+#[derive(Debug, Clone)]
+pub struct HitsScores {
+    /// Authority score per node — the paper's quality score.
+    pub authority: Vec<f64>,
+    /// Hub score per node.
+    pub hub: Vec<f64>,
+    /// Number of iterations actually performed.
+    pub iterations: usize,
+    /// Whether the tolerance was reached before `max_iterations`.
+    pub converged: bool,
+}
+
+/// Runs HITS on `graph` (paper Algorithm 6).
+///
+/// Returns zeroed scores for an empty graph. Nodes with no incident edges
+/// end with authority and hub 0.
+pub fn hits(graph: &DiGraph, config: &HitsConfig) -> HitsScores {
+    let n = graph.node_count();
+    if n == 0 {
+        return HitsScores { authority: vec![], hub: vec![], iterations: 0, converged: true };
+    }
+    let mut authority = vec![1.0f64; n];
+    let mut hub = vec![1.0f64; n];
+    let mut prev_authority = vec![0.0f64; n];
+    let mut iterations = 0;
+    let mut converged = false;
+
+    while iterations < config.max_iterations {
+        iterations += 1;
+        // Authority update: Score[v] = Σ Hub[u] over in-edges (u,v).
+        for v in 0..n as u32 {
+            let mut acc = 0.0;
+            for &u in graph.predecessors(v) {
+                acc += hub[u as usize];
+            }
+            authority[v as usize] = acc;
+        }
+        config.norm.apply(&mut authority);
+
+        // Hub update: Hub[u] = Σ Score[v] over out-edges (u,v).
+        for u in 0..n as u32 {
+            let mut acc = 0.0;
+            for &v in graph.successors(u) {
+                acc += authority[v as usize];
+            }
+            hub[u as usize] = acc;
+        }
+        config.norm.apply(&mut hub);
+
+        let delta: f64 = authority
+            .iter()
+            .zip(&prev_authority)
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        prev_authority.copy_from_slice(&authority);
+        if delta < config.tolerance {
+            converged = true;
+            break;
+        }
+    }
+
+    HitsScores { authority, hub, iterations, converged }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digraph::DiGraphBuilder;
+
+    fn star_graph(fans: u32) -> DiGraph {
+        // fans 1..=fans all point at node 0 (everyone retweets node 0).
+        let mut b = DiGraphBuilder::new();
+        for u in 1..=fans {
+            b.add_edge(u, 0);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn empty_graph_is_trivial() {
+        let g = DiGraphBuilder::new().build();
+        let s = hits(&g, &HitsConfig::default());
+        assert!(s.authority.is_empty());
+        assert!(s.converged);
+    }
+
+    #[test]
+    fn star_center_has_all_authority() {
+        let g = star_graph(5);
+        let s = hits(&g, &HitsConfig::default());
+        assert!(s.converged);
+        // Node 0 is the unique authority; fans are pure hubs.
+        assert!(s.authority[0] > 0.99);
+        for u in 1..=5 {
+            assert!(s.authority[u] < 1e-9, "fan {u} authority {}", s.authority[u]);
+            assert!(s.hub[u] > 0.1);
+        }
+        assert!(s.hub[0] < 1e-9);
+    }
+
+    #[test]
+    fn more_retweeted_user_ranks_higher() {
+        // 1,2,3 retweet 0; only 3 retweets 4 => authority(0) > authority(4).
+        let mut b = DiGraphBuilder::new();
+        b.add_edge(1, 0);
+        b.add_edge(2, 0);
+        b.add_edge(3, 0);
+        b.add_edge(3, 4);
+        let s = hits(&b.build(), &HitsConfig::default());
+        assert!(s.authority[0] > s.authority[4]);
+    }
+
+    #[test]
+    fn l2_normalisation_yields_unit_vector() {
+        let g = star_graph(4);
+        let s = hits(&g, &HitsConfig { norm: Norm::L2, ..Default::default() });
+        let norm: f64 = s.authority.iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn l1_normalisation_yields_distribution() {
+        let mut b = DiGraphBuilder::new();
+        b.add_edge(0, 1);
+        b.add_edge(2, 1);
+        b.add_edge(0, 3);
+        let s = hits(&b.build(), &HitsConfig { norm: Norm::L1, ..Default::default() });
+        let total: f64 = s.authority.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_normalisation_caps_at_one() {
+        let g = star_graph(3);
+        let s = hits(&g, &HitsConfig { norm: Norm::Max, ..Default::default() });
+        let max = s.authority.iter().cloned().fold(0.0f64, f64::max);
+        assert!((max - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric_cycle_gives_equal_scores() {
+        // 0 -> 1 -> 2 -> 0: perfect symmetry.
+        let g = DiGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let s = hits(&g, &HitsConfig::default());
+        for w in s.authority.windows(2) {
+            assert!((w[0] - w[1]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn isolated_nodes_score_zero() {
+        let mut b = DiGraphBuilder::new();
+        b.add_edge(0, 1);
+        b.ensure_node(5);
+        let s = hits(&b.build(), &HitsConfig::default());
+        assert_eq!(s.authority[5], 0.0);
+        assert_eq!(s.hub[5], 0.0);
+    }
+
+    #[test]
+    fn respects_iteration_cap() {
+        let g = star_graph(3);
+        let s = hits(&g, &HitsConfig { max_iterations: 2, tolerance: 0.0, ..Default::default() });
+        assert_eq!(s.iterations, 2);
+        assert!(!s.converged);
+    }
+
+    #[test]
+    fn bipartite_hub_authority_split() {
+        // Hubs {0,1} each point to authorities {2,3}.
+        let g = DiGraph::from_edges(4, &[(0, 2), (0, 3), (1, 2), (1, 3)]);
+        let s = hits(&g, &HitsConfig::default());
+        assert!((s.authority[2] - s.authority[3]).abs() < 1e-9);
+        assert!((s.hub[0] - s.hub[1]).abs() < 1e-9);
+        assert!(s.authority[0] < 1e-9);
+        assert!(s.hub[2] < 1e-9);
+    }
+}

@@ -1,0 +1,132 @@
+//! String interning: usernames ⇄ dense node ids.
+//!
+//! Retweet parsing produces usernames as strings; graph algorithms want
+//! dense integer ids. The interner owns each name exactly once and hands
+//! out stable `u32` ids in insertion order.
+
+use std::collections::HashMap;
+
+/// Bidirectional map between owned strings and dense `u32` ids.
+///
+/// Ids are assigned consecutively from zero in first-seen order, so they
+/// can directly index per-node vectors.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    by_name: HashMap<String, u32>,
+    names: Vec<String>,
+}
+
+impl Interner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty interner with room for `cap` names.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            by_name: HashMap::with_capacity(cap),
+            names: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Returns the id for `name`, inserting it if unseen.
+    pub fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up an existing id without inserting.
+    pub fn get(&self, name: &str) -> Option<u32> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name for `id`, if assigned.
+    pub fn resolve(&self, id: u32) -> Option<&str> {
+        self.names.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.names.iter().enumerate().map(|(i, n)| (i as u32, n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_assigns_dense_ids_in_order() {
+        let mut it = Interner::new();
+        assert_eq!(it.intern("alice"), 0);
+        assert_eq!(it.intern("bob"), 1);
+        assert_eq!(it.intern("carol"), 2);
+        assert_eq!(it.len(), 3);
+    }
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut it = Interner::new();
+        let a = it.intern("alice");
+        assert_eq!(it.intern("alice"), a);
+        assert_eq!(it.len(), 1);
+    }
+
+    #[test]
+    fn get_does_not_insert() {
+        let mut it = Interner::new();
+        assert_eq!(it.get("ghost"), None);
+        it.intern("real");
+        assert_eq!(it.get("real"), Some(0));
+        assert_eq!(it.len(), 1);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut it = Interner::with_capacity(4);
+        let id = it.intern("user_42");
+        assert_eq!(it.resolve(id), Some("user_42"));
+        assert_eq!(it.resolve(99), None);
+    }
+
+    #[test]
+    fn iter_yields_in_id_order() {
+        let mut it = Interner::new();
+        for name in ["x", "y", "z"] {
+            it.intern(name);
+        }
+        let collected: Vec<(u32, &str)> = it.iter().collect();
+        assert_eq!(collected, vec![(0, "x"), (1, "y"), (2, "z")]);
+    }
+
+    #[test]
+    fn empty_state() {
+        let it = Interner::new();
+        assert!(it.is_empty());
+        assert_eq!(it.len(), 0);
+    }
+
+    #[test]
+    fn case_sensitive_names() {
+        let mut it = Interner::new();
+        let a = it.intern("Alice");
+        let b = it.intern("alice");
+        assert_ne!(a, b);
+    }
+}

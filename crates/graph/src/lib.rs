@@ -1,0 +1,34 @@
+//! Directed-graph substrate with user-ranking algorithms.
+//!
+//! Section 4.1 of the paper estimates individual error rates by building a
+//! *retweet graph* over micro-blog users and ranking them with HITS
+//! (Algorithm 6) and PageRank (Algorithm 7). This crate provides the graph
+//! storage and both ranking algorithms, independent of any micro-blog
+//! specifics (those live in `jury-microblog`).
+//!
+//! * [`interner`] — maps string usernames to dense `u32` node ids.
+//! * [`digraph`] — compact adjacency-list directed graph with O(1) duplicate
+//!   edge detection during construction ("link once and only once per
+//!   retweet-relationship pair").
+//! * [`mod@hits`] — Kleinberg's HITS with configurable normalisation.
+//! * [`mod@pagerank`] — PageRank with damping and dangling-node handling.
+//! * [`traversal`] — BFS reachability and weakly-connected components.
+//! * [`scc`] — strongly-connected components (iterative Tarjan), the
+//!   mutual-retweet cores within which HITS mass circulates.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod digraph;
+pub mod hits;
+pub mod interner;
+pub mod pagerank;
+pub mod scc;
+pub mod traversal;
+
+pub use digraph::{DiGraph, DiGraphBuilder, NodeId};
+pub use hits::{hits, HitsConfig, HitsScores, Norm};
+pub use interner::Interner;
+pub use pagerank::{pagerank, PageRankConfig};
+pub use scc::{largest_scc_size, strongly_connected_components};
+pub use traversal::{bfs_reachable, weakly_connected_components};

@@ -1,0 +1,168 @@
+//! Strongly-connected components (Tarjan, iterative).
+//!
+//! §4.1.2 notes the constructed retweet network is "directed and
+//! connected" before ranking. Weak connectivity lives in
+//! [`crate::traversal`]; this module adds *strong* connectivity, which
+//! characterises mutual-retweet communities — the cores within which
+//! HITS scores circulate rather than drain. The implementation is
+//! Tarjan's algorithm with an explicit stack (recursion-free, so deep
+//! chains from long retweet cascades cannot overflow the call stack).
+
+use crate::digraph::{DiGraph, NodeId};
+
+/// Strongly-connected components in reverse topological order (each
+/// component appears before any component it points to... precisely:
+/// Tarjan emits a component only after all components reachable from it);
+/// members of each component are sorted ascending.
+pub fn strongly_connected_components(graph: &DiGraph) -> Vec<Vec<NodeId>> {
+    let n = graph.node_count();
+    const UNVISITED: u32 = u32::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut low = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut next_index = 0u32;
+    let mut components = Vec::new();
+
+    // Explicit DFS frames: (node, next-successor position).
+    let mut frames: Vec<(NodeId, usize)> = Vec::new();
+
+    for start in 0..n as u32 {
+        if index[start as usize] != UNVISITED {
+            continue;
+        }
+        frames.push((start, 0));
+        index[start as usize] = next_index;
+        low[start as usize] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start as usize] = true;
+
+        while let Some(&mut (v, ref mut pos)) = frames.last_mut() {
+            let succs = graph.successors(v);
+            if *pos < succs.len() {
+                let w = succs[*pos];
+                *pos += 1;
+                if index[w as usize] == UNVISITED {
+                    index[w as usize] = next_index;
+                    low[w as usize] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w as usize] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w as usize] {
+                    low[v as usize] = low[v as usize].min(index[w as usize]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&mut (parent, _)) = frames.last_mut() {
+                    low[parent as usize] = low[parent as usize].min(low[v as usize]);
+                }
+                if low[v as usize] == index[v as usize] {
+                    let mut component = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("root is on the stack");
+                        on_stack[w as usize] = false;
+                        component.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    component.sort_unstable();
+                    components.push(component);
+                }
+            }
+        }
+    }
+    components
+}
+
+/// Size of the largest strongly-connected component (0 for an empty
+/// graph).
+pub fn largest_scc_size(graph: &DiGraph) -> usize {
+    strongly_connected_components(graph).iter().map(Vec::len).max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digraph::DiGraphBuilder;
+
+    fn components_as_sets(graph: &DiGraph) -> Vec<Vec<NodeId>> {
+        let mut comps = strongly_connected_components(graph);
+        comps.sort();
+        comps
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = DiGraphBuilder::new().build();
+        assert!(strongly_connected_components(&g).is_empty());
+        assert_eq!(largest_scc_size(&g), 0);
+    }
+
+    #[test]
+    fn dag_has_singleton_components() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 2), (0, 3)]);
+        let comps = components_as_sets(&g);
+        assert_eq!(comps, vec![vec![0], vec![1], vec![2], vec![3]]);
+    }
+
+    #[test]
+    fn cycle_is_one_component() {
+        let g = DiGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let comps = components_as_sets(&g);
+        assert_eq!(comps, vec![vec![0, 1, 2]]);
+        assert_eq!(largest_scc_size(&g), 3);
+    }
+
+    #[test]
+    fn two_cycles_bridged_by_one_way_edge() {
+        // {0,1} <-> and {2,3} <->, bridge 1 -> 2.
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 0), (2, 3), (3, 2), (1, 2)]);
+        let comps = components_as_sets(&g);
+        assert_eq!(comps, vec![vec![0, 1], vec![2, 3]]);
+    }
+
+    #[test]
+    fn tarjan_emits_reverse_topological_order() {
+        // A -> B (both SCCs): B must be emitted before A.
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 0), (2, 3), (3, 2), (1, 2)]);
+        let comps = strongly_connected_components(&g);
+        let pos_a = comps.iter().position(|c| c.contains(&0)).unwrap();
+        let pos_b = comps.iter().position(|c| c.contains(&2)).unwrap();
+        assert!(pos_b < pos_a, "downstream SCC must be emitted first");
+    }
+
+    #[test]
+    fn mutual_retweet_pair() {
+        let mut b = DiGraphBuilder::new();
+        b.add_edge(0, 1);
+        b.add_edge(1, 0);
+        b.add_edge(2, 0); // fan, one-way
+        let comps = components_as_sets(&b.build());
+        assert_eq!(comps, vec![vec![0, 1], vec![2]]);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow() {
+        // 100k-node path: a recursive Tarjan would blow the call stack.
+        let n = 100_000u32;
+        let edges: Vec<(u32, u32)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let g = DiGraph::from_edges(n as usize, &edges);
+        let comps = strongly_connected_components(&g);
+        assert_eq!(comps.len(), n as usize);
+    }
+
+    #[test]
+    fn covers_every_node_exactly_once() {
+        let g = DiGraph::from_edges(
+            7,
+            &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 3), (5, 6)],
+        );
+        let comps = strongly_connected_components(&g);
+        let mut seen: Vec<NodeId> = comps.into_iter().flatten().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..7).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,134 @@
+//! Breadth-first reachability and weakly-connected components.
+//!
+//! Used by the micro-blog substrate to report how connected a generated
+//! retweet graph is (the paper keeps only well-connected high-score users)
+//! and by tests asserting structural properties of synthetic networks.
+
+use crate::digraph::{DiGraph, NodeId};
+use std::collections::VecDeque;
+
+/// Nodes reachable from `start` following edge direction (including
+/// `start` itself). Returns an empty vector if `start` is out of range.
+pub fn bfs_reachable(graph: &DiGraph, start: NodeId) -> Vec<NodeId> {
+    let n = graph.node_count();
+    if (start as usize) >= n {
+        return Vec::new();
+    }
+    let mut visited = vec![false; n];
+    let mut queue = VecDeque::new();
+    let mut order = Vec::new();
+    visited[start as usize] = true;
+    queue.push_back(start);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        for &v in graph.successors(u) {
+            if !visited[v as usize] {
+                visited[v as usize] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    order
+}
+
+/// Weakly-connected components (edge direction ignored), each sorted
+/// ascending; components ordered by their smallest member.
+pub fn weakly_connected_components(graph: &DiGraph) -> Vec<Vec<NodeId>> {
+    let n = graph.node_count();
+    let mut visited = vec![false; n];
+    let mut components = Vec::new();
+    let mut queue = VecDeque::new();
+    for s in 0..n as u32 {
+        if visited[s as usize] {
+            continue;
+        }
+        visited[s as usize] = true;
+        queue.push_back(s);
+        let mut comp = Vec::new();
+        while let Some(u) = queue.pop_front() {
+            comp.push(u);
+            for &v in graph.successors(u).iter().chain(graph.predecessors(u)) {
+                if !visited[v as usize] {
+                    visited[v as usize] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+        comp.sort_unstable();
+        components.push(comp);
+    }
+    components
+}
+
+/// Size of the largest weakly-connected component (0 for an empty graph).
+pub fn largest_component_size(graph: &DiGraph) -> usize {
+    weakly_connected_components(graph)
+        .iter()
+        .map(Vec::len)
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digraph::DiGraphBuilder;
+
+    fn two_islands() -> DiGraph {
+        // Island A: 0 -> 1 -> 2; Island B: 3 <-> 4.
+        let mut b = DiGraphBuilder::new();
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(3, 4);
+        b.add_edge(4, 3);
+        b.build()
+    }
+
+    #[test]
+    fn bfs_follows_direction() {
+        let g = two_islands();
+        assert_eq!(bfs_reachable(&g, 0), vec![0, 1, 2]);
+        assert_eq!(bfs_reachable(&g, 2), vec![2]); // sink
+        assert_eq!(bfs_reachable(&g, 3), vec![3, 4]);
+    }
+
+    #[test]
+    fn bfs_out_of_range_is_empty() {
+        let g = two_islands();
+        assert!(bfs_reachable(&g, 99).is_empty());
+    }
+
+    #[test]
+    fn components_ignore_direction() {
+        let g = two_islands();
+        let comps = weakly_connected_components(&g);
+        assert_eq!(comps, vec![vec![0, 1, 2], vec![3, 4]]);
+        assert_eq!(largest_component_size(&g), 3);
+    }
+
+    #[test]
+    fn isolated_nodes_are_singletons() {
+        let mut b = DiGraphBuilder::new();
+        b.add_edge(0, 1);
+        b.ensure_node(3);
+        let comps = weakly_connected_components(&b.build());
+        assert_eq!(comps, vec![vec![0, 1], vec![2], vec![3]]);
+    }
+
+    #[test]
+    fn empty_graph_has_no_components() {
+        let g = DiGraphBuilder::new().build();
+        assert!(weakly_connected_components(&g).is_empty());
+        assert_eq!(largest_component_size(&g), 0);
+    }
+
+    #[test]
+    fn bfs_visits_breadth_first() {
+        // 0 -> {1, 2}, 1 -> 3, 2 -> 4: BFS layers [0][1,2][3,4].
+        let g = DiGraph::from_edges(5, &[(0, 1), (0, 2), (1, 3), (2, 4)]);
+        let order = bfs_reachable(&g, 0);
+        assert_eq!(order[0], 0);
+        assert!(order[1..3].contains(&1) && order[1..3].contains(&2));
+        assert!(order[3..5].contains(&3) && order[3..5].contains(&4));
+    }
+}

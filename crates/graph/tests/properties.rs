@@ -1,0 +1,138 @@
+//! Property-based tests for the graph substrate.
+
+use jury_graph::digraph::{DiGraph, DiGraphBuilder};
+use jury_graph::hits::{hits, HitsConfig};
+use jury_graph::pagerank::{pagerank, PageRankConfig};
+use jury_graph::scc::strongly_connected_components;
+use jury_graph::traversal::{bfs_reachable, weakly_connected_components};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Random edge lists over up to 24 nodes.
+fn edges(max_nodes: u32, max_edges: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    vec((0..max_nodes, 0..max_nodes), 0..max_edges)
+}
+
+fn build(edge_list: &[(u32, u32)]) -> DiGraph {
+    let mut b = DiGraphBuilder::new();
+    for &(u, v) in edge_list {
+        b.add_edge(u, v);
+    }
+    b.build()
+}
+
+proptest! {
+    #[test]
+    fn adjacency_matches_edge_set(edge_list in edges(24, 80)) {
+        let g = build(&edge_list);
+        let expected: HashSet<(u32, u32)> = edge_list
+            .iter()
+            .copied()
+            .filter(|&(u, v)| u != v) // builder drops self-loops
+            .collect();
+        let actual: HashSet<(u32, u32)> = g.edges().collect();
+        prop_assert_eq!(actual, expected);
+        // Degree sums both equal the edge count.
+        let out_sum: usize = (0..g.node_count() as u32).map(|u| g.out_degree(u)).sum();
+        let in_sum: usize = (0..g.node_count() as u32).map(|u| g.in_degree(u)).sum();
+        prop_assert_eq!(out_sum, g.edge_count());
+        prop_assert_eq!(in_sum, g.edge_count());
+    }
+
+    #[test]
+    fn predecessors_mirror_successors(edge_list in edges(20, 60)) {
+        let g = build(&edge_list);
+        for u in 0..g.node_count() as u32 {
+            for &v in g.successors(u) {
+                prop_assert!(g.predecessors(v).contains(&u));
+            }
+            for &p in g.predecessors(u) {
+                prop_assert!(g.successors(p).contains(&u));
+            }
+        }
+    }
+
+    #[test]
+    fn pagerank_is_a_distribution(edge_list in edges(20, 60)) {
+        let g = build(&edge_list);
+        if g.node_count() == 0 { return Ok(()); }
+        let r = pagerank(&g, &PageRankConfig::default());
+        let total: f64 = r.scores.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-6, "sum {}", total);
+        prop_assert!(r.scores.iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn hits_scores_are_non_negative_and_normalised(edge_list in edges(20, 60)) {
+        let g = build(&edge_list);
+        if g.node_count() == 0 || g.edge_count() == 0 { return Ok(()); }
+        let s = hits(&g, &HitsConfig::default());
+        prop_assert!(s.authority.iter().all(|&a| a >= 0.0));
+        prop_assert!(s.hub.iter().all(|&h| h >= 0.0));
+        let norm: f64 = s.authority.iter().map(|a| a * a).sum::<f64>().sqrt();
+        // Either a proper unit vector or all-zero (no in-edges anywhere).
+        prop_assert!((norm - 1.0).abs() < 1e-6 || norm < 1e-12, "norm {}", norm);
+    }
+
+    #[test]
+    fn sccs_partition_the_nodes(edge_list in edges(20, 60)) {
+        let g = build(&edge_list);
+        let comps = strongly_connected_components(&g);
+        let mut seen: Vec<u32> = comps.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        let all: Vec<u32> = (0..g.node_count() as u32).collect();
+        prop_assert_eq!(seen, all);
+    }
+
+    #[test]
+    fn scc_members_are_mutually_reachable(edge_list in edges(14, 40)) {
+        let g = build(&edge_list);
+        for comp in strongly_connected_components(&g) {
+            for &u in &comp {
+                let reach: HashSet<u32> = bfs_reachable(&g, u).into_iter().collect();
+                for &v in &comp {
+                    prop_assert!(reach.contains(&v), "{} cannot reach {}", u, v);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_scc_is_inside_one_weak_component(edge_list in edges(20, 60)) {
+        let g = build(&edge_list);
+        let weak = weakly_connected_components(&g);
+        let member_of = |node: u32| -> usize {
+            weak.iter().position(|c| c.contains(&node)).expect("covered")
+        };
+        for comp in strongly_connected_components(&g) {
+            let home = member_of(comp[0]);
+            for &v in &comp[1..] {
+                prop_assert_eq!(member_of(v), home);
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_reachable_is_closed_under_successors(edge_list in edges(20, 60), start in 0u32..20) {
+        let g = build(&edge_list);
+        if (start as usize) >= g.node_count() { return Ok(()); }
+        let reach: HashSet<u32> = bfs_reachable(&g, start).into_iter().collect();
+        prop_assert!(reach.contains(&start));
+        for &u in &reach {
+            for &v in g.successors(u) {
+                prop_assert!(reach.contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn dedup_makes_build_idempotent(edge_list in edges(16, 40)) {
+        let once = build(&edge_list);
+        let doubled: Vec<(u32, u32)> =
+            edge_list.iter().chain(edge_list.iter()).copied().collect();
+        let twice = build(&doubled);
+        prop_assert_eq!(once.edge_count(), twice.edge_count());
+        prop_assert_eq!(once.node_count(), twice.node_count());
+    }
+}

@@ -1,0 +1,78 @@
+//! Account-age bookkeeping.
+//!
+//! Section 4.2 of the paper estimates a juror's payment requirement from
+//! the *age of the account since registration*, min–max normalised over
+//! the candidate pool. This module provides the age record and the
+//! normalisation helper the estimator crate builds on.
+
+/// Age of one account, in days since registration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct AccountAge(pub u32);
+
+impl AccountAge {
+    /// The raw day count.
+    #[inline]
+    pub fn days(self) -> u32 {
+        self.0
+    }
+}
+
+/// Min–max normalises ages to `[0, 1]`: `r_i = (t_i - min)/(max - min)`
+/// (paper §4.2). All-equal ages normalise to 0 (no user is *relatively*
+/// more experienced, so no one commands a premium).
+///
+/// Returns an empty vector for empty input.
+pub fn normalize_ages(ages: &[AccountAge]) -> Vec<f64> {
+    if ages.is_empty() {
+        return Vec::new();
+    }
+    let min = ages.iter().min().expect("non-empty").days() as f64;
+    let max = ages.iter().max().expect("non-empty").days() as f64;
+    if (max - min).abs() < f64::EPSILON {
+        return vec![0.0; ages.len()];
+    }
+    ages.iter().map(|a| (a.days() as f64 - min) / (max - min)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalises_to_unit_interval() {
+        let ages = [AccountAge(100), AccountAge(600), AccountAge(1100)];
+        let r = normalize_ages(&ages);
+        assert_eq!(r, vec![0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn all_equal_ages_normalise_to_zero() {
+        let ages = [AccountAge(30); 4];
+        assert_eq!(normalize_ages(&ages), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(normalize_ages(&[]).is_empty());
+    }
+
+    #[test]
+    fn single_account() {
+        assert_eq!(normalize_ages(&[AccountAge(500)]), vec![0.0]);
+    }
+
+    #[test]
+    fn extremes_map_to_zero_and_one() {
+        let ages = [AccountAge(1), AccountAge(3650)];
+        let r = normalize_ages(&ages);
+        assert_eq!(r[0], 0.0);
+        assert_eq!(r[1], 1.0);
+    }
+
+    #[test]
+    fn ordering_is_preserved() {
+        let ages = [AccountAge(10), AccountAge(700), AccountAge(300), AccountAge(50)];
+        let r = normalize_ages(&ages);
+        assert!(r[0] < r[3] && r[3] < r[2] && r[2] < r[1]);
+    }
+}

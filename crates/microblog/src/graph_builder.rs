@@ -1,0 +1,139 @@
+//! Algorithm 5: tweets → directed retweet graph.
+//!
+//! Walks every tweet record, extracts its retweet chain and adds one edge
+//! per retweet-relationship pair, deduplicated ("we link user1 to user2
+//! once and only once for each pair"). Self-loops (a user retweeting
+//! themselves) are dropped — they carry no authority signal and would bias
+//! both HITS and PageRank.
+
+use crate::parser::retweet_pairs;
+use crate::tweet::Tweet;
+use jury_graph::{DiGraphBuilder, DiGraph, Interner};
+
+/// A retweet graph together with the username ↔ node-id mapping.
+#[derive(Debug, Clone)]
+pub struct RetweetGraph {
+    /// The deduplicated directed graph; edge `u → v` means `u` retweeted
+    /// `v` at least once.
+    pub graph: DiGraph,
+    /// Username interner: node ids index ranking-score vectors.
+    pub users: Interner,
+}
+
+impl RetweetGraph {
+    /// Username of node `id` (panics on out-of-range ids — they cannot be
+    /// produced by this builder).
+    pub fn username(&self, id: u32) -> &str {
+        self.users.resolve(id).expect("node id produced by this graph")
+    }
+}
+
+/// Builds the retweet graph from tweet records (paper Algorithm 5).
+///
+/// Every author of a retweet and every user mentioned in an `RT @` chain
+/// becomes a node; authors of non-retweet tweets become isolated nodes so
+/// that the candidate pool matches the set of active accounts, as in the
+/// paper's crawl.
+pub fn build_retweet_graph(tweets: &[Tweet]) -> RetweetGraph {
+    let mut users = Interner::new();
+    let mut builder = DiGraphBuilder::new();
+    for tweet in tweets {
+        let author_id = users.intern(&tweet.author);
+        builder.ensure_node(author_id);
+        for (from, to) in retweet_pairs(&tweet.author, &tweet.content) {
+            let from_id = users.intern(from);
+            let to_id = users.intern(to);
+            builder.add_edge(from_id, to_id);
+        }
+    }
+    RetweetGraph { graph: builder.build(), users }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(author: &str, content: &str) -> Tweet {
+        Tweet::new(author, content)
+    }
+
+    #[test]
+    fn empty_input_builds_empty_graph() {
+        let rg = build_retweet_graph(&[]);
+        assert!(rg.graph.is_empty());
+        assert!(rg.users.is_empty());
+    }
+
+    #[test]
+    fn single_retweet_single_edge() {
+        let rg = build_retweet_graph(&[t("alice", "RT @bob: hi")]);
+        assert_eq!(rg.graph.node_count(), 2);
+        assert_eq!(rg.graph.edge_count(), 1);
+        let alice = rg.users.get("alice").unwrap();
+        let bob = rg.users.get("bob").unwrap();
+        assert_eq!(rg.graph.successors(alice), &[bob]);
+        assert_eq!(rg.username(bob), "bob");
+    }
+
+    #[test]
+    fn chain_produces_path_edges() {
+        let rg = build_retweet_graph(&[t("a1", "RT @b2: RT @c3: origin")]);
+        let a = rg.users.get("a1").unwrap();
+        let b = rg.users.get("b2").unwrap();
+        let c = rg.users.get("c3").unwrap();
+        assert_eq!(rg.graph.edge_count(), 2);
+        assert_eq!(rg.graph.successors(a), &[b]);
+        assert_eq!(rg.graph.successors(b), &[c]);
+    }
+
+    #[test]
+    fn repeated_retweets_collapse_to_one_edge() {
+        let tweets = vec![
+            t("alice", "RT @bob: one"),
+            t("alice", "RT @bob: two"),
+            t("alice", "RT @bob: three"),
+        ];
+        let rg = build_retweet_graph(&tweets);
+        assert_eq!(rg.graph.edge_count(), 1);
+    }
+
+    #[test]
+    fn non_retweet_authors_become_isolated_nodes() {
+        let rg = build_retweet_graph(&[t("lurker", "nice weather today")]);
+        assert_eq!(rg.graph.node_count(), 1);
+        assert_eq!(rg.graph.edge_count(), 0);
+        assert!(rg.users.get("lurker").is_some());
+    }
+
+    #[test]
+    fn self_retweet_is_dropped() {
+        let rg = build_retweet_graph(&[t("echo", "RT @echo: me again")]);
+        assert_eq!(rg.graph.edge_count(), 0);
+        assert_eq!(rg.graph.node_count(), 1);
+    }
+
+    #[test]
+    fn multiple_tweets_accumulate() {
+        let tweets = vec![
+            t("a", "RT @b: x"),
+            t("c", "RT @b: y"),
+            t("b", "RT @d: z"),
+            t("a", "plain message"),
+        ];
+        let rg = build_retweet_graph(&tweets);
+        assert_eq!(rg.graph.node_count(), 4);
+        assert_eq!(rg.graph.edge_count(), 3);
+        let b = rg.users.get("b").unwrap();
+        assert_eq!(rg.graph.in_degree(b), 2); // retweeted by a and c
+        assert_eq!(rg.graph.out_degree(b), 1); // retweeted d once
+    }
+
+    #[test]
+    fn chain_interior_users_need_no_own_tweets() {
+        // carol never authored a record, but appears mid-chain.
+        let rg = build_retweet_graph(&[t("alice", "RT @carol: RT @dave: src")]);
+        assert!(rg.users.get("carol").is_some());
+        assert!(rg.users.get("dave").is_some());
+        assert_eq!(rg.graph.edge_count(), 2);
+    }
+}

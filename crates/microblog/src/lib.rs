@@ -1,0 +1,41 @@
+//! Micro-blog service substrate.
+//!
+//! The paper estimates juror parameters from a crawl of the public Twitter
+//! timeline. That dataset is not available, so this crate provides the
+//! closest synthetic equivalent that exercises the *same code paths*:
+//!
+//! * [`tweet`] — the tweet/user records of the paper's Algorithm 5 input
+//!   (each record is an author plus raw text content);
+//! * [`parser`] — extraction of `RT @username` retweet chains from raw
+//!   tweet text, following the paper's two cases (single retweet and
+//!   retweet chains) including the chain-pair decomposition
+//!   `(user1,user2), (user2,user3), …`;
+//! * [`graph_builder`] — Algorithm 5: tweets → deduplicated directed
+//!   retweet graph;
+//! * [`synth`] — a preferential-attachment micro-blog generator whose
+//!   retweet popularity follows the power law the paper observes on real
+//!   Twitter data, with per-user latent reliability and account ages;
+//! * [`account`] — account-age bookkeeping used by the PayM requirement
+//!   estimator;
+//! * [`stats`] — degree-distribution diagnostics (histogram, CCDF, Hill
+//!   tail-exponent estimator) verifying that generated corpora show the
+//!   power-law concentration the paper's normalisation assumes.
+//!
+//! The generator writes *textual* tweets with real `RT @user` markup; the
+//! downstream pipeline parses that text exactly as it would parse the real
+//! crawl, so the substitution only changes where the bytes come from.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod account;
+pub mod graph_builder;
+pub mod parser;
+pub mod stats;
+pub mod synth;
+pub mod tweet;
+
+pub use graph_builder::{build_retweet_graph, RetweetGraph};
+pub use parser::{extract_retweet_chain, retweet_pairs};
+pub use synth::{MicroblogDataset, SynthConfig, SynthUser};
+pub use tweet::Tweet;

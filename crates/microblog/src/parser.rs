@@ -1,0 +1,187 @@
+//! Retweet-chain extraction from raw tweet text.
+//!
+//! The paper (§4.1.1) recognises retweets by the substring pattern
+//! `RT @username` (their Algorithm 5 uses the regex `RT @[\w]+[\W]+`) and
+//! distinguishes two cases:
+//!
+//! 1. exactly one `RT @username` — a single retweet-relationship pair
+//!    `(author, username)`;
+//! 2. several `RT @username` markers — a *retweet chain*: for markers
+//!    `u2, u3, …, uN` in order of appearance in the text, the pairs are
+//!    `(author,u2), (u2,u3), …, (u_{N-1}, u_N)` — `u_N` wrote the original
+//!    and each previous user rebroadcast the next one's message.
+//!
+//! Usernames follow the `\w` character class: ASCII letters, digits and
+//! underscore. No external regex dependency is needed — the pattern is
+//! fixed, so a hand-rolled scanner is both faster and dependency-free.
+
+/// `true` for characters inside the `\w` class used by the paper's regex.
+#[inline]
+fn is_word_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// `true` if `name` is a legal micro-blog username: non-empty, at most 15
+/// characters (Twitter's limit), all from `[A-Za-z0-9_]`.
+pub fn is_legal_username(name: &str) -> bool {
+    !name.is_empty() && name.len() <= 15 && name.chars().all(is_word_char)
+}
+
+/// Extracts the retweeted usernames from tweet content, in order of
+/// appearance. Returns an empty vector for non-retweets.
+///
+/// Matches the literal marker `RT @` followed by a maximal run of word
+/// characters. A marker with no username characters after `@` is ignored,
+/// as is anything the 15-character username limit rejects (overlong runs
+/// are skipped entirely rather than truncated, since a truncated name
+/// would reference the wrong account).
+pub fn extract_retweet_chain(content: &str) -> Vec<&str> {
+    const MARKER: &str = "RT @";
+    let mut chain = Vec::new();
+    let mut rest = content;
+    let mut base = 0usize;
+    while let Some(pos) = rest.find(MARKER) {
+        let name_start = base + pos + MARKER.len();
+        let tail = &content[name_start..];
+        let name_len = tail
+            .char_indices()
+            .find(|&(_, c)| !is_word_char(c))
+            .map_or(tail.len(), |(i, _)| i);
+        if name_len > 0 {
+            let name = &content[name_start..name_start + name_len];
+            if is_legal_username(name) {
+                chain.push(name);
+            }
+        }
+        base = name_start + name_len;
+        rest = &content[base..];
+    }
+    chain
+}
+
+/// Decomposes one tweet into retweet-relationship pairs per §4.1.1:
+/// `(author,u2), (u2,u3), …` for the chain `u2 … uN` found in `content`.
+///
+/// The author is *not* validated here — malformed author records simply
+/// yield pairs with the malformed name, mirroring how a crawl pipeline
+/// would behave; graph construction interns whatever it is given.
+pub fn retweet_pairs<'a>(author: &'a str, content: &'a str) -> Vec<(&'a str, &'a str)> {
+    let chain = extract_retweet_chain(content);
+    if chain.is_empty() {
+        return Vec::new();
+    }
+    let mut pairs = Vec::with_capacity(chain.len());
+    let mut prev = author;
+    for name in chain {
+        pairs.push((prev, name));
+        prev = name;
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_tweet_has_no_chain() {
+        assert!(extract_retweet_chain("just my opinion").is_empty());
+        assert!(retweet_pairs("alice", "hello").is_empty());
+    }
+
+    #[test]
+    fn single_retweet() {
+        let chain = extract_retweet_chain("RT @bob: totally agree");
+        assert_eq!(chain, vec!["bob"]);
+        let pairs = retweet_pairs("alice", "RT @bob: totally agree");
+        assert_eq!(pairs, vec![("alice", "bob")]);
+    }
+
+    #[test]
+    fn chain_of_three_produces_two_pairs_plus_author() {
+        // alice posts: RT @bob: RT @carol: original
+        // => (alice,bob), (bob,carol)
+        let pairs = retweet_pairs("alice", "RT @bob: RT @carol: original text");
+        assert_eq!(pairs, vec![("alice", "bob"), ("bob", "carol")]);
+    }
+
+    #[test]
+    fn long_chain_order_follows_appearance() {
+        let content = "RT @u2: RT @u3: RT @u4: RT @u5: src";
+        let chain = extract_retweet_chain(content);
+        assert_eq!(chain, vec!["u2", "u3", "u4", "u5"]);
+        let pairs = retweet_pairs("u1", content);
+        assert_eq!(pairs, vec![("u1", "u2"), ("u2", "u3"), ("u3", "u4"), ("u4", "u5")]);
+    }
+
+    #[test]
+    fn marker_mid_text() {
+        let chain = extract_retweet_chain("so true! RT @sage wisdom here");
+        assert_eq!(chain, vec!["sage"]);
+    }
+
+    #[test]
+    fn username_stops_at_non_word_char() {
+        assert_eq!(extract_retweet_chain("RT @a_b9: x"), vec!["a_b9"]);
+        assert_eq!(extract_retweet_chain("RT @name's tweet"), vec!["name"]);
+        assert_eq!(extract_retweet_chain("RT @über"), Vec::<&str>::new()); // non-ASCII first char
+    }
+
+    #[test]
+    fn empty_username_is_ignored() {
+        assert!(extract_retweet_chain("RT @ : nothing").is_empty());
+        assert!(extract_retweet_chain("RT @").is_empty());
+    }
+
+    #[test]
+    fn overlong_username_is_skipped_not_truncated() {
+        let content = "RT @abcdefghijklmnop: too long"; // 16 chars
+        assert!(extract_retweet_chain(content).is_empty());
+    }
+
+    #[test]
+    fn case_sensitive_marker() {
+        // Lowercase "rt @" is not the markup the paper matches.
+        assert!(extract_retweet_chain("rt @bob nope").is_empty());
+    }
+
+    #[test]
+    fn adjacent_markers() {
+        assert_eq!(extract_retweet_chain("RT @aRT @b"), vec!["aRT"]);
+        assert_eq!(extract_retweet_chain("RT @a RT @b"), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn at_without_rt_is_a_mention_not_a_retweet() {
+        assert!(extract_retweet_chain("thanks @bob!").is_empty());
+    }
+
+    #[test]
+    fn marker_at_end_of_content() {
+        assert_eq!(extract_retweet_chain("check this RT @last"), vec!["last"]);
+    }
+
+    #[test]
+    fn legal_username_predicate() {
+        assert!(is_legal_username("a"));
+        assert!(is_legal_username("user_42"));
+        assert!(is_legal_username("ABCDEFGHIJKLMNO")); // 15 chars
+        assert!(!is_legal_username(""));
+        assert!(!is_legal_username("ABCDEFGHIJKLMNOP")); // 16 chars
+        assert!(!is_legal_username("has space"));
+        assert!(!is_legal_username("émile"));
+    }
+
+    #[test]
+    fn unicode_content_does_not_break_scanning() {
+        let chain = extract_retweet_chain("日本語 RT @quake_bot: 地震情報 RT @src: 詳細");
+        assert_eq!(chain, vec!["quake_bot", "src"]);
+    }
+
+    #[test]
+    fn self_retweet_pairs_are_produced() {
+        // Dedup/self-loop policy belongs to the graph builder, not parsing.
+        let pairs = retweet_pairs("alice", "RT @alice: echo");
+        assert_eq!(pairs, vec![("alice", "alice")]);
+    }
+}

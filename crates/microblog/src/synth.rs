@@ -1,0 +1,397 @@
+//! Synthetic micro-blog generator.
+//!
+//! Substitute for the paper's two-day public-timeline Twitter crawl
+//! (§5.2). The generator emits *raw textual tweets* with genuine
+//! `RT @user` markup so the downstream pipeline (parser → Algorithm 5 →
+//! HITS/PageRank → error-rate normalisation) runs exactly the code it
+//! would run on a real crawl.
+//!
+//! Two properties of the real data matter for the experiments and are
+//! reproduced here:
+//!
+//! 1. **Power-law retweet popularity** — the paper's §4.1.3 normalisation
+//!    explicitly leans on "the Power law distribution characteristics of
+//!    social network users". We use preferential attachment (each retweet
+//!    targets users proportionally to current in-degree, mixed with a
+//!    Pareto-distributed latent quality that seeds the process), which
+//!    yields the heavy-tailed in-degree distribution of real Twitter.
+//! 2. **Retweet chains** — tweets of the form `RT @a: RT @b: …` appear
+//!    with configurable probability, exercising the chain-pair extraction
+//!    of Algorithm 5 case 2.
+//!
+//! Each user also carries a **latent reliability** (their true individual
+//! error rate, decreasing in quality) used by simulation examples to
+//! generate votes, and an **account age** used by the PayM requirement
+//! estimator (§4.2).
+
+use crate::tweet::{Tweet, MAX_TWEET_CHARS};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`MicroblogDataset::generate`].
+#[derive(Debug, Clone)]
+pub struct SynthConfig {
+    /// Number of user accounts.
+    pub n_users: usize,
+    /// Number of tweet records to emit.
+    pub n_tweets: usize,
+    /// Probability that a tweet is a retweet rather than original content.
+    pub retweet_fraction: f64,
+    /// Probability that a retweet chain extends one link further
+    /// (geometric chain length; chains are also capped by the
+    /// 140-character limit).
+    pub chain_continue_prob: f64,
+    /// Mixing weight for preferential attachment: with this probability a
+    /// retweet target is drawn proportionally to current in-degree
+    /// ("rich get richer"), otherwise proportionally to latent quality.
+    pub preferential_bias: f64,
+    /// Pareto shape of the latent quality distribution; smaller = heavier
+    /// tail. 1.16 reproduces the classic 80/20 concentration.
+    pub quality_shape: f64,
+    /// Maximum account age in days (ages are uniform on `[1, max]`).
+    pub max_account_age_days: u32,
+    /// RNG seed — identical seeds give byte-identical datasets.
+    pub seed: u64,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        Self {
+            n_users: 1000,
+            n_tweets: 20_000,
+            retweet_fraction: 0.6,
+            chain_continue_prob: 0.25,
+            preferential_bias: 0.7,
+            quality_shape: 1.16,
+            max_account_age_days: 3650,
+            seed: 42,
+        }
+    }
+}
+
+/// A synthetic user account.
+#[derive(Debug, Clone)]
+pub struct SynthUser {
+    /// Legal micro-blog username (`u0`, `u1`, …).
+    pub name: String,
+    /// Days since registration; input to the requirement estimator.
+    pub account_age_days: u32,
+    /// Latent *true* individual error rate in `(0, 1)`, decreasing in the
+    /// user's quality. Simulations use it to generate votes; estimators
+    /// never see it.
+    pub true_error_rate: f64,
+    /// The raw Pareto quality that seeded attachment (exposed for tests
+    /// and diagnostics).
+    pub quality: f64,
+}
+
+/// A generated dataset: users plus raw tweet records.
+#[derive(Debug, Clone)]
+pub struct MicroblogDataset {
+    /// All user accounts, indexed by user id (name `u{id}`).
+    pub users: Vec<SynthUser>,
+    /// Tweet records in publication order.
+    pub tweets: Vec<Tweet>,
+}
+
+impl MicroblogDataset {
+    /// Generates a dataset according to `config`.
+    ///
+    /// # Panics
+    /// Panics if `n_users == 0`, or any probability parameter is outside
+    /// `[0, 1]`, or `quality_shape <= 0`.
+    pub fn generate(config: &SynthConfig) -> Self {
+        assert!(config.n_users > 0, "need at least one user");
+        for (name, p) in [
+            ("retweet_fraction", config.retweet_fraction),
+            ("chain_continue_prob", config.chain_continue_prob),
+            ("preferential_bias", config.preferential_bias),
+        ] {
+            assert!((0.0..=1.0).contains(&p), "{name} must be in [0,1], got {p}");
+        }
+        assert!(config.quality_shape > 0.0, "quality_shape must be positive");
+
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let users = generate_users(config, &mut rng);
+
+        // Cumulative quality weights for O(log n) weighted sampling.
+        let mut cum_quality = Vec::with_capacity(users.len());
+        let mut acc = 0.0;
+        for u in &users {
+            acc += u.quality;
+            cum_quality.push(acc);
+        }
+
+        // Preferential-attachment urn: one entry per received retweet.
+        let mut urn: Vec<u32> = Vec::with_capacity(config.n_tweets * 2);
+        let mut tweets = Vec::with_capacity(config.n_tweets);
+
+        for tweet_idx in 0..config.n_tweets {
+            let author = rng.gen_range(0..users.len()) as u32;
+            let is_retweet =
+                !users.is_empty() && rng.gen_bool(config.retweet_fraction) && users.len() > 1;
+            if !is_retweet {
+                tweets.push(Tweet::new(
+                    users[author as usize].name.clone(),
+                    format!("status update number {tweet_idx}"),
+                ));
+                continue;
+            }
+
+            // Build the chain head-first: author retweets t1, who had
+            // retweeted t2, ... Every link targets a distinct next user.
+            let mut chain: Vec<u32> = Vec::new();
+            let mut prev = author;
+            loop {
+                let target = pick_target(&users, &cum_quality, &urn, prev, config, &mut rng);
+                chain.push(target);
+                prev = target;
+                // +6 ≈ "RT @" + separator; stop before breaching 140 chars.
+                let chain_chars: usize =
+                    chain.iter().map(|&u| users[u as usize].name.len() + 6).sum();
+                if chain_chars + 20 > MAX_TWEET_CHARS
+                    || !rng.gen_bool(config.chain_continue_prob)
+                {
+                    break;
+                }
+            }
+
+            let mut content = String::new();
+            for &uid in &chain {
+                content.push_str("RT @");
+                content.push_str(&users[uid as usize].name);
+                content.push_str(": ");
+            }
+            content.push_str(&format!("msg {tweet_idx}"));
+            debug_assert!(content.chars().count() <= MAX_TWEET_CHARS);
+
+            // Update the urn with every link of the chain so popularity
+            // compounds exactly as the parsed graph will see it.
+            for &uid in &chain {
+                urn.push(uid);
+            }
+            tweets.push(Tweet::new(users[author as usize].name.clone(), content));
+        }
+
+        Self { users, tweets }
+    }
+
+    /// Convenience: parse the generated tweets into a retweet graph
+    /// (paper Algorithm 5).
+    pub fn build_graph(&self) -> crate::graph_builder::RetweetGraph {
+        crate::graph_builder::build_retweet_graph(&self.tweets)
+    }
+
+    /// The true error rate of the user with a given name, if present.
+    pub fn true_error_rate_of(&self, name: &str) -> Option<f64> {
+        let id: usize = name.strip_prefix('u')?.parse().ok()?;
+        self.users.get(id).map(|u| u.true_error_rate)
+    }
+}
+
+fn generate_users(config: &SynthConfig, rng: &mut StdRng) -> Vec<SynthUser> {
+    let mut users = Vec::with_capacity(config.n_users);
+    // Pareto quality: w = (1-U)^(-1/shape), support [1, ∞).
+    let qualities: Vec<f64> = (0..config.n_users)
+        .map(|_| {
+            let u: f64 = rng.gen_range(0.0..1.0);
+            (1.0 - u).powf(-1.0 / config.quality_shape)
+        })
+        .collect();
+    let mean_q = qualities.iter().sum::<f64>() / qualities.len() as f64;
+    for (i, &q) in qualities.iter().enumerate() {
+        // Reliability rises with quality: error rate decays from ~0.5
+        // (anonymous newcomer) towards 0.02 (top authority).
+        let true_error_rate = 0.02 + 0.48 * (-q / mean_q).exp();
+        users.push(SynthUser {
+            name: format!("u{i}"),
+            account_age_days: rng.gen_range(1..=config.max_account_age_days.max(1)),
+            true_error_rate,
+            quality: q,
+        });
+    }
+    users
+}
+
+/// Draws a retweet target ≠ `exclude` mixing preferential attachment with
+/// quality-weighted choice.
+fn pick_target(
+    users: &[SynthUser],
+    cum_quality: &[f64],
+    urn: &[u32],
+    exclude: u32,
+    config: &SynthConfig,
+    rng: &mut StdRng,
+) -> u32 {
+    debug_assert!(users.len() > 1);
+    loop {
+        let candidate = if !urn.is_empty() && rng.gen_bool(config.preferential_bias) {
+            urn[rng.gen_range(0..urn.len())]
+        } else {
+            let total = *cum_quality.last().expect("non-empty users");
+            let x = rng.gen_range(0.0..total);
+            cum_quality.partition_point(|&c| c <= x) as u32
+        };
+        if candidate != exclude {
+            return candidate;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::extract_retweet_chain;
+
+    fn small_config() -> SynthConfig {
+        SynthConfig { n_users: 50, n_tweets: 500, seed: 7, ..Default::default() }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = MicroblogDataset::generate(&small_config());
+        let b = MicroblogDataset::generate(&small_config());
+        assert_eq!(a.tweets.len(), b.tweets.len());
+        for (x, y) in a.tweets.iter().zip(&b.tweets) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = MicroblogDataset::generate(&small_config());
+        let b = MicroblogDataset::generate(&SynthConfig { seed: 8, ..small_config() });
+        assert!(a.tweets.iter().zip(&b.tweets).any(|(x, y)| x != y));
+    }
+
+    #[test]
+    fn tweets_respect_length_limit() {
+        let d = MicroblogDataset::generate(&SynthConfig {
+            chain_continue_prob: 0.9, // stress chains
+            ..small_config()
+        });
+        for t in &d.tweets {
+            assert!(t.content.chars().count() <= MAX_TWEET_CHARS);
+        }
+    }
+
+    #[test]
+    fn retweets_parse_back_into_chains() {
+        let d = MicroblogDataset::generate(&small_config());
+        let mut retweets = 0;
+        for t in &d.tweets {
+            if t.is_retweet() {
+                retweets += 1;
+                let chain = extract_retweet_chain(&t.content);
+                assert!(!chain.is_empty(), "unparseable retweet: {:?}", t.content);
+                for name in chain {
+                    assert!(d.true_error_rate_of(name).is_some(), "unknown user {name}");
+                }
+            }
+        }
+        // ~60% of 500 should be retweets.
+        assert!(retweets > 200, "only {retweets} retweets");
+    }
+
+    #[test]
+    fn no_self_retweet_links() {
+        let d = MicroblogDataset::generate(&small_config());
+        for t in &d.tweets {
+            let chain = extract_retweet_chain(&t.content);
+            let mut prev = t.author.as_str();
+            for name in chain {
+                assert_ne!(prev, name, "self-link in {:?}", t.content);
+                prev = name;
+            }
+        }
+    }
+
+    #[test]
+    fn error_rates_are_valid_and_quality_monotone() {
+        let d = MicroblogDataset::generate(&small_config());
+        for u in &d.users {
+            assert!(u.true_error_rate > 0.0 && u.true_error_rate < 1.0);
+            assert!(u.quality >= 1.0);
+        }
+        // Higher quality ⇒ strictly lower error rate (same decay curve).
+        let mut by_quality: Vec<&SynthUser> = d.users.iter().collect();
+        by_quality.sort_by(|a, b| a.quality.total_cmp(&b.quality));
+        for w in by_quality.windows(2) {
+            assert!(w[0].true_error_rate >= w[1].true_error_rate);
+        }
+    }
+
+    #[test]
+    fn account_ages_in_range() {
+        let cfg = small_config();
+        let d = MicroblogDataset::generate(&cfg);
+        for u in &d.users {
+            assert!(u.account_age_days >= 1 && u.account_age_days <= cfg.max_account_age_days);
+        }
+    }
+
+    #[test]
+    fn popularity_is_heavy_tailed() {
+        // Top 10% of users by in-degree should hold a majority of edges —
+        // the power-law concentration the paper relies on.
+        let d = MicroblogDataset::generate(&SynthConfig {
+            n_users: 200,
+            n_tweets: 5000,
+            seed: 3,
+            ..Default::default()
+        });
+        let rg = d.build_graph();
+        let mut in_degrees: Vec<usize> =
+            (0..rg.graph.node_count() as u32).map(|u| rg.graph.in_degree(u)).collect();
+        in_degrees.sort_unstable_by(|a, b| b.cmp(a));
+        let total: usize = in_degrees.iter().sum();
+        let top_decile: usize = in_degrees[..in_degrees.len() / 10].iter().sum();
+        assert!(
+            top_decile as f64 > 0.4 * total as f64,
+            "top decile holds only {top_decile}/{total} edges"
+        );
+    }
+
+    #[test]
+    fn graph_nodes_cover_active_users() {
+        let d = MicroblogDataset::generate(&small_config());
+        let rg = d.build_graph();
+        assert!(rg.graph.node_count() <= d.users.len());
+        assert!(rg.graph.node_count() > 0);
+        assert!(rg.graph.edge_count() > 0);
+    }
+
+    #[test]
+    fn zero_retweet_fraction_yields_no_edges() {
+        let d = MicroblogDataset::generate(&SynthConfig {
+            retweet_fraction: 0.0,
+            ..small_config()
+        });
+        let rg = d.build_graph();
+        assert_eq!(rg.graph.edge_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one user")]
+    fn rejects_zero_users() {
+        let _ = MicroblogDataset::generate(&SynthConfig { n_users: 0, ..Default::default() });
+    }
+
+    #[test]
+    #[should_panic(expected = "retweet_fraction")]
+    fn rejects_bad_probability() {
+        let _ = MicroblogDataset::generate(&SynthConfig {
+            retweet_fraction: 1.5,
+            ..Default::default()
+        });
+    }
+
+    #[test]
+    fn true_error_rate_lookup() {
+        let d = MicroblogDataset::generate(&small_config());
+        assert!(d.true_error_rate_of("u0").is_some());
+        assert!(d.true_error_rate_of("u49").is_some());
+        assert!(d.true_error_rate_of("u50").is_none());
+        assert!(d.true_error_rate_of("nobody").is_none());
+    }
+}

@@ -1,0 +1,97 @@
+//! Tweet records — the input of the paper's Algorithm 5.
+//!
+//! Each record `r(t, author)` pairs a raw text content with its author's
+//! username. Content length follows the micro-blog convention of at most
+//! 140 characters, which the constructor enforces (the synthetic generator
+//! never exceeds it, and real crawls satisfy it by definition).
+
+/// Maximum tweet length in characters (the Twitter-classic limit the
+/// paper cites for micro-blog brevity).
+pub const MAX_TWEET_CHARS: usize = 140;
+
+/// A single micro-blog message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tweet {
+    /// Username of the account that published this message.
+    pub author: String,
+    /// Raw message text, possibly containing `RT @user` markup.
+    pub content: String,
+}
+
+impl Tweet {
+    /// Creates a tweet, validating the author name and length limit.
+    ///
+    /// # Panics
+    /// Panics if `author` is not a legal username (see
+    /// [`crate::parser::is_legal_username`]) or `content` exceeds
+    /// [`MAX_TWEET_CHARS`] characters.
+    pub fn new(author: impl Into<String>, content: impl Into<String>) -> Self {
+        let author = author.into();
+        let content = content.into();
+        assert!(
+            crate::parser::is_legal_username(&author),
+            "illegal author username: {author:?}"
+        );
+        assert!(
+            content.chars().count() <= MAX_TWEET_CHARS,
+            "tweet exceeds {MAX_TWEET_CHARS} characters"
+        );
+        Self { author, content }
+    }
+
+    /// Creates a tweet without validation — for parser tests that need
+    /// malformed content.
+    pub fn new_unchecked(author: impl Into<String>, content: impl Into<String>) -> Self {
+        Self { author: author.into(), content: content.into() }
+    }
+
+    /// `true` if the content contains at least one `RT @` marker.
+    pub fn is_retweet(&self) -> bool {
+        self.content.contains("RT @")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructs_valid_tweet() {
+        let t = Tweet::new("alice", "hello world");
+        assert_eq!(t.author, "alice");
+        assert!(!t.is_retweet());
+    }
+
+    #[test]
+    fn detects_retweet_marker() {
+        let t = Tweet::new("bob", "RT @alice: hello");
+        assert!(t.is_retweet());
+    }
+
+    #[test]
+    #[should_panic(expected = "illegal author")]
+    fn rejects_bad_author() {
+        let _ = Tweet::new("bad name!", "x");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn rejects_overlong_content() {
+        let long = "x".repeat(MAX_TWEET_CHARS + 1);
+        let _ = Tweet::new("alice", long);
+    }
+
+    #[test]
+    fn limit_is_in_characters_not_bytes() {
+        // 140 multi-byte characters are fine even though > 140 bytes.
+        let content = "é".repeat(MAX_TWEET_CHARS);
+        let t = Tweet::new("alice", content);
+        assert_eq!(t.content.chars().count(), MAX_TWEET_CHARS);
+    }
+
+    #[test]
+    fn unchecked_allows_anything() {
+        let t = Tweet::new_unchecked("x y", "z".repeat(500));
+        assert_eq!(t.author, "x y");
+    }
+}

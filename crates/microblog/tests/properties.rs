@@ -1,0 +1,116 @@
+//! Property-based tests for the micro-blog substrate.
+
+use jury_microblog::graph_builder::build_retweet_graph;
+use jury_microblog::parser::{extract_retweet_chain, is_legal_username, retweet_pairs};
+use jury_microblog::synth::{MicroblogDataset, SynthConfig};
+use jury_microblog::tweet::Tweet;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Strategy for legal usernames (1–15 word characters).
+fn username() -> impl Strategy<Value = String> {
+    "[A-Za-z0-9_]{1,15}"
+}
+
+/// Strategy for filler text without retweet markers.
+fn filler() -> impl Strategy<Value = String> {
+    "[a-z ]{0,20}".prop_map(|s| s.replace("RT @", ""))
+}
+
+proptest! {
+    #[test]
+    fn synthesised_chains_round_trip(names in vec(username(), 1..6), tail in filler()) {
+        // Build "RT @a: RT @b: … tail" and parse it back.
+        let mut content = String::new();
+        for name in &names {
+            content.push_str("RT @");
+            content.push_str(name);
+            content.push_str(": ");
+        }
+        content.push_str(&tail);
+        let chain = extract_retweet_chain(&content);
+        let expected: Vec<&str> = names.iter().map(String::as_str).collect();
+        prop_assert_eq!(chain, expected);
+    }
+
+    #[test]
+    fn pairs_follow_chain_structure(author in username(), names in vec(username(), 1..6)) {
+        let mut content = String::new();
+        for name in &names {
+            content.push_str("RT @");
+            content.push_str(name);
+            content.push_str(": ");
+        }
+        content.push_str("src");
+        let pairs = retweet_pairs(&author, &content);
+        prop_assert_eq!(pairs.len(), names.len());
+        prop_assert_eq!(pairs[0].0, author.as_str());
+        for (i, &(from, to)) in pairs.iter().enumerate() {
+            if i > 0 {
+                prop_assert_eq!(from, names[i - 1].as_str());
+            }
+            prop_assert_eq!(to, names[i].as_str());
+        }
+    }
+
+    #[test]
+    fn marker_free_text_never_parses(text in filler()) {
+        prop_assert!(extract_retweet_chain(&text).is_empty());
+    }
+
+    #[test]
+    fn extracted_names_are_always_legal(content in ".{0,80}") {
+        for name in extract_retweet_chain(&content) {
+            prop_assert!(is_legal_username(name), "illegal extract {name:?}");
+        }
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(content in ".{0,200}") {
+        let _ = extract_retweet_chain(&content);
+        let _ = retweet_pairs("someone", &content);
+    }
+
+    #[test]
+    fn graph_nodes_bound_by_mentions(author in username(), names in vec(username(), 0..5)) {
+        let mut content = String::new();
+        for name in &names {
+            content.push_str("RT @");
+            content.push_str(name);
+            content.push(' ');
+        }
+        let tweet = Tweet::new_unchecked(author.clone(), content);
+        let rg = build_retweet_graph(std::slice::from_ref(&tweet));
+        // Node count is at most author + distinct mentioned names.
+        let mut distinct: std::collections::HashSet<&str> =
+            names.iter().map(String::as_str).collect();
+        distinct.insert(author.as_str());
+        prop_assert!(rg.graph.node_count() <= distinct.len());
+        // Every edge endpoint resolves back to a username.
+        for (u, v) in rg.graph.edges() {
+            prop_assert!(rg.users.resolve(u).is_some());
+            prop_assert!(rg.users.resolve(v).is_some());
+        }
+    }
+
+    #[test]
+    fn generated_datasets_are_internally_consistent(seed in 0u64..500) {
+        let d = MicroblogDataset::generate(&SynthConfig {
+            n_users: 30,
+            n_tweets: 120,
+            seed,
+            ..Default::default()
+        });
+        prop_assert_eq!(d.users.len(), 30);
+        prop_assert_eq!(d.tweets.len(), 120);
+        for t in &d.tweets {
+            prop_assert!(t.content.chars().count() <= 140);
+            // Every referenced user exists.
+            for name in extract_retweet_chain(&t.content) {
+                prop_assert!(d.true_error_rate_of(name).is_some());
+            }
+        }
+        let rg = d.build_graph();
+        prop_assert!(rg.graph.node_count() <= d.users.len());
+    }
+}

@@ -1,0 +1,246 @@
+//! Tail bounds on the carelessness count.
+//!
+//! The paper's Lemma 2 derives a *lower* bound on JER from the
+//! Paley–Zygmund inequality, cheap enough (`O(n)`) to prune exact JER
+//! evaluations inside AltrALG. For ablation studies this module also
+//! provides two classical *upper* bounds — Cantelli (one-sided Chebyshev)
+//! and the Chernoff–Hoeffding bound for sums of independent Bernoullis —
+//! which allow symmetric pruning ("this jury cannot be better than the
+//! incumbent" / "cannot be worse").
+
+/// Result of a bound evaluation: either a usable bound value or a marker
+/// that the inequality's precondition failed for these parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TailBound {
+    /// The bound applies and has the given value.
+    Value(f64),
+    /// The precondition (e.g. `γ ∈ (0,1)` for Paley–Zygmund) does not hold.
+    Inapplicable,
+}
+
+impl TailBound {
+    /// The bound value, or `None` when inapplicable.
+    #[inline]
+    pub fn value(self) -> Option<f64> {
+        match self {
+            TailBound::Value(v) => Some(v),
+            TailBound::Inapplicable => None,
+        }
+    }
+
+    /// `true` when the inequality's precondition held.
+    #[inline]
+    pub fn is_applicable(self) -> bool {
+        matches!(self, TailBound::Value(_))
+    }
+}
+
+/// Paley–Zygmund lower bound of the paper's Lemma 2.
+///
+/// For the carelessness count `C` with mean `μ = Σ ε_i` and variance
+/// `σ² = Σ ε_i(1-ε_i)`, and threshold `t = (n+1)/2` written as `t = γμ`:
+///
+/// ```text
+/// Pr(C ≥ γμ) ≥ (1-γ)²μ² / ((1-γ)²μ² + σ²)      for γ ∈ (0,1)
+/// ```
+///
+/// The bound only applies when `γ = t/μ` lies strictly inside `(0,1)` —
+/// i.e. when the majority threshold sits *below* the expected number of
+/// wrong voters (an error-prone jury). AltrALG checks this exactly as the
+/// paper's Algorithm 3 Line 5 does.
+pub fn paley_zygmund_lower_bound(eps: &[f64], threshold: usize) -> TailBound {
+    let mu: f64 = eps.iter().sum();
+    let sigma2: f64 = eps.iter().map(|e| e * (1.0 - e)).sum();
+    if mu <= 0.0 {
+        return TailBound::Inapplicable;
+    }
+    let gamma = threshold as f64 / mu;
+    if gamma <= 0.0 || gamma >= 1.0 {
+        return TailBound::Inapplicable;
+    }
+    let a = (1.0 - gamma) * (1.0 - gamma) * mu * mu;
+    TailBound::Value(a / (a + sigma2))
+}
+
+/// The γ parameter of Lemma 2: `((n+1)/2) / μ`. Exposed so callers can
+/// reproduce the paper's applicability check (`γ < 1`) directly.
+pub fn paley_zygmund_gamma(eps: &[f64], threshold: usize) -> f64 {
+    let mu: f64 = eps.iter().sum();
+    if mu <= 0.0 {
+        f64::INFINITY
+    } else {
+        threshold as f64 / mu
+    }
+}
+
+/// Cantelli (one-sided Chebyshev) upper bound:
+///
+/// ```text
+/// Pr(C ≥ μ + a) ≤ σ² / (σ² + a²)   for a > 0
+/// ```
+///
+/// Applicable whenever the threshold exceeds the mean; used as an
+/// *upper*-bound pruning ablation (a reliable jury whose upper bound is
+/// already below the incumbent's JER can be accepted without exact
+/// evaluation — and vice versa for rejection).
+pub fn cantelli_upper_bound(eps: &[f64], threshold: usize) -> TailBound {
+    let mu: f64 = eps.iter().sum();
+    let sigma2: f64 = eps.iter().map(|e| e * (1.0 - e)).sum();
+    let a = threshold as f64 - mu;
+    if a <= 0.0 {
+        return TailBound::Inapplicable;
+    }
+    TailBound::Value(sigma2 / (sigma2 + a * a))
+}
+
+/// Chernoff–Hoeffding upper bound for sums of independent Bernoullis via
+/// the KL-divergence form:
+///
+/// ```text
+/// Pr(C ≥ t) ≤ exp(-n · KL(t/n ‖ μ/n))    for t/n > μ/n
+/// ```
+///
+/// Tighter than Cantelli far in the tail; the `bounds` ablation bench
+/// compares all three.
+pub fn chernoff_upper_bound(eps: &[f64], threshold: usize) -> TailBound {
+    let n = eps.len();
+    if n == 0 || threshold > n {
+        // Pr(C >= t) = 0 when t > n: bound trivially zero.
+        return if threshold > n { TailBound::Value(0.0) } else { TailBound::Inapplicable };
+    }
+    let mu: f64 = eps.iter().sum();
+    let p = mu / n as f64;
+    let q = threshold as f64 / n as f64;
+    if q <= p {
+        return TailBound::Inapplicable;
+    }
+    if p <= 0.0 {
+        // Mean zero: C is almost surely 0, so Pr(C >= t>=1) = 0.
+        return TailBound::Value(if threshold == 0 { 1.0 } else { 0.0 });
+    }
+    let kl = kl_bernoulli(q, p);
+    TailBound::Value((-(n as f64) * kl).exp().min(1.0))
+}
+
+/// KL divergence between Bernoulli(q) and Bernoulli(p), with the usual
+/// `0·ln 0 = 0` conventions.
+fn kl_bernoulli(q: f64, p: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&q) && (0.0..=1.0).contains(&p));
+    let mut kl = 0.0;
+    if q > 0.0 {
+        kl += q * (q / p).ln();
+    }
+    if q < 1.0 {
+        kl += (1.0 - q) * ((1.0 - q) / (1.0 - p)).ln();
+    }
+    kl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poibin::PoiBin;
+
+    fn majority(n: usize) -> usize {
+        n / 2 + 1
+    }
+
+    #[test]
+    fn paley_zygmund_is_a_true_lower_bound_when_applicable() {
+        // Error-prone jurors: mean above threshold so γ < 1.
+        let eps = vec![0.8; 9];
+        let t = majority(eps.len()); // 5; μ = 7.2; γ = 0.694
+        let bound = paley_zygmund_lower_bound(&eps, t);
+        let exact = PoiBin::from_error_rates(&eps).tail(t);
+        match bound {
+            TailBound::Value(b) => {
+                assert!(b <= exact + 1e-12, "bound {b} exceeds exact {exact}");
+                assert!(b > 0.0);
+            }
+            TailBound::Inapplicable => panic!("γ < 1 here; bound must apply"),
+        }
+    }
+
+    #[test]
+    fn paley_zygmund_inapplicable_for_reliable_juries() {
+        // Reliable jurors: μ = 0.9 < t = 5 so γ > 1.
+        let eps = vec![0.1; 9];
+        assert_eq!(paley_zygmund_lower_bound(&eps, majority(9)), TailBound::Inapplicable);
+        assert!(paley_zygmund_gamma(&eps, majority(9)) > 1.0);
+    }
+
+    #[test]
+    fn paley_zygmund_gamma_matches_definition() {
+        let eps = [0.5, 0.7, 0.9];
+        let g = paley_zygmund_gamma(&eps, 2);
+        assert!((g - 2.0 / 2.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paley_zygmund_empty_is_inapplicable() {
+        assert_eq!(paley_zygmund_lower_bound(&[], 1), TailBound::Inapplicable);
+        assert!(paley_zygmund_gamma(&[], 1).is_infinite());
+    }
+
+    #[test]
+    fn cantelli_is_a_true_upper_bound() {
+        let eps = [0.1, 0.2, 0.15, 0.3, 0.25];
+        let t = majority(eps.len());
+        let exact = PoiBin::from_error_rates(&eps).tail(t);
+        match cantelli_upper_bound(&eps, t) {
+            TailBound::Value(b) => assert!(b >= exact - 1e-12, "bound {b} below exact {exact}"),
+            TailBound::Inapplicable => panic!("threshold above mean; must apply"),
+        }
+    }
+
+    #[test]
+    fn cantelli_inapplicable_below_mean() {
+        let eps = vec![0.9; 5];
+        assert_eq!(cantelli_upper_bound(&eps, 3), TailBound::Inapplicable);
+    }
+
+    #[test]
+    fn chernoff_is_a_true_upper_bound() {
+        let eps = [0.1, 0.12, 0.2, 0.05, 0.3, 0.18, 0.22];
+        let t = majority(eps.len());
+        let exact = PoiBin::from_error_rates(&eps).tail(t);
+        match chernoff_upper_bound(&eps, t) {
+            TailBound::Value(b) => assert!(b >= exact - 1e-12),
+            TailBound::Inapplicable => panic!("must apply"),
+        }
+    }
+
+    #[test]
+    fn chernoff_tighter_than_cantelli_far_in_tail() {
+        // Many very reliable jurors; majority failure is deep in the tail.
+        let eps = vec![0.05; 41];
+        let t = majority(41);
+        let ch = chernoff_upper_bound(&eps, t).value().unwrap();
+        let ca = cantelli_upper_bound(&eps, t).value().unwrap();
+        assert!(ch < ca, "chernoff {ch} should beat cantelli {ca}");
+    }
+
+    #[test]
+    fn chernoff_edge_cases() {
+        assert_eq!(chernoff_upper_bound(&[], 1), TailBound::Value(0.0));
+        assert_eq!(chernoff_upper_bound(&[0.0, 0.0], 1), TailBound::Value(0.0));
+        // Threshold below mean: inapplicable.
+        assert_eq!(chernoff_upper_bound(&[0.9, 0.9, 0.9], 1), TailBound::Inapplicable);
+        // Threshold beyond n: probability is exactly 0.
+        assert_eq!(chernoff_upper_bound(&[0.5; 3], 7), TailBound::Value(0.0));
+    }
+
+    #[test]
+    fn bound_accessors() {
+        assert_eq!(TailBound::Value(0.5).value(), Some(0.5));
+        assert_eq!(TailBound::Inapplicable.value(), None);
+        assert!(TailBound::Value(0.0).is_applicable());
+        assert!(!TailBound::Inapplicable.is_applicable());
+    }
+
+    #[test]
+    fn kl_zero_when_equal() {
+        assert!((kl_bernoulli(0.3, 0.3)).abs() < 1e-15);
+        assert!(kl_bernoulli(0.6, 0.3) > 0.0);
+    }
+}

@@ -1,0 +1,277 @@
+//! Minimal double-precision complex arithmetic.
+//!
+//! The FFT in [`crate::fft`] only needs addition, subtraction,
+//! multiplication, conjugation and scaling, so instead of pulling in a
+//! numerics dependency we define a small POD type. The type is `Copy` and
+//! 16 bytes, so vectors of it behave like flat `f64` buffers.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+#[derive(Clone, Copy, Default, PartialEq)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// The additive identity `0 + 0i`.
+    pub const ZERO: Self = Self { re: 0.0, im: 0.0 };
+    /// The multiplicative identity `1 + 0i`.
+    pub const ONE: Self = Self { re: 1.0, im: 0.0 };
+    /// The imaginary unit `0 + 1i`.
+    pub const I: Self = Self { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn from_real(re: f64) -> Self {
+        Self { re, im: 0.0 }
+    }
+
+    /// `e^{iθ}` — the unit-modulus complex number at angle `theta` radians.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        let (sin, cos) = theta.sin_cos();
+        Self { re: cos, im: sin }
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Self { re: self.re, im: -self.im }
+    }
+
+    /// Squared modulus `re² + im²`.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Multiplies by a real scalar.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        Self { re: self.re * k, im: self.im * k }
+    }
+
+    /// Fused multiply-add: `self * b + c`, saving one rounding per component
+    /// where the target supports FMA.
+    #[inline]
+    pub fn mul_add(self, b: Self, c: Self) -> Self {
+        Self {
+            re: self.re.mul_add(b.re, (-self.im).mul_add(b.im, c.re)),
+            im: self.re.mul_add(b.im, self.im.mul_add(b.re, c.im)),
+        }
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self { re: self.re + rhs.re, im: self.im + rhs.im }
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Self { re: self.re - rhs.re, im: self.im - rhs.im }
+    }
+}
+
+impl SubAssign for Complex64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Self {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl MulAssign for Complex64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: f64) -> Self {
+        self.scale(rhs)
+    }
+}
+
+impl Div<f64> for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn div(self, rhs: f64) -> Self {
+        self.scale(1.0 / rhs)
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        Self { re: -self.re, im: -self.im }
+    }
+}
+
+impl From<f64> for Complex64 {
+    #[inline]
+    fn from(re: f64) -> Self {
+        Self::from_real(re)
+    }
+}
+
+impl fmt::Debug for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+impl fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::float::approx_eq;
+
+    #[test]
+    fn construction_and_constants() {
+        let z = Complex64::new(3.0, -4.0);
+        assert_eq!(z.re, 3.0);
+        assert_eq!(z.im, -4.0);
+        assert_eq!(Complex64::ZERO + z, z);
+        assert_eq!(z * Complex64::ONE, z);
+        assert_eq!(Complex64::I * Complex64::I, Complex64::from_real(-1.0));
+    }
+
+    #[test]
+    fn modulus() {
+        let z = Complex64::new(3.0, 4.0);
+        assert_eq!(z.abs(), 5.0);
+        assert_eq!(z.norm_sqr(), 25.0);
+    }
+
+    #[test]
+    fn conjugate_multiplication_gives_norm() {
+        let z = Complex64::new(1.5, -2.5);
+        let n = z * z.conj();
+        assert!(approx_eq(n.re, z.norm_sqr(), 1e-12));
+        assert!(approx_eq(n.im, 0.0, 1e-12));
+    }
+
+    #[test]
+    fn cis_lies_on_unit_circle() {
+        for k in 0..16 {
+            let theta = k as f64 * std::f64::consts::PI / 8.0;
+            let z = Complex64::cis(theta);
+            assert!(approx_eq(z.abs(), 1.0, 1e-12), "theta={theta}");
+        }
+    }
+
+    #[test]
+    fn cis_angle_addition() {
+        let a = Complex64::cis(0.7);
+        let b = Complex64::cis(1.1);
+        let ab = a * b;
+        let direct = Complex64::cis(1.8);
+        assert!(approx_eq(ab.re, direct.re, 1e-12));
+        assert!(approx_eq(ab.im, direct.im, 1e-12));
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Complex64::new(2.0, 3.0);
+        let b = Complex64::new(-1.0, 4.0);
+        assert_eq!(a + b - b, a);
+        assert_eq!(-(-a), a);
+        let mut c = a;
+        c += b;
+        c -= b;
+        assert_eq!(c, a);
+        let mut d = a;
+        d *= b;
+        assert_eq!(d, a * b);
+    }
+
+    #[test]
+    fn mul_matches_schoolbook() {
+        let a = Complex64::new(1.0, 2.0);
+        let b = Complex64::new(3.0, -4.0);
+        // (1+2i)(3-4i) = 3 - 4i + 6i + 8 = 11 + 2i
+        let p = a * b;
+        assert!(approx_eq(p.re, 11.0, 1e-12));
+        assert!(approx_eq(p.im, 2.0, 1e-12));
+    }
+
+    #[test]
+    fn mul_add_matches_separate_ops() {
+        let a = Complex64::new(0.3, 0.7);
+        let b = Complex64::new(-1.2, 0.5);
+        let c = Complex64::new(2.0, -0.25);
+        let fused = a.mul_add(b, c);
+        let plain = a * b + c;
+        assert!(approx_eq(fused.re, plain.re, 1e-12));
+        assert!(approx_eq(fused.im, plain.im, 1e-12));
+    }
+
+    #[test]
+    fn scalar_ops() {
+        let z = Complex64::new(2.0, -6.0);
+        assert_eq!(z * 0.5, Complex64::new(1.0, -3.0));
+        assert_eq!(z / 2.0, Complex64::new(1.0, -3.0));
+        assert_eq!(Complex64::from(4.0), Complex64::new(4.0, 0.0));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Complex64::new(1.0, 2.0)), "1+2i");
+        assert_eq!(format!("{}", Complex64::new(1.0, -2.0)), "1-2i");
+    }
+}

@@ -1,0 +1,311 @@
+//! Iterative radix-2 Cooley–Tukey FFT.
+//!
+//! The Convolution-Based Algorithm (CBA, Algorithm 2 of the paper) merges
+//! the carelessness distributions of two half-juries by polynomial
+//! multiplication "via FFT". This module provides exactly that primitive:
+//! an in-place, power-of-two, decimation-in-time transform with
+//! precomputed twiddle factors.
+//!
+//! Two entry points are offered:
+//!
+//! * [`fft_forward`] / [`fft_inverse`] — convenience one-shot transforms;
+//! * [`Fft`] — a plan object that caches the bit-reversal permutation and
+//!   twiddle table so repeated transforms of the same size (the common case
+//!   inside CBA's recursion and the benchmark loops) pay the trigonometry
+//!   only once.
+
+use crate::complex::Complex64;
+
+/// A reusable FFT plan for a fixed power-of-two size.
+///
+/// Construction precomputes the bit-reversal permutation and the twiddle
+/// factors for every butterfly stage; [`Fft::forward`] and [`Fft::inverse`]
+/// then run without any trigonometric calls.
+#[derive(Debug, Clone)]
+pub struct Fft {
+    n: usize,
+    /// Bit-reversed index for every position (identity for n <= 1).
+    rev: Vec<u32>,
+    /// Twiddles for the forward transform, stage-major: for stage length
+    /// `len = 2,4,...,n` the slice `[len/2 - 1 .. len - 1)` holds
+    /// `e^{-2πi·j/len}` for `j = 0..len/2`.
+    twiddles: Vec<Complex64>,
+}
+
+impl Fft {
+    /// Builds a plan for transforms of length `n`.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero or not a power of two.
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two(), "FFT size must be a power of two, got {n}");
+        let bits = n.trailing_zeros();
+        let mut rev = vec![0u32; n];
+        for (i, r) in rev.iter_mut().enumerate() {
+            *r = (i as u32).reverse_bits() >> (32 - bits.max(1));
+        }
+        if n == 1 {
+            rev[0] = 0;
+        }
+        // Total twiddle count: 1 + 2 + 4 + ... + n/2 = n - 1.
+        let mut twiddles = Vec::with_capacity(n.saturating_sub(1));
+        let mut len = 2;
+        while len <= n {
+            let step = -2.0 * std::f64::consts::PI / len as f64;
+            for j in 0..len / 2 {
+                twiddles.push(Complex64::cis(step * j as f64));
+            }
+            len <<= 1;
+        }
+        Self { n, rev, twiddles }
+    }
+
+    /// The transform length this plan was built for.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` if the plan length is zero (never true in practice;
+    /// provided for API completeness).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// In-place forward DFT: `X[k] = Σ_j x[j]·e^{-2πi·jk/n}`.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` differs from the plan length.
+    pub fn forward(&self, data: &mut [Complex64]) {
+        self.transform(data, false);
+    }
+
+    /// In-place inverse DFT including the `1/n` normalisation, so that
+    /// `inverse(forward(x)) == x` up to rounding.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` differs from the plan length.
+    pub fn inverse(&self, data: &mut [Complex64]) {
+        self.transform(data, true);
+        let scale = 1.0 / self.n as f64;
+        for z in data.iter_mut() {
+            *z = z.scale(scale);
+        }
+    }
+
+    fn transform(&self, data: &mut [Complex64], invert: bool) {
+        assert_eq!(data.len(), self.n, "buffer length must equal plan length");
+        let n = self.n;
+        if n <= 1 {
+            return;
+        }
+        // Bit-reversal permutation.
+        for i in 0..n {
+            let j = self.rev[i] as usize;
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+        // Butterflies with precomputed twiddles.
+        let mut len = 2;
+        let mut tw_base = 0;
+        while len <= n {
+            let half = len / 2;
+            let mut start = 0;
+            while start < n {
+                for j in 0..half {
+                    let w = if invert {
+                        self.twiddles[tw_base + j].conj()
+                    } else {
+                        self.twiddles[tw_base + j]
+                    };
+                    let u = data[start + j];
+                    let v = data[start + j + half] * w;
+                    data[start + j] = u + v;
+                    data[start + j + half] = u - v;
+                }
+                start += len;
+            }
+            tw_base += half;
+            len <<= 1;
+        }
+    }
+}
+
+/// One-shot forward FFT. Prefer [`Fft`] when transforming many buffers of
+/// the same size.
+///
+/// # Panics
+/// Panics if `data.len()` is not a power of two.
+pub fn fft_forward(data: &mut [Complex64]) {
+    Fft::new(data.len()).forward(data);
+}
+
+/// One-shot inverse FFT (normalised). Prefer [`Fft`] for repeated use.
+///
+/// # Panics
+/// Panics if `data.len()` is not a power of two.
+pub fn fft_inverse(data: &mut [Complex64]) {
+    Fft::new(data.len()).inverse(data);
+}
+
+/// Smallest power of two `>= n` (with `next_pow2(0) == 1`).
+#[inline]
+pub fn next_pow2(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::float::approx_eq;
+
+    /// Quadratic-time reference DFT used to validate the fast transform.
+    fn dft_reference(input: &[Complex64]) -> Vec<Complex64> {
+        let n = input.len();
+        let mut out = vec![Complex64::ZERO; n];
+        for (k, o) in out.iter_mut().enumerate() {
+            let mut acc = Complex64::ZERO;
+            for (j, &x) in input.iter().enumerate() {
+                let angle = -2.0 * std::f64::consts::PI * (j * k) as f64 / n as f64;
+                acc += x * Complex64::cis(angle);
+            }
+            *o = acc;
+        }
+        out
+    }
+
+    fn assert_close(a: &[Complex64], b: &[Complex64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                approx_eq(x.re, y.re, tol) && approx_eq(x.im, y.im, tol),
+                "mismatch at {i}: {x:?} vs {y:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn size_one_is_identity() {
+        let mut data = [Complex64::new(3.5, -1.0)];
+        fft_forward(&mut data);
+        assert_eq!(data[0], Complex64::new(3.5, -1.0));
+        fft_inverse(&mut data);
+        assert_eq!(data[0], Complex64::new(3.5, -1.0));
+    }
+
+    #[test]
+    fn size_two_butterfly() {
+        let mut data = [Complex64::from_real(1.0), Complex64::from_real(2.0)];
+        fft_forward(&mut data);
+        assert!(approx_eq(data[0].re, 3.0, 1e-12));
+        assert!(approx_eq(data[1].re, -1.0, 1e-12));
+    }
+
+    #[test]
+    fn matches_reference_dft_across_sizes() {
+        for bits in 0..=8 {
+            let n = 1usize << bits;
+            let input: Vec<Complex64> = (0..n)
+                .map(|i| Complex64::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+                .collect();
+            let expected = dft_reference(&input);
+            let mut data = input.clone();
+            fft_forward(&mut data);
+            assert_close(&data, &expected, 1e-8 * n as f64);
+        }
+    }
+
+    #[test]
+    fn round_trip_recovers_input() {
+        let n = 256;
+        let input: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new((i * i % 97) as f64 / 97.0, (i % 13) as f64 / 13.0))
+            .collect();
+        let mut data = input.clone();
+        let plan = Fft::new(n);
+        plan.forward(&mut data);
+        plan.inverse(&mut data);
+        assert_close(&data, &input, 1e-10);
+    }
+
+    #[test]
+    fn impulse_transforms_to_constant() {
+        let n = 64;
+        let mut data = vec![Complex64::ZERO; n];
+        data[0] = Complex64::ONE;
+        fft_forward(&mut data);
+        for z in &data {
+            assert!(approx_eq(z.re, 1.0, 1e-12));
+            assert!(approx_eq(z.im, 0.0, 1e-12));
+        }
+    }
+
+    #[test]
+    fn constant_transforms_to_impulse() {
+        let n = 32;
+        let mut data = vec![Complex64::ONE; n];
+        fft_forward(&mut data);
+        assert!(approx_eq(data[0].re, n as f64, 1e-10));
+        for z in &data[1..] {
+            assert!(z.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 128;
+        let a: Vec<Complex64> =
+            (0..n).map(|i| Complex64::new((i as f64).sin(), 0.0)).collect();
+        let b: Vec<Complex64> =
+            (0..n).map(|i| Complex64::new(0.0, (i as f64 * 0.5).cos())).collect();
+        let plan = Fft::new(n);
+
+        let mut sum: Vec<Complex64> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
+        plan.forward(&mut sum);
+
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        plan.forward(&mut fa);
+        plan.forward(&mut fb);
+        let separate: Vec<Complex64> = fa.iter().zip(&fb).map(|(&x, &y)| x + y).collect();
+        assert_close(&sum, &separate, 1e-9);
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let n = 512;
+        let input: Vec<Complex64> =
+            (0..n).map(|i| Complex64::new(((i * 31) % 17) as f64, 0.0)).collect();
+        let time_energy: f64 = input.iter().map(|z| z.norm_sqr()).sum();
+        let mut data = input;
+        fft_forward(&mut data);
+        let freq_energy: f64 = data.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        assert!(approx_eq(time_energy, freq_energy, 1e-6 * time_energy.max(1.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let _ = Fft::new(12);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn rejects_mismatched_buffer() {
+        let plan = Fft::new(8);
+        let mut data = vec![Complex64::ZERO; 4];
+        plan.forward(&mut data);
+    }
+
+    #[test]
+    fn next_pow2_values() {
+        assert_eq!(next_pow2(0), 1);
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(2), 2);
+        assert_eq!(next_pow2(3), 4);
+        assert_eq!(next_pow2(1023), 1024);
+        assert_eq!(next_pow2(1024), 1024);
+    }
+}

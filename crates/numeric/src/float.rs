@@ -1,0 +1,117 @@
+//! Floating-point comparison and clamping helpers.
+//!
+//! Shared by tests and by the probability plumbing (pmf entries must stay
+//! inside `[0, 1]` despite round-off).
+
+/// Absolute-difference comparison: `|a - b| <= tol`, treating two NaNs or
+/// two identical infinities as equal.
+#[inline]
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    if a == b {
+        return true; // covers infinities of the same sign and exact hits
+    }
+    if a.is_nan() && b.is_nan() {
+        return true;
+    }
+    (a - b).abs() <= tol
+}
+
+/// Relative comparison: `|a - b| <= rel_tol * max(|a|, |b|)`, falling back
+/// to an absolute tolerance near zero.
+#[inline]
+pub fn approx_eq_rel(a: f64, b: f64, rel_tol: f64) -> bool {
+    if a == b {
+        return true;
+    }
+    let scale = a.abs().max(b.abs());
+    if scale < 1e-300 {
+        return (a - b).abs() <= rel_tol;
+    }
+    (a - b).abs() <= rel_tol * scale
+}
+
+/// Clamps a value into the closed unit interval `[0, 1]`.
+#[inline]
+pub fn clamp_unit(p: f64) -> f64 {
+    p.clamp(0.0, 1.0)
+}
+
+/// Clamps a value into the *open* unit interval `(0, 1)` by pulling it away
+/// from the endpoints by `margin`. Used when normalised ranking scores map
+/// onto individual error rates, which Definition 4 requires to be strictly
+/// inside `(0, 1)`.
+///
+/// # Panics
+/// Panics if `margin` is not in `(0, 0.5)`.
+#[inline]
+pub fn clamp_open_unit(p: f64, margin: f64) -> f64 {
+    assert!(margin > 0.0 && margin < 0.5, "margin must be in (0, 0.5), got {margin}");
+    p.clamp(margin, 1.0 - margin)
+}
+
+/// `true` if `p` is a valid probability (finite and within `[0, 1]`).
+#[inline]
+pub fn is_probability(p: f64) -> bool {
+    p.is_finite() && (0.0..=1.0).contains(&p)
+}
+
+/// `true` if `p` is strictly inside `(0, 1)` — a valid individual error
+/// rate per Definition 4 of the paper.
+#[inline]
+pub fn is_open_probability(p: f64) -> bool {
+    p.is_finite() && p > 0.0 && p < 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_basic() {
+        assert!(approx_eq(1.0, 1.0, 0.0));
+        assert!(approx_eq(1.0, 1.0 + 1e-13, 1e-12));
+        assert!(!approx_eq(1.0, 1.1, 1e-3));
+        assert!(approx_eq(f64::NAN, f64::NAN, 1e-9));
+        assert!(approx_eq(f64::INFINITY, f64::INFINITY, 0.0));
+        assert!(!approx_eq(f64::INFINITY, f64::NEG_INFINITY, 1e9));
+    }
+
+    #[test]
+    fn approx_eq_rel_scales() {
+        assert!(approx_eq_rel(1e12, 1e12 + 1.0, 1e-9));
+        assert!(!approx_eq_rel(1.0, 2.0, 1e-9));
+        assert!(approx_eq_rel(0.0, 0.0, 1e-15));
+        assert!(approx_eq_rel(1e-320, -1e-320, 1e-9)); // near-zero fallback
+    }
+
+    #[test]
+    fn clamp_unit_bounds() {
+        assert_eq!(clamp_unit(-0.5), 0.0);
+        assert_eq!(clamp_unit(0.5), 0.5);
+        assert_eq!(clamp_unit(1.5), 1.0);
+    }
+
+    #[test]
+    fn clamp_open_unit_pulls_endpoints_in() {
+        assert_eq!(clamp_open_unit(0.0, 1e-6), 1e-6);
+        assert_eq!(clamp_open_unit(1.0, 1e-6), 1.0 - 1e-6);
+        assert_eq!(clamp_open_unit(0.3, 1e-6), 0.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "margin")]
+    fn clamp_open_unit_rejects_bad_margin() {
+        let _ = clamp_open_unit(0.5, 0.7);
+    }
+
+    #[test]
+    fn probability_predicates() {
+        assert!(is_probability(0.0));
+        assert!(is_probability(1.0));
+        assert!(!is_probability(-0.1));
+        assert!(!is_probability(f64::NAN));
+        assert!(is_open_probability(0.5));
+        assert!(!is_open_probability(0.0));
+        assert!(!is_open_probability(1.0));
+    }
+}

@@ -1,0 +1,139 @@
+//! Compensated (Kahan–Babuška) summation.
+//!
+//! Jury Error Rate is a sum over up to `2^n` minority terms (naive engine)
+//! or a tail sum over a pmf of length `n+1`. Plain left-to-right `f64`
+//! addition loses up to `n` ulps; Neumaier's variant of Kahan summation
+//! keeps the error independent of the number of terms, which matters when
+//! the experiments compare engines to 1e-12.
+
+/// Running compensated sum (Neumaier variant).
+///
+/// ```
+/// use jury_numeric::KahanSum;
+/// let mut s = KahanSum::new();
+/// for _ in 0..10 { s.add(0.1); }
+/// assert!((s.value() - 1.0).abs() < 1e-15);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct KahanSum {
+    sum: f64,
+    compensation: f64,
+}
+
+impl KahanSum {
+    /// A sum starting at zero.
+    #[inline]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A sum starting at `initial`.
+    #[inline]
+    pub fn with_initial(initial: f64) -> Self {
+        Self { sum: initial, compensation: 0.0 }
+    }
+
+    /// Adds one term.
+    #[inline]
+    pub fn add(&mut self, value: f64) {
+        let t = self.sum + value;
+        if self.sum.abs() >= value.abs() {
+            self.compensation += (self.sum - t) + value;
+        } else {
+            self.compensation += (value - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    /// The compensated total.
+    #[inline]
+    pub fn value(&self) -> f64 {
+        self.sum + self.compensation
+    }
+}
+
+impl Extend<f64> for KahanSum {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for v in iter {
+            self.add(v);
+        }
+    }
+}
+
+impl FromIterator<f64> for KahanSum {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = Self::new();
+        s.extend(iter);
+        s
+    }
+}
+
+/// Sums a slice with compensation. Convenience wrapper over [`KahanSum`].
+#[inline]
+pub fn kahan_sum(values: &[f64]) -> f64 {
+    values.iter().copied().collect::<KahanSum>().value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sum_is_zero() {
+        assert_eq!(KahanSum::new().value(), 0.0);
+        assert_eq!(kahan_sum(&[]), 0.0);
+    }
+
+    #[test]
+    fn exact_on_representable_values() {
+        assert_eq!(kahan_sum(&[1.0, 2.0, 3.0]), 6.0);
+    }
+
+    #[test]
+    fn tenth_times_ten_is_one() {
+        let s = kahan_sum(&[0.1; 10]);
+        assert!((s - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn survives_catastrophic_cancellation() {
+        // Naive summation of [1e16, 1.0, -1e16] gives 0.0; compensated gives 1.0.
+        let s = kahan_sum(&[1e16, 1.0, -1e16]);
+        assert_eq!(s, 1.0);
+    }
+
+    #[test]
+    fn neumaier_handles_large_late_terms() {
+        // Classic case where plain Kahan fails but Neumaier succeeds:
+        // the large value arrives *after* the small ones.
+        let s = kahan_sum(&[1.0, 1e100, 1.0, -1e100]);
+        assert_eq!(s, 2.0);
+    }
+
+    #[test]
+    fn beats_naive_on_long_small_terms() {
+        let n = 1_000_000;
+        let term = 1e-6;
+        let naive: f64 = (0..n).map(|_| term).sum();
+        let comp = (0..n).map(|_| term).collect::<KahanSum>().value();
+        let exact = 1.0;
+        assert!((comp - exact).abs() <= (naive - exact).abs());
+        assert!((comp - exact).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_initial_offsets() {
+        let mut s = KahanSum::with_initial(5.0);
+        s.add(2.5);
+        assert_eq!(s.value(), 7.5);
+    }
+
+    #[test]
+    fn extend_and_collect() {
+        let mut s = KahanSum::new();
+        s.extend([1.0, 2.0]);
+        assert_eq!(s.value(), 3.0);
+        let c: KahanSum = [0.5, 0.25, 0.25].into_iter().collect();
+        assert_eq!(c.value(), 1.0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Property-based tests for the numeric substrate.
+//!
+//! These encode the mathematical invariants the rest of the workspace
+//! relies on: agreement of all Poisson-Binomial constructions, conservation
+//! of probability mass, FFT round-trips, convolution equivalences and the
+//! soundness of every tail bound.
+
+use jury_numeric::bounds::{
+    cantelli_upper_bound, chernoff_upper_bound, paley_zygmund_lower_bound, TailBound,
+};
+use jury_numeric::conv::{convolve_direct, convolve_fft};
+use jury_numeric::fft::Fft;
+use jury_numeric::poibin::{tail_probability_dp, PoiBin};
+use jury_numeric::Complex64;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Error rates strictly inside (0,1) as Definition 4 requires.
+fn error_rates(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    vec(0.001..0.999f64, 1..=max_len)
+}
+
+proptest! {
+    #[test]
+    fn naive_dp_cba_agree(eps in error_rates(12)) {
+        let naive = PoiBin::from_error_rates_naive(&eps);
+        let dp = PoiBin::from_error_rates_dp(&eps);
+        let cba = PoiBin::from_error_rates_cba(&eps);
+        for k in 0..=eps.len() {
+            prop_assert!((naive.prob_eq(k) - dp.prob_eq(k)).abs() < 1e-10);
+            prop_assert!((naive.prob_eq(k) - cba.prob_eq(k)).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn dp_cba_agree_medium(eps in error_rates(150)) {
+        let dp = PoiBin::from_error_rates_dp(&eps);
+        let cba = PoiBin::from_error_rates_cba(&eps);
+        for k in 0..=eps.len() {
+            prop_assert!((dp.prob_eq(k) - cba.prob_eq(k)).abs() < 1e-9,
+                "k={} dp={} cba={}", k, dp.prob_eq(k), cba.prob_eq(k));
+        }
+    }
+
+    #[test]
+    fn pmf_is_a_distribution(eps in error_rates(100)) {
+        let d = PoiBin::from_error_rates(&eps);
+        let total: f64 = d.pmf().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!(d.pmf().iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn mean_variance_closed_forms(eps in error_rates(60)) {
+        let d = PoiBin::from_error_rates(&eps);
+        let mu: f64 = eps.iter().sum();
+        let var: f64 = eps.iter().map(|e| e * (1.0 - e)).sum();
+        prop_assert!((d.mean() - mu).abs() < 1e-9);
+        prop_assert!((d.variance() - var).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tail_is_monotone_decreasing(eps in error_rates(40)) {
+        let d = PoiBin::from_error_rates(&eps);
+        for k in 0..=eps.len() {
+            prop_assert!(d.tail(k) + 1e-12 >= d.tail(k + 1));
+        }
+        prop_assert_eq!(d.tail(0), 1.0);
+        prop_assert_eq!(d.tail(eps.len() + 1), 0.0);
+    }
+
+    #[test]
+    fn tail_dp_matches_pmf_tail(eps in error_rates(40), t in 0usize..45) {
+        let d = PoiBin::from_error_rates(&eps);
+        prop_assert!((tail_probability_dp(&eps, t) - d.tail(t)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn incremental_push_matches_batch(eps in error_rates(50)) {
+        let mut inc = PoiBin::empty();
+        for &e in &eps {
+            inc.push(e);
+        }
+        let batch = PoiBin::from_error_rates_dp(&eps);
+        for k in 0..=eps.len() {
+            prop_assert!((inc.prob_eq(k) - batch.prob_eq(k)).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn merge_is_commutative_and_joint(a in error_rates(20), b in error_rates(20)) {
+        let da = PoiBin::from_error_rates(&a);
+        let db = PoiBin::from_error_rates(&b);
+        let ab = da.merge(&db);
+        let ba = db.merge(&da);
+        let mut joint_eps = a.clone();
+        joint_eps.extend_from_slice(&b);
+        let joint = PoiBin::from_error_rates(&joint_eps);
+        for k in 0..=joint_eps.len() {
+            prop_assert!((ab.prob_eq(k) - ba.prob_eq(k)).abs() < 1e-10);
+            prop_assert!((ab.prob_eq(k) - joint.prob_eq(k)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn paley_zygmund_never_exceeds_exact(eps in error_rates(25), t in 1usize..13) {
+        if let TailBound::Value(b) = paley_zygmund_lower_bound(&eps, t) {
+            let exact = PoiBin::from_error_rates(&eps).tail(t);
+            prop_assert!(b <= exact + 1e-9, "bound {} > exact {}", b, exact);
+        }
+    }
+
+    #[test]
+    fn upper_bounds_never_undershoot(eps in error_rates(25), t in 1usize..13) {
+        let exact = PoiBin::from_error_rates(&eps).tail(t);
+        if let TailBound::Value(b) = cantelli_upper_bound(&eps, t) {
+            prop_assert!(b >= exact - 1e-9);
+        }
+        if let TailBound::Value(b) = chernoff_upper_bound(&eps, t) {
+            prop_assert!(b >= exact - 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft_round_trip(values in vec(-100.0..100.0f64, 1..64)) {
+        let n = values.len().next_power_of_two();
+        let mut data: Vec<Complex64> = values.iter().map(|&v| Complex64::from_real(v)).collect();
+        data.resize(n, Complex64::ZERO);
+        let original = data.clone();
+        let plan = Fft::new(n);
+        let mut buf = data;
+        plan.forward(&mut buf);
+        plan.inverse(&mut buf);
+        for (a, b) in buf.iter().zip(&original) {
+            prop_assert!((a.re - b.re).abs() < 1e-8);
+            prop_assert!((a.im - b.im).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn conv_direct_equals_fft(a in vec(0.0..1.0f64, 1..80), b in vec(0.0..1.0f64, 1..80)) {
+        let d = convolve_direct(&a, &b);
+        let f = convolve_fft(&a, &b);
+        prop_assert_eq!(d.len(), f.len());
+        for (x, y) in d.iter().zip(&f) {
+            prop_assert!((x - y).abs() < 1e-8, "{} vs {}", x, y);
+        }
+    }
+
+    #[test]
+    fn adding_a_certain_juror_shifts_tail(eps in error_rates(20), t in 1usize..10) {
+        // Appending ε = 1 (always wrong) increments C by one deterministically:
+        // Pr(C' >= t+1) == Pr(C >= t).
+        let base = PoiBin::from_error_rates(&eps);
+        let mut extended = base.clone();
+        extended.push(1.0);
+        prop_assert!((extended.tail(t + 1) - base.tail(t)).abs() < 1e-10);
+        // Appending ε = 0 (never wrong) leaves every tail unchanged.
+        let mut same = base.clone();
+        same.push(0.0);
+        prop_assert!((same.tail(t) - base.tail(t)).abs() < 1e-10);
+    }
+}

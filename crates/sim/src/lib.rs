@@ -1,0 +1,24 @@
+//! Voting simulation and Monte-Carlo validation.
+//!
+//! The paper's model assumes each juror errs independently with their
+//! individual error rate. This crate *simulates* that process: it draws
+//! votings, aggregates them by (weighted) majority voting, and estimates
+//! empirical jury error rates with confidence intervals — the end-to-end
+//! check that the analytic JER engines and the selection algorithms talk
+//! about the same quantity.
+//!
+//! * [`voting_sim`] — draw a single voting for a jury given ground truth;
+//! * [`monte_carlo`] — repeat many times, estimate `Pr(majority wrong)`;
+//! * [`task`] — batches of decision-making tasks (the micro-blog
+//!   questions of §1) answered by a fixed jury.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod monte_carlo;
+pub mod task;
+pub mod voting_sim;
+
+pub use monte_carlo::{estimate_jer, JerEstimate};
+pub use task::{run_tasks, TaskBatchReport, TaskConfig};
+pub use voting_sim::simulate_voting;

@@ -1,0 +1,145 @@
+//! Monte-Carlo estimation of the Jury Error Rate.
+//!
+//! Replays many simulated votings and counts how often the majority is
+//! wrong. The point estimate comes with a normal-approximation 95%
+//! confidence interval so tests (and EXPERIMENTS.md) can assert agreement
+//! with the analytic engines in a statistically honest way.
+
+use crate::voting_sim::simulate_voting;
+use jury_core::jury::Jury;
+use jury_core::voting::majority_vote;
+use rand::Rng;
+
+/// Result of a Monte-Carlo JER estimation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JerEstimate {
+    /// Fraction of trials in which the majority decision was wrong.
+    pub point: f64,
+    /// Half-width of the 95% confidence interval
+    /// (`1.96·sqrt(p(1-p)/trials)`).
+    pub half_width_95: f64,
+    /// Number of simulated votings.
+    pub trials: usize,
+}
+
+impl JerEstimate {
+    /// Whether `value` lies inside the 95% interval (with a small safety
+    /// slack for the normal approximation at extreme `p`).
+    pub fn covers(&self, value: f64) -> bool {
+        (value - self.point).abs() <= self.half_width_95 + 1e-9
+    }
+}
+
+/// Estimates `JER` for `jury` by simulating `trials` votings.
+///
+/// Both ground-truth polarities are exercised alternately — the model is
+/// symmetric in the truth value, and alternating halves catches any
+/// accidental asymmetry in the plumbing.
+///
+/// # Panics
+/// Panics if `trials` is zero.
+pub fn estimate_jer<R: Rng + ?Sized>(jury: &Jury, trials: usize, rng: &mut R) -> JerEstimate {
+    assert!(trials > 0, "need at least one trial");
+    let mut wrong = 0usize;
+    for t in 0..trials {
+        let truth = t % 2 == 0;
+        let voting = simulate_voting(jury, truth, rng);
+        if majority_vote(&voting).as_bool() != truth {
+            wrong += 1;
+        }
+    }
+    let p = wrong as f64 / trials as f64;
+    JerEstimate {
+        point: p,
+        half_width_95: 1.96 * (p * (1.0 - p) / trials as f64).sqrt(),
+        trials,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jury_core::jer::JerEngine;
+    use jury_core::juror::pool_from_rates;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn jury_of(rates: &[f64]) -> Jury {
+        Jury::new(pool_from_rates(rates).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn empirical_matches_analytic_motivating_example() {
+        // JER({0.2, 0.3, 0.3}) = 0.174.
+        let jury = jury_of(&[0.2, 0.3, 0.3]);
+        let mut rng = StdRng::seed_from_u64(11);
+        let est = estimate_jer(&jury, 60_000, &mut rng);
+        let analytic = jury.jer(JerEngine::Auto);
+        assert!(
+            est.covers(analytic),
+            "estimate {} ± {} misses {}",
+            est.point,
+            est.half_width_95,
+            analytic
+        );
+    }
+
+    #[test]
+    fn empirical_matches_analytic_five_jurors() {
+        let jury = jury_of(&[0.1, 0.2, 0.2, 0.3, 0.3]);
+        let mut rng = StdRng::seed_from_u64(12);
+        let est = estimate_jer(&jury, 80_000, &mut rng);
+        assert!(est.covers(0.07036), "estimate {} misses 0.07036", est.point);
+    }
+
+    #[test]
+    fn singleton_jury_estimates_epsilon() {
+        let jury = jury_of(&[0.42]);
+        let mut rng = StdRng::seed_from_u64(13);
+        let est = estimate_jer(&jury, 40_000, &mut rng);
+        assert!(est.covers(0.42));
+    }
+
+    #[test]
+    fn interval_shrinks_with_trials() {
+        let jury = jury_of(&[0.3, 0.3, 0.3]);
+        let mut rng = StdRng::seed_from_u64(14);
+        let small = estimate_jer(&jury, 1_000, &mut rng);
+        let large = estimate_jer(&jury, 100_000, &mut rng);
+        assert!(large.half_width_95 < small.half_width_95);
+        assert_eq!(large.trials, 100_000);
+    }
+
+    #[test]
+    fn near_perfect_jury_rarely_errs() {
+        let jury = jury_of(&[0.01, 0.01, 0.01]);
+        let mut rng = StdRng::seed_from_u64(15);
+        let est = estimate_jer(&jury, 30_000, &mut rng);
+        // Analytic JER ≈ 3e-4.
+        assert!(est.point < 0.002);
+    }
+
+    #[test]
+    fn adversarial_jury_almost_always_errs() {
+        let jury = jury_of(&[0.99, 0.99, 0.99]);
+        let mut rng = StdRng::seed_from_u64(16);
+        let est = estimate_jer(&jury, 10_000, &mut rng);
+        assert!(est.point > 0.99);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_rejected() {
+        let jury = jury_of(&[0.3]);
+        let mut rng = StdRng::seed_from_u64(17);
+        let _ = estimate_jer(&jury, 0, &mut rng);
+    }
+
+    #[test]
+    fn covers_is_symmetric_around_point() {
+        let est = JerEstimate { point: 0.2, half_width_95: 0.05, trials: 100 };
+        assert!(est.covers(0.24));
+        assert!(est.covers(0.16));
+        assert!(!est.covers(0.3));
+    }
+}

@@ -1,0 +1,169 @@
+//! Batches of decision-making tasks.
+//!
+//! Models the paper's motivating workload: a stream of binary questions
+//! ("Is Turkey in Europe?", "Is this message a rumor?") posed to a fixed
+//! jury via `@`-mentions. Each task has a latent ground truth; the jury
+//! votes; aggregation is plain or weighted majority voting. The report
+//! compares both aggregators against the analytic JER.
+
+use crate::voting_sim::simulate_voting;
+use jury_core::jury::Jury;
+use jury_core::voting::{majority_vote, weighted_majority_vote};
+use rand::Rng;
+
+/// Configuration of a task batch.
+#[derive(Debug, Clone, Copy)]
+pub struct TaskConfig {
+    /// Number of decision tasks to run.
+    pub tasks: usize,
+    /// Probability that a task's latent answer is "yes" (rumor tasks in
+    /// the wild are imbalanced; the model is symmetric but the harness
+    /// lets experiments vary it).
+    pub prior_yes: f64,
+}
+
+impl Default for TaskConfig {
+    fn default() -> Self {
+        Self { tasks: 1000, prior_yes: 0.5 }
+    }
+}
+
+/// Outcome counts of a task batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskBatchReport {
+    /// Tasks answered correctly by plain majority voting.
+    pub majority_correct: usize,
+    /// Tasks answered correctly by log-odds weighted majority voting.
+    pub weighted_correct: usize,
+    /// Total tasks run.
+    pub tasks: usize,
+}
+
+impl TaskBatchReport {
+    /// Empirical error rate of plain majority voting.
+    pub fn majority_error_rate(&self) -> f64 {
+        1.0 - self.majority_correct as f64 / self.tasks as f64
+    }
+
+    /// Empirical error rate of weighted majority voting.
+    pub fn weighted_error_rate(&self) -> f64 {
+        1.0 - self.weighted_correct as f64 / self.tasks as f64
+    }
+}
+
+/// Runs a batch of simulated decision tasks against `jury`.
+///
+/// # Panics
+/// Panics if `config.tasks` is zero or `prior_yes` is not a probability.
+pub fn run_tasks<R: Rng + ?Sized>(jury: &Jury, config: &TaskConfig, rng: &mut R) -> TaskBatchReport {
+    assert!(config.tasks > 0, "need at least one task");
+    assert!(
+        (0.0..=1.0).contains(&config.prior_yes),
+        "prior_yes must be a probability"
+    );
+    let mut majority_correct = 0;
+    let mut weighted_correct = 0;
+    for _ in 0..config.tasks {
+        let truth = rng.gen_bool(config.prior_yes);
+        let voting = simulate_voting(jury, truth, rng);
+        if majority_vote(&voting).as_bool() == truth {
+            majority_correct += 1;
+        }
+        let weighted = weighted_majority_vote(jury, &voting)
+            .expect("voting came from this jury");
+        if weighted.as_bool() == truth {
+            weighted_correct += 1;
+        }
+    }
+    TaskBatchReport { majority_correct, weighted_correct, tasks: config.tasks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jury_core::jer::JerEngine;
+    use jury_core::juror::pool_from_rates;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn jury_of(rates: &[f64]) -> Jury {
+        Jury::new(pool_from_rates(rates).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn report_accounting_is_consistent() {
+        let jury = jury_of(&[0.2, 0.3, 0.25]);
+        let mut rng = StdRng::seed_from_u64(20);
+        let report = run_tasks(&jury, &TaskConfig::default(), &mut rng);
+        assert_eq!(report.tasks, 1000);
+        assert!(report.majority_correct <= report.tasks);
+        assert!(report.weighted_correct <= report.tasks);
+        let e = report.majority_error_rate();
+        assert!((0.0..=1.0).contains(&e));
+    }
+
+    #[test]
+    fn majority_error_tracks_analytic_jer() {
+        let jury = jury_of(&[0.2, 0.3, 0.3]);
+        let mut rng = StdRng::seed_from_u64(21);
+        let report =
+            run_tasks(&jury, &TaskConfig { tasks: 60_000, prior_yes: 0.5 }, &mut rng);
+        let analytic = jury.jer(JerEngine::Auto); // 0.174
+        assert!(
+            (report.majority_error_rate() - analytic).abs() < 0.01,
+            "empirical {} vs analytic {analytic}",
+            report.majority_error_rate()
+        );
+    }
+
+    #[test]
+    fn weighted_never_much_worse_and_often_better() {
+        // Heterogeneous rates: weighted MV should beat plain MV.
+        let jury = jury_of(&[0.05, 0.45, 0.45, 0.45, 0.45]);
+        let mut rng = StdRng::seed_from_u64(22);
+        let report =
+            run_tasks(&jury, &TaskConfig { tasks: 40_000, prior_yes: 0.5 }, &mut rng);
+        assert!(
+            report.weighted_error_rate() < report.majority_error_rate(),
+            "weighted {} vs majority {}",
+            report.weighted_error_rate(),
+            report.majority_error_rate()
+        );
+    }
+
+    #[test]
+    fn weighted_equals_majority_for_homogeneous_juries() {
+        let jury = jury_of(&[0.3; 5]);
+        let mut rng = StdRng::seed_from_u64(23);
+        let report =
+            run_tasks(&jury, &TaskConfig { tasks: 5_000, prior_yes: 0.5 }, &mut rng);
+        assert_eq!(report.majority_correct, report.weighted_correct);
+    }
+
+    #[test]
+    fn skewed_prior_is_handled() {
+        let jury = jury_of(&[0.1, 0.1, 0.1]);
+        let mut rng = StdRng::seed_from_u64(24);
+        let report =
+            run_tasks(&jury, &TaskConfig { tasks: 10_000, prior_yes: 0.9 }, &mut rng);
+        // Error statistics are truth-symmetric: still ≈ analytic JER.
+        let analytic = jury.jer(JerEngine::Auto);
+        assert!((report.majority_error_rate() - analytic).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one task")]
+    fn zero_tasks_rejected() {
+        let jury = jury_of(&[0.3]);
+        let mut rng = StdRng::seed_from_u64(25);
+        let _ = run_tasks(&jury, &TaskConfig { tasks: 0, prior_yes: 0.5 }, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bad_prior_rejected() {
+        let jury = jury_of(&[0.3]);
+        let mut rng = StdRng::seed_from_u64(26);
+        let _ = run_tasks(&jury, &TaskConfig { tasks: 10, prior_yes: 1.5 }, &mut rng);
+    }
+}

@@ -1,0 +1,117 @@
+//! Drawing votings from the paper's error model.
+//!
+//! Given a jury and a latent ground truth, each juror independently votes
+//! *against* the truth with probability `ε_i` (Definition 4). The result
+//! is a [`Voting`] ready for aggregation.
+
+use jury_core::jury::Jury;
+use jury_core::voting::Voting;
+use rand::Rng;
+
+/// Simulates one voting of `jury` on a task whose latent answer is
+/// `truth`.
+pub fn simulate_voting<R: Rng + ?Sized>(jury: &Jury, truth: bool, rng: &mut R) -> Voting {
+    let ballots: Vec<bool> = jury
+        .members()
+        .iter()
+        .map(|j| {
+            let errs = rng.gen_bool(j.epsilon());
+            if errs {
+                !truth
+            } else {
+                truth
+            }
+        })
+        .collect();
+    Voting::new(ballots).expect("jury size is odd and non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jury_core::juror::{pool_from_rates, ErrorRate, Juror};
+    use jury_core::voting::majority_vote;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn jury_of(rates: &[f64]) -> Jury {
+        Jury::new(pool_from_rates(rates).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn ballot_count_matches_jury_size() {
+        let jury = jury_of(&[0.2, 0.3, 0.4]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let v = simulate_voting(&jury, true, &mut rng);
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn nearly_perfect_jurors_echo_truth() {
+        let jury = Jury::new(vec![
+            Juror::free(0, ErrorRate::new(1e-12).unwrap()),
+            Juror::free(1, ErrorRate::new(1e-12).unwrap()),
+            Juror::free(2, ErrorRate::new(1e-12).unwrap()),
+        ])
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        for truth in [true, false] {
+            for _ in 0..50 {
+                let v = simulate_voting(&jury, truth, &mut rng);
+                assert!(v.ballots().iter().all(|&b| b == truth));
+            }
+        }
+    }
+
+    #[test]
+    fn nearly_adversarial_jurors_invert_truth() {
+        let jury = Jury::new(vec![Juror::free(0, ErrorRate::new(1.0 - 1e-12).unwrap())]).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let v = simulate_voting(&jury, true, &mut rng);
+        assert!(!v.ballots()[0]);
+    }
+
+    #[test]
+    fn error_frequency_approaches_epsilon() {
+        let jury = jury_of(&[0.3]);
+        let mut rng = StdRng::seed_from_u64(4);
+        let trials = 20_000;
+        let mut wrong = 0;
+        for _ in 0..trials {
+            let v = simulate_voting(&jury, true, &mut rng);
+            if !v.ballots()[0] {
+                wrong += 1;
+            }
+        }
+        let freq = wrong as f64 / trials as f64;
+        assert!((freq - 0.3).abs() < 0.02, "freq {freq}");
+    }
+
+    #[test]
+    fn symmetric_in_truth_value() {
+        // Error events depend on ε only, not on which answer is true:
+        // majority correctness statistics match across truth values.
+        let jury = jury_of(&[0.25, 0.25, 0.25]);
+        let trials = 10_000;
+        let mut wrong = [0usize; 2];
+        for (t, truth) in [true, false].into_iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(5);
+            for _ in 0..trials {
+                let v = simulate_voting(&jury, truth, &mut rng);
+                if majority_vote(&v).as_bool() != truth {
+                    wrong[t] += 1;
+                }
+            }
+        }
+        // Same seed, mirrored process: identical counts.
+        assert_eq!(wrong[0], wrong[1]);
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let jury = jury_of(&[0.4, 0.1, 0.6, 0.2, 0.35]);
+        let a = simulate_voting(&jury, true, &mut StdRng::seed_from_u64(9));
+        let b = simulate_voting(&jury, true, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

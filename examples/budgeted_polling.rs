@@ -1,0 +1,76 @@
+//! Budgeted polling: the PayM model under a cost/quality trade-off.
+//!
+//! A product team wants to poll paid micro-blog panelists about feature
+//! decisions. Panelists quote different prices and have different track
+//! records. This example sweeps the budget and shows
+//!
+//! * how the greedy PayALG's spent cost and JER respond (Figures
+//!   3(c)/3(d) in miniature),
+//! * how close the greedy heuristic gets to the exact optimum computed
+//!   by exhaustive enumeration (Figures 3(e)/3(f) in miniature), and
+//! * the budget level past which extra money stops buying accuracy.
+//!
+//! Run with: `cargo run --release --example budgeted_polling`
+
+use jury_selection::prelude::*;
+
+fn main() {
+    // A 20-panelist market: prices loosely anti-correlated with error
+    // rates (good panelists know their worth).
+    let quotes: Vec<(f64, f64)> = (0..20)
+        .map(|i| {
+            let skill = i as f64 / 19.0; // 0 = novice, 1 = expert
+            let rate = 0.45 - 0.40 * skill; // ε in [0.05, 0.45]
+            let price = 0.05 + 0.50 * skill * skill; // convex pricing
+            (rate, price)
+        })
+        .collect();
+    let pool = jury_core::juror::pool_from_rates_and_costs(&quotes).expect("valid quotes");
+    let total_market: f64 = pool.iter().map(|j| j.cost).sum();
+    println!("panel of {} quotes, total market price ${total_market:.2}\n", pool.len());
+
+    println!(
+        "{:>7}  {:>9} {:>9} {:>5}   {:>9} {:>9} {:>5}   {:>8}",
+        "budget", "greedyJER", "cost", "size", "exactJER", "cost", "size", "optimal?"
+    );
+    let mut last_exact_jer = f64::INFINITY;
+    for step in 1..=12 {
+        let budget = step as f64 * 0.25;
+        let greedy = PayAlg::solve(&pool, budget, &PayConfig::default());
+        let exact = exact_paym_parallel(&pool, budget, &ExactConfig::default());
+        match (greedy, exact) {
+            (Ok(g), Ok(e)) => {
+                assert!(e.jer <= g.jer + 1e-12, "exact must dominate");
+                assert!(g.total_cost <= budget + 1e-12);
+                let marginal = last_exact_jer - e.jer;
+                last_exact_jer = e.jer;
+                println!(
+                    "{:>6.2}$  {:>9.5} {:>8.2}$ {:>5}   {:>9.5} {:>8.2}$ {:>5}   {:>8}{}",
+                    budget,
+                    g.jer,
+                    g.total_cost,
+                    g.size(),
+                    e.jer,
+                    e.total_cost,
+                    e.size(),
+                    if (g.jer - e.jer).abs() < 1e-9 { "yes" } else { "no" },
+                    if marginal < 1e-4 && step > 1 { "   <- diminishing returns" } else { "" },
+                );
+            }
+            (Err(err), _) | (_, Err(err)) => {
+                println!("{budget:>6.2}$  no feasible jury ({err})");
+            }
+        }
+    }
+
+    // Where does money stop mattering? Compare the cheapest budget that
+    // reaches within 10% of the unconstrained optimum.
+    let unconstrained = exact_paym_parallel(&pool, f64::MAX, &ExactConfig::default())
+        .expect("feasible without budget");
+    println!(
+        "\nunconstrained optimum: JER {:.5} at cost ${:.2} (size {})",
+        unconstrained.jer,
+        unconstrained.total_cost,
+        unconstrained.size()
+    );
+}

@@ -1,0 +1,65 @@
+//! When does a bigger jury stop helping?
+//!
+//! The paper's central observation (Table 2, Figure 3(a)): JER is *not*
+//! monotone in jury size. Growing from the best 3 to the best 5 jurors
+//! can help, while adding two more can hurt. This example maps that
+//! crossover structure:
+//!
+//! * the full size-vs-JER profile for the motivating pool;
+//! * homogeneous pools on both sides of ε = 0.5 — the Condorcet jury
+//!   theorem and its inversion ("the hands of the few");
+//! * the optimal size as a function of the pool's mean error rate, the
+//!   miniature of Figure 3(a).
+//!
+//! Run with: `cargo run --release --example crossover_study`
+
+use jury_selection::prelude::*;
+use jury_selection::data::distributions::Truncation;
+
+fn main() {
+    // --- Profile of the motivating pool -------------------------------
+    let pool = jury_core::juror::pool_from_rates(&[0.1, 0.2, 0.2, 0.3, 0.3, 0.4, 0.4])
+        .expect("valid rates");
+    println!("size-vs-JER profile, Figure-1 pool (sorted by ε):");
+    for (n, jer) in AltrAlg::jer_profile(&pool) {
+        let marker = if n == 5 { "   <- optimum" } else { "" };
+        println!("  n = {n}: JER = {jer:.6}{marker}");
+    }
+
+    // --- Condorcet vs inverted-Condorcet ------------------------------
+    println!("\nhomogeneous juries (Condorcet regime ε = 0.3 vs inverted ε = 0.7):");
+    for eps in [0.3, 0.7] {
+        let rates = vec![eps; 15];
+        let pool = jury_core::juror::pool_from_rates(&rates).expect("valid");
+        let profile = AltrAlg::jer_profile(&pool);
+        let series: Vec<String> =
+            profile.iter().map(|(n, j)| format!("{n}:{j:.3}")).collect();
+        println!("  ε = {eps}: {}", series.join("  "));
+        // Below 0.5 JER falls with size; above 0.5 it rises.
+        let first = profile.first().expect("non-empty").1;
+        let last = profile.last().expect("non-empty").1;
+        if eps < 0.5 {
+            assert!(last < first, "wisdom of crowds must accumulate");
+        } else {
+            assert!(last > first, "crowds of error-prone jurors must hurt");
+        }
+    }
+
+    // --- Figure 3(a) in miniature --------------------------------------
+    println!("\noptimal jury size vs pool mean (N = 400, std 0.1):");
+    for step in 1..=9 {
+        let mean = 0.1 * step as f64;
+        let pool = rate_pool(&PoolConfig {
+            size: 400,
+            rate_mean: mean,
+            rate_std: 0.1,
+            truncation: Truncation::Resample,
+            seed: 0xC805 ^ step as u64,
+            ..Default::default()
+        });
+        let sel = AltrAlg::solve(&pool, &AltrConfig::default()).expect("non-empty");
+        let bar = "#".repeat((sel.size() * 40 / 400).max(1));
+        println!("  mean {mean:.1}: size {:>3} {bar}", sel.size());
+    }
+    println!("\nThe collapse past mean 0.5 is the paper's 'hands of the few' regime.");
+}

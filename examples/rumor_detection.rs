@@ -1,0 +1,130 @@
+//! Rumor discernment on a synthetic micro-blog network.
+//!
+//! §1 of the paper motivates jury selection with rumor identification:
+//! decide whether a message is true by asking selected users. This
+//! example runs the whole system:
+//!
+//! 1. generate a micro-blog service (users, tweets, retweet cascades);
+//! 2. estimate individual error rates from the retweet graph via HITS
+//!    (paper §4.1) — the users' *true* reliabilities stay hidden;
+//! 3. select a jury with AltrALG;
+//! 4. stream simulated rumor-checking tasks, where each juror votes
+//!    according to their *latent* reliability, and measure how often the
+//!    jury's majority verdict is right;
+//! 5. compare against asking a random jury of the same size.
+//!
+//! Run with: `cargo run --release --example rumor_detection`
+
+use jury_selection::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const TASKS: usize = 20_000;
+
+fn main() {
+    // 1. A synthetic micro-blog service with 800 accounts.
+    let dataset = MicroblogDataset::generate(&SynthConfig {
+        n_users: 800,
+        n_tweets: 12_000,
+        seed: 7,
+        ..Default::default()
+    });
+    println!(
+        "generated {} tweets by {} users",
+        dataset.tweets.len(),
+        dataset.users.len()
+    );
+
+    // 2. Parameter estimation from the public timeline only.
+    let candidates = estimate_candidates(
+        &dataset.tweets,
+        |name| {
+            dataset
+                .users
+                .iter()
+                .find(|u| u.name == name)
+                .map(|u| u.account_age_days)
+        },
+        &PipelineConfig {
+            ranking: RankingAlgorithm::Hits(Default::default()),
+            normalization: NormalizationParams::default(),
+            top_k: Some(200),
+        },
+    );
+    println!("estimated error rates for top {} users", candidates.len());
+
+    // 3. Jury selection over the *estimated* pool.
+    let selection = AltrAlg::solve(&candidates.jurors, &AltrConfig::default())
+        .expect("non-empty candidate pool");
+    let jury_names: Vec<&str> = selection
+        .members
+        .iter()
+        .map(|&i| candidates.usernames[i].as_str())
+        .collect();
+    println!(
+        "selected jury of {} (estimated JER {:.2e}): {}",
+        selection.size(),
+        selection.jer,
+        jury_names.join(", ")
+    );
+
+    // 4. The ground truth the estimator never saw: latent reliabilities.
+    let latent_jury = jury_from_latent(&dataset, &jury_names);
+    let mut rng = StdRng::seed_from_u64(99);
+    let report = run_tasks(
+        &latent_jury,
+        &TaskConfig { tasks: TASKS, prior_yes: 0.5 },
+        &mut rng,
+    );
+    println!(
+        "\nrumor verdicts over {TASKS} tasks:\n  selected jury : {:.4} error rate \
+         (weighted MV: {:.4})",
+        report.majority_error_rate(),
+        report.weighted_error_rate()
+    );
+
+    // 5. Baseline: a random jury of the same (odd) size.
+    let random_names: Vec<&str> = {
+        let mut idx: Vec<usize> = (0..dataset.users.len()).collect();
+        // Fisher–Yates prefix shuffle.
+        for i in 0..selection.size() {
+            let j = rng.gen_range(i..idx.len());
+            idx.swap(i, j);
+        }
+        idx[..selection.size()]
+            .iter()
+            .map(|&i| dataset.users[i].name.as_str())
+            .collect()
+    };
+    let random_jury = jury_from_latent(&dataset, &random_names);
+    let random_report = run_tasks(
+        &random_jury,
+        &TaskConfig { tasks: TASKS, prior_yes: 0.5 },
+        &mut rng,
+    );
+    println!(
+        "  random jury   : {:.4} error rate",
+        random_report.majority_error_rate()
+    );
+
+    assert!(
+        report.majority_error_rate() < random_report.majority_error_rate(),
+        "selection should beat random membership"
+    );
+    println!("\nthe ranked-and-selected jury beats random selection.");
+}
+
+/// Builds a jury whose behaviour follows the users' *latent* error rates.
+fn jury_from_latent(dataset: &MicroblogDataset, names: &[&str]) -> Jury {
+    let members: Vec<Juror> = names
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            let rate = dataset
+                .true_error_rate_of(name)
+                .expect("selected user exists in the dataset");
+            Juror::free(i as u32, ErrorRate::clamped(rate))
+        })
+        .collect();
+    Jury::new(members).expect("odd jury")
+}

@@ -1,0 +1,139 @@
+//! Calibrating error rates from vote history with EM.
+//!
+//! §4 of the paper estimates error rates from the retweet graph and
+//! notes any reasonable estimator "can be smoothly plugged in". Once a
+//! jury has answered a few dozen questions you hold something better
+//! than graph structure: their actual voting record. This example runs
+//! that workflow:
+//!
+//! 1. a panel of users with hidden true error rates answers a stream of
+//!    binary tasks (no ground truth revealed to us);
+//! 2. one-coin Dawid–Skene EM recovers each panelist's error rate from
+//!    the votes alone;
+//! 3. jury selection on the EM-calibrated pool is compared against
+//!    (a) selection on the true rates (oracle) and (b) asking everyone;
+//! 4. all three juries are scored on fresh simulated tasks.
+//!
+//! Run with: `cargo run --release --example vote_history_calibration`
+
+use jury_selection::estimate::em::{estimate_error_rates_em, EmConfig, VoteMatrix};
+use jury_selection::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const PANEL: usize = 25;
+const HISTORY_TASKS: usize = 400;
+const EVAL_TASKS: usize = 30_000;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(4242);
+
+    // Hidden truth: a mixed panel — a few experts, a noisy middle, two
+    // near-coin-flippers.
+    let true_rates: Vec<f64> = (0..PANEL)
+        .map(|i| match i % 5 {
+            0 => 0.04 + 0.01 * (i % 3) as f64,
+            1 | 2 => 0.18 + 0.02 * (i % 4) as f64,
+            3 => 0.32 + 0.02 * (i % 3) as f64,
+            _ => 0.47,
+        })
+        .collect();
+
+    // 1. Collect a voting history (~70% participation per task).
+    let mut history = VoteMatrix::new(PANEL);
+    for _ in 0..HISTORY_TASKS {
+        let truth = rng.gen_bool(0.5);
+        let mut row = Vec::new();
+        for (j, &e) in true_rates.iter().enumerate() {
+            if rng.gen_bool(0.7) {
+                let errs = rng.gen_bool(e);
+                row.push((j, if errs { !truth } else { truth }));
+            }
+        }
+        if !row.is_empty() {
+            history.push_task(&row);
+        }
+    }
+    println!(
+        "collected {} tasks of history from a panel of {PANEL}",
+        history.n_tasks()
+    );
+
+    // 2. EM calibration — no ground truth used.
+    let fit = estimate_error_rates_em(&history, &EmConfig::default());
+    println!(
+        "EM converged after {} iterations (log-likelihood {:.1})",
+        fit.iterations, fit.log_likelihood
+    );
+    let mae: f64 = fit
+        .error_rates
+        .iter()
+        .zip(&true_rates)
+        .map(|(est, &t)| (est.get() - t).abs())
+        .sum::<f64>()
+        / PANEL as f64;
+    println!("mean absolute error of calibrated rates: {mae:.4}");
+    assert!(mae < 0.05, "calibration should be tight");
+
+    // 3. Three selection policies.
+    let calibrated_pool: Vec<Juror> = fit
+        .error_rates
+        .iter()
+        .enumerate()
+        .map(|(i, &e)| Juror::free(i as u32, e))
+        .collect();
+    let oracle_pool: Vec<Juror> = true_rates
+        .iter()
+        .enumerate()
+        .map(|(i, &e)| Juror::free(i as u32, ErrorRate::new(e).expect("valid rate")))
+        .collect();
+
+    let calibrated = AltrAlg::solve(&calibrated_pool, &AltrConfig::default()).unwrap();
+    let oracle = AltrAlg::solve(&oracle_pool, &AltrConfig::default()).unwrap();
+    println!(
+        "\ncalibrated selection: {} jurors (claimed JER {:.5})",
+        calibrated.size(),
+        calibrated.jer
+    );
+    println!(
+        "oracle selection    : {} jurors (true JER {:.5})",
+        oracle.size(),
+        oracle.jer
+    );
+
+    // 4. Evaluate all juries under the *true* rates on fresh tasks.
+    let jury_true = |members: &[usize]| -> Jury {
+        Jury::new(
+            members
+                .iter()
+                .enumerate()
+                .map(|(k, &i)| {
+                    Juror::free(k as u32, ErrorRate::new(true_rates[i]).expect("valid"))
+                })
+                .collect(),
+        )
+        .expect("odd selection")
+    };
+    let everyone: Vec<usize> = (0..PANEL).collect();
+
+    println!("\nempirical error over {EVAL_TASKS} fresh tasks:");
+    let mut results = Vec::new();
+    for (label, members) in [
+        ("calibrated jury", &calibrated.members),
+        ("oracle jury", &oracle.members),
+        ("ask everyone", &everyone),
+    ] {
+        let jury = jury_true(members);
+        let est = estimate_jer(&jury, EVAL_TASKS, &mut rng);
+        println!("  {label:<16} {:.5} ± {:.5}", est.point, est.half_width_95);
+        results.push(est.point);
+    }
+    // The calibrated jury must land within noise of the oracle jury.
+    assert!(
+        (results[0] - results[1]).abs() < 0.01,
+        "calibrated {} vs oracle {}",
+        results[0],
+        results[1]
+    );
+    println!("\nEM calibration recovers (nearly) the oracle jury from votes alone.");
+}

@@ -1,0 +1,283 @@
+//! `jury` — command-line jury selection.
+//!
+//! Reads a candidate pool from CSV and solves the Jury Selection Problem:
+//!
+//! ```console
+//! $ jury solve --input candidates.csv              # AltrM (exact)
+//! $ jury solve --input candidates.csv --budget 1.0 # PayM (greedy)
+//! $ jury solve --input candidates.csv --budget 1.0 --exact
+//! $ jury solve --input candidates.csv --size 5     # best fixed-size jury
+//! $ jury profile --input candidates.csv            # size-vs-JER table
+//! ```
+//!
+//! CSV format: one candidate per line, `id,epsilon[,cost]`, `#` comments
+//! and an optional `id,epsilon,cost` header are ignored. `epsilon` must
+//! lie strictly in (0,1); `cost` defaults to 0.
+
+use jury_core::altr::{AltrAlg, AltrConfig};
+use jury_core::exact::{exact_paym_parallel, ExactConfig};
+use jury_core::juror::{ErrorRate, Juror};
+use jury_core::paym::{PayAlg, PayConfig};
+use jury_core::problem::Selection;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  jury solve   --input <pool.csv> [--budget <B>] [--exact] [--size <n>]
+  jury profile --input <pool.csv>
+
+input CSV: id,epsilon[,cost] per line ('#' comments and a header allowed)";
+
+/// Parsed command line.
+#[derive(Debug, PartialEq)]
+struct Options {
+    command: Command,
+    input: String,
+    budget: Option<f64>,
+    exact: bool,
+    size: Option<usize>,
+}
+
+#[derive(Debug, PartialEq, Clone, Copy)]
+enum Command {
+    Solve,
+    Profile,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut iter = args.iter();
+    let command = match iter.next().map(String::as_str) {
+        Some("solve") => Command::Solve,
+        Some("profile") => Command::Profile,
+        Some(other) => return Err(format!("unknown command {other:?}")),
+        None => return Err("missing command".into()),
+    };
+    let mut input = None;
+    let mut budget = None;
+    let mut exact = false;
+    let mut size = None;
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--input" => {
+                input = Some(
+                    iter.next().ok_or("--input needs a path")?.clone(),
+                );
+            }
+            "--budget" => {
+                let raw = iter.next().ok_or("--budget needs a value")?;
+                let b: f64 =
+                    raw.parse().map_err(|_| format!("bad budget {raw:?}"))?;
+                if !b.is_finite() || b < 0.0 {
+                    return Err(format!("budget must be non-negative, got {b}"));
+                }
+                budget = Some(b);
+            }
+            "--exact" => exact = true,
+            "--size" => {
+                let raw = iter.next().ok_or("--size needs a value")?;
+                size = Some(raw.parse().map_err(|_| format!("bad size {raw:?}"))?);
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    let input = input.ok_or("--input is required")?;
+    if size.is_some() && (budget.is_some() || exact) {
+        return Err("--size cannot be combined with --budget/--exact".into());
+    }
+    Ok(Options { command, input, budget, exact, size })
+}
+
+/// One parsed candidate row.
+fn parse_pool(csv: &str) -> Result<(Vec<Juror>, Vec<String>), String> {
+    let mut pool = Vec::new();
+    let mut names = Vec::new();
+    for (lineno, raw) in csv.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        if fields.len() < 2 || fields.len() > 3 {
+            return Err(format!("line {}: expected id,epsilon[,cost]", lineno + 1));
+        }
+        // Tolerate a header row.
+        if lineno == 0 && fields[1].parse::<f64>().is_err() {
+            continue;
+        }
+        let eps_raw: f64 = fields[1]
+            .parse()
+            .map_err(|_| format!("line {}: bad epsilon {:?}", lineno + 1, fields[1]))?;
+        let eps = ErrorRate::new(eps_raw)
+            .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let cost: f64 = match fields.get(2) {
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("line {}: bad cost {raw:?}", lineno + 1))?,
+            None => 0.0,
+        };
+        let juror = Juror::try_new(pool.len() as u32, eps, cost)
+            .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        names.push(fields[0].to_string());
+        pool.push(juror);
+    }
+    if pool.is_empty() {
+        return Err("no candidates found in input".into());
+    }
+    Ok((pool, names))
+}
+
+fn render_selection(sel: &Selection, names: &[String], label: &str) -> String {
+    let mut out = String::new();
+    let chosen: Vec<&str> =
+        sel.members.iter().map(|&i| names[i].as_str()).collect();
+    out.push_str(&format!("solver      : {label}\n"));
+    out.push_str(&format!("jury size   : {}\n", sel.size()));
+    out.push_str(&format!("jury members: {}\n", chosen.join(", ")));
+    out.push_str(&format!("JER         : {:.6e}\n", sel.jer));
+    out.push_str(&format!("total cost  : {:.4}\n", sel.total_cost));
+    out
+}
+
+fn run(args: &[String]) -> Result<String, String> {
+    let options = parse_args(args)?;
+    let csv = std::fs::read_to_string(&options.input)
+        .map_err(|e| format!("cannot read {}: {e}", options.input))?;
+    let (pool, names) = parse_pool(&csv)?;
+
+    match options.command {
+        Command::Profile => {
+            let mut out = String::from("size,jer\n");
+            for (n, jer) in AltrAlg::jer_profile(&pool) {
+                out.push_str(&format!("{n},{jer:.6e}\n"));
+            }
+            Ok(out)
+        }
+        Command::Solve => {
+            let (sel, label) = match (options.size, options.budget, options.exact) {
+                (Some(n), _, _) => (
+                    AltrAlg::solve_fixed_size(&pool, n).map_err(|e| e.to_string())?,
+                    "AltrALG (fixed size)",
+                ),
+                (None, None, false) => (
+                    AltrAlg::solve(&pool, &AltrConfig::default())
+                        .map_err(|e| e.to_string())?,
+                    "AltrALG (exact)",
+                ),
+                (None, None, true) => (
+                    exact_paym_parallel(&pool, f64::MAX, &ExactConfig::default())
+                        .map_err(|e| e.to_string())?,
+                    "exhaustive enumeration",
+                ),
+                (None, Some(b), false) => (
+                    PayAlg::solve(&pool, b, &PayConfig::default())
+                        .map_err(|e| e.to_string())?,
+                    "PayALG (greedy heuristic)",
+                ),
+                (None, Some(b), true) => (
+                    exact_paym_parallel(&pool, b, &ExactConfig::default())
+                        .map_err(|e| e.to_string())?,
+                    "exhaustive enumeration (budgeted)",
+                ),
+            };
+            Ok(render_selection(&sel, &names, label))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_solve_flags() {
+        let opts = parse_args(&args(&[
+            "solve", "--input", "pool.csv", "--budget", "1.5", "--exact",
+        ]))
+        .unwrap();
+        assert_eq!(opts.command, Command::Solve);
+        assert_eq!(opts.input, "pool.csv");
+        assert_eq!(opts.budget, Some(1.5));
+        assert!(opts.exact);
+    }
+
+    #[test]
+    fn rejects_bad_usage() {
+        assert!(parse_args(&args(&[])).is_err());
+        assert!(parse_args(&args(&["frobnicate"])).is_err());
+        assert!(parse_args(&args(&["solve"])).is_err()); // no input
+        assert!(parse_args(&args(&["solve", "--input"])).is_err());
+        assert!(parse_args(&args(&["solve", "--input", "x", "--budget", "nan-ish"])).is_err());
+        assert!(parse_args(&args(&["solve", "--input", "x", "--budget", "-1"])).is_err());
+        assert!(
+            parse_args(&args(&["solve", "--input", "x", "--size", "3", "--exact"])).is_err()
+        );
+    }
+
+    #[test]
+    fn parses_pool_with_header_and_comments() {
+        let csv = "id,epsilon,cost\n# the A-team\nalice,0.1,0.2\nbob,0.2\n";
+        let (pool, names) = parse_pool(csv).unwrap();
+        assert_eq!(names, vec!["alice", "bob"]);
+        assert_eq!(pool[0].cost, 0.2);
+        assert_eq!(pool[1].cost, 0.0);
+        assert!((pool[0].epsilon() - 0.1).abs() < 1e-15);
+    }
+
+    #[test]
+    fn pool_parse_errors_carry_line_numbers() {
+        assert!(parse_pool("alice,2.0").unwrap_err().contains("line 1"));
+        assert!(parse_pool("alice,0.1\nbob,0.2,oops").unwrap_err().contains("line 2"));
+        assert!(parse_pool("too,many,fields,here").unwrap_err().contains("line 1"));
+        assert!(parse_pool("# only comments\n").is_err());
+    }
+
+    #[test]
+    fn end_to_end_solve_from_temp_file() {
+        let dir = std::env::temp_dir().join("jury-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pool.csv");
+        std::fs::write(
+            &path,
+            "A,0.1,0.2\nB,0.2,0.2\nC,0.2,0.3\nD,0.3,0.4\nE,0.3,0.65\nF,0.4,0.05\nG,0.4,0.05\n",
+        )
+        .unwrap();
+        let path_str = path.to_str().unwrap().to_string();
+
+        let altr = run(&args(&["solve", "--input", &path_str])).unwrap();
+        assert!(altr.contains("jury size   : 5"));
+        assert!(altr.contains("A, B, C, D, E"));
+
+        let paym =
+            run(&args(&["solve", "--input", &path_str, "--budget", "1.0"])).unwrap();
+        assert!(paym.contains("PayALG"));
+
+        let profile = run(&args(&["profile", "--input", &path_str])).unwrap();
+        assert!(profile.starts_with("size,jer"));
+        assert_eq!(profile.lines().count(), 5); // header + sizes 1,3,5,7
+
+        let fixed =
+            run(&args(&["solve", "--input", &path_str, "--size", "3"])).unwrap();
+        assert!(fixed.contains("jury size   : 3"));
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,91 @@
+//! # jury-selection
+//!
+//! A complete Rust reproduction of *"Whom to Ask? Jury Selection for
+//! Decision Making Tasks on Micro-blog Services"* (Cao, She, Tong, Chen —
+//! PVLDB 5(11), VLDB 2012).
+//!
+//! The problem: given candidate jurors on a micro-blog service, each with
+//! an individual error rate (and possibly a payment requirement), select
+//! the odd-sized jury minimising the **Jury Error Rate** — the probability
+//! that a majority votes incorrectly — optionally under a budget.
+//!
+//! This umbrella crate re-exports the whole workspace:
+//!
+//! | Crate | Contents |
+//! |---|---|
+//! | [`core`] | JER engines, AltrALG, PayALG, exact solvers, voting |
+//! | [`numeric`] | FFT, convolution, Poisson-Binomial, tail bounds |
+//! | [`graph`] | directed graph, HITS, PageRank |
+//! | [`microblog`] | tweets, `RT @` parsing, synthetic network generator |
+//! | [`estimate`] | scores → error rates, ages → requirements, pipeline |
+//! | [`sim`] | voting simulation, Monte-Carlo JER validation |
+//! | [`data`] | truncated normals, experiment workloads |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use jury_selection::prelude::*;
+//!
+//! // The paper's Figure-1 pool: seven users with known error rates.
+//! let pool = jury_core::juror::pool_from_rates(
+//!     &[0.1, 0.2, 0.2, 0.3, 0.3, 0.4, 0.4],
+//! ).unwrap();
+//!
+//! // Altruistic crowd: AltrALG finds the globally optimal jury.
+//! let sel = JurySelectionProblem::altruism(pool).solve().unwrap();
+//! assert_eq!(sel.size(), 5);                 // A,B,C,D,E
+//! assert!((sel.jer - 0.07036).abs() < 1e-9); // Table 2's 0.0703
+//! ```
+//!
+//! The [`framework`] module packages the paper's Figure-2 system —
+//! estimation → selection → aggregation with EM recalibration — behind a
+//! single [`framework::DecisionSystem`] type. See `examples/` for
+//! end-to-end scenarios including rumor discernment on a synthetic
+//! micro-blog network and budgeted polling.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod framework;
+
+pub use jury_core as core;
+pub use jury_data as data;
+pub use jury_estimate as estimate;
+pub use jury_graph as graph;
+pub use jury_microblog as microblog;
+pub use jury_numeric as numeric;
+pub use jury_sim as sim;
+
+/// One-stop import for applications.
+pub mod prelude {
+    pub use jury_core::prelude::*;
+    pub use jury_data::pools::{paid_pool, rate_pool, PoolConfig};
+    pub use jury_estimate::{
+        estimate_candidates, estimate_error_rates_em, EmConfig, EmEstimate,
+        EstimatedCandidates, NormalizationParams, PipelineConfig, RankingAlgorithm,
+        VoteMatrix,
+    };
+    pub use jury_microblog::{MicroblogDataset, SynthConfig, Tweet};
+    pub use jury_sim::{estimate_jer, run_tasks, simulate_voting, TaskConfig};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn prelude_exposes_the_core_workflow() {
+        let pool = jury_core::juror::pool_from_rates(&[0.1, 0.3, 0.2]).unwrap();
+        let sel = JurySelectionProblem::altruism(pool).solve().unwrap();
+        assert_eq!(sel.size(), 3);
+    }
+
+    #[test]
+    fn crates_are_reachable_under_aliases() {
+        let d = crate::numeric::PoiBin::from_error_rates(&[0.5]);
+        assert_eq!(d.n(), 1);
+        let mut b = crate::graph::DiGraphBuilder::new();
+        b.add_edge(0, 1);
+        assert_eq!(b.build().edge_count(), 1);
+    }
+}

@@ -1,0 +1,115 @@
+//! Integration tests for the `jury` command-line binary.
+//!
+//! Exercises the compiled binary end-to-end via `CARGO_BIN_EXE_jury`,
+//! covering exit codes and stdout/stderr contracts a shell user relies
+//! on.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn jury() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_jury"))
+}
+
+fn pool_file(name: &str, content: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("jury-cli-integration");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(name);
+    std::fs::write(&path, content).expect("write pool");
+    path
+}
+
+const FIGURE1: &str = "\
+A,0.1,0.2\nB,0.2,0.2\nC,0.2,0.3\nD,0.3,0.4\nE,0.3,0.65\nF,0.4,0.05\nG,0.4,0.05\n";
+
+#[test]
+fn solve_altruism_selects_the_paper_jury() {
+    let path = pool_file("altr.csv", FIGURE1);
+    let out = jury().args(["solve", "--input"]).arg(&path).output().unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("jury size   : 5"), "{stdout}");
+    assert!(stdout.contains("A, B, C, D, E"), "{stdout}");
+    assert!(stdout.contains("7.036"), "JER 0.07036 expected: {stdout}");
+}
+
+#[test]
+fn solve_with_budget_respects_it() {
+    let path = pool_file("paym.csv", FIGURE1);
+    let out = jury()
+        .args(["solve", "--budget", "1.0", "--input"])
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("PayALG"), "{stdout}");
+    // The paper's dilemma: D and E cannot both be afforded.
+    assert!(!(stdout.contains(" D,") && stdout.contains(" E")), "{stdout}");
+}
+
+#[test]
+fn exact_budgeted_solve_matches_greedy_or_better() {
+    let path = pool_file("exact.csv", FIGURE1);
+    let greedy = jury()
+        .args(["solve", "--budget", "1.0", "--input"])
+        .arg(&path)
+        .output()
+        .unwrap();
+    let exact = jury()
+        .args(["solve", "--budget", "1.0", "--exact", "--input"])
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert!(greedy.status.success() && exact.status.success());
+    let parse_jer = |bytes: &[u8]| -> f64 {
+        String::from_utf8_lossy(bytes)
+            .lines()
+            .find(|l| l.starts_with("JER"))
+            .and_then(|l| l.split(':').nth(1))
+            .map(|v| v.trim().parse().unwrap())
+            .expect("JER line")
+    };
+    assert!(parse_jer(&exact.stdout) <= parse_jer(&greedy.stdout) + 1e-12);
+}
+
+#[test]
+fn profile_emits_csv() {
+    let path = pool_file("profile.csv", FIGURE1);
+    let out = jury().args(["profile", "--input"]).arg(&path).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines[0], "size,jer");
+    assert_eq!(lines.len(), 5);
+    assert!(lines[1].starts_with("1,"));
+    assert!(lines[4].starts_with("7,"));
+}
+
+#[test]
+fn bad_usage_fails_with_help() {
+    let out = jury().arg("bogus").output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("usage"), "{stderr}");
+}
+
+#[test]
+fn unreadable_input_fails_cleanly() {
+    let out = jury()
+        .args(["solve", "--input", "/nonexistent/pool.csv"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("cannot read"), "{stderr}");
+}
+
+#[test]
+fn invalid_epsilon_reports_line() {
+    let path = pool_file("bad.csv", "A,0.1\nB,1.7\n");
+    let out = jury().args(["solve", "--input"]).arg(&path).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("line 2"), "{stderr}");
+}

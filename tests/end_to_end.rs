@@ -1,0 +1,140 @@
+//! End-to-end integration: micro-blog corpus → parameter estimation →
+//! jury selection → simulated voting.
+//!
+//! These tests span every crate in the workspace through the umbrella
+//! crate's public API, the way a downstream application would use it.
+
+use jury_selection::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn corpus(seed: u64) -> MicroblogDataset {
+    MicroblogDataset::generate(&SynthConfig {
+        n_users: 300,
+        n_tweets: 4000,
+        seed,
+        ..Default::default()
+    })
+}
+
+fn estimate(dataset: &MicroblogDataset, ranking: RankingAlgorithm) -> EstimatedCandidates {
+    estimate_candidates(
+        &dataset.tweets,
+        |name| {
+            dataset
+                .users
+                .iter()
+                .find(|u| u.name == name)
+                .map(|u| u.account_age_days)
+        },
+        &PipelineConfig { ranking, top_k: Some(60), ..Default::default() },
+    )
+}
+
+#[test]
+fn full_pipeline_is_deterministic() {
+    let a = estimate(&corpus(5), RankingAlgorithm::Hits(Default::default()));
+    let b = estimate(&corpus(5), RankingAlgorithm::Hits(Default::default()));
+    assert_eq!(a.jurors, b.jurors);
+    assert_eq!(a.usernames, b.usernames);
+
+    let sel_a = AltrAlg::solve(&a.jurors, &AltrConfig::default()).unwrap();
+    let sel_b = AltrAlg::solve(&b.jurors, &AltrConfig::default()).unwrap();
+    assert_eq!(sel_a, sel_b);
+}
+
+#[test]
+fn estimated_selection_outperforms_worst_candidates_in_simulation() {
+    let dataset = corpus(6);
+    let cands = estimate(&dataset, RankingAlgorithm::Hits(Default::default()));
+    let selection = AltrAlg::solve(&cands.jurors, &AltrConfig::default()).unwrap();
+
+    // Rebuild the selected jury with *latent* error rates.
+    let latent_of = |idx: usize| {
+        dataset
+            .true_error_rate_of(&cands.usernames[idx])
+            .expect("candidate exists")
+    };
+    let selected: Vec<Juror> = selection
+        .members
+        .iter()
+        .enumerate()
+        .map(|(k, &i)| Juror::free(k as u32, ErrorRate::clamped(latent_of(i))))
+        .collect();
+    let n = selected.len();
+    let selected_jury = Jury::new(selected).unwrap();
+
+    // Adversarial baseline: the *bottom* candidates by estimated score.
+    let worst: Vec<Juror> = (cands.len() - n..cands.len())
+        .map(|i| Juror::free(i as u32, ErrorRate::clamped(latent_of(i))))
+        .collect();
+    let worst_jury = Jury::new(worst).unwrap();
+
+    let mut rng = StdRng::seed_from_u64(77);
+    let good = estimate_jer(&selected_jury, 20_000, &mut rng);
+    let bad = estimate_jer(&worst_jury, 20_000, &mut rng);
+    assert!(
+        good.point < bad.point,
+        "selected jury {} should beat bottom-ranked jury {}",
+        good.point,
+        bad.point
+    );
+}
+
+#[test]
+fn paym_pipeline_respects_budget_and_dominance() {
+    let dataset = corpus(8);
+    let cands = estimate(&dataset, RankingAlgorithm::PageRank(Default::default()));
+    let pool = &cands.jurors[..18.min(cands.len())];
+    let total: f64 = pool.iter().map(|j| j.cost).sum();
+    for fraction in [0.05, 0.2, 0.5] {
+        let budget = total * fraction;
+        let Ok(greedy) = PayAlg::solve(pool, budget, &PayConfig::default()) else {
+            continue;
+        };
+        let exact = exact_paym_parallel(pool, budget, &ExactConfig::default()).unwrap();
+        assert!(greedy.total_cost <= budget + 1e-9);
+        assert!(exact.total_cost <= budget + 1e-9);
+        assert!(exact.jer <= greedy.jer + 1e-9);
+        // The metrics pipeline accepts the two selections.
+        let pr = precision_recall(&greedy.members, &exact.members);
+        assert!((0.0..=1.0).contains(&pr.precision));
+        assert!((0.0..=1.0).contains(&pr.recall));
+    }
+}
+
+#[test]
+fn analytic_jer_matches_simulation_through_the_whole_stack() {
+    let dataset = corpus(9);
+    let cands = estimate(&dataset, RankingAlgorithm::Hits(Default::default()));
+    // Use the estimated rates as the ground-truth behaviour: the
+    // analytic JER of the selection must match the simulated frequency.
+    let selection = AltrAlg::solve(&cands.jurors[..21], &AltrConfig::default()).unwrap();
+    let jury = Jury::new(selection.jurors(&cands.jurors[..21]).into_iter().copied().collect())
+        .unwrap();
+    let mut rng = StdRng::seed_from_u64(123);
+    let est = estimate_jer(&jury, 50_000, &mut rng);
+    assert!(
+        est.covers(selection.jer),
+        "simulated {} ± {} vs analytic {}",
+        est.point,
+        est.half_width_95,
+        selection.jer
+    );
+}
+
+#[test]
+fn altruism_and_paym_agree_when_money_is_free() {
+    // With zero costs and an any-size budget, PayM degenerates to AltrM
+    // (the paper's observation in §5.1.1) — on homogeneous pools where
+    // the greedy pair admission matches the sorted prefix.
+    let rates = vec![0.2; 15];
+    let pool = jury_core::juror::pool_from_rates(&rates).unwrap();
+    let altr = JurySelectionProblem::altruism(pool.clone()).solve().unwrap();
+    let paym = JurySelectionProblem::pay_as_you_go(pool, 0.0)
+        .unwrap()
+        .solve()
+        .unwrap();
+    assert!((altr.jer - paym.jer).abs() < 1e-12);
+    assert_eq!(altr.size(), paym.size());
+}

@@ -1,0 +1,153 @@
+//! The paper's explicit numerical claims, verified as integration tests.
+//!
+//! Every number or qualitative statement the paper prints about its own
+//! examples is checked here against this implementation.
+
+use jury_selection::prelude::*;
+
+/// Figure 1 / Table 2 error rates, A..G.
+const RATES: [f64; 7] = [0.1, 0.2, 0.2, 0.3, 0.3, 0.4, 0.4];
+/// Figure 1 payment requirements, A..G.
+const COSTS: [f64; 7] = [0.2, 0.2, 0.3, 0.4, 0.65, 0.05, 0.05];
+
+fn jer(eps: &[f64]) -> f64 {
+    JerEngine::Auto.jer(eps)
+}
+
+#[test]
+fn section1_worked_arithmetic() {
+    // "the probability of getting a wrong answer from the entire crowd is
+    //  0.2·0.3·0.3 + (1−0.2)·0.3·0.3 + 2·0.2·(1−0.3)·0.3 = 0.174"
+    let by_hand: f64 = 0.2 * 0.3 * 0.3 + 0.8 * 0.3 * 0.3 + 2.0 * 0.2 * 0.7 * 0.3;
+    assert!((by_hand - 0.174).abs() < 1e-12);
+    assert!((jer(&[0.2, 0.3, 0.3]) - by_hand).abs() < 1e-12);
+}
+
+#[test]
+fn section1_jury_beats_each_member() {
+    // "This jury performs better than any individual of them does." —
+    // the binding constraint is the best member, ε = 0.2.
+    let j = jer(&[0.2, 0.3, 0.3]);
+    assert!(j < 0.2);
+}
+
+#[test]
+fn section1_better_individuals_better_jury() {
+    // "with A, B, and C, the overall error-rate becomes 0.072"
+    assert!((jer(&[0.1, 0.2, 0.2]) - 0.072).abs() < 1e-12);
+    assert!(jer(&[0.1, 0.2, 0.2]) < jer(&[0.2, 0.3, 0.3]));
+}
+
+#[test]
+fn section1_growth_helps_then_hurts() {
+    // 5 jurors beat 3; 7 jurors are worse than 5.
+    let three = jer(&RATES[..3]);
+    let five = jer(&RATES[..5]);
+    let seven = jer(&RATES[..7]);
+    assert!(five < three);
+    assert!(seven > five);
+}
+
+#[test]
+fn section1_budget_dilemma() {
+    // "the smaller and cheaper jury with error-rate 0.072 will perform
+    //  better than the larger but more expensive one with error-rate
+    //  0.104" — within budget $1, {A,B,C,D,E} is unaffordable because
+    //  D+E cost 0.4+0.65 = 1.05 > 1 already.
+    let dream_team_cost: f64 = COSTS[..5].iter().sum();
+    assert!(dream_team_cost > 1.0);
+    assert!((jer(&[0.1, 0.2, 0.2, 0.4, 0.4]) - 0.10384).abs() < 1e-12);
+    assert!(jer(&[0.1, 0.2, 0.2]) < jer(&[0.1, 0.2, 0.2, 0.4, 0.4]));
+}
+
+#[test]
+fn lemma1_recurrence_holds() {
+    // Pr(C ≥ L | J_n) = ε_n·Pr(C ≥ L−1 | J_{n−1}) + (1−ε_n)·Pr(C ≥ L | J_{n−1})
+    let eps = [0.15, 0.35, 0.25, 0.45, 0.05];
+    let (head, last) = eps.split_at(eps.len() - 1);
+    let e = last[0];
+    for l in 1..=eps.len() {
+        let full = JerEngine::DynamicProgramming.tail(&eps, l);
+        let split = e * JerEngine::DynamicProgramming.tail(head, l - 1)
+            + (1.0 - e) * JerEngine::DynamicProgramming.tail(head, l);
+        assert!((full - split).abs() < 1e-12, "L = {l}");
+    }
+}
+
+#[test]
+fn lemma2_bound_is_valid_exactly_when_gamma_below_one() {
+    use jury_selection::core::jer::{jer_gamma, jer_lower_bound};
+    // γ > 1 (reliable prefix): bound unavailable.
+    assert!(jer_gamma(&[0.1; 5]) > 1.0);
+    assert!(jer_lower_bound(&[0.1; 5]).is_none());
+    // γ < 1 (error-prone): bound available and sound.
+    let eps = [0.9; 5];
+    assert!(jer_gamma(&eps) < 1.0);
+    let lb = jer_lower_bound(&eps).unwrap();
+    assert!(lb <= jer(&eps) + 1e-12);
+}
+
+#[test]
+fn lemma3_sorted_prefix_is_optimal_per_size() {
+    // For each odd size n, no subset of that size beats the n smallest-ε
+    // candidates.
+    let rates = [0.37, 0.12, 0.45, 0.28, 0.51, 0.19, 0.33];
+    let mut sorted = rates;
+    sorted.sort_by(f64::total_cmp);
+    for n in [1usize, 3, 5, 7] {
+        let prefix_jer = jer(&sorted[..n]);
+        // Enumerate all subsets of size n.
+        for mask in 1u32..(1 << rates.len()) {
+            if mask.count_ones() as usize != n {
+                continue;
+            }
+            let eps: Vec<f64> = (0..rates.len())
+                .filter(|&i| mask >> i & 1 == 1)
+                .map(|i| rates[i])
+                .collect();
+            assert!(
+                prefix_jer <= jer(&eps) + 1e-12,
+                "size {n}: prefix {prefix_jer} beaten by {eps:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn altralg_solves_the_motivating_instance() {
+    let pool = jury_core::juror::pool_from_rates(&RATES).unwrap();
+    let sel = JurySelectionProblem::altruism(pool).solve().unwrap();
+    assert_eq!(sel.size(), 5);
+    assert!((sel.jer - 0.07036).abs() < 1e-9);
+}
+
+#[test]
+fn payalg_respects_the_motivating_budget() {
+    let pairs: Vec<(f64, f64)> =
+        RATES.iter().zip(&COSTS).map(|(&e, &c)| (e, c)).collect();
+    let pool = jury_core::juror::pool_from_rates_and_costs(&pairs).unwrap();
+    let sel = JurySelectionProblem::pay_as_you_go(pool.clone(), 1.0)
+        .unwrap()
+        .solve()
+        .unwrap();
+    assert!(sel.total_cost <= 1.0 + 1e-12);
+    // D and E cannot both be in (they alone exceed the budget).
+    assert!(!(sel.members.contains(&3) && sel.members.contains(&4)));
+    // And the greedy answer is within the exact optimum's reach:
+    let exact = exact_paym(&pool, 1.0, &ExactConfig::default()).unwrap();
+    assert!(exact.jer <= sel.jer + 1e-12);
+}
+
+#[test]
+fn jer_definition_matches_poisson_binomial_tail() {
+    // Definition 6 == upper tail of the Poisson-Binomial distribution.
+    use jury_selection::numeric::PoiBin;
+    let eps = [0.22, 0.47, 0.11, 0.68, 0.35];
+    let d = PoiBin::from_error_rates(&eps);
+    assert!((d.tail(3) - jer(&eps)).abs() < 1e-12);
+    // Mean/variance are the Lemma-2 μ and σ².
+    let mu: f64 = eps.iter().sum();
+    let var: f64 = eps.iter().map(|e| e * (1.0 - e)).sum();
+    assert!((d.mean() - mu).abs() < 1e-12);
+    assert!((d.variance() - var).abs() < 1e-12);
+}
