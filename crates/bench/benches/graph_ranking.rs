@@ -20,11 +20,9 @@ fn bench_ranking(c: &mut Criterion) {
             seed: 0x6EA9,
             ..Default::default()
         });
-        group.bench_with_input(
-            BenchmarkId::new("parse_and_build", n_users),
-            &dataset,
-            |b, d| b.iter(|| build_retweet_graph(black_box(&d.tweets))),
-        );
+        group.bench_with_input(BenchmarkId::new("parse_and_build", n_users), &dataset, |b, d| {
+            b.iter(|| build_retweet_graph(black_box(&d.tweets)))
+        });
         let rg = dataset.build_graph();
         group.bench_with_input(BenchmarkId::new("hits", n_users), &rg, |b, rg| {
             b.iter(|| hits(black_box(&rg.graph), &HitsConfig::default()))

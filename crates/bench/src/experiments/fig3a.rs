@@ -39,8 +39,7 @@ pub fn run(quick: bool) -> Vec<Report> {
                 seed: WORKLOAD_SEED ^ ((si as u64) << 32) ^ mi as u64,
                 ..Default::default()
             });
-            let sel = AltrAlg::solve(&pool, &AltrConfig::default())
-                .expect("non-empty pool");
+            let sel = AltrAlg::solve(&pool, &AltrConfig::default()).expect("non-empty pool");
             cells.push(sel.size().to_string());
         }
         report.push_row(&cells);
@@ -58,8 +57,7 @@ mod tests {
         let report = &reports[0];
         assert!(report.len() >= 9);
         let csv = reports[0].to_csv();
-        let rows: Vec<Vec<&str>> =
-            csv.lines().skip(1).map(|l| l.split(',').collect()).collect();
+        let rows: Vec<Vec<&str>> = csv.lines().skip(1).map(|l| l.split(',').collect()).collect();
         // Reliable regime (mean 0.1): large juries.
         let low: usize = rows[0][1].parse().unwrap();
         // Error-prone regime (mean 0.9): tiny juries.

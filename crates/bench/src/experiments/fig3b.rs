@@ -20,24 +20,14 @@ use jury_data::workloads::WORKLOAD_SEED;
 
 /// Regenerates Figure 3(b).
 pub fn run(quick: bool) -> Vec<Report> {
-    let sizes: Vec<usize> = if quick {
-        vec![200, 400, 600]
-    } else {
-        (2000..=6000).step_by(1000).collect()
-    };
+    let sizes: Vec<usize> =
+        if quick { vec![200, 400, 600] } else { (2000..=6000).step_by(1000).collect() };
     let stds = [0.05, 0.1];
 
     let mut report = Report::new(
         "fig3b",
         "Figure 3(b): Efficiency of JSP on AltrM",
-        &[
-            "N",
-            "m(0.05)",
-            "m(0.05,b)",
-            "m(0.1)",
-            "m(0.1,b)",
-            "incremental(0.1)",
-        ],
+        &["N", "m(0.05)", "m(0.05,b)", "m(0.1)", "m(0.1,b)", "incremental(0.1)"],
     );
     for (ni, &n) in sizes.iter().enumerate() {
         let mut cells = vec![n.to_string()];
@@ -51,21 +41,18 @@ pub fn run(quick: bool) -> Vec<Report> {
                 seed: WORKLOAD_SEED ^ 0xB000 ^ ((si as u64) << 32) ^ ni as u64,
                 ..Default::default()
             });
-            let (_, plain) = time_it(|| {
-                AltrAlg::solve(&pool, &AltrConfig::paper_without_bound()).unwrap()
-            });
-            let (_, bounded) = time_it(|| {
-                AltrAlg::solve(&pool, &AltrConfig::paper_with_bound()).unwrap()
-            });
+            let (_, plain) =
+                time_it(|| AltrAlg::solve(&pool, &AltrConfig::paper_without_bound()).unwrap());
+            let (_, bounded) =
+                time_it(|| AltrAlg::solve(&pool, &AltrConfig::paper_with_bound()).unwrap());
             cells.push(fmt_secs(plain));
             cells.push(fmt_secs(bounded));
             if si == 1 {
                 pool_01 = Some(pool);
             }
         }
-        let (_, inc) = time_it(|| {
-            AltrAlg::solve(pool_01.as_ref().unwrap(), &AltrConfig::default()).unwrap()
-        });
+        let (_, inc) =
+            time_it(|| AltrAlg::solve(pool_01.as_ref().unwrap(), &AltrConfig::default()).unwrap());
         cells.push(fmt_secs(inc));
         report.push_row(&cells);
     }

@@ -64,8 +64,7 @@ mod tests {
         let reports = run(true);
         let csv = reports[0].to_csv();
         for line in csv.lines().skip(1) {
-            let cells: Vec<f64> =
-                line.split(',').map(|c| c.parse().unwrap()).collect();
+            let cells: Vec<f64> = line.split(',').map(|c| c.parse().unwrap()).collect();
             let budget = cells[0];
             for &cost in &cells[1..] {
                 assert!(cost <= budget + 1e-9, "cost {cost} > budget {budget}");
@@ -85,10 +84,7 @@ mod tests {
         // For each pool column, the largest budget spends at least as
         // much as the smallest one.
         for col in 1..rows[0].len() {
-            assert!(
-                rows.last().unwrap()[col] + 1e-9 >= rows[0][col],
-                "column {col} shrank"
-            );
+            assert!(rows.last().unwrap()[col] + 1e-9 >= rows[0][col], "column {col} shrank");
         }
     }
 }

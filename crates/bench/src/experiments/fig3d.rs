@@ -87,12 +87,7 @@ mod tests {
         let last = rows.last().unwrap();
         // m(0.3) vs m(0.6) at the largest budget.
         if !last[1].is_nan() && !last[4].is_nan() {
-            assert!(
-                last[1] <= last[4] + 1e-9,
-                "m(0.3)={} should beat m(0.6)={}",
-                last[1],
-                last[4]
-            );
+            assert!(last[1] <= last[4] + 1e-9, "m(0.3)={} should beat m(0.6)={}", last[1], last[4]);
         }
     }
 }

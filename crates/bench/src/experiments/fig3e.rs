@@ -14,20 +14,13 @@ use jury_data::workloads::{fig3ef_budgets, fig3ef_grid};
 /// [`super::fig3f`].
 pub fn run(quick: bool) -> Vec<Report> {
     let grid = fig3ef_grid();
-    let budgets = if quick {
-        vec![0.5, 1.0, 1.5]
-    } else {
-        fig3ef_budgets()
-    };
+    let budgets = if quick { vec![0.5, 1.0, 1.5] } else { fig3ef_budgets() };
 
     let mut reports = Vec::new();
     for cell in &grid {
         let mut report = Report::new(
             format!("fig3e_var{}", (cell.rate_std * 100.0) as u32),
-            format!(
-                "Figure 3(e): APPX v.s. OPT on Total Cost (rate std {})",
-                cell.rate_std
-            ),
+            format!("Figure 3(e): APPX v.s. OPT on Total Cost (rate std {})", cell.rate_std),
             &["B", "APPX cost", "OPT cost"],
         );
         for &budget in &budgets {
@@ -54,8 +47,7 @@ mod tests {
         assert_eq!(reports.len(), 2); // one per rate-std cell
         for report in &reports {
             for line in report.to_csv().lines().skip(1) {
-                let cells: Vec<f64> =
-                    line.split(',').map(|c| c.parse().unwrap()).collect();
+                let cells: Vec<f64> = line.split(',').map(|c| c.parse().unwrap()).collect();
                 assert!(cells[1] <= cells[0] + 1e-9, "APPX overspent: {line}");
                 assert!(cells[2] <= cells[0] + 1e-9, "OPT overspent: {line}");
             }

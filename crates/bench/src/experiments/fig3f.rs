@@ -13,11 +13,7 @@ use jury_data::workloads::{fig3ef_budgets, fig3ef_grid};
 /// Regenerates Figure 3(f).
 pub fn run(quick: bool) -> Vec<Report> {
     let grid = fig3ef_grid();
-    let budgets = if quick {
-        vec![0.5, 1.0, 1.5]
-    } else {
-        fig3ef_budgets()
-    };
+    let budgets = if quick { vec![0.5, 1.0, 1.5] } else { fig3ef_budgets() };
 
     let mut reports = Vec::new();
     for cell in &grid {

@@ -35,12 +35,10 @@ pub fn run(quick: bool) -> Vec<Report> {
         let mut cells = vec![n.to_string()];
         for jurors in [&pools.hits.jurors, &pools.pagerank.jurors] {
             let slice: &[Juror] = &jurors[..n.min(jurors.len())];
-            let (_, plain) = time_it(|| {
-                AltrAlg::solve(slice, &AltrConfig::paper_without_bound()).unwrap()
-            });
-            let (_, bounded) = time_it(|| {
-                AltrAlg::solve(slice, &AltrConfig::paper_with_bound()).unwrap()
-            });
+            let (_, plain) =
+                time_it(|| AltrAlg::solve(slice, &AltrConfig::paper_without_bound()).unwrap());
+            let (_, bounded) =
+                time_it(|| AltrAlg::solve(slice, &AltrConfig::paper_with_bound()).unwrap());
             cells.push(fmt_secs(plain));
             cells.push(fmt_secs(bounded));
         }

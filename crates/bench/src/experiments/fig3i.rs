@@ -14,11 +14,8 @@ use jury_core::paym::{PayAlg, PayConfig};
 /// Regenerates Figure 3(i).
 pub fn run(quick: bool) -> Vec<Report> {
     let (n_users, top_k) = if quick { (600, 12) } else { (8000, 20) };
-    let budgets: Vec<f64> = if quick {
-        vec![0.2, 0.6, 1.0]
-    } else {
-        (1..=10).map(|i| i as f64 * 0.1).collect()
-    };
+    let budgets: Vec<f64> =
+        if quick { vec![0.2, 0.6, 1.0] } else { (1..=10).map(|i| i as f64 * 0.1).collect() };
     let pools = build_twitter_pools(n_users, top_k);
 
     let mut report = Report::new(

@@ -33,11 +33,7 @@ pub fn run(_quick: bool) -> Vec<Report> {
     for ((label, members), paper) in TABLE2_JURIES.iter().zip(paper_values) {
         let eps: Vec<f64> = members.iter().map(|&i| FIGURE1_RATES[i]).collect();
         let jer = JerEngine::Auto.jer(&eps);
-        let rates = eps
-            .iter()
-            .map(|e| format!("{e:.1}"))
-            .collect::<Vec<_>>()
-            .join(",");
+        let rates = eps.iter().map(|e| format!("{e:.1}")).collect::<Vec<_>>().join(",");
         report.push_row(&[label.to_string(), rates, fmt_f(jer, 6), paper.to_string()]);
     }
     vec![report]

@@ -23,11 +23,7 @@ pub struct Report {
 
 impl Report {
     /// Creates an empty report with column headers.
-    pub fn new(
-        id: impl Into<String>,
-        title: impl Into<String>,
-        headers: &[&str],
-    ) -> Self {
+    pub fn new(id: impl Into<String>, title: impl Into<String>, headers: &[&str]) -> Self {
         Self {
             id: id.into(),
             title: title.into(),
@@ -77,12 +73,8 @@ impl Report {
         }
         let mut out = String::new();
         let _ = writeln!(out, "== {} ({}) ==", self.title, self.id);
-        let header_line: Vec<String> = self
-            .headers
-            .iter()
-            .zip(&widths)
-            .map(|(h, w)| format!("{h:>w$}"))
-            .collect();
+        let header_line: Vec<String> =
+            self.headers.iter().zip(&widths).map(|(h, w)| format!("{h:>w$}")).collect();
         let _ = writeln!(out, "{}", header_line.join("  "));
         let _ = writeln!(out, "{}", "-".repeat(header_line.join("  ").len()));
         for row in &self.rows {
@@ -110,11 +102,8 @@ impl Report {
             self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(",")
         );
         for row in &self.rows {
-            let _ = writeln!(
-                out,
-                "{}",
-                row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
-            );
+            let _ =
+                writeln!(out, "{}", row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
         }
         out
     }

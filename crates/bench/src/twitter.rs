@@ -123,10 +123,8 @@ mod tests {
         // §5.2.1: "most top ranking users discovered by Pagerank overlaps
         // with the ones identified by HITS". Check top-10 overlap ≥ 5.
         let p = build_twitter_pools(400, 10);
-        let hits_top: std::collections::HashSet<&String> =
-            p.hits.usernames.iter().collect();
-        let overlap =
-            p.pagerank.usernames.iter().filter(|u| hits_top.contains(u)).count();
+        let hits_top: std::collections::HashSet<&String> = p.hits.usernames.iter().collect();
+        let overlap = p.pagerank.usernames.iter().filter(|u| hits_top.contains(u)).count();
         assert!(overlap >= 5, "only {overlap}/10 overlap");
     }
 }

@@ -21,9 +21,10 @@
 //!   identical selections; the `altr_scaling` bench quantifies the gap.
 
 use crate::error::JuryError;
-use crate::jer::{jer_gamma, jer_lower_bound, JerEngine};
+use crate::jer::{jer_gamma, jer_lower_bound, JerEngine, JerScratch};
 use crate::juror::Juror;
 use crate::problem::{Selection, SolverStats};
+use crate::solver::{sorted_order_into, Solver, SolverScratch};
 use jury_numeric::poibin::PoiBin;
 
 /// Which AltrALG implementation to run.
@@ -37,7 +38,7 @@ pub enum AltrStrategy {
 }
 
 /// Configuration for [`AltrAlg::solve`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AltrConfig {
     /// Implementation choice.
     pub strategy: AltrStrategy,
@@ -81,10 +82,22 @@ impl AltrConfig {
     }
 }
 
-/// The AltrM solver.
-pub struct AltrAlg;
+/// The AltrM solver, holding its configuration. The zero-sized uses of
+/// old (`AltrAlg::solve(pool, &config)`) keep working as associated
+/// functions; a configured value implements [`Solver`] for the service
+/// layer and reuses caller-provided scratch buffers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AltrAlg {
+    /// Strategy, pruning and engine choices.
+    pub config: AltrConfig,
+}
 
 impl AltrAlg {
+    /// A solver value with the given configuration.
+    pub fn new(config: AltrConfig) -> Self {
+        Self { config }
+    }
+
     /// Selects the minimum-JER jury from `pool` (exact under AltrM).
     ///
     /// Returned member indices refer to positions in `pool`.
@@ -92,18 +105,32 @@ impl AltrAlg {
     /// # Errors
     /// [`JuryError::EmptyPool`] when `pool` is empty.
     pub fn solve(pool: &[Juror], config: &AltrConfig) -> Result<Selection, JuryError> {
+        Self { config: *config }.solve_with(pool, &mut SolverScratch::new())
+    }
+
+    /// The scratch-threaded form of [`AltrAlg::solve`]: bit-identical
+    /// results; with warm buffers the only allocation is the returned
+    /// [`Selection`].
+    pub fn solve_with(
+        &self,
+        pool: &[Juror],
+        scratch: &mut SolverScratch,
+    ) -> Result<Selection, JuryError> {
         if pool.is_empty() {
             return Err(JuryError::EmptyPool);
         }
-        let order = sorted_order(pool);
-        let eps_sorted: Vec<f64> = order.iter().map(|&i| pool[i].epsilon()).collect();
+        sorted_order_into(pool, &mut scratch.order);
+        scratch.eps.clear();
+        scratch.eps.extend(scratch.order.iter().map(|&i| pool[i].epsilon()));
 
-        let (best_n, best_jer, stats) = match config.strategy {
-            AltrStrategy::PaperRecompute => scan_recompute(&eps_sorted, config),
-            AltrStrategy::Incremental => scan_incremental(&eps_sorted),
+        let (best_n, best_jer, stats) = match self.config.strategy {
+            AltrStrategy::PaperRecompute => {
+                scan_recompute(&scratch.eps, &self.config, &mut scratch.jer)
+            }
+            AltrStrategy::Incremental => scan_incremental(&scratch.eps, &mut scratch.pmf),
         };
 
-        let mut members: Vec<usize> = order[..best_n].to_vec();
+        let mut members: Vec<usize> = scratch.order[..best_n].to_vec();
         members.sort_unstable();
         let total_cost = members.iter().map(|&i| pool[i].cost).sum();
         Ok(Selection { members, jer: best_jer, total_cost, stats })
@@ -118,6 +145,13 @@ impl AltrAlg {
         let order = sorted_order(pool);
         let eps_sorted: Vec<f64> = order.iter().map(|&i| pool[i].epsilon()).collect();
         profile(&eps_sorted)
+    }
+
+    /// [`AltrAlg::jer_profile`] over rates that are already ε-sorted —
+    /// the serving layer's cache build reuses the solve's sorted order
+    /// rather than sorting the pool again.
+    pub fn jer_profile_sorted(eps_sorted: &[f64]) -> Vec<(usize, f64)> {
+        profile(eps_sorted)
     }
 
     /// Best jury of a *fixed* odd size `n` — by Lemma 3 this is simply
@@ -151,21 +185,15 @@ impl AltrAlg {
             members,
             jer,
             total_cost,
-            stats: SolverStats {
-                jer_evaluations: 1,
-                pruned_by_bound: 0,
-                candidates_considered: 1,
-            },
+            stats: SolverStats { jer_evaluations: 1, pruned_by_bound: 0, candidates_considered: 1 },
         })
     }
 }
 
 /// Pool indices sorted ascending by ε (ties by index for determinism).
 fn sorted_order(pool: &[Juror]) -> Vec<usize> {
-    let mut order: Vec<usize> = (0..pool.len()).collect();
-    order.sort_by(|&a, &b| {
-        pool[a].epsilon().total_cmp(&pool[b].epsilon()).then(a.cmp(&b))
-    });
+    let mut order = Vec::new();
+    sorted_order_into(pool, &mut order);
     order
 }
 
@@ -183,22 +211,34 @@ fn profile(eps_sorted: &[f64]) -> Vec<(usize, f64)> {
     out
 }
 
-fn scan_incremental(eps_sorted: &[f64]) -> (usize, f64, SolverStats) {
+/// The incremental scan: one [`PoiBin::push`] per juror on a pmf reused
+/// from the scratch, inspecting every odd prefix size.
+fn scan_incremental(eps_sorted: &[f64], pmf: &mut PoiBin) -> (usize, f64, SolverStats) {
     let mut stats = SolverStats::default();
     let mut best_n = 0usize;
     let mut best_jer = f64::INFINITY;
-    for (n, jer) in profile(eps_sorted) {
-        stats.candidates_considered += 1;
-        stats.jer_evaluations += 1;
-        if jer < best_jer {
-            best_jer = jer;
-            best_n = n;
+    pmf.reset();
+    for (i, &e) in eps_sorted.iter().enumerate() {
+        pmf.push(e);
+        let n = i + 1;
+        if n % 2 == 1 {
+            let jer = pmf.tail(JerEngine::majority_threshold(n));
+            stats.candidates_considered += 1;
+            stats.jer_evaluations += 1;
+            if jer < best_jer {
+                best_jer = jer;
+                best_n = n;
+            }
         }
     }
     (best_n, best_jer, stats)
 }
 
-fn scan_recompute(eps_sorted: &[f64], config: &AltrConfig) -> (usize, f64, SolverStats) {
+fn scan_recompute(
+    eps_sorted: &[f64],
+    config: &AltrConfig,
+    jer_scratch: &mut JerScratch,
+) -> (usize, f64, SolverStats) {
     let mut stats = SolverStats::default();
     // Seed with the single best juror, as Algorithm 3 line 1 does.
     let mut best_n = 1usize;
@@ -223,7 +263,7 @@ fn scan_recompute(eps_sorted: &[f64], config: &AltrConfig) -> (usize, f64, Solve
             }
         }
         if !skip {
-            let jer = config.engine.jer(cand);
+            let jer = config.engine.jer_with(cand, jer_scratch);
             stats.jer_evaluations += 1;
             if jer < best_jer {
                 best_jer = jer;
@@ -233,6 +273,20 @@ fn scan_recompute(eps_sorted: &[f64], config: &AltrConfig) -> (usize, f64, Solve
         n += 2;
     }
     (best_n, best_jer, stats)
+}
+
+impl Solver for AltrAlg {
+    fn name(&self) -> &'static str {
+        "altr"
+    }
+
+    fn solve(
+        &mut self,
+        pool: &[Juror],
+        scratch: &mut SolverScratch,
+    ) -> Result<Selection, JuryError> {
+        self.solve_with(pool, scratch)
+    }
 }
 
 #[cfg(test)]
@@ -275,10 +329,7 @@ mod tests {
 
     #[test]
     fn empty_pool_is_an_error() {
-        assert_eq!(
-            AltrAlg::solve(&[], &AltrConfig::default()),
-            Err(JuryError::EmptyPool)
-        );
+        assert_eq!(AltrAlg::solve(&[], &AltrConfig::default()), Err(JuryError::EmptyPool));
     }
 
     #[test]
@@ -356,10 +407,7 @@ mod tests {
     fn profile_covers_all_odd_sizes_and_matches_solver() {
         let pool = pool_from_rates(&TABLE2).unwrap();
         let profile = AltrAlg::jer_profile(&pool);
-        assert_eq!(
-            profile.iter().map(|&(n, _)| n).collect::<Vec<_>>(),
-            vec![1, 3, 5, 7]
-        );
+        assert_eq!(profile.iter().map(|&(n, _)| n).collect::<Vec<_>>(), vec![1, 3, 5, 7]);
         let best = profile.iter().cloned().min_by(|a, b| a.1.total_cmp(&b.1)).unwrap();
         let sel = AltrAlg::solve(&pool, &AltrConfig::default()).unwrap();
         assert_eq!(best.0, sel.size());

@@ -14,14 +14,20 @@
 //!   subset's JER never costs more than `O(n)` on top of its parent.
 //!
 //! [`exact_paym_parallel`] splits the DFS over prefix assignments of the
-//! first `K` candidates and fans the subtrees out over crossbeam-scoped
-//! threads; sequential and parallel versions return bit-identical results
-//! (same tree, deterministic tie-breaking).
+//! first `K` candidates and fans the subtrees out over `std::thread`
+//! scoped threads; sequential and parallel versions return bit-identical
+//! results (same tree, deterministic tie-breaking).
+//!
+//! [`ExactPaym`] wraps either entry point as a
+//! [`Solver`] so the service layer can dispatch
+//! ground-truth solves through the same interface as the fast
+//! heuristics.
 
 use crate::error::JuryError;
 use crate::jer::JerEngine;
 use crate::juror::Juror;
 use crate::problem::{Selection, SolverStats};
+use crate::solver::{Solver, SolverScratch};
 use jury_numeric::poibin::PoiBin;
 
 /// Hard cap on pool size for exact enumeration: `2^26` subsets is already
@@ -141,7 +147,14 @@ impl SearchState {
 }
 
 /// DFS over include/exclude decisions for `order[idx..]`.
-fn dfs(pool: &[Juror], order: &[usize], budget: f64, idx: usize, spent: f64, state: &mut SearchState) {
+fn dfs(
+    pool: &[Juror],
+    order: &[usize],
+    budget: f64,
+    idx: usize,
+    spent: f64,
+    state: &mut SearchState,
+) {
     // Leaf, or no remaining candidate fits the residual budget (costs are
     // ascending, so order[idx] is the cheapest remaining): the only
     // feasible completion is "take nothing more" — evaluate and stop.
@@ -184,7 +197,11 @@ fn best_to_selection(best: Best, budget: f64) -> Result<Selection, JuryError> {
 /// Sequential exact PayM solver: minimum-JER odd subset within budget.
 ///
 /// Pass `budget = f64::MAX` for exact AltrM ground truth.
-pub fn exact_paym(pool: &[Juror], budget: f64, config: &ExactConfig) -> Result<Selection, JuryError> {
+pub fn exact_paym(
+    pool: &[Juror],
+    budget: f64,
+    config: &ExactConfig,
+) -> Result<Selection, JuryError> {
     let order = validate(pool, budget, config)?;
     let mut state = SearchState::new(pool.len());
     dfs(pool, &order, budget, 0, 0.0, &mut state);
@@ -210,16 +227,15 @@ pub fn exact_paym_parallel(
     let patterns = 1u32 << k;
     let counter = std::sync::atomic::AtomicU32::new(0);
 
-    let merged = crossbeam::thread::scope(|scope| {
+    let merged = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for _ in 0..threads {
             let order = &order;
             let counter = &counter;
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut state = SearchState::new(pool.len());
                 loop {
-                    let pattern =
-                        counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let pattern = counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     if pattern >= patterns {
                         break;
                     }
@@ -249,10 +265,50 @@ pub fn exact_paym_parallel(
             .into_iter()
             .map(|h| h.join().expect("exact solver worker panicked"))
             .fold(Best::none(), Best::merge)
-    })
-    .expect("crossbeam scope");
+    });
 
     best_to_selection(merged, budget)
+}
+
+/// The exact solvers behind the [`Solver`] interface: exponential ground
+/// truth with a budget (use `f64::MAX` for AltrM ground truth),
+/// optionally fanning the search over threads.
+#[derive(Debug, Clone, Copy)]
+pub struct ExactPaym {
+    /// Total payment budget.
+    pub budget: f64,
+    /// Enumeration limits and thread count.
+    pub config: ExactConfig,
+    /// Use the multi-threaded search ([`exact_paym_parallel`]) instead of
+    /// the sequential one — same selection either way.
+    pub parallel: bool,
+}
+
+impl ExactPaym {
+    /// Sequential exact solver with default limits.
+    pub fn with_budget(budget: f64) -> Self {
+        Self { budget, config: ExactConfig::default(), parallel: false }
+    }
+}
+
+impl Solver for ExactPaym {
+    fn name(&self) -> &'static str {
+        "exact-paym"
+    }
+
+    /// The DFS keeps an incremental pmf stack whose depth varies with the
+    /// path, so it owns its state rather than borrowing the flat scratch.
+    fn solve(
+        &mut self,
+        pool: &[Juror],
+        _scratch: &mut SolverScratch,
+    ) -> Result<Selection, JuryError> {
+        if self.parallel {
+            exact_paym_parallel(pool, self.budget, &self.config)
+        } else {
+            exact_paym(pool, self.budget, &self.config)
+        }
+    }
 }
 
 /// Number of leading candidates whose include/exclude pattern is fixed
@@ -406,10 +462,7 @@ mod tests {
 
     #[test]
     fn error_cases() {
-        assert_eq!(
-            exact_paym(&[], 1.0, &ExactConfig::default()),
-            Err(JuryError::EmptyPool)
-        );
+        assert_eq!(exact_paym(&[], 1.0, &ExactConfig::default()), Err(JuryError::EmptyPool));
         let pool = pool_from_rates_and_costs(&[(0.2, 0.5)]).unwrap();
         assert_eq!(
             exact_paym(&pool, 0.1, &ExactConfig::default()),

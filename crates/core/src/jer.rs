@@ -19,7 +19,24 @@
 //! [`jer_lower_bound`] with the majority threshold pre-applied.
 
 use jury_numeric::bounds::{paley_zygmund_gamma, paley_zygmund_lower_bound, TailBound};
-use jury_numeric::poibin::{tail_probability_dp, PoiBin};
+use jury_numeric::poibin::{tail_probability_dp_with, PoiBin, TailScratch, CBA_BASE_CASE};
+
+/// Reusable buffers for [`JerEngine::jer_with`] /
+/// [`JerEngine::tail_with`]: a pmf for the DP engines and the rolling
+/// vectors of Algorithm 1. One scratch per worker thread is the intended
+/// usage; results are bit-identical to the allocating entry points.
+#[derive(Debug, Clone, Default)]
+pub struct JerScratch {
+    pmf: PoiBin,
+    tail: TailScratch,
+}
+
+impl JerScratch {
+    /// An empty workspace (buffers grow on first use).
+    pub fn new() -> Self {
+        Self { pmf: PoiBin::empty(), tail: TailScratch::new() }
+    }
+}
 
 /// Jury size at which [`JerEngine::Auto`] switches from the quadratic DP
 /// to CBA. Below this the DP's tight inner loop wins; the `jer_engines`
@@ -69,16 +86,42 @@ impl JerEngine {
     /// Computes the general tail `Pr(C ≥ threshold)` — JER is the
     /// `threshold = (n+1)/2` case.
     pub fn tail(self, eps: &[f64], threshold: usize) -> f64 {
+        self.tail_with(eps, threshold, &mut JerScratch::new())
+    }
+
+    /// The workspace form of [`JerEngine::jer`]: bit-identical results,
+    /// with the DP pmf / rolling tail vectors reused from `scratch` so a
+    /// solver scan or a batched service evaluates JERs without heap
+    /// allocation (the CBA recursion above [`CBA_BASE_CASE`] jurors still
+    /// allocates its merge tree; `Naive` is validation-only).
+    pub fn jer_with(self, eps: &[f64], scratch: &mut JerScratch) -> f64 {
+        self.tail_with(eps, Self::majority_threshold(eps.len()), scratch)
+    }
+
+    /// The workspace form of [`JerEngine::tail`].
+    pub fn tail_with(self, eps: &[f64], threshold: usize, scratch: &mut JerScratch) -> f64 {
         match self {
             JerEngine::Naive => PoiBin::from_error_rates_naive(eps).tail(threshold),
             JerEngine::DynamicProgramming => {
-                PoiBin::from_error_rates_dp(eps).tail(threshold)
+                scratch.pmf.assign_error_rates_dp(eps);
+                scratch.pmf.tail(threshold)
             }
-            JerEngine::TailDp => tail_probability_dp(eps, threshold),
-            JerEngine::Convolution => PoiBin::from_error_rates_cba(eps).tail(threshold),
+            JerEngine::TailDp => tail_probability_dp_with(eps, threshold, &mut scratch.tail),
+            JerEngine::Convolution => {
+                // CBA bottoms out into the sequential DP below its base
+                // case, so the short-input result is bit-identical while
+                // staying allocation-free.
+                if eps.len() <= CBA_BASE_CASE {
+                    scratch.pmf.assign_error_rates_dp(eps);
+                    scratch.pmf.tail(threshold)
+                } else {
+                    PoiBin::from_error_rates_cba(eps).tail(threshold)
+                }
+            }
             JerEngine::Auto => {
                 if eps.len() < AUTO_CBA_THRESHOLD {
-                    PoiBin::from_error_rates_dp(eps).tail(threshold)
+                    scratch.pmf.assign_error_rates_dp(eps);
+                    scratch.pmf.tail(threshold)
                 } else {
                     PoiBin::from_error_rates_cba(eps).tail(threshold)
                 }
@@ -140,10 +183,7 @@ mod tests {
     fn all_engines_agree_on_motivating_example() {
         let eps = [0.2, 0.3, 0.3];
         for engine in ENGINES {
-            assert!(
-                (engine.jer(&eps) - 0.174).abs() < 1e-12,
-                "{engine:?} disagreed"
-            );
+            assert!((engine.jer(&eps) - 0.174).abs() < 1e-12, "{engine:?} disagreed");
         }
     }
 
@@ -221,5 +261,26 @@ mod tests {
     #[test]
     fn default_engine_is_auto() {
         assert_eq!(JerEngine::default(), JerEngine::Auto);
+    }
+
+    #[test]
+    fn scratch_form_is_bit_identical_for_every_engine() {
+        let mut scratch = JerScratch::new();
+        let long: Vec<f64> = (0..90).map(|i| 0.05 + ((i * 7) % 80) as f64 / 100.0).collect();
+        for eps in [&[0.37][..], &[0.1, 0.2, 0.2, 0.3, 0.3][..], &long[..17], &long] {
+            for engine in ENGINES {
+                if engine == JerEngine::Naive && eps.len() > 25 {
+                    continue;
+                }
+                // Repeated use of one scratch across engines and sizes
+                // must not perturb results.
+                assert_eq!(engine.jer_with(eps, &mut scratch), engine.jer(eps), "{engine:?}");
+                assert_eq!(
+                    engine.tail_with(eps, 1, &mut scratch),
+                    engine.tail(eps, 1),
+                    "{engine:?}"
+                );
+            }
+        }
     }
 }

@@ -125,11 +125,7 @@ impl Juror {
 ///
 /// Fails on the first invalid rate.
 pub fn pool_from_rates(rates: &[f64]) -> Result<Vec<Juror>, JuryError> {
-    rates
-        .iter()
-        .enumerate()
-        .map(|(i, &e)| Ok(Juror::free(i as u32, ErrorRate::new(e)?)))
-        .collect()
+    rates.iter().enumerate().map(|(i, &e)| Ok(Juror::free(i as u32, ErrorRate::new(e)?))).collect()
 }
 
 /// Builds a paid-juror pool from `(error_rate, cost)` pairs; ids are

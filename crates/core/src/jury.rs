@@ -125,12 +125,9 @@ mod tests {
     #[test]
     fn total_cost_sums_members() {
         let e = ErrorRate::new(0.3).unwrap();
-        let jury = Jury::new(vec![
-            Juror::new(0, e, 0.25),
-            Juror::new(1, e, 0.5),
-            Juror::new(2, e, 0.0),
-        ])
-        .unwrap();
+        let jury =
+            Jury::new(vec![Juror::new(0, e, 0.25), Juror::new(1, e, 0.5), Juror::new(2, e, 0.0)])
+                .unwrap();
         assert!((jury.total_cost() - 0.75).abs() < 1e-15);
     }
 

@@ -22,11 +22,17 @@
 //!   paper's lower-bound pruning and a faster incremental variant.
 //! * [`paym`] — `PayALG` (Algorithm 4), the greedy heuristic for the
 //!   NP-hard budgeted model.
-//! * [`exact`] — exact PayM solvers (bitmask enumeration, a
-//!   crossbeam-parallel version, and branch & bound) used as ground truth.
+//! * [`exact`] — exact PayM solvers (DFS enumeration with budget
+//!   pruning, and a thread-parallel version) used as ground truth.
+//! * [`solver`] — the [`Solver`] trait + [`SolverScratch`] workspace:
+//!   every algorithm behind one interface, with caller-owned buffers so
+//!   repeated solves (the `jury-service` serving layer) allocate nothing
+//!   warm beyond the returned [`Selection`].
 //! * [`model`] / [`problem`] — the AltrM/PayM crowdsourcing models and the
 //!   [`JurySelectionProblem`] facade tying pool + model + solver together.
 //! * [`metrics`] — precision/recall of a selection against ground truth.
+//! * [`wire`] — `serde` implementations for the types crossing the
+//!   service/API boundary (selections, stats, configs, crowd models).
 //!
 //! # Quick example
 //!
@@ -59,31 +65,35 @@ pub mod metrics;
 pub mod model;
 pub mod paym;
 pub mod problem;
+pub mod solver;
 pub mod voting;
+pub mod wire;
 
 pub use altr::{AltrAlg, AltrConfig, AltrStrategy};
 pub use error::JuryError;
-pub use exact::{exact_paym, exact_paym_parallel, ExactConfig};
-pub use jer::{jer_lower_bound, JerEngine};
+pub use exact::{exact_paym, exact_paym_parallel, ExactConfig, ExactPaym};
+pub use jer::{jer_lower_bound, JerEngine, JerScratch};
 pub use juror::{ErrorRate, Juror};
 pub use jury::Jury;
 pub use metrics::{precision_recall, PrecisionRecall};
 pub use model::CrowdModel;
 pub use paym::{PayAlg, PayConfig};
 pub use problem::{JurySelectionProblem, Selection, SolverStats};
+pub use solver::{Solver, SolverScratch};
 pub use voting::{majority_vote, weighted_majority_vote, Decision, Voting};
 
 /// Convenient glob import for downstream crates and examples.
 pub mod prelude {
     pub use crate::altr::{AltrAlg, AltrConfig, AltrStrategy};
     pub use crate::error::JuryError;
-    pub use crate::exact::{exact_paym, exact_paym_parallel, ExactConfig};
-    pub use crate::jer::{jer_lower_bound, JerEngine};
+    pub use crate::exact::{exact_paym, exact_paym_parallel, ExactConfig, ExactPaym};
+    pub use crate::jer::{jer_lower_bound, JerEngine, JerScratch};
     pub use crate::juror::{ErrorRate, Juror};
     pub use crate::jury::Jury;
     pub use crate::metrics::{precision_recall, PrecisionRecall};
     pub use crate::model::CrowdModel;
     pub use crate::paym::{PayAlg, PayConfig};
     pub use crate::problem::{JurySelectionProblem, Selection, SolverStats};
+    pub use crate::solver::{Solver, SolverScratch};
     pub use crate::voting::{majority_vote, weighted_majority_vote, Decision, Voting};
 }

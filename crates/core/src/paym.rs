@@ -21,10 +21,11 @@ use crate::error::JuryError;
 use crate::jer::JerEngine;
 use crate::juror::Juror;
 use crate::problem::{Selection, SolverStats};
+use crate::solver::{Solver, SolverScratch};
 use jury_numeric::poibin::PoiBin;
 
 /// Configuration for [`PayAlg::solve`].
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PayConfig {
     /// Accept an enlargement only when it *strictly* improves JER.
     /// Algorithm 4 as printed uses `≤` (non-degrading); strict mode is an
@@ -33,10 +34,31 @@ pub struct PayConfig {
     pub strict_improvement: bool,
 }
 
-/// The PayM greedy solver.
-pub struct PayAlg;
+/// The PayM greedy solver, holding its budget and configuration. The old
+/// entry point (`PayAlg::solve(pool, budget, &config)`) keeps working as
+/// an associated function; a configured value implements [`Solver`] for
+/// the service layer and reuses caller-provided scratch buffers.
+#[derive(Debug, Clone, Copy)]
+pub struct PayAlg {
+    /// Total payment budget `B ≥ 0`.
+    pub budget: f64,
+    /// Acceptance-rule configuration.
+    pub config: PayConfig,
+}
+
+impl Default for PayAlg {
+    /// Unlimited budget, paper-faithful acceptance.
+    fn default() -> Self {
+        Self { budget: f64::MAX, config: PayConfig::default() }
+    }
+}
 
 impl PayAlg {
+    /// A solver value with the given budget and configuration.
+    pub fn new(budget: f64, config: PayConfig) -> Self {
+        Self { budget, config }
+    }
+
     /// Runs Algorithm 4 on `pool` with budget `budget`.
     ///
     /// Returned member indices refer to positions in `pool`.
@@ -47,6 +69,65 @@ impl PayAlg {
     /// * [`JuryError::NoFeasibleJury`] when no single candidate is
     ///   affordable.
     pub fn solve(pool: &[Juror], budget: f64, config: &PayConfig) -> Result<Selection, JuryError> {
+        Self { budget, config: *config }.solve_with(pool, &mut SolverScratch::new())
+    }
+
+    /// Writes the greedy visit order of Algorithm 4 line 1 into `order`:
+    /// ascending `ε_i·r_i` (ties: cheaper, then more reliable, then lower
+    /// index — deterministic). The order depends only on the pool, not
+    /// the budget, so a serving layer caches it per pool and replays it
+    /// across tasks via [`PayAlg::solve_presorted`].
+    pub fn greedy_order_into(pool: &[Juror], order: &mut Vec<usize>) {
+        order.clear();
+        order.extend(0..pool.len());
+        order.sort_by(|&a, &b| {
+            pool[a]
+                .greedy_key()
+                .total_cmp(&pool[b].greedy_key())
+                .then(pool[a].cost.total_cmp(&pool[b].cost))
+                .then(pool[a].epsilon().total_cmp(&pool[b].epsilon()))
+                .then(a.cmp(&b))
+        });
+    }
+
+    /// The scratch-threaded form of [`PayAlg::solve`]: bit-identical
+    /// results; with warm buffers the only allocation is the returned
+    /// [`Selection`].
+    pub fn solve_with(
+        &self,
+        pool: &[Juror],
+        scratch: &mut SolverScratch,
+    ) -> Result<Selection, JuryError> {
+        let SolverScratch { order, pmf, trial, .. } = scratch;
+        Self::greedy_order_into(pool, order);
+        self.scan(pool, order, pmf, trial)
+    }
+
+    /// Runs the greedy scan over a precomputed visit order (which must be
+    /// exactly what [`PayAlg::greedy_order_into`] produces for `pool`) —
+    /// the cache-hit path of the serving layer. Bit-identical to
+    /// [`PayAlg::solve`].
+    pub fn solve_presorted(
+        &self,
+        pool: &[Juror],
+        order: &[usize],
+        scratch: &mut SolverScratch,
+    ) -> Result<Selection, JuryError> {
+        debug_assert_eq!(order.len(), pool.len(), "order must cover the pool");
+        let SolverScratch { pmf, trial, .. } = scratch;
+        self.scan(pool, order, pmf, trial)
+    }
+
+    /// Algorithm 4 lines 2-16 over an already-sorted candidate order.
+    fn scan(
+        &self,
+        pool: &[Juror],
+        order: &[usize],
+        pmf: &mut PoiBin,
+        trial: &mut PoiBin,
+    ) -> Result<Selection, JuryError> {
+        let budget = self.budget;
+        let config = &self.config;
         if pool.is_empty() {
             return Err(JuryError::EmptyPool);
         }
@@ -58,18 +139,6 @@ impl PayAlg {
         }
         let mut stats = SolverStats::default();
 
-        // Line 1: ascending ε_i·r_i (ties: cheaper, then more reliable,
-        // then lower index — deterministic).
-        let mut order: Vec<usize> = (0..pool.len()).collect();
-        order.sort_by(|&a, &b| {
-            pool[a]
-                .greedy_key()
-                .total_cmp(&pool[b].greedy_key())
-                .then(pool[a].cost.total_cmp(&pool[b].cost))
-                .then(pool[a].epsilon().total_cmp(&pool[b].epsilon()))
-                .then(a.cmp(&b))
-        });
-
         // Lines 3-5: first affordable candidate seeds the jury.
         let Some(first_pos) = order.iter().position(|&i| pool[i].cost <= budget) else {
             return Err(JuryError::NoFeasibleJury { budget });
@@ -77,7 +146,7 @@ impl PayAlg {
         let seed = order[first_pos];
         let mut members = vec![seed];
         let mut spent = pool[seed].cost;
-        let mut pmf = PoiBin::empty();
+        pmf.reset();
         pmf.push(pool[seed].epsilon());
         let mut jer = pmf.tail(1);
         stats.jer_evaluations += 1;
@@ -95,7 +164,7 @@ impl PayAlg {
                 Some(p) => {
                     let pair_cost = pool[p].cost + pool[cand].cost;
                     if spent + pair_cost <= budget {
-                        let mut trial = pmf.clone();
+                        trial.copy_from(pmf);
                         trial.push(pool[p].epsilon());
                         trial.push(pool[cand].epsilon());
                         let n = members.len() + 2;
@@ -110,7 +179,7 @@ impl PayAlg {
                             members.push(p);
                             members.push(cand);
                             spent += pair_cost;
-                            pmf = trial;
+                            std::mem::swap(pmf, trial);
                             jer = trial_jer;
                             pair = None;
                         }
@@ -121,6 +190,20 @@ impl PayAlg {
 
         members.sort_unstable();
         Ok(Selection { members, jer, total_cost: spent, stats })
+    }
+}
+
+impl Solver for PayAlg {
+    fn name(&self) -> &'static str {
+        "paym"
+    }
+
+    fn solve(
+        &mut self,
+        pool: &[Juror],
+        scratch: &mut SolverScratch,
+    ) -> Result<Selection, JuryError> {
+        self.solve_with(pool, scratch)
     }
 }
 
@@ -196,10 +279,7 @@ mod tests {
 
     #[test]
     fn empty_pool_and_bad_budget() {
-        assert_eq!(
-            PayAlg::solve(&[], 1.0, &PayConfig::default()),
-            Err(JuryError::EmptyPool)
-        );
+        assert_eq!(PayAlg::solve(&[], 1.0, &PayConfig::default()), Err(JuryError::EmptyPool));
         let pool = figure1_pool();
         assert!(matches!(
             PayAlg::solve(&pool, -0.5, &PayConfig::default()),
@@ -251,16 +331,14 @@ mod tests {
         let pool: Vec<Juror> =
             (0..7).map(|i| Juror::new(i, ErrorRate::new(0.5).unwrap(), 0.0)).collect();
         let lenient = PayAlg::solve(&pool, 1.0, &PayConfig::default()).unwrap();
-        let strict =
-            PayAlg::solve(&pool, 1.0, &PayConfig { strict_improvement: true }).unwrap();
+        let strict = PayAlg::solve(&pool, 1.0, &PayConfig { strict_improvement: true }).unwrap();
         assert!(strict.size() <= lenient.size());
         assert_eq!(strict.size(), 1);
         assert!((strict.jer - lenient.jer).abs() < 1e-12);
 
         let pool: Vec<Juror> = (0..7).map(|i| Juror::new(i, e, 0.0)).collect();
         let lenient = PayAlg::solve(&pool, 1.0, &PayConfig::default()).unwrap();
-        let strict =
-            PayAlg::solve(&pool, 1.0, &PayConfig { strict_improvement: true }).unwrap();
+        let strict = PayAlg::solve(&pool, 1.0, &PayConfig { strict_improvement: true }).unwrap();
         assert_eq!(strict.members, lenient.members);
     }
 
@@ -282,11 +360,7 @@ mod tests {
         // Seed (free) + pair of cost 0.5 each, budget 1.0: both admitted
         // since homogeneous ε=0.2 and size 3 beats size 1.
         let e = ErrorRate::new(0.2).unwrap();
-        let pool = vec![
-            Juror::new(0, e, 0.0),
-            Juror::new(1, e, 0.5),
-            Juror::new(2, e, 0.5),
-        ];
+        let pool = vec![Juror::new(0, e, 0.0), Juror::new(1, e, 0.5), Juror::new(2, e, 0.5)];
         let sel = PayAlg::solve(&pool, 1.0, &PayConfig::default()).unwrap();
         assert_eq!(sel.members, vec![0, 1, 2]);
         assert!((sel.total_cost - 1.0).abs() < 1e-12);

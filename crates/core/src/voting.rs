@@ -103,10 +103,7 @@ pub fn majority_vote(voting: &Voting) -> Decision {
 /// jury size.
 pub fn weighted_majority_vote(jury: &Jury, voting: &Voting) -> Result<Decision, JuryError> {
     if jury.size() != voting.len() {
-        return Err(JuryError::VotingSizeMismatch {
-            expected: jury.size(),
-            actual: voting.len(),
-        });
+        return Err(JuryError::VotingSizeMismatch { expected: jury.size(), actual: voting.len() });
     }
     let score: f64 = jury
         .members()

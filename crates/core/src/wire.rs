@@ -1,0 +1,236 @@
+//! `serde` implementations for the core types crossing the service/API
+//! boundary.
+//!
+//! The service layer accepts tasks and returns selections over the wire;
+//! bench tooling persists solver reports. Both need
+//! [`Selection`], [`SolverStats`], the solver configurations and
+//! [`CrowdModel`] to round-trip through JSON. The implementations are
+//! hand-written against the vendored `serde` (see `crates/shims/serde`);
+//! moving to crates.io serde later replaces them with derives.
+//!
+//! Encoding choices:
+//! * structs become objects with snake_case field names (derive-compatible);
+//! * fieldless enums become lowercase kebab-case strings;
+//! * [`CrowdModel`] uses an adjacently-tagged object
+//!   (`{"model": "altruism"}` / `{"model": "pay-as-you-go", "budget": b}`).
+
+use crate::altr::{AltrConfig, AltrStrategy};
+use crate::jer::JerEngine;
+use crate::model::CrowdModel;
+use crate::paym::PayConfig;
+use crate::problem::{Selection, SolverStats};
+use serde::{Deserialize, Error, Serialize, Value};
+
+impl Serialize for SolverStats {
+    fn to_value(&self) -> Value {
+        Value::object([
+            ("jer_evaluations", self.jer_evaluations.to_value()),
+            ("pruned_by_bound", self.pruned_by_bound.to_value()),
+            ("candidates_considered", self.candidates_considered.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for SolverStats {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(Self {
+            jer_evaluations: field(value, "jer_evaluations")?,
+            pruned_by_bound: field(value, "pruned_by_bound")?,
+            candidates_considered: field(value, "candidates_considered")?,
+        })
+    }
+}
+
+impl Serialize for Selection {
+    fn to_value(&self) -> Value {
+        Value::object([
+            ("members", self.members.to_value()),
+            ("jer", self.jer.to_value()),
+            ("total_cost", self.total_cost.to_value()),
+            ("stats", self.stats.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Selection {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(Self {
+            members: field(value, "members")?,
+            jer: field(value, "jer")?,
+            total_cost: field(value, "total_cost")?,
+            stats: field(value, "stats")?,
+        })
+    }
+}
+
+impl Serialize for JerEngine {
+    fn to_value(&self) -> Value {
+        let name = match self {
+            JerEngine::Naive => "naive",
+            JerEngine::DynamicProgramming => "dynamic-programming",
+            JerEngine::TailDp => "tail-dp",
+            JerEngine::Convolution => "convolution",
+            JerEngine::Auto => "auto",
+        };
+        name.to_value()
+    }
+}
+
+impl Deserialize for JerEngine {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value.as_str() {
+            Some("naive") => Ok(JerEngine::Naive),
+            Some("dynamic-programming") => Ok(JerEngine::DynamicProgramming),
+            Some("tail-dp") => Ok(JerEngine::TailDp),
+            Some("convolution") => Ok(JerEngine::Convolution),
+            Some("auto") => Ok(JerEngine::Auto),
+            _ => Err(Error::expected("a JER engine name", value)),
+        }
+    }
+}
+
+impl Serialize for AltrStrategy {
+    fn to_value(&self) -> Value {
+        match self {
+            AltrStrategy::PaperRecompute => "paper-recompute",
+            AltrStrategy::Incremental => "incremental",
+        }
+        .to_value()
+    }
+}
+
+impl Deserialize for AltrStrategy {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value.as_str() {
+            Some("paper-recompute") => Ok(AltrStrategy::PaperRecompute),
+            Some("incremental") => Ok(AltrStrategy::Incremental),
+            _ => Err(Error::expected("an AltrALG strategy name", value)),
+        }
+    }
+}
+
+impl Serialize for AltrConfig {
+    fn to_value(&self) -> Value {
+        Value::object([
+            ("strategy", self.strategy.to_value()),
+            ("use_lower_bound", self.use_lower_bound.to_value()),
+            ("engine", self.engine.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for AltrConfig {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(Self {
+            strategy: field(value, "strategy")?,
+            use_lower_bound: field(value, "use_lower_bound")?,
+            engine: field(value, "engine")?,
+        })
+    }
+}
+
+impl Serialize for PayConfig {
+    fn to_value(&self) -> Value {
+        Value::object([("strict_improvement", self.strict_improvement.to_value())])
+    }
+}
+
+impl Deserialize for PayConfig {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(Self { strict_improvement: field(value, "strict_improvement")? })
+    }
+}
+
+impl Serialize for CrowdModel {
+    fn to_value(&self) -> Value {
+        match *self {
+            CrowdModel::Altruism => Value::object([("model", "altruism".to_value())]),
+            CrowdModel::PayAsYouGo { budget } => Value::object([
+                ("model", "pay-as-you-go".to_value()),
+                ("budget", budget.to_value()),
+            ]),
+        }
+    }
+}
+
+impl Deserialize for CrowdModel {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value.get("model").and_then(Value::as_str) {
+            Some("altruism") => Ok(CrowdModel::Altruism),
+            Some("pay-as-you-go") => {
+                let budget: f64 = field(value, "budget")?;
+                CrowdModel::pay_as_you_go(budget)
+                    .map_err(|e| Error::custom(format!("invalid budget: {e}")))
+            }
+            _ => Err(Error::expected("a crowd model object", value)),
+        }
+    }
+}
+
+/// Reads a typed object field.
+fn field<T: Deserialize>(value: &Value, name: &str) -> Result<T, Error> {
+    T::from_value(value.get(name).ok_or_else(|| Error::missing_field(name))?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::altr::AltrAlg;
+    use crate::juror::pool_from_rates;
+    use serde::json;
+
+    fn round_trip<T: Serialize + Deserialize + PartialEq + std::fmt::Debug>(value: &T) {
+        let text = json::to_string(value);
+        let back: T = json::from_str(&text).unwrap_or_else(|e| panic!("{text}: {e}"));
+        assert_eq!(&back, value, "{text}");
+    }
+
+    #[test]
+    fn selection_round_trips_with_exact_floats() {
+        let pool = pool_from_rates(&[0.1, 0.2, 0.2, 0.3, 0.3, 0.4, 0.4]).unwrap();
+        let sel = AltrAlg::solve(&pool, &AltrConfig::default()).unwrap();
+        round_trip(&sel);
+        // Bit-exactness of the JER through the JSON text matters for the
+        // service equivalence guarantees.
+        let text = json::to_string(&sel);
+        let back: Selection = json::from_str(&text).unwrap();
+        assert_eq!(back.jer.to_bits(), sel.jer.to_bits());
+    }
+
+    #[test]
+    fn stats_and_configs_round_trip() {
+        round_trip(&SolverStats {
+            jer_evaluations: 12,
+            pruned_by_bound: 3,
+            candidates_considered: 20,
+        });
+        round_trip(&AltrConfig::default());
+        round_trip(&AltrConfig::paper_with_bound());
+        round_trip(&PayConfig { strict_improvement: true });
+        for engine in [
+            JerEngine::Naive,
+            JerEngine::DynamicProgramming,
+            JerEngine::TailDp,
+            JerEngine::Convolution,
+            JerEngine::Auto,
+        ] {
+            round_trip(&engine);
+        }
+    }
+
+    #[test]
+    fn crowd_models_round_trip() {
+        round_trip(&CrowdModel::Altruism);
+        round_trip(&CrowdModel::PayAsYouGo { budget: 1.25 });
+        assert!(
+            json::from_str::<CrowdModel>(r#"{"model": "pay-as-you-go", "budget": -1}"#).is_err()
+        );
+        assert!(json::from_str::<CrowdModel>(r#"{"model": "unknown"}"#).is_err());
+    }
+
+    #[test]
+    fn unknown_engine_is_rejected() {
+        assert!(json::from_str::<JerEngine>("\"quantum\"").is_err());
+        assert!(json::from_str::<Selection>("{}").is_err());
+    }
+}

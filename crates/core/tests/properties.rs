@@ -36,8 +36,7 @@ fn brute_best_jer(rates: &[f64]) -> f64 {
         if mask.count_ones() % 2 == 0 {
             continue;
         }
-        let eps: Vec<f64> =
-            (0..n).filter(|&i| mask >> i & 1 == 1).map(|i| rates[i]).collect();
+        let eps: Vec<f64> = (0..n).filter(|&i| mask >> i & 1 == 1).map(|i| rates[i]).collect();
         best = best.min(JerEngine::DynamicProgramming.jer(&eps));
     }
     best
@@ -93,7 +92,7 @@ proptest! {
     ) {
         // Lemma 3: worsening one juror's ε never lowers JER (odd juries).
         let mut rs = rs;
-        if rs.len() % 2 == 0 { rs.pop(); }
+        if rs.len().is_multiple_of(2) { rs.pop(); }
         prop_assume!(!rs.is_empty());
         let i = idx.index(rs.len());
         let base = JerEngine::DynamicProgramming.jer(&rs);

@@ -8,20 +8,13 @@
 
 use jury_core::jer::JerEngine;
 
-const ENGINES: [JerEngine; 4] = [
-    JerEngine::DynamicProgramming,
-    JerEngine::TailDp,
-    JerEngine::Convolution,
-    JerEngine::Auto,
-];
+const ENGINES: [JerEngine; 4] =
+    [JerEngine::DynamicProgramming, JerEngine::TailDp, JerEngine::Convolution, JerEngine::Auto];
 
 fn assert_jer(eps: &[f64], expected: f64, tol: f64) {
     for engine in ENGINES {
         let got = engine.jer(eps);
-        assert!(
-            (got - expected).abs() <= tol,
-            "{engine:?} on {eps:?}: {got} vs {expected}"
-        );
+        assert!((got - expected).abs() <= tol, "{engine:?} on {eps:?}: {got} vs {expected}");
     }
     if eps.len() <= 20 {
         let naive = JerEngine::Naive.jer(eps);
@@ -79,10 +72,8 @@ fn mixed_pool_golden_values() {
     // Pr(C ≥ 2) expanded term by term over the four minority patterns
     // (each pair wrong, plus all three wrong).
     let eps = [0.05, 0.15, 0.25];
-    let expected = 0.05 * 0.15 * 0.75
-        + 0.05 * 0.85 * 0.25
-        + 0.95 * 0.15 * 0.25
-        + 0.05 * 0.15 * 0.25;
+    let expected =
+        0.05 * 0.15 * 0.75 + 0.05 * 0.85 * 0.25 + 0.95 * 0.15 * 0.25 + 0.05 * 0.15 * 0.25;
     assert_jer(&eps, expected, 1e-12);
 }
 
@@ -94,10 +85,7 @@ fn large_jury_engines_agree_to_high_precision() {
     let reference = JerEngine::DynamicProgramming.jer(&eps);
     for engine in [JerEngine::TailDp, JerEngine::Convolution] {
         let got = engine.jer(&eps);
-        assert!(
-            (got - reference).abs() < 1e-9,
-            "{engine:?}: {got} vs {reference}"
-        );
+        assert!((got - reference).abs() < 1e-9, "{engine:?}: {got} vs {reference}");
     }
     // The pool is symmetric around 0.5 (ε_i + ε_{n-1-i} = 1), so C and
     // n−C are equidistributed and the majority tail is exactly 1/2.

@@ -82,11 +82,7 @@ pub fn paid_pool(config: &PoolConfig) -> Vec<Juror> {
         NormalSampler::new(config.cost_mean, config.cost_std, 0.0, COST_HI, config.truncation);
     (0..config.size)
         .map(|i| {
-            Juror::new(
-                i as u32,
-                ErrorRate::clamped(rates.sample(&mut rng)),
-                costs.sample(&mut rng),
-            )
+            Juror::new(i as u32, ErrorRate::clamped(rates.sample(&mut rng)), costs.sample(&mut rng))
         })
         .collect()
 }
@@ -143,10 +139,7 @@ mod tests {
     fn pools_are_deterministic_per_seed() {
         let cfg = PoolConfig { size: 100, seed: 9, ..Default::default() };
         assert_eq!(paid_pool(&cfg), paid_pool(&cfg));
-        assert_ne!(
-            paid_pool(&cfg),
-            paid_pool(&PoolConfig { seed: 10, ..cfg })
-        );
+        assert_ne!(paid_pool(&cfg), paid_pool(&PoolConfig { seed: 10, ..cfg }));
     }
 
     #[test]

@@ -180,8 +180,7 @@ mod tests {
             .iter()
             .find(|c| (c.mean - 0.5).abs() < 1e-9 && (c.std - 0.1).abs() < 1e-9)
             .unwrap();
-        let mean: f64 =
-            cell.pool.iter().map(Juror::epsilon).sum::<f64>() / cell.pool.len() as f64;
+        let mean: f64 = cell.pool.iter().map(Juror::epsilon).sum::<f64>() / cell.pool.len() as f64;
         assert!((mean - 0.5).abs() < 0.02, "sample mean {mean}");
     }
 

@@ -48,10 +48,7 @@ impl NormalizationParams {
 /// # Panics
 /// Panics if any score is not finite.
 pub fn scores_to_error_rates(scores: &[f64], params: &NormalizationParams) -> Vec<ErrorRate> {
-    assert!(
-        scores.iter().all(|s| s.is_finite()),
-        "ranking scores must be finite"
-    );
+    assert!(scores.iter().all(|s| s.is_finite()), "ranking scores must be finite");
     if scores.is_empty() {
         return Vec::new();
     }

@@ -94,15 +94,12 @@ pub fn estimate_candidates(
     // Rank users by score descending (ties by node id for determinism)
     // and keep the top k.
     let mut by_score: Vec<u32> = (0..n as u32).collect();
-    by_score.sort_by(|&a, &b| {
-        scores[b as usize].total_cmp(&scores[a as usize]).then(a.cmp(&b))
-    });
+    by_score.sort_by(|&a, &b| scores[b as usize].total_cmp(&scores[a as usize]).then(a.cmp(&b)));
     if let Some(k) = config.top_k {
         by_score.truncate(k);
     }
 
-    let usernames: Vec<String> =
-        by_score.iter().map(|&id| rg.username(id).to_owned()).collect();
+    let usernames: Vec<String> = by_score.iter().map(|&id| rg.username(id).to_owned()).collect();
     let kept_scores: Vec<f64> = by_score.iter().map(|&id| scores[id as usize]).collect();
 
     // Error rates from scores — normalised *within the kept candidates*,
@@ -110,8 +107,7 @@ pub fn estimate_candidates(
     let rates = scores_to_error_rates(&kept_scores, &config.normalization);
 
     // Requirements from account ages.
-    let ages: Vec<u32> =
-        usernames.iter().map(|u| age_of_user(u).unwrap_or(0)).collect();
+    let ages: Vec<u32> = usernames.iter().map(|u| age_of_user(u).unwrap_or(0)).collect();
     let requirements = ages_to_requirements(&ages);
 
     let jurors: Vec<Juror> = rates
@@ -130,9 +126,8 @@ mod tests {
 
     fn fan_tweets() -> Vec<Tweet> {
         // star: fans f1..f4 all retweet "hub"; hub retweets "minor" once.
-        let mut tweets: Vec<Tweet> = (1..=4)
-            .map(|i| Tweet::new(format!("f{i}"), "RT @hub: insight"))
-            .collect();
+        let mut tweets: Vec<Tweet> =
+            (1..=4).map(|i| Tweet::new(format!("f{i}"), "RT @hub: insight")).collect();
         tweets.push(Tweet::new("hub", "RT @minor: source"));
         tweets
     }

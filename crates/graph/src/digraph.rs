@@ -149,16 +149,12 @@ impl DiGraph {
 
     /// Iterates all edges as `(from, to)` pairs.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        (0..self.n as u32).flat_map(move |u| {
-            self.successors(u).iter().map(move |&v| (u, v))
-        })
+        (0..self.n as u32).flat_map(move |u| self.successors(u).iter().map(move |&v| (u, v)))
     }
 
     /// Nodes with no incident edges at all.
     pub fn isolated_nodes(&self) -> Vec<NodeId> {
-        (0..self.n as u32)
-            .filter(|&u| self.out_degree(u) == 0 && self.in_degree(u) == 0)
-            .collect()
+        (0..self.n as u32).filter(|&u| self.out_degree(u) == 0 && self.in_degree(u) == 0).collect()
     }
 }
 

@@ -112,11 +112,7 @@ pub fn hits(graph: &DiGraph, config: &HitsConfig) -> HitsScores {
         }
         config.norm.apply(&mut hub);
 
-        let delta: f64 = authority
-            .iter()
-            .zip(&prev_authority)
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let delta: f64 = authority.iter().zip(&prev_authority).map(|(a, b)| (a - b).abs()).sum();
         prev_authority.copy_from_slice(&authority);
         if delta < config.tolerance {
             converged = true;

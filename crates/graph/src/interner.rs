@@ -24,10 +24,7 @@ impl Interner {
 
     /// An empty interner with room for `cap` names.
     pub fn with_capacity(cap: usize) -> Self {
-        Self {
-            by_name: HashMap::with_capacity(cap),
-            names: Vec::with_capacity(cap),
-        }
+        Self { by_name: HashMap::with_capacity(cap), names: Vec::with_capacity(cap) }
     }
 
     /// Returns the id for `name`, inserting it if unseen.

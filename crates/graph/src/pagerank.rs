@@ -77,8 +77,7 @@ pub fn pagerank(graph: &DiGraph, config: &PageRankConfig) -> PageRankScores {
     let mut scores = vec![inv_n; n];
     let mut next = vec![0.0f64; n];
     let out_deg: Vec<f64> = (0..n as u32).map(|u| graph.out_degree(u) as f64).collect();
-    let dangling: Vec<u32> =
-        (0..n as u32).filter(|&u| graph.out_degree(u) == 0).collect();
+    let dangling: Vec<u32> = (0..n as u32).filter(|&u| graph.out_degree(u) == 0).collect();
 
     let mut iterations = 0;
     let mut converged = false;
@@ -144,13 +143,7 @@ mod tests {
         // Everyone retweets node 0; node 0 retweets node 1.
         let g = DiGraph::from_edges(5, &[(1, 0), (2, 0), (3, 0), (4, 0), (0, 1)]);
         let r = pagerank(&g, &PageRankConfig::default());
-        let top = r
-            .scores
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .unwrap()
-            .0;
+        let top = r.scores.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
         assert_eq!(top, 0);
         // Node 1 receives node 0's entire rank: second place.
         assert!(r.scores[1] > r.scores[2]);
@@ -164,10 +157,8 @@ mod tests {
         let total: f64 = on.scores.iter().sum();
         assert!((total - 1.0).abs() < 1e-9);
 
-        let off = pagerank(
-            &g,
-            &PageRankConfig { redistribute_dangling: false, ..Default::default() },
-        );
+        let off =
+            pagerank(&g, &PageRankConfig { redistribute_dangling: false, ..Default::default() });
         let leaked: f64 = off.scores.iter().sum();
         assert!(leaked < 1.0 - 1e-6, "mass should leak, got {leaked}");
         // Order agrees even when mass leaks.

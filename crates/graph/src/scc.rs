@@ -156,10 +156,7 @@ mod tests {
 
     #[test]
     fn covers_every_node_exactly_once() {
-        let g = DiGraph::from_edges(
-            7,
-            &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 3), (5, 6)],
-        );
+        let g = DiGraph::from_edges(7, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 3), (5, 6)]);
         let comps = strongly_connected_components(&g);
         let mut seen: Vec<NodeId> = comps.into_iter().flatten().collect();
         seen.sort_unstable();

@@ -62,11 +62,7 @@ pub fn weakly_connected_components(graph: &DiGraph) -> Vec<Vec<NodeId>> {
 
 /// Size of the largest weakly-connected component (0 for an empty graph).
 pub fn largest_component_size(graph: &DiGraph) -> usize {
-    weakly_connected_components(graph)
-        .iter()
-        .map(Vec::len)
-        .max()
-        .unwrap_or(0)
+    weakly_connected_components(graph).iter().map(Vec::len).max().unwrap_or(0)
 }
 
 #[cfg(test)]

@@ -8,7 +8,7 @@
 
 use crate::parser::retweet_pairs;
 use crate::tweet::Tweet;
-use jury_graph::{DiGraphBuilder, DiGraph, Interner};
+use jury_graph::{DiGraph, DiGraphBuilder, Interner};
 
 /// A retweet graph together with the username ↔ node-id mapping.
 #[derive(Debug, Clone)]

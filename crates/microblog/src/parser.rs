@@ -43,10 +43,8 @@ pub fn extract_retweet_chain(content: &str) -> Vec<&str> {
     while let Some(pos) = rest.find(MARKER) {
         let name_start = base + pos + MARKER.len();
         let tail = &content[name_start..];
-        let name_len = tail
-            .char_indices()
-            .find(|&(_, c)| !is_word_char(c))
-            .map_or(tail.len(), |(i, _)| i);
+        let name_len =
+            tail.char_indices().find(|&(_, c)| !is_word_char(c)).map_or(tail.len(), |(i, _)| i);
         if name_len > 0 {
             let name = &content[name_start..name_start + name_len];
             if is_legal_username(name) {

@@ -51,8 +51,7 @@ pub fn degree_ccdf(degrees: &[usize]) -> Vec<(usize, f64)> {
 /// or `k < 2`. Degrees of zero are ignored (the tail estimator only sees
 /// positive values).
 pub fn hill_tail_exponent(degrees: &[usize], k: usize) -> Option<f64> {
-    let mut positive: Vec<f64> =
-        degrees.iter().filter(|&&d| d > 0).map(|&d| d as f64).collect();
+    let mut positive: Vec<f64> = degrees.iter().filter(|&&d| d > 0).map(|&d| d as f64).collect();
     if positive.len() < 2 || k < 2 {
         return None;
     }

@@ -149,9 +149,7 @@ impl MicroblogDataset {
                 // +6 ≈ "RT @" + separator; stop before breaching 140 chars.
                 let chain_chars: usize =
                     chain.iter().map(|&u| users[u as usize].name.len() + 6).sum();
-                if chain_chars + 20 > MAX_TWEET_CHARS
-                    || !rng.gen_bool(config.chain_continue_prob)
-                {
+                if chain_chars + 20 > MAX_TWEET_CHARS || !rng.gen_bool(config.chain_continue_prob) {
                     break;
                 }
             }
@@ -363,10 +361,8 @@ mod tests {
 
     #[test]
     fn zero_retweet_fraction_yields_no_edges() {
-        let d = MicroblogDataset::generate(&SynthConfig {
-            retweet_fraction: 0.0,
-            ..small_config()
-        });
+        let d =
+            MicroblogDataset::generate(&SynthConfig { retweet_fraction: 0.0, ..small_config() });
         let rg = d.build_graph();
         assert_eq!(rg.graph.edge_count(), 0);
     }

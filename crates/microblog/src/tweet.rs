@@ -28,10 +28,7 @@ impl Tweet {
     pub fn new(author: impl Into<String>, content: impl Into<String>) -> Self {
         let author = author.into();
         let content = content.into();
-        assert!(
-            crate::parser::is_legal_username(&author),
-            "illegal author username: {author:?}"
-        );
+        assert!(crate::parser::is_legal_username(&author), "illegal author username: {author:?}");
         assert!(
             content.chars().count() <= MAX_TWEET_CHARS,
             "tweet exceeds {MAX_TWEET_CHARS} characters"

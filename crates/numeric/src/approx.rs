@@ -44,9 +44,8 @@ fn erfc(x: f64) -> f64 {
                         + t * (-0.18628806
                             + t * (0.27886807
                                 + t * (-1.13520398
-                                    + t * (1.48851587
-                                        + t * (-0.82215223 + t * 0.17087277)))))))))
-        .exp();
+                                    + t * (1.48851587 + t * (-0.82215223 + t * 0.17087277)))))))))
+            .exp();
     if x >= 0.0 {
         poly
     } else {
@@ -110,9 +109,7 @@ pub fn refined_normal_tail(eps: &[f64], threshold: usize) -> f64 {
 /// convenience for accuracy studies.
 pub fn max_abs_error(eps: &[f64], approx: impl Fn(&[f64], usize) -> f64) -> f64 {
     let exact = PoiBin::from_error_rates(eps);
-    (0..=eps.len() + 1)
-        .map(|t| (approx(eps, t) - exact.tail(t)).abs())
-        .fold(0.0, f64::max)
+    (0..=eps.len() + 1).map(|t| (approx(eps, t) - exact.tail(t)).abs()).fold(0.0, f64::max)
 }
 
 #[cfg(test)]

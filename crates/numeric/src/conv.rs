@@ -20,7 +20,7 @@
 //! never see `-1e-17`-style noise.
 
 use crate::complex::Complex64;
-use crate::fft::{next_pow2, Fft};
+use crate::fft::{next_pow2, FftPlanCache};
 
 /// Operand-size product above which [`convolve`] switches to the FFT path.
 ///
@@ -45,6 +45,24 @@ pub enum ConvStrategy {
     Adaptive,
 }
 
+/// Reusable workspace for [`convolve_into`]: the complex transform
+/// buffers plus an [`FftPlanCache`], so repeated convolutions (a batched
+/// service workload, CBA's merge levels) perform no heap allocation and
+/// no twiddle recomputation after warm-up.
+#[derive(Debug, Clone, Default)]
+pub struct ConvScratch {
+    z: Vec<Complex64>,
+    c: Vec<Complex64>,
+    plans: FftPlanCache,
+}
+
+impl ConvScratch {
+    /// An empty workspace (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Convolves two real vectors, choosing the implementation per
 /// [`ConvStrategy::Adaptive`].
 ///
@@ -56,17 +74,37 @@ pub fn convolve(a: &[f64], b: &[f64]) -> Vec<f64> {
 
 /// Convolves two real vectors with an explicit strategy.
 pub fn convolve_with(a: &[f64], b: &[f64], strategy: ConvStrategy) -> Vec<f64> {
+    let mut out = Vec::new();
+    convolve_into(a, b, strategy, &mut ConvScratch::new(), &mut out);
+    out
+}
+
+/// Convolves into a caller-provided output vector using a reusable
+/// workspace — the zero-allocation form of [`convolve_with`] (after the
+/// buffers have grown to the workload's steady-state sizes).
+///
+/// `out` is cleared first; on return it has length
+/// `a.len() + b.len() - 1` (or 0 if either operand is empty). Results are
+/// bit-identical to [`convolve_with`] under the same strategy.
+pub fn convolve_into(
+    a: &[f64],
+    b: &[f64],
+    strategy: ConvStrategy,
+    scratch: &mut ConvScratch,
+    out: &mut Vec<f64>,
+) {
+    out.clear();
     if a.is_empty() || b.is_empty() {
-        return Vec::new();
+        return;
     }
     match strategy {
-        ConvStrategy::Direct => convolve_direct(a, b),
-        ConvStrategy::Fft => convolve_fft(a, b),
+        ConvStrategy::Direct => direct_into(a, b, out),
+        ConvStrategy::Fft => fft_into(a, b, scratch, out),
         ConvStrategy::Adaptive => {
             if a.len().saturating_mul(b.len()) <= DEFAULT_FFT_CUTOFF {
-                convolve_direct(a, b)
+                direct_into(a, b, out);
             } else {
-                convolve_fft(a, b)
+                fft_into(a, b, scratch, out);
             }
         }
     }
@@ -77,11 +115,31 @@ pub fn convolve_with(a: &[f64], b: &[f64], strategy: ConvStrategy) -> Vec<f64> {
 /// The outer loop iterates the shorter operand so the inner loop (which the
 /// compiler can vectorise) streams over the longer one.
 pub fn convolve_direct(a: &[f64], b: &[f64]) -> Vec<f64> {
+    let mut out = Vec::new();
     if a.is_empty() || b.is_empty() {
-        return Vec::new();
+        return out;
     }
+    direct_into(a, b, &mut out);
+    out
+}
+
+/// FFT-based convolution with zero padding to the next power of two.
+///
+/// Small negative results (round-off noise on what must be a non-negative
+/// probability vector) are clamped to zero.
+pub fn convolve_fft(a: &[f64], b: &[f64]) -> Vec<f64> {
+    let mut out = Vec::new();
+    if a.is_empty() || b.is_empty() {
+        return out;
+    }
+    fft_into(a, b, &mut ConvScratch::new(), &mut out);
+    out
+}
+
+/// Direct convolution into `out` (assumed cleared, non-empty operands).
+fn direct_into(a: &[f64], b: &[f64], out: &mut Vec<f64>) {
     let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
-    let mut out = vec![0.0; a.len() + b.len() - 1];
+    out.resize(a.len() + b.len() - 1, 0.0);
     for (i, &s) in short.iter().enumerate() {
         if s == 0.0 {
             continue;
@@ -91,36 +149,32 @@ pub fn convolve_direct(a: &[f64], b: &[f64]) -> Vec<f64> {
             *d += s * l;
         }
     }
-    out
 }
 
-/// FFT-based convolution with zero padding to the next power of two.
-///
-/// Small negative results (round-off noise on what must be a non-negative
-/// probability vector) are clamped to zero.
-pub fn convolve_fft(a: &[f64], b: &[f64]) -> Vec<f64> {
-    if a.is_empty() || b.is_empty() {
-        return Vec::new();
-    }
+/// FFT convolution into `out` (assumed cleared, non-empty operands).
+fn fft_into(a: &[f64], b: &[f64], scratch: &mut ConvScratch, out: &mut Vec<f64>) {
     let out_len = a.len() + b.len() - 1;
     let n = next_pow2(out_len);
-    let plan = Fft::new(n);
+    let ConvScratch { z, c, plans } = scratch;
+    let plan = plans.plan(n);
 
     // Pack both real sequences into one complex transform:
     // z = a + i·b  =>  A[k] = (Z[k] + conj(Z[n-k]))/2, B[k] = (Z[k] - conj(Z[n-k]))/(2i)
     // and A·B can be formed directly from Z, halving transform count.
-    let mut z = vec![Complex64::ZERO; n];
+    z.clear();
+    z.resize(n, Complex64::ZERO);
     for (zi, &av) in z.iter_mut().zip(a) {
         zi.re = av;
     }
     for (zi, &bv) in z.iter_mut().zip(b) {
         zi.im = bv;
     }
-    plan.forward(&mut z);
+    plan.forward(z);
 
     // Product spectrum: C[k] = A[k]*B[k]
     //   = (Z[k]^2 - conj(Z[n-k])^2) / (4i)
-    let mut c = vec![Complex64::ZERO; n];
+    c.clear();
+    c.resize(n, Complex64::ZERO);
     for k in 0..n {
         let zk = z[k];
         let znk = z[(n - k) & (n - 1)].conj();
@@ -128,12 +182,9 @@ pub fn convolve_fft(a: &[f64], b: &[f64]) -> Vec<f64> {
         // divide by 4i  ==  multiply by -i/4
         c[k] = Complex64::new(num.im * 0.25, -num.re * 0.25);
     }
-    plan.inverse(&mut c);
+    plan.inverse(c);
 
-    c.truncate(out_len);
-    c.into_iter()
-        .map(|v| if v.re < 0.0 && v.re > -1e-12 { 0.0 } else { v.re })
-        .collect()
+    out.extend(c[..out_len].iter().map(|v| if v.re < 0.0 && v.re > -1e-12 { 0.0 } else { v.re }));
 }
 
 #[cfg(test)]
@@ -238,5 +289,29 @@ mod tests {
         let a = vec![1.0; 17];
         let b = vec![1.0; 40];
         assert_eq!(convolve(&a, &b).len(), 56);
+    }
+
+    #[test]
+    fn scratch_form_is_bit_identical_and_reusable() {
+        let a: Vec<f64> = (0..321).map(|i| (i as f64 * 0.013).sin().abs()).collect();
+        let b: Vec<f64> = (0..290).map(|i| (i as f64 * 0.027).cos().abs()).collect();
+        let mut scratch = ConvScratch::new();
+        let mut out = Vec::new();
+        for strategy in [ConvStrategy::Direct, ConvStrategy::Fft, ConvStrategy::Adaptive] {
+            // Run twice through the same scratch: warm buffers must not
+            // change results.
+            for _ in 0..2 {
+                convolve_into(&a, &b, strategy, &mut scratch, &mut out);
+                assert_eq!(out, convolve_with(&a, &b, strategy), "{strategy:?}");
+            }
+        }
+        // Mixed sizes through one scratch exercise the plan cache.
+        for n in [3usize, 64, 511, 1024] {
+            let x = vec![0.5; n];
+            convolve_into(&x, &x, ConvStrategy::Fft, &mut scratch, &mut out);
+            assert_eq!(out, convolve_fft(&x, &x), "n={n}");
+        }
+        convolve_into(&[], &a, ConvStrategy::Adaptive, &mut scratch, &mut out);
+        assert!(out.is_empty());
     }
 }

@@ -156,6 +156,50 @@ pub fn next_pow2(n: usize) -> usize {
     n.max(1).next_power_of_two()
 }
 
+/// A cache of [`Fft`] plans keyed by transform length.
+///
+/// Plan construction costs `O(n)` trigonometric calls; repeated
+/// transforms of recurring sizes (convolution merges inside CBA, batched
+/// service solves) should build each plan once and reuse it. The cache
+/// holds one plan per distinct power-of-two size, sorted for binary
+/// lookup.
+#[derive(Debug, Clone, Default)]
+pub struct FftPlanCache {
+    plans: Vec<Fft>,
+}
+
+impl FftPlanCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the plan for size `n`, building and caching it on first
+    /// use.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero or not a power of two.
+    pub fn plan(&mut self, n: usize) -> &Fft {
+        match self.plans.binary_search_by_key(&n, Fft::len) {
+            Ok(i) => &self.plans[i],
+            Err(i) => {
+                self.plans.insert(i, Fft::new(n));
+                &self.plans[i]
+            }
+        }
+    }
+
+    /// Number of distinct plan sizes cached.
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// `true` when no plans have been built yet.
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -256,8 +300,7 @@ mod tests {
     #[test]
     fn linearity() {
         let n = 128;
-        let a: Vec<Complex64> =
-            (0..n).map(|i| Complex64::new((i as f64).sin(), 0.0)).collect();
+        let a: Vec<Complex64> = (0..n).map(|i| Complex64::new((i as f64).sin(), 0.0)).collect();
         let b: Vec<Complex64> =
             (0..n).map(|i| Complex64::new(0.0, (i as f64 * 0.5).cos())).collect();
         let plan = Fft::new(n);

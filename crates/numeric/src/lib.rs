@@ -39,7 +39,7 @@ pub mod poibin;
 pub use approx::{normal_tail, refined_normal_tail};
 pub use bounds::{cantelli_upper_bound, chernoff_upper_bound, paley_zygmund_lower_bound};
 pub use complex::Complex64;
-pub use conv::{convolve, convolve_direct, convolve_fft, ConvStrategy};
-pub use fft::{fft_forward, fft_inverse, Fft};
+pub use conv::{convolve, convolve_direct, convolve_fft, convolve_into, ConvScratch, ConvStrategy};
+pub use fft::{fft_forward, fft_inverse, Fft, FftPlanCache};
 pub use kahan::KahanSum;
-pub use poibin::PoiBin;
+pub use poibin::{tail_probability_dp_with, PoiBin, TailScratch};

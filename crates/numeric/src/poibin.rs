@@ -20,7 +20,7 @@
 //! The tail-only recurrence of the paper's Algorithm 1, which never builds
 //! the pmf and uses two rolling vectors, lives in [`tail_probability_dp`].
 
-use crate::conv::{convolve_with, ConvStrategy};
+use crate::conv::{convolve_into, convolve_with, ConvScratch, ConvStrategy};
 use crate::float::is_probability;
 use crate::kahan::KahanSum;
 
@@ -39,6 +39,13 @@ pub const CBA_BASE_CASE: usize = 16;
 #[derive(Debug, Clone, PartialEq)]
 pub struct PoiBin {
     pmf: Vec<f64>,
+}
+
+impl Default for PoiBin {
+    /// Same as [`PoiBin::empty`]: the point mass at zero trials.
+    fn default() -> Self {
+        Self::empty()
+    }
 }
 
 impl PoiBin {
@@ -93,8 +100,20 @@ impl PoiBin {
     /// `O(n)` auxiliary space. This is the pmf-level equivalent of the
     /// paper's Lemma 1 recurrence.
     pub fn from_error_rates_dp(eps: &[f64]) -> Self {
+        let mut out = Self { pmf: Vec::with_capacity(eps.len() + 1) };
+        out.assign_error_rates_dp(eps);
+        out
+    }
+
+    /// The buffer-reusing form of [`PoiBin::from_error_rates_dp`]:
+    /// rebuilds `self` as the distribution of `eps`, keeping the existing
+    /// pmf allocation. Results are bit-identical to the constructor; with
+    /// a warmed buffer the call performs no heap allocation.
+    pub fn assign_error_rates_dp(&mut self, eps: &[f64]) {
         validate(eps);
-        let mut pmf = Vec::with_capacity(eps.len() + 1);
+        let pmf = &mut self.pmf;
+        pmf.clear();
+        pmf.reserve(eps.len() + 1);
         pmf.push(1.0);
         for &e in eps {
             let q = 1.0 - e;
@@ -105,7 +124,21 @@ impl PoiBin {
             }
             pmf[0] *= q;
         }
-        Self { pmf }
+    }
+
+    /// Resets to the zero-trial point mass (the state of
+    /// [`PoiBin::empty`]), keeping the pmf allocation for reuse.
+    pub fn reset(&mut self) {
+        self.pmf.clear();
+        self.pmf.push(1.0);
+    }
+
+    /// Makes `self` a copy of `other`, reusing the existing allocation
+    /// (the buffer-friendly form of `clone_from` for solver scratch
+    /// state).
+    pub fn copy_from(&mut self, other: &Self) {
+        self.pmf.clear();
+        self.pmf.extend_from_slice(&other.pmf);
     }
 
     /// Convolution-Based Algorithm (paper Algorithm 2).
@@ -138,10 +171,7 @@ impl PoiBin {
             "pmf entries must be probabilities in [0,1]"
         );
         let total: f64 = pmf.iter().copied().collect::<KahanSum>().value();
-        assert!(
-            (total - 1.0).abs() < 1e-6,
-            "pmf must sum to 1 (got {total})"
-        );
+        assert!((total - 1.0).abs() < 1e-6, "pmf must sum to 1 (got {total})");
         Self { pmf }
     }
 
@@ -239,6 +269,17 @@ impl PoiBin {
                 .collect(),
         }
     }
+
+    /// The workspace form of [`PoiBin::merge`]: writes the distribution of
+    /// `C₁ + C₂` into `out`, reusing `out`'s pmf buffer and the
+    /// convolution workspace (FFT plans and transform buffers). With
+    /// warmed buffers the merge allocates nothing.
+    pub fn merge_into(&self, other: &Self, scratch: &mut ConvScratch, out: &mut Self) {
+        convolve_into(&self.pmf, &other.pmf, ConvStrategy::Adaptive, scratch, &mut out.pmf);
+        for p in &mut out.pmf {
+            *p = p.clamp(0.0, 1.0);
+        }
+    }
 }
 
 fn validate(eps: &[f64]) {
@@ -257,10 +298,23 @@ fn cba_recurse(eps: &[f64], strategy: ConvStrategy) -> Vec<f64> {
     let mid = eps.len() / 2;
     let left = cba_recurse(&eps[..mid], strategy);
     let right = cba_recurse(&eps[mid..], strategy);
-    convolve_with(&left, &right, strategy)
-        .into_iter()
-        .map(|p| p.clamp(0.0, 1.0))
-        .collect()
+    convolve_with(&left, &right, strategy).into_iter().map(|p| p.clamp(0.0, 1.0)).collect()
+}
+
+/// Reusable rolling vectors for [`tail_probability_dp_with`], so repeated
+/// tail evaluations (a solver scan, a batched service) allocate nothing
+/// after warm-up.
+#[derive(Debug, Clone, Default)]
+pub struct TailScratch {
+    prev: Vec<f64>,
+    curr: Vec<f64>,
+}
+
+impl TailScratch {
+    /// An empty workspace (vectors grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 /// The paper's Algorithm 1: tail probability `Pr(C ≥ threshold | J_n)` via
@@ -273,6 +327,12 @@ fn cba_recurse(eps: &[f64], strategy: ConvStrategy) -> Vec<f64> {
 /// # Panics
 /// Panics on invalid probabilities.
 pub fn tail_probability_dp(eps: &[f64], threshold: usize) -> f64 {
+    tail_probability_dp_with(eps, threshold, &mut TailScratch::new())
+}
+
+/// The workspace form of [`tail_probability_dp`]: identical results, but
+/// the two rolling vectors live in `scratch` and are reused across calls.
+pub fn tail_probability_dp_with(eps: &[f64], threshold: usize, scratch: &mut TailScratch) -> f64 {
     validate(eps);
     let n = eps.len();
     if threshold == 0 {
@@ -282,15 +342,19 @@ pub fn tail_probability_dp(eps: &[f64], threshold: usize) -> f64 {
         return 0.0;
     }
     // prev[m] = Pr(C >= l-1 | J_m), curr[m] = Pr(C >= l | J_m), m = 0..=n.
-    let mut prev = vec![1.0f64; n + 1]; // l = 0 row: all ones
-    let mut curr = vec![0.0f64; n + 1];
+    let prev = &mut scratch.prev;
+    let curr = &mut scratch.curr;
+    prev.clear();
+    prev.resize(n + 1, 1.0); // l = 0 row: all ones
+    curr.clear();
+    curr.resize(n + 1, 0.0);
     for _l in 1..=threshold {
         curr[0] = 0.0; // Pr(C >= l | J_0) = 0 for l >= 1
         for m in 1..=n {
             let e = eps[m - 1];
             curr[m] = e * prev[m - 1] + (1.0 - e) * curr[m - 1];
         }
-        std::mem::swap(&mut prev, &mut curr);
+        std::mem::swap(prev, curr);
     }
     prev[n].clamp(0.0, 1.0)
 }
@@ -461,10 +525,7 @@ mod tests {
         let eps = [0.12, 0.5, 0.33, 0.9, 0.01, 0.45, 0.62];
         let d = PoiBin::from_error_rates(&eps);
         for t in 0..=eps.len() + 1 {
-            assert!(
-                approx_eq(tail_probability_dp(&eps, t), d.tail(t), 1e-12),
-                "threshold={t}"
-            );
+            assert!(approx_eq(tail_probability_dp(&eps, t), d.tail(t), 1e-12), "threshold={t}");
         }
     }
 
@@ -499,6 +560,63 @@ mod tests {
     fn naive_rejects_large_input() {
         let eps = vec![0.5; 26];
         let _ = PoiBin::from_error_rates_naive(&eps);
+    }
+
+    #[test]
+    fn assign_reuses_buffer_and_matches_constructor() {
+        let eps_a = [0.15, 0.35, 0.55, 0.75, 0.2];
+        let eps_b = [0.4, 0.1];
+        let mut d = PoiBin::from_error_rates_dp(&eps_a);
+        assert_eq!(d.pmf, PoiBin::from_error_rates_dp(&eps_a).pmf);
+        // Reassigning a shorter input shrinks logically, keeps capacity.
+        let cap = d.pmf.capacity();
+        d.assign_error_rates_dp(&eps_b);
+        assert_eq!(d.pmf, PoiBin::from_error_rates_dp(&eps_b).pmf);
+        assert!(d.pmf.capacity() >= cap);
+    }
+
+    #[test]
+    fn reset_restores_point_mass() {
+        let mut d = PoiBin::from_error_rates(&[0.3, 0.4, 0.5]);
+        d.reset();
+        assert_eq!(d.n(), 0);
+        assert_eq!(d.pmf(), &[1.0]);
+        d.push(0.25);
+        assert_eq!(d.pmf, PoiBin::from_error_rates_dp(&[0.25]).pmf);
+    }
+
+    #[test]
+    fn copy_from_is_clone_without_allocation_churn() {
+        let src = PoiBin::from_error_rates(&[0.2, 0.6, 0.35]);
+        let mut dst = PoiBin::from_error_rates(&[0.9; 10]);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    fn merge_into_matches_merge() {
+        let a = PoiBin::from_error_rates(&[0.1, 0.2, 0.3]);
+        let b = PoiBin::from_error_rates(&[0.4, 0.5]);
+        let mut scratch = ConvScratch::new();
+        let mut out = PoiBin::empty();
+        a.merge_into(&b, &mut scratch, &mut out);
+        assert_eq!(out, a.merge(&b));
+        // Reuse the same scratch and output for a second merge.
+        b.merge_into(&a, &mut scratch, &mut out);
+        assert_eq!(out, b.merge(&a));
+    }
+
+    #[test]
+    fn tail_scratch_form_is_bit_identical() {
+        let eps: Vec<f64> = (0..120).map(|i| 0.02 + ((i * 13) % 90) as f64 / 100.0).collect();
+        let mut scratch = TailScratch::new();
+        for t in [0, 1, 17, 60, 61, 120, 121] {
+            assert_eq!(
+                tail_probability_dp_with(&eps, t, &mut scratch),
+                tail_probability_dp(&eps, t),
+                "threshold {t}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,57 @@
+//! Micro-benchmarks for the serving layer's hot paths: warm single
+//! solves and warm batches vs the naive per-task solver calls they
+//! replace. The `service_throughput` binary in `jury-bench` is the
+//! companion that records `BENCH_service.json`; this bench gives
+//! per-path numbers under the criterion harness.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jury_core::altr::{AltrAlg, AltrConfig};
+use jury_core::juror::{pool_from_rates_and_costs, Juror};
+use jury_service::{DecisionTask, JuryService};
+use std::hint::black_box;
+
+fn pool(n: usize) -> Vec<Juror> {
+    let quotes: Vec<(f64, f64)> = (0..n)
+        .map(|i| {
+            let u = (i as f64 * 0.6180339887498949) % 1.0;
+            (0.02 + 0.93 * u, 0.05 + u * u)
+        })
+        .collect();
+    pool_from_rates_and_costs(&quotes).expect("valid synthetic quotes")
+}
+
+fn bench_service(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service");
+    for &n in &[100usize, 1_000] {
+        let jurors = pool(n);
+
+        group.bench_with_input(BenchmarkId::new("naive_altr_solve", n), &n, |b, _| {
+            b.iter(|| AltrAlg::solve(black_box(&jurors), &AltrConfig::default()))
+        });
+
+        let mut service = JuryService::new();
+        let id = service.create_pool(jurors.clone());
+        service.warm_pool(id).expect("registered");
+        let single = DecisionTask::altruism(id);
+        group.bench_with_input(BenchmarkId::new("warm_single", n), &n, |b, _| {
+            b.iter(|| service.solve(black_box(&single)))
+        });
+
+        let batch: Vec<DecisionTask> = (0..32)
+            .map(|i| {
+                if i % 3 == 2 {
+                    DecisionTask::pay_as_you_go(id, 0.5 + (i % 7) as f64)
+                } else {
+                    DecisionTask::altruism(id)
+                }
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("warm_batch_32", n), &n, |b, _| {
+            b.iter(|| service.solve_batch(black_box(&batch)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_service);
+criterion_main!(benches);

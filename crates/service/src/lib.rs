@@ -1,0 +1,710 @@
+//! `jury-service` — a batched, cache-aware serving layer over the JSP
+//! solvers.
+//!
+//! The paper treats jury selection as a one-shot optimisation; a
+//! micro-blog deployment is the opposite: a *repeated online service*
+//! over slowly-changing juror pools, answering streams of decision tasks
+//! under mixed crowd models and per-task budgets. [`JuryService`] is that
+//! seam:
+//!
+//! * **pool registry** — pools are registered once and addressed by
+//!   [`PoolId`]; jurors can be inserted, updated and removed in place.
+//! * **per-pool cache** — the ε-sorted order, the incremental prefix-pmf
+//!   JER profile, the solved AltrM selection and PayALG's greedy visit
+//!   order are computed once per pool *generation* and invalidated by any
+//!   mutation. A warm AltrM task is a cache lookup; a warm PayM task
+//!   skips straight to the greedy scan on the cached order.
+//! * **batched parallel solving** — [`JuryService::solve_batch`] fans a
+//!   slice of [`DecisionTask`]s across scoped worker threads, each with
+//!   its own persistent [`SolverScratch`], so a warm task performs no
+//!   solver-path heap allocation beyond its returned [`Selection`].
+//!
+//! Results are **bit-identical** to calling [`AltrAlg::solve`] /
+//! [`PayAlg::solve`] directly — cold cache, warm cache and batched paths
+//! all reduce to the same scratch-threaded solver internals (the
+//! equivalence property tests in `tests/equivalence.rs` assert this).
+//!
+//! ```
+//! use jury_core::juror::pool_from_rates_and_costs;
+//! use jury_service::{DecisionTask, JuryService};
+//!
+//! let jurors = pool_from_rates_and_costs(&[
+//!     (0.1, 0.2), (0.2, 0.2), (0.2, 0.3), (0.3, 0.4), (0.4, 0.05),
+//! ]).unwrap();
+//! let mut service = JuryService::new();
+//! let pool = service.create_pool(jurors);
+//!
+//! let tasks = vec![
+//!     DecisionTask::altruism(pool),
+//!     DecisionTask::pay_as_you_go(pool, 0.5),
+//!     DecisionTask::pay_as_you_go(pool, 1.0),
+//! ];
+//! let results = service.solve_batch(&tasks);
+//! assert!(results.iter().all(Result::is_ok));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use jury_core::altr::{AltrAlg, AltrConfig};
+use jury_core::error::JuryError;
+use jury_core::juror::Juror;
+use jury_core::model::CrowdModel;
+use jury_core::paym::{PayAlg, PayConfig};
+use jury_core::problem::Selection;
+use jury_core::solver::SolverScratch;
+use serde::{Deserialize, Error as SerdeError, Serialize, Value};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Opaque handle to a registered juror pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PoolId(u64);
+
+impl fmt::Display for PoolId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pool#{}", self.0)
+    }
+}
+
+impl Serialize for PoolId {
+    fn to_value(&self) -> Value {
+        self.0.to_value()
+    }
+}
+
+impl Deserialize for PoolId {
+    fn from_value(value: &Value) -> Result<Self, SerdeError> {
+        u64::from_value(value).map(PoolId)
+    }
+}
+
+/// One decision-making task: which pool answers it, under which crowd
+/// model (AltrM, or PayM with a per-task budget).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecisionTask {
+    /// The candidate pool to select from.
+    pub pool: PoolId,
+    /// Crowd model governing feasibility.
+    pub model: CrowdModel,
+}
+
+impl DecisionTask {
+    /// An AltrM task on `pool`.
+    pub fn altruism(pool: PoolId) -> Self {
+        Self { pool, model: CrowdModel::Altruism }
+    }
+
+    /// A PayM task on `pool` with the given budget (validated when
+    /// solved, exactly like [`PayAlg::solve`]).
+    pub fn pay_as_you_go(pool: PoolId, budget: f64) -> Self {
+        Self { pool, model: CrowdModel::PayAsYouGo { budget } }
+    }
+}
+
+impl Serialize for DecisionTask {
+    fn to_value(&self) -> Value {
+        Value::object([("pool", self.pool.to_value()), ("task", self.model.to_value())])
+    }
+}
+
+impl Deserialize for DecisionTask {
+    fn from_value(value: &Value) -> Result<Self, SerdeError> {
+        let pool = value.get("pool").ok_or_else(|| SerdeError::missing_field("pool"))?;
+        let model = value.get("task").ok_or_else(|| SerdeError::missing_field("task"))?;
+        Ok(Self { pool: PoolId::from_value(pool)?, model: CrowdModel::from_value(model)? })
+    }
+}
+
+/// Service-level failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// The task referenced a pool id that is not registered.
+    UnknownPool(PoolId),
+    /// The referenced index is outside the pool.
+    JurorOutOfRange {
+        /// The pool addressed.
+        pool: PoolId,
+        /// The offending position.
+        index: usize,
+        /// Current pool size.
+        len: usize,
+    },
+    /// The underlying solver rejected the task.
+    Solver(JuryError),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownPool(id) => write!(f, "unknown {id}"),
+            Self::JurorOutOfRange { pool, index, len } => {
+                write!(f, "juror index {index} out of range for {pool} of size {len}")
+            }
+            Self::Solver(e) => write!(f, "solver error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<JuryError> for ServiceError {
+    fn from(e: JuryError) -> Self {
+        Self::Solver(e)
+    }
+}
+
+/// Tuning knobs for a [`JuryService`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ServiceConfig {
+    /// Worker threads for [`JuryService::solve_batch`]
+    /// (0 = one per available core).
+    pub threads: usize,
+    /// AltrALG configuration used for AltrM tasks.
+    pub altr: AltrConfig,
+    /// PayALG configuration used for PayM tasks.
+    pub pay: PayConfig,
+}
+
+/// Monotone counters describing the service's work so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Tasks solved (single or batched).
+    pub tasks_solved: usize,
+    /// Tasks whose pool cache was already warm when the request
+    /// arrived (cold solves and unknown pools are not hits).
+    pub cache_hits: usize,
+    /// Per-pool cache (re)builds.
+    pub cache_builds: usize,
+    /// `solve_batch` invocations.
+    pub batches: usize,
+}
+
+/// Everything derived from one immutable snapshot of a pool, built once
+/// per generation and dropped on any mutation.
+#[derive(Debug, Clone)]
+struct PoolCache {
+    /// Pool indices ascending by ε — AltrALG's visit order.
+    eps_order: Vec<usize>,
+    /// The incremental prefix-pmf JER profile: `(n, JER of the n best)`
+    /// for every odd `n` (Figure 3(a)'s curve for this pool).
+    profile: Vec<(usize, f64)>,
+    /// The solved AltrM answer (or the error the solver reports for this
+    /// pool, e.g. an empty one) — replayed verbatim on every AltrM task.
+    altr: Result<Selection, JuryError>,
+    /// PayALG's budget-independent greedy visit order.
+    greedy_order: Vec<usize>,
+}
+
+#[derive(Debug, Clone)]
+struct PoolEntry {
+    jurors: Vec<Juror>,
+    cache: Option<PoolCache>,
+}
+
+/// The serving layer: pool registry + per-pool caches + batched parallel
+/// solving. See the crate docs for the architecture.
+#[derive(Debug, Clone, Default)]
+pub struct JuryService {
+    config: ServiceConfig,
+    pools: HashMap<u64, PoolEntry>,
+    next_pool: u64,
+    stats: ServiceStats,
+    /// Persistent per-worker scratches, reused across batches.
+    scratches: Vec<SolverScratch>,
+}
+
+impl JuryService {
+    /// A service with default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A service with explicit configuration.
+    pub fn with_config(config: ServiceConfig) -> Self {
+        Self { config, ..Self::default() }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Work counters.
+    pub fn stats(&self) -> ServiceStats {
+        self.stats
+    }
+
+    /// Number of registered pools.
+    pub fn pool_count(&self) -> usize {
+        self.pools.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Pool registry
+    // ------------------------------------------------------------------
+
+    /// Registers a pool and returns its handle. The pool may be empty
+    /// (tasks on it then fail exactly like the direct solvers do).
+    pub fn create_pool(&mut self, jurors: Vec<Juror>) -> PoolId {
+        let id = self.next_pool;
+        self.next_pool += 1;
+        self.pools.insert(id, PoolEntry { jurors, cache: None });
+        PoolId(id)
+    }
+
+    /// Unregisters a pool, returning its jurors.
+    pub fn remove_pool(&mut self, pool: PoolId) -> Result<Vec<Juror>, ServiceError> {
+        self.pools.remove(&pool.0).map(|entry| entry.jurors).ok_or(ServiceError::UnknownPool(pool))
+    }
+
+    /// The current jurors of `pool` (selection member indices refer to
+    /// positions in this slice).
+    pub fn pool(&self, pool: PoolId) -> Result<&[Juror], ServiceError> {
+        self.pools
+            .get(&pool.0)
+            .map(|entry| entry.jurors.as_slice())
+            .ok_or(ServiceError::UnknownPool(pool))
+    }
+
+    /// Appends a juror; returns its position. Invalidates the pool cache.
+    pub fn insert_juror(&mut self, pool: PoolId, juror: Juror) -> Result<usize, ServiceError> {
+        let entry = self.entry_mut(pool)?;
+        entry.jurors.push(juror);
+        entry.cache = None;
+        Ok(entry.jurors.len() - 1)
+    }
+
+    /// Replaces the juror at `index` (e.g. a re-estimated error rate).
+    /// Invalidates the pool cache.
+    pub fn update_juror(
+        &mut self,
+        pool: PoolId,
+        index: usize,
+        juror: Juror,
+    ) -> Result<(), ServiceError> {
+        let entry = self.entry_mut(pool)?;
+        let len = entry.jurors.len();
+        let slot = entry.jurors.get_mut(index).ok_or(ServiceError::JurorOutOfRange {
+            pool,
+            index,
+            len,
+        })?;
+        *slot = juror;
+        entry.cache = None;
+        Ok(())
+    }
+
+    /// Removes and returns the juror at `index`, preserving the order of
+    /// the rest (so remaining positions shift down by one, exactly like
+    /// `Vec::remove`). Invalidates the pool cache.
+    pub fn remove_juror(&mut self, pool: PoolId, index: usize) -> Result<Juror, ServiceError> {
+        let entry = self.entry_mut(pool)?;
+        let len = entry.jurors.len();
+        if index >= len {
+            return Err(ServiceError::JurorOutOfRange { pool, index, len });
+        }
+        entry.cache = None;
+        Ok(entry.jurors.remove(index))
+    }
+
+    fn entry_mut(&mut self, pool: PoolId) -> Result<&mut PoolEntry, ServiceError> {
+        self.pools.get_mut(&pool.0).ok_or(ServiceError::UnknownPool(pool))
+    }
+
+    // ------------------------------------------------------------------
+    // Cache
+    // ------------------------------------------------------------------
+
+    /// Builds the per-pool cache if it is cold. Called automatically by
+    /// the solve paths; exposed so benches can separate cold from warm.
+    pub fn warm_pool(&mut self, pool: PoolId) -> Result<(), ServiceError> {
+        let altr_config = self.config.altr;
+        // Borrow-split: the scratch is taken out while the entry is
+        // borrowed mutably.
+        let mut scratch = self.scratches.pop().unwrap_or_default();
+        let entry = match self.pools.get_mut(&pool.0) {
+            Some(e) => e,
+            None => {
+                self.scratches.push(scratch);
+                return Err(ServiceError::UnknownPool(pool));
+            }
+        };
+        if entry.cache.is_none() {
+            entry.cache = Some(build_cache(&entry.jurors, &altr_config, &mut scratch));
+            self.stats.cache_builds += 1;
+        }
+        self.scratches.push(scratch);
+        Ok(())
+    }
+
+    /// Whether `pool`'s cache is currently warm.
+    pub fn is_warm(&self, pool: PoolId) -> bool {
+        self.pools.get(&pool.0).is_some_and(|entry| entry.cache.is_some())
+    }
+
+    /// The cached odd-size JER profile of `pool` (computed on demand):
+    /// `(n, JER of the n lowest-ε jurors)` for `n = 1, 3, 5, …`.
+    pub fn jer_profile(&mut self, pool: PoolId) -> Result<&[(usize, f64)], ServiceError> {
+        self.warm_pool(pool)?;
+        let entry = &self.pools[&pool.0];
+        Ok(&entry.cache.as_ref().expect("warmed above").profile)
+    }
+
+    /// The cached reliability order of `pool`: positions sorted ascending
+    /// by ε (ties by position). `order[..k]` is the best fixed-size-`k`
+    /// jury by Lemma 3.
+    pub fn reliability_order(&mut self, pool: PoolId) -> Result<&[usize], ServiceError> {
+        self.warm_pool(pool)?;
+        let entry = &self.pools[&pool.0];
+        Ok(&entry.cache.as_ref().expect("warmed above").eps_order)
+    }
+
+    // ------------------------------------------------------------------
+    // Solving
+    // ------------------------------------------------------------------
+
+    /// Solves one task, warming the pool cache if needed.
+    ///
+    /// Bit-identical to [`AltrAlg::solve`] / [`PayAlg::solve`] on the
+    /// pool's current jurors.
+    pub fn solve(&mut self, task: &DecisionTask) -> Result<Selection, ServiceError> {
+        let was_warm = self.is_warm(task.pool);
+        self.warm_pool(task.pool)?;
+        let mut scratch = self.scratches.pop().unwrap_or_default();
+        let result = solve_on_entry(&self.pools[&task.pool.0], task, &self.config, &mut scratch);
+        self.scratches.push(scratch);
+        self.stats.tasks_solved += 1;
+        if was_warm {
+            self.stats.cache_hits += 1;
+        }
+        result
+    }
+
+    /// Solves a batch of tasks, preserving order.
+    ///
+    /// All referenced pools are warmed first (sequentially — warming
+    /// mutates the registry), then the tasks fan out over
+    /// `config.threads` scoped workers, each with a persistent
+    /// [`SolverScratch`]; on a warm cache a task's solver path performs
+    /// no heap allocation beyond the returned [`Selection`].
+    pub fn solve_batch(&mut self, tasks: &[DecisionTask]) -> Vec<Result<Selection, ServiceError>> {
+        self.stats.batches += 1;
+        self.stats.tasks_solved += tasks.len();
+        // A hit is a task whose pool was warm before this batch did any
+        // warming of its own.
+        self.stats.cache_hits += tasks.iter().filter(|t| self.is_warm(t.pool)).count();
+
+        // Warm every referenced pool once; unknown pools fail per-task
+        // below so the batch result stays positional.
+        let mut warmed: Vec<u64> = Vec::with_capacity(tasks.len().min(self.pools.len()));
+        for task in tasks {
+            if !warmed.contains(&task.pool.0) {
+                warmed.push(task.pool.0);
+                let _ = self.warm_pool(task.pool);
+            }
+        }
+
+        let threads = self.effective_threads().min(tasks.len()).max(1);
+        if threads == 1 {
+            let mut scratch = self.scratches.pop().unwrap_or_default();
+            let out: Vec<_> =
+                tasks.iter().map(|task| self.solve_prewarmed(task, &mut scratch)).collect();
+            self.scratches.push(scratch);
+            return out;
+        }
+
+        // Hand each worker a persistent scratch; collect them all back
+        // after the scope (including any spares beyond the chunk count)
+        // so the next batch starts warm.
+        let mut scratches = std::mem::take(&mut self.scratches);
+        scratches.resize_with(threads, SolverScratch::default);
+        let chunk_len = tasks.len().div_ceil(threads);
+        let n_chunks = tasks.len().div_ceil(chunk_len);
+        let pools = &self.pools;
+        let config = &self.config;
+
+        let mut out = Vec::with_capacity(tasks.len());
+        let mut returned = Vec::with_capacity(threads);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for (chunk, mut scratch) in tasks.chunks(chunk_len).zip(scratches.drain(..n_chunks)) {
+                handles.push(scope.spawn(move || {
+                    let results: Vec<_> = chunk
+                        .iter()
+                        .map(|task| match pools.get(&task.pool.0) {
+                            None => Err(ServiceError::UnknownPool(task.pool)),
+                            Some(entry) => solve_on_entry(entry, task, config, &mut scratch),
+                        })
+                        .collect();
+                    (results, scratch)
+                }));
+            }
+            for handle in handles {
+                let (results, scratch) = handle.join().expect("service worker panicked");
+                out.extend(results);
+                returned.push(scratch);
+            }
+        });
+        returned.append(&mut scratches);
+        self.scratches = returned;
+        out
+    }
+
+    /// Single-task solve assuming `warm_pool` already ran for its pool.
+    fn solve_prewarmed(
+        &self,
+        task: &DecisionTask,
+        scratch: &mut SolverScratch,
+    ) -> Result<Selection, ServiceError> {
+        match self.pools.get(&task.pool.0) {
+            None => Err(ServiceError::UnknownPool(task.pool)),
+            Some(entry) => solve_on_entry(entry, task, &self.config, scratch),
+        }
+    }
+
+    fn effective_threads(&self) -> usize {
+        if self.config.threads != 0 {
+            return self.config.threads;
+        }
+        std::thread::available_parallelism().map(usize::from).unwrap_or(1)
+    }
+}
+
+/// Builds every cached artefact for one pool snapshot.
+fn build_cache(jurors: &[Juror], altr: &AltrConfig, scratch: &mut SolverScratch) -> PoolCache {
+    let altr_result = AltrAlg::new(*altr).solve_with(jurors, scratch);
+    // The solve already sorted the pool by ε into the scratch; snapshot
+    // its order and derive the profile from the sorted rates instead of
+    // sorting (and scanning) the pool again.
+    let (eps_order, profile) = if jurors.is_empty() {
+        (Vec::new(), Vec::new())
+    } else {
+        (scratch.last_order().to_vec(), AltrAlg::jer_profile_sorted(scratch.last_sorted_eps()))
+    };
+    let mut greedy_order = Vec::with_capacity(jurors.len());
+    PayAlg::greedy_order_into(jurors, &mut greedy_order);
+    PoolCache { eps_order, profile, altr: altr_result, greedy_order }
+}
+
+/// Dispatches one task against a warm (or deliberately cold) entry.
+///
+/// AltrM replays the cached selection; PayM replays the cached greedy
+/// order through the scratch-threaded scan. A cold cache (possible when
+/// `warm_pool` was skipped for an unknown pool that has since appeared)
+/// falls back to the direct solver — same results either way.
+fn solve_on_entry(
+    entry: &PoolEntry,
+    task: &DecisionTask,
+    config: &ServiceConfig,
+    scratch: &mut SolverScratch,
+) -> Result<Selection, ServiceError> {
+    match (task.model, entry.cache.as_ref()) {
+        (CrowdModel::Altruism, Some(cache)) => cache.altr.clone().map_err(ServiceError::from),
+        (CrowdModel::Altruism, None) => {
+            AltrAlg::new(config.altr).solve_with(&entry.jurors, scratch).map_err(ServiceError::from)
+        }
+        (CrowdModel::PayAsYouGo { budget }, Some(cache)) => PayAlg::new(budget, config.pay)
+            .solve_presorted(&entry.jurors, &cache.greedy_order, scratch)
+            .map_err(ServiceError::from),
+        (CrowdModel::PayAsYouGo { budget }, None) => PayAlg::new(budget, config.pay)
+            .solve_with(&entry.jurors, scratch)
+            .map_err(ServiceError::from),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jury_core::juror::{pool_from_rates, pool_from_rates_and_costs, ErrorRate};
+
+    fn figure1() -> Vec<Juror> {
+        pool_from_rates_and_costs(&[
+            (0.1, 0.2),
+            (0.2, 0.2),
+            (0.2, 0.3),
+            (0.3, 0.4),
+            (0.3, 0.65),
+            (0.4, 0.05),
+            (0.4, 0.05),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn altruism_solve_matches_direct_and_hits_cache() {
+        let jurors = figure1();
+        let mut service = JuryService::new();
+        let pool = service.create_pool(jurors.clone());
+        assert!(!service.is_warm(pool));
+        let cold = service.solve(&DecisionTask::altruism(pool)).unwrap();
+        assert!(service.is_warm(pool));
+        assert_eq!(service.stats().cache_hits, 0, "cold solve is not a hit");
+        let warm = service.solve(&DecisionTask::altruism(pool)).unwrap();
+        assert_eq!(service.stats().cache_hits, 1);
+        let direct = AltrAlg::solve(&jurors, &AltrConfig::default()).unwrap();
+        assert_eq!(cold, direct);
+        assert_eq!(warm, direct);
+        assert_eq!(service.stats().cache_builds, 1);
+    }
+
+    #[test]
+    fn paym_solve_matches_direct_across_budgets() {
+        let jurors = figure1();
+        let mut service = JuryService::new();
+        let pool = service.create_pool(jurors.clone());
+        for budget in [0.05, 0.3, 0.5, 1.0, 2.0] {
+            let got = service.solve(&DecisionTask::pay_as_you_go(pool, budget)).unwrap();
+            let direct = PayAlg::solve(&jurors, budget, &PayConfig::default()).unwrap();
+            assert_eq!(got, direct, "budget {budget}");
+        }
+        // Solver errors replay identically too.
+        assert_eq!(
+            service.solve(&DecisionTask::pay_as_you_go(pool, 0.001)),
+            Err(ServiceError::Solver(JuryError::NoFeasibleJury { budget: 0.001 }))
+        );
+        assert!(matches!(
+            service.solve(&DecisionTask::pay_as_you_go(pool, f64::NAN)),
+            Err(ServiceError::Solver(JuryError::InvalidBudget(_)))
+        ));
+    }
+
+    #[test]
+    fn batch_preserves_order_and_matches_direct() {
+        let jurors_a = figure1();
+        let jurors_b = pool_from_rates(&[0.25, 0.12, 0.4, 0.33, 0.2]).unwrap();
+        let mut service =
+            JuryService::with_config(ServiceConfig { threads: 3, ..Default::default() });
+        let a = service.create_pool(jurors_a.clone());
+        let b = service.create_pool(jurors_b.clone());
+        let mut tasks = Vec::new();
+        for i in 0..40 {
+            tasks.push(match i % 4 {
+                0 => DecisionTask::altruism(a),
+                1 => DecisionTask::altruism(b),
+                2 => DecisionTask::pay_as_you_go(a, 0.1 + i as f64 / 20.0),
+                _ => DecisionTask::pay_as_you_go(b, f64::MAX),
+            });
+        }
+        let results = service.solve_batch(&tasks);
+        assert_eq!(results.len(), tasks.len());
+        for (task, result) in tasks.iter().zip(&results) {
+            let jurors = if task.pool == a { &jurors_a } else { &jurors_b };
+            let direct = match task.model {
+                CrowdModel::Altruism => AltrAlg::solve(jurors, &AltrConfig::default()),
+                CrowdModel::PayAsYouGo { budget } => {
+                    PayAlg::solve(jurors, budget, &PayConfig::default())
+                }
+            };
+            assert_eq!(result.as_ref().ok(), direct.as_ref().ok());
+        }
+        assert_eq!(service.stats().cache_builds, 2);
+        assert_eq!(service.stats().batches, 1);
+    }
+
+    #[test]
+    fn mutations_invalidate_and_results_track_the_new_pool() {
+        let mut service = JuryService::new();
+        let pool = service.create_pool(figure1());
+        let before = service.solve(&DecisionTask::altruism(pool)).unwrap();
+        assert!(service.is_warm(pool));
+
+        // A very reliable, free juror joins: the selection must change.
+        let star = Juror::new(99, ErrorRate::new(0.01).unwrap(), 0.0);
+        let pos = service.insert_juror(pool, star).unwrap();
+        assert!(!service.is_warm(pool), "insert must invalidate");
+        let after = service.solve(&DecisionTask::altruism(pool)).unwrap();
+        assert_ne!(before, after);
+        assert!(after.members.contains(&pos));
+        assert_eq!(
+            after,
+            AltrAlg::solve(service.pool(pool).unwrap(), &AltrConfig::default()).unwrap()
+        );
+
+        // Update and removal round-trip with direct solves as well.
+        service.update_juror(pool, 0, Juror::new(0, ErrorRate::new(0.45).unwrap(), 0.2)).unwrap();
+        assert!(!service.is_warm(pool));
+        let updated = service.solve(&DecisionTask::altruism(pool)).unwrap();
+        assert_eq!(
+            updated,
+            AltrAlg::solve(service.pool(pool).unwrap(), &AltrConfig::default()).unwrap()
+        );
+
+        let removed = service.remove_juror(pool, pos).unwrap();
+        assert_eq!(removed.id, 99);
+        let final_sel = service.solve(&DecisionTask::altruism(pool)).unwrap();
+        assert_eq!(
+            final_sel,
+            AltrAlg::solve(service.pool(pool).unwrap(), &AltrConfig::default()).unwrap()
+        );
+    }
+
+    #[test]
+    fn registry_errors() {
+        let mut service = JuryService::new();
+        let ghost = PoolId(404);
+        assert_eq!(
+            service.solve(&DecisionTask::altruism(ghost)),
+            Err(ServiceError::UnknownPool(ghost))
+        );
+        assert!(service.pool(ghost).is_err());
+        assert!(service.remove_pool(ghost).is_err());
+        let pool = service.create_pool(figure1());
+        assert!(matches!(
+            service.update_juror(pool, 99, Juror::new(1, ErrorRate::new(0.2).unwrap(), 0.0)),
+            Err(ServiceError::JurorOutOfRange { index: 99, .. })
+        ));
+        assert!(matches!(
+            service.remove_juror(pool, 99),
+            Err(ServiceError::JurorOutOfRange { .. })
+        ));
+        // Empty pools replay the solver's EmptyPool error.
+        let empty = service.create_pool(vec![]);
+        assert_eq!(
+            service.solve(&DecisionTask::altruism(empty)),
+            Err(ServiceError::Solver(JuryError::EmptyPool))
+        );
+        let batch = service.solve_batch(&[DecisionTask::altruism(ghost)]);
+        assert_eq!(batch, vec![Err(ServiceError::UnknownPool(ghost))]);
+    }
+
+    #[test]
+    fn jer_profile_is_cached_and_correct() {
+        let mut service = JuryService::new();
+        let jurors = pool_from_rates(&[0.1, 0.2, 0.2, 0.3, 0.3, 0.4, 0.4]).unwrap();
+        let pool = service.create_pool(jurors.clone());
+        let profile = service.jer_profile(pool).unwrap().to_vec();
+        assert_eq!(profile, AltrAlg::jer_profile(&jurors));
+        assert_eq!(profile.iter().map(|&(n, _)| n).collect::<Vec<_>>(), vec![1, 3, 5, 7]);
+    }
+
+    #[test]
+    fn reliability_order_sorts_by_epsilon() {
+        let mut service = JuryService::new();
+        let jurors = pool_from_rates(&[0.4, 0.1, 0.3, 0.1, 0.2]).unwrap();
+        let pool = service.create_pool(jurors);
+        assert_eq!(service.reliability_order(pool).unwrap(), &[1, 3, 4, 2, 0]);
+    }
+
+    #[test]
+    fn tasks_serialize_round_trip() {
+        let task = DecisionTask::pay_as_you_go(PoolId(7), 1.5);
+        let text = serde::json::to_string(&task);
+        let back: DecisionTask = serde::json::from_str(&text).unwrap();
+        assert_eq!(back, task);
+        let alt = DecisionTask::altruism(PoolId(0));
+        let back: DecisionTask = serde::json::from_str(&serde::json::to_string(&alt)).unwrap();
+        assert_eq!(back, alt);
+    }
+
+    #[test]
+    fn remove_pool_returns_jurors() {
+        let mut service = JuryService::new();
+        let jurors = figure1();
+        let pool = service.create_pool(jurors.clone());
+        assert_eq!(service.pool_count(), 1);
+        let returned = service.remove_pool(pool).unwrap();
+        assert_eq!(returned.len(), jurors.len());
+        assert_eq!(service.pool_count(), 0);
+    }
+}

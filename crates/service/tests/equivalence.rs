@@ -1,0 +1,146 @@
+//! Service/solver equivalence properties.
+//!
+//! The service's contract is that caching and batching are *pure
+//! plumbing*: cold-cache, warm-cache and batched solves must return
+//! **byte-identical** selections (members, JER bits, cost bits, stats)
+//! to direct `AltrAlg::solve` / `PayAlg::solve` calls on the same
+//! jurors — including after pool mutations invalidate the cache.
+
+use jury_core::altr::{AltrAlg, AltrConfig};
+use jury_core::juror::{pool_from_rates_and_costs, ErrorRate, Juror};
+use jury_core::model::CrowdModel;
+use jury_core::paym::{PayAlg, PayConfig};
+use jury_core::problem::Selection;
+use jury_service::{DecisionTask, JuryService, ServiceConfig, ServiceError};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Random `(ε, cost)` pools: rates strictly inside (0,1), small
+/// non-negative costs.
+fn pools(max_len: usize) -> impl Strategy<Value = Vec<(f64, f64)>> {
+    vec((0.001..0.999f64, 0.0..1.0f64), 1..=max_len)
+}
+
+fn build(pairs: &[(f64, f64)]) -> Vec<Juror> {
+    pool_from_rates_and_costs(pairs).unwrap()
+}
+
+/// Byte-level equality: `PartialEq` on `Selection` compares floats
+/// numerically, so additionally pin the exact bit patterns.
+fn assert_identical(a: &Selection, b: &Selection) {
+    assert_eq!(a, b);
+    assert_eq!(a.jer.to_bits(), b.jer.to_bits());
+    assert_eq!(a.total_cost.to_bits(), b.total_cost.to_bits());
+}
+
+fn direct(jurors: &[Juror], model: CrowdModel) -> Result<Selection, jury_core::JuryError> {
+    match model {
+        CrowdModel::Altruism => AltrAlg::solve(jurors, &AltrConfig::default()),
+        CrowdModel::PayAsYouGo { budget } => PayAlg::solve(jurors, budget, &PayConfig::default()),
+    }
+}
+
+fn check_all_paths(service: &mut JuryService, pool: jury_service::PoolId, budgets: &[f64]) {
+    let jurors = service.pool(pool).unwrap().to_vec();
+    let mut tasks = vec![DecisionTask::altruism(pool)];
+    tasks.extend(budgets.iter().map(|&b| DecisionTask::pay_as_you_go(pool, b)));
+
+    // Cold single solves (cache may have been invalidated by the caller).
+    let cold: Vec<_> = tasks.iter().map(|t| service.solve(t)).collect();
+    // Warm single solves.
+    let warm: Vec<_> = tasks.iter().map(|t| service.solve(t)).collect();
+    // Batched solves (several copies interleaved to exercise chunking).
+    let mut batch_tasks = tasks.clone();
+    batch_tasks.extend(tasks.iter().rev().copied());
+    let batched = service.solve_batch(&batch_tasks);
+
+    for (i, task) in tasks.iter().enumerate() {
+        let reference = direct(&jurors, task.model);
+        for (label, got) in [
+            ("cold", &cold[i]),
+            ("warm", &warm[i]),
+            ("batch-front", &batched[i]),
+            ("batch-back", &batched[batch_tasks.len() - 1 - i]),
+        ] {
+            match (&reference, got) {
+                (Ok(want), Ok(have)) => assert_identical(have, want),
+                (Err(want), Err(ServiceError::Solver(have))) => {
+                    assert_eq!(have, want, "{label}")
+                }
+                (want, have) => panic!("{label}: direct {want:?} vs service {have:?}"),
+            }
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn cold_warm_and_batched_match_direct(pairs in pools(60), budget in 0.0..3.0f64) {
+        let mut service = JuryService::new();
+        let pool = service.create_pool(build(&pairs));
+        check_all_paths(&mut service, pool, &[budget, 0.05, f64::MAX]);
+    }
+
+    #[test]
+    fn equivalence_survives_mutations(
+        pairs in pools(40),
+        extra in (0.001..0.999f64, 0.0..1.0f64),
+        update in (0.001..0.999f64, 0.0..1.0f64),
+        idx in any::<prop::sample::Index>(),
+        budget in 0.0..2.0f64,
+    ) {
+        let mut service = JuryService::new();
+        let pool = service.create_pool(build(&pairs));
+        // Warm the cache, then mutate through every registry operation,
+        // re-checking equivalence against the *current* jurors each time.
+        check_all_paths(&mut service, pool, &[budget]);
+
+        let added = service
+            .insert_juror(pool, Juror::new(1000, ErrorRate::new(extra.0).unwrap(), extra.1))
+            .unwrap();
+        assert!(!service.is_warm(pool));
+        check_all_paths(&mut service, pool, &[budget]);
+
+        let i = idx.index(service.pool(pool).unwrap().len());
+        service
+            .update_juror(pool, i, Juror::new(2000, ErrorRate::new(update.0).unwrap(), update.1))
+            .unwrap();
+        check_all_paths(&mut service, pool, &[budget]);
+
+        service.remove_juror(pool, added.min(service.pool(pool).unwrap().len() - 1)).unwrap();
+        check_all_paths(&mut service, pool, &[budget]);
+    }
+
+    #[test]
+    fn single_threaded_batches_match_parallel(pairs in pools(30), budget in 0.0..2.0f64) {
+        let jurors = build(&pairs);
+        let mut serial =
+            JuryService::with_config(ServiceConfig { threads: 1, ..Default::default() });
+        let mut parallel =
+            JuryService::with_config(ServiceConfig { threads: 4, ..Default::default() });
+        let ps = serial.create_pool(jurors.clone());
+        let pp = parallel.create_pool(jurors);
+        let tasks_s: Vec<_> = (0..12)
+            .map(|i| {
+                if i % 2 == 0 {
+                    DecisionTask::altruism(ps)
+                } else {
+                    DecisionTask::pay_as_you_go(ps, budget + i as f64 / 10.0)
+                }
+            })
+            .collect();
+        let tasks_p: Vec<_> = tasks_s
+            .iter()
+            .map(|t| DecisionTask { pool: pp, model: t.model })
+            .collect();
+        let rs = serial.solve_batch(&tasks_s);
+        let rp = parallel.solve_batch(&tasks_p);
+        for (a, b) in rs.iter().zip(&rp) {
+            match (a, b) {
+                (Ok(x), Ok(y)) => assert_identical(x, y),
+                (Err(x), Err(y)) => prop_assert_eq!(x, y),
+                other => panic!("serial/parallel divergence: {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Vendored stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment is offline, so the workspace vendors the exact
+//! criterion surface its benches use: `criterion_group!`/
+//! `criterion_main!`, [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId::new`] and
+//! [`Bencher::iter`].
+//!
+//! Measurement model: each benchmark is warmed up briefly, then timed
+//! over enough iterations to fill a fixed measurement window; the
+//! median-of-batches time per iteration is reported on stdout as
+//! `<group>/<function>/<parameter> ... <time>`. No plots, no statistics
+//! machinery — numbers are comparable run-to-run on the same machine,
+//! which is what the workspace's perf tracking needs.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock spent measuring each benchmark (after warm-up).
+const MEASUREMENT_WINDOW: Duration = Duration::from_millis(300);
+/// Warm-up window before measurement.
+const WARMUP_WINDOW: Duration = Duration::from_millis(100);
+
+/// Entry point handed to each `criterion_group!` function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.into() }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report("", name, None);
+    }
+}
+
+/// A named collection of benchmarks sharing a prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for upstream compatibility; the shim sizes its sample
+    /// window independently.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one parameterised benchmark.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        b.report(&self.name, &id.function, id.parameter.as_deref());
+        self
+    }
+
+    /// Ends the group (no-op; present for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group: function name + parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a displayable parameter.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        Self { function: function.into(), parameter: Some(parameter.to_string()) }
+    }
+
+    /// Creates an id from a parameter only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self { function: String::new(), parameter: Some(parameter.to_string()) }
+    }
+}
+
+/// Times closures handed to it by the benchmark body.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    /// Median seconds per iteration, once measured.
+    per_iter: Option<f64>,
+}
+
+impl Bencher {
+    /// Measures `f`, recording the median per-iteration time.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        // Warm up and estimate a batch size that lasts ~1ms.
+        let warm_start = Instant::now();
+        let mut iters_during_warmup = 0u64;
+        while warm_start.elapsed() < WARMUP_WINDOW {
+            std::hint::black_box(f());
+            iters_during_warmup += 1;
+        }
+        let per_iter_estimate =
+            warm_start.elapsed().as_secs_f64() / iters_during_warmup.max(1) as f64;
+        let batch = ((1e-3 / per_iter_estimate.max(1e-9)) as u64).clamp(1, 1 << 20);
+
+        // Measure batches until the window is filled; report the median.
+        let mut samples = Vec::new();
+        let window_start = Instant::now();
+        while window_start.elapsed() < MEASUREMENT_WINDOW || samples.len() < 5 {
+            let batch_start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            samples.push(batch_start.elapsed().as_secs_f64() / batch as f64);
+            if samples.len() >= 10_000 {
+                break;
+            }
+        }
+        samples.sort_by(f64::total_cmp);
+        self.per_iter = Some(samples[samples.len() / 2]);
+    }
+
+    fn report(&self, group: &str, function: &str, parameter: Option<&str>) {
+        let mut label = String::new();
+        for part in [group, function].into_iter().chain(parameter).filter(|s| !s.is_empty()) {
+            if !label.is_empty() {
+                label.push('/');
+            }
+            label.push_str(part);
+        }
+        match self.per_iter {
+            Some(secs) => println!("{label:<50} {}", format_time(secs)),
+            None => println!("{label:<50} (no measurement)"),
+        }
+    }
+}
+
+/// Formats seconds in criterion-style units.
+fn format_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:8.2} ns/iter", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:8.2} µs/iter", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:8.2} ms/iter", secs * 1e3)
+    } else {
+        format!("{secs:8.3} s/iter")
+    }
+}
+
+/// Declares a benchmark group function list (mirror of criterion's
+/// macro, ignoring configuration).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_compose_labels() {
+        let id = BenchmarkId::new("fft", 1024);
+        assert_eq!(id.function, "fft");
+        assert_eq!(id.parameter.as_deref(), Some("1024"));
+    }
+
+    #[test]
+    fn time_formatting_picks_units() {
+        assert!(format_time(5e-9).contains("ns"));
+        assert!(format_time(5e-6).contains("µs"));
+        assert!(format_time(5e-3).contains("ms"));
+        assert!(format_time(2.0).contains("s/iter"));
+    }
+}

@@ -1,0 +1,527 @@
+//! Vendored stand-in for the `proptest` crate.
+//!
+//! The build environment is offline, so the workspace vendors the exact
+//! property-testing surface its test suites use: the [`proptest!`] macro,
+//! range/tuple/vec/string strategies, [`Strategy::prop_map`],
+//! `any::<bool>()`, `any::<prop::sample::Index>()` and the
+//! `prop_assert*`/`prop_assume!` macros.
+//!
+//! Semantics: each `#[test]` runs `PROPTEST_CASES` (default 64) random
+//! cases from a generator seeded deterministically per test name, so
+//! failures are reproducible. `prop_assert!` failures panic immediately
+//! with the formatted message (no shrinking — cases are kept small by the
+//! strategies themselves); `prop_assume!` rejections re-draw the case.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Re-exports for `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{any, Just, ProptestConfig, Strategy, TestCaseError, TestRng};
+    // The macros are #[macro_export]ed at the crate root; a glob of the
+    // prelude also brings them in scope via the textual scope rules.
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{SizeRange, Strategy, TestRng, VecStrategy};
+
+    /// Strategy producing `Vec`s of values from `element`, with lengths
+    /// drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Sampling helpers.
+pub mod sample {
+    /// An index into a collection whose length is only known at use time
+    /// (mirror of `proptest::sample::Index`).
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index(pub(crate) u64);
+
+    impl Index {
+        /// Resolves the index against a collection of `len` elements.
+        ///
+        /// # Panics
+        /// Panics if `len` is zero.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "cannot index an empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+}
+
+/// The deterministic generator handed to strategies.
+pub type TestRng = StdRng;
+
+/// Why a test case did not complete (only rejection survives to the
+/// runner; assertion failures panic directly).
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!` — draw a fresh one.
+    Reject,
+}
+
+/// Per-block configuration (mirror of `proptest::test_runner::ProptestConfig`,
+/// reduced to the case count).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases each property must see.
+    pub cases: usize,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: usize) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: cases() }
+    }
+}
+
+/// Number of cases per property (override with `PROPTEST_CASES`).
+pub fn cases() -> usize {
+    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64)
+}
+
+/// Builds the per-test deterministic generator.
+pub fn test_rng(test_name: &str) -> TestRng {
+    // FNV-1a over the test name: stable across runs and platforms.
+    let mut h = 0xcbf29ce484222325u64;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    TestRng::seed_from_u64(h)
+}
+
+/// A generator of random values of an output type (mirror of
+/// `proptest::strategy::Strategy`, reduced to generation — no shrinking).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! numeric_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+numeric_range_strategy!(u8, u16, u32, u64, usize, i32, i64, f64);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+
+/// Lengths for collection strategies.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    hi_inclusive: usize,
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        rng.gen_range(self.lo..=self.hi_inclusive)
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        Self { lo: r.start, hi_inclusive: r.end - 1 }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        Self { lo: *r.start(), hi_inclusive: *r.end() }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { lo: n, hi_inclusive: n }
+    }
+}
+
+/// Strategy returned by [`collection::vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// `&str` strategies interpret the string as a (restricted) regex:
+/// a single character class with an optional `{m,n}` repetition, e.g.
+/// `"[A-Za-z0-9_]{1,15}"` — enough for every pattern in the workspace.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (alphabet, lo, hi) = parse_class_repeat(self)
+            .unwrap_or_else(|| panic!("unsupported regex strategy {self:?}"));
+        if alphabet.is_empty() {
+            return String::new();
+        }
+        let len = rng.gen_range(lo..=hi);
+        (0..len).map(|_| alphabet[rng.gen_range(0..alphabet.len())]).collect()
+    }
+}
+
+/// Parses `[class]{m,n}` (or a plain literal, returned as a fixed
+/// "alphabet" of one candidate repeated exactly once).
+fn parse_class_repeat(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let (class, rest) = if let Some(rest) = pattern.strip_prefix('.') {
+        // `.`: any char except newline — printable ASCII plus a few
+        // multi-byte scalars so UTF-8 handling gets exercised.
+        let mut alphabet: Vec<char> = (0x20u8..=0x7e).map(char::from).collect();
+        alphabet.extend(['é', 'ß', '中', '🦀']);
+        return finish_class_repeat(alphabet, rest);
+    } else if pattern.starts_with('[') {
+        let close = pattern.find(']')?;
+        (&pattern[1..close], &pattern[close + 1..])
+    } else {
+        return None;
+    };
+    let mut alphabet = Vec::new();
+    let chars: Vec<char> = class.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        if i + 2 < chars.len() && chars[i + 1] == '-' {
+            let (a, b) = (chars[i], chars[i + 2]);
+            for c in a..=b {
+                alphabet.push(c);
+            }
+            i += 3;
+        } else {
+            alphabet.push(chars[i]);
+            i += 1;
+        }
+    }
+    finish_class_repeat(alphabet, rest)
+}
+
+/// Applies the `{m,n}` / `{n}` / implicit-`{1}` repetition suffix.
+fn finish_class_repeat(alphabet: Vec<char>, rest: &str) -> Option<(Vec<char>, usize, usize)> {
+    let (lo, hi) = if rest.is_empty() {
+        (1, 1)
+    } else {
+        let inner = rest.strip_prefix('{')?.strip_suffix('}')?;
+        match inner.split_once(',') {
+            Some((a, b)) => (a.trim().parse().ok()?, b.trim().parse().ok()?),
+            None => {
+                let n = inner.trim().parse().ok()?;
+                (n, n)
+            }
+        }
+    };
+    Some((alphabet, lo, hi))
+}
+
+/// Types with a canonical strategy (mirror of `proptest::arbitrary`).
+pub trait Arbitrary: Sized {
+    /// The canonical strategy for the type.
+    type Strategy: Strategy<Value = Self>;
+    /// Returns the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Canonical strategy for `T: Arbitrary` — `any::<bool>()`,
+/// `any::<prop::sample::Index>()`, etc.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Strategy for fair booleans.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.gen::<bool>()
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+    fn arbitrary() -> AnyBool {
+        AnyBool
+    }
+}
+
+/// Strategy for [`sample::Index`].
+#[derive(Debug, Clone, Copy)]
+pub struct AnyIndex;
+
+impl Strategy for AnyIndex {
+    type Value = sample::Index;
+    fn generate(&self, rng: &mut TestRng) -> sample::Index {
+        sample::Index(rng.gen::<u64>())
+    }
+}
+
+impl Arbitrary for sample::Index {
+    type Strategy = AnyIndex;
+    fn arbitrary() -> AnyIndex {
+        AnyIndex
+    }
+}
+
+/// Defines property tests: each `#[test] fn name(arg in strategy, ..)`
+/// item becomes a `#[test]` that runs [`cases`] random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)]
+     $(#[test] fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $crate::proptest! {
+            @cases ($config.cases)
+            $(#[test] fn $name($($arg in $strat),+) $body)*
+        }
+    };
+    ($(#[test] fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $crate::proptest! {
+            @cases ($crate::cases())
+            $(#[test] fn $name($($arg in $strat),+) $body)*
+        }
+    };
+    (@cases ($cases:expr)
+     $(#[test] fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            #[test]
+            fn $name() {
+                let cases: usize = $cases;
+                let mut rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+                let mut accepted = 0usize;
+                let mut attempts = 0usize;
+                while accepted < cases {
+                    attempts += 1;
+                    assert!(
+                        attempts <= cases * 50 + 1000,
+                        "prop_assume! rejected too many cases ({} attempts for {} accepted)",
+                        attempts,
+                        accepted
+                    );
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    #[allow(clippy::redundant_closure_call)]
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                    match outcome {
+                        Ok(()) => accepted += 1,
+                        Err($crate::TestCaseError::Reject) => continue,
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property, panicking with the formatted
+/// message (and expression text) on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            panic!("property failed: {}", stringify!($cond));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            panic!("property failed: {}: {}", stringify!($cond), format!($($fmt)*));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            panic!("property failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), l, r);
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            panic!("property failed: {} == {}: {}\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), format!($($fmt)*), l, r);
+        }
+    }};
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            panic!(
+                "property failed: {} != {}\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            );
+        }
+    }};
+}
+
+/// Rejects the current case (re-drawn, not counted) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn class_repeat_parser() {
+        let (alphabet, lo, hi) = super::parse_class_repeat("[a-c]{2,5}").unwrap();
+        assert_eq!(alphabet, vec!['a', 'b', 'c']);
+        assert_eq!((lo, hi), (2, 5));
+        let (alphabet, lo, hi) = super::parse_class_repeat("[A-Za-z0-9_]{1,15}").unwrap();
+        assert_eq!(alphabet.len(), 26 + 26 + 10 + 1);
+        assert_eq!((lo, hi), (1, 15));
+        let (alphabet, ..) = super::parse_class_repeat("[a-z ]{0,20}").unwrap();
+        assert!(alphabet.contains(&' '));
+    }
+
+    #[test]
+    fn string_strategy_respects_class_and_length() {
+        let mut rng = super::test_rng("string_strategy");
+        for _ in 0..200 {
+            let s = "[A-Za-z0-9_]{1,15}".generate(&mut rng);
+            assert!((1..=15).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_bounds() {
+        let mut rng = super::test_rng("vec_strategy");
+        let strat = super::collection::vec(0.25..0.75f64, 3..=7);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((3..=7).contains(&v.len()));
+            assert!(v.iter().all(|x| (0.25..0.75).contains(x)));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_end_to_end(x in 0.0..1.0f64, n in 1usize..10, b in any::<bool>()) {
+            prop_assert!((0.0..1.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+            prop_assert_eq!(b, b);
+        }
+
+        #[test]
+        fn assume_rejects_and_redraws(n in 0usize..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0);
+        }
+
+        #[test]
+        fn index_resolves_in_bounds(idx in any::<prop::sample::Index>(), len in 1usize..50) {
+            prop_assert!(idx.index(len) < len);
+        }
+
+        #[test]
+        fn tuples_and_maps(pair in (0u32..5, 0u32..5), s in "[ab]{1,3}".prop_map(|s| s.len())) {
+            prop_assert!(pair.0 < 5 && pair.1 < 5);
+            prop_assert!((1..=3).contains(&s));
+        }
+    }
+}

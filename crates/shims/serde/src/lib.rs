@@ -1,0 +1,622 @@
+//! Vendored stand-in for `serde` (+ the JSON half of `serde_json`).
+//!
+//! The build environment is offline, so the workspace vendors a minimal
+//! serialization framework: a JSON [`Value`] data model, [`Serialize`] /
+//! [`Deserialize`] traits implemented by hand (no derive macros — proc
+//! macros would need their own vendored stack), and a complete JSON
+//! writer/parser in [`json`].
+//!
+//! The trait names and module layout mirror serde so call sites read
+//! `impl serde::Serialize for …` / `serde::json::to_string(&x)`; swapping
+//! to crates.io serde+serde_json later is a manifest change plus
+//! replacing the hand impls with `#[derive(...)]`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::fmt;
+
+/// The JSON data model every serializable type maps through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (stored as `f64`; integers up to 2^53 round-trip).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An ordered array.
+    Array(Vec<Value>),
+    /// An object; insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in an object; `None` for other variants.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Number(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64`, if this is a non-negative integer number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::Number(n) if n >= 0.0 && n.fract() == 0.0 && n <= (1u64 << 53) as f64 => {
+                Some(n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The string slice, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The element slice, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Builds an object from `(key, value)` pairs.
+    pub fn object(fields: impl IntoIterator<Item = (&'static str, Value)>) -> Value {
+        Value::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+}
+
+/// Serialization/deserialization failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Self(msg.into())
+    }
+
+    /// Convenience for a missing object field.
+    pub fn missing_field(name: &str) -> Self {
+        Self(format!("missing field `{name}`"))
+    }
+
+    /// Convenience for a type mismatch.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        Self(format!("expected {what}, got {got:?}"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can map themselves into the [`Value`] data model.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a [`Value`].
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+macro_rules! serialize_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                value.as_f64().map(|n| n as $t).ok_or_else(|| Error::expected(stringify!($t), value))
+            }
+        }
+    )*};
+}
+
+serialize_float!(f64, f32);
+
+macro_rules! serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            /// Rejects fractional, out-of-range and non-numeric input
+            /// instead of truncating/saturating — wire data is untrusted.
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let n = value.as_f64().ok_or_else(|| Error::expected(stringify!($t), value))?;
+                if n.fract() != 0.0 || n < <$t>::MIN as f64 || n > <$t>::MAX as f64 {
+                    return Err(Error::expected(
+                        concat!("an in-range integer for ", stringify!($t)),
+                        value,
+                    ));
+                }
+                Ok(n as $t)
+            }
+        }
+    )*};
+}
+
+serialize_int!(usize, u64, u32, u16, u8, i64, i32);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value.as_bool().ok_or_else(|| Error::expected("bool", value))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value.as_str().map(str::to_string).ok_or_else(|| Error::expected("string", value))
+    }
+}
+
+impl Serialize for &str {
+    fn to_value(&self) -> Value {
+        Value::String((*self).to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_array()
+            .ok_or_else(|| Error::expected("array", value))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(v) => v.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+/// JSON text encoding/decoding of the [`Value`] model.
+pub mod json {
+    use super::{Deserialize, Error, Serialize, Value};
+    use std::fmt::Write as _;
+
+    /// Serializes to compact JSON.
+    pub fn to_string<T: Serialize>(value: &T) -> String {
+        let mut out = String::new();
+        write_value(&mut out, &value.to_value(), None, 0);
+        out
+    }
+
+    /// Serializes to human-readable indented JSON.
+    pub fn to_string_pretty<T: Serialize>(value: &T) -> String {
+        let mut out = String::new();
+        write_value(&mut out, &value.to_value(), Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    /// Parses JSON text into a `T`.
+    pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+        T::from_value(&parse(text)?)
+    }
+
+    /// Parses JSON text into the [`Value`] model.
+    pub fn parse(text: &str) -> Result<Value, Error> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(Error::custom(format!("trailing input at byte {}", p.pos)));
+        }
+        Ok(v)
+    }
+
+    fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+        match v {
+            Value::Null => out.push_str("null"),
+            Value::Bool(true) => out.push_str("true"),
+            Value::Bool(false) => out.push_str("false"),
+            Value::Number(n) => {
+                if n.is_finite() {
+                    let _ = write!(out, "{n}");
+                } else {
+                    // JSON has no Inf/NaN; mirror serde_json's lossy `null`.
+                    out.push_str("null");
+                }
+            }
+            Value::String(s) => write_string(out, s),
+            Value::Array(items) => {
+                write_seq(out, items.iter(), indent, depth, ('[', ']'), |out, item, d| {
+                    write_value(out, item, indent, d);
+                });
+            }
+            Value::Object(fields) => {
+                write_seq(out, fields.iter(), indent, depth, ('{', '}'), |out, (k, val), d| {
+                    write_string(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    write_value(out, val, indent, d);
+                });
+            }
+        }
+    }
+
+    fn write_seq<I: ExactSizeIterator>(
+        out: &mut String,
+        items: I,
+        indent: Option<usize>,
+        depth: usize,
+        (open, close): (char, char),
+        mut write_item: impl FnMut(&mut String, I::Item, usize),
+    ) {
+        if items.len() == 0 {
+            out.push(open);
+            out.push(close);
+            return;
+        }
+        out.push(open);
+        let len = items.len();
+        for (i, item) in items.enumerate() {
+            if let Some(width) = indent {
+                out.push('\n');
+                out.push_str(&" ".repeat(width * (depth + 1)));
+            }
+            write_item(out, item, depth + 1);
+            if i + 1 < len {
+                out.push(',');
+            }
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * depth));
+        }
+        out.push(close);
+    }
+
+    fn write_string(out: &mut String, s: &str) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn skip_ws(&mut self) {
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn eat(&mut self, token: &str) -> Result<(), Error> {
+            if self.bytes[self.pos..].starts_with(token.as_bytes()) {
+                self.pos += token.len();
+                Ok(())
+            } else {
+                Err(Error::custom(format!("expected `{token}` at byte {}", self.pos)))
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, Error> {
+            match self.peek() {
+                Some(b'n') => self.eat("null").map(|()| Value::Null),
+                Some(b't') => self.eat("true").map(|()| Value::Bool(true)),
+                Some(b'f') => self.eat("false").map(|()| Value::Bool(false)),
+                Some(b'"') => self.string().map(Value::String),
+                Some(b'[') => self.array(),
+                Some(b'{') => self.object(),
+                Some(b'-' | b'0'..=b'9') => self.number(),
+                other => Err(Error::custom(format!("unexpected {other:?} at byte {}", self.pos))),
+            }
+        }
+
+        fn array(&mut self) -> Result<Value, Error> {
+            self.pos += 1; // '['
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                self.skip_ws();
+                items.push(self.value()?);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(Error::custom(format!("bad array at byte {}", self.pos))),
+                }
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, Error> {
+            self.pos += 1; // '{'
+            let mut fields = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Value::Object(fields));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.eat(":")?;
+                self.skip_ws();
+                let value = self.value()?;
+                fields.push((key, value));
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(Value::Object(fields));
+                    }
+                    _ => return Err(Error::custom(format!("bad object at byte {}", self.pos))),
+                }
+            }
+        }
+
+        fn string(&mut self) -> Result<String, Error> {
+            if self.peek() != Some(b'"') {
+                return Err(Error::custom(format!("expected string at byte {}", self.pos)));
+            }
+            self.pos += 1;
+            let mut out = String::new();
+            loop {
+                match self.peek() {
+                    None => return Err(Error::custom("unterminated string")),
+                    Some(b'"') => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.pos += 1;
+                        match self.peek() {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'/') => out.push('/'),
+                            Some(b'n') => out.push('\n'),
+                            Some(b'r') => out.push('\r'),
+                            Some(b't') => out.push('\t'),
+                            Some(b'b') => out.push('\u{8}'),
+                            Some(b'f') => out.push('\u{c}'),
+                            Some(b'u') => {
+                                let hex = self
+                                    .bytes
+                                    .get(self.pos + 1..self.pos + 5)
+                                    .ok_or_else(|| Error::custom("truncated \\u escape"))?;
+                                let code = u32::from_str_radix(
+                                    std::str::from_utf8(hex)
+                                        .map_err(|_| Error::custom("bad \\u escape"))?,
+                                    16,
+                                )
+                                .map_err(|_| Error::custom("bad \\u escape"))?;
+                                // Surrogate pairs are not needed by the
+                                // workspace's ASCII payloads.
+                                out.push(
+                                    char::from_u32(code)
+                                        .ok_or_else(|| Error::custom("bad \\u code point"))?,
+                                );
+                                self.pos += 4;
+                            }
+                            other => return Err(Error::custom(format!("bad escape {other:?}"))),
+                        }
+                        self.pos += 1;
+                    }
+                    Some(_) => {
+                        // Consume one UTF-8 scalar.
+                        let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                            .map_err(|_| Error::custom("invalid UTF-8"))?;
+                        let c = rest.chars().next().expect("non-empty");
+                        out.push(c);
+                        self.pos += c.len_utf8();
+                    }
+                }
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, Error> {
+            let start = self.pos;
+            while let Some(b) = self.peek() {
+                if matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9') {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            let text = std::str::from_utf8(&self.bytes[start..self.pos])
+                .map_err(|_| Error::custom("invalid UTF-8 in number"))?;
+            text.parse::<f64>()
+                .map(Value::Number)
+                .map_err(|_| Error::custom(format!("bad number `{text}`")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_compound_values() {
+        let v = Value::object([
+            ("name", Value::String("jury".into())),
+            ("sizes", Value::Array(vec![Value::Number(1.0), Value::Number(3.0)])),
+            ("ok", Value::Bool(true)),
+            ("none", Value::Null),
+            ("nested", Value::object([("jer", Value::Number(0.07036))])),
+        ]);
+        let text = json::to_string(&v);
+        assert_eq!(json::parse(&text).unwrap(), v);
+        let pretty = json::to_string_pretty(&v);
+        assert_eq!(json::parse(&pretty).unwrap(), v);
+        assert!(pretty.contains('\n'));
+    }
+
+    #[test]
+    fn numbers_round_trip_exactly() {
+        for n in [0.0, -1.5, 0.07036, 1e-300, 123456789.0, f64::MAX] {
+            let text = json::to_string(&n);
+            let back: f64 = json::from_str(&text).unwrap();
+            assert_eq!(back, n, "{text}");
+        }
+    }
+
+    #[test]
+    fn strings_escape() {
+        let s = "say \"hi\"\nnew\tline \\".to_string();
+        let text = json::to_string(&s);
+        let back: String = json::from_str(&text).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v: Vec<f64> = vec![1.0, 2.5, 3.0];
+        let back: Vec<f64> = json::from_str(&json::to_string(&v)).unwrap();
+        assert_eq!(back, v);
+        let some: Option<bool> = Some(true);
+        assert_eq!(json::to_string(&some), "true");
+        let none: Option<bool> = None;
+        assert_eq!(json::to_string(&none), "null");
+        let opt: Option<bool> = json::from_str("null").unwrap();
+        assert_eq!(opt, None);
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(json::parse("{").is_err());
+        assert!(json::parse("[1,]").is_err());
+        assert!(json::parse("12 34").is_err());
+        assert!(json::parse("\"unterminated").is_err());
+        assert!(json::from_str::<bool>("1.5").is_err());
+    }
+
+    #[test]
+    fn integers_reject_fractions_and_out_of_range() {
+        assert!(json::from_str::<usize>("1.7").is_err());
+        assert!(json::from_str::<usize>("-3").is_err());
+        assert!(json::from_str::<u8>("256").is_err());
+        assert!(json::from_str::<i32>("2147483648").is_err());
+        assert_eq!(json::from_str::<usize>("42").unwrap(), 42);
+        assert_eq!(json::from_str::<i32>("-7").unwrap(), -7);
+        // Floats stay lossless/lossy as floats.
+        assert_eq!(json::from_str::<f64>("1.7").unwrap(), 1.7);
+    }
+
+    #[test]
+    fn object_lookup_and_accessors() {
+        let v = json::parse(r#"{"a": 3, "b": [1, 2], "c": "x"}"#).unwrap();
+        assert_eq!(v.get("a").and_then(Value::as_u64), Some(3));
+        assert_eq!(v.get("b").and_then(Value::as_array).map(<[Value]>::len), Some(2));
+        assert_eq!(v.get("c").and_then(Value::as_str), Some("x"));
+        assert_eq!(v.get("missing"), None);
+    }
+}

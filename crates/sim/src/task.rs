@@ -55,12 +55,13 @@ impl TaskBatchReport {
 ///
 /// # Panics
 /// Panics if `config.tasks` is zero or `prior_yes` is not a probability.
-pub fn run_tasks<R: Rng + ?Sized>(jury: &Jury, config: &TaskConfig, rng: &mut R) -> TaskBatchReport {
+pub fn run_tasks<R: Rng + ?Sized>(
+    jury: &Jury,
+    config: &TaskConfig,
+    rng: &mut R,
+) -> TaskBatchReport {
     assert!(config.tasks > 0, "need at least one task");
-    assert!(
-        (0.0..=1.0).contains(&config.prior_yes),
-        "prior_yes must be a probability"
-    );
+    assert!((0.0..=1.0).contains(&config.prior_yes), "prior_yes must be a probability");
     let mut majority_correct = 0;
     let mut weighted_correct = 0;
     for _ in 0..config.tasks {
@@ -69,8 +70,7 @@ pub fn run_tasks<R: Rng + ?Sized>(jury: &Jury, config: &TaskConfig, rng: &mut R)
         if majority_vote(&voting).as_bool() == truth {
             majority_correct += 1;
         }
-        let weighted = weighted_majority_vote(jury, &voting)
-            .expect("voting came from this jury");
+        let weighted = weighted_majority_vote(jury, &voting).expect("voting came from this jury");
         if weighted.as_bool() == truth {
             weighted_correct += 1;
         }
@@ -106,8 +106,7 @@ mod tests {
     fn majority_error_tracks_analytic_jer() {
         let jury = jury_of(&[0.2, 0.3, 0.3]);
         let mut rng = StdRng::seed_from_u64(21);
-        let report =
-            run_tasks(&jury, &TaskConfig { tasks: 60_000, prior_yes: 0.5 }, &mut rng);
+        let report = run_tasks(&jury, &TaskConfig { tasks: 60_000, prior_yes: 0.5 }, &mut rng);
         let analytic = jury.jer(JerEngine::Auto); // 0.174
         assert!(
             (report.majority_error_rate() - analytic).abs() < 0.01,
@@ -121,8 +120,7 @@ mod tests {
         // Heterogeneous rates: weighted MV should beat plain MV.
         let jury = jury_of(&[0.05, 0.45, 0.45, 0.45, 0.45]);
         let mut rng = StdRng::seed_from_u64(22);
-        let report =
-            run_tasks(&jury, &TaskConfig { tasks: 40_000, prior_yes: 0.5 }, &mut rng);
+        let report = run_tasks(&jury, &TaskConfig { tasks: 40_000, prior_yes: 0.5 }, &mut rng);
         assert!(
             report.weighted_error_rate() < report.majority_error_rate(),
             "weighted {} vs majority {}",
@@ -135,8 +133,7 @@ mod tests {
     fn weighted_equals_majority_for_homogeneous_juries() {
         let jury = jury_of(&[0.3; 5]);
         let mut rng = StdRng::seed_from_u64(23);
-        let report =
-            run_tasks(&jury, &TaskConfig { tasks: 5_000, prior_yes: 0.5 }, &mut rng);
+        let report = run_tasks(&jury, &TaskConfig { tasks: 5_000, prior_yes: 0.5 }, &mut rng);
         assert_eq!(report.majority_correct, report.weighted_correct);
     }
 
@@ -144,8 +141,7 @@ mod tests {
     fn skewed_prior_is_handled() {
         let jury = jury_of(&[0.1, 0.1, 0.1]);
         let mut rng = StdRng::seed_from_u64(24);
-        let report =
-            run_tasks(&jury, &TaskConfig { tasks: 10_000, prior_yes: 0.9 }, &mut rng);
+        let report = run_tasks(&jury, &TaskConfig { tasks: 10_000, prior_yes: 0.9 }, &mut rng);
         // Error statistics are truth-symmetric: still ≈ analytic JER.
         let analytic = jury.jer(JerEngine::Auto);
         assert!((report.majority_error_rate() - analytic).abs() < 0.01);

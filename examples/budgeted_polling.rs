@@ -10,6 +10,10 @@
 //!   by exhaustive enumeration (Figures 3(e)/3(f) in miniature), and
 //! * the budget level past which extra money stops buying accuracy.
 //!
+//! The budget sweep runs as ONE batched request against the serving
+//! layer: the pool is registered once, its greedy order is cached, and
+//! every budget reuses it.
+//!
 //! Run with: `cargo run --release --example budgeted_polling`
 
 use jury_selection::prelude::*;
@@ -29,14 +33,21 @@ fn main() {
     let total_market: f64 = pool.iter().map(|j| j.cost).sum();
     println!("panel of {} quotes, total market price ${total_market:.2}\n", pool.len());
 
+    // The whole sweep is one batch of PayM tasks at increasing budgets.
+    let mut service = JuryService::new();
+    let pool_id = service.create_pool(pool.clone());
+    let budgets: Vec<f64> = (1..=12).map(|step| step as f64 * 0.25).collect();
+    let tasks: Vec<DecisionTask> =
+        budgets.iter().map(|&b| DecisionTask::pay_as_you_go(pool_id, b)).collect();
+    let greedy_results = service.solve_batch(&tasks);
+
     println!(
         "{:>7}  {:>9} {:>9} {:>5}   {:>9} {:>9} {:>5}   {:>8}",
         "budget", "greedyJER", "cost", "size", "exactJER", "cost", "size", "optimal?"
     );
     let mut last_exact_jer = f64::INFINITY;
-    for step in 1..=12 {
-        let budget = step as f64 * 0.25;
-        let greedy = PayAlg::solve(&pool, budget, &PayConfig::default());
+    for (step, (&budget, greedy)) in budgets.iter().zip(greedy_results).enumerate() {
+        let step = step + 1;
         let exact = exact_paym_parallel(&pool, budget, &ExactConfig::default());
         match (greedy, exact) {
             (Ok(g), Ok(e)) => {
@@ -57,7 +68,10 @@ fn main() {
                     if marginal < 1e-4 && step > 1 { "   <- diminishing returns" } else { "" },
                 );
             }
-            (Err(err), _) | (_, Err(err)) => {
+            (Err(err), _) => {
+                println!("{budget:>6.2}$  no feasible jury ({err})");
+            }
+            (_, Err(err)) => {
                 println!("{budget:>6.2}$  no feasible jury ({err})");
             }
         }

@@ -13,8 +13,8 @@
 //!
 //! Run with: `cargo run --release --example crossover_study`
 
-use jury_selection::prelude::*;
 use jury_selection::data::distributions::Truncation;
+use jury_selection::prelude::*;
 
 fn main() {
     // --- Profile of the motivating pool -------------------------------
@@ -32,8 +32,7 @@ fn main() {
         let rates = vec![eps; 15];
         let pool = jury_core::juror::pool_from_rates(&rates).expect("valid");
         let profile = AltrAlg::jer_profile(&pool);
-        let series: Vec<String> =
-            profile.iter().map(|(n, j)| format!("{n}:{j:.3}")).collect();
+        let series: Vec<String> = profile.iter().map(|(n, j)| format!("{n}:{j:.3}")).collect();
         println!("  ε = {eps}: {}", series.join("  "));
         // Below 0.5 JER falls with size; above 0.5 it rises.
         let first = profile.first().expect("non-empty").1;

@@ -2,8 +2,9 @@
 //!
 //! Seven micro-blog users A–G are candidate jurors for the question in
 //! Figure 1 ("Is Turkey in Europe or in Asia?"). We reproduce Table 2,
-//! solve JSP under both crowdsourcing models, and sanity-check the
-//! selected jury with a simulated voting.
+//! register the pool with the serving layer and solve one batch of mixed
+//! AltrM/PayM tasks, then sanity-check the selected jury with a
+//! simulated voting.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
@@ -39,19 +40,22 @@ fn main() {
         println!("  {label:>14}: JER = {:.6}", JerEngine::Auto.jer(&eps));
     }
 
-    // --- AltrM: altruistic jurors, any jury allowed ---
-    let altr = JurySelectionProblem::altruism(pool.clone())
-        .solve()
-        .expect("non-empty pool");
+    // --- Register the pool once; solve both models in one batch ---
+    let mut service = JuryService::new();
+    let pool_id = service.create_pool(pool.clone());
+    let tasks = [
+        DecisionTask::altruism(pool_id),           // AltrM: any jury allowed
+        DecisionTask::pay_as_you_go(pool_id, 1.0), // PayM: budget $1
+    ];
+    let mut results = service.solve_batch(&tasks).into_iter();
+    let altr = results.next().unwrap().expect("non-empty pool");
+    let paym = results.next().unwrap().expect("feasible jury");
+
     let names: Vec<&str> = altr.members.iter().map(|&i| users[i]).collect();
     println!("\nAltrM optimum: {{{}}} with JER {:.6}", names.join(","), altr.jer);
     assert_eq!(names, ["A", "B", "C", "D", "E"]);
 
-    // --- PayM: budget $1 — D+E together are too expensive ---
-    let paym = JurySelectionProblem::pay_as_you_go(pool.clone(), 1.0)
-        .expect("valid budget")
-        .solve()
-        .expect("feasible jury");
+    // Under budget $1, D+E together are too expensive.
     let names: Vec<&str> = paym.members.iter().map(|&i| users[i]).collect();
     println!(
         "PayM (B = $1): {{{}}} costing ${:.2} with JER {:.6}",

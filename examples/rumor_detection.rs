@@ -29,22 +29,12 @@ fn main() {
         seed: 7,
         ..Default::default()
     });
-    println!(
-        "generated {} tweets by {} users",
-        dataset.tweets.len(),
-        dataset.users.len()
-    );
+    println!("generated {} tweets by {} users", dataset.tweets.len(), dataset.users.len());
 
     // 2. Parameter estimation from the public timeline only.
     let candidates = estimate_candidates(
         &dataset.tweets,
-        |name| {
-            dataset
-                .users
-                .iter()
-                .find(|u| u.name == name)
-                .map(|u| u.account_age_days)
-        },
+        |name| dataset.users.iter().find(|u| u.name == name).map(|u| u.account_age_days),
         &PipelineConfig {
             ranking: RankingAlgorithm::Hits(Default::default()),
             normalization: NormalizationParams::default(),
@@ -56,11 +46,8 @@ fn main() {
     // 3. Jury selection over the *estimated* pool.
     let selection = AltrAlg::solve(&candidates.jurors, &AltrConfig::default())
         .expect("non-empty candidate pool");
-    let jury_names: Vec<&str> = selection
-        .members
-        .iter()
-        .map(|&i| candidates.usernames[i].as_str())
-        .collect();
+    let jury_names: Vec<&str> =
+        selection.members.iter().map(|&i| candidates.usernames[i].as_str()).collect();
     println!(
         "selected jury of {} (estimated JER {:.2e}): {}",
         selection.size(),
@@ -71,11 +58,7 @@ fn main() {
     // 4. The ground truth the estimator never saw: latent reliabilities.
     let latent_jury = jury_from_latent(&dataset, &jury_names);
     let mut rng = StdRng::seed_from_u64(99);
-    let report = run_tasks(
-        &latent_jury,
-        &TaskConfig { tasks: TASKS, prior_yes: 0.5 },
-        &mut rng,
-    );
+    let report = run_tasks(&latent_jury, &TaskConfig { tasks: TASKS, prior_yes: 0.5 }, &mut rng);
     println!(
         "\nrumor verdicts over {TASKS} tasks:\n  selected jury : {:.4} error rate \
          (weighted MV: {:.4})",
@@ -91,21 +74,12 @@ fn main() {
             let j = rng.gen_range(i..idx.len());
             idx.swap(i, j);
         }
-        idx[..selection.size()]
-            .iter()
-            .map(|&i| dataset.users[i].name.as_str())
-            .collect()
+        idx[..selection.size()].iter().map(|&i| dataset.users[i].name.as_str()).collect()
     };
     let random_jury = jury_from_latent(&dataset, &random_names);
-    let random_report = run_tasks(
-        &random_jury,
-        &TaskConfig { tasks: TASKS, prior_yes: 0.5 },
-        &mut rng,
-    );
-    println!(
-        "  random jury   : {:.4} error rate",
-        random_report.majority_error_rate()
-    );
+    let random_report =
+        run_tasks(&random_jury, &TaskConfig { tasks: TASKS, prior_yes: 0.5 }, &mut rng);
+    println!("  random jury   : {:.4} error rate", random_report.majority_error_rate());
 
     assert!(
         report.majority_error_rate() < random_report.majority_error_rate(),
@@ -120,9 +94,8 @@ fn jury_from_latent(dataset: &MicroblogDataset, names: &[&str]) -> Jury {
         .iter()
         .enumerate()
         .map(|(i, name)| {
-            let rate = dataset
-                .true_error_rate_of(name)
-                .expect("selected user exists in the dataset");
+            let rate =
+                dataset.true_error_rate_of(name).expect("selected user exists in the dataset");
             Juror::free(i as u32, ErrorRate::clamped(rate))
         })
         .collect();

@@ -12,10 +12,10 @@
 //!
 //! Run with: `cargo run --release --example twitter_pipeline`
 
-use jury_selection::prelude::*;
 use jury_microblog::parser::extract_retweet_chain;
 use jury_selection::graph::weakly_connected_components;
 use jury_selection::microblog::build_retweet_graph;
+use jury_selection::prelude::*;
 
 fn main() {
     // 1. Generate the corpus.
@@ -35,10 +35,8 @@ fn main() {
     );
 
     // 2. Show Algorithm 5's chain extraction on a real multi-hop tweet.
-    if let Some(chained) = dataset
-        .tweets
-        .iter()
-        .find(|t| extract_retweet_chain(&t.content).len() >= 2)
+    if let Some(chained) =
+        dataset.tweets.iter().find(|t| extract_retweet_chain(&t.content).len() >= 2)
     {
         let chain = extract_retweet_chain(&chained.content);
         println!(
@@ -68,9 +66,8 @@ fn main() {
     );
 
     // 4–6. Full pipeline under both rankers.
-    let age_of = |name: &str| {
-        dataset.users.iter().find(|u| u.name == name).map(|u| u.account_age_days)
-    };
+    let age_of =
+        |name: &str| dataset.users.iter().find(|u| u.name == name).map(|u| u.account_age_days);
     let top_k = 50;
     let ht = estimate_candidates(
         &dataset.tweets,
@@ -92,7 +89,10 @@ fn main() {
     );
 
     println!("\ntop-10 candidates (HITS vs PageRank):");
-    println!("{:>4}  {:>8} {:>10} {:>6}   {:>8} {:>10} {:>6}", "rank", "HT user", "ε", "r", "PR user", "ε", "r");
+    println!(
+        "{:>4}  {:>8} {:>10} {:>6}   {:>8} {:>10} {:>6}",
+        "rank", "HT user", "ε", "r", "PR user", "ε", "r"
+    );
     for i in 0..10 {
         println!(
             "{:>4}  {:>8} {:>10.2e} {:>6.2}   {:>8} {:>10.2e} {:>6.2}",

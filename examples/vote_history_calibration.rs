@@ -54,10 +54,7 @@ fn main() {
             history.push_task(&row);
         }
     }
-    println!(
-        "collected {} tasks of history from a panel of {PANEL}",
-        history.n_tasks()
-    );
+    println!("collected {} tasks of history from a panel of {PANEL}", history.n_tasks());
 
     // 2. EM calibration — no ground truth used.
     let fit = estimate_error_rates_em(&history, &EmConfig::default());
@@ -65,23 +62,15 @@ fn main() {
         "EM converged after {} iterations (log-likelihood {:.1})",
         fit.iterations, fit.log_likelihood
     );
-    let mae: f64 = fit
-        .error_rates
-        .iter()
-        .zip(&true_rates)
-        .map(|(est, &t)| (est.get() - t).abs())
-        .sum::<f64>()
-        / PANEL as f64;
+    let mae: f64 =
+        fit.error_rates.iter().zip(&true_rates).map(|(est, &t)| (est.get() - t).abs()).sum::<f64>()
+            / PANEL as f64;
     println!("mean absolute error of calibrated rates: {mae:.4}");
     assert!(mae < 0.05, "calibration should be tight");
 
     // 3. Three selection policies.
-    let calibrated_pool: Vec<Juror> = fit
-        .error_rates
-        .iter()
-        .enumerate()
-        .map(|(i, &e)| Juror::free(i as u32, e))
-        .collect();
+    let calibrated_pool: Vec<Juror> =
+        fit.error_rates.iter().enumerate().map(|(i, &e)| Juror::free(i as u32, e)).collect();
     let oracle_pool: Vec<Juror> = true_rates
         .iter()
         .enumerate()
@@ -95,11 +84,7 @@ fn main() {
         calibrated.size(),
         calibrated.jer
     );
-    println!(
-        "oracle selection    : {} jurors (true JER {:.5})",
-        oracle.size(),
-        oracle.jer
-    );
+    println!("oracle selection    : {} jurors (true JER {:.5})", oracle.size(), oracle.jer);
 
     // 4. Evaluate all juries under the *true* rates on fresh tasks.
     let jury_true = |members: &[usize]| -> Jury {
@@ -107,9 +92,7 @@ fn main() {
             members
                 .iter()
                 .enumerate()
-                .map(|(k, &i)| {
-                    Juror::free(k as u32, ErrorRate::new(true_rates[i]).expect("valid"))
-                })
+                .map(|(k, &i)| Juror::free(k as u32, ErrorRate::new(true_rates[i]).expect("valid")))
                 .collect(),
         )
         .expect("odd selection")

@@ -74,14 +74,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     while let Some(flag) = iter.next() {
         match flag.as_str() {
             "--input" => {
-                input = Some(
-                    iter.next().ok_or("--input needs a path")?.clone(),
-                );
+                input = Some(iter.next().ok_or("--input needs a path")?.clone());
             }
             "--budget" => {
                 let raw = iter.next().ok_or("--budget needs a value")?;
-                let b: f64 =
-                    raw.parse().map_err(|_| format!("bad budget {raw:?}"))?;
+                let b: f64 = raw.parse().map_err(|_| format!("bad budget {raw:?}"))?;
                 if !b.is_finite() || b < 0.0 {
                     return Err(format!("budget must be non-negative, got {b}"));
                 }
@@ -122,12 +119,11 @@ fn parse_pool(csv: &str) -> Result<(Vec<Juror>, Vec<String>), String> {
         let eps_raw: f64 = fields[1]
             .parse()
             .map_err(|_| format!("line {}: bad epsilon {:?}", lineno + 1, fields[1]))?;
-        let eps = ErrorRate::new(eps_raw)
-            .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let eps = ErrorRate::new(eps_raw).map_err(|e| format!("line {}: {e}", lineno + 1))?;
         let cost: f64 = match fields.get(2) {
-            Some(raw) => raw
-                .parse()
-                .map_err(|_| format!("line {}: bad cost {raw:?}", lineno + 1))?,
+            Some(raw) => {
+                raw.parse().map_err(|_| format!("line {}: bad cost {raw:?}", lineno + 1))?
+            }
             None => 0.0,
         };
         let juror = Juror::try_new(pool.len() as u32, eps, cost)
@@ -143,8 +139,7 @@ fn parse_pool(csv: &str) -> Result<(Vec<Juror>, Vec<String>), String> {
 
 fn render_selection(sel: &Selection, names: &[String], label: &str) -> String {
     let mut out = String::new();
-    let chosen: Vec<&str> =
-        sel.members.iter().map(|&i| names[i].as_str()).collect();
+    let chosen: Vec<&str> = sel.members.iter().map(|&i| names[i].as_str()).collect();
     out.push_str(&format!("solver      : {label}\n"));
     out.push_str(&format!("jury size   : {}\n", sel.size()));
     out.push_str(&format!("jury members: {}\n", chosen.join(", ")));
@@ -174,8 +169,7 @@ fn run(args: &[String]) -> Result<String, String> {
                     "AltrALG (fixed size)",
                 ),
                 (None, None, false) => (
-                    AltrAlg::solve(&pool, &AltrConfig::default())
-                        .map_err(|e| e.to_string())?,
+                    AltrAlg::solve(&pool, &AltrConfig::default()).map_err(|e| e.to_string())?,
                     "AltrALG (exact)",
                 ),
                 (None, None, true) => (
@@ -184,8 +178,7 @@ fn run(args: &[String]) -> Result<String, String> {
                     "exhaustive enumeration",
                 ),
                 (None, Some(b), false) => (
-                    PayAlg::solve(&pool, b, &PayConfig::default())
-                        .map_err(|e| e.to_string())?,
+                    PayAlg::solve(&pool, b, &PayConfig::default()).map_err(|e| e.to_string())?,
                     "PayALG (greedy heuristic)",
                 ),
                 (None, Some(b), true) => (
@@ -209,10 +202,9 @@ mod tests {
 
     #[test]
     fn parses_solve_flags() {
-        let opts = parse_args(&args(&[
-            "solve", "--input", "pool.csv", "--budget", "1.5", "--exact",
-        ]))
-        .unwrap();
+        let opts =
+            parse_args(&args(&["solve", "--input", "pool.csv", "--budget", "1.5", "--exact"]))
+                .unwrap();
         assert_eq!(opts.command, Command::Solve);
         assert_eq!(opts.input, "pool.csv");
         assert_eq!(opts.budget, Some(1.5));
@@ -227,9 +219,7 @@ mod tests {
         assert!(parse_args(&args(&["solve", "--input"])).is_err());
         assert!(parse_args(&args(&["solve", "--input", "x", "--budget", "nan-ish"])).is_err());
         assert!(parse_args(&args(&["solve", "--input", "x", "--budget", "-1"])).is_err());
-        assert!(
-            parse_args(&args(&["solve", "--input", "x", "--size", "3", "--exact"])).is_err()
-        );
+        assert!(parse_args(&args(&["solve", "--input", "x", "--size", "3", "--exact"])).is_err());
     }
 
     #[test]
@@ -266,16 +256,14 @@ mod tests {
         assert!(altr.contains("jury size   : 5"));
         assert!(altr.contains("A, B, C, D, E"));
 
-        let paym =
-            run(&args(&["solve", "--input", &path_str, "--budget", "1.0"])).unwrap();
+        let paym = run(&args(&["solve", "--input", &path_str, "--budget", "1.0"])).unwrap();
         assert!(paym.contains("PayALG"));
 
         let profile = run(&args(&["profile", "--input", &path_str])).unwrap();
         assert!(profile.starts_with("size,jer"));
         assert_eq!(profile.lines().count(), 5); // header + sizes 1,3,5,7
 
-        let fixed =
-            run(&args(&["solve", "--input", &path_str, "--size", "3"])).unwrap();
+        let fixed = run(&args(&["solve", "--input", &path_str, "--size", "3"])).unwrap();
         assert!(fixed.contains("jury size   : 3"));
 
         let _ = std::fs::remove_dir_all(&dir);

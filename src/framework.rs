@@ -25,14 +25,14 @@
 //! assert!(outcome.decision.as_bool());
 //! ```
 
-use jury_core::altr::{AltrAlg, AltrConfig};
 use jury_core::error::JuryError;
 use jury_core::jury::Jury;
-use jury_core::paym::{PayAlg, PayConfig};
+use jury_core::model::CrowdModel;
 use jury_core::voting::{majority_vote, weighted_majority_vote, Decision, Voting};
 use jury_estimate::em::{estimate_error_rates_em, EmConfig, VoteMatrix};
 use jury_estimate::pipeline::{estimate_candidates, EstimatedCandidates, PipelineConfig};
 use jury_microblog::synth::MicroblogDataset;
+use jury_service::{DecisionTask, JuryService, PoolId, ServiceError};
 
 /// How ballots are aggregated into a decision.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -72,16 +72,32 @@ pub struct Outcome {
 /// End-to-end decision-making system (paper Figure 2): candidate
 /// estimation → jury selection → vote aggregation, with optional
 /// EM-based recalibration from the accumulated vote history.
+///
+/// Selection runs through an embedded [`JuryService`] pool, so repeated
+/// reselection (after [`DecisionSystem::recalibrate`] updates the
+/// members' rates) reuses the service's cached orders and scratch
+/// buffers rather than re-running a standalone solver.
 #[derive(Debug, Clone)]
 pub struct DecisionSystem {
     candidates: EstimatedCandidates,
     config: SystemConfig,
+    service: JuryService,
+    pool: PoolId,
     jury_members: Vec<usize>,
     jury: Jury,
     jer: f64,
     /// Vote history over *jury member positions* (recalibration input).
     history: VoteMatrix,
     decisions: usize,
+}
+
+/// The embedded service's pool handle is service-internal, so registry
+/// errors other than solver failures indicate a framework bug.
+fn expect_solver(error: ServiceError) -> JuryError {
+    match error {
+        ServiceError::Solver(e) => e,
+        bug => unreachable!("framework-internal pool misuse: {bug}"),
+    }
 }
 
 impl DecisionSystem {
@@ -93,13 +109,7 @@ impl DecisionSystem {
     ) -> Result<Self, JuryError> {
         let candidates = estimate_candidates(
             &corpus.tweets,
-            |name| {
-                corpus
-                    .users
-                    .iter()
-                    .find(|u| u.name == name)
-                    .map(|u| u.account_age_days)
-            },
+            |name| corpus.users.iter().find(|u| u.name == name).map(|u| u.account_age_days),
             &config.pipeline,
         );
         Self::from_candidates(candidates, config)
@@ -110,24 +120,32 @@ impl DecisionSystem {
         candidates: EstimatedCandidates,
         config: &SystemConfig,
     ) -> Result<Self, JuryError> {
-        let selection = match config.budget {
-            None => AltrAlg::solve(&candidates.jurors, &AltrConfig::default())?,
-            Some(budget) => {
-                PayAlg::solve(&candidates.jurors, budget, &PayConfig::default())?
-            }
-        };
+        let mut service = JuryService::new();
+        let pool = service.create_pool(candidates.jurors.clone());
+        let selection = service
+            .solve(&DecisionTask { pool, model: Self::model_for(config) })
+            .map_err(expect_solver)?;
         let members = selection.members.clone();
         let jury = Jury::new(selection.jurors(&candidates.jurors).into_iter().copied().collect())?;
         let history = VoteMatrix::new(jury.size());
         Ok(Self {
             candidates,
             config: config.clone(),
+            service,
+            pool,
             jury_members: members,
             jury,
             jer: selection.jer,
             history,
             decisions: 0,
         })
+    }
+
+    fn model_for(config: &SystemConfig) -> CrowdModel {
+        match config.budget {
+            None => CrowdModel::Altruism,
+            Some(budget) => CrowdModel::PayAsYouGo { budget },
+        }
     }
 
     /// The currently selected jury.
@@ -137,10 +155,7 @@ impl DecisionSystem {
 
     /// Usernames of the current jury, in member order.
     pub fn jury_usernames(&self) -> Vec<&str> {
-        self.jury_members
-            .iter()
-            .map(|&i| self.candidates.usernames[i].as_str())
-            .collect()
+        self.jury_members.iter().map(|&i| self.candidates.usernames[i].as_str()).collect()
     }
 
     /// The jury's analytic JER under the current rate estimates.
@@ -206,6 +221,38 @@ impl DecisionSystem {
         self.jer = self.jury.jer(jury_core::jer::JerEngine::Auto);
         Ok(self.jer)
     }
+
+    /// Pushes the jury's current (possibly recalibrated) error rates back
+    /// into the candidate pool and re-runs selection through the embedded
+    /// service — jurors whose estimates drifted are voted off, better
+    /// candidates voted in. The vote history is reset because ballot
+    /// positions refer to jury membership, which may have changed.
+    /// Returns the new JER.
+    ///
+    /// # Errors
+    /// Propagates solver errors (e.g. the configured budget no longer
+    /// affords any juror after a cost update).
+    pub fn reselect(&mut self) -> Result<f64, JuryError> {
+        for (&position, juror) in self.jury_members.iter().zip(self.jury.members()) {
+            self.service.update_juror(self.pool, position, *juror).map_err(expect_solver)?;
+        }
+        let task = DecisionTask { pool: self.pool, model: Self::model_for(&self.config) };
+        let selection = self.service.solve(&task).map_err(expect_solver)?;
+        let pool = self.service.pool(self.pool).map_err(expect_solver)?;
+        self.jury = Jury::new(selection.jurors(pool).into_iter().copied().collect())?;
+        self.jury_members = selection.members;
+        self.jer = selection.jer;
+        self.history = VoteMatrix::new(self.jury.size());
+        Ok(self.jer)
+    }
+
+    /// Read access to the embedded serving layer (pool cache + scratch
+    /// reuse) for inspection — stats, pool contents. Mutation stays
+    /// internal: the system's jury state holds positions into its
+    /// service pool, which external edits would invalidate.
+    pub fn service(&self) -> &JuryService {
+        &self.service
+    }
 }
 
 #[cfg(test)]
@@ -261,10 +308,7 @@ mod tests {
     #[test]
     fn decide_checks_ballot_count() {
         let mut s = system();
-        assert!(matches!(
-            s.decide(&[true]),
-            Err(JuryError::VotingSizeMismatch { .. })
-        ));
+        assert!(matches!(s.decide(&[true]), Err(JuryError::VotingSizeMismatch { .. })));
     }
 
     #[test]
@@ -301,8 +345,7 @@ mod tests {
         let mut ballots = vec![false; jury.size()];
         ballots[0] = true;
         let top_weight = jury.members()[0].error_rate.log_odds();
-        let rest: f64 =
-            jury.members()[1..].iter().map(|j| j.error_rate.log_odds()).sum();
+        let rest: f64 = jury.members()[1..].iter().map(|j| j.error_rate.log_odds()).sum();
         let outcome = s.decide(&ballots).unwrap();
         assert_eq!(outcome.decision.as_bool(), top_weight > rest);
     }
@@ -327,17 +370,45 @@ mod tests {
         assert!(after.is_finite());
         assert!((s.jer() - after).abs() < 1e-15);
         // The dissenter's recalibrated rate reflects their behaviour.
-        let rates: Vec<f64> =
-            s.current_jury().members().iter().map(|j| j.epsilon()).collect();
+        let rates: Vec<f64> = s.current_jury().members().iter().map(|j| j.epsilon()).collect();
         let dissenter = rates[n - 1];
-        let consensus_max =
-            rates[..n - 1].iter().cloned().fold(0.0f64, f64::max);
+        let consensus_max = rates[..n - 1].iter().cloned().fold(0.0f64, f64::max);
         assert!(
             dissenter > consensus_max,
             "dissenter {dissenter} vs consensus max {consensus_max}"
         );
         // JER changed (estimation now reflects votes, not graph scores).
         assert!((after - before).abs() > 0.0);
+    }
+
+    #[test]
+    fn reselect_after_recalibration_tracks_updated_pool() {
+        let mut s = system();
+        let n = s.current_jury().size();
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..200 {
+            let mut ballots = vec![true; n];
+            if rng.gen_bool(0.45) {
+                ballots[n - 1] = false;
+            }
+            let _ = s.decide(&ballots).unwrap();
+        }
+        s.recalibrate().unwrap();
+        let jer = s.reselect().unwrap();
+        assert!(jer.is_finite());
+        assert!(s.current_jury().size() % 2 == 1);
+        // The reselected jury must equal a direct solve on the updated
+        // pool (the service guarantees equivalence).
+        let pool_id = s.pool;
+        let pool = s.service().pool(pool_id).unwrap().to_vec();
+        let direct =
+            jury_core::altr::AltrAlg::solve(&pool, &jury_core::altr::AltrConfig::default())
+                .unwrap();
+        assert_eq!(s.jury_members, direct.members);
+        assert!((s.jer() - direct.jer).abs() < 1e-15);
+        // History was reset to the new jury's size.
+        assert_eq!(s.decisions_made(), 200);
+        assert_eq!(s.history.n_tasks(), 0);
     }
 
     #[test]

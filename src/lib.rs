@@ -13,13 +13,36 @@
 //!
 //! | Crate | Contents |
 //! |---|---|
-//! | [`core`] | JER engines, AltrALG, PayALG, exact solvers, voting |
-//! | [`numeric`] | FFT, convolution, Poisson-Binomial, tail bounds |
+//! | [`core`] | JER engines, AltrALG, PayALG, exact solvers, the `Solver` trait, voting |
+//! | [`service`] | `JuryService`: pool registry, per-pool caches, batched parallel solving |
+//! | [`numeric`] | FFT, convolution, Poisson-Binomial, tail bounds, scratch workspaces |
 //! | [`graph`] | directed graph, HITS, PageRank |
 //! | [`microblog`] | tweets, `RT @` parsing, synthetic network generator |
 //! | [`estimate`] | scores → error rates, ages → requirements, pipeline |
 //! | [`sim`] | voting simulation, Monte-Carlo JER validation |
 //! | [`data`] | truncated normals, experiment workloads |
+//!
+//! ## Architecture: solvers behind one trait, serving on top
+//!
+//! Every JSP algorithm — [`core::altr::AltrAlg`] (exact under AltrM),
+//! [`core::paym::PayAlg`] (greedy under PayM) and
+//! [`core::exact::ExactPaym`] (exponential ground truth) — implements
+//! [`core::solver::Solver`]: a configured value whose
+//! `solve(&mut self, pool, &mut SolverScratch)` reuses caller-owned
+//! buffers. The numeric substrate mirrors this with workspace forms of
+//! its hot primitives (`PoiBin::assign_error_rates_dp`,
+//! `tail_probability_dp_with`, `convolve_into` + FFT plan caching), so a
+//! warm solve allocates nothing beyond the returned
+//! [`core::problem::Selection`].
+//!
+//! The [`service`] crate builds the serving seam on that interface:
+//! register juror pools once, mutate them in place, and stream batches
+//! of mixed AltrM/PayM tasks through
+//! [`service::JuryService::solve_batch`], which fans work across scoped
+//! worker threads with per-worker scratch and answers warm AltrM tasks
+//! straight from the per-pool cache. Cold, warm and batched results are
+//! bit-identical to direct solver calls; the `service_throughput` bench
+//! records the speedup in `BENCH_service.json`.
 //!
 //! ## Quickstart
 //!
@@ -54,18 +77,20 @@ pub use jury_estimate as estimate;
 pub use jury_graph as graph;
 pub use jury_microblog as microblog;
 pub use jury_numeric as numeric;
+pub use jury_service as service;
 pub use jury_sim as sim;
+pub use serde;
 
 /// One-stop import for applications.
 pub mod prelude {
     pub use jury_core::prelude::*;
     pub use jury_data::pools::{paid_pool, rate_pool, PoolConfig};
     pub use jury_estimate::{
-        estimate_candidates, estimate_error_rates_em, EmConfig, EmEstimate,
-        EstimatedCandidates, NormalizationParams, PipelineConfig, RankingAlgorithm,
-        VoteMatrix,
+        estimate_candidates, estimate_error_rates_em, EmConfig, EmEstimate, EstimatedCandidates,
+        NormalizationParams, PipelineConfig, RankingAlgorithm, VoteMatrix,
     };
     pub use jury_microblog::{MicroblogDataset, SynthConfig, Tweet};
+    pub use jury_service::{DecisionTask, JuryService, PoolId, ServiceConfig, ServiceError};
     pub use jury_sim::{estimate_jer, run_tasks, simulate_voting, TaskConfig};
 }
 

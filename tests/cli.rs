@@ -36,11 +36,7 @@ fn solve_altruism_selects_the_paper_jury() {
 #[test]
 fn solve_with_budget_respects_it() {
     let path = pool_file("paym.csv", FIGURE1);
-    let out = jury()
-        .args(["solve", "--budget", "1.0", "--input"])
-        .arg(&path)
-        .output()
-        .unwrap();
+    let out = jury().args(["solve", "--budget", "1.0", "--input"]).arg(&path).output().unwrap();
     assert!(out.status.success());
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(stdout.contains("PayALG"), "{stdout}");
@@ -51,11 +47,7 @@ fn solve_with_budget_respects_it() {
 #[test]
 fn exact_budgeted_solve_matches_greedy_or_better() {
     let path = pool_file("exact.csv", FIGURE1);
-    let greedy = jury()
-        .args(["solve", "--budget", "1.0", "--input"])
-        .arg(&path)
-        .output()
-        .unwrap();
+    let greedy = jury().args(["solve", "--budget", "1.0", "--input"]).arg(&path).output().unwrap();
     let exact = jury()
         .args(["solve", "--budget", "1.0", "--exact", "--input"])
         .arg(&path)
@@ -96,10 +88,7 @@ fn bad_usage_fails_with_help() {
 
 #[test]
 fn unreadable_input_fails_cleanly() {
-    let out = jury()
-        .args(["solve", "--input", "/nonexistent/pool.csv"])
-        .output()
-        .unwrap();
+    let out = jury().args(["solve", "--input", "/nonexistent/pool.csv"]).output().unwrap();
     assert!(!out.status.success());
     let stderr = String::from_utf8(out.stderr).unwrap();
     assert!(stderr.contains("cannot read"), "{stderr}");

@@ -20,13 +20,7 @@ fn corpus(seed: u64) -> MicroblogDataset {
 fn estimate(dataset: &MicroblogDataset, ranking: RankingAlgorithm) -> EstimatedCandidates {
     estimate_candidates(
         &dataset.tweets,
-        |name| {
-            dataset
-                .users
-                .iter()
-                .find(|u| u.name == name)
-                .map(|u| u.account_age_days)
-        },
+        |name| dataset.users.iter().find(|u| u.name == name).map(|u| u.account_age_days),
         &PipelineConfig { ranking, top_k: Some(60), ..Default::default() },
     )
 }
@@ -50,11 +44,8 @@ fn estimated_selection_outperforms_worst_candidates_in_simulation() {
     let selection = AltrAlg::solve(&cands.jurors, &AltrConfig::default()).unwrap();
 
     // Rebuild the selected jury with *latent* error rates.
-    let latent_of = |idx: usize| {
-        dataset
-            .true_error_rate_of(&cands.usernames[idx])
-            .expect("candidate exists")
-    };
+    let latent_of =
+        |idx: usize| dataset.true_error_rate_of(&cands.usernames[idx]).expect("candidate exists");
     let selected: Vec<Juror> = selection
         .members
         .iter()
@@ -110,8 +101,8 @@ fn analytic_jer_matches_simulation_through_the_whole_stack() {
     // Use the estimated rates as the ground-truth behaviour: the
     // analytic JER of the selection must match the simulated frequency.
     let selection = AltrAlg::solve(&cands.jurors[..21], &AltrConfig::default()).unwrap();
-    let jury = Jury::new(selection.jurors(&cands.jurors[..21]).into_iter().copied().collect())
-        .unwrap();
+    let jury =
+        Jury::new(selection.jurors(&cands.jurors[..21]).into_iter().copied().collect()).unwrap();
     let mut rng = StdRng::seed_from_u64(123);
     let est = estimate_jer(&jury, 50_000, &mut rng);
     assert!(
@@ -131,10 +122,7 @@ fn altruism_and_paym_agree_when_money_is_free() {
     let rates = vec![0.2; 15];
     let pool = jury_core::juror::pool_from_rates(&rates).unwrap();
     let altr = JurySelectionProblem::altruism(pool.clone()).solve().unwrap();
-    let paym = JurySelectionProblem::pay_as_you_go(pool, 0.0)
-        .unwrap()
-        .solve()
-        .unwrap();
+    let paym = JurySelectionProblem::pay_as_you_go(pool, 0.0).unwrap().solve().unwrap();
     assert!((altr.jer - paym.jer).abs() < 1e-12);
     assert_eq!(altr.size(), paym.size());
 }

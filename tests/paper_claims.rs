@@ -101,10 +101,8 @@ fn lemma3_sorted_prefix_is_optimal_per_size() {
             if mask.count_ones() as usize != n {
                 continue;
             }
-            let eps: Vec<f64> = (0..rates.len())
-                .filter(|&i| mask >> i & 1 == 1)
-                .map(|i| rates[i])
-                .collect();
+            let eps: Vec<f64> =
+                (0..rates.len()).filter(|&i| mask >> i & 1 == 1).map(|i| rates[i]).collect();
             assert!(
                 prefix_jer <= jer(&eps) + 1e-12,
                 "size {n}: prefix {prefix_jer} beaten by {eps:?}"
@@ -123,13 +121,9 @@ fn altralg_solves_the_motivating_instance() {
 
 #[test]
 fn payalg_respects_the_motivating_budget() {
-    let pairs: Vec<(f64, f64)> =
-        RATES.iter().zip(&COSTS).map(|(&e, &c)| (e, c)).collect();
+    let pairs: Vec<(f64, f64)> = RATES.iter().zip(&COSTS).map(|(&e, &c)| (e, c)).collect();
     let pool = jury_core::juror::pool_from_rates_and_costs(&pairs).unwrap();
-    let sel = JurySelectionProblem::pay_as_you_go(pool.clone(), 1.0)
-        .unwrap()
-        .solve()
-        .unwrap();
+    let sel = JurySelectionProblem::pay_as_you_go(pool.clone(), 1.0).unwrap().solve().unwrap();
     assert!(sel.total_cost <= 1.0 + 1e-12);
     // D and E cannot both be in (they alone exceed the budget).
     assert!(!(sel.members.contains(&3) && sel.members.contains(&4)));
