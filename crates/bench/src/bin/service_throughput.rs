@@ -7,11 +7,14 @@
 //! did before the service existed).
 //!
 //! Prints the table and writes `BENCH_service.json` into the current
-//! directory so successive PRs can diff the trajectory. Run from the
+//! directory so successive PRs can diff the trajectory (run
+//! `sharded_throughput` afterwards — it appends its section to the same
+//! file). `--smoke` runs a seconds-long version on tiny pools and writes
+//! nothing — CI uses it to keep this binary from rotting. Run from the
 //! repo root:
 //!
 //! ```console
-//! $ cargo run --release -p jury-bench --bin service_throughput
+//! $ cargo run --release -p jury-bench --bin service_throughput [-- --smoke]
 //! ```
 
 use jury_bench::report::{fmt_f, Report};
@@ -89,6 +92,10 @@ fn naive_throughput(jurors: &[Juror], batch: usize) -> f64 {
 }
 
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let pool_sizes: Vec<usize> = if smoke { vec![64, 256] } else { POOL_SIZES.to_vec() };
+    let batch_sizes: Vec<usize> = if smoke { vec![1, 16] } else { BATCH_SIZES.to_vec() };
+
     let mut report = Report::new(
         "service_throughput",
         "JuryService warm-batch throughput vs naive per-task solve",
@@ -96,9 +103,9 @@ fn main() {
     );
     let mut rows: Vec<Value> = Vec::new();
 
-    for &n in &POOL_SIZES {
+    for &n in &pool_sizes {
         let jurors = pool(n);
-        for &batch in &BATCH_SIZES {
+        for &batch in &batch_sizes {
             let service = service_throughput(&jurors, batch);
             let naive = naive_throughput(&jurors, batch);
             let speedup = service / naive;
@@ -121,11 +128,16 @@ fn main() {
 
     report.emit();
 
+    if smoke {
+        println!("[smoke] service_throughput ok ({} measurements)", rows.len());
+        return;
+    }
+
     let doc = Value::object([
         ("bench", "service_throughput".to_value()),
         ("workload", "2/3 AltrM + 1/3 PayM (cycling budgets), warm cache".to_value()),
-        ("pool_sizes", Value::Array(POOL_SIZES.iter().map(|n| n.to_value()).collect())),
-        ("batch_sizes", Value::Array(BATCH_SIZES.iter().map(|n| n.to_value()).collect())),
+        ("pool_sizes", Value::Array(pool_sizes.iter().map(|n| n.to_value()).collect())),
+        ("batch_sizes", Value::Array(batch_sizes.iter().map(|n| n.to_value()).collect())),
         ("results", Value::Array(rows)),
     ]);
     let path = "BENCH_service.json";

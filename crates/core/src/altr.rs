@@ -120,17 +120,52 @@ impl AltrAlg {
             return Err(JuryError::EmptyPool);
         }
         sorted_order_into(pool, &mut scratch.order);
-        scratch.eps.clear();
-        scratch.eps.extend(scratch.order.iter().map(|&i| pool[i].epsilon()));
+        let SolverScratch { order, eps, pmf, jer, .. } = scratch;
+        self.scan_sorted(pool, order, eps, pmf, jer)
+    }
+
+    /// Runs the prefix scan over a precomputed ε-ascending visit order
+    /// (which must be exactly what
+    /// [`sorted_order_into`] produces for `pool` — e.g. a K-way merge of
+    /// per-shard sorted orders, which yields the identical permutation
+    /// because the order is total). Skipping the sort is the serving
+    /// layer's sharded fast path; results are bit-identical to
+    /// [`AltrAlg::solve`], stats included.
+    pub fn solve_presorted(
+        &self,
+        pool: &[Juror],
+        order: &[usize],
+        scratch: &mut SolverScratch,
+    ) -> Result<Selection, JuryError> {
+        if pool.is_empty() {
+            return Err(JuryError::EmptyPool);
+        }
+        debug_assert_eq!(order.len(), pool.len(), "order must cover the pool");
+        let SolverScratch { eps, pmf, jer, .. } = scratch;
+        self.scan_sorted(pool, order, eps, pmf, jer)
+    }
+
+    /// Algorithm 3 over an ε-sorted visit order: fills `eps` from the
+    /// order, scans odd prefixes with the configured strategy and builds
+    /// the [`Selection`]. Shared by the sorting and presorted entry
+    /// points so both perform the identical float operations.
+    fn scan_sorted(
+        &self,
+        pool: &[Juror],
+        order: &[usize],
+        eps: &mut Vec<f64>,
+        pmf: &mut PoiBin,
+        jer_scratch: &mut JerScratch,
+    ) -> Result<Selection, JuryError> {
+        eps.clear();
+        eps.extend(order.iter().map(|&i| pool[i].epsilon()));
 
         let (best_n, best_jer, stats) = match self.config.strategy {
-            AltrStrategy::PaperRecompute => {
-                scan_recompute(&scratch.eps, &self.config, &mut scratch.jer)
-            }
-            AltrStrategy::Incremental => scan_incremental(&scratch.eps, &mut scratch.pmf),
+            AltrStrategy::PaperRecompute => scan_recompute(eps, &self.config, jer_scratch),
+            AltrStrategy::Incremental => scan_incremental(eps, pmf),
         };
 
-        let mut members: Vec<usize> = scratch.order[..best_n].to_vec();
+        let mut members: Vec<usize> = order[..best_n].to_vec();
         members.sort_unstable();
         let total_cost = members.iter().map(|&i| pool[i].cost).sum();
         Ok(Selection { members, jer: best_jer, total_cost, stats })
@@ -453,6 +488,31 @@ mod tests {
             assert!((sel.jer - jer).abs() < 1e-12, "n={n}");
             assert_eq!(sel.size(), n);
         }
+    }
+
+    #[test]
+    fn presorted_solve_is_bit_identical_for_every_strategy() {
+        use crate::juror::pool_from_rates_and_costs;
+        use crate::solver::{sorted_order_into, SolverScratch};
+        let quotes: Vec<(f64, f64)> = (0..37)
+            .map(|i| (0.03 + ((i * 29) % 90) as f64 / 100.0, (i % 5) as f64 / 4.0))
+            .collect();
+        let pool = pool_from_rates_and_costs(&quotes).unwrap();
+        let mut order = Vec::new();
+        sorted_order_into(&pool, &mut order);
+        let mut scratch = SolverScratch::new();
+        for config in configs() {
+            let alg = AltrAlg::new(config);
+            let direct = alg.solve_with(&pool, &mut SolverScratch::new()).unwrap();
+            let presorted = alg.solve_presorted(&pool, &order, &mut scratch).unwrap();
+            assert_eq!(presorted, direct, "{config:?}");
+            assert_eq!(presorted.jer.to_bits(), direct.jer.to_bits(), "{config:?}");
+            assert_eq!(presorted.total_cost.to_bits(), direct.total_cost.to_bits(), "{config:?}");
+        }
+        assert_eq!(
+            AltrAlg::default().solve_presorted(&[], &[], &mut scratch),
+            Err(JuryError::EmptyPool)
+        );
     }
 
     #[test]

@@ -1,0 +1,206 @@
+//! K-way merging of per-shard sorted orders.
+//!
+//! The serving layer's sharded pools (`jury-service`) keep one ε-sorted
+//! order and one greedy order *per shard*; the global orders the solvers
+//! consume are rebuilt by merging those sorted runs. Merging is where the
+//! sharded architecture's bit-identity guarantee comes from: both
+//! [`sorted_order_into`](crate::solver::sorted_order_into) and
+//! [`PayAlg::greedy_order_into`](crate::paym::PayAlg::greedy_order_into)
+//! sort under **total** orders whose final tie-break is the pool index, so
+//! every comparison between two distinct indices is strictly ordered. A
+//! sequence sorted under such an order is *unique* — any algorithm that
+//! produces a sorted permutation (one global sort, or a K-way merge of
+//! per-shard sorted runs) produces the **same** permutation. No floating
+//! point is re-evaluated by the merge, only compared, so downstream scans
+//! see bit-identical inputs.
+//!
+//! The merge runs in `O(N log K)` comparisons over a K-entry binary
+//! heap of run heads — each element is written exactly once into the
+//! output, with no intermediate buffers. Rebuilding a mutated pool's
+//! global order costs one shard re-sort (`O((N/K) log(N/K))`) plus this
+//! merge, instead of a full `O(N log N)` sort over jurors the mutation
+//! never touched.
+
+use std::cmp::Ordering;
+
+/// Merges `K` individually-sorted index runs into one sorted sequence,
+/// written into `out` (cleared first).
+///
+/// `cmp` must be a **total, strict** order over the indices appearing in
+/// `runs`: for any two distinct indices it returns `Less` or `Greater`,
+/// never `Equal` (use the pool index as the final tie-break, as
+/// [`sorted_order_into`](crate::solver::sorted_order_into) does). Under
+/// that precondition the output equals what a single global sort under
+/// `cmp` would produce, permutation-for-permutation.
+///
+/// Runs may be empty; an empty `runs` slice yields an empty output.
+pub fn kway_merge_by<F>(runs: &[&[usize]], mut cmp: F, out: &mut Vec<usize>)
+where
+    F: FnMut(usize, usize) -> Ordering,
+{
+    out.clear();
+    let total: usize = runs.iter().map(|r| r.len()).sum();
+    out.reserve(total);
+    match runs.len() {
+        0 => {}
+        1 => out.extend_from_slice(runs[0]),
+        2 => merge_two(runs[0], runs[1], &mut cmp, out),
+        _ => merge_heap(runs, &mut cmp, out),
+    }
+}
+
+/// Two-way merge of sorted runs under a strict total order.
+fn merge_two<F>(a: &[usize], b: &[usize], cmp: &mut F, out: &mut Vec<usize>)
+where
+    F: FnMut(usize, usize) -> Ordering,
+{
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if cmp(a[i], b[j]) == Ordering::Less {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+}
+
+/// K-way merge via a binary min-heap of run ids keyed by their current
+/// heads: `O(K)` auxiliary state, `O(log K)` comparisons per element,
+/// each element written straight into `out`. The strict total order
+/// guarantees distinct heads, so no tie-break is needed.
+fn merge_heap<F>(runs: &[&[usize]], cmp: &mut F, out: &mut Vec<usize>)
+where
+    F: FnMut(usize, usize) -> Ordering,
+{
+    let mut pos = vec![0usize; runs.len()];
+    let mut heap: Vec<usize> = (0..runs.len()).filter(|&r| !runs[r].is_empty()).collect();
+
+    fn sift_down<F>(heap: &mut [usize], runs: &[&[usize]], pos: &[usize], cmp: &mut F, mut i: usize)
+    where
+        F: FnMut(usize, usize) -> Ordering,
+    {
+        let head = |r: usize| runs[r][pos[r]];
+        loop {
+            let mut smallest = i;
+            for child in [2 * i + 1, 2 * i + 2] {
+                if child < heap.len()
+                    && cmp(head(heap[child]), head(heap[smallest])) == Ordering::Less
+                {
+                    smallest = child;
+                }
+            }
+            if smallest == i {
+                return;
+            }
+            heap.swap(i, smallest);
+            i = smallest;
+        }
+    }
+
+    for i in (0..heap.len() / 2).rev() {
+        sift_down(&mut heap, runs, &pos, cmp, i);
+    }
+    while let Some(&run) = heap.first() {
+        out.push(runs[run][pos[run]]);
+        pos[run] += 1;
+        if pos[run] == runs[run].len() {
+            let last = heap.len() - 1;
+            heap.swap(0, last);
+            heap.pop();
+        }
+        sift_down(&mut heap, runs, &pos, cmp, 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::juror::pool_from_rates_and_costs;
+    use crate::paym::PayAlg;
+    use crate::solver::{eps_cmp, sorted_order_into};
+
+    /// Deterministic xorshift pools with duplicate rates (tie-breaks
+    /// matter) and varied costs.
+    fn pool(n: usize, seed: u64) -> Vec<crate::juror::Juror> {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let quotes: Vec<(f64, f64)> = (0..n)
+            .map(|_| {
+                // Quantised rates so equal keys occur often.
+                let e = 0.05 + (next() * 8.0).floor() / 10.0;
+                let c = (next() * 4.0).floor() / 4.0;
+                (e, c)
+            })
+            .collect();
+        pool_from_rates_and_costs(&quotes).unwrap()
+    }
+
+    /// Round-robin partition into `k` runs, each sorted by `cmp`.
+    fn partitioned_runs<F>(n: usize, k: usize, mut cmp: F) -> Vec<Vec<usize>>
+    where
+        F: FnMut(usize, usize) -> Ordering,
+    {
+        let mut runs: Vec<Vec<usize>> = vec![Vec::new(); k];
+        for i in 0..n {
+            runs[i % k].push(i);
+        }
+        for run in &mut runs {
+            run.sort_by(|&a, &b| cmp(a, b));
+        }
+        runs
+    }
+
+    #[test]
+    fn merge_of_eps_runs_equals_global_sort() {
+        for &n in &[0usize, 1, 2, 7, 33, 100] {
+            for &k in &[1usize, 2, 3, 7, 16] {
+                let jurors = pool(n, 0x9e3779b97f4a7c15 ^ (n as u64) << 8 ^ k as u64);
+                let runs = partitioned_runs(n, k, |a, b| eps_cmp(&jurors, a, b));
+                let run_refs: Vec<&[usize]> = runs.iter().map(Vec::as_slice).collect();
+                let mut merged = Vec::new();
+                kway_merge_by(&run_refs, |a, b| eps_cmp(&jurors, a, b), &mut merged);
+                let mut global = Vec::new();
+                sorted_order_into(&jurors, &mut global);
+                assert_eq!(merged, global, "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_of_greedy_runs_equals_global_sort() {
+        for &n in &[1usize, 5, 29, 64] {
+            for &k in &[2usize, 5, 16] {
+                let jurors = pool(n, 0xdeadbeefcafe ^ (n * 131 + k) as u64);
+                let runs = partitioned_runs(n, k, |a, b| PayAlg::greedy_cmp(&jurors, a, b));
+                let run_refs: Vec<&[usize]> = runs.iter().map(Vec::as_slice).collect();
+                let mut merged = Vec::new();
+                kway_merge_by(&run_refs, |a, b| PayAlg::greedy_cmp(&jurors, a, b), &mut merged);
+                let mut global = Vec::new();
+                PayAlg::greedy_order_into(&jurors, &mut global);
+                assert_eq!(merged, global, "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_skewed_runs() {
+        let mut out = vec![7usize; 4];
+        kway_merge_by(&[], |a, b| a.cmp(&b), &mut out);
+        assert!(out.is_empty());
+        // One run empty, one holding everything.
+        kway_merge_by(&[&[], &[0, 1, 2], &[]], |a, b| a.cmp(&b), &mut out);
+        assert_eq!(out, vec![0, 1, 2]);
+        // Output buffer is reused, not appended to.
+        kway_merge_by(&[&[3], &[1], &[2], &[0]], |a, b| a.cmp(&b), &mut out);
+        assert_eq!(out, vec![0, 1, 2, 3]);
+    }
+}

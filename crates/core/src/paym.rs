@@ -72,6 +72,21 @@ impl PayAlg {
         Self { budget, config: *config }.solve_with(pool, &mut SolverScratch::new())
     }
 
+    /// The greedy visit order of Algorithm 4 line 1 as a total order over
+    /// pool positions: ascending `ε_i·r_i`, ties broken by cost, then ε,
+    /// then position. Strict for distinct positions, so per-shard sorted
+    /// runs K-way-merge into exactly the global order (see
+    /// [`crate::merge`]).
+    #[inline]
+    pub fn greedy_cmp(pool: &[Juror], a: usize, b: usize) -> std::cmp::Ordering {
+        pool[a]
+            .greedy_key()
+            .total_cmp(&pool[b].greedy_key())
+            .then(pool[a].cost.total_cmp(&pool[b].cost))
+            .then(pool[a].epsilon().total_cmp(&pool[b].epsilon()))
+            .then(a.cmp(&b))
+    }
+
     /// Writes the greedy visit order of Algorithm 4 line 1 into `order`:
     /// ascending `ε_i·r_i` (ties: cheaper, then more reliable, then lower
     /// index — deterministic). The order depends only on the pool, not
@@ -80,14 +95,7 @@ impl PayAlg {
     pub fn greedy_order_into(pool: &[Juror], order: &mut Vec<usize>) {
         order.clear();
         order.extend(0..pool.len());
-        order.sort_by(|&a, &b| {
-            pool[a]
-                .greedy_key()
-                .total_cmp(&pool[b].greedy_key())
-                .then(pool[a].cost.total_cmp(&pool[b].cost))
-                .then(pool[a].epsilon().total_cmp(&pool[b].epsilon()))
-                .then(a.cmp(&b))
-        });
+        order.sort_by(|&a, &b| Self::greedy_cmp(pool, a, b));
     }
 
     /// The scratch-threaded form of [`PayAlg::solve`]: bit-identical

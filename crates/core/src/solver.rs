@@ -100,6 +100,15 @@ pub trait Solver {
     ) -> Result<Selection, JuryError>;
 }
 
+/// The ε-ascending total order over pool positions: `ε` by `total_cmp`,
+/// ties by position. Strict for distinct positions, which is what makes a
+/// K-way merge of per-shard sorted runs reproduce the global sort
+/// permutation-for-permutation (see [`crate::merge`]).
+#[inline]
+pub fn eps_cmp(pool: &[Juror], a: usize, b: usize) -> std::cmp::Ordering {
+    pool[a].epsilon().total_cmp(&pool[b].epsilon()).then(a.cmp(&b))
+}
+
 /// Pool indices sorted ascending by ε (ties by index for determinism),
 /// written into `order` — the shared first step of AltrALG and the
 /// fixed-size selector; public so serving layers can cache the order per
@@ -107,7 +116,7 @@ pub trait Solver {
 pub fn sorted_order_into(pool: &[Juror], order: &mut Vec<usize>) {
     order.clear();
     order.extend(0..pool.len());
-    order.sort_by(|&a, &b| pool[a].epsilon().total_cmp(&pool[b].epsilon()).then(a.cmp(&b)));
+    order.sort_by(|&a, &b| eps_cmp(pool, a, b));
 }
 
 #[cfg(test)]

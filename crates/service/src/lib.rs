@@ -11,18 +11,56 @@
 //!   [`PoolId`]; jurors can be inserted, updated and removed in place.
 //! * **per-pool cache** — the ε-sorted order, the incremental prefix-pmf
 //!   JER profile, the solved AltrM selection and PayALG's greedy visit
-//!   order are computed once per pool *generation* and invalidated by any
-//!   mutation. A warm AltrM task is a cache lookup; a warm PayM task
-//!   skips straight to the greedy scan on the cached order.
+//!   order are computed once per pool *generation*. A juror *update* on a
+//!   flat pool repairs both sorted orders in place (`O(n)`: one remove +
+//!   one insert per order) instead of re-sorting; inserts and removals
+//!   drop the flat cache. A warm AltrM task is a cache lookup; a warm
+//!   PayM task skips straight to the greedy scan on the cached order.
+//! * **pool sharding** — pools at or above
+//!   [`ShardConfig::threshold`] are partitioned into K shards, each with
+//!   its own ε-sorted order, greedy frontier and prefix Poisson-binomial
+//!   pmf ladder. A mutation invalidates **one shard** (1/K of the cached
+//!   state); the global orders are rebuilt by K-way merging the per-shard
+//!   sorted runs, and removals merely *renumber* the untouched shards.
 //! * **batched parallel solving** — [`JuryService::solve_batch`] fans a
 //!   slice of [`DecisionTask`]s across scoped worker threads, each with
 //!   its own persistent [`SolverScratch`], so a warm task performs no
 //!   solver-path heap allocation beyond its returned [`Selection`].
 //!
+//! # Sharding invariants
+//!
 //! Results are **bit-identical** to calling [`AltrAlg::solve`] /
-//! [`PayAlg::solve`] directly — cold cache, warm cache and batched paths
-//! all reduce to the same scratch-threaded solver internals (the
-//! equivalence property tests in `tests/equivalence.rs` assert this).
+//! [`PayAlg::solve`] directly — cold cache, warm cache, batched, flat
+//! and sharded paths all reduce to the same scratch-threaded solver
+//! internals (`tests/equivalence.rs` and `tests/sharded_differential.rs`
+//! assert this). For sharded pools the guarantee rests on two facts:
+//!
+//! 1. **Orders merge bit-identically.** Both solver visit orders are
+//!    *total* orders with the pool position as final tie-break
+//!    ([`jury_core::solver::eps_cmp`], [`PayAlg::greedy_cmp`]), so the
+//!    sorted permutation is unique: a K-way merge of per-shard sorted
+//!    runs ([`jury_core::merge`]) equals the flat pool's single sort,
+//!    permutation-for-permutation. The merge only *compares* floats;
+//!    every float *evaluation* (the AltrALG prefix scan, PayALG's pair
+//!    trials) then runs over the identical sequence via
+//!    [`AltrAlg::solve_presorted`] / [`PayAlg::solve_presorted`], hence
+//!    identical bits, [`SolverStats`](jury_core::SolverStats) included.
+//! 2. **Pmfs do not.** Convolving per-shard carelessness distributions
+//!    ([`jury_core`'s `PoiBin::merge_into`]) yields the same
+//!    distribution mathematically but a different float evaluation order
+//!    than the flat path's sequential pushes. Anything contractually
+//!    bit-identical therefore never flows through pmf merging; the
+//!    merged-pmf path powers only [`JuryService::jer_probe`], whose
+//!    contract is numerical equality within convolution rounding.
+//!
+//! Mutation cost is where sharding pays: a flat pool's post-mutation
+//! rebuild re-sorts and re-scans everything, while a sharded pool
+//! re-sorts one shard (`O((N/K) log (N/K))`), re-merges
+//! (`O(N log K)` comparisons) and re-solves lazily only what tasks
+//! actually demand. The [`ServiceStats`] repair counters
+//! (`cache_invalidations`, `order_repairs`, `shard_repairs`,
+//! `full_repairs`) make that behaviour observable; the
+//! `sharded_throughput` bench records it at pool sizes up to 10⁶.
 //!
 //! ```
 //! use jury_core::juror::pool_from_rates_and_costs;
@@ -46,14 +84,22 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod shard;
+
+pub use shard::ShardConfig;
+
 use jury_core::altr::{AltrAlg, AltrConfig};
 use jury_core::error::JuryError;
+use jury_core::jer::JerEngine;
 use jury_core::juror::Juror;
 use jury_core::model::CrowdModel;
 use jury_core::paym::{PayAlg, PayConfig};
 use jury_core::problem::Selection;
-use jury_core::solver::SolverScratch;
+use jury_core::solver::{eps_cmp, SolverScratch};
+use jury_numeric::poibin::PoiBin;
 use serde::{Deserialize, Error as SerdeError, Serialize, Value};
+use shard::ShardedPool;
+use std::cmp::Ordering;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -164,6 +210,8 @@ pub struct ServiceConfig {
     pub altr: AltrConfig,
     /// PayALG configuration used for PayM tasks.
     pub pay: PayConfig,
+    /// When pools are partitioned into shards (disabled by default).
+    pub shard: ShardConfig,
 }
 
 /// Monotone counters describing the service's work so far.
@@ -171,35 +219,73 @@ pub struct ServiceConfig {
 pub struct ServiceStats {
     /// Tasks solved (single or batched).
     pub tasks_solved: usize,
-    /// Tasks whose pool cache was already warm when the request
-    /// arrived (cold solves and unknown pools are not hits).
+    /// Tasks whose pool cache was already warm (orders present) when the
+    /// request arrived (cold solves and unknown pools are not hits; a
+    /// sharded pool's lazily-pending AltrM selection still counts as
+    /// warm — hits are order-level).
     pub cache_hits: usize,
-    /// Per-pool cache (re)builds.
+    /// Cache (re)builds: a flat pool's artefact build, or a sharded
+    /// pool's merged-order rebuild.
     pub cache_builds: usize,
     /// `solve_batch` invocations.
     pub batches: usize,
+    /// Mutations that invalidated (dropped or repaired) warm cached
+    /// state. Mutations on cold pools count nothing.
+    pub cache_invalidations: usize,
+    /// Flat-pool juror updates whose ε and greedy orders were repaired
+    /// in place (`O(n)` remove + insert) instead of being recomputed.
+    pub order_repairs: usize,
+    /// Shard-local repairs: per-shard cache rebuilds performed while
+    /// other shards stayed warm (each rebuilt shard counts once).
+    pub shard_repairs: usize,
+    /// Full repairs: cache builds that recomputed everything — a flat
+    /// pool's from-scratch build, or a sharded warm-up with every shard
+    /// cold (including each pool's first build).
+    pub full_repairs: usize,
 }
 
-/// Everything derived from one immutable snapshot of a pool, built once
-/// per generation and dropped on any mutation.
+/// A solved AltrM answer plus the JER profile — the pmf-derived half of
+/// a flat pool's cache, dropped by every mutation (the orders half can
+/// survive an update via the `O(n)` repair).
 #[derive(Debug, Clone)]
-struct PoolCache {
-    /// Pool indices ascending by ε — AltrALG's visit order.
-    eps_order: Vec<usize>,
+struct SolvedArtifacts {
     /// The incremental prefix-pmf JER profile: `(n, JER of the n best)`
     /// for every odd `n` (Figure 3(a)'s curve for this pool).
     profile: Vec<(usize, f64)>,
     /// The solved AltrM answer (or the error the solver reports for this
     /// pool, e.g. an empty one) — replayed verbatim on every AltrM task.
     altr: Result<Selection, JuryError>,
+}
+
+/// Everything derived from one immutable snapshot of a flat pool.
+#[derive(Debug, Clone)]
+struct PoolCache {
+    /// Pool indices ascending by ε — AltrALG's visit order.
+    eps_order: Vec<usize>,
+    /// ε values aligned with `eps_order`.
+    eps_sorted: Vec<f64>,
     /// PayALG's budget-independent greedy visit order.
     greedy_order: Vec<usize>,
+    /// The pmf-derived artefacts, rebuilt lazily after an order repair.
+    solved: Option<SolvedArtifacts>,
+}
+
+/// How a registered pool is served: flat (one sorted scan) or sharded.
+#[derive(Debug, Clone)]
+enum PoolState {
+    /// Below the shard threshold: one cache over the whole pool.
+    Flat {
+        /// The per-generation cache (`None` when cold).
+        cache: Option<PoolCache>,
+    },
+    /// At or above the shard threshold: K shards with per-shard caches.
+    Sharded(ShardedPool),
 }
 
 #[derive(Debug, Clone)]
 struct PoolEntry {
     jurors: Vec<Juror>,
-    cache: Option<PoolCache>,
+    state: PoolState,
 }
 
 /// The serving layer: pool registry + per-pool caches + batched parallel
@@ -245,15 +331,23 @@ impl JuryService {
     // ------------------------------------------------------------------
 
     /// Registers a pool and returns its handle. The pool may be empty
-    /// (tasks on it then fail exactly like the direct solvers do).
+    /// (tasks on it then fail exactly like the direct solvers do). Pools
+    /// at or above [`ShardConfig::threshold`] are sharded immediately.
     pub fn create_pool(&mut self, jurors: Vec<Juror>) -> PoolId {
         let id = self.next_pool;
         self.next_pool += 1;
-        self.pools.insert(id, PoolEntry { jurors, cache: None });
+        let state = if self.config.shard.applies(jurors.len()) {
+            PoolState::Sharded(ShardedPool::new(jurors.len(), self.config.shard.shards))
+        } else {
+            PoolState::Flat { cache: None }
+        };
+        self.pools.insert(id, PoolEntry { jurors, state });
         PoolId(id)
     }
 
-    /// Unregisters a pool, returning its jurors.
+    /// Unregisters a pool, returning its jurors. The id is never reused,
+    /// so stale handles keep failing with
+    /// [`ServiceError::UnknownPool`] instead of aliasing a later pool.
     pub fn remove_pool(&mut self, pool: PoolId) -> Result<Vec<Juror>, ServiceError> {
         self.pools.remove(&pool.0).map(|entry| entry.jurors).ok_or(ServiceError::UnknownPool(pool))
     }
@@ -267,23 +361,60 @@ impl JuryService {
             .ok_or(ServiceError::UnknownPool(pool))
     }
 
-    /// Appends a juror; returns its position. Invalidates the pool cache.
+    /// Whether `pool` is currently served sharded.
+    pub fn is_sharded(&self, pool: PoolId) -> Result<bool, ServiceError> {
+        self.pools
+            .get(&pool.0)
+            .map(|entry| matches!(entry.state, PoolState::Sharded(_)))
+            .ok_or(ServiceError::UnknownPool(pool))
+    }
+
+    /// The number of shards serving `pool` (`None` for flat pools).
+    pub fn shard_count(&self, pool: PoolId) -> Result<Option<usize>, ServiceError> {
+        self.pools
+            .get(&pool.0)
+            .map(|entry| match &entry.state {
+                PoolState::Flat { .. } => None,
+                PoolState::Sharded(sp) => Some(sp.shard_count()),
+            })
+            .ok_or(ServiceError::UnknownPool(pool))
+    }
+
+    /// Appends a juror; returns its position. Invalidates the flat cache
+    /// or the owning shard; a flat pool crossing
+    /// [`ShardConfig::threshold`] is promoted to sharded.
     pub fn insert_juror(&mut self, pool: PoolId, juror: Juror) -> Result<usize, ServiceError> {
-        let entry = self.entry_mut(pool)?;
+        let shard_config = self.config.shard;
+        let entry = self.pools.get_mut(&pool.0).ok_or(ServiceError::UnknownPool(pool))?;
         entry.jurors.push(juror);
-        entry.cache = None;
-        Ok(entry.jurors.len() - 1)
+        let pos = entry.jurors.len() - 1;
+        let (invalidated, promote) = match &mut entry.state {
+            PoolState::Flat { cache } => {
+                (cache.take().is_some(), shard_config.applies(entry.jurors.len()))
+            }
+            PoolState::Sharded(sp) => (sp.insert(entry.jurors.len()), false),
+        };
+        if promote {
+            entry.state =
+                PoolState::Sharded(ShardedPool::new(entry.jurors.len(), shard_config.shards));
+        }
+        if invalidated {
+            self.stats.cache_invalidations += 1;
+        }
+        Ok(pos)
     }
 
     /// Replaces the juror at `index` (e.g. a re-estimated error rate).
-    /// Invalidates the pool cache.
+    /// A warm flat pool's sorted orders are repaired in place (`O(n)`);
+    /// only the pmf-derived artefacts are recomputed. On a sharded pool
+    /// only the owning shard is invalidated.
     pub fn update_juror(
         &mut self,
         pool: PoolId,
         index: usize,
         juror: Juror,
     ) -> Result<(), ServiceError> {
-        let entry = self.entry_mut(pool)?;
+        let entry = self.pools.get_mut(&pool.0).ok_or(ServiceError::UnknownPool(pool))?;
         let len = entry.jurors.len();
         let slot = entry.jurors.get_mut(index).ok_or(ServiceError::JurorOutOfRange {
             pool,
@@ -291,64 +422,126 @@ impl JuryService {
             len,
         })?;
         *slot = juror;
-        entry.cache = None;
+        let mut invalidated = false;
+        let mut repaired = false;
+        match &mut entry.state {
+            PoolState::Flat { cache } => {
+                if let Some(c) = cache.as_mut() {
+                    repair_flat_orders(c, &entry.jurors, index);
+                    invalidated = true;
+                    repaired = true;
+                }
+            }
+            PoolState::Sharded(sp) => invalidated = sp.update(index),
+        }
+        if invalidated {
+            self.stats.cache_invalidations += 1;
+        }
+        if repaired {
+            self.stats.order_repairs += 1;
+        }
         Ok(())
     }
 
     /// Removes and returns the juror at `index`, preserving the order of
     /// the rest (so remaining positions shift down by one, exactly like
-    /// `Vec::remove`). Invalidates the pool cache.
+    /// `Vec::remove`). Invalidates the flat cache; on a sharded pool the
+    /// owning shard is invalidated and the rest are renumbered in place.
     pub fn remove_juror(&mut self, pool: PoolId, index: usize) -> Result<Juror, ServiceError> {
-        let entry = self.entry_mut(pool)?;
+        let entry = self.pools.get_mut(&pool.0).ok_or(ServiceError::UnknownPool(pool))?;
         let len = entry.jurors.len();
         if index >= len {
             return Err(ServiceError::JurorOutOfRange { pool, index, len });
         }
-        entry.cache = None;
+        let invalidated = match &mut entry.state {
+            PoolState::Flat { cache } => cache.take().is_some(),
+            PoolState::Sharded(sp) => sp.remove(index),
+        };
+        if invalidated {
+            self.stats.cache_invalidations += 1;
+        }
         Ok(entry.jurors.remove(index))
-    }
-
-    fn entry_mut(&mut self, pool: PoolId) -> Result<&mut PoolEntry, ServiceError> {
-        self.pools.get_mut(&pool.0).ok_or(ServiceError::UnknownPool(pool))
     }
 
     // ------------------------------------------------------------------
     // Cache
     // ------------------------------------------------------------------
 
-    /// Builds the per-pool cache if it is cold. Called automatically by
-    /// the solve paths; exposed so benches can separate cold from warm.
+    /// Builds whatever cached state is cold: a flat pool's full cache
+    /// (or just its pmf-derived half after an order repair), a sharded
+    /// pool's cold shards plus the merged orders. Called automatically
+    /// by the solve paths; exposed so benches can separate cold from
+    /// warm.
     pub fn warm_pool(&mut self, pool: PoolId) -> Result<(), ServiceError> {
         let altr_config = self.config.altr;
         // Borrow-split: the scratch is taken out while the entry is
         // borrowed mutably.
         let mut scratch = self.scratches.pop().unwrap_or_default();
-        let entry = match self.pools.get_mut(&pool.0) {
-            Some(e) => e,
-            None => {
-                self.scratches.push(scratch);
-                return Err(ServiceError::UnknownPool(pool));
+        let mut builds = 0usize;
+        let mut fulls = 0usize;
+        let mut shard_reps = 0usize;
+        let outcome = match self.pools.get_mut(&pool.0) {
+            None => Err(ServiceError::UnknownPool(pool)),
+            Some(PoolEntry { jurors, state }) => {
+                match state {
+                    PoolState::Flat { cache } => match cache {
+                        None => {
+                            *cache = Some(build_full_cache(jurors, &altr_config, &mut scratch));
+                            builds += 1;
+                            fulls += 1;
+                        }
+                        Some(c) if c.solved.is_none() => {
+                            c.solved = Some(build_solved(jurors, c, &altr_config, &mut scratch));
+                            builds += 1;
+                        }
+                        Some(_) => {}
+                    },
+                    PoolState::Sharded(sp) => {
+                        let warm = sp.warm(jurors);
+                        if warm.merged_rebuilt {
+                            builds += 1;
+                            if warm.shards_built == warm.shard_count {
+                                fulls += 1;
+                            } else {
+                                shard_reps += warm.shards_built;
+                            }
+                        }
+                    }
+                }
+                Ok(())
             }
         };
-        if entry.cache.is_none() {
-            entry.cache = Some(build_cache(&entry.jurors, &altr_config, &mut scratch));
-            self.stats.cache_builds += 1;
-        }
         self.scratches.push(scratch);
-        Ok(())
+        self.stats.cache_builds += builds;
+        self.stats.full_repairs += fulls;
+        self.stats.shard_repairs += shard_reps;
+        outcome
     }
 
-    /// Whether `pool`'s cache is currently warm.
+    /// Whether `pool`'s cache is currently warm (flat: all artefacts
+    /// present; sharded: merged orders present — the AltrM selection and
+    /// profile may still be lazily pending).
     pub fn is_warm(&self, pool: PoolId) -> bool {
-        self.pools.get(&pool.0).is_some_and(|entry| entry.cache.is_some())
+        self.pools.get(&pool.0).is_some_and(|entry| match &entry.state {
+            PoolState::Flat { cache } => cache.as_ref().is_some_and(|c| c.solved.is_some()),
+            PoolState::Sharded(sp) => sp.is_warm(),
+        })
     }
 
     /// The cached odd-size JER profile of `pool` (computed on demand):
     /// `(n, JER of the n lowest-ε jurors)` for `n = 1, 3, 5, …`.
+    /// Bit-identical between flat and sharded pools (both run the same
+    /// sequential pushes over the same ε-sorted order).
     pub fn jer_profile(&mut self, pool: PoolId) -> Result<&[(usize, f64)], ServiceError> {
         self.warm_pool(pool)?;
-        let entry = &self.pools[&pool.0];
-        Ok(&entry.cache.as_ref().expect("warmed above").profile)
+        let PoolEntry { jurors, state } = self.pools.get_mut(&pool.0).expect("warmed above");
+        match state {
+            PoolState::Flat { cache } => {
+                let cache = cache.as_ref().expect("warmed above");
+                Ok(&cache.solved.as_ref().expect("warmed above").profile)
+            }
+            PoolState::Sharded(sp) => Ok(sp.ensure_profile(jurors)),
+        }
     }
 
     /// The cached reliability order of `pool`: positions sorted ascending
@@ -357,7 +550,71 @@ impl JuryService {
     pub fn reliability_order(&mut self, pool: PoolId) -> Result<&[usize], ServiceError> {
         self.warm_pool(pool)?;
         let entry = &self.pools[&pool.0];
-        Ok(&entry.cache.as_ref().expect("warmed above").eps_order)
+        match &entry.state {
+            PoolState::Flat { cache } => Ok(&cache.as_ref().expect("warmed above").eps_order),
+            PoolState::Sharded(sp) => Ok(sp.merged_eps_order().expect("warmed above")),
+        }
+    }
+
+    /// JER of the best `n`-juror jury of `pool` (odd `n`, clamped to the
+    /// largest feasible odd size like
+    /// [`AltrAlg::solve_fixed_size`]) — a point query on the Figure 3(a)
+    /// curve without materialising the whole profile.
+    ///
+    /// Flat pools evaluate the prefix distribution directly; sharded
+    /// pools merge per-shard prefix pmfs (resumed from their checkpoint
+    /// ladders) by convolution. The two paths agree within convolution
+    /// rounding — this query is *numerically* stable but deliberately
+    /// outside the bit-identity contract (see the crate docs).
+    ///
+    /// Probing warms only what it reads: on a cold flat pool the sorted
+    /// orders are built (`O(N log N)`) *without* the `O(N²)` profile and
+    /// AltrM solve; a later [`JuryService::warm_pool`] reuses them.
+    ///
+    /// # Errors
+    /// [`ServiceError::UnknownPool`], or the solver errors an invalid
+    /// size produces ([`JuryError::EmptyPool`], [`JuryError::EmptyJury`],
+    /// [`JuryError::EvenJurySize`]).
+    pub fn jer_probe(&mut self, pool: PoolId, n: usize) -> Result<f64, ServiceError> {
+        self.warm_orders(pool)?;
+        let PoolEntry { jurors, state } = self.pools.get_mut(&pool.0).expect("warmed above");
+        if jurors.is_empty() {
+            return Err(ServiceError::Solver(JuryError::EmptyPool));
+        }
+        if n == 0 {
+            return Err(ServiceError::Solver(JuryError::EmptyJury));
+        }
+        if n.is_multiple_of(2) {
+            return Err(ServiceError::Solver(JuryError::EvenJurySize(n)));
+        }
+        let len = jurors.len();
+        let n = n.min(if len % 2 == 1 { len } else { len - 1 });
+        match state {
+            PoolState::Flat { cache } => {
+                let cache = cache.as_ref().expect("warmed above");
+                let pmf = PoiBin::from_error_rates(&cache.eps_sorted[..n]);
+                Ok(pmf.tail(JerEngine::majority_threshold(n)))
+            }
+            PoolState::Sharded(sp) => Ok(sp.jer_probe(n)),
+        }
+    }
+
+    /// Warms only the sorted orders: full [`JuryService::warm_pool`] for
+    /// sharded pools (their warm is already order-level — the AltrM
+    /// solve stays lazy), an orders-only build for cold flat pools so
+    /// order consumers like [`JuryService::jer_probe`] never pay for the
+    /// pmf-derived artefacts they do not read.
+    fn warm_orders(&mut self, pool: PoolId) -> Result<(), ServiceError> {
+        if self.is_sharded(pool)? {
+            return self.warm_pool(pool);
+        }
+        let entry = self.pools.get_mut(&pool.0).expect("checked above");
+        if let PoolState::Flat { cache } = &mut entry.state {
+            if cache.is_none() {
+                *cache = Some(build_orders_only(&entry.jurors));
+            }
+        }
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -367,10 +624,10 @@ impl JuryService {
     /// Solves one task, warming the pool cache if needed.
     ///
     /// Bit-identical to [`AltrAlg::solve`] / [`PayAlg::solve`] on the
-    /// pool's current jurors.
+    /// pool's current jurors, flat or sharded.
     pub fn solve(&mut self, task: &DecisionTask) -> Result<Selection, ServiceError> {
         let was_warm = self.is_warm(task.pool);
-        self.warm_pool(task.pool)?;
+        self.prepare(task)?;
         let mut scratch = self.scratches.pop().unwrap_or_default();
         let result = solve_on_entry(&self.pools[&task.pool.0], task, &self.config, &mut scratch);
         self.scratches.push(scratch);
@@ -384,10 +641,12 @@ impl JuryService {
     /// Solves a batch of tasks, preserving order.
     ///
     /// All referenced pools are warmed first (sequentially — warming
-    /// mutates the registry), then the tasks fan out over
-    /// `config.threads` scoped workers, each with a persistent
-    /// [`SolverScratch`]; on a warm cache a task's solver path performs
-    /// no heap allocation beyond the returned [`Selection`].
+    /// mutates the registry; sharded pools referenced by AltrM tasks also
+    /// get their lazy AltrM selection solved once here rather than per
+    /// worker), then the tasks fan out over `config.threads` scoped
+    /// workers, each with a persistent [`SolverScratch`]; on a warm cache
+    /// a task's solver path performs no heap allocation beyond the
+    /// returned [`Selection`].
     pub fn solve_batch(&mut self, tasks: &[DecisionTask]) -> Vec<Result<Selection, ServiceError>> {
         self.stats.batches += 1;
         self.stats.tasks_solved += tasks.len();
@@ -398,10 +657,15 @@ impl JuryService {
         // Warm every referenced pool once; unknown pools fail per-task
         // below so the batch result stays positional.
         let mut warmed: Vec<u64> = Vec::with_capacity(tasks.len().min(self.pools.len()));
+        let mut altr_prepared: Vec<u64> = Vec::new();
         for task in tasks {
             if !warmed.contains(&task.pool.0) {
                 warmed.push(task.pool.0);
                 let _ = self.warm_pool(task.pool);
+            }
+            if matches!(task.model, CrowdModel::Altruism) && !altr_prepared.contains(&task.pool.0) {
+                altr_prepared.push(task.pool.0);
+                let _ = self.prepare(task);
             }
         }
 
@@ -451,6 +715,24 @@ impl JuryService {
         out
     }
 
+    /// Warms the task's pool, including the lazy AltrM selection of a
+    /// sharded pool when the task needs it (workers then replay it
+    /// read-only instead of each re-running the scan).
+    fn prepare(&mut self, task: &DecisionTask) -> Result<(), ServiceError> {
+        self.warm_pool(task.pool)?;
+        if matches!(task.model, CrowdModel::Altruism) {
+            let altr_config = self.config.altr;
+            let mut scratch = self.scratches.pop().unwrap_or_default();
+            if let Some(PoolEntry { jurors, state: PoolState::Sharded(sp) }) =
+                self.pools.get_mut(&task.pool.0)
+            {
+                sp.ensure_altr(jurors, &altr_config, &mut scratch);
+            }
+            self.scratches.push(scratch);
+        }
+        Ok(())
+    }
+
     /// Single-task solve assuming `warm_pool` already ran for its pool.
     fn solve_prewarmed(
         &self,
@@ -471,20 +753,81 @@ impl JuryService {
     }
 }
 
-/// Builds every cached artefact for one pool snapshot.
-fn build_cache(jurors: &[Juror], altr: &AltrConfig, scratch: &mut SolverScratch) -> PoolCache {
+/// Builds every cached artefact for one flat-pool snapshot.
+fn build_full_cache(jurors: &[Juror], altr: &AltrConfig, scratch: &mut SolverScratch) -> PoolCache {
     let altr_result = AltrAlg::new(*altr).solve_with(jurors, scratch);
     // The solve already sorted the pool by ε into the scratch; snapshot
     // its order and derive the profile from the sorted rates instead of
     // sorting (and scanning) the pool again.
-    let (eps_order, profile) = if jurors.is_empty() {
-        (Vec::new(), Vec::new())
+    let (eps_order, eps_sorted, profile) = if jurors.is_empty() {
+        (Vec::new(), Vec::new(), Vec::new())
     } else {
-        (scratch.last_order().to_vec(), AltrAlg::jer_profile_sorted(scratch.last_sorted_eps()))
+        (
+            scratch.last_order().to_vec(),
+            scratch.last_sorted_eps().to_vec(),
+            AltrAlg::jer_profile_sorted(scratch.last_sorted_eps()),
+        )
     };
     let mut greedy_order = Vec::with_capacity(jurors.len());
     PayAlg::greedy_order_into(jurors, &mut greedy_order);
-    PoolCache { eps_order, profile, altr: altr_result, greedy_order }
+    PoolCache {
+        eps_order,
+        eps_sorted,
+        greedy_order,
+        solved: Some(SolvedArtifacts { profile, altr: altr_result }),
+    }
+}
+
+/// Builds just the sorted orders (no solve, no profile) — the cache
+/// state an `update_juror` repair also leaves behind; `warm_pool`
+/// completes it with [`build_solved`] on demand.
+fn build_orders_only(jurors: &[Juror]) -> PoolCache {
+    let mut eps_order = Vec::with_capacity(jurors.len());
+    jury_core::solver::sorted_order_into(jurors, &mut eps_order);
+    let eps_sorted = eps_order.iter().map(|&i| jurors[i].epsilon()).collect();
+    let mut greedy_order = Vec::with_capacity(jurors.len());
+    PayAlg::greedy_order_into(jurors, &mut greedy_order);
+    PoolCache { eps_order, eps_sorted, greedy_order, solved: None }
+}
+
+/// Rebuilds only the pmf-derived artefacts from a cache whose orders
+/// survived (were repaired in place by an update). Bit-identical to a
+/// from-scratch build: the repaired order equals the re-sorted order
+/// (total orders sort uniquely), and `solve_presorted` runs the same
+/// scan the sorting entry point would.
+fn build_solved(
+    jurors: &[Juror],
+    cache: &PoolCache,
+    altr: &AltrConfig,
+    scratch: &mut SolverScratch,
+) -> SolvedArtifacts {
+    let altr_result = AltrAlg::new(*altr).solve_presorted(jurors, &cache.eps_order, scratch);
+    let profile =
+        if jurors.is_empty() { Vec::new() } else { AltrAlg::jer_profile_sorted(&cache.eps_sorted) };
+    SolvedArtifacts { profile, altr: altr_result }
+}
+
+/// Repairs a flat cache's sorted orders after `jurors[idx]` was replaced:
+/// one remove + one insert per order (`O(n)` memmoves, no re-sort). The
+/// orders are total with distinct keys, so remove + rank-insert lands on
+/// exactly the permutation a full re-sort would produce. The pmf-derived
+/// artefacts are dropped for lazy rebuild.
+fn repair_flat_orders(cache: &mut PoolCache, jurors: &[Juror], idx: usize) {
+    let pos = cache.eps_order.iter().position(|&i| i == idx).expect("cached order covers pool");
+    cache.eps_order.remove(pos);
+    cache.eps_sorted.remove(pos);
+    let rank = cache.eps_order.partition_point(|&j| eps_cmp(jurors, j, idx) == Ordering::Less);
+    cache.eps_order.insert(rank, idx);
+    cache.eps_sorted.insert(rank, jurors[idx].epsilon());
+
+    let pos = cache.greedy_order.iter().position(|&i| i == idx).expect("cached order covers pool");
+    cache.greedy_order.remove(pos);
+    let rank = cache
+        .greedy_order
+        .partition_point(|&j| PayAlg::greedy_cmp(jurors, j, idx) == Ordering::Less);
+    cache.greedy_order.insert(rank, idx);
+
+    cache.solved = None;
 }
 
 /// Dispatches one task against a warm (or deliberately cold) entry.
@@ -499,17 +842,47 @@ fn solve_on_entry(
     config: &ServiceConfig,
     scratch: &mut SolverScratch,
 ) -> Result<Selection, ServiceError> {
-    match (task.model, entry.cache.as_ref()) {
-        (CrowdModel::Altruism, Some(cache)) => cache.altr.clone().map_err(ServiceError::from),
-        (CrowdModel::Altruism, None) => {
-            AltrAlg::new(config.altr).solve_with(&entry.jurors, scratch).map_err(ServiceError::from)
-        }
-        (CrowdModel::PayAsYouGo { budget }, Some(cache)) => PayAlg::new(budget, config.pay)
-            .solve_presorted(&entry.jurors, &cache.greedy_order, scratch)
-            .map_err(ServiceError::from),
-        (CrowdModel::PayAsYouGo { budget }, None) => PayAlg::new(budget, config.pay)
-            .solve_with(&entry.jurors, scratch)
-            .map_err(ServiceError::from),
+    match &entry.state {
+        PoolState::Flat { cache } => match (task.model, cache.as_ref()) {
+            (CrowdModel::Altruism, Some(cache)) => match cache.solved.as_ref() {
+                Some(solved) => solved.altr.clone().map_err(ServiceError::from),
+                None => AltrAlg::new(config.altr)
+                    .solve_presorted(&entry.jurors, &cache.eps_order, scratch)
+                    .map_err(ServiceError::from),
+            },
+            (CrowdModel::Altruism, None) => AltrAlg::new(config.altr)
+                .solve_with(&entry.jurors, scratch)
+                .map_err(ServiceError::from),
+            (CrowdModel::PayAsYouGo { budget }, Some(cache)) => PayAlg::new(budget, config.pay)
+                .solve_presorted(&entry.jurors, &cache.greedy_order, scratch)
+                .map_err(ServiceError::from),
+            (CrowdModel::PayAsYouGo { budget }, None) => PayAlg::new(budget, config.pay)
+                .solve_with(&entry.jurors, scratch)
+                .map_err(ServiceError::from),
+        },
+        PoolState::Sharded(sp) => match task.model {
+            CrowdModel::Altruism => {
+                if let Some(result) = sp.cached_altr() {
+                    result.clone().map_err(ServiceError::from)
+                } else if let Some(order) = sp.merged_eps_order() {
+                    AltrAlg::new(config.altr)
+                        .solve_presorted(&entry.jurors, order, scratch)
+                        .map_err(ServiceError::from)
+                } else {
+                    AltrAlg::new(config.altr)
+                        .solve_with(&entry.jurors, scratch)
+                        .map_err(ServiceError::from)
+                }
+            }
+            CrowdModel::PayAsYouGo { budget } => match sp.merged_greedy_order() {
+                Some(order) => PayAlg::new(budget, config.pay)
+                    .solve_presorted(&entry.jurors, order, scratch)
+                    .map_err(ServiceError::from),
+                None => PayAlg::new(budget, config.pay)
+                    .solve_with(&entry.jurors, scratch)
+                    .map_err(ServiceError::from),
+            },
+        },
     }
 }
 
@@ -529,6 +902,10 @@ mod tests {
             (0.4, 0.05),
         ])
         .unwrap()
+    }
+
+    fn sharded_config(threshold: usize, shards: usize) -> ServiceConfig {
+        ServiceConfig { shard: ShardConfig { threshold, shards }, ..Default::default() }
     }
 
     #[test]
@@ -706,5 +1083,150 @@ mod tests {
         let returned = service.remove_pool(pool).unwrap();
         assert_eq!(returned.len(), jurors.len());
         assert_eq!(service.pool_count(), 0);
+    }
+
+    #[test]
+    fn flat_update_repairs_orders_in_place() {
+        let mut service = JuryService::new();
+        let pool = service.create_pool(figure1());
+        service.warm_pool(pool).unwrap();
+        assert_eq!(service.stats().full_repairs, 1);
+
+        // An update keeps the orders (repaired in O(n)) and only drops
+        // the pmf-derived artefacts.
+        service.update_juror(pool, 2, Juror::new(2, ErrorRate::new(0.05).unwrap(), 0.1)).unwrap();
+        let stats = service.stats();
+        assert_eq!(stats.cache_invalidations, 1);
+        assert_eq!(stats.order_repairs, 1);
+        assert!(!service.is_warm(pool), "pmf artefacts must be cold");
+
+        // Re-warming rebuilds only the solved half: cache_builds grows,
+        // full_repairs does not.
+        service.warm_pool(pool).unwrap();
+        let stats = service.stats();
+        assert_eq!(stats.cache_builds, 2);
+        assert_eq!(stats.full_repairs, 1);
+
+        // The repaired orders equal a from-scratch rebuild.
+        let expected_order = {
+            let mut fresh = JuryService::new();
+            let p = fresh.create_pool(service.pool(pool).unwrap().to_vec());
+            fresh.reliability_order(p).unwrap().to_vec()
+        };
+        assert_eq!(service.reliability_order(pool).unwrap(), expected_order.as_slice());
+        // And solves stay bit-identical to direct.
+        let direct = AltrAlg::solve(service.pool(pool).unwrap(), &AltrConfig::default()).unwrap();
+        assert_eq!(service.solve(&DecisionTask::altruism(pool)).unwrap(), direct);
+
+        // Insert/remove still drop the whole flat cache (no repair).
+        service.insert_juror(pool, Juror::new(50, ErrorRate::new(0.3).unwrap(), 0.0)).unwrap();
+        let stats = service.stats();
+        assert_eq!(stats.cache_invalidations, 2);
+        assert_eq!(stats.order_repairs, 1, "insert must not count as a repair");
+        service.warm_pool(pool).unwrap();
+        assert_eq!(service.stats().full_repairs, 2);
+    }
+
+    #[test]
+    fn sharded_mutations_repair_one_shard() {
+        let mut service = JuryService::with_config(sharded_config(1, 4));
+        let jurors =
+            pool_from_rates(&(0..40).map(|i| 0.05 + (i as f64) / 50.0).collect::<Vec<_>>())
+                .unwrap();
+        let pool = service.create_pool(jurors);
+        assert_eq!(service.is_sharded(pool), Ok(true));
+        assert_eq!(service.shard_count(pool), Ok(Some(4)));
+        service.warm_pool(pool).unwrap();
+        let stats = service.stats();
+        assert_eq!((stats.cache_builds, stats.full_repairs, stats.shard_repairs), (1, 1, 0));
+
+        // One update invalidates one shard; re-warming repairs exactly
+        // that shard plus the merged orders.
+        service.update_juror(pool, 7, Juror::new(7, ErrorRate::new(0.33).unwrap(), 0.0)).unwrap();
+        assert_eq!(service.stats().cache_invalidations, 1);
+        assert!(!service.is_warm(pool));
+        // A second update to the same (already cold) shard drops nothing:
+        // jurors 7 and 11 share shard 3 under the round-robin partition.
+        service.update_juror(pool, 11, Juror::new(11, ErrorRate::new(0.21).unwrap(), 0.0)).unwrap();
+        assert_eq!(
+            service.stats().cache_invalidations,
+            1,
+            "mutating a cold shard must not count as an invalidation"
+        );
+        service.warm_pool(pool).unwrap();
+        let stats = service.stats();
+        assert_eq!((stats.cache_builds, stats.full_repairs, stats.shard_repairs), (2, 1, 1));
+
+        // A removal also touches only the owning shard (others renumber).
+        service.remove_juror(pool, 0).unwrap();
+        service.warm_pool(pool).unwrap();
+        let stats = service.stats();
+        assert_eq!((stats.cache_builds, stats.full_repairs, stats.shard_repairs), (3, 1, 2));
+
+        // An insert lands in the smallest shard only.
+        service.insert_juror(pool, Juror::new(99, ErrorRate::new(0.2).unwrap(), 0.0)).unwrap();
+        service.warm_pool(pool).unwrap();
+        let stats = service.stats();
+        assert_eq!((stats.cache_builds, stats.full_repairs, stats.shard_repairs), (4, 1, 3));
+        assert_eq!(stats.cache_invalidations, 3);
+    }
+
+    #[test]
+    fn flat_pool_promotes_to_sharded_when_crossing_threshold() {
+        let mut service = JuryService::with_config(sharded_config(6, 3));
+        let pool = service.create_pool(figure1()[..4].to_vec());
+        assert_eq!(service.is_sharded(pool), Ok(false));
+        service.insert_juror(pool, Juror::new(10, ErrorRate::new(0.25).unwrap(), 0.1)).unwrap();
+        assert_eq!(service.is_sharded(pool), Ok(false), "below threshold stays flat");
+        service.insert_juror(pool, Juror::new(11, ErrorRate::new(0.15).unwrap(), 0.2)).unwrap();
+        assert_eq!(service.is_sharded(pool), Ok(true), "crossing the threshold promotes");
+        // Promotion must not change results.
+        let direct = AltrAlg::solve(service.pool(pool).unwrap(), &AltrConfig::default()).unwrap();
+        assert_eq!(service.solve(&DecisionTask::altruism(pool)).unwrap(), direct);
+        // Shrinking below the threshold keeps the sharded layout.
+        service.remove_juror(pool, 0).unwrap();
+        service.remove_juror(pool, 0).unwrap();
+        assert_eq!(service.is_sharded(pool), Ok(true), "hysteresis: no demotion");
+    }
+
+    #[test]
+    fn jer_probe_matches_profile_on_both_layouts() {
+        let rates: Vec<f64> = (0..33).map(|i| 0.04 + ((i * 17) % 80) as f64 / 100.0).collect();
+        let jurors = pool_from_rates(&rates).unwrap();
+        let mut flat = JuryService::new();
+        let fp = flat.create_pool(jurors.clone());
+        let mut sharded = JuryService::with_config(sharded_config(1, 7));
+        let sp = sharded.create_pool(jurors);
+        let profile = flat.jer_profile(fp).unwrap().to_vec();
+        for (n, jer) in profile {
+            let f = flat.jer_probe(fp, n).unwrap();
+            let s = sharded.jer_probe(sp, n).unwrap();
+            assert!((f - jer).abs() < 1e-9, "flat probe n={n}: {f} vs {jer}");
+            assert!((s - jer).abs() < 1e-9, "sharded probe n={n}: {s} vs {jer}");
+        }
+        // Oversized probes clamp; invalid sizes error like the solvers.
+        assert_eq!(flat.jer_probe(fp, 999), flat.jer_probe(fp, 33));
+        assert_eq!(flat.jer_probe(fp, 0), Err(ServiceError::Solver(JuryError::EmptyJury)));
+        assert_eq!(sharded.jer_probe(sp, 4), Err(ServiceError::Solver(JuryError::EvenJurySize(4))));
+        let empty = flat.create_pool(vec![]);
+        assert_eq!(flat.jer_probe(empty, 1), Err(ServiceError::Solver(JuryError::EmptyPool)));
+    }
+
+    #[test]
+    fn sharded_profile_and_order_match_flat() {
+        let rates: Vec<f64> = (0..25).map(|i| 0.9 - ((i * 31) % 83) as f64 / 100.0).collect();
+        let jurors = pool_from_rates(&rates).unwrap();
+        let mut flat = JuryService::new();
+        let fp = flat.create_pool(jurors.clone());
+        let mut sharded = JuryService::with_config(sharded_config(1, 16));
+        let sp = sharded.create_pool(jurors);
+        assert_eq!(flat.reliability_order(fp).unwrap(), sharded.reliability_order(sp).unwrap());
+        let f = flat.jer_profile(fp).unwrap().to_vec();
+        let s = sharded.jer_profile(sp).unwrap().to_vec();
+        assert_eq!(f.len(), s.len());
+        for ((fn_, fj), (sn, sj)) in f.iter().zip(&s) {
+            assert_eq!(fn_, sn);
+            assert_eq!(fj.to_bits(), sj.to_bits(), "profile must be bit-identical at n={fn_}");
+        }
     }
 }

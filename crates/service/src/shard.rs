@@ -1,0 +1,486 @@
+//! Pool sharding: million-candidate pools partitioned into K shards.
+//!
+//! A flat [`PoolCache`](crate) recomputes everything on any mutation; at
+//! 10⁶ candidates one re-sort per juror update is already prohibitive,
+//! and the eager JER profile is `O(N²)`. [`ShardedPool`] bounds the blast
+//! radius of a mutation to the **owning shard**:
+//!
+//! * each shard caches its own ε-sorted order, greedy PayM frontier and a
+//!   ladder of prefix Poisson-binomial pmfs over its sorted rates;
+//! * the global ε order / greedy order are K-way merges of the per-shard
+//!   runs ([`jury_core::merge`]) — comparisons only, no float
+//!   re-evaluation, so the merged permutations equal the flat sort's
+//!   exactly and the solvers' presorted entry points produce
+//!   **bit-identical** selections;
+//! * a juror insert/update touches one shard; a remove re-sorts one
+//!   shard and only *renumbers* (no re-sorting, no pmf work) the others.
+//!
+//! ## What merges bit-identically, and what does not
+//!
+//! Sorted **orders** merge bit-identically because the comparators are
+//! total orders with an index tie-break: a sorted permutation under such
+//! an order is unique, so "merge of per-shard sorts" and "one global
+//! sort" are the same permutation and every downstream float operation
+//! (the AltrALG prefix scan, the PayALG pair trials) is performed in the
+//! identical sequence. Prefix **pmfs** do *not*: convolving per-shard
+//! distributions ([`PoiBin::merge_into`]) is mathematically the same
+//! distribution but a different float evaluation order than the flat
+//! path's sequential [`PoiBin::push`]. Selections therefore always ride
+//! the merged orders (bit-identity is contractual, enforced by
+//! `tests/sharded_differential.rs`), while the merged-pmf path powers
+//! the [`jer_probe`](crate::JuryService::jer_probe) point query, whose
+//! contract is numerical equality within convolution rounding.
+
+use jury_core::altr::{AltrAlg, AltrConfig};
+use jury_core::error::JuryError;
+use jury_core::jer::JerEngine;
+use jury_core::juror::Juror;
+use jury_core::merge::kway_merge_by;
+use jury_core::paym::PayAlg;
+use jury_core::problem::Selection;
+use jury_core::solver::{eps_cmp, SolverScratch};
+use jury_numeric::conv::ConvScratch;
+use jury_numeric::poibin::PoiBin;
+
+/// Spacing between prefix-pmf checkpoints in a shard's ladder.
+const LADDER_SPACING: usize = 64;
+
+/// Largest sorted-prefix length a shard materialises checkpoints for.
+/// Probes beyond the ladder fall back to a fresh batch construction —
+/// optimal juries are small in practice, so the ladder covers the hot
+/// range without `O(n_s²)` build cost on huge shards.
+const LADDER_MAX: usize = 1024;
+
+/// When a [`JuryService`](crate::JuryService) shards its pools.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardConfig {
+    /// Pools with at least this many jurors are sharded (`usize::MAX`
+    /// disables sharding — the default). Flat pools crossing the
+    /// threshold through inserts are promoted in place; sharded pools
+    /// shrinking below it stay sharded (hysteresis keeps warm state).
+    pub threshold: usize,
+    /// Number of shards K (clamped to ≥ 1) for pools that shard.
+    pub shards: usize,
+}
+
+impl Default for ShardConfig {
+    /// Sharding disabled; 8 shards once enabled.
+    fn default() -> Self {
+        Self { threshold: usize::MAX, shards: 8 }
+    }
+}
+
+impl ShardConfig {
+    /// Whether a pool of `len` jurors should be sharded under this
+    /// configuration.
+    pub fn applies(&self, len: usize) -> bool {
+        len >= self.threshold
+    }
+}
+
+/// Everything derived from one shard's membership snapshot.
+#[derive(Debug, Clone, Default)]
+struct ShardCache {
+    /// The shard's members sorted by the global ε order (ties by pool
+    /// position) — one sorted run of the global ε order.
+    eps_order: Vec<usize>,
+    /// ε values aligned with `eps_order`.
+    eps: Vec<f64>,
+    /// The shard's members sorted by the global greedy order — one
+    /// sorted run of the global PayALG frontier.
+    greedy_order: Vec<usize>,
+    /// Prefix Poisson-binomial pmfs of `eps` at sizes
+    /// `LADDER_SPACING, 2·LADDER_SPACING, …` up to `LADDER_MAX`.
+    ladder: Vec<PoiBin>,
+}
+
+/// One shard: an owned subset of pool positions plus its cached state.
+#[derive(Debug, Clone, Default)]
+struct Shard {
+    /// Owned pool positions, ascending (append-only insertion plus
+    /// monotone renumbering on removal preserve this).
+    members: Vec<usize>,
+    cache: Option<ShardCache>,
+}
+
+/// Global artefacts derived by merging the per-shard runs.
+#[derive(Debug, Clone)]
+struct MergedCache {
+    /// K-way merge of the shards' `eps_order` runs — bit-identical to
+    /// the flat pool's ε-sorted order.
+    eps_order: Vec<usize>,
+    /// K-way merge of the shards' `greedy_order` runs — bit-identical to
+    /// the flat pool's greedy order.
+    greedy_order: Vec<usize>,
+    /// Lazily solved AltrM answer (the `O(N²)` scan runs only when an
+    /// AltrM task actually arrives).
+    altr: Option<Result<Selection, JuryError>>,
+    /// Lazily computed odd-size JER profile (push-based over the merged
+    /// order — bit-identical to the flat profile; `O(N²)`, on demand).
+    profile: Option<Vec<(usize, f64)>>,
+}
+
+/// What a [`ShardedPool::warm`] call rebuilt — feeds the service's
+/// repair counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct ShardWarmOutcome {
+    /// Per-shard caches built by this warm.
+    pub shards_built: usize,
+    /// Total shards in the pool.
+    pub shard_count: usize,
+    /// Whether the merged orders were rebuilt.
+    pub merged_rebuilt: bool,
+}
+
+/// A pool partitioned into K shards. Owns no jurors — all methods take
+/// the registry's juror slice; member values are positions into it.
+#[derive(Debug, Clone)]
+pub(crate) struct ShardedPool {
+    shards: Vec<Shard>,
+    /// Owning shard per pool position.
+    owner: Vec<u32>,
+    merged: Option<MergedCache>,
+    /// FFT plans + transform buffers for probe-time pmf merging.
+    conv: ConvScratch,
+}
+
+impl ShardedPool {
+    /// Partitions positions `0..len` round-robin over `k` shards
+    /// (clamped to ≥ 1); all caches start cold.
+    pub(crate) fn new(len: usize, k: usize) -> Self {
+        let k = k.max(1);
+        let mut shards = vec![Shard::default(); k];
+        let owner = (0..len).map(|i| (i % k) as u32).collect();
+        for i in 0..len {
+            shards[i % k].members.push(i);
+        }
+        Self { shards, owner, merged: None, conv: ConvScratch::new() }
+    }
+
+    pub(crate) fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Warm means the merged orders exist; the AltrM selection and the
+    /// profile may still be lazily pending.
+    pub(crate) fn is_warm(&self) -> bool {
+        self.merged.is_some()
+    }
+
+    /// Registers the juror just appended to the pool (position =
+    /// `len - 1`), assigning it to the smallest shard. Only that shard's
+    /// cache (plus the merged orders) is invalidated. Returns whether
+    /// any warm state was actually dropped.
+    pub(crate) fn insert(&mut self, len_after: usize) -> bool {
+        let idx = len_after - 1;
+        debug_assert_eq!(idx, self.owner.len());
+        let target = self
+            .shards
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, s)| s.members.len())
+            .map(|(i, _)| i)
+            .expect("at least one shard");
+        let dropped = self.shards[target].cache.is_some() || self.merged.is_some();
+        self.owner.push(target as u32);
+        self.shards[target].members.push(idx);
+        self.shards[target].cache = None;
+        self.merged = None;
+        dropped
+    }
+
+    /// Invalidates the shard owning position `idx` (an in-place juror
+    /// replacement); the other K−1 shards keep their caches. Returns
+    /// whether any warm state was actually dropped.
+    pub(crate) fn update(&mut self, idx: usize) -> bool {
+        let s = self.owner[idx] as usize;
+        let dropped = self.shards[s].cache.is_some() || self.merged.is_some();
+        self.shards[s].cache = None;
+        self.merged = None;
+        dropped
+    }
+
+    /// Removes position `idx` (the registry does `Vec::remove`, shifting
+    /// later positions down by one). The owning shard's cache is
+    /// invalidated; every other shard is *renumbered* in place —
+    /// decrementing positions greater than `idx` preserves each run's
+    /// relative order under both comparators, so their sorted runs, ε
+    /// values and pmf ladders all stay valid. Returns whether any warm
+    /// state was actually dropped.
+    pub(crate) fn remove(&mut self, idx: usize) -> bool {
+        let s = self.owner.remove(idx) as usize;
+        let dropped = self.shards[s].cache.is_some() || self.merged.is_some();
+        for (si, shard) in self.shards.iter_mut().enumerate() {
+            if si == s {
+                shard.members.retain(|&m| m != idx);
+                shard.cache = None;
+            }
+            for m in &mut shard.members {
+                if *m > idx {
+                    *m -= 1;
+                }
+            }
+            if let Some(cache) = shard.cache.as_mut() {
+                for m in &mut cache.eps_order {
+                    if *m > idx {
+                        *m -= 1;
+                    }
+                }
+                for m in &mut cache.greedy_order {
+                    if *m > idx {
+                        *m -= 1;
+                    }
+                }
+            }
+        }
+        self.merged = None;
+        dropped
+    }
+
+    /// Builds any cold shard caches and (re)merges the global orders.
+    pub(crate) fn warm(&mut self, jurors: &[Juror]) -> ShardWarmOutcome {
+        let mut outcome = ShardWarmOutcome {
+            shards_built: 0,
+            shard_count: self.shards.len(),
+            merged_rebuilt: false,
+        };
+        for shard in &mut self.shards {
+            if shard.cache.is_none() {
+                shard.cache = Some(build_shard_cache(jurors, &shard.members));
+                outcome.shards_built += 1;
+            }
+        }
+        if self.merged.is_none() {
+            let eps_runs: Vec<&[usize]> =
+                self.shards.iter().map(|s| cache(s).eps_order.as_slice()).collect();
+            let mut eps_order = Vec::new();
+            kway_merge_by(&eps_runs, |a, b| eps_cmp(jurors, a, b), &mut eps_order);
+            let greedy_runs: Vec<&[usize]> =
+                self.shards.iter().map(|s| cache(s).greedy_order.as_slice()).collect();
+            let mut greedy_order = Vec::new();
+            kway_merge_by(&greedy_runs, |a, b| PayAlg::greedy_cmp(jurors, a, b), &mut greedy_order);
+            self.merged = Some(MergedCache { eps_order, greedy_order, altr: None, profile: None });
+            outcome.merged_rebuilt = true;
+        }
+        outcome
+    }
+
+    /// The merged ε order, if warm.
+    pub(crate) fn merged_eps_order(&self) -> Option<&[usize]> {
+        self.merged.as_ref().map(|m| m.eps_order.as_slice())
+    }
+
+    /// The merged greedy order, if warm.
+    pub(crate) fn merged_greedy_order(&self) -> Option<&[usize]> {
+        self.merged.as_ref().map(|m| m.greedy_order.as_slice())
+    }
+
+    /// The cached AltrM selection, if already solved.
+    pub(crate) fn cached_altr(&self) -> Option<&Result<Selection, JuryError>> {
+        self.merged.as_ref().and_then(|m| m.altr.as_ref())
+    }
+
+    /// Solves AltrM over the merged order (bit-identical to the flat
+    /// path) and caches the result. Requires a prior [`Self::warm`].
+    pub(crate) fn ensure_altr(
+        &mut self,
+        jurors: &[Juror],
+        config: &AltrConfig,
+        scratch: &mut SolverScratch,
+    ) -> &Result<Selection, JuryError> {
+        let merged = self.merged.as_mut().expect("warm() must precede ensure_altr");
+        if merged.altr.is_none() {
+            merged.altr =
+                Some(AltrAlg::new(*config).solve_presorted(jurors, &merged.eps_order, scratch));
+        }
+        merged.altr.as_ref().expect("filled above")
+    }
+
+    /// The odd-size JER profile over the merged order, computed lazily
+    /// with the same sequential pushes as the flat path (bit-identical).
+    /// Requires a prior [`Self::warm`].
+    pub(crate) fn ensure_profile(&mut self, jurors: &[Juror]) -> &[(usize, f64)] {
+        let merged = self.merged.as_mut().expect("warm() must precede ensure_profile");
+        if merged.profile.is_none() {
+            let eps: Vec<f64> = merged.eps_order.iter().map(|&i| jurors[i].epsilon()).collect();
+            merged.profile = Some(AltrAlg::jer_profile_sorted(&eps));
+        }
+        merged.profile.as_ref().expect("filled above")
+    }
+
+    /// JER of the best `n`-juror jury via per-shard prefix pmfs merged by
+    /// convolution: the global best-`n` prefix is split into per-shard
+    /// counts, each shard resumes from its nearest ladder checkpoint (or
+    /// batch-builds beyond the ladder) and the K distributions are
+    /// combined with [`PoiBin::merge_into`]. `O(n·spacing + n log n)`
+    /// instead of the flat path's `O(n²)` pushes — the payoff of keeping
+    /// pmfs per shard. Numerically equal to the flat evaluation within
+    /// convolution rounding (not bit-identical; see the module docs).
+    ///
+    /// Requires a prior [`Self::warm`]; `n` must be `1..=len`.
+    pub(crate) fn jer_probe(&mut self, n: usize) -> f64 {
+        let merged = self.merged.as_ref().expect("warm() must precede jer_probe");
+        let mut counts = vec![0usize; self.shards.len()];
+        for &g in &merged.eps_order[..n] {
+            counts[self.owner[g] as usize] += 1;
+        }
+        let mut acc = PoiBin::empty();
+        let mut flipped = PoiBin::empty();
+        let mut shard_pmf = PoiBin::empty();
+        for (shard, &c) in self.shards.iter().zip(&counts) {
+            if c == 0 {
+                continue;
+            }
+            prefix_pmf_into(cache(shard), c, &mut shard_pmf);
+            acc.merge_into(&shard_pmf, &mut self.conv, &mut flipped);
+            std::mem::swap(&mut acc, &mut flipped);
+        }
+        acc.tail(JerEngine::majority_threshold(n))
+    }
+}
+
+/// Shorthand for a shard's cache that `warm` has guaranteed to exist.
+fn cache(shard: &Shard) -> &ShardCache {
+    shard.cache.as_ref().expect("shard warmed")
+}
+
+/// Sorts one shard's members under both global comparators and lays the
+/// prefix-pmf checkpoint ladder.
+fn build_shard_cache(jurors: &[Juror], members: &[usize]) -> ShardCache {
+    let mut eps_order = members.to_vec();
+    eps_order.sort_by(|&a, &b| eps_cmp(jurors, a, b));
+    let eps: Vec<f64> = eps_order.iter().map(|&i| jurors[i].epsilon()).collect();
+    let mut greedy_order = members.to_vec();
+    greedy_order.sort_by(|&a, &b| PayAlg::greedy_cmp(jurors, a, b));
+    let mut ladder = Vec::with_capacity(eps.len().min(LADDER_MAX) / LADDER_SPACING);
+    let mut pmf = PoiBin::empty();
+    for (i, &e) in eps.iter().take(LADDER_MAX).enumerate() {
+        pmf.push(e);
+        if (i + 1) % LADDER_SPACING == 0 {
+            ladder.push(pmf.clone());
+        }
+    }
+    ShardCache { eps_order, eps, greedy_order, ladder }
+}
+
+/// The Poisson-binomial distribution of a shard's `c` most reliable
+/// members, resumed from the nearest ladder checkpoint when one is close
+/// enough, else batch-built (adaptive DP/CBA).
+fn prefix_pmf_into(cache: &ShardCache, c: usize, out: &mut PoiBin) {
+    let checkpoint = (c / LADDER_SPACING).min(cache.ladder.len());
+    let start = checkpoint * LADDER_SPACING;
+    if c - start <= LADDER_SPACING {
+        if checkpoint > 0 {
+            out.copy_from(&cache.ladder[checkpoint - 1]);
+        } else {
+            out.reset();
+        }
+        for &e in &cache.eps[start..c] {
+            out.push(e);
+        }
+    } else {
+        *out = PoiBin::from_error_rates(&cache.eps[..c]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jury_core::juror::pool_from_rates_and_costs;
+    use jury_core::solver::sorted_order_into;
+
+    fn pool(n: usize) -> Vec<Juror> {
+        let quotes: Vec<(f64, f64)> = (0..n)
+            .map(|i| {
+                let u = (i as f64 * 0.6180339887498949) % 1.0;
+                (0.02 + 0.93 * u, ((i * 13) % 7) as f64 / 7.0)
+            })
+            .collect();
+        pool_from_rates_and_costs(&quotes).unwrap()
+    }
+
+    #[test]
+    fn merged_orders_match_flat_sorts_across_k_and_sizes() {
+        for &n in &[1usize, 2, 5, 17, 100] {
+            for &k in &[1usize, 2, 7, 16] {
+                let jurors = pool(n);
+                let mut sp = ShardedPool::new(n, k);
+                sp.warm(&jurors);
+                let mut flat_eps = Vec::new();
+                sorted_order_into(&jurors, &mut flat_eps);
+                assert_eq!(sp.merged_eps_order().unwrap(), flat_eps.as_slice(), "n={n} k={k}");
+                let mut flat_greedy = Vec::new();
+                PayAlg::greedy_order_into(&jurors, &mut flat_greedy);
+                assert_eq!(
+                    sp.merged_greedy_order().unwrap(),
+                    flat_greedy.as_slice(),
+                    "n={n} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn remove_renumbers_and_preserves_other_shards() {
+        let mut jurors = pool(40);
+        let mut sp = ShardedPool::new(40, 4);
+        sp.warm(&jurors);
+        let victim = 11; // shard 11 % 4 == 3
+        jurors.remove(victim);
+        sp.remove(victim);
+        // Only the owning shard went cold.
+        assert_eq!(sp.shards.iter().filter(|s| s.cache.is_none()).count(), 1);
+        assert!(sp.shards[victim % 4].cache.is_none());
+        let outcome = sp.warm(&jurors);
+        assert_eq!(outcome.shards_built, 1);
+        let mut flat_eps = Vec::new();
+        sorted_order_into(&jurors, &mut flat_eps);
+        assert_eq!(sp.merged_eps_order().unwrap(), flat_eps.as_slice());
+    }
+
+    #[test]
+    fn insert_goes_to_smallest_shard_only() {
+        let mut jurors = pool(9);
+        let mut sp = ShardedPool::new(9, 4); // shard sizes 3,2,2,2
+        sp.warm(&jurors);
+        jurors.push(jurors[0]);
+        sp.insert(jurors.len());
+        assert_eq!(sp.owner[9], 1, "smallest shard with lowest id wins");
+        assert_eq!(sp.shards.iter().filter(|s| s.cache.is_none()).count(), 1);
+        let outcome = sp.warm(&jurors);
+        assert_eq!(outcome.shards_built, 1);
+        let mut flat = Vec::new();
+        PayAlg::greedy_order_into(&jurors, &mut flat);
+        assert_eq!(sp.merged_greedy_order().unwrap(), flat.as_slice());
+    }
+
+    #[test]
+    fn probe_matches_direct_jer_within_tolerance() {
+        let jurors = pool(300);
+        let mut sp = ShardedPool::new(300, 7);
+        sp.warm(&jurors);
+        let mut order = Vec::new();
+        sorted_order_into(&jurors, &mut order);
+        let eps: Vec<f64> = order.iter().map(|&i| jurors[i].epsilon()).collect();
+        for n in [1usize, 3, 63, 64, 65, 129, 299] {
+            let direct = PoiBin::from_error_rates(&eps[..n]).tail(JerEngine::majority_threshold(n));
+            let probed = sp.jer_probe(n);
+            assert!((probed - direct).abs() < 1e-9, "n={n}: {probed} vs {direct}");
+        }
+    }
+
+    #[test]
+    fn ladder_fallback_beyond_coverage() {
+        // A single huge shard: probes beyond LADDER_MAX take the batch
+        // branch and must still agree.
+        let jurors = pool(LADDER_MAX + 300);
+        let mut sp = ShardedPool::new(jurors.len(), 1);
+        sp.warm(&jurors);
+        let n = LADDER_MAX + 201;
+        let mut order = Vec::new();
+        sorted_order_into(&jurors, &mut order);
+        let eps: Vec<f64> = order.iter().map(|&i| jurors[i].epsilon()).collect();
+        let direct = PoiBin::from_error_rates(&eps[..n]).tail(JerEngine::majority_threshold(n));
+        assert!((sp.jer_probe(n) - direct).abs() < 1e-9);
+    }
+}

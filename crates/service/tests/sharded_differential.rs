@@ -1,0 +1,313 @@
+//! Differential harness: sharded serving must be invisible.
+//!
+//! For every shard count K ∈ {1, 2, 7, 16} these properties drive
+//! *identical* task streams and mutation sequences through a sharded
+//! service, an unsharded service and the direct solvers, and assert
+//! **bit-identical** [`Selection`]s — members, JER bits, cost bits and
+//! solver stats — including solver errors, pools whose size is not
+//! divisible by K, empty shards (K > pool size), budgets that straddle
+//! shard boundaries, and interleaved insert/update/remove sequences.
+//!
+//! The guarantee under test is the sharding invariant documented in
+//! `jury_service`'s crate docs: per-shard sorted runs K-way-merge into
+//! exactly the flat sort's permutation, so the solvers' presorted scans
+//! perform the identical float operations.
+
+use jury_core::altr::{AltrAlg, AltrConfig};
+use jury_core::juror::{pool_from_rates_and_costs, ErrorRate, Juror};
+use jury_core::model::CrowdModel;
+use jury_core::paym::{PayAlg, PayConfig};
+use jury_core::problem::Selection;
+use jury_service::{DecisionTask, JuryService, PoolId, ServiceConfig, ServiceError, ShardConfig};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 7, 16];
+
+fn sharded_service(k: usize) -> JuryService {
+    JuryService::with_config(ServiceConfig {
+        shard: ShardConfig { threshold: 0, shards: k },
+        ..Default::default()
+    })
+}
+
+/// Random `(ε, cost)` pools. Rates are quantised so equal keys (the
+/// tie-break paths of both comparators) occur routinely.
+fn pools(max_len: usize) -> impl Strategy<Value = Vec<(f64, f64)>> {
+    vec((0.001..0.999f64, 0.0..1.0f64), 1..=max_len).prop_map(|mut pairs| {
+        for (i, (e, c)) in pairs.iter_mut().enumerate() {
+            if i % 3 == 0 {
+                *e = (*e * 16.0).ceil() / 16.0 - 1.0 / 32.0;
+                *c = (*c * 4.0).floor() / 4.0;
+            }
+        }
+        pairs
+    })
+}
+
+fn build(pairs: &[(f64, f64)]) -> Vec<Juror> {
+    pool_from_rates_and_costs(pairs).unwrap()
+}
+
+/// Bit-level equality including solver stats (`PartialEq` on `Selection`
+/// compares floats numerically; pin the exact bit patterns on top).
+fn assert_identical(
+    got: &Result<Selection, ServiceError>,
+    want: &Result<Selection, ServiceError>,
+    ctx: &str,
+) {
+    match (got, want) {
+        (Ok(g), Ok(w)) => {
+            assert_eq!(g, w, "{ctx}");
+            assert_eq!(g.jer.to_bits(), w.jer.to_bits(), "{ctx}: jer bits");
+            assert_eq!(g.total_cost.to_bits(), w.total_cost.to_bits(), "{ctx}: cost bits");
+            assert_eq!(g.stats, w.stats, "{ctx}: solver stats");
+        }
+        (Err(g), Err(w)) => assert_eq!(g, w, "{ctx}"),
+        other => panic!("{ctx}: sharded/unsharded divergence: {other:?}"),
+    }
+}
+
+/// Budgets that force juries to straddle shard boundaries: cumulative
+/// greedy-order costs (the exact affordability cliffs), plus the
+/// endpoints and an unlimited budget.
+fn boundary_budgets(jurors: &[Juror]) -> Vec<f64> {
+    let mut order = Vec::new();
+    PayAlg::greedy_order_into(jurors, &mut order);
+    let mut budgets = vec![0.0, f64::MAX];
+    let mut acc = 0.0;
+    for (i, &j) in order.iter().enumerate() {
+        acc += jurors[j].cost;
+        // Exactly on, just under and just over each cliff; sampled so
+        // the list stays small on big pools.
+        if i % 3 == 0 || i + 1 == order.len() {
+            budgets.push(acc);
+            budgets.push(acc - 1e-9);
+            budgets.push(acc * 0.5);
+        }
+    }
+    budgets
+}
+
+/// Solves the same task on the sharded service, the unsharded service
+/// and the direct solver, asserting all three agree bit-for-bit.
+fn check_task(
+    sharded: &mut JuryService,
+    flat: &mut JuryService,
+    pool: PoolId,
+    model: CrowdModel,
+    ctx: &str,
+) {
+    let task = DecisionTask { pool, model };
+    let s = sharded.solve(&task);
+    let f = flat.solve(&task);
+    assert_identical(&s, &f, &format!("{ctx}: sharded vs flat service"));
+    let jurors = flat.pool(pool).unwrap();
+    let direct = match model {
+        CrowdModel::Altruism => AltrAlg::solve(jurors, &AltrConfig::default()),
+        CrowdModel::PayAsYouGo { budget } => PayAlg::solve(jurors, budget, &PayConfig::default()),
+    }
+    .map_err(ServiceError::from);
+    assert_identical(&s, &direct, &format!("{ctx}: sharded vs direct solver"));
+}
+
+proptest! {
+    // Cold, warm and batched solves agree across every K on random
+    // pools (lengths rarely divisible by K) and boundary budgets.
+    #[test]
+    fn sharded_matches_unsharded_across_k(pairs in pools(120), extra in 0.0..3.0f64) {
+        let jurors = build(&pairs);
+        let budgets = {
+            let mut b = boundary_budgets(&jurors);
+            b.push(extra);
+            b
+        };
+        for k in SHARD_COUNTS {
+            let mut sharded = sharded_service(k);
+            let mut flat = JuryService::new();
+            let sp = sharded.create_pool(jurors.clone());
+            let fp = flat.create_pool(jurors.clone());
+            prop_assert_eq!(sp, fp, "identical registration order must yield identical ids");
+            prop_assert_eq!(sharded.is_sharded(sp), Ok(true));
+
+            let mut tasks = vec![DecisionTask::altruism(sp)];
+            tasks.extend(budgets.iter().map(|&b| DecisionTask::pay_as_you_go(sp, b)));
+            // Cold then warm single solves.
+            for round in 0..2 {
+                for task in &tasks {
+                    check_task(&mut sharded, &mut flat, sp, task.model,
+                        &format!("k={k} n={} round={round}", jurors.len()));
+                }
+            }
+            // Batched (interleaved to exercise chunking).
+            let mut batch = tasks.clone();
+            batch.extend(tasks.iter().rev().copied());
+            let sb = sharded.solve_batch(&batch);
+            let fb = flat.solve_batch(&batch);
+            for (i, (s, f)) in sb.iter().zip(&fb).enumerate() {
+                assert_identical(s, f, &format!("k={k} batch[{i}]"));
+            }
+        }
+    }
+
+    // Interleaved insert/update/remove sequences keep every K
+    // bit-identical after each mutation.
+    #[test]
+    fn mutation_sequences_stay_identical(
+        pairs in pools(48),
+        ops in vec((0usize..3, (0.001..0.999f64, 0.0..1.0f64), any::<prop::sample::Index>()), 1..10),
+        budget in 0.0..2.0f64,
+    ) {
+        let jurors = build(&pairs);
+        let mut flat = JuryService::new();
+        let fp = flat.create_pool(jurors.clone());
+        let mut services: Vec<(usize, JuryService)> = SHARD_COUNTS
+            .iter()
+            .map(|&k| {
+                let mut s = sharded_service(k);
+                let sp = s.create_pool(jurors.clone());
+                assert_eq!(sp, fp);
+                (k, s)
+            })
+            .collect();
+
+        let mut next_id = 1000u32;
+        for (step, (kind, (e, c), idx)) in ops.iter().enumerate() {
+            let len = flat.pool(fp).unwrap().len();
+            // Keep pools non-empty so update/remove indices resolve.
+            let kind = if len == 0 { 0 } else { *kind };
+            match kind {
+                0 => {
+                    let j = Juror::new(next_id, ErrorRate::new(*e).unwrap(), *c);
+                    next_id += 1;
+                    let fpos = flat.insert_juror(fp, j).unwrap();
+                    for (k, s) in &mut services {
+                        prop_assert_eq!(s.insert_juror(fp, j).unwrap(), fpos, "k={}", k);
+                    }
+                }
+                1 => {
+                    let i = idx.index(len);
+                    let j = Juror::new(next_id, ErrorRate::new(*e).unwrap(), *c);
+                    next_id += 1;
+                    flat.update_juror(fp, i, j).unwrap();
+                    for (_, s) in &mut services {
+                        s.update_juror(fp, i, j).unwrap();
+                    }
+                }
+                _ => {
+                    let i = idx.index(len);
+                    let removed = flat.remove_juror(fp, i).unwrap();
+                    for (k, s) in &mut services {
+                        prop_assert_eq!(s.remove_juror(fp, i).unwrap(), removed, "k={}", k);
+                    }
+                }
+            }
+            let current = flat.pool(fp).unwrap().to_vec();
+            let mut budgets = vec![budget, f64::MAX];
+            if !current.is_empty() {
+                let total: f64 = current.iter().map(|j| j.cost).sum();
+                budgets.push(total * 0.5);
+            }
+            for (k, s) in &mut services {
+                prop_assert_eq!(s.pool(fp).unwrap(), current.as_slice(), "k={} step={}", k, step);
+                for &b in &budgets {
+                    let task = DecisionTask::pay_as_you_go(fp, b);
+                    assert_identical(
+                        &s.solve(&task),
+                        &flat.solve(&task),
+                        &format!("k={k} step={step} budget={b}"),
+                    );
+                }
+                let task = DecisionTask::altruism(fp);
+                assert_identical(
+                    &s.solve(&task),
+                    &flat.solve(&task),
+                    &format!("k={k} step={step} altr"),
+                );
+            }
+        }
+    }
+
+    // A flat pool promoted mid-stream (inserts crossing the shard
+    // threshold) keeps matching a never-sharded reference.
+    #[test]
+    fn promotion_preserves_bit_identity(
+        pairs in pools(20),
+        extras in vec((0.001..0.999f64, 0.0..1.0f64), 1..12),
+        budget in 0.0..2.0f64,
+    ) {
+        let jurors = build(&pairs);
+        let threshold = jurors.len() + extras.len() / 2;
+        let mut promoting = JuryService::with_config(ServiceConfig {
+            shard: ShardConfig { threshold, shards: 7 },
+            ..Default::default()
+        });
+        let mut flat = JuryService::new();
+        let pp = promoting.create_pool(jurors.clone());
+        let fp = flat.create_pool(jurors);
+        prop_assert_eq!(pp, fp);
+        for (i, &(e, c)) in extras.iter().enumerate() {
+            let j = Juror::new(5000 + i as u32, ErrorRate::new(e).unwrap(), c);
+            promoting.insert_juror(pp, j).unwrap();
+            flat.insert_juror(fp, j).unwrap();
+            for model in [CrowdModel::Altruism, CrowdModel::PayAsYouGo { budget }] {
+                let task = DecisionTask { pool: pp, model };
+                assert_identical(
+                    &promoting.solve(&task),
+                    &flat.solve(&task),
+                    &format!("insert {i}, promoted={}", promoting.is_sharded(pp).unwrap()),
+                );
+            }
+        }
+        prop_assert!(promoting.is_sharded(pp).unwrap(), "stream must end sharded");
+    }
+}
+
+/// Deterministic sweep: every pool size around the shard counts
+/// (divisible, off-by-one, far smaller than K) on both models.
+#[test]
+fn size_sweep_including_empty_shards() {
+    for n in (1..=34).chain([49, 96, 97]) {
+        let quotes: Vec<(f64, f64)> = (0..n)
+            .map(|i| {
+                let u = (i as f64 * 0.6180339887498949) % 1.0;
+                (0.02 + 0.93 * u, ((i * 7) % 5) as f64 / 5.0)
+            })
+            .collect();
+        let jurors = build(&quotes);
+        let budgets = boundary_budgets(&jurors);
+        let mut flat = JuryService::new();
+        let fp = flat.create_pool(jurors.clone());
+        for k in SHARD_COUNTS {
+            let mut sharded = sharded_service(k);
+            let sp = sharded.create_pool(jurors.clone());
+            assert_eq!(sp, fp);
+            check_task(&mut sharded, &mut flat, fp, CrowdModel::Altruism, &format!("n={n} k={k}"));
+            for &b in &budgets {
+                check_task(
+                    &mut sharded,
+                    &mut flat,
+                    fp,
+                    CrowdModel::PayAsYouGo { budget: b },
+                    &format!("n={n} k={k} budget={b}"),
+                );
+            }
+        }
+    }
+}
+
+/// An empty sharded pool reports the solver's errors, exactly like an
+/// empty flat pool.
+#[test]
+fn empty_sharded_pool_matches_flat_errors() {
+    let mut sharded = sharded_service(16);
+    let mut flat = JuryService::new();
+    let sp = sharded.create_pool(vec![]);
+    let fp = flat.create_pool(vec![]);
+    for model in [CrowdModel::Altruism, CrowdModel::PayAsYouGo { budget: 1.0 }] {
+        let s = sharded.solve(&DecisionTask { pool: sp, model });
+        let f = flat.solve(&DecisionTask { pool: fp, model });
+        assert_eq!(s, f);
+        assert!(s.is_err());
+    }
+}
