@@ -1,0 +1,162 @@
+//! `staircase_throughput` — the PayM budget-staircase serving numbers.
+//!
+//! Two measurements per pool size and layout, both on the serving
+//! layer's hottest traffic class (warm PayM tasks with a per-task
+//! budget):
+//!
+//! * **steady warm** — the same budget again: a staircase binary-search
+//!   hit (one selection clone, no greedy rescan);
+//! * **post-mutation** — one juror update (a re-estimated error rate)
+//!   followed by the next task: the update repairs every sorted order
+//!   and pmf ladder *in place* (no shard re-sort, no K-way re-merge, no
+//!   re-convolution), the cleared staircase re-records its step with a
+//!   single greedy scan.
+//!
+//! Flat pools are measured through the same path — the PayM lane never
+//! builds the `O(N²)` AltrM artefacts, so even a 10⁶-juror flat pool
+//! answers post-mutation PayM in milliseconds where it previously paid a
+//! full cache rebuild.
+//!
+//! Appends a `"staircase"` section to `BENCH_service.json` (run
+//! `service_throughput` first — it rewrites the whole file). `--smoke`
+//! runs a seconds-long version on tiny pools and writes nothing — CI
+//! uses it to keep this binary from rotting.
+//!
+//! ```console
+//! $ cargo run --release -p jury-bench --bin staircase_throughput [-- --smoke]
+//! ```
+
+use jury_bench::report::{fmt_secs, Report};
+use jury_bench::timing::time_best_of;
+use jury_core::juror::{pool_from_rates_and_costs, ErrorRate, Juror};
+use jury_service::{DecisionTask, JuryService, PoolId, ServiceConfig, ShardConfig};
+use serde::{json, Serialize, Value};
+
+/// Deterministic pool: rates spread over (0.02, 0.95), convex prices —
+/// the same synthetic workload as the other service emitters.
+fn pool(n: usize) -> Vec<Juror> {
+    let quotes: Vec<(f64, f64)> = (0..n)
+        .map(|i| {
+            let u = (i as f64 * 0.6180339887498949) % 1.0; // golden-ratio spread
+            (0.02 + 0.93 * u, 0.05 + u * u)
+        })
+        .collect();
+    pool_from_rates_and_costs(&quotes).expect("valid synthetic quotes")
+}
+
+/// One measurement pair: steady warm (staircase hit) vs one juror update
+/// plus the next solve. Priming goes through `solve` (orders-only
+/// warming), never `warm_pool`, so flat pools skip the `O(N²)` AltrM
+/// artefacts.
+fn measure(
+    service: &mut JuryService,
+    id: PoolId,
+    n: usize,
+    budget: f64,
+    repeats: usize,
+) -> (f64, f64) {
+    let task = DecisionTask::pay_as_you_go(id, budget);
+    assert!(service.solve(&task).is_ok(), "priming solve must succeed");
+    let (_, warm_hit) = time_best_of(repeats, || {
+        let r = service.solve(&task);
+        std::hint::black_box(r.is_ok())
+    });
+    let hits_before = service.stats().staircase_hits;
+    assert!(service.solve(&task).is_ok());
+    assert!(service.stats().staircase_hits > hits_before, "steady path must hit the staircase");
+    let mut round = 0usize;
+    let (_, post_mutation) = time_best_of(repeats, || {
+        round += 1;
+        let idx = (round * 7919) % n;
+        let e = 0.05 + ((round * 13) % 90) as f64 / 100.0;
+        let juror = Juror::new(idx as u32, ErrorRate::new(e).unwrap(), 0.1);
+        service.update_juror(id, idx, juror).expect("index in range");
+        let r = service.solve(&task);
+        std::hint::black_box(r.is_ok())
+    });
+    (warm_hit, post_mutation)
+}
+
+fn sharded_service(k: usize) -> JuryService {
+    JuryService::with_config(ServiceConfig {
+        shard: ShardConfig { threshold: 1, shards: k },
+        ..Default::default()
+    })
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let budget = 3.0f64;
+    let (pool_sizes, shard_counts, repeats): (Vec<usize>, Vec<usize>, usize) =
+        if smoke { (vec![400], vec![4], 1) } else { (vec![1_000, 10_000, 1_000_000], vec![16], 5) };
+
+    let mut report = Report::new(
+        "staircase_throughput",
+        "warm PayM via the budget staircase: steady hit vs one juror update + next solve",
+        &["pool", "layout", "steady warm (hit)", "post-mutation"],
+    );
+    let mut rows: Vec<Value> = Vec::new();
+    let push = |report: &mut Report,
+                rows: &mut Vec<Value>,
+                n: usize,
+                layout: String,
+                shards: Option<usize>,
+                warm_hit: f64,
+                post: f64| {
+        report.row(&[&n, &layout, &fmt_secs(warm_hit), &fmt_secs(post)]);
+        rows.push(Value::object([
+            ("pool_size", n.to_value()),
+            ("shards", shards.map_or(Value::Null, |k| k.to_value())),
+            ("model", "paym".to_value()),
+            ("steady_warm_hit_secs", warm_hit.to_value()),
+            ("post_mutation_secs", post.to_value()),
+        ]));
+    };
+
+    for &n in &pool_sizes {
+        let jurors = pool(n);
+        for &k in &shard_counts {
+            let mut service = sharded_service(k);
+            let id = service.create_pool(jurors.clone());
+            let (warm_hit, post) = measure(&mut service, id, n, budget, repeats);
+            push(&mut report, &mut rows, n, format!("sharded/{k}"), Some(k), warm_hit, post);
+        }
+        let mut service = JuryService::new();
+        let id = service.create_pool(jurors.clone());
+        let (warm_hit, post) = measure(&mut service, id, n, budget, repeats);
+        push(&mut report, &mut rows, n, "flat".into(), None, warm_hit, post);
+    }
+
+    report.emit();
+
+    if smoke {
+        println!("[smoke] staircase_throughput ok ({} measurements)", rows.len());
+        return;
+    }
+
+    // Extend BENCH_service.json (written by service_throughput, extended
+    // by sharded_throughput) with the staircase section.
+    let path = "BENCH_service.json";
+    let mut doc = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| json::parse(&text).ok())
+        .unwrap_or_else(|| Value::object([("bench", "service_throughput".to_value())]));
+    let section = Value::object([
+        (
+            "workload",
+            "warm PayM: staircase hit (steady) and one juror update + next solve (post-mutation, \
+             in-place order/ladder repair + one staircase-recording scan)"
+                .to_value(),
+        ),
+        ("budget", budget.to_value()),
+        ("pool_sizes", Value::Array(pool_sizes.iter().map(|n| n.to_value()).collect())),
+        ("shard_counts", Value::Array(shard_counts.iter().map(|k| k.to_value()).collect())),
+        ("results", Value::Array(rows)),
+    ]);
+    if let Value::Object(fields) = &mut doc {
+        fields.retain(|(key, _)| key != "staircase");
+        fields.push(("staircase".to_string(), section));
+    }
+    std::fs::write(path, json::to_string_pretty(&doc)).expect("write BENCH_service.json");
+    println!("[json] {path} (staircase section)");
+}

@@ -80,7 +80,7 @@ pub use juror::{ErrorRate, Juror};
 pub use jury::Jury;
 pub use metrics::{precision_recall, PrecisionRecall};
 pub use model::CrowdModel;
-pub use paym::{PayAlg, PayConfig};
+pub use paym::{PayAlg, PayConfig, Staircase};
 pub use problem::{JurySelectionProblem, Selection, SolverStats};
 pub use solver::{Solver, SolverScratch};
 pub use voting::{majority_vote, weighted_majority_vote, Decision, Voting};
@@ -95,7 +95,7 @@ pub mod prelude {
     pub use crate::jury::Jury;
     pub use crate::metrics::{precision_recall, PrecisionRecall};
     pub use crate::model::CrowdModel;
-    pub use crate::paym::{PayAlg, PayConfig};
+    pub use crate::paym::{PayAlg, PayConfig, Staircase};
     pub use crate::problem::{JurySelectionProblem, Selection, SolverStats};
     pub use crate::solver::{Solver, SolverScratch};
     pub use crate::voting::{majority_vote, weighted_majority_vote, Decision, Voting};

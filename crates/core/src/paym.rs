@@ -16,6 +16,22 @@
 //! a pair costs `O(n)` (two [`PoiBin::push`] calls on a copy) instead of a
 //! fresh `O(n log n)` CBA run — the scan stays `O(N²)` worst case and
 //! `O(N·n_final)` typically.
+//!
+//! # The budget staircase
+//!
+//! The budget enters Algorithm 4 only through affordability comparisons
+//! `t ≤ B` whose thresholds `t` are cost sums determined by the trace so
+//! far — so the selection is **piecewise constant in the budget**: the
+//! whole budget axis collapses into a finite staircase of selections.
+//! [`Staircase`] materialises that structure one step at a time: each
+//! [`PayAlg::solve_staircase`] miss runs the ordinary greedy scan *once*,
+//! instrumented to record the window `[lo, hi)` (`lo` = largest threshold
+//! that passed, `hi` = smallest that failed) on which every comparison —
+//! and therefore the entire admission trace, float op for float op —
+//! replays identically. Any later budget inside a recorded window is
+//! answered by binary search plus a clone of the stored [`Selection`],
+//! **bit-identical** to [`PayAlg::solve_presorted`] (stats included)
+//! because the step was produced by exactly that scan.
 
 use crate::error::JuryError;
 use crate::jer::JerEngine;
@@ -126,6 +142,42 @@ impl PayAlg {
         self.scan(pool, order, pmf, trial)
     }
 
+    /// Runs the greedy scan over a precomputed visit order through a
+    /// budget [`Staircase`]: a budget inside an already-recorded step is
+    /// answered by binary search plus a clone of the stored selection; a
+    /// miss runs the instrumented scan once and records the step. Either
+    /// way the result is **bit-identical** to
+    /// [`PayAlg::solve_presorted`] on the same `pool` and `order` —
+    /// members, JER bits, cost bits and [`SolverStats`] — because a step
+    /// is only ever certified for the budget window on which the whole
+    /// admission trace is constant.
+    ///
+    /// The staircase is tied to this `(pool, order, config)` snapshot:
+    /// callers must [`Staircase::clear`] it whenever any of the three
+    /// change.
+    pub fn solve_staircase(
+        &self,
+        pool: &[Juror],
+        order: &[usize],
+        staircase: &mut Staircase,
+        scratch: &mut SolverScratch,
+    ) -> Result<Selection, JuryError> {
+        if let Some(replay) = staircase.lookup(self.budget) {
+            return replay;
+        }
+        debug_assert_eq!(order.len(), pool.len(), "order must cover the pool");
+        let SolverScratch { pmf, trial, .. } = scratch;
+        let mut window = StepWindow::new();
+        let result = self.scan_traced(pool, order, pmf, trial, &mut window);
+        match &result {
+            Ok(selection) => staircase.record(window, Some(selection.clone())),
+            Err(JuryError::NoFeasibleJury { .. }) => staircase.record(window, None),
+            // Invalid budgets and empty pools are not budget intervals.
+            Err(_) => {}
+        }
+        result
+    }
+
     /// Algorithm 4 lines 2-16 over an already-sorted candidate order.
     fn scan(
         &self,
@@ -133,6 +185,21 @@ impl PayAlg {
         order: &[usize],
         pmf: &mut PoiBin,
         trial: &mut PoiBin,
+    ) -> Result<Selection, JuryError> {
+        self.scan_traced(pool, order, pmf, trial, &mut IgnoreWindow)
+    }
+
+    /// The scan with every affordability comparison `t ≤ budget` reported
+    /// to `window`. [`IgnoreWindow`] compiles the reports away, keeping
+    /// the plain path's codegen; [`StepWindow`] accumulates the budget
+    /// interval on which this exact trace replays.
+    fn scan_traced<W: BudgetTrace>(
+        &self,
+        pool: &[Juror],
+        order: &[usize],
+        pmf: &mut PoiBin,
+        trial: &mut PoiBin,
+        window: &mut W,
     ) -> Result<Selection, JuryError> {
         let budget = self.budget;
         let config = &self.config;
@@ -148,7 +215,16 @@ impl PayAlg {
         let mut stats = SolverStats::default();
 
         // Lines 3-5: first affordable candidate seeds the jury.
-        let Some(first_pos) = order.iter().position(|&i| pool[i].cost <= budget) else {
+        let mut first_pos = None;
+        for (pos, &i) in order.iter().enumerate() {
+            if pool[i].cost <= budget {
+                window.passed(pool[i].cost);
+                first_pos = Some(pos);
+                break;
+            }
+            window.failed(pool[i].cost);
+        }
+        let Some(first_pos) = first_pos else {
             return Err(JuryError::NoFeasibleJury { budget });
         };
         let seed = order[first_pos];
@@ -165,13 +241,19 @@ impl PayAlg {
             stats.candidates_considered += 1;
             match pair {
                 None => {
-                    if pool[cand].cost + spent <= budget {
+                    let threshold = pool[cand].cost + spent;
+                    if threshold <= budget {
+                        window.passed(threshold);
                         pair = Some(cand);
+                    } else {
+                        window.failed(threshold);
                     }
                 }
                 Some(p) => {
                     let pair_cost = pool[p].cost + pool[cand].cost;
-                    if spent + pair_cost <= budget {
+                    let threshold = spent + pair_cost;
+                    if threshold <= budget {
+                        window.passed(threshold);
                         trial.copy_from(pmf);
                         trial.push(pool[p].epsilon());
                         trial.push(pool[cand].epsilon());
@@ -191,6 +273,8 @@ impl PayAlg {
                             jer = trial_jer;
                             pair = None;
                         }
+                    } else {
+                        window.failed(threshold);
                     }
                 }
             }
@@ -198,6 +282,156 @@ impl PayAlg {
 
         members.sort_unstable();
         Ok(Selection { members, jer, total_cost: spent, stats })
+    }
+}
+
+/// Witness for the scan's budget comparisons (see
+/// [`PayAlg::scan_traced`]).
+trait BudgetTrace {
+    /// A comparison `threshold ≤ budget` that succeeded.
+    fn passed(&mut self, threshold: f64);
+    /// A comparison `threshold ≤ budget` that failed.
+    fn failed(&mut self, threshold: f64);
+}
+
+/// No-op witness for the plain solve paths.
+struct IgnoreWindow;
+
+impl BudgetTrace for IgnoreWindow {
+    #[inline]
+    fn passed(&mut self, _: f64) {}
+    #[inline]
+    fn failed(&mut self, _: f64) {}
+}
+
+/// Accumulates the half-open budget interval `[lo, hi)` on which every
+/// comparison the scan made keeps its outcome: `lo` is the largest
+/// threshold that passed (thresholds are non-negative cost sums, so the
+/// interval is clamped to start at 0), `hi` the smallest that failed.
+#[derive(Debug, Clone, Copy)]
+struct StepWindow {
+    lo: f64,
+    hi: f64,
+}
+
+impl StepWindow {
+    fn new() -> Self {
+        Self { lo: 0.0, hi: f64::INFINITY }
+    }
+}
+
+impl BudgetTrace for StepWindow {
+    #[inline]
+    fn passed(&mut self, threshold: f64) {
+        if threshold > self.lo {
+            self.lo = threshold;
+        }
+    }
+
+    #[inline]
+    fn failed(&mut self, threshold: f64) {
+        if threshold < self.hi {
+            self.hi = threshold;
+        }
+    }
+}
+
+/// One recorded step of the budget staircase: on `[lo, hi)` the greedy
+/// trace is constant and yields `selection` (`None` marks the
+/// no-affordable-juror interval below the cheapest candidate).
+#[derive(Debug, Clone)]
+struct Step {
+    lo: f64,
+    hi: f64,
+    selection: Option<Selection>,
+}
+
+/// Upper bound on recorded steps: beyond it, misses still solve correctly
+/// but are no longer memoised, bounding memory under adversarial budget
+/// streams. Real workloads see a handful of steps per pool.
+const MAX_STAIRCASE_STEPS: usize = 4096;
+
+/// The PayM budget→selection staircase of one `(pool, visit order,
+/// config)` snapshot — a sorted, disjoint set of half-open budget
+/// intervals each carrying the [`Selection`] the greedy scan produces
+/// anywhere inside it (see the module docs). Steps are recorded lazily by
+/// [`PayAlg::solve_staircase`]; serving layers cache one staircase per
+/// pool generation and clear it on any juror mutation.
+#[derive(Debug, Clone, Default)]
+pub struct Staircase {
+    steps: Vec<Step>,
+}
+
+impl Staircase {
+    /// An empty staircase (steps are recorded on demand).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops every recorded step — required whenever the pool, the visit
+    /// order or the solver configuration changes.
+    pub fn clear(&mut self) {
+        self.steps.clear();
+    }
+
+    /// Number of recorded steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether no step has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Whether some recorded step covers `budget` — a containment probe
+    /// that, unlike [`Staircase::lookup`], clones nothing.
+    pub fn covers(&self, budget: f64) -> bool {
+        if !(budget.is_finite() && budget >= 0.0) {
+            return false;
+        }
+        let idx = self.steps.partition_point(|s| s.lo <= budget);
+        self.steps[..idx].last().is_some_and(|s| budget < s.hi)
+    }
+
+    /// Replays the recorded outcome for `budget`, if some step covers it:
+    /// a clone of the stored selection, or the
+    /// [`JuryError::NoFeasibleJury`] the scan would report. Returns
+    /// `None` (caller must run the scan) for uncovered or invalid
+    /// budgets.
+    pub fn lookup(&self, budget: f64) -> Option<Result<Selection, JuryError>> {
+        if !(budget.is_finite() && budget >= 0.0) {
+            return None;
+        }
+        let idx = self.steps.partition_point(|s| s.lo <= budget);
+        let step = self.steps[..idx].last()?;
+        if budget >= step.hi {
+            return None;
+        }
+        Some(match &step.selection {
+            Some(selection) => Ok(selection.clone()),
+            None => Err(JuryError::NoFeasibleJury { budget }),
+        })
+    }
+
+    /// Records one scan outcome on its certified window, trimming against
+    /// already-recorded neighbours (overlapping regions are certified by
+    /// both traces and therefore agree).
+    fn record(&mut self, window: StepWindow, selection: Option<Selection>) {
+        if self.steps.len() >= MAX_STAIRCASE_STEPS {
+            return;
+        }
+        let StepWindow { mut lo, mut hi } = window;
+        let idx = self.steps.partition_point(|s| s.lo <= lo);
+        if let Some(prev) = idx.checked_sub(1).and_then(|i| self.steps.get(i)) {
+            lo = lo.max(prev.hi);
+        }
+        if let Some(next) = self.steps.get(idx) {
+            hi = hi.min(next.lo);
+        }
+        if lo < hi {
+            self.steps.insert(idx, Step { lo, hi, selection });
+        }
     }
 }
 
@@ -381,5 +615,83 @@ mod tests {
         let sel = PayAlg::solve(&pool, 1.0, &PayConfig::default()).unwrap();
         assert!(sel.stats.jer_evaluations >= 1);
         assert_eq!(sel.stats.candidates_considered, 6); // everyone after the seed
+    }
+
+    /// Budgets hitting affordability cliffs exactly, just under, just
+    /// over, and far between them.
+    fn probe_budgets(pool: &[Juror]) -> Vec<f64> {
+        let mut order = Vec::new();
+        PayAlg::greedy_order_into(pool, &mut order);
+        let mut budgets = vec![0.0, f64::MAX];
+        let mut acc = 0.0;
+        for &j in &order {
+            acc += pool[j].cost;
+            budgets.extend([acc, acc - 1e-9, acc + 1e-9, acc * 0.5, acc * 1.75]);
+        }
+        budgets
+    }
+
+    #[test]
+    fn staircase_replays_bit_identical_to_presorted() {
+        let pool = figure1_pool();
+        let mut order = Vec::new();
+        PayAlg::greedy_order_into(&pool, &mut order);
+        let mut staircase = Staircase::new();
+        let mut scratch = SolverScratch::new();
+        for &budget in &probe_budgets(&pool) {
+            let alg = PayAlg::new(budget, PayConfig::default());
+            let direct = alg.solve_presorted(&pool, &order, &mut SolverScratch::new());
+            // Miss (first visit) and hit (second visit) must both match.
+            for round in 0..2 {
+                let got = alg.solve_staircase(&pool, &order, &mut staircase, &mut scratch);
+                match (&got, &direct) {
+                    (Ok(g), Ok(d)) => {
+                        assert_eq!(g, d, "budget {budget} round {round}");
+                        assert_eq!(g.jer.to_bits(), d.jer.to_bits(), "budget {budget}");
+                        assert_eq!(g.total_cost.to_bits(), d.total_cost.to_bits());
+                        assert_eq!(g.stats, d.stats, "budget {budget}");
+                    }
+                    (Err(g), Err(d)) => assert_eq!(g, d, "budget {budget}"),
+                    other => panic!("budget {budget}: {other:?}"),
+                }
+            }
+        }
+        // The ladder collapsed all probed budgets into few steps, and
+        // repeats were answered from it.
+        assert!(!staircase.is_empty());
+        assert!(staircase.len() <= probe_budgets(&pool).len());
+    }
+
+    #[test]
+    fn staircase_covers_infeasible_and_invalid_budgets() {
+        let pool = figure1_pool(); // cheapest candidate costs 0.05
+        let mut order = Vec::new();
+        PayAlg::greedy_order_into(&pool, &mut order);
+        let mut staircase = Staircase::new();
+        let mut scratch = SolverScratch::new();
+        let alg = PayAlg::new(0.01, PayConfig::default());
+        assert_eq!(
+            alg.solve_staircase(&pool, &order, &mut staircase, &mut scratch),
+            Err(JuryError::NoFeasibleJury { budget: 0.01 })
+        );
+        assert_eq!(staircase.len(), 1, "the infeasible interval is a step");
+        // A different infeasible budget replays from the step, carrying
+        // its own budget in the error.
+        assert_eq!(staircase.lookup(0.02), Some(Err(JuryError::NoFeasibleJury { budget: 0.02 })));
+        // Invalid budgets never enter the staircase.
+        for bad in [-1.0, f64::NAN, f64::INFINITY] {
+            assert!(staircase.lookup(bad).is_none());
+            let alg = PayAlg::new(bad, PayConfig::default());
+            assert!(matches!(
+                alg.solve_staircase(&pool, &order, &mut staircase, &mut scratch),
+                Err(JuryError::InvalidBudget(_))
+            ));
+        }
+        assert_eq!(staircase.len(), 1);
+        // Clearing empties it.
+        let mut cleared = staircase;
+        cleared.clear();
+        assert!(cleared.is_empty());
+        assert!(cleared.lookup(0.01).is_none());
     }
 }

@@ -43,6 +43,11 @@ use jury_numeric::poibin::PoiBin;
 /// are reused afterwards; dropping the scratch releases everything. A
 /// scratch must not be shared between threads concurrently — give each
 /// worker its own.
+///
+/// The same `pmf`/`trial` pair also backs the budget-staircase miss path
+/// ([`PayAlg::solve_staircase`](crate::paym::PayAlg::solve_staircase)):
+/// a staircase miss runs one ordinary scan through these buffers, so a
+/// serving layer needs no extra per-worker state to adopt the staircase.
 #[derive(Debug, Clone, Default)]
 pub struct SolverScratch {
     /// Pool indices in the solver's visit order.

@@ -19,10 +19,96 @@
 //!
 //! The tail-only recurrence of the paper's Algorithm 1, which never builds
 //! the pmf and uses two rolling vectors, lives in [`tail_probability_dp`].
+//!
+//! # Factor deconvolution and its error analysis
+//!
+//! A Poisson-Binomial pmf is the coefficient vector of the product
+//! polynomial `∏_i ((1-ε_i) + ε_i·x)`. [`PoiBin::remove_factor`] divides
+//! one linear factor `(q + p·x)` back *out* of that product by synthetic
+//! (long) division, and [`PoiBin::replace_factor`] chains a removal with a
+//! [`PoiBin::push`] — the `O(n)` repair primitive that lets a serving
+//! layer patch cached prefix distributions after a juror update instead of
+//! re-convolving from scratch.
+//!
+//! Division runs in whichever direction is contracting:
+//!
+//! * `p < ½` — forward recurrence `r_k = (f_k − p·r_{k−1}) / q`, which
+//!   propagates previous error scaled by `ρ = p/q < 1`;
+//! * `p > ½` — backward recurrence `r_{k−1} = (f_k − q·r_k) / p`, which
+//!   propagates error scaled by `ρ = q/p < 1`.
+//!
+//! Each step contributes `O(ε_mach)` local rounding error, and past error
+//! decays geometrically by `ρ`, so the accumulated absolute error per
+//! coefficient is bounded by roughly `ε_mach / (1 − ρ)`. At the
+//! [`DECONV_GUARD_BAND`] boundary (`|p − ½| = 1/32`) that amplification
+//! factor is `1/(1−ρ) ≈ 8.5`, keeping repaired pmfs within a few dozen
+//! ulps of a fresh construction. Inside the band `ρ → 1`: the divisor's
+//! root approaches the unit circle (`x = −1` for `p = ½` — the
+//! ½-mass-degenerate factor), error stops decaying and the division is
+//! abandoned *a priori* with [`DeconvError::IllConditioned`]. As a second
+//! line of defence the result is validated after the fact — coefficients
+//! must be probabilities within [`DECONV_TOL`], their compensated sum must
+//! be `1 ± `[`DECONV_TOL`], and the division residual (which is exactly
+//! zero when the factor truly divides the polynomial) must vanish within
+//! the same tolerance — otherwise [`DeconvError::ErrorBudgetExceeded`]
+//! tells the caller to rebuild. Removal is therefore *numerically* (never
+//! bit-) equal to building the distribution without that factor; callers
+//! that need exactness must rebuild.
 
 use crate::conv::{convolve_into, convolve_with, ConvScratch, ConvStrategy};
 use crate::float::is_probability;
 use crate::kahan::KahanSum;
+use std::fmt;
+
+/// Half-width of the success-probability band around `½` inside which
+/// [`PoiBin::remove_factor`] refuses to divide: the factor's root is too
+/// close to the unit circle for the synthetic division to contract (see
+/// the module-level error analysis).
+pub const DECONV_GUARD_BAND: f64 = 1.0 / 32.0;
+
+/// Post-division validation tolerance for [`PoiBin::remove_factor`]: the
+/// compensated coefficient sum must be `1` within this bound, every
+/// coefficient must lie in `[−tol, 1+tol]` and the division residual must
+/// vanish within it — otherwise the accumulated error budget is exceeded
+/// and the caller must rebuild.
+pub const DECONV_TOL: f64 = 1e-9;
+
+/// Why a [`PoiBin::remove_factor`] / [`PoiBin::replace_factor`] call
+/// declined to deconvolve. Callers fall back to rebuilding the
+/// distribution from its error rates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DeconvError {
+    /// The factor's success probability sits within
+    /// [`DECONV_GUARD_BAND`] of `½`, where the division does not
+    /// contract. The distribution is left untouched.
+    IllConditioned {
+        /// The offending success probability.
+        p: f64,
+    },
+    /// The divided-out coefficients failed validation (sum, range or
+    /// residual beyond [`DECONV_TOL`]) — either accumulated rounding or a
+    /// factor that was never part of the distribution. The distribution
+    /// has been reset and must be rebuilt.
+    ErrorBudgetExceeded {
+        /// The largest validation defect observed.
+        defect: f64,
+    },
+}
+
+impl fmt::Display for DeconvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::IllConditioned { p } => {
+                write!(f, "factor p={p} is within {DECONV_GUARD_BAND} of 1/2; deconvolution would not contract")
+            }
+            Self::ErrorBudgetExceeded { defect } => {
+                write!(f, "deconvolution validation defect {defect} exceeds tolerance {DECONV_TOL}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeconvError {}
 
 /// Number of jurors below which CBA recursion bottoms out into the direct
 /// sequential DP instead of splitting further. Splitting 1-element juries
@@ -279,6 +365,96 @@ impl PoiBin {
         for p in &mut out.pmf {
             *p = p.clamp(0.0, 1.0);
         }
+    }
+
+    /// Divides one Bernoulli factor with success probability `p` back out
+    /// of the distribution, in place and in `O(n)` — the inverse of
+    /// [`PoiBin::push`] up to rounding (never bit-identical; see the
+    /// module-level error analysis).
+    ///
+    /// # Errors
+    /// * [`DeconvError::IllConditioned`] when `p` lies within
+    ///   [`DECONV_GUARD_BAND`] of `½` — `self` is left **untouched**;
+    /// * [`DeconvError::ErrorBudgetExceeded`] when the divided
+    ///   coefficients fail validation — `self` has been **reset** to the
+    ///   zero-trial point mass and must be rebuilt by the caller.
+    ///
+    /// # Panics
+    /// Panics if `p` is not a probability or the distribution has no
+    /// factors left (`n() == 0`).
+    pub fn remove_factor(&mut self, p: f64) -> Result<(), DeconvError> {
+        assert!(is_probability(p), "factor must be a probability in [0,1], got {p}");
+        let n = self.n();
+        assert!(n > 0, "cannot remove a factor from a zero-trial distribution");
+        if (p - 0.5).abs() < DECONV_GUARD_BAND {
+            return Err(DeconvError::IllConditioned { p });
+        }
+        let q = 1.0 - p;
+        let residual = if p < 0.5 {
+            // Forward synthetic division: r_k = (f_k - p·r_{k-1}) / q,
+            // reading each original coefficient before overwriting it.
+            let mut carry = 0.0;
+            for k in 0..n {
+                carry = (self.pmf[k] - p * carry) / q;
+                self.pmf[k] = carry;
+            }
+            let residual = self.pmf[n] - p * carry;
+            self.pmf.pop();
+            residual
+        } else {
+            // Backward synthetic division: r_{k-1} = (f_k - q·r_k) / p,
+            // staged one slot up so originals are read before overwrite.
+            let mut carry = 0.0;
+            for k in (1..=n).rev() {
+                carry = (self.pmf[k] - q * carry) / p;
+                self.pmf[k] = carry;
+            }
+            let residual = self.pmf[0] - q * carry;
+            self.pmf.remove(0);
+            residual
+        };
+        // Second line of defence: the quotient must still look like a pmf
+        // and the remainder must vanish.
+        let mut defect = residual.abs();
+        let mut total = KahanSum::new();
+        for &r in &self.pmf {
+            if r < 0.0 {
+                defect = defect.max(-r);
+            } else if r > 1.0 {
+                defect = defect.max(r - 1.0);
+            }
+            total.add(r);
+        }
+        defect = defect.max((total.value() - 1.0).abs());
+        if defect > DECONV_TOL {
+            self.reset();
+            return Err(DeconvError::ErrorBudgetExceeded { defect });
+        }
+        for r in &mut self.pmf {
+            *r = r.clamp(0.0, 1.0);
+        }
+        Ok(())
+    }
+
+    /// Swaps one factor's success probability from `old` to `new` in
+    /// `O(n)`: a [`PoiBin::remove_factor`] followed by a
+    /// [`PoiBin::push`]. Bit-identical inputs are a no-op, so exact
+    /// cached state survives spurious updates.
+    ///
+    /// # Errors
+    /// Propagates [`PoiBin::remove_factor`]'s errors (with its state
+    /// guarantees); the re-insertion itself cannot fail.
+    ///
+    /// # Panics
+    /// Panics if either probability is invalid or `n() == 0`.
+    pub fn replace_factor(&mut self, old: f64, new: f64) -> Result<(), DeconvError> {
+        assert!(is_probability(new), "factor must be a probability in [0,1], got {new}");
+        if old.to_bits() == new.to_bits() {
+            return Ok(());
+        }
+        self.remove_factor(old)?;
+        self.push(new);
+        Ok(())
     }
 }
 
@@ -617,6 +793,87 @@ mod tests {
                 "threshold {t}"
             );
         }
+    }
+
+    #[test]
+    fn remove_factor_inverts_push() {
+        let base = [0.12, 0.31, 0.07, 0.44, 0.26];
+        for &p in &[0.0, 1e-12, 0.2, 0.5 - 0.04, 0.5 + 0.04, 0.8, 1.0 - 1e-12, 1.0] {
+            let without = PoiBin::from_error_rates_dp(&base);
+            let mut with = without.clone();
+            with.push(p);
+            with.remove_factor(p).unwrap_or_else(|e| panic!("p={p}: {e}"));
+            assert_eq!(with.n(), without.n(), "p={p}");
+            for k in 0..=with.n() {
+                assert!(
+                    approx_eq(with.prob_eq(k), without.prob_eq(k), 1e-12),
+                    "p={p} k={k}: {} vs {}",
+                    with.prob_eq(k),
+                    without.prob_eq(k)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn remove_factor_any_position_matches_rebuild() {
+        let eps = [0.05, 0.33, 0.71, 0.18, 0.92, 0.26];
+        for i in 0..eps.len() {
+            let mut d = PoiBin::from_error_rates_dp(&eps);
+            d.remove_factor(eps[i]).unwrap();
+            let rest: Vec<f64> =
+                eps.iter().enumerate().filter(|&(j, _)| j != i).map(|(_, &e)| e).collect();
+            let want = PoiBin::from_error_rates_dp(&rest);
+            for k in 0..=rest.len() {
+                assert!(approx_eq(d.prob_eq(k), want.prob_eq(k), 1e-12), "i={i} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn replace_factor_matches_rebuild() {
+        let mut d = PoiBin::from_error_rates_dp(&[0.1, 0.4, 0.7]);
+        d.replace_factor(0.4, 0.25).unwrap();
+        let want = PoiBin::from_error_rates_dp(&[0.1, 0.25, 0.7]);
+        for k in 0..=3 {
+            assert!(approx_eq(d.prob_eq(k), want.prob_eq(k), 1e-12), "k={k}");
+        }
+        // Bit-identical old/new is an exact no-op, even for a guarded p.
+        let before = PoiBin::from_error_rates_dp(&[0.5, 0.2]);
+        let mut same = before.clone();
+        same.replace_factor(0.5, 0.5).unwrap();
+        assert_eq!(same, before);
+    }
+
+    #[test]
+    fn guard_band_rejects_half_mass_factors() {
+        for &p in &[0.5, 0.5 - 1e-12, 0.5 + 1e-12, 0.5 - DECONV_GUARD_BAND / 2.0] {
+            let before = PoiBin::from_error_rates_dp(&[p, 0.2, 0.9]);
+            let mut d = before.clone();
+            assert_eq!(d.remove_factor(p), Err(DeconvError::IllConditioned { p }));
+            assert_eq!(d, before, "ill-conditioned rejection must leave the pmf untouched");
+        }
+        // Just outside the band the division goes through.
+        let p = 0.5 + DECONV_GUARD_BAND;
+        let mut d = PoiBin::from_error_rates_dp(&[p, 0.2, 0.9]);
+        assert!(d.remove_factor(p).is_ok());
+    }
+
+    #[test]
+    fn absent_factor_trips_the_error_budget() {
+        let mut d = PoiBin::from_error_rates_dp(&[0.1, 0.2]);
+        match d.remove_factor(0.9) {
+            Err(DeconvError::ErrorBudgetExceeded { defect }) => assert!(defect > DECONV_TOL),
+            other => panic!("expected error-budget failure, got {other:?}"),
+        }
+        // The contract says the pmf was reset for rebuilding.
+        assert_eq!(d.pmf(), &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-trial")]
+    fn remove_factor_rejects_empty() {
+        let _ = PoiBin::empty().remove_factor(0.3);
     }
 
     #[test]

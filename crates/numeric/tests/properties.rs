@@ -8,9 +8,9 @@
 use jury_numeric::bounds::{
     cantelli_upper_bound, chernoff_upper_bound, paley_zygmund_lower_bound, TailBound,
 };
-use jury_numeric::conv::{convolve_direct, convolve_fft};
+use jury_numeric::conv::{convolve_direct, convolve_fft, ConvScratch};
 use jury_numeric::fft::Fft;
-use jury_numeric::poibin::{tail_probability_dp, PoiBin};
+use jury_numeric::poibin::{tail_probability_dp, DeconvError, PoiBin, DECONV_GUARD_BAND};
 use jury_numeric::Complex64;
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -159,5 +159,107 @@ proptest! {
         let mut same = base.clone();
         same.push(0.0);
         prop_assert!((same.tail(t) - base.tail(t)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn remove_factor_inverts_push_everywhere(
+        eps in error_rates(100),
+        p in 0.0..1.0f64,
+    ) {
+        // remove_factor ∘ push ≈ identity whenever the guard admits p.
+        let base = PoiBin::from_error_rates(&eps);
+        let mut round_trip = base.clone();
+        round_trip.push(p);
+        match round_trip.remove_factor(p) {
+            Ok(()) => {
+                prop_assert_eq!(round_trip.n(), base.n());
+                for k in 0..=base.n() {
+                    prop_assert!(
+                        (round_trip.prob_eq(k) - base.prob_eq(k)).abs() < 1e-10,
+                        "p={} k={}: {} vs {}", p, k, round_trip.prob_eq(k), base.prob_eq(k)
+                    );
+                }
+            }
+            Err(DeconvError::IllConditioned { p: rejected }) => {
+                prop_assert!((rejected - 0.5).abs() < DECONV_GUARD_BAND);
+            }
+            Err(e) => panic!("unexpected {e}"),
+        }
+    }
+
+    #[test]
+    fn remove_factor_inverts_merge_into(
+        eps in error_rates(60),
+        i in any::<prop::sample::Index>(),
+    ) {
+        // Dividing one factor out of a merged distribution recovers the
+        // distribution built without it, for any position of the factor.
+        let i = i.index(eps.len());
+        let rest: Vec<f64> = eps
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .map(|(_, &e)| e)
+            .collect();
+        prop_assume!((eps[i] - 0.5).abs() >= DECONV_GUARD_BAND);
+        let mut merged = PoiBin::empty();
+        PoiBin::from_error_rates(&rest).merge_into(
+            &PoiBin::from_error_rates(&[eps[i]]),
+            &mut ConvScratch::new(),
+            &mut merged,
+        );
+        merged.remove_factor(eps[i]).expect("guard admitted the factor");
+        let want = PoiBin::from_error_rates(&rest);
+        for k in 0..=rest.len() {
+            prop_assert!(
+                (merged.prob_eq(k) - want.prob_eq(k)).abs() < 1e-9,
+                "i={} k={}: {} vs {}", i, k, merged.prob_eq(k), want.prob_eq(k)
+            );
+        }
+    }
+
+    #[test]
+    fn replace_factor_matches_rebuild_prop(
+        eps in error_rates(80),
+        i in any::<prop::sample::Index>(),
+        new_e in 0.001..0.999f64,
+    ) {
+        let i = i.index(eps.len());
+        prop_assume!((eps[i] - 0.5).abs() >= DECONV_GUARD_BAND);
+        let mut d = PoiBin::from_error_rates(&eps);
+        d.replace_factor(eps[i], new_e).expect("guard admitted the factor");
+        let mut swapped = eps.clone();
+        swapped[i] = new_e;
+        let want = PoiBin::from_error_rates_dp(&swapped);
+        for k in 0..=eps.len() {
+            prop_assert!(
+                (d.prob_eq(k) - want.prob_eq(k)).abs() < 1e-9,
+                "k={}: {} vs {}", k, d.prob_eq(k), want.prob_eq(k)
+            );
+        }
+    }
+}
+
+/// The adversarial rates the deconvolution contract calls out: exact
+/// endpoints are divided exactly, near-endpoint rates contract hard, and
+/// everything within the guard band of ½ must be refused a priori.
+#[test]
+fn deconvolution_adversarial_rates() {
+    let base = [0.12, 0.31, 0.07, 0.44 + DECONV_GUARD_BAND, 0.26];
+    for &p in &[0.0f64, 1.0, 1e-12, 1.0 - 1e-12] {
+        let without = PoiBin::from_error_rates_dp(&base);
+        let mut with = without.clone();
+        with.push(p);
+        with.remove_factor(p).unwrap_or_else(|e| panic!("p={p}: {e}"));
+        for k in 0..=without.n() {
+            assert!((with.prob_eq(k) - without.prob_eq(k)).abs() < 1e-12, "p={p} k={k}");
+        }
+    }
+    for &p in &[0.5f64, 0.5 - 1e-12, 0.5 + 1e-12] {
+        let mut d = PoiBin::from_error_rates_dp(&base);
+        d.push(p);
+        let before = d.clone();
+        assert_eq!(d.remove_factor(p), Err(DeconvError::IllConditioned { p }), "p={p}");
+        assert_eq!(d, before, "p={p}: rejection must leave the pmf untouched");
     }
 }

@@ -1,0 +1,234 @@
+//! Prefix-pmf checkpoint ladders with rescan-free repair.
+//!
+//! A [`PmfLadder`] materialises the Poisson-binomial distribution of the
+//! `L` most reliable jurors of one ε-sorted run at checkpoint sizes
+//! `LADDER_SPACING, 2·LADDER_SPACING, …` up to [`LADDER_MAX`], so a JER
+//! point query resumes from the nearest checkpoint (`O(n·spacing)` pushes)
+//! instead of rebuilding the prefix distribution from scratch. Both
+//! layouts use it: each shard lays a ladder over its own sorted rates, and
+//! flat pools lay one over the global ε order for
+//! [`jer_probe`](crate::JuryService::jer_probe).
+//!
+//! The repair half is what makes juror mutations cheap: moving one sorted
+//! value changes each checkpoint's prefix *multiset* by at most one
+//! element, so [`PmfLadder::repair_update`] / [`PmfLadder::repair_remove`]
+//! patch every affected checkpoint with one factor
+//! division ([`PoiBin::remove_factor`] /
+//! [`PoiBin::replace_factor`]) plus at most one [`PoiBin::push`] — `O(L)`
+//! per checkpoint instead of the `O(L²)` rebuild — and fall back to a full
+//! rebuild when the division's conditioning guard trips (the juror's old
+//! rate within [`jury_numeric::poibin::DECONV_GUARD_BAND`] of ½, or the
+//! accumulated error budget exceeded). Repaired checkpoints are
+//! *numerically* (not bit-) equal to rebuilt ones — exactly the
+//! [`jer_probe`](crate::JuryService::jer_probe) contract, whose answers
+//! stay within [`PROBE_REPAIR_TOL`] of a fresh evaluation.
+
+use jury_numeric::poibin::PoiBin;
+
+/// Spacing between prefix-pmf checkpoints in a ladder.
+pub(crate) const LADDER_SPACING: usize = 64;
+
+/// Largest sorted-prefix length a ladder materialises checkpoints for.
+/// Probes beyond the ladder fall back to a fresh batch construction —
+/// optimal juries are small in practice, so the ladder covers the hot
+/// range without `O(n²)` build cost on huge runs.
+pub(crate) const LADDER_MAX: usize = 1024;
+
+/// Documented bound on how far a deconvolution-repaired
+/// [`jer_probe`](crate::JuryService::jer_probe) may drift from a fresh
+/// evaluation over the same jurors (see the module docs; fresh paths
+/// already agree only within convolution rounding).
+pub const PROBE_REPAIR_TOL: f64 = 1e-8;
+
+/// The prefix-pmf checkpoint ladder of one ε-sorted run.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct PmfLadder {
+    /// `checkpoints[k]` is the pmf of the first `(k+1)·LADDER_SPACING`
+    /// sorted rates.
+    checkpoints: Vec<PoiBin>,
+}
+
+impl PmfLadder {
+    /// Lays the ladder over `eps` (ascending ε values) with sequential
+    /// pushes — `O(min(len, LADDER_MAX)²)` once per cold run.
+    pub(crate) fn build(eps: &[f64]) -> Self {
+        let mut checkpoints = Vec::with_capacity(eps.len().min(LADDER_MAX) / LADDER_SPACING);
+        let mut pmf = PoiBin::empty();
+        for (i, &e) in eps.iter().take(LADDER_MAX).enumerate() {
+            pmf.push(e);
+            if (i + 1) % LADDER_SPACING == 0 {
+                checkpoints.push(pmf.clone());
+            }
+        }
+        Self { checkpoints }
+    }
+
+    /// The distribution of the `c` most reliable members of `eps`,
+    /// resumed from the nearest checkpoint when one is close enough, else
+    /// batch-built (adaptive DP/CBA).
+    pub(crate) fn prefix_into(&self, eps: &[f64], c: usize, out: &mut PoiBin) {
+        let checkpoint = (c / LADDER_SPACING).min(self.checkpoints.len());
+        let start = checkpoint * LADDER_SPACING;
+        if c - start <= LADDER_SPACING {
+            if checkpoint > 0 {
+                out.copy_from(&self.checkpoints[checkpoint - 1]);
+            } else {
+                out.reset();
+            }
+            for &e in &eps[start..c] {
+                out.push(e);
+            }
+        } else {
+            *out = PoiBin::from_error_rates(&eps[..c]);
+        }
+    }
+
+    /// Repairs the ladder after one sorted value moved from rank `r_old`
+    /// (where it held `old_e`) to rank `r_new`; `eps` is the
+    /// **post-repair** sorted run (so the new value is `eps[r_new]`).
+    /// Each checkpoint whose prefix multiset changed gets one factor
+    /// division plus at most one push. Returns `false` when any division
+    /// declined and the whole ladder was rebuilt instead.
+    pub(crate) fn repair_update(
+        &mut self,
+        eps: &[f64],
+        old_e: f64,
+        r_old: usize,
+        r_new: usize,
+    ) -> bool {
+        debug_assert_eq!(
+            self.checkpoints.len(),
+            eps.len().min(LADDER_MAX) / LADDER_SPACING,
+            "ladder must cover the run before a repair"
+        );
+        for (k, pmf) in self.checkpoints.iter_mut().enumerate() {
+            let len = (k + 1) * LADDER_SPACING;
+            let patched = if r_old < len && r_new < len {
+                // The moved value stayed inside this prefix.
+                pmf.replace_factor(old_e, eps[r_new])
+            } else if r_old < len {
+                // Moved out: the value at the boundary slid in.
+                pmf.remove_factor(old_e).map(|()| pmf.push(eps[len - 1]))
+            } else if r_new < len {
+                // Moved in: the old boundary value (now at `len`) slid out.
+                pmf.remove_factor(eps[len]).map(|()| pmf.push(eps[r_new]))
+            } else {
+                Ok(())
+            };
+            if patched.is_err() {
+                *self = Self::build(eps);
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Repairs the ladder after the value `old_e` at rank `r` was removed
+    /// from the run; `eps` is the **post-removal** sorted run. Returns
+    /// `false` when a division declined and the ladder was rebuilt.
+    pub(crate) fn repair_remove(&mut self, eps: &[f64], old_e: f64, r: usize) -> bool {
+        // The run shrank: checkpoints beyond its new length vanish.
+        self.checkpoints.truncate(eps.len().min(LADDER_MAX) / LADDER_SPACING);
+        for (k, pmf) in self.checkpoints.iter_mut().enumerate() {
+            let len = (k + 1) * LADDER_SPACING;
+            if r < len && pmf.remove_factor(old_e).map(|()| pmf.push(eps[len - 1])).is_err() {
+                *self = Self::build(eps);
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rates(n: usize) -> Vec<f64> {
+        let mut eps: Vec<f64> =
+            (0..n).map(|i| 0.02 + 0.9 * ((i as f64 * 0.6180339887498949) % 1.0)).collect();
+        eps.sort_by(f64::total_cmp);
+        eps
+    }
+
+    fn assert_ladder_close(got: &PmfLadder, eps: &[f64], tol: f64) {
+        let want = PmfLadder::build(eps);
+        assert_eq!(got.checkpoints.len(), want.checkpoints.len());
+        for (k, (g, w)) in got.checkpoints.iter().zip(&want.checkpoints).enumerate() {
+            assert_eq!(g.n(), w.n(), "checkpoint {k}");
+            for i in 0..=g.n() {
+                assert!(
+                    (g.prob_eq(i) - w.prob_eq(i)).abs() < tol,
+                    "checkpoint {k} entry {i}: {} vs {}",
+                    g.prob_eq(i),
+                    w.prob_eq(i)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_matches_batch_construction() {
+        let eps = rates(300);
+        let ladder = PmfLadder::build(&eps);
+        let mut out = PoiBin::empty();
+        for c in [1, 63, 64, 65, 128, 200, 299] {
+            ladder.prefix_into(&eps, c, &mut out);
+            let want = PoiBin::from_error_rates(&eps[..c]);
+            for k in 0..=c {
+                assert!((out.prob_eq(k) - want.prob_eq(k)).abs() < 1e-10, "c={c} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn repair_update_tracks_moves_across_checkpoints() {
+        let base = rates(400);
+        // Move a value from deep inside the ladder to past its end, to a
+        // different in-ladder rank, and in place.
+        for (r_old, new_e) in [(10usize, 0.93), (300, 0.025), (40, 0.5 - 0.06), (70, 0.9)] {
+            let mut eps = base.clone();
+            let mut ladder = PmfLadder::build(&eps);
+            let old_e = eps.remove(r_old);
+            let r_new = eps.partition_point(|&e| e < new_e);
+            eps.insert(r_new, new_e);
+            assert!(ladder.repair_update(&eps, old_e, r_old, r_new));
+            assert_ladder_close(&ladder, &eps, 1e-10);
+        }
+    }
+
+    #[test]
+    fn repair_remove_shrinks_and_tracks() {
+        for r in [0usize, 63, 64, 130, 390] {
+            let mut eps = rates(400);
+            let mut ladder = PmfLadder::build(&eps);
+            let old_e = eps.remove(r);
+            assert!(ladder.repair_remove(&eps, old_e, r));
+            assert_ladder_close(&ladder, &eps, 1e-10);
+        }
+        // Removing below a checkpoint boundary drops the top checkpoint
+        // when the run shrinks past it.
+        let mut eps = rates(128);
+        let mut ladder = PmfLadder::build(&eps);
+        assert_eq!(ladder.checkpoints.len(), 2);
+        let old_e = eps.remove(5);
+        assert!(ladder.repair_remove(&eps, old_e, 5));
+        assert_eq!(ladder.checkpoints.len(), 1);
+        assert_ladder_close(&ladder, &eps, 1e-10);
+    }
+
+    #[test]
+    fn ill_conditioned_factor_falls_back_to_rebuild() {
+        let mut eps = rates(200);
+        eps[20] = 0.5; // exactly the degenerate factor
+        eps.sort_by(f64::total_cmp);
+        let mut ladder = PmfLadder::build(&eps);
+        let r_old = eps.iter().position(|&e| e == 0.5).unwrap();
+        let old_e = eps.remove(r_old);
+        let r_new = eps.partition_point(|&e| e < 0.07);
+        eps.insert(r_new, 0.07);
+        assert!(!ladder.repair_update(&eps, old_e, r_old, r_new), "guard must trip");
+        // The fallback rebuild is exact.
+        assert_ladder_close(&ladder, &eps, f64::EPSILON);
+    }
+}

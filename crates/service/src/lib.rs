@@ -11,29 +11,64 @@
 //!   [`PoolId`]; jurors can be inserted, updated and removed in place.
 //! * **per-pool cache** — the ε-sorted order, the incremental prefix-pmf
 //!   JER profile, the solved AltrM selection and PayALG's greedy visit
-//!   order are computed once per pool *generation*. A juror *update* on a
-//!   flat pool repairs both sorted orders in place (`O(n)`: one remove +
-//!   one insert per order) instead of re-sorting; inserts and removals
-//!   drop the flat cache. A warm AltrM task is a cache lookup; a warm
-//!   PayM task skips straight to the greedy scan on the cached order.
+//!   order are computed once per pool *generation*. A warm AltrM task is
+//!   a cache lookup; a warm PayM task is a **budget-staircase** lookup
+//!   (below), falling back to one greedy scan on the cached order.
+//! * **rescan-free mutation repair** — a juror *update* or *removal*
+//!   repairs warm state in place instead of invalidating it: every
+//!   sorted order (flat, per-shard and merged) gets one remove + one
+//!   rank-insert (`O(n)` memmoves, provably the same permutation a
+//!   re-sort would produce), and every affected prefix-pmf checkpoint is
+//!   patched by dividing the juror's `(1−ε, ε)` factor out of the
+//!   Poisson binomial ([`jury_numeric::poibin::PoiBin::remove_factor`])
+//!   — `O(n)` per checkpoint instead of `O(n·spacing + n log n)`
+//!   re-convolution. Inserts still drop the owning shard (or the flat
+//!   cache).
+//! * **PayM budget staircase** — Algorithm 4's selection is piecewise
+//!   constant in the budget, so each pool's warm greedy order carries a
+//!   [`jury_core::paym::Staircase`]: recorded step intervals map any
+//!   covered budget to its selection by binary search, and a miss costs
+//!   exactly one instrumented greedy scan that records a new step.
 //! * **pool sharding** — pools at or above
 //!   [`ShardConfig::threshold`] are partitioned into K shards, each with
 //!   its own ε-sorted order, greedy frontier and prefix Poisson-binomial
-//!   pmf ladder. A mutation invalidates **one shard** (1/K of the cached
-//!   state); the global orders are rebuilt by K-way merging the per-shard
-//!   sorted runs, and removals merely *renumber* the untouched shards.
+//!   pmf ladder. An insert invalidates **one shard** (1/K of the cached
+//!   state, rebuilt in parallel with its siblings under
+//!   `std::thread::scope` when several are dirty); the global orders are
+//!   rebuilt by K-way merging the per-shard sorted runs.
 //! * **batched parallel solving** — [`JuryService::solve_batch`] fans a
 //!   slice of [`DecisionTask`]s across scoped worker threads, each with
 //!   its own persistent [`SolverScratch`], so a warm task performs no
 //!   solver-path heap allocation beyond its returned [`Selection`].
 //!
-//! # Sharding invariants
+//! # Bit-identity vs numerical contracts
 //!
 //! Results are **bit-identical** to calling [`AltrAlg::solve`] /
-//! [`PayAlg::solve`] directly — cold cache, warm cache, batched, flat
-//! and sharded paths all reduce to the same scratch-threaded solver
-//! internals (`tests/equivalence.rs` and `tests/sharded_differential.rs`
-//! assert this). For sharded pools the guarantee rests on two facts:
+//! [`PayAlg::solve`] directly — cold cache, warm cache, batched,
+//! staircase-replayed, flat and sharded paths all reduce to the same
+//! scratch-threaded solver internals (`tests/equivalence.rs` and
+//! `tests/sharded_differential.rs` assert this). The two caching layers
+//! sit on opposite sides of that line:
+//!
+//! * **Staircase replays are bit-identical.** A staircase step is
+//!   recorded by the ordinary greedy scan, instrumented only to remember
+//!   the half-open budget window on which every affordability comparison
+//!   it made keeps its outcome. Inside that window the admission trace —
+//!   float op for float op, [`SolverStats`](jury_core::SolverStats)
+//!   included — is the one the scan performed, so replaying the stored
+//!   [`Selection`] *is* replaying [`PayAlg::solve_presorted`].
+//! * **Deconvolution repairs are numerical.** Dividing a factor out of a
+//!   Poisson binomial re-derives the cached prefix pmfs in a different
+//!   float order than building them fresh, so ladder-backed answers
+//!   ([`JuryService::jer_probe`]) are only *numerically* equal — within
+//!   [`PROBE_REPAIR_TOL`] of a from-scratch evaluation, with an a-priori
+//!   conditioning guard plus validation fallback
+//!   ([`ServiceStats::pmf_rebuilds`]) bounding the drift. Nothing on the
+//!   bit-identical side ever reads a repaired pmf.
+//!
+//! # Sharding invariants
+//!
+//! For sharded pools the bit-identity guarantee rests on two facts:
 //!
 //! 1. **Orders merge bit-identically.** Both solver visit orders are
 //!    *total* orders with the pool position as final tie-break
@@ -53,14 +88,16 @@
 //!    merged-pmf path powers only [`JuryService::jer_probe`], whose
 //!    contract is numerical equality within convolution rounding.
 //!
-//! Mutation cost is where sharding pays: a flat pool's post-mutation
-//! rebuild re-sorts and re-scans everything, while a sharded pool
-//! re-sorts one shard (`O((N/K) log (N/K))`), re-merges
-//! (`O(N log K)` comparisons) and re-solves lazily only what tasks
-//! actually demand. The [`ServiceStats`] repair counters
-//! (`cache_invalidations`, `order_repairs`, `shard_repairs`,
+//! Mutation cost is where the repair paths pay: a juror update or
+//! removal costs a few `O(n)` memmoves plus `O(ladder)` factor
+//! divisions, and the next PayM task re-records its staircase step with
+//! a single greedy scan — no re-sort, no K-way re-merge, no `O(N²)`
+//! artefact rebuild on the PayM lane at any pool size. The
+//! [`ServiceStats`] counters (`cache_invalidations`, `order_repairs`,
+//! `staircase_hits`, `pmf_repairs`, `pmf_rebuilds`, `shard_repairs`,
 //! `full_repairs`) make that behaviour observable; the
-//! `sharded_throughput` bench records it at pool sizes up to 10⁶.
+//! `sharded_throughput` and `staircase_throughput` benches record it at
+//! pool sizes up to 10⁶.
 //!
 //! ```
 //! use jury_core::juror::pool_from_rates_and_costs;
@@ -84,8 +121,10 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod ladder;
 mod shard;
 
+pub use ladder::PROBE_REPAIR_TOL;
 pub use shard::ShardConfig;
 
 use jury_core::altr::{AltrAlg, AltrConfig};
@@ -93,15 +132,24 @@ use jury_core::error::JuryError;
 use jury_core::jer::JerEngine;
 use jury_core::juror::Juror;
 use jury_core::model::CrowdModel;
-use jury_core::paym::{PayAlg, PayConfig};
+use jury_core::paym::{PayAlg, PayConfig, Staircase};
 use jury_core::problem::Selection;
-use jury_core::solver::{eps_cmp, SolverScratch};
+use jury_core::solver::SolverScratch;
 use jury_numeric::poibin::PoiBin;
+use ladder::PmfLadder;
 use serde::{Deserialize, Error as SerdeError, Serialize, Value};
-use shard::ShardedPool;
-use std::cmp::Ordering;
+use shard::{reinsert_eps, reinsert_greedy, renumber_out, MutationEffect, ShardedPool};
 use std::collections::HashMap;
 use std::fmt;
+
+/// Upper bound on sequential staircase-recording scans per batch. Only
+/// `(pool, budget)` pairs that repeat within the batch are recorded up
+/// front (a singleton is scanned exactly once by a worker anyway, in
+/// parallel, and records its step on a later single-solve miss); a batch
+/// with more distinct repeated pairs than this leaves the excess to the
+/// workers' presorted scans (correct either way — the staircase is a
+/// cache, not a requirement).
+const MAX_BATCH_STAIRCASE_SCANS: usize = 32;
 
 /// Opaque handle to a registered juror pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -215,6 +263,28 @@ pub struct ServiceConfig {
 }
 
 /// Monotone counters describing the service's work so far.
+///
+/// The repair counters make the cache's behaviour observable: a healthy
+/// warm PayM workload shows `staircase_hits` tracking `tasks_solved`,
+/// juror updates show `order_repairs`/`pmf_repairs` instead of
+/// `full_repairs`, and `pmf_rebuilds` stays near zero (it counts
+/// deconvolution-guard fallbacks).
+///
+/// ```
+/// use jury_core::juror::pool_from_rates_and_costs;
+/// use jury_service::{DecisionTask, JuryService};
+///
+/// let jurors = pool_from_rates_and_costs(&[(0.1, 0.2), (0.2, 0.1), (0.3, 0.4)]).unwrap();
+/// let mut service = JuryService::new();
+/// let pool = service.create_pool(jurors);
+/// for _ in 0..3 {
+///     service.solve(&DecisionTask::pay_as_you_go(pool, 0.5)).unwrap();
+/// }
+/// let stats = service.stats();
+/// assert_eq!(stats.tasks_solved, 3);
+/// assert_eq!(stats.staircase_hits, 2, "only the first budget runs a greedy scan");
+/// assert_eq!(stats.full_repairs, 0, "budget changes never rebuild pmf artefacts");
+/// ```
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServiceStats {
     /// Tasks solved (single or batched).
@@ -232,9 +302,22 @@ pub struct ServiceStats {
     /// Mutations that invalidated (dropped or repaired) warm cached
     /// state. Mutations on cold pools count nothing.
     pub cache_invalidations: usize,
-    /// Flat-pool juror updates whose ε and greedy orders were repaired
-    /// in place (`O(n)` remove + insert) instead of being recomputed.
+    /// Juror updates/removals whose sorted orders (flat, per-shard and
+    /// merged) were repaired in place (`O(n)` remove + insert, plus a
+    /// renumbering pass for removals) instead of being recomputed.
     pub order_repairs: usize,
+    /// Warm PayM tasks answered from the budget staircase — a binary
+    /// search plus a selection clone instead of a greedy rescan.
+    pub staircase_hits: usize,
+    /// Pmf checkpoint ladders repaired by factor deconvolution
+    /// ([`jury_numeric::poibin::PoiBin::remove_factor`]) after a juror
+    /// update/removal, instead of being re-convolved from scratch.
+    pub pmf_repairs: usize,
+    /// Ladder repairs that fell back to a full rebuild because the
+    /// deconvolution conditioning guard declined (old rate within
+    /// [`jury_numeric::poibin::DECONV_GUARD_BAND`] of ½, or error budget
+    /// exceeded).
+    pub pmf_rebuilds: usize,
     /// Shard-local repairs: per-shard cache rebuilds performed while
     /// other shards stayed warm (each rebuilt shard counts once).
     pub shard_repairs: usize,
@@ -268,6 +351,13 @@ struct PoolCache {
     greedy_order: Vec<usize>,
     /// The pmf-derived artefacts, rebuilt lazily after an order repair.
     solved: Option<SolvedArtifacts>,
+    /// Prefix-pmf checkpoints over `eps_sorted`, built lazily by the
+    /// first [`JuryService::jer_probe`] and repaired in place on juror
+    /// updates/removals (see [`ladder`]).
+    ladder: Option<PmfLadder>,
+    /// The PayM budget→selection staircase over `greedy_order`, recorded
+    /// lazily per budget and cleared by every mutation.
+    staircase: Staircase,
 }
 
 /// How a registered pool is served: flat (one sorted scan) or sharded.
@@ -405,9 +495,14 @@ impl JuryService {
     }
 
     /// Replaces the juror at `index` (e.g. a re-estimated error rate).
-    /// A warm flat pool's sorted orders are repaired in place (`O(n)`);
-    /// only the pmf-derived artefacts are recomputed. On a sharded pool
-    /// only the owning shard is invalidated.
+    /// Warm state is *repaired in place*, flat or sharded: every sorted
+    /// order gets one remove + one rank-insert (`O(n)`, bit-identical to
+    /// a re-sort), pmf checkpoint ladders get one factor division per
+    /// affected checkpoint (numerically equal to a re-convolution; the
+    /// deconvolution guard falls back to a rebuild, observable as
+    /// [`ServiceStats::pmf_rebuilds`]). Only the lazily-derived artefacts
+    /// whose answers may genuinely change (AltrM selection, profile,
+    /// budget staircase) are dropped.
     pub fn update_juror(
         &mut self,
         pool: PoolId,
@@ -421,46 +516,56 @@ impl JuryService {
             index,
             len,
         })?;
+        let old = *slot;
         *slot = juror;
-        let mut invalidated = false;
-        let mut repaired = false;
-        match &mut entry.state {
-            PoolState::Flat { cache } => {
-                if let Some(c) = cache.as_mut() {
-                    repair_flat_orders(c, &entry.jurors, index);
-                    invalidated = true;
-                    repaired = true;
-                }
-            }
-            PoolState::Sharded(sp) => invalidated = sp.update(index),
-        }
-        if invalidated {
-            self.stats.cache_invalidations += 1;
-        }
-        if repaired {
-            self.stats.order_repairs += 1;
-        }
+        let effect = match &mut entry.state {
+            PoolState::Flat { cache } => match cache.as_mut() {
+                Some(c) => repair_flat_update(c, &entry.jurors, index, &old),
+                None => MutationEffect::default(),
+            },
+            PoolState::Sharded(sp) => sp.update(index, &entry.jurors, &old),
+        };
+        self.count_mutation(effect);
         Ok(())
     }
 
     /// Removes and returns the juror at `index`, preserving the order of
     /// the rest (so remaining positions shift down by one, exactly like
-    /// `Vec::remove`). Invalidates the flat cache; on a sharded pool the
-    /// owning shard is invalidated and the rest are renumbered in place.
+    /// `Vec::remove`). Warm state is repaired in place like
+    /// [`JuryService::update_juror`], with an extra renumbering pass over
+    /// the surviving positions.
     pub fn remove_juror(&mut self, pool: PoolId, index: usize) -> Result<Juror, ServiceError> {
         let entry = self.pools.get_mut(&pool.0).ok_or(ServiceError::UnknownPool(pool))?;
         let len = entry.jurors.len();
         if index >= len {
             return Err(ServiceError::JurorOutOfRange { pool, index, len });
         }
-        let invalidated = match &mut entry.state {
-            PoolState::Flat { cache } => cache.take().is_some(),
+        let effect = match &mut entry.state {
+            PoolState::Flat { cache } => match cache.as_mut() {
+                Some(c) => repair_flat_remove(c, index),
+                None => MutationEffect::default(),
+            },
             PoolState::Sharded(sp) => sp.remove(index),
         };
-        if invalidated {
+        let removed = entry.jurors.remove(index);
+        self.count_mutation(effect);
+        Ok(removed)
+    }
+
+    /// Folds one mutation's repair outcome into the stats counters.
+    fn count_mutation(&mut self, effect: MutationEffect) {
+        if effect.invalidated {
             self.stats.cache_invalidations += 1;
         }
-        Ok(entry.jurors.remove(index))
+        if effect.orders_repaired {
+            self.stats.order_repairs += 1;
+        }
+        if effect.pmf_repaired {
+            self.stats.pmf_repairs += 1;
+        }
+        if effect.pmf_rebuilt {
+            self.stats.pmf_rebuilds += 1;
+        }
     }
 
     // ------------------------------------------------------------------
@@ -528,6 +633,23 @@ impl JuryService {
         })
     }
 
+    /// Whether the sorted orders — all a PayM task needs — are present.
+    fn has_orders(&self, pool: PoolId) -> bool {
+        self.pools.get(&pool.0).is_some_and(|entry| match &entry.state {
+            PoolState::Flat { cache } => cache.is_some(),
+            PoolState::Sharded(sp) => sp.is_warm(),
+        })
+    }
+
+    /// Whether the state `task` actually consumes is warm: solved
+    /// artefacts for AltrM, sorted orders for PayM.
+    fn is_warm_for(&self, task: &DecisionTask) -> bool {
+        match task.model {
+            CrowdModel::Altruism => self.is_warm(task.pool),
+            CrowdModel::PayAsYouGo { .. } => self.has_orders(task.pool),
+        }
+    }
+
     /// The cached odd-size JER profile of `pool` (computed on demand):
     /// `(n, JER of the n lowest-ε jurors)` for `n = 1, 3, 5, …`.
     /// Bit-identical between flat and sharded pools (both run the same
@@ -561,11 +683,14 @@ impl JuryService {
     /// [`AltrAlg::solve_fixed_size`]) — a point query on the Figure 3(a)
     /// curve without materialising the whole profile.
     ///
-    /// Flat pools evaluate the prefix distribution directly; sharded
-    /// pools merge per-shard prefix pmfs (resumed from their checkpoint
-    /// ladders) by convolution. The two paths agree within convolution
-    /// rounding — this query is *numerically* stable but deliberately
-    /// outside the bit-identity contract (see the crate docs).
+    /// Flat pools resume the prefix distribution from their own
+    /// checkpoint ladder (built on the first probe); sharded pools merge
+    /// per-shard prefix pmfs (resumed from their ladders) by
+    /// convolution. The paths agree within convolution rounding — and,
+    /// after deconvolution-repaired mutations, within
+    /// [`PROBE_REPAIR_TOL`] of a from-scratch evaluation — so this query
+    /// is *numerically* stable but deliberately outside the bit-identity
+    /// contract (see the crate docs).
     ///
     /// Probing warms only what it reads: on a cold flat pool the sorted
     /// orders are built (`O(N log N)`) *without* the `O(N²)` profile and
@@ -591,8 +716,11 @@ impl JuryService {
         let n = n.min(if len % 2 == 1 { len } else { len - 1 });
         match state {
             PoolState::Flat { cache } => {
-                let cache = cache.as_ref().expect("warmed above");
-                let pmf = PoiBin::from_error_rates(&cache.eps_sorted[..n]);
+                let cache = cache.as_mut().expect("warmed above");
+                let ladder =
+                    cache.ladder.get_or_insert_with(|| PmfLadder::build(&cache.eps_sorted));
+                let mut pmf = PoiBin::empty();
+                ladder.prefix_into(&cache.eps_sorted, n, &mut pmf);
                 Ok(pmf.tail(JerEngine::majority_threshold(n)))
             }
             PoolState::Sharded(sp) => Ok(sp.jer_probe(n)),
@@ -624,8 +752,14 @@ impl JuryService {
     /// Solves one task, warming the pool cache if needed.
     ///
     /// Bit-identical to [`AltrAlg::solve`] / [`PayAlg::solve`] on the
-    /// pool's current jurors, flat or sharded.
+    /// pool's current jurors, flat or sharded. A warm PayM task whose
+    /// budget falls inside a recorded staircase step is answered without
+    /// a greedy rescan ([`ServiceStats::staircase_hits`]); a PayM task
+    /// never builds the `O(N²)` pmf artefacts AltrM needs.
     pub fn solve(&mut self, task: &DecisionTask) -> Result<Selection, ServiceError> {
+        if let CrowdModel::PayAsYouGo { budget } = task.model {
+            return self.solve_paym(task.pool, budget);
+        }
         let was_warm = self.is_warm(task.pool);
         self.prepare(task)?;
         let mut scratch = self.scratches.pop().unwrap_or_default();
@@ -636,6 +770,53 @@ impl JuryService {
             self.stats.cache_hits += 1;
         }
         result
+    }
+
+    /// The PayM solve path: orders-only warming, then the staircase.
+    fn solve_paym(&mut self, pool: PoolId, budget: f64) -> Result<Selection, ServiceError> {
+        let was_warm = self.has_orders(pool);
+        let full_repairs_before = self.stats.full_repairs;
+        self.warm_orders(pool)?;
+        if was_warm {
+            debug_assert_eq!(
+                self.stats.full_repairs, full_repairs_before,
+                "a pure-budget-change PayM task must never trigger a full repair"
+            );
+        }
+        self.stats.tasks_solved += 1;
+        if was_warm {
+            self.stats.cache_hits += 1;
+        }
+        let pay = PayAlg::new(budget, self.config.pay);
+        let mut scratch = self.scratches.pop().unwrap_or_default();
+        let entry = self.pools.get_mut(&pool.0).expect("warmed above");
+        let mut hit = false;
+        let result = match &mut entry.state {
+            PoolState::Flat { cache } => match cache.as_mut() {
+                Some(c) => {
+                    hit = c.staircase.covers(budget);
+                    pay.solve_staircase(
+                        &entry.jurors,
+                        &c.greedy_order,
+                        &mut c.staircase,
+                        &mut scratch,
+                    )
+                }
+                None => pay.solve_with(&entry.jurors, &mut scratch),
+            },
+            PoolState::Sharded(sp) => match sp.paym_cache() {
+                Some((order, staircase)) => {
+                    hit = staircase.covers(budget);
+                    pay.solve_staircase(&entry.jurors, order, staircase, &mut scratch)
+                }
+                None => pay.solve_with(&entry.jurors, &mut scratch),
+            },
+        };
+        self.scratches.push(scratch);
+        if hit {
+            self.stats.staircase_hits += 1;
+        }
+        result.map_err(ServiceError::from)
     }
 
     /// Solves a batch of tasks, preserving order.
@@ -650,22 +831,64 @@ impl JuryService {
     pub fn solve_batch(&mut self, tasks: &[DecisionTask]) -> Vec<Result<Selection, ServiceError>> {
         self.stats.batches += 1;
         self.stats.tasks_solved += tasks.len();
-        // A hit is a task whose pool was warm before this batch did any
-        // warming of its own.
-        self.stats.cache_hits += tasks.iter().filter(|t| self.is_warm(t.pool)).count();
+        // A hit is a task whose needed state was warm before this batch
+        // did any warming of its own.
+        self.stats.cache_hits += tasks.iter().filter(|t| self.is_warm_for(t)).count();
 
-        // Warm every referenced pool once; unknown pools fail per-task
+        // Distinct PayM `(pool, budget)` pairs and their multiplicity:
+        // only pairs that *repeat* in this batch are worth a sequential
+        // staircase-recording scan in the warm phase — a singleton is
+        // scanned exactly once by a worker anyway (in parallel), and can
+        // record its step on a later single-solve miss instead.
+        let mut paym_pairs: Vec<((u64, u64), usize)> = Vec::new();
+        for task in tasks {
+            if let CrowdModel::PayAsYouGo { budget } = task.model {
+                let key = (task.pool.0, budget.to_bits());
+                match paym_pairs.iter_mut().find(|(k, _)| *k == key) {
+                    Some((_, count)) => *count += 1,
+                    None => paym_pairs.push((key, 1)),
+                }
+            }
+        }
+
+        // Warm every referenced pool once — AltrM tasks fully (solved
+        // artefacts included), PayM tasks orders-only plus the repeated
+        // budgets' staircase steps, recorded here sequentially so the
+        // workers replay them read-only. Unknown pools fail per-task
         // below so the batch result stays positional.
         let mut warmed: Vec<u64> = Vec::with_capacity(tasks.len().min(self.pools.len()));
+        let mut orders_warmed: Vec<u64> = Vec::new();
         let mut altr_prepared: Vec<u64> = Vec::new();
+        let mut budgets_recorded: Vec<(u64, u64)> = Vec::new();
         for task in tasks {
-            if !warmed.contains(&task.pool.0) {
-                warmed.push(task.pool.0);
-                let _ = self.warm_pool(task.pool);
-            }
-            if matches!(task.model, CrowdModel::Altruism) && !altr_prepared.contains(&task.pool.0) {
-                altr_prepared.push(task.pool.0);
-                let _ = self.prepare(task);
+            match task.model {
+                CrowdModel::Altruism => {
+                    if !warmed.contains(&task.pool.0) {
+                        warmed.push(task.pool.0);
+                        let _ = self.warm_pool(task.pool);
+                    }
+                    if !altr_prepared.contains(&task.pool.0) {
+                        altr_prepared.push(task.pool.0);
+                        let _ = self.prepare(task);
+                    }
+                }
+                CrowdModel::PayAsYouGo { budget } => {
+                    if !warmed.contains(&task.pool.0) && !orders_warmed.contains(&task.pool.0) {
+                        orders_warmed.push(task.pool.0);
+                        let _ = self.warm_orders(task.pool);
+                    }
+                    let key = (task.pool.0, budget.to_bits());
+                    let repeats = paym_pairs.iter().find(|(k, _)| *k == key).map_or(0, |&(_, c)| c);
+                    if self.staircase_covers(task.pool, budget) {
+                        self.stats.staircase_hits += 1;
+                    } else if repeats > 1
+                        && budgets_recorded.len() < MAX_BATCH_STAIRCASE_SCANS
+                        && !budgets_recorded.contains(&key)
+                    {
+                        budgets_recorded.push(key);
+                        self.record_staircase_step(task.pool, budget);
+                    }
+                }
             }
         }
 
@@ -713,6 +936,42 @@ impl JuryService {
         returned.append(&mut scratches);
         self.scratches = returned;
         out
+    }
+
+    /// Whether the pool's warm staircase already covers `budget`.
+    fn staircase_covers(&self, pool: PoolId, budget: f64) -> bool {
+        self.pools.get(&pool.0).is_some_and(|entry| match &entry.state {
+            PoolState::Flat { cache } => cache.as_ref().is_some_and(|c| c.staircase.covers(budget)),
+            PoolState::Sharded(sp) => sp.staircase_covers(budget),
+        })
+    }
+
+    /// Runs one staircase-recording scan for `(pool, budget)` so batch
+    /// workers can replay the step read-only. Solver errors are ignored
+    /// here — the per-task solve reports them positionally.
+    fn record_staircase_step(&mut self, pool: PoolId, budget: f64) {
+        let pay = PayAlg::new(budget, self.config.pay);
+        let mut scratch = self.scratches.pop().unwrap_or_default();
+        if let Some(entry) = self.pools.get_mut(&pool.0) {
+            match &mut entry.state {
+                PoolState::Flat { cache } => {
+                    if let Some(c) = cache.as_mut() {
+                        let _ = pay.solve_staircase(
+                            &entry.jurors,
+                            &c.greedy_order,
+                            &mut c.staircase,
+                            &mut scratch,
+                        );
+                    }
+                }
+                PoolState::Sharded(sp) => {
+                    if let Some((order, staircase)) = sp.paym_cache() {
+                        let _ = pay.solve_staircase(&entry.jurors, order, staircase, &mut scratch);
+                    }
+                }
+            }
+        }
+        self.scratches.push(scratch);
     }
 
     /// Warms the task's pool, including the lazy AltrM selection of a
@@ -775,6 +1034,8 @@ fn build_full_cache(jurors: &[Juror], altr: &AltrConfig, scratch: &mut SolverScr
         eps_sorted,
         greedy_order,
         solved: Some(SolvedArtifacts { profile, altr: altr_result }),
+        ladder: None,
+        staircase: Staircase::new(),
     }
 }
 
@@ -787,7 +1048,14 @@ fn build_orders_only(jurors: &[Juror]) -> PoolCache {
     let eps_sorted = eps_order.iter().map(|&i| jurors[i].epsilon()).collect();
     let mut greedy_order = Vec::with_capacity(jurors.len());
     PayAlg::greedy_order_into(jurors, &mut greedy_order);
-    PoolCache { eps_order, eps_sorted, greedy_order, solved: None }
+    PoolCache {
+        eps_order,
+        eps_sorted,
+        greedy_order,
+        solved: None,
+        ladder: None,
+        staircase: Staircase::new(),
+    }
 }
 
 /// Rebuilds only the pmf-derived artefacts from a cache whose orders
@@ -807,27 +1075,61 @@ fn build_solved(
     SolvedArtifacts { profile, altr: altr_result }
 }
 
-/// Repairs a flat cache's sorted orders after `jurors[idx]` was replaced:
-/// one remove + one insert per order (`O(n)` memmoves, no re-sort). The
-/// orders are total with distinct keys, so remove + rank-insert lands on
-/// exactly the permutation a full re-sort would produce. The pmf-derived
-/// artefacts are dropped for lazy rebuild.
-fn repair_flat_orders(cache: &mut PoolCache, jurors: &[Juror], idx: usize) {
-    let pos = cache.eps_order.iter().position(|&i| i == idx).expect("cached order covers pool");
-    cache.eps_order.remove(pos);
-    cache.eps_sorted.remove(pos);
-    let rank = cache.eps_order.partition_point(|&j| eps_cmp(jurors, j, idx) == Ordering::Less);
-    cache.eps_order.insert(rank, idx);
-    cache.eps_sorted.insert(rank, jurors[idx].epsilon());
+/// Repairs a flat cache after `jurors[idx]` was replaced (its old rate
+/// was `old_eps`): one remove + one insert per sorted order (`O(n)`
+/// memmoves, no re-sort), one factor division per affected pmf-ladder
+/// checkpoint. The orders are total with distinct keys, so remove +
+/// rank-insert lands on exactly the permutation a full re-sort would
+/// produce. The solved artefacts (AltrM selection, profile) are dropped
+/// for lazy rebuild and the budget staircase is cleared — the traces they
+/// summarise may genuinely change.
+fn repair_flat_update(
+    cache: &mut PoolCache,
+    jurors: &[Juror],
+    idx: usize,
+    old: &Juror,
+) -> MutationEffect {
+    let (r_old, r_new) =
+        reinsert_eps(&mut cache.eps_order, Some(&mut cache.eps_sorted), jurors, idx, old);
+    reinsert_greedy(&mut cache.greedy_order, jurors, idx, old);
 
-    let pos = cache.greedy_order.iter().position(|&i| i == idx).expect("cached order covers pool");
-    cache.greedy_order.remove(pos);
-    let rank = cache
-        .greedy_order
-        .partition_point(|&j| PayAlg::greedy_cmp(jurors, j, idx) == Ordering::Less);
-    cache.greedy_order.insert(rank, idx);
-
+    let mut effect =
+        MutationEffect { invalidated: true, orders_repaired: true, ..Default::default() };
+    if let Some(ladder) = cache.ladder.as_mut() {
+        if ladder.repair_update(&cache.eps_sorted, old.epsilon(), r_old, r_new) {
+            effect.pmf_repaired = true;
+        } else {
+            effect.pmf_rebuilt = true;
+        }
+    }
     cache.solved = None;
+    cache.staircase.clear();
+    effect
+}
+
+/// Repairs a flat cache after `jurors[idx]` was removed: one remove per
+/// sorted order plus a renumbering pass (positions above `idx` shift
+/// down, preserving both total orders), and one factor division per
+/// affected ladder checkpoint.
+fn repair_flat_remove(cache: &mut PoolCache, idx: usize) -> MutationEffect {
+    let pos = cache.eps_order.iter().position(|&i| i == idx).expect("cached order covers pool");
+    let old_eps = cache.eps_sorted[pos];
+    cache.eps_sorted.remove(pos);
+    renumber_out(&mut cache.eps_order, idx);
+    renumber_out(&mut cache.greedy_order, idx);
+
+    let mut effect =
+        MutationEffect { invalidated: true, orders_repaired: true, ..Default::default() };
+    if let Some(ladder) = cache.ladder.as_mut() {
+        if ladder.repair_remove(&cache.eps_sorted, old_eps, pos) {
+            effect.pmf_repaired = true;
+        } else {
+            effect.pmf_rebuilt = true;
+        }
+    }
+    cache.solved = None;
+    cache.staircase.clear();
+    effect
 }
 
 /// Dispatches one task against a warm (or deliberately cold) entry.
@@ -853,9 +1155,14 @@ fn solve_on_entry(
             (CrowdModel::Altruism, None) => AltrAlg::new(config.altr)
                 .solve_with(&entry.jurors, scratch)
                 .map_err(ServiceError::from),
-            (CrowdModel::PayAsYouGo { budget }, Some(cache)) => PayAlg::new(budget, config.pay)
-                .solve_presorted(&entry.jurors, &cache.greedy_order, scratch)
-                .map_err(ServiceError::from),
+            (CrowdModel::PayAsYouGo { budget }, Some(cache)) => {
+                match cache.staircase.lookup(budget) {
+                    Some(replay) => replay.map_err(ServiceError::from),
+                    None => PayAlg::new(budget, config.pay)
+                        .solve_presorted(&entry.jurors, &cache.greedy_order, scratch)
+                        .map_err(ServiceError::from),
+                }
+            }
             (CrowdModel::PayAsYouGo { budget }, None) => PayAlg::new(budget, config.pay)
                 .solve_with(&entry.jurors, scratch)
                 .map_err(ServiceError::from),
@@ -874,13 +1181,16 @@ fn solve_on_entry(
                         .map_err(ServiceError::from)
                 }
             }
-            CrowdModel::PayAsYouGo { budget } => match sp.merged_greedy_order() {
-                Some(order) => PayAlg::new(budget, config.pay)
-                    .solve_presorted(&entry.jurors, order, scratch)
-                    .map_err(ServiceError::from),
-                None => PayAlg::new(budget, config.pay)
-                    .solve_with(&entry.jurors, scratch)
-                    .map_err(ServiceError::from),
+            CrowdModel::PayAsYouGo { budget } => match sp.staircase_lookup(budget) {
+                Some(replay) => replay.map_err(ServiceError::from),
+                None => match sp.merged_greedy_order() {
+                    Some(order) => PayAlg::new(budget, config.pay)
+                        .solve_presorted(&entry.jurors, order, scratch)
+                        .map_err(ServiceError::from),
+                    None => PayAlg::new(budget, config.pay)
+                        .solve_with(&entry.jurors, scratch)
+                        .map_err(ServiceError::from),
+                },
             },
         },
     }
@@ -1128,7 +1438,7 @@ mod tests {
     }
 
     #[test]
-    fn sharded_mutations_repair_one_shard() {
+    fn sharded_mutations_repair_in_place() {
         let mut service = JuryService::with_config(sharded_config(1, 4));
         let jurors =
             pool_from_rates(&(0..40).map(|i| 0.05 + (i as f64) / 50.0).collect::<Vec<_>>())
@@ -1140,35 +1450,157 @@ mod tests {
         let stats = service.stats();
         assert_eq!((stats.cache_builds, stats.full_repairs, stats.shard_repairs), (1, 1, 0));
 
-        // One update invalidates one shard; re-warming repairs exactly
-        // that shard plus the merged orders.
+        // An update is repaired in place: the pool *stays warm*, nothing
+        // is rebuilt on the next warm_pool, and the repair counters tick.
         service.update_juror(pool, 7, Juror::new(7, ErrorRate::new(0.33).unwrap(), 0.0)).unwrap();
-        assert_eq!(service.stats().cache_invalidations, 1);
-        assert!(!service.is_warm(pool));
-        // A second update to the same (already cold) shard drops nothing:
-        // jurors 7 and 11 share shard 3 under the round-robin partition.
-        service.update_juror(pool, 11, Juror::new(11, ErrorRate::new(0.21).unwrap(), 0.0)).unwrap();
-        assert_eq!(
-            service.stats().cache_invalidations,
-            1,
-            "mutating a cold shard must not count as an invalidation"
-        );
+        let stats = service.stats();
+        assert_eq!(stats.cache_invalidations, 1);
+        assert_eq!(stats.order_repairs, 1);
+        assert_eq!(stats.pmf_repairs + stats.pmf_rebuilds, 1);
+        assert!(service.is_warm(pool), "repair must keep the pool warm");
+        service.warm_pool(pool).unwrap();
+        let stats = service.stats();
+        assert_eq!((stats.cache_builds, stats.full_repairs, stats.shard_repairs), (1, 1, 0));
+
+        // A removal is repaired too (owning shard patched, the rest
+        // renumbered, merged orders kept).
+        service.remove_juror(pool, 0).unwrap();
+        assert!(service.is_warm(pool));
+        let stats = service.stats();
+        assert_eq!(stats.cache_invalidations, 2);
+        assert_eq!(stats.order_repairs, 2);
+        service.warm_pool(pool).unwrap();
+        let stats = service.stats();
+        assert_eq!((stats.cache_builds, stats.full_repairs, stats.shard_repairs), (1, 1, 0));
+
+        // An insert still invalidates the smallest shard; re-warming
+        // rebuilds exactly that shard plus the merged orders.
+        service.insert_juror(pool, Juror::new(99, ErrorRate::new(0.2).unwrap(), 0.0)).unwrap();
+        assert!(!service.is_warm(pool), "insert drops the owning shard");
         service.warm_pool(pool).unwrap();
         let stats = service.stats();
         assert_eq!((stats.cache_builds, stats.full_repairs, stats.shard_repairs), (2, 1, 1));
-
-        // A removal also touches only the owning shard (others renumber).
-        service.remove_juror(pool, 0).unwrap();
-        service.warm_pool(pool).unwrap();
-        let stats = service.stats();
-        assert_eq!((stats.cache_builds, stats.full_repairs, stats.shard_repairs), (3, 1, 2));
-
-        // An insert lands in the smallest shard only.
-        service.insert_juror(pool, Juror::new(99, ErrorRate::new(0.2).unwrap(), 0.0)).unwrap();
-        service.warm_pool(pool).unwrap();
-        let stats = service.stats();
-        assert_eq!((stats.cache_builds, stats.full_repairs, stats.shard_repairs), (4, 1, 3));
         assert_eq!(stats.cache_invalidations, 3);
+        // Repairs never queued a full rebuild of pmf artefacts.
+        assert_eq!(stats.pmf_repairs + stats.pmf_rebuilds, 2);
+    }
+
+    #[test]
+    fn budget_changes_never_invalidate_pmf_artefacts() {
+        // The satellite regression this pins: a stream of PayM tasks that
+        // differ only in budget must never trigger a full repair (the
+        // debug_assert in solve_paym enforces it in debug builds) and,
+        // past the first scan per budget, must ride the staircase.
+        let mut service = JuryService::new();
+        let pool = service.create_pool(figure1());
+        for round in 0..3 {
+            for budget in [0.3, 0.7, 1.1, 2.0] {
+                service.solve(&DecisionTask::pay_as_you_go(pool, budget)).unwrap();
+            }
+            let stats = service.stats();
+            assert_eq!(stats.full_repairs, 0, "round {round}");
+            assert_eq!(stats.cache_builds, 0, "PayM warms orders only");
+        }
+        let stats = service.stats();
+        assert_eq!(stats.tasks_solved, 12);
+        assert_eq!(stats.staircase_hits, 8, "four budgets scan once each");
+        // The same holds on a sharded pool.
+        let mut sharded = JuryService::with_config(sharded_config(1, 4));
+        let pool = sharded.create_pool(figure1());
+        for _ in 0..2 {
+            for budget in [0.3, 0.7, 1.1] {
+                sharded.solve(&DecisionTask::pay_as_you_go(pool, budget)).unwrap();
+            }
+        }
+        let stats = sharded.stats();
+        assert_eq!(stats.full_repairs, 1, "only the initial cold warm-up");
+        assert_eq!(stats.staircase_hits, 3);
+
+        // A mutation clears the staircase; the next solve re-scans once,
+        // without any full repair.
+        sharded.update_juror(pool, 2, Juror::new(2, ErrorRate::new(0.11).unwrap(), 0.2)).unwrap();
+        sharded.solve(&DecisionTask::pay_as_you_go(pool, 0.3)).unwrap();
+        sharded.solve(&DecisionTask::pay_as_you_go(pool, 0.3)).unwrap();
+        let stats = sharded.stats();
+        assert_eq!(stats.full_repairs, 1);
+        assert_eq!(stats.staircase_hits, 4, "second post-mutation solve hits again");
+    }
+
+    #[test]
+    fn batched_paym_rides_the_staircase() {
+        let mut service =
+            JuryService::with_config(ServiceConfig { threads: 3, ..Default::default() });
+        let pool = service.create_pool(figure1());
+        let tasks: Vec<DecisionTask> = (0..30)
+            .map(|i| DecisionTask::pay_as_you_go(pool, 0.4 + (i % 3) as f64 / 4.0))
+            .collect();
+        let first = service.solve_batch(&tasks);
+        assert!(first.iter().all(Result::is_ok));
+        let stats = service.stats();
+        // Three distinct budgets scanned once each in the warm phase; the
+        // other 27 tasks replayed their steps.
+        assert_eq!(stats.staircase_hits, 27);
+        assert_eq!(stats.full_repairs, 0);
+        // A second identical batch is all hits, and counts order-level
+        // cache hits now that the orders are warm.
+        let second = service.solve_batch(&tasks);
+        assert_eq!(first, second);
+        let stats = service.stats();
+        assert_eq!(stats.staircase_hits, 27 + 30);
+        assert_eq!(stats.cache_hits, 30);
+    }
+
+    #[test]
+    fn jer_probe_survives_mutation_repairs_within_tolerance() {
+        let rates: Vec<f64> = (0..200).map(|i| 0.03 + ((i * 29) % 90) as f64 / 100.0).collect();
+        let direct_probe = |jurors: &[Juror], n: usize| {
+            let mut order = Vec::new();
+            jury_core::solver::sorted_order_into(jurors, &mut order);
+            let eps: Vec<f64> = order.iter().map(|&i| jurors[i].epsilon()).collect();
+            PoiBin::from_error_rates(&eps[..n]).tail(JerEngine::majority_threshold(n))
+        };
+        // K = 2 keeps each shard's run longer than one ladder spacing,
+        // so the sharded ladders actually hold checkpoints to repair.
+        for (label, config) in
+            [("flat", ServiceConfig::default()), ("sharded", sharded_config(1, 2))]
+        {
+            let mut service = JuryService::with_config(config);
+            let pool = service.create_pool(pool_from_rates(&rates).unwrap());
+            // First probe lays the ladder(s).
+            service.jer_probe(pool, 65).unwrap();
+
+            // A well-conditioned update is repaired by deconvolution.
+            service
+                .update_juror(pool, 10, Juror::new(10, ErrorRate::new(0.07).unwrap(), 0.0))
+                .unwrap();
+            let stats = service.stats();
+            assert_eq!((stats.pmf_repairs, stats.pmf_rebuilds), (1, 0), "{label}");
+
+            // Park a ½-mass-degenerate rate, then move it away: removing
+            // the 0.5 factor trips the guard and exercises the rebuild
+            // fallback.
+            service
+                .update_juror(pool, 20, Juror::new(20, ErrorRate::new(0.5).unwrap(), 0.0))
+                .unwrap();
+            service
+                .update_juror(pool, 20, Juror::new(20, ErrorRate::new(0.9).unwrap(), 0.0))
+                .unwrap();
+            let stats = service.stats();
+            assert_eq!((stats.pmf_repairs, stats.pmf_rebuilds), (2, 1), "{label}");
+
+            // A removal repairs too, and every probe stays within the
+            // documented bound of a from-scratch evaluation.
+            service.remove_juror(pool, 100).unwrap();
+            let jurors = service.pool(pool).unwrap().to_vec();
+            for n in [1usize, 63, 65, 129, 199] {
+                let probed = service.jer_probe(pool, n).unwrap();
+                let direct = direct_probe(&jurors, n);
+                assert!(
+                    (probed - direct).abs() < PROBE_REPAIR_TOL,
+                    "{label} n={n}: {probed} vs {direct}"
+                );
+            }
+        }
     }
 
     #[test]

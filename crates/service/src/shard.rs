@@ -6,14 +6,24 @@
 //! radius of a mutation to the **owning shard**:
 //!
 //! * each shard caches its own ε-sorted order, greedy PayM frontier and a
-//!   ladder of prefix Poisson-binomial pmfs over its sorted rates;
+//!   ladder of prefix Poisson-binomial pmfs over its sorted rates
+//!   ([`PmfLadder`]);
 //! * the global ε order / greedy order are K-way merges of the per-shard
 //!   runs ([`jury_core::merge`]) — comparisons only, no float
 //!   re-evaluation, so the merged permutations equal the flat sort's
 //!   exactly and the solvers' presorted entry points produce
-//!   **bit-identical** selections;
-//! * a juror insert/update touches one shard; a remove re-sorts one
-//!   shard and only *renumbers* (no re-sorting, no pmf work) the others.
+//!   **bit-identical** selections; the merged greedy order additionally
+//!   carries the PayM budget [`Staircase`], answering warm PayM tasks by
+//!   binary search instead of a greedy rescan;
+//! * a juror insert touches one shard; an update or remove is *repaired
+//!   in place* — one remove + one rank-insert per sorted run (shard and
+//!   merged), a renumbering pass for removals, and a factor
+//!   division per affected ladder checkpoint
+//!   ([`PmfLadder::repair_update`]) — so no shard re-sort, no K-way
+//!   re-merge and no pmf re-convolution happen at all ("rescan-free
+//!   repair"). Only the lazily-derived merged artefacts (AltrM
+//!   selection, profile, staircase) are dropped, since the selection
+//!   they summarise may genuinely change.
 //!
 //! ## What merges bit-identically, and what does not
 //!
@@ -31,25 +41,18 @@
 //! the [`jer_probe`](crate::JuryService::jer_probe) point query, whose
 //! contract is numerical equality within convolution rounding.
 
+use crate::ladder::PmfLadder;
 use jury_core::altr::{AltrAlg, AltrConfig};
 use jury_core::error::JuryError;
 use jury_core::jer::JerEngine;
 use jury_core::juror::Juror;
 use jury_core::merge::kway_merge_by;
-use jury_core::paym::PayAlg;
+use jury_core::paym::{PayAlg, Staircase};
 use jury_core::problem::Selection;
 use jury_core::solver::{eps_cmp, SolverScratch};
 use jury_numeric::conv::ConvScratch;
 use jury_numeric::poibin::PoiBin;
-
-/// Spacing between prefix-pmf checkpoints in a shard's ladder.
-const LADDER_SPACING: usize = 64;
-
-/// Largest sorted-prefix length a shard materialises checkpoints for.
-/// Probes beyond the ladder fall back to a fresh batch construction —
-/// optimal juries are small in practice, so the ladder covers the hot
-/// range without `O(n_s²)` build cost on huge shards.
-const LADDER_MAX: usize = 1024;
+use std::cmp::Ordering;
 
 /// When a [`JuryService`](crate::JuryService) shards its pools.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,9 +92,9 @@ struct ShardCache {
     /// The shard's members sorted by the global greedy order — one
     /// sorted run of the global PayALG frontier.
     greedy_order: Vec<usize>,
-    /// Prefix Poisson-binomial pmfs of `eps` at sizes
-    /// `LADDER_SPACING, 2·LADDER_SPACING, …` up to `LADDER_MAX`.
-    ladder: Vec<PoiBin>,
+    /// Prefix-pmf checkpoints over `eps`, repaired in place on juror
+    /// mutations (see [`crate::ladder`]).
+    ladder: PmfLadder,
 }
 
 /// One shard: an owned subset of pool positions plus its cached state.
@@ -118,6 +121,25 @@ struct MergedCache {
     /// Lazily computed odd-size JER profile (push-based over the merged
     /// order — bit-identical to the flat profile; `O(N²)`, on demand).
     profile: Option<Vec<(usize, f64)>>,
+    /// The PayM budget→selection staircase over `greedy_order`, recorded
+    /// lazily per budget and cleared by every mutation (the greedy trace
+    /// it certifies may change).
+    staircase: Staircase,
+}
+
+/// What one mutation did to a sharded pool's warm state — folded into
+/// the service's repair counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct MutationEffect {
+    /// Warm cached state was dropped *or* repaired.
+    pub invalidated: bool,
+    /// Sorted runs (shard and merged) were repaired in place instead of
+    /// being dropped for re-sorting.
+    pub orders_repaired: bool,
+    /// The owning shard's pmf ladder was repaired by factor division.
+    pub pmf_repaired: bool,
+    /// The deconvolution guard declined and the ladder was rebuilt.
+    pub pmf_rebuilt: bool,
 }
 
 /// What a [`ShardedPool::warm`] call rebuilt — feeds the service's
@@ -189,31 +211,73 @@ impl ShardedPool {
         dropped
     }
 
-    /// Invalidates the shard owning position `idx` (an in-place juror
-    /// replacement); the other K−1 shards keep their caches. Returns
-    /// whether any warm state was actually dropped.
-    pub(crate) fn update(&mut self, idx: usize) -> bool {
+    /// Repairs warm state after the juror at position `idx` was replaced
+    /// in place: the owning shard's sorted runs get one remove + one
+    /// rank-insert each, its pmf ladder one factor division per affected
+    /// checkpoint, and the merged orders (if warm) the same remove +
+    /// rank-insert — no re-sort, no re-merge, no re-convolution. Only the
+    /// merged pool's lazily-derived artefacts (AltrM selection, profile,
+    /// staircase) are dropped. `jurors` is the **post-update** pool and
+    /// `old` the replaced juror (its keys locate the stale entries).
+    pub(crate) fn update(&mut self, idx: usize, jurors: &[Juror], old: &Juror) -> MutationEffect {
         let s = self.owner[idx] as usize;
-        let dropped = self.shards[s].cache.is_some() || self.merged.is_some();
-        self.shards[s].cache = None;
-        self.merged = None;
-        dropped
+        let mut effect = MutationEffect::default();
+        let Some(cache) = self.shards[s].cache.as_mut() else {
+            // Cold shard: there is nothing to repair, and the merged
+            // orders (if any survived) reference the stale ε — drop them.
+            effect.invalidated = self.merged.is_some();
+            self.merged = None;
+            return effect;
+        };
+        effect.invalidated = true;
+        effect.orders_repaired = true;
+        let (r_old, r_new) =
+            reinsert_eps(&mut cache.eps_order, Some(&mut cache.eps), jurors, idx, old);
+        reinsert_greedy(&mut cache.greedy_order, jurors, idx, old);
+        if cache.ladder.repair_update(&cache.eps, old.epsilon(), r_old, r_new) {
+            effect.pmf_repaired = true;
+        } else {
+            effect.pmf_rebuilt = true;
+        }
+        if let Some(merged) = self.merged.as_mut() {
+            reinsert_eps(&mut merged.eps_order, None, jurors, idx, old);
+            reinsert_greedy(&mut merged.greedy_order, jurors, idx, old);
+            merged.altr = None;
+            merged.profile = None;
+            merged.staircase.clear();
+        }
+        effect
     }
 
-    /// Removes position `idx` (the registry does `Vec::remove`, shifting
-    /// later positions down by one). The owning shard's cache is
-    /// invalidated; every other shard is *renumbered* in place —
-    /// decrementing positions greater than `idx` preserves each run's
-    /// relative order under both comparators, so their sorted runs, ε
-    /// values and pmf ladders all stay valid. Returns whether any warm
-    /// state was actually dropped.
-    pub(crate) fn remove(&mut self, idx: usize) -> bool {
+    /// Repairs warm state after position `idx` was removed (the registry
+    /// does `Vec::remove`, shifting later positions down by one). The
+    /// owning shard's runs and ladder are repaired in place like
+    /// [`ShardedPool::update`]; every shard (and the merged orders, which
+    /// stay warm) is then *renumbered* — decrementing positions greater
+    /// than `idx` preserves each run's relative order under both
+    /// comparators, so no sorted run, ε value or pmf checkpoint is ever
+    /// recomputed.
+    pub(crate) fn remove(&mut self, idx: usize) -> MutationEffect {
         let s = self.owner.remove(idx) as usize;
-        let dropped = self.shards[s].cache.is_some() || self.merged.is_some();
+        let mut effect = MutationEffect::default();
+        if let Some(cache) = self.shards[s].cache.as_mut() {
+            effect.invalidated = true;
+            effect.orders_repaired = true;
+            let r = cache.eps_order.iter().position(|&m| m == idx).expect("order covers shard");
+            let old_e = cache.eps[r];
+            cache.eps_order.remove(r);
+            cache.eps.remove(r);
+            let g = cache.greedy_order.iter().position(|&m| m == idx).expect("order covers shard");
+            cache.greedy_order.remove(g);
+            if cache.ladder.repair_remove(&cache.eps, old_e, r) {
+                effect.pmf_repaired = true;
+            } else {
+                effect.pmf_rebuilt = true;
+            }
+        }
         for (si, shard) in self.shards.iter_mut().enumerate() {
             if si == s {
                 shard.members.retain(|&m| m != idx);
-                shard.cache = None;
             }
             for m in &mut shard.members {
                 if *m > idx {
@@ -233,21 +297,67 @@ impl ShardedPool {
                 }
             }
         }
-        self.merged = None;
-        dropped
+        if effect.invalidated {
+            if let Some(merged) = self.merged.as_mut() {
+                renumber_out(&mut merged.eps_order, idx);
+                renumber_out(&mut merged.greedy_order, idx);
+                merged.altr = None;
+                merged.profile = None;
+                merged.staircase.clear();
+            }
+        } else {
+            // The owning shard was cold, so the merged orders (if any)
+            // were already stale; drop them.
+            effect.invalidated = self.merged.is_some();
+            self.merged = None;
+        }
+        effect
     }
 
     /// Builds any cold shard caches and (re)merges the global orders.
+    /// When more than one shard is dirty (bulk ingest, rebalance) the
+    /// independent per-shard rebuilds fan out over scoped threads, the
+    /// same pattern `jury_core::exact` uses for its subtree search.
     pub(crate) fn warm(&mut self, jurors: &[Juror]) -> ShardWarmOutcome {
         let mut outcome = ShardWarmOutcome {
             shards_built: 0,
             shard_count: self.shards.len(),
             merged_rebuilt: false,
         };
-        for shard in &mut self.shards {
-            if shard.cache.is_none() {
-                shard.cache = Some(build_shard_cache(jurors, &shard.members));
-                outcome.shards_built += 1;
+        let cold: Vec<usize> = self
+            .shards
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.cache.is_none())
+            .map(|(i, _)| i)
+            .collect();
+        outcome.shards_built = cold.len();
+        if cold.len() == 1 {
+            let si = cold[0];
+            self.shards[si].cache = Some(build_shard_cache(jurors, &self.shards[si].members));
+        } else if cold.len() > 1 {
+            let workers =
+                std::thread::available_parallelism().map(usize::from).unwrap_or(1).min(cold.len());
+            let chunk = cold.len().div_ceil(workers);
+            let shards = &self.shards;
+            let built: Vec<(usize, ShardCache)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = cold
+                    .chunks(chunk)
+                    .map(|ids| {
+                        scope.spawn(move || {
+                            ids.iter()
+                                .map(|&si| (si, build_shard_cache(jurors, &shards[si].members)))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|handle| handle.join().expect("shard rebuild worker panicked"))
+                    .collect()
+            });
+            for (si, cache) in built {
+                self.shards[si].cache = Some(cache);
             }
         }
         if self.merged.is_none() {
@@ -259,7 +369,13 @@ impl ShardedPool {
                 self.shards.iter().map(|s| cache(s).greedy_order.as_slice()).collect();
             let mut greedy_order = Vec::new();
             kway_merge_by(&greedy_runs, |a, b| PayAlg::greedy_cmp(jurors, a, b), &mut greedy_order);
-            self.merged = Some(MergedCache { eps_order, greedy_order, altr: None, profile: None });
+            self.merged = Some(MergedCache {
+                eps_order,
+                greedy_order,
+                altr: None,
+                profile: None,
+                staircase: Staircase::new(),
+            });
             outcome.merged_rebuilt = true;
         }
         outcome
@@ -273,6 +389,26 @@ impl ShardedPool {
     /// The merged greedy order, if warm.
     pub(crate) fn merged_greedy_order(&self) -> Option<&[usize]> {
         self.merged.as_ref().map(|m| m.greedy_order.as_slice())
+    }
+
+    /// The merged greedy order together with its budget staircase, for
+    /// the mutable PayM solve path. Requires a prior [`Self::warm`].
+    pub(crate) fn paym_cache(&mut self) -> Option<(&[usize], &mut Staircase)> {
+        self.merged.as_mut().map(|m| {
+            let MergedCache { greedy_order, staircase, .. } = m;
+            (greedy_order.as_slice(), staircase)
+        })
+    }
+
+    /// Read-only staircase replay for `budget` (the worker path of
+    /// batched solving), if warm and covered.
+    pub(crate) fn staircase_lookup(&self, budget: f64) -> Option<Result<Selection, JuryError>> {
+        self.merged.as_ref().and_then(|m| m.staircase.lookup(budget))
+    }
+
+    /// Whether the warm staircase already covers `budget`.
+    pub(crate) fn staircase_covers(&self, budget: f64) -> bool {
+        self.merged.as_ref().is_some_and(|m| m.staircase.covers(budget))
     }
 
     /// The cached AltrM selection, if already solved.
@@ -331,12 +467,93 @@ impl ShardedPool {
             if c == 0 {
                 continue;
             }
-            prefix_pmf_into(cache(shard), c, &mut shard_pmf);
+            let cache = cache(shard);
+            cache.ladder.prefix_into(&cache.eps, c, &mut shard_pmf);
             acc.merge_into(&shard_pmf, &mut self.conv, &mut flipped);
             std::mem::swap(&mut acc, &mut flipped);
         }
         acc.tail(JerEngine::majority_threshold(n))
     }
+}
+
+/// One remove + one rank-insert of `idx` in an ε-sorted run after its
+/// juror changed: the stale entry is binary-located with the
+/// pre-mutation rate, the fresh rank found under the post-mutation pool
+/// — the same permutation a full re-sort would produce, since
+/// [`eps_cmp`] is total. Maintains the aligned ε values when given;
+/// returns `(old_rank, new_rank)` for ladder repair.
+pub(crate) fn reinsert_eps(
+    order: &mut Vec<usize>,
+    mut eps: Option<&mut Vec<f64>>,
+    jurors: &[Juror],
+    idx: usize,
+    old: &Juror,
+) -> (usize, usize) {
+    let r_old = locate_eps(order, jurors, idx, old.epsilon());
+    order.remove(r_old);
+    if let Some(eps) = eps.as_deref_mut() {
+        eps.remove(r_old);
+    }
+    let r_new = order.partition_point(|&j| eps_cmp(jurors, j, idx) == Ordering::Less);
+    order.insert(r_new, idx);
+    if let Some(eps) = eps {
+        eps.insert(r_new, jurors[idx].epsilon());
+    }
+    (r_old, r_new)
+}
+
+/// The [`reinsert_eps`] of the greedy order: one remove + one
+/// rank-insert under [`PayAlg::greedy_cmp`].
+pub(crate) fn reinsert_greedy(order: &mut Vec<usize>, jurors: &[Juror], idx: usize, old: &Juror) {
+    let g_old = locate_greedy(order, jurors, idx, old);
+    order.remove(g_old);
+    let g_new = order.partition_point(|&j| PayAlg::greedy_cmp(jurors, j, idx) == Ordering::Less);
+    order.insert(g_new, idx);
+}
+
+/// Binary-locates position `idx` in an ε-sorted run using the juror's
+/// *pre-mutation* rate (the run is still sorted under it; probing any
+/// other entry reads the pool, where only `idx` changed).
+fn locate_eps(order: &[usize], jurors: &[Juror], idx: usize, old_eps: f64) -> usize {
+    let pos = order.partition_point(|&j| {
+        let (e, i) = if j == idx { (old_eps, idx) } else { (jurors[j].epsilon(), j) };
+        e.total_cmp(&old_eps).then(i.cmp(&idx)) == Ordering::Less
+    });
+    debug_assert_eq!(order.get(pos), Some(&idx), "stale entry must sit at its old rank");
+    pos
+}
+
+/// Binary-locates position `idx` in a greedy-sorted run using the
+/// juror's pre-mutation keys (same construction as [`locate_eps`], over
+/// [`PayAlg::greedy_cmp`]'s full tie-break chain).
+fn locate_greedy(order: &[usize], jurors: &[Juror], idx: usize, old: &Juror) -> usize {
+    let (ok, oc, oe) = (old.greedy_key(), old.cost, old.epsilon());
+    let pos = order.partition_point(|&j| {
+        let (k, c, e, i) = if j == idx {
+            (ok, oc, oe, idx)
+        } else {
+            (jurors[j].greedy_key(), jurors[j].cost, jurors[j].epsilon(), j)
+        };
+        k.total_cmp(&ok).then(c.total_cmp(&oc)).then(e.total_cmp(&oe)).then(i.cmp(&idx))
+            == Ordering::Less
+    });
+    debug_assert_eq!(order.get(pos), Some(&idx), "stale entry must sit at its old rank");
+    pos
+}
+
+/// Removes `idx` from a position list and renumbers the survivors
+/// (positions greater than `idx` shift down by one), preserving order,
+/// in one pass.
+pub(crate) fn renumber_out(order: &mut Vec<usize>, idx: usize) {
+    order.retain_mut(|v| {
+        if *v == idx {
+            return false;
+        }
+        if *v > idx {
+            *v -= 1;
+        }
+        true
+    });
 }
 
 /// Shorthand for a shard's cache that `warm` has guaranteed to exist.
@@ -352,35 +569,8 @@ fn build_shard_cache(jurors: &[Juror], members: &[usize]) -> ShardCache {
     let eps: Vec<f64> = eps_order.iter().map(|&i| jurors[i].epsilon()).collect();
     let mut greedy_order = members.to_vec();
     greedy_order.sort_by(|&a, &b| PayAlg::greedy_cmp(jurors, a, b));
-    let mut ladder = Vec::with_capacity(eps.len().min(LADDER_MAX) / LADDER_SPACING);
-    let mut pmf = PoiBin::empty();
-    for (i, &e) in eps.iter().take(LADDER_MAX).enumerate() {
-        pmf.push(e);
-        if (i + 1) % LADDER_SPACING == 0 {
-            ladder.push(pmf.clone());
-        }
-    }
+    let ladder = PmfLadder::build(&eps);
     ShardCache { eps_order, eps, greedy_order, ladder }
-}
-
-/// The Poisson-binomial distribution of a shard's `c` most reliable
-/// members, resumed from the nearest ladder checkpoint when one is close
-/// enough, else batch-built (adaptive DP/CBA).
-fn prefix_pmf_into(cache: &ShardCache, c: usize, out: &mut PoiBin) {
-    let checkpoint = (c / LADDER_SPACING).min(cache.ladder.len());
-    let start = checkpoint * LADDER_SPACING;
-    if c - start <= LADDER_SPACING {
-        if checkpoint > 0 {
-            out.copy_from(&cache.ladder[checkpoint - 1]);
-        } else {
-            out.reset();
-        }
-        for &e in &cache.eps[start..c] {
-            out.push(e);
-        }
-    } else {
-        *out = PoiBin::from_error_rates(&cache.eps[..c]);
-    }
 }
 
 #[cfg(test)]
@@ -421,21 +611,63 @@ mod tests {
     }
 
     #[test]
-    fn remove_renumbers_and_preserves_other_shards() {
+    fn remove_repairs_in_place_and_renumbers() {
         let mut jurors = pool(40);
         let mut sp = ShardedPool::new(40, 4);
         sp.warm(&jurors);
         let victim = 11; // shard 11 % 4 == 3
         jurors.remove(victim);
-        sp.remove(victim);
-        // Only the owning shard went cold.
-        assert_eq!(sp.shards.iter().filter(|s| s.cache.is_none()).count(), 1);
-        assert!(sp.shards[victim % 4].cache.is_none());
+        let effect = sp.remove(victim);
+        assert!(effect.invalidated && effect.orders_repaired);
+        // Every shard stays warm — the owning one was repaired, not
+        // dropped — and the merged orders survive the renumbering.
+        assert!(sp.shards.iter().all(|s| s.cache.is_some()));
+        assert!(sp.is_warm());
         let outcome = sp.warm(&jurors);
-        assert_eq!(outcome.shards_built, 1);
+        assert_eq!(outcome.shards_built, 0);
+        assert!(!outcome.merged_rebuilt);
         let mut flat_eps = Vec::new();
         sorted_order_into(&jurors, &mut flat_eps);
         assert_eq!(sp.merged_eps_order().unwrap(), flat_eps.as_slice());
+        let mut flat_greedy = Vec::new();
+        PayAlg::greedy_order_into(&jurors, &mut flat_greedy);
+        assert_eq!(sp.merged_greedy_order().unwrap(), flat_greedy.as_slice());
+    }
+
+    #[test]
+    fn update_repairs_orders_and_ladder_in_place() {
+        use jury_core::juror::ErrorRate;
+        let mut jurors = pool(300);
+        let mut sp = ShardedPool::new(300, 4);
+        sp.warm(&jurors);
+        let probe_direct = |jurors: &[Juror], n: usize| {
+            let mut order = Vec::new();
+            sorted_order_into(jurors, &mut order);
+            let eps: Vec<f64> = order.iter().map(|&i| jurors[i].epsilon()).collect();
+            PoiBin::from_error_rates(&eps[..n]).tail(JerEngine::majority_threshold(n))
+        };
+        for (step, &(idx, e)) in [(17usize, 0.9f64), (4, 0.021), (120, 0.44)].iter().enumerate() {
+            let old = jurors[idx];
+            jurors[idx] = Juror::new(900 + step as u32, ErrorRate::new(e).unwrap(), 0.3);
+            let effect = sp.update(idx, &jurors, &old);
+            assert!(effect.invalidated && effect.orders_repaired, "step {step}");
+            assert!(effect.pmf_repaired || effect.pmf_rebuilt, "step {step}");
+            // Repaired merged orders equal full re-sorts, bit for bit.
+            let mut flat_eps = Vec::new();
+            sorted_order_into(&jurors, &mut flat_eps);
+            assert_eq!(sp.merged_eps_order().unwrap(), flat_eps.as_slice(), "step {step}");
+            let mut flat_greedy = Vec::new();
+            PayAlg::greedy_order_into(&jurors, &mut flat_greedy);
+            assert_eq!(sp.merged_greedy_order().unwrap(), flat_greedy.as_slice(), "step {step}");
+            // Repaired ladders keep probes within the documented bound.
+            for n in [1usize, 63, 65, 129, 299] {
+                let direct = probe_direct(&jurors, n);
+                assert!(
+                    (sp.jer_probe(n) - direct).abs() < crate::ladder::PROBE_REPAIR_TOL,
+                    "step {step} n={n}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -455,6 +687,29 @@ mod tests {
     }
 
     #[test]
+    fn bulk_dirty_shards_rebuild_in_parallel() {
+        let mut jurors = pool(64);
+        let mut sp = ShardedPool::new(64, 8);
+        sp.warm(&jurors);
+        // A bulk ingest dirties several shards at once.
+        for _ in 0..24 {
+            jurors.push(jurors[jurors.len() % 7]);
+            sp.insert(jurors.len());
+        }
+        let cold = sp.shards.iter().filter(|s| s.cache.is_none()).count();
+        assert!(cold > 1, "bulk ingest must dirty more than one shard");
+        let outcome = sp.warm(&jurors);
+        assert_eq!(outcome.shards_built, cold);
+        // The threaded rebuild must be invisible in the results.
+        let mut flat_eps = Vec::new();
+        sorted_order_into(&jurors, &mut flat_eps);
+        assert_eq!(sp.merged_eps_order().unwrap(), flat_eps.as_slice());
+        let mut flat_greedy = Vec::new();
+        PayAlg::greedy_order_into(&jurors, &mut flat_greedy);
+        assert_eq!(sp.merged_greedy_order().unwrap(), flat_greedy.as_slice());
+    }
+
+    #[test]
     fn probe_matches_direct_jer_within_tolerance() {
         let jurors = pool(300);
         let mut sp = ShardedPool::new(300, 7);
@@ -471,6 +726,7 @@ mod tests {
 
     #[test]
     fn ladder_fallback_beyond_coverage() {
+        use crate::ladder::LADDER_MAX;
         // A single huge shard: probes beyond LADDER_MAX take the batch
         // branch and must still agree.
         let jurors = pool(LADDER_MAX + 300);

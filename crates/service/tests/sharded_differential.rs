@@ -12,12 +12,22 @@
 //! `jury_service`'s crate docs: per-shard sorted runs K-way-merge into
 //! exactly the flat sort's permutation, so the solvers' presorted scans
 //! perform the identical float operations.
+//!
+//! Every PayM assertion also exercises the **budget staircase**: each
+//! service task is solved twice (the staircase-recording miss and the
+//! binary-search replay hit), and [`check_staircase`] drives a standalone
+//! [`Staircase`] against `PayAlg::solve_presorted` on budgets sitting
+//! exactly on, just under and between the greedy order's affordability
+//! cliffs — including across interleaved insert/update/remove sequences,
+//! whose in-place order and ladder repairs must leave the replayed trace
+//! bit-identical.
 
 use jury_core::altr::{AltrAlg, AltrConfig};
 use jury_core::juror::{pool_from_rates_and_costs, ErrorRate, Juror};
 use jury_core::model::CrowdModel;
-use jury_core::paym::{PayAlg, PayConfig};
+use jury_core::paym::{PayAlg, PayConfig, Staircase};
 use jury_core::problem::Selection;
+use jury_core::solver::SolverScratch;
 use jury_service::{DecisionTask, JuryService, PoolId, ServiceConfig, ServiceError, ShardConfig};
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -90,7 +100,10 @@ fn boundary_budgets(jurors: &[Juror]) -> Vec<f64> {
 }
 
 /// Solves the same task on the sharded service, the unsharded service
-/// and the direct solver, asserting all three agree bit-for-bit.
+/// and the direct solver, asserting all three agree bit-for-bit. PayM
+/// tasks are solved *twice* on each service so both the
+/// staircase-recording miss and the staircase-replay hit are pinned
+/// against the direct scan.
 fn check_task(
     sharded: &mut JuryService,
     flat: &mut JuryService,
@@ -109,6 +122,35 @@ fn check_task(
     }
     .map_err(ServiceError::from);
     assert_identical(&s, &direct, &format!("{ctx}: sharded vs direct solver"));
+    if matches!(model, CrowdModel::PayAsYouGo { .. }) {
+        let s_hit = sharded.solve(&task);
+        let f_hit = flat.solve(&task);
+        assert_identical(&s_hit, &direct, &format!("{ctx}: sharded staircase hit vs direct"));
+        assert_identical(&f_hit, &direct, &format!("{ctx}: flat staircase hit vs direct"));
+    }
+}
+
+/// Drives a standalone [`Staircase`] over the pool's greedy order across
+/// `budgets`, asserting both the recording miss and the replay hit are
+/// bit-identical to [`PayAlg::solve_presorted`] — the staircase contract
+/// independent of any service plumbing.
+fn check_staircase(jurors: &[Juror], budgets: &[f64], ctx: &str) {
+    let mut order = Vec::new();
+    PayAlg::greedy_order_into(jurors, &mut order);
+    let mut staircase = Staircase::new();
+    let mut scratch = SolverScratch::new();
+    for &budget in budgets {
+        let alg = PayAlg::new(budget, PayConfig::default());
+        let direct = alg
+            .solve_presorted(jurors, &order, &mut SolverScratch::new())
+            .map_err(ServiceError::from);
+        for round in ["miss", "hit"] {
+            let got = alg
+                .solve_staircase(jurors, &order, &mut staircase, &mut scratch)
+                .map_err(ServiceError::from);
+            assert_identical(&got, &direct, &format!("{ctx}: staircase {round} budget={budget}"));
+        }
+    }
 }
 
 proptest! {
@@ -122,6 +164,7 @@ proptest! {
             b.push(extra);
             b
         };
+        check_staircase(&jurors, &budgets, &format!("n={}", jurors.len()));
         for k in SHARD_COUNTS {
             let mut sharded = sharded_service(k);
             let mut flat = JuryService::new();
@@ -207,6 +250,9 @@ proptest! {
             if !current.is_empty() {
                 let total: f64 = current.iter().map(|j| j.cost).sum();
                 budgets.push(total * 0.5);
+                // A fresh staircase over the mutated pool must replay the
+                // direct scan bit-for-bit on every affordability cliff.
+                check_staircase(&current, &boundary_budgets(&current), &format!("step={step}"));
             }
             for (k, s) in &mut services {
                 prop_assert_eq!(s.pool(fp).unwrap(), current.as_slice(), "k={} step={}", k, step);
@@ -276,6 +322,7 @@ fn size_sweep_including_empty_shards() {
             .collect();
         let jurors = build(&quotes);
         let budgets = boundary_budgets(&jurors);
+        check_staircase(&jurors, &budgets, &format!("sweep n={n}"));
         let mut flat = JuryService::new();
         let fp = flat.create_pool(jurors.clone());
         for k in SHARD_COUNTS {
