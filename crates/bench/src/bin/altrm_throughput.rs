@@ -1,0 +1,212 @@
+//! `altrm_throughput` — the rescan-free warm AltrM serving numbers.
+//!
+//! Three measurements per pool size and layout, on AltrM traffic:
+//!
+//! * **steady warm** — the same AltrM task again: a cached-answer
+//!   replay (one selection clone, no scan at all);
+//! * **post-mutation** — one juror update (a re-estimated error rate)
+//!   followed by the next AltrM task: the update repairs every sorted
+//!   order and pmf ladder *in place*, and the dropped answer is
+//!   re-solved by `AltrAlg::solve_pruned` — an `O(N)` bound sweep plus
+//!   exact JER only at the surviving sizes, instead of the `O(N²)`
+//!   full prefix scan;
+//! * **full-rescan baseline** — what the same re-solve cost before this
+//!   path existed: `AltrAlg::solve_presorted` over the identical
+//!   (already repaired) sorted order. Measured only up to 10⁴ jurors;
+//!   beyond that one baseline rescan takes whole seconds, which is the
+//!   point.
+//!
+//! The pool models the regime the paper's Twitter measurements show and
+//! that makes jury selection interesting at all: a *fixed* cohort of
+//! reliable experts (ε ∈ [0.02, 0.30)) inside an ever-growing unreliable
+//! mob (ε ∈ [0.55, 0.95)). The optimal jury sits in the expert band, the
+//! prefix mean crosses ½ right above it, and the Paley–Zygmund bound
+//! erases the whole mob tail — the emitter records how many candidate
+//! sizes were pruned. (A pool whose prefix mean never reaches ½ — e.g. a
+//! uniform ε spread with mean < 0.5 — keeps every size a survivor and
+//! the pruned scan degrades gracefully to the full one plus an `O(N)`
+//! sweep.)
+//!
+//! Appends an `"altrm"` section to `BENCH_service.json` (run
+//! `service_throughput` first — it rewrites the whole file). `--smoke`
+//! runs a seconds-long version on a tiny pool and writes nothing — CI
+//! uses it to keep this binary from rotting.
+//!
+//! ```console
+//! $ cargo run --release -p jury-bench --bin altrm_throughput [-- --smoke]
+//! ```
+
+use jury_bench::report::{fmt_secs, Report};
+use jury_bench::timing::time_best_of;
+use jury_core::altr::AltrAlg;
+use jury_core::juror::{pool_from_rates_and_costs, ErrorRate, Juror};
+use jury_core::solver::{sorted_order_into, SolverScratch};
+use jury_service::{DecisionTask, JuryService, PoolId, ServiceConfig, ShardConfig};
+use serde::{json, Serialize, Value};
+
+/// Number of reliable experts, independent of pool size.
+const EXPERTS: usize = 100;
+
+/// Largest pool the `O(N²)` full-rescan baseline is measured on.
+const RESCAN_BASELINE_MAX: usize = 10_000;
+
+/// Deterministic expert-plus-mob pool: `EXPERTS` reliable jurors spread
+/// over [0.02, 0.30), the rest a mob spread over [0.55, 0.95); golden-
+/// ratio spacing, convex prices.
+fn pool(n: usize) -> Vec<Juror> {
+    let experts = EXPERTS.min(n / 2);
+    let quotes: Vec<(f64, f64)> = (0..n)
+        .map(|i| {
+            let u = (i as f64 * 0.6180339887498949) % 1.0;
+            let e = if i < experts { 0.02 + 0.28 * u } else { 0.55 + 0.40 * u };
+            (e, 0.05 + u * u)
+        })
+        .collect();
+    pool_from_rates_and_costs(&quotes).expect("valid synthetic quotes")
+}
+
+/// One juror update per round: a mob member's rate is re-estimated
+/// within the mob band, so the pool regime is stable across rounds.
+fn mutated_juror(round: usize, n: usize) -> (usize, Juror) {
+    let idx = EXPERTS + (round * 7919) % (n - EXPERTS);
+    let e = 0.55 + ((round * 13) % 40) as f64 / 100.0;
+    (idx, Juror::new(idx as u32, ErrorRate::new(e).unwrap(), 0.1))
+}
+
+/// Measures steady warm replay and post-mutation re-solve through the
+/// service; returns `(steady, post_mutation, pruned_per_solve)`.
+fn measure(service: &mut JuryService, id: PoolId, n: usize, repeats: usize) -> (f64, f64, usize) {
+    let task = DecisionTask::altruism(id);
+    assert!(service.solve(&task).is_ok(), "priming solve must succeed");
+    let (_, steady) = time_best_of(repeats, || {
+        let r = service.solve(&task);
+        std::hint::black_box(r.is_ok())
+    });
+    let pruned_before = service.stats().bound_pruned;
+    let solves_before = service.stats().tasks_solved;
+    let mut round = 0usize;
+    let (_, post_mutation) = time_best_of(repeats, || {
+        round += 1;
+        let (idx, juror) = mutated_juror(round, n);
+        service.update_juror(id, idx, juror).expect("index in range");
+        let r = service.solve(&task);
+        std::hint::black_box(r.is_ok())
+    });
+    let full_repairs = service.stats().full_repairs;
+    assert!(full_repairs <= 1, "post-mutation AltrM must never full-repair (saw {full_repairs})");
+    let solves = service.stats().tasks_solved - solves_before;
+    let pruned_per_solve = (service.stats().bound_pruned - pruned_before) / solves.max(1);
+    (steady, post_mutation, pruned_per_solve)
+}
+
+/// The pre-pruning cost of the same re-solve: one full presorted scan
+/// over the pool's sorted order.
+fn full_rescan_baseline(jurors: &[Juror], repeats: usize) -> f64 {
+    let mut order = Vec::new();
+    sorted_order_into(jurors, &mut order);
+    let mut scratch = SolverScratch::new();
+    let alg = AltrAlg::default();
+    let (_, secs) = time_best_of(repeats, || {
+        let r = alg.solve_presorted(jurors, &order, &mut scratch);
+        std::hint::black_box(r.is_ok())
+    });
+    secs
+}
+
+fn sharded_service(k: usize) -> JuryService {
+    JuryService::with_config(ServiceConfig {
+        shard: ShardConfig { threshold: 1, shards: k, ..Default::default() },
+        ..Default::default()
+    })
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (pool_sizes, shard_counts, repeats): (Vec<usize>, Vec<usize>, usize) =
+        if smoke { (vec![500], vec![4], 1) } else { (vec![1_000, 10_000, 100_000], vec![16], 5) };
+
+    let mut report = Report::new(
+        "altrm_throughput",
+        "warm AltrM: cached replay (steady) vs one juror update + bound-pruned re-solve, \
+         against the O(N^2) full-rescan baseline",
+        &["pool", "layout", "steady warm", "post-mutation", "full rescan", "speedup", "pruned"],
+    );
+    let mut rows: Vec<Value> = Vec::new();
+
+    for &n in &pool_sizes {
+        let jurors = pool(n);
+        let rescan = (n <= RESCAN_BASELINE_MAX).then(|| full_rescan_baseline(&jurors, repeats));
+        let mut run = |service: &mut JuryService, layout: String, shards: Option<usize>| {
+            let id = service.create_pool(jurors.clone());
+            let (steady, post, pruned) = measure(service, id, n, repeats);
+            assert!(pruned > 0, "the mob tail must prune on this pool");
+            let speedup = rescan.map(|r| r / post);
+            report.row(&[
+                &n,
+                &layout,
+                &fmt_secs(steady),
+                &fmt_secs(post),
+                &rescan.map_or("-".into(), fmt_secs),
+                &speedup.map_or("-".into(), |s| format!("{s:.0}x")),
+                &pruned,
+            ]);
+            rows.push(Value::object([
+                ("pool_size", n.to_value()),
+                ("shards", shards.map_or(Value::Null, |k| k.to_value())),
+                ("model", "altrm".to_value()),
+                ("steady_warm_hit_secs", steady.to_value()),
+                ("post_mutation_secs", post.to_value()),
+                ("full_rescan_secs", rescan.map_or(Value::Null, |r| r.to_value())),
+                ("speedup_vs_full_rescan", speedup.map_or(Value::Null, |s| s.to_value())),
+                ("sizes_pruned_per_solve", pruned.to_value()),
+            ]));
+        };
+        for &k in &shard_counts {
+            run(&mut sharded_service(k), format!("sharded/{k}"), Some(k));
+        }
+        run(&mut JuryService::new(), "flat".into(), None);
+    }
+
+    report.emit();
+
+    if smoke {
+        println!("[smoke] altrm_throughput ok ({} measurements)", rows.len());
+        return;
+    }
+
+    // Extend BENCH_service.json (written by service_throughput) with the
+    // altrm section.
+    let path = "BENCH_service.json";
+    let mut doc = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| json::parse(&text).ok())
+        .unwrap_or_else(|| Value::object([("bench", "service_throughput".to_value())]));
+    let section = Value::object([
+        (
+            "workload",
+            "warm AltrM on an expert-plus-mob pool (100 experts eps in [0.02,0.30), mob in \
+             [0.55,0.95)): cached replay (steady) and one juror update + next solve \
+             (post-mutation: in-place order/ladder repair + bound-pruned rescan-free re-solve), \
+             vs the O(N^2) full presorted rescan the warm path previously paid"
+                .to_value(),
+        ),
+        ("experts", EXPERTS.to_value()),
+        ("pool_sizes", Value::Array(pool_sizes.iter().map(|n| n.to_value()).collect())),
+        ("shard_counts", Value::Array(shard_counts.iter().map(|k| k.to_value()).collect())),
+        (
+            "rescan_baseline_note",
+            format!(
+                "full_rescan_secs measured only up to {RESCAN_BASELINE_MAX} jurors; beyond that \
+                 one O(N^2) rescan takes seconds"
+            )
+            .to_value(),
+        ),
+        ("results", Value::Array(rows)),
+    ]);
+    if let Value::Object(fields) = &mut doc {
+        fields.retain(|(key, _)| key != "altrm");
+        fields.push(("altrm".to_string(), section));
+    }
+    std::fs::write(path, json::to_string_pretty(&doc)).expect("write BENCH_service.json");
+    println!("[json] {path} (altrm section)");
+}

@@ -54,8 +54,13 @@ fn models(batch: usize) -> Vec<CrowdModel> {
         .collect()
 }
 
-/// Tasks/sec solving the stream through warm `solve_batch`.
-fn service_throughput(jurors: &[Juror], batch: usize) -> f64 {
+/// Tasks/sec solving the stream through warm `solve_batch` (owned
+/// results — one member-list copy per replayed task) and through
+/// `solve_batch_shared` (replays hand out one `Arc` per task). The gap
+/// between the two is pure result-copy traffic: at pool 10⁴ the cached
+/// AltrM answer holds ~10³ members, and cloning it per task is what
+/// collapsed large-batch throughput before the shared path existed.
+fn service_throughput(jurors: &[Juror], batch: usize) -> (f64, f64) {
     let mut service = JuryService::new();
     let id = service.create_pool(jurors.to_vec());
     service.warm_pool(id).expect("pool registered");
@@ -68,7 +73,11 @@ fn service_throughput(jurors: &[Juror], batch: usize) -> f64 {
         let results = service.solve_batch(&stream);
         std::hint::black_box(results.len())
     });
-    batch as f64 / secs
+    let (_, shared_secs) = time_best_of(repeats, || {
+        let results = service.solve_batch_shared(&stream);
+        std::hint::black_box(results.len())
+    });
+    (batch as f64 / secs, batch as f64 / shared_secs)
 }
 
 /// Tasks/sec solving the same stream with one standalone solver call per
@@ -98,21 +107,22 @@ fn main() {
 
     let mut report = Report::new(
         "service_throughput",
-        "JuryService warm-batch throughput vs naive per-task solve",
-        &["pool", "batch", "service tasks/s", "naive tasks/s", "speedup"],
+        "JuryService warm-batch throughput (owned and shared results) vs naive per-task solve",
+        &["pool", "batch", "service tasks/s", "shared tasks/s", "naive tasks/s", "speedup"],
     );
     let mut rows: Vec<Value> = Vec::new();
 
     for &n in &pool_sizes {
         let jurors = pool(n);
         for &batch in &batch_sizes {
-            let service = service_throughput(&jurors, batch);
+            let (service, shared) = service_throughput(&jurors, batch);
             let naive = naive_throughput(&jurors, batch);
             let speedup = service / naive;
             report.row(&[
                 &n,
                 &batch,
                 &fmt_f(service, 1),
+                &fmt_f(shared, 1),
                 &fmt_f(naive, 1),
                 &format!("{speedup:.1}x"),
             ]);
@@ -120,6 +130,7 @@ fn main() {
                 ("pool_size", n.to_value()),
                 ("batch_size", batch.to_value()),
                 ("service_tasks_per_sec", service.to_value()),
+                ("service_shared_tasks_per_sec", shared.to_value()),
                 ("naive_tasks_per_sec", naive.to_value()),
                 ("speedup", speedup.to_value()),
             ]));

@@ -79,7 +79,7 @@ fn measure(
 
 fn sharded_service(k: usize) -> JuryService {
     JuryService::with_config(ServiceConfig {
-        shard: ShardConfig { threshold: 1, shards: k },
+        shard: ShardConfig { threshold: 1, shards: k, ..Default::default() },
         ..Default::default()
     })
 }

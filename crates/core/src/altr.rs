@@ -25,7 +25,25 @@ use crate::jer::{jer_gamma, jer_lower_bound, JerEngine, JerScratch};
 use crate::juror::Juror;
 use crate::problem::{Selection, SolverStats};
 use crate::solver::{sorted_order_into, Solver, SolverScratch};
+use jury_numeric::bounds::{PrefixMoments, TailBound};
 use jury_numeric::poibin::PoiBin;
+
+/// Multiplicative safety slack of the bound-pruned scan: a candidate
+/// size is eliminated only when its certified lower bound exceeds the
+/// incumbent upper bound by more than this relative margin. Combined
+/// with [`PRUNE_MARGIN`] it dominates the `O(1)` moment kernels' worst
+/// relative rounding error (≲ 10⁻⁶ once the margin holds), so float
+/// rounding can never prune the true argmin —
+/// [`AltrAlg::solve_pruned`]'s bit-identity rests on it.
+pub const PRUNE_SLACK: f64 = 1e-4;
+
+/// Applicability margin of the bound-pruned scan: a moment bound
+/// participates in pruning only when its defining cancellation
+/// `|threshold − μ|` retains at least this fraction of the threshold.
+/// Near the `μ ≈ threshold` crossover the cancellation amplifies the
+/// prefix sums' rounding error without limit; inside the margin the
+/// relative error of every kernel stays far below [`PRUNE_SLACK`].
+pub const PRUNE_MARGIN: f64 = 1e-4;
 
 /// Which AltrALG implementation to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -143,6 +161,55 @@ impl AltrAlg {
         debug_assert_eq!(order.len(), pool.len(), "order must cover the pool");
         let SolverScratch { eps, pmf, jer, .. } = scratch;
         self.scan_sorted(pool, order, eps, pmf, jer)
+    }
+
+    /// The bound-pruned form of [`AltrAlg::solve_presorted`]: a sweep of
+    /// `O(1)`-per-prefix moment bounds
+    /// ([`jury_numeric::bounds::PrefixMoments`]) first eliminates every
+    /// odd size whose Paley–Zygmund lower bound exceeds the best
+    /// Cantelli/Chernoff upper bound seen anywhere (plus the exact
+    /// size-1 JER); exact JER is then evaluated only at the survivors,
+    /// and the incremental pmf scan *stops at the largest survivor*
+    /// instead of walking the whole pool. When the high-ε tail of the
+    /// run prunes, the post-warm-up cost drops from `O(N²)` to
+    /// `O(N + M²)` where `M` is the largest surviving size.
+    ///
+    /// **Bit-identity contract.** The returned `members`, `jer` and
+    /// `total_cost` are bit-identical to
+    /// [`AltrAlg::solve_presorted`] under
+    /// [`AltrStrategy::Incremental`] (the default): survivors are
+    /// evaluated by the identical sequential [`PoiBin::push`]/tail
+    /// operations, pruning is sound (an eliminated size's exact JER
+    /// strictly exceeds the incumbent's, with [`PRUNE_SLACK`] and
+    /// [`PRUNE_MARGIN`] absorbing kernel rounding), and survivors are
+    /// scanned ascending with a strict comparison so the smallest-`n`
+    /// tie-break is preserved. The [`SolverStats`] *differ by design*:
+    /// `jer_evaluations` counts only the survivors and
+    /// `pruned_by_bound` the eliminated sizes, while
+    /// `candidates_considered` still counts every odd size. The
+    /// configured strategy/engine are ignored — this scan *is* its own
+    /// strategy.
+    ///
+    /// # Errors
+    /// [`JuryError::EmptyPool`] when `pool` is empty.
+    pub fn solve_pruned(
+        &self,
+        pool: &[Juror],
+        order: &[usize],
+        scratch: &mut SolverScratch,
+    ) -> Result<Selection, JuryError> {
+        if pool.is_empty() {
+            return Err(JuryError::EmptyPool);
+        }
+        debug_assert_eq!(order.len(), pool.len(), "order must cover the pool");
+        let SolverScratch { eps, pmf, bounds, .. } = scratch;
+        eps.clear();
+        eps.extend(order.iter().map(|&i| pool[i].epsilon()));
+        let (best_n, best_jer, stats) = scan_pruned(eps, pmf, bounds);
+        let mut members: Vec<usize> = order[..best_n].to_vec();
+        members.sort_unstable();
+        let total_cost = members.iter().map(|&i| pool[i].cost).sum();
+        Ok(Selection { members, jer: best_jer, total_cost, stats })
     }
 
     /// Algorithm 3 over an ε-sorted visit order: fills `eps` from the
@@ -267,6 +334,154 @@ fn scan_incremental(eps_sorted: &[f64], pmf: &mut PoiBin) -> (usize, f64, Solver
         }
     }
     (best_n, best_jer, stats)
+}
+
+/// The bound-pruned scan behind [`AltrAlg::solve_pruned`].
+///
+/// Pass 1 streams [`PrefixMoments`] over the run: per odd size it
+/// collects the Paley–Zygmund lower bound (`-∞` when inapplicable or
+/// inside [`PRUNE_MARGIN`] of the `μ = t` crossover) into `lower`, and
+/// folds the applicable Cantelli/Chernoff upper bounds — seeded with the
+/// exact size-1 JER, which is the first rate itself — into one incumbent
+/// upper bound. Pass 2 runs the ordinary incremental pmf scan, but only
+/// up to the largest size whose lower bound fails to clear the incumbent
+/// by [`PRUNE_SLACK`], evaluating tails only at those survivors.
+fn scan_pruned(
+    eps_sorted: &[f64],
+    pmf: &mut PoiBin,
+    lower: &mut Vec<f64>,
+) -> (usize, f64, SolverStats) {
+    let mut stats = SolverStats::default();
+    let mut moments = PrefixMoments::new();
+    let mut incumbent_ub = f64::INFINITY;
+    lower.clear();
+    for (i, &e) in eps_sorted.iter().enumerate() {
+        moments.push(e);
+        let n = i + 1;
+        if n % 2 == 0 {
+            continue;
+        }
+        let t = JerEngine::majority_threshold(n);
+        let margin = PRUNE_MARGIN * t as f64;
+        if n == 1 {
+            // JER of the single best juror is its rate, bit-exactly
+            // (the tail of a one-trial pmf) — a free certified incumbent.
+            incumbent_ub = incumbent_ub.min(e);
+        }
+        if t as f64 - moments.mu() >= margin {
+            if let TailBound::Value(v) = moments.cantelli_upper(t) {
+                incumbent_ub = incumbent_ub.min(v);
+            }
+            if let TailBound::Value(v) = moments.chernoff_upper(t) {
+                incumbent_ub = incumbent_ub.min(v);
+            }
+        }
+        let lb = if moments.mu() - t as f64 >= margin {
+            match moments.paley_zygmund_lower(t) {
+                TailBound::Value(v) => v,
+                TailBound::Inapplicable => f64::NEG_INFINITY,
+            }
+        } else {
+            f64::NEG_INFINITY
+        };
+        lower.push(lb);
+    }
+
+    // Survivors: odd sizes whose lower bound cannot certify defeat.
+    let cutoff = incumbent_ub * (1.0 + PRUNE_SLACK);
+    let mut max_survivor = 0usize;
+    for (k, &lb) in lower.iter().enumerate() {
+        let n = 2 * k + 1;
+        stats.candidates_considered += 1;
+        if lb > cutoff {
+            stats.pruned_by_bound += 1;
+        } else {
+            max_survivor = n;
+        }
+    }
+
+    let mut best_n = 0usize;
+    let mut best_jer = f64::INFINITY;
+    pmf.reset();
+    for (i, &e) in eps_sorted[..max_survivor].iter().enumerate() {
+        pmf.push(e);
+        let n = i + 1;
+        if n % 2 == 1 && lower[(n - 1) / 2] <= cutoff {
+            let jer = pmf.tail(JerEngine::majority_threshold(n));
+            stats.jer_evaluations += 1;
+            if jer < best_jer {
+                best_jer = jer;
+                best_n = n;
+            }
+        }
+    }
+    (best_n, best_jer, stats)
+}
+
+/// The odd-size JER profile (the Figure 3(a) curve) as a *repairable*
+/// artefact. A fresh build performs exactly the sequential pushes of
+/// [`AltrAlg::jer_profile_sorted`]; after the underlying ε-sorted run
+/// mutates, [`JerProfile::repair_from`] reuses every entry whose prefix
+/// multiset is untouched **verbatim** (bit-preserved) and re-derives
+/// only the suffix, resuming from a caller-supplied prefix distribution
+/// (a serving layer's pmf-ladder checkpoint) instead of pushing from
+/// zero.
+///
+/// Repaired suffix entries inherit the resume pmf's lineage: resumed
+/// from a push-built checkpoint they are bit-identical to a fresh
+/// build; resumed from a deconvolution-repaired checkpoint they are
+/// only *numerically* equal (the serving layer documents the tolerance).
+/// Nothing on a solver's bit-identical path reads a profile.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct JerProfile {
+    /// `(n, JER of the n lowest-ε jurors)` for `n = 1, 3, 5, …`.
+    entries: Vec<(usize, f64)>,
+}
+
+impl JerProfile {
+    /// Builds the full profile over an ε-ascending run (`O(len²)`
+    /// sequential pushes — identical float operations to
+    /// [`AltrAlg::jer_profile_sorted`]).
+    pub fn build(eps_sorted: &[f64]) -> Self {
+        Self { entries: profile(eps_sorted) }
+    }
+
+    /// The profile entries, ascending in `n`.
+    pub fn entries(&self) -> &[(usize, f64)] {
+        &self.entries
+    }
+
+    /// Repairs the profile after the run changed at (0-based) rank
+    /// `rank` — the lowest rank whose value differs from the pre-mutation
+    /// run (for an update that moved a value between ranks `a` and `b`,
+    /// `min(a, b)`). `eps_sorted` is the **post-mutation** run; `pmf`
+    /// must hold the distribution of `eps_sorted[..resume]` for some
+    /// `resume ≤ rank` (it is consumed — on return it holds the full-run
+    /// distribution). Entries for odd `n ≤ rank` are reused verbatim;
+    /// the rest are re-derived by sequential pushes from `resume`,
+    /// handling runs that grew (insert) or shrank (removal) by one.
+    pub fn repair_from(
+        &mut self,
+        eps_sorted: &[f64],
+        rank: usize,
+        resume: usize,
+        pmf: &mut PoiBin,
+    ) {
+        debug_assert!(resume <= rank && resume <= eps_sorted.len(), "resume must precede the edit");
+        debug_assert_eq!(pmf.n(), resume, "pmf must cover eps[..resume]");
+        debug_assert!(
+            self.entries.len() + 1 >= eps_sorted.len().div_ceil(2),
+            "profile must cover the pre-mutation run"
+        );
+        self.entries.truncate(rank.div_ceil(2));
+        for (i, &e) in eps_sorted.iter().enumerate().skip(resume) {
+            pmf.push(e);
+            let n = i + 1;
+            if n % 2 == 1 && n > rank {
+                self.entries.push((n, pmf.tail(JerEngine::majority_threshold(n))));
+            }
+        }
+    }
 }
 
 fn scan_recompute(
@@ -513,6 +728,170 @@ mod tests {
             AltrAlg::default().solve_presorted(&[], &[], &mut scratch),
             Err(JuryError::EmptyPool)
         );
+    }
+
+    /// `solve_pruned` against `solve_presorted`: members, JER bits and
+    /// cost bits must match; stats are allowed (and expected) to differ.
+    fn assert_pruned_matches(pool: &[Juror], ctx: &str) -> (Selection, Selection) {
+        use crate::solver::sorted_order_into;
+        let mut order = Vec::new();
+        sorted_order_into(pool, &mut order);
+        let alg = AltrAlg::default();
+        let full = alg.solve_presorted(pool, &order, &mut SolverScratch::new()).unwrap();
+        let pruned = alg.solve_pruned(pool, &order, &mut SolverScratch::new()).unwrap();
+        assert_eq!(pruned.members, full.members, "{ctx}: members");
+        assert_eq!(pruned.jer.to_bits(), full.jer.to_bits(), "{ctx}: jer bits");
+        assert_eq!(pruned.total_cost.to_bits(), full.total_cost.to_bits(), "{ctx}: cost bits");
+        assert_eq!(
+            pruned.stats.candidates_considered, full.stats.candidates_considered,
+            "{ctx}: both scans consider every odd size"
+        );
+        assert_eq!(
+            pruned.stats.jer_evaluations + pruned.stats.pruned_by_bound,
+            full.stats.jer_evaluations,
+            "{ctx}: every size is either evaluated or pruned"
+        );
+        (pruned, full)
+    }
+
+    #[test]
+    fn pruned_scan_is_bit_identical_across_regimes() {
+        // Reliable, error-prone, mixed, degenerate and adversarial pools.
+        let cases: Vec<(&str, Vec<f64>)> = vec![
+            ("table2", TABLE2.to_vec()),
+            ("single", vec![0.42]),
+            ("all-bad", vec![0.6, 0.65, 0.7, 0.75, 0.8]),
+            ("all-good", vec![0.2; 9]),
+            ("coin-flips", vec![0.5; 11]),
+            ("near-zeros-and-ones", vec![1e-12, 1e-12, 1.0 - 1e-12, 1.0 - 1e-12, 1.0 - 1e-12, 0.3]),
+            ("near-half", (0..21).map(|i| 0.5 + (i as f64 - 10.0) * 1e-12).collect()),
+            (
+                "expert-plus-mob",
+                (0..101).map(|i| if i < 5 { 0.03 + i as f64 * 0.01 } else { 0.8 }).collect(),
+            ),
+            ("uniform-spread", (0..200).map(|i| 0.02 + 0.96 * (i as f64 / 200.0)).collect()),
+        ];
+        for (label, rates) in cases {
+            let pool = pool_from_rates(&rates).unwrap();
+            assert_pruned_matches(&pool, label);
+        }
+    }
+
+    #[test]
+    fn pruned_scan_saves_work_on_error_prone_tails() {
+        // A few experts and a long unreliable tail: the paper-realistic
+        // regime. The PZ bound must eliminate the tail and the scan must
+        // stop early.
+        let rates: Vec<f64> =
+            (0..301).map(|i| if i < 9 { 0.05 + i as f64 * 0.02 } else { 0.85 }).collect();
+        let pool = pool_from_rates(&rates).unwrap();
+        let (pruned, full) = assert_pruned_matches(&pool, "expert-tail");
+        assert!(pruned.stats.pruned_by_bound > 100, "tail must prune: {:?}", pruned.stats);
+        assert!(pruned.stats.jer_evaluations < full.stats.jer_evaluations / 4);
+    }
+
+    #[test]
+    fn pruned_scan_on_random_pools() {
+        let mut state = 0x2545f4914f6cdd1du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for trial in 0..40 {
+            let n = 1 + (trial * 13) % 120;
+            // Alternate reliable-heavy and error-prone-heavy regimes.
+            let shift = if trial % 2 == 0 { 0.0 } else { 0.4 };
+            let rates: Vec<f64> =
+                (0..n).map(|_| (0.01 + shift + 0.58 * next()).min(0.99)).collect();
+            let pool = pool_from_rates(&rates).unwrap();
+            assert_pruned_matches(&pool, &format!("trial {trial}"));
+        }
+    }
+
+    #[test]
+    fn pruned_empty_pool_is_an_error() {
+        assert_eq!(
+            AltrAlg::default().solve_pruned(&[], &[], &mut SolverScratch::new()),
+            Err(JuryError::EmptyPool)
+        );
+    }
+
+    #[test]
+    fn jer_profile_type_matches_free_function() {
+        let rates = [0.31, 0.18, 0.44, 0.27, 0.09, 0.36, 0.22, 0.5];
+        let pool = pool_from_rates(&rates).unwrap();
+        let mut eps: Vec<f64> = rates.to_vec();
+        eps.sort_by(f64::total_cmp);
+        let profile = JerProfile::build(&eps);
+        assert_eq!(profile.entries(), AltrAlg::jer_profile(&pool).as_slice());
+    }
+
+    #[test]
+    fn jer_profile_repairs_update_insert_and_remove() {
+        let base: Vec<f64> = {
+            let mut eps: Vec<f64> =
+                (0..90).map(|i| 0.02 + 0.9 * ((i as f64 * 0.6180339887498949) % 1.0)).collect();
+            eps.sort_by(f64::total_cmp);
+            eps
+        };
+
+        // Update: move the value at rank 20 to a high rank.
+        let mut eps = base.clone();
+        let mut profile = JerProfile::build(&eps);
+        eps.remove(20);
+        let r_new = eps.partition_point(|&e| e < 0.88);
+        eps.insert(r_new, 0.88);
+        let rank = 20usize.min(r_new);
+        // Resume from a mid-run prefix pmf, as a ladder checkpoint would.
+        let resume = rank.min(16);
+        let mut pmf = PoiBin::from_error_rates_dp(&eps[..resume]);
+        profile.repair_from(&eps, rank, resume, &mut pmf);
+        assert_eq!(profile, JerProfile::build(&eps), "update repair");
+
+        // Insert: the run grows by one and gains an entry.
+        let mut eps = base.clone();
+        let mut profile = JerProfile::build(&eps);
+        let r = eps.partition_point(|&e| e < 0.5);
+        eps.insert(r, 0.5);
+        let mut pmf = PoiBin::empty();
+        profile.repair_from(&eps, r, 0, &mut pmf);
+        assert_eq!(profile, JerProfile::build(&eps), "insert repair");
+        assert_eq!(profile.entries().len(), eps.len().div_ceil(2));
+
+        // Remove: the run shrinks; the stale top entry must vanish.
+        let mut eps = base.clone();
+        let mut profile = JerProfile::build(&eps);
+        eps.remove(70);
+        let resume = 64usize;
+        let mut pmf = PoiBin::from_error_rates_dp(&eps[..resume]);
+        profile.repair_from(&eps, 70, resume, &mut pmf);
+        assert_eq!(profile, JerProfile::build(&eps), "remove repair");
+
+        // Removing the last element of an odd-length run drops an entry.
+        let mut eps = base[..7].to_vec();
+        let mut profile = JerProfile::build(&eps);
+        eps.pop();
+        let mut pmf = PoiBin::empty();
+        profile.repair_from(&eps, 6, 0, &mut pmf);
+        assert_eq!(profile, JerProfile::build(&eps), "tail remove repair");
+    }
+
+    #[test]
+    fn jer_profile_repair_preserves_prefix_entries_verbatim() {
+        let mut eps: Vec<f64> = (0..40).map(|i| 0.05 + 0.02 * i as f64).collect();
+        let mut profile = JerProfile::build(&eps);
+        let before: Vec<(usize, f64)> = profile.entries().to_vec();
+        // Mutate rank 25: entries for n ≤ 25 must be the same bits even
+        // though the resume pushes pass through them.
+        eps[25] = 0.9;
+        let mut pmf = PoiBin::from_error_rates_dp(&eps[..10]);
+        profile.repair_from(&eps, 25, 10, &mut pmf);
+        for (old, new) in before.iter().zip(profile.entries()).take(13) {
+            assert_eq!(old.0, new.0);
+            assert_eq!(old.1.to_bits(), new.1.to_bits(), "n={}", old.0);
+        }
     }
 
     #[test]

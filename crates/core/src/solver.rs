@@ -60,6 +60,8 @@ pub struct SolverScratch {
     pub(crate) trial: PoiBin,
     /// JER-engine working buffers.
     pub(crate) jer: JerScratch,
+    /// Per-odd-size lower bounds of `AltrAlg::solve_pruned`'s sweep.
+    pub(crate) bounds: Vec<f64>,
 }
 
 impl SolverScratch {

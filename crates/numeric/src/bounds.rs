@@ -7,6 +7,17 @@
 //! and the Chernoff–Hoeffding bound for sums of independent Bernoullis —
 //! which allow symmetric pruning ("this jury cannot be better than the
 //! incumbent" / "cannot be worse").
+//!
+//! All three bounds depend on the rates only through the first two
+//! moments `μ = Σ ε_i` and `σ² = Σ ε_i(1-ε_i)` (plus the count `n`).
+//! Over an ε-sorted prefix scan those moments are *prefix sums*, so
+//! [`PrefixMoments`] maintains them incrementally: one
+//! [`PrefixMoments::push`] per juror and every bound evaluates in
+//! `O(1)` per candidate prefix — the kernel behind
+//! `AltrAlg::solve_pruned`'s rescan-free bound sweep. The slice entry
+//! points and the prefix form share the same moment→bound formulas, so
+//! the two evaluation styles agree bit-for-bit when fed the same
+//! accumulated moments.
 
 /// Result of a bound evaluation: either a usable bound value or a marker
 /// that the inequality's precondition failed for these parameters.
@@ -35,6 +46,73 @@ impl TailBound {
     }
 }
 
+/// Incrementally-maintained first two moments of a carelessness count:
+/// `μ = Σ ε_i` and `σ² = Σ ε_i(1-ε_i)` over the rates pushed so far.
+///
+/// One push per juror keeps every moment-based tail bound evaluable in
+/// `O(1)` per prefix of an ε-sorted scan. The accumulators are the same
+/// left-to-right sums the slice entry points compute, so
+/// [`PrefixMoments::paley_zygmund_lower`] over the first `n` pushes
+/// returns bit-identical values to [`paley_zygmund_lower_bound`] on the
+/// corresponding slice (and likewise for the upper bounds).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PrefixMoments {
+    n: usize,
+    mu: f64,
+    sigma2: f64,
+}
+
+impl PrefixMoments {
+    /// The empty prefix (zero jurors).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Extends the prefix by one juror with error rate `e`.
+    #[inline]
+    pub fn push(&mut self, e: f64) {
+        self.n += 1;
+        self.mu += e;
+        self.sigma2 += e * (1.0 - e);
+    }
+
+    /// Number of rates pushed so far.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Accumulated mean `Σ ε_i`.
+    #[inline]
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Accumulated variance `Σ ε_i(1-ε_i)`.
+    #[inline]
+    pub fn sigma2(&self) -> f64 {
+        self.sigma2
+    }
+
+    /// [`paley_zygmund_lower_bound`] over the pushed prefix, in `O(1)`.
+    #[inline]
+    pub fn paley_zygmund_lower(&self, threshold: usize) -> TailBound {
+        paley_zygmund_from_moments(self.mu, self.sigma2, threshold)
+    }
+
+    /// [`cantelli_upper_bound`] over the pushed prefix, in `O(1)`.
+    #[inline]
+    pub fn cantelli_upper(&self, threshold: usize) -> TailBound {
+        cantelli_from_moments(self.mu, self.sigma2, threshold)
+    }
+
+    /// [`chernoff_upper_bound`] over the pushed prefix, in `O(1)`.
+    #[inline]
+    pub fn chernoff_upper(&self, threshold: usize) -> TailBound {
+        chernoff_from_moments(self.n, self.mu, threshold)
+    }
+}
+
 /// Paley–Zygmund lower bound of the paper's Lemma 2.
 ///
 /// For the carelessness count `C` with mean `μ = Σ ε_i` and variance
@@ -51,6 +129,13 @@ impl TailBound {
 pub fn paley_zygmund_lower_bound(eps: &[f64], threshold: usize) -> TailBound {
     let mu: f64 = eps.iter().sum();
     let sigma2: f64 = eps.iter().map(|e| e * (1.0 - e)).sum();
+    paley_zygmund_from_moments(mu, sigma2, threshold)
+}
+
+/// The moment form of [`paley_zygmund_lower_bound`]: the shared kernel
+/// both the slice and the [`PrefixMoments`] entry points reduce to.
+#[inline]
+pub fn paley_zygmund_from_moments(mu: f64, sigma2: f64, threshold: usize) -> TailBound {
     if mu <= 0.0 {
         return TailBound::Inapplicable;
     }
@@ -86,6 +171,12 @@ pub fn paley_zygmund_gamma(eps: &[f64], threshold: usize) -> f64 {
 pub fn cantelli_upper_bound(eps: &[f64], threshold: usize) -> TailBound {
     let mu: f64 = eps.iter().sum();
     let sigma2: f64 = eps.iter().map(|e| e * (1.0 - e)).sum();
+    cantelli_from_moments(mu, sigma2, threshold)
+}
+
+/// The moment form of [`cantelli_upper_bound`].
+#[inline]
+pub fn cantelli_from_moments(mu: f64, sigma2: f64, threshold: usize) -> TailBound {
     let a = threshold as f64 - mu;
     if a <= 0.0 {
         return TailBound::Inapplicable;
@@ -103,12 +194,18 @@ pub fn cantelli_upper_bound(eps: &[f64], threshold: usize) -> TailBound {
 /// Tighter than Cantelli far in the tail; the `bounds` ablation bench
 /// compares all three.
 pub fn chernoff_upper_bound(eps: &[f64], threshold: usize) -> TailBound {
-    let n = eps.len();
+    let mu: f64 = eps.iter().sum();
+    chernoff_from_moments(eps.len(), mu, threshold)
+}
+
+/// The moment form of [`chernoff_upper_bound`] (the KL bound needs only
+/// the count and the mean).
+#[inline]
+pub fn chernoff_from_moments(n: usize, mu: f64, threshold: usize) -> TailBound {
     if n == 0 || threshold > n {
         // Pr(C >= t) = 0 when t > n: bound trivially zero.
         return if threshold > n { TailBound::Value(0.0) } else { TailBound::Inapplicable };
     }
-    let mu: f64 = eps.iter().sum();
     let p = mu / n as f64;
     let q = threshold as f64 / n as f64;
     if q <= p {
@@ -242,5 +339,52 @@ mod tests {
     fn kl_zero_when_equal() {
         assert!((kl_bernoulli(0.3, 0.3)).abs() < 1e-15);
         assert!(kl_bernoulli(0.6, 0.3) > 0.0);
+    }
+
+    #[test]
+    fn prefix_moments_match_slice_bounds_bit_for_bit() {
+        // Pushing a sorted run juror by juror must reproduce the slice
+        // entry points at every prefix, bits included — the accumulators
+        // are the same left-to-right sums.
+        let eps: Vec<f64> =
+            (0..97).map(|i| 0.01 + 0.98 * ((i as f64 * 0.6180339887498949) % 1.0)).collect();
+        let mut pm = PrefixMoments::new();
+        assert_eq!(pm.n(), 0);
+        for (i, &e) in eps.iter().enumerate() {
+            pm.push(e);
+            let prefix = &eps[..=i];
+            let n = i + 1;
+            assert_eq!(pm.n(), n);
+            for t in [1usize, majority(n), n, n + 1] {
+                assert_eq!(
+                    pm.paley_zygmund_lower(t),
+                    paley_zygmund_lower_bound(prefix, t),
+                    "pz n={n} t={t}"
+                );
+                assert_eq!(
+                    pm.cantelli_upper(t),
+                    cantelli_upper_bound(prefix, t),
+                    "cantelli n={n} t={t}"
+                );
+                assert_eq!(
+                    pm.chernoff_upper(t),
+                    chernoff_upper_bound(prefix, t),
+                    "chernoff n={n} t={t}"
+                );
+            }
+        }
+        // μ and σ² are the plain sequential sums.
+        let mu: f64 = eps.iter().sum();
+        let sigma2: f64 = eps.iter().map(|e| e * (1.0 - e)).sum();
+        assert_eq!(pm.mu().to_bits(), mu.to_bits());
+        assert_eq!(pm.sigma2().to_bits(), sigma2.to_bits());
+    }
+
+    #[test]
+    fn prefix_moments_empty_prefix_is_inapplicable_or_trivial() {
+        let pm = PrefixMoments::new();
+        assert_eq!(pm.paley_zygmund_lower(1), TailBound::Inapplicable);
+        assert_eq!(pm.cantelli_upper(1), TailBound::Value(0.0));
+        assert_eq!(pm.chernoff_upper(1), TailBound::Value(0.0));
     }
 }

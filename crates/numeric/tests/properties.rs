@@ -6,7 +6,7 @@
 //! soundness of every tail bound.
 
 use jury_numeric::bounds::{
-    cantelli_upper_bound, chernoff_upper_bound, paley_zygmund_lower_bound, TailBound,
+    cantelli_upper_bound, chernoff_upper_bound, paley_zygmund_lower_bound, PrefixMoments, TailBound,
 };
 use jury_numeric::conv::{convolve_direct, convolve_fft, ConvScratch};
 use jury_numeric::fft::Fft;
@@ -18,6 +18,29 @@ use proptest::prelude::*;
 /// Error rates strictly inside (0,1) as Definition 4 requires.
 fn error_rates(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
     vec(0.001..0.999f64, 1..=max_len)
+}
+
+/// Adversarial rates for the bound-soundness sandwich: exact degenerate
+/// masses (0, 1), denormal-adjacent rates (`1e-12`, `1 − 1e-12`), the
+/// ½-mass neighbourhood (`0.5`, `0.5 ± 1e-12` — where the Paley–Zygmund
+/// `γ → 1` and Cantelli `t − μ → 0` cancellations are sharpest) and
+/// ordinary rates, mixed freely.
+fn adversarial_rates(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    vec((0usize..10, 0.001..0.999f64), 1..=max_len).prop_map(|picks| {
+        picks
+            .into_iter()
+            .map(|(which, r)| match which {
+                0 => 0.0,
+                1 => 1.0,
+                2 => 1e-12,
+                3 => 1.0 - 1e-12,
+                4 => 0.5,
+                5 => 0.5 - 1e-12,
+                6 => 0.5 + 1e-12,
+                _ => r,
+            })
+            .collect()
+    })
 }
 
 proptest! {
@@ -118,6 +141,46 @@ proptest! {
         }
         if let TailBound::Value(b) = chernoff_upper_bound(&eps, t) {
             prop_assert!(b >= exact - 1e-9);
+        }
+    }
+
+    #[test]
+    fn bounds_sandwich_exact_tail_on_adversarial_rates(eps in adversarial_rates(40)) {
+        // The pruning soundness contract: whenever the bounds apply,
+        //   paley_zygmund_lower ≤ exact Poisson-binomial tail ≤
+        //   cantelli_upper / chernoff_upper,
+        // including degenerate, denormal-adjacent and ½-mass rates.
+        let d = PoiBin::from_error_rates(&eps);
+        let n = eps.len();
+        for t in [1usize, n / 2 + 1, n.max(1), n + 1] {
+            let exact = d.tail(t);
+            if let TailBound::Value(b) = paley_zygmund_lower_bound(&eps, t) {
+                prop_assert!(b <= exact + 1e-9, "pz {} > exact {} (t={})", b, exact, t);
+            }
+            if let TailBound::Value(b) = cantelli_upper_bound(&eps, t) {
+                prop_assert!(b >= exact - 1e-9, "cantelli {} < exact {} (t={})", b, exact, t);
+            }
+            if let TailBound::Value(b) = chernoff_upper_bound(&eps, t) {
+                prop_assert!(b >= exact - 1e-9, "chernoff {} < exact {} (t={})", b, exact, t);
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_moment_sweep_matches_slices_on_adversarial_rates(eps in adversarial_rates(40)) {
+        // The streaming kernel behind the bound-pruned AltrM sweep must
+        // reproduce the slice entry points at every prefix, bits
+        // included, no matter how degenerate the rates.
+        let mut moments = PrefixMoments::new();
+        for (i, &e) in eps.iter().enumerate() {
+            moments.push(e);
+            let prefix = &eps[..=i];
+            let n = i + 1;
+            for t in [1usize, n / 2 + 1, n] {
+                prop_assert_eq!(moments.paley_zygmund_lower(t), paley_zygmund_lower_bound(prefix, t));
+                prop_assert_eq!(moments.cantelli_upper(t), cantelli_upper_bound(prefix, t));
+                prop_assert_eq!(moments.chernoff_upper(t), chernoff_upper_bound(prefix, t));
+            }
         }
     }
 

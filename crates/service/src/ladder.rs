@@ -1,31 +1,48 @@
 //! Prefix-pmf checkpoint ladders with rescan-free repair.
 //!
 //! A [`PmfLadder`] materialises the Poisson-binomial distribution of the
-//! `L` most reliable jurors of one ε-sorted run at checkpoint sizes
-//! `LADDER_SPACING, 2·LADDER_SPACING, …` up to [`LADDER_MAX`], so a JER
+//! `L` most reliable jurors of one ε-sorted run at checkpoint lengths
+//! roughly every [`LADDER_SPACING`] jurors up to [`LADDER_MAX`], so a JER
 //! point query resumes from the nearest checkpoint (`O(n·spacing)` pushes)
 //! instead of rebuilding the prefix distribution from scratch. Both
 //! layouts use it: each shard lays a ladder over its own sorted rates, and
 //! flat pools lay one over the global ε order for
-//! [`jer_probe`](crate::JuryService::jer_probe).
+//! [`jer_probe`](crate::JuryService::jer_probe) and for resuming JER
+//! *profile* repairs.
 //!
-//! The repair half is what makes juror mutations cheap: moving one sorted
-//! value changes each checkpoint's prefix *multiset* by at most one
-//! element, so [`PmfLadder::repair_update`] / [`PmfLadder::repair_remove`]
-//! patch every affected checkpoint with one factor
-//! division ([`PoiBin::remove_factor`] /
-//! [`PoiBin::replace_factor`]) plus at most one [`PoiBin::push`] — `O(L)`
-//! per checkpoint instead of the `O(L²)` rebuild — and fall back to a full
-//! rebuild when the division's conditioning guard trips (the juror's old
-//! rate within [`jury_numeric::poibin::DECONV_GUARD_BAND`] of ½, or the
-//! accumulated error budget exceeded). Repaired checkpoints are
-//! *numerically* (not bit-) equal to rebuilt ones — exactly the
+//! The repair half is what makes juror mutations cheap:
+//!
+//! * **update / remove** — moving one sorted value changes each
+//!   checkpoint's prefix *multiset* by at most one element, so
+//!   [`PmfLadder::repair_update`] / [`PmfLadder::repair_remove`] patch
+//!   every affected checkpoint with one factor division
+//!   ([`PoiBin::remove_factor`] / [`PoiBin::replace_factor`]) plus at
+//!   most one [`PoiBin::push`] — `O(L)` per checkpoint instead of the
+//!   `O(L²)` rebuild — and fall back to a full rebuild when the
+//!   division's conditioning guard trips (the juror's old rate within
+//!   [`jury_numeric::poibin::DECONV_GUARD_BAND`] of ½, or the
+//!   accumulated error budget exceeded).
+//! * **insert** — a rank-insert only *adds* one element to each affected
+//!   prefix, so [`PmfLadder::repair_insert`] needs one [`PoiBin::push`]
+//!   per affected checkpoint and no deconvolution at all. The patched
+//!   checkpoint then covers one more juror, which is why checkpoints
+//!   carry explicit lengths instead of sitting at exact
+//!   [`LADDER_SPACING`] multiples; when repeated inserts stretch any
+//!   resume gap to twice the spacing, the gap is split with a freshly
+//!   pushed midpoint checkpoint (amortised `O(L)` per insert).
+//!
+//! Deconvolution-repaired checkpoints are *numerically* (not bit-)
+//! equal to rebuilt ones — exactly the
 //! [`jer_probe`](crate::JuryService::jer_probe) contract, whose answers
-//! stay within [`PROBE_REPAIR_TOL`] of a fresh evaluation.
+//! stay within [`PROBE_REPAIR_TOL`] of a fresh evaluation. Insert
+//! patches stay push-built but append the new factor out of ε-order, so
+//! they share the same numerical (not bit-level) contract.
 
 use jury_numeric::poibin::PoiBin;
 
-/// Spacing between prefix-pmf checkpoints in a ladder.
+/// Target spacing between prefix-pmf checkpoints in a ladder. Repairs
+/// let individual checkpoints drift off exact multiples; rebalancing
+/// keeps every resume gap below `2 × LADDER_SPACING`.
 pub(crate) const LADDER_SPACING: usize = 64;
 
 /// Largest sorted-prefix length a ladder materialises checkpoints for.
@@ -40,12 +57,20 @@ pub(crate) const LADDER_MAX: usize = 1024;
 /// already agree only within convolution rounding).
 pub const PROBE_REPAIR_TOL: f64 = 1e-8;
 
+/// One materialised prefix distribution: the pmf of the `len` most
+/// reliable jurors of the run.
+#[derive(Debug, Clone)]
+struct Checkpoint {
+    len: usize,
+    pmf: PoiBin,
+}
+
 /// The prefix-pmf checkpoint ladder of one ε-sorted run.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct PmfLadder {
-    /// `checkpoints[k]` is the pmf of the first `(k+1)·LADDER_SPACING`
-    /// sorted rates.
-    checkpoints: Vec<PoiBin>,
+    /// Checkpoints ascending in `len`, each within `2 × LADDER_SPACING`
+    /// of its neighbours (and of rank 0 / the coverage end).
+    checkpoints: Vec<Checkpoint>,
 }
 
 impl PmfLadder {
@@ -57,23 +82,36 @@ impl PmfLadder {
         for (i, &e) in eps.iter().take(LADDER_MAX).enumerate() {
             pmf.push(e);
             if (i + 1) % LADDER_SPACING == 0 {
-                checkpoints.push(pmf.clone());
+                checkpoints.push(Checkpoint { len: i + 1, pmf: pmf.clone() });
             }
         }
         Self { checkpoints }
+    }
+
+    /// Index of the deepest checkpoint with `len ≤ c`, if any.
+    fn resume_index(&self, c: usize) -> Option<usize> {
+        match self.checkpoints.partition_point(|cp| cp.len <= c) {
+            0 => None,
+            i => Some(i - 1),
+        }
+    }
+
+    /// The deepest checkpoint at or below prefix length `c`, as
+    /// `(covered_len, pmf)` — the resume point for a JER-profile repair.
+    pub(crate) fn resume_for(&self, c: usize) -> Option<(usize, &PoiBin)> {
+        self.resume_index(c).map(|i| (self.checkpoints[i].len, &self.checkpoints[i].pmf))
     }
 
     /// The distribution of the `c` most reliable members of `eps`,
     /// resumed from the nearest checkpoint when one is close enough, else
     /// batch-built (adaptive DP/CBA).
     pub(crate) fn prefix_into(&self, eps: &[f64], c: usize, out: &mut PoiBin) {
-        let checkpoint = (c / LADDER_SPACING).min(self.checkpoints.len());
-        let start = checkpoint * LADDER_SPACING;
-        if c - start <= LADDER_SPACING {
-            if checkpoint > 0 {
-                out.copy_from(&self.checkpoints[checkpoint - 1]);
-            } else {
-                out.reset();
+        let resume = self.resume_index(c);
+        let start = resume.map_or(0, |i| self.checkpoints[i].len);
+        if c - start <= 2 * LADDER_SPACING {
+            match resume {
+                Some(i) => out.copy_from(&self.checkpoints[i].pmf),
+                None => out.reset(),
             }
             for &e in &eps[start..c] {
                 out.push(e);
@@ -96,13 +134,13 @@ impl PmfLadder {
         r_old: usize,
         r_new: usize,
     ) -> bool {
-        debug_assert_eq!(
-            self.checkpoints.len(),
-            eps.len().min(LADDER_MAX) / LADDER_SPACING,
+        debug_assert!(
+            self.checkpoints.last().is_none_or(|cp| cp.len <= eps.len()),
             "ladder must cover the run before a repair"
         );
-        for (k, pmf) in self.checkpoints.iter_mut().enumerate() {
-            let len = (k + 1) * LADDER_SPACING;
+        for cp in &mut self.checkpoints {
+            let len = cp.len;
+            let pmf = &mut cp.pmf;
             let patched = if r_old < len && r_new < len {
                 // The moved value stayed inside this prefix.
                 pmf.replace_factor(old_e, eps[r_new])
@@ -128,15 +166,82 @@ impl PmfLadder {
     /// `false` when a division declined and the ladder was rebuilt.
     pub(crate) fn repair_remove(&mut self, eps: &[f64], old_e: f64, r: usize) -> bool {
         // The run shrank: checkpoints beyond its new length vanish.
-        self.checkpoints.truncate(eps.len().min(LADDER_MAX) / LADDER_SPACING);
-        for (k, pmf) in self.checkpoints.iter_mut().enumerate() {
-            let len = (k + 1) * LADDER_SPACING;
+        self.checkpoints.retain(|cp| cp.len <= eps.len());
+        for cp in &mut self.checkpoints {
+            let len = cp.len;
+            let pmf = &mut cp.pmf;
             if r < len && pmf.remove_factor(old_e).map(|()| pmf.push(eps[len - 1])).is_err() {
                 *self = Self::build(eps);
                 return false;
             }
         }
         true
+    }
+
+    /// Repairs the ladder after one value was rank-inserted at `r`;
+    /// `eps` is the **post-insert** sorted run (so the new value is
+    /// `eps[r]`). Every checkpoint whose prefix now contains the new
+    /// value absorbs it with a single [`PoiBin::push`] — no
+    /// deconvolution, so this repair cannot decline — growing its
+    /// covered length by one. A checkpoint already at [`LADDER_MAX`]
+    /// cannot absorb without breaching the coverage cap, so it is
+    /// dropped instead (its prefix multiset changed, making the pmf
+    /// stale); the rebalance pass then re-splits any resume gap
+    /// stretched to twice the spacing, keeping per-repair cost and
+    /// ladder memory bounded under sustained ingest.
+    pub(crate) fn repair_insert(&mut self, eps: &[f64], r: usize) {
+        self.checkpoints.retain_mut(|cp| {
+            if r > cp.len {
+                return true; // prefix untouched
+            }
+            if cp.len >= LADDER_MAX {
+                // At the cap: a value landing strictly inside the prefix
+                // makes the pmf stale (drop it — rebalance restores the
+                // gap invariant); at rank == len the prefix is untouched
+                // and the checkpoint simply stops growing.
+                return r == cp.len;
+            }
+            cp.pmf.push(eps[r]);
+            cp.len += 1;
+            true
+        });
+        self.rebalance(eps);
+    }
+
+    /// Restores the gap invariant: between rank 0, consecutive
+    /// checkpoints and the coverage end, every resume gap stays below
+    /// `2 × LADDER_SPACING`. Oversized gaps are split by pushing a
+    /// midpoint checkpoint forward from the lower neighbour — amortised
+    /// `O(len)` per insert, since a gap only grows by one per insert.
+    fn rebalance(&mut self, eps: &[f64]) {
+        let limit = eps.len().min(LADDER_MAX);
+        let mut i = 0usize;
+        let mut prev_len = 0usize;
+        loop {
+            let next_len = match self.checkpoints.get(i) {
+                Some(cp) => cp.len,
+                None if prev_len < limit => limit,
+                None => break,
+            };
+            if next_len - prev_len >= 2 * LADDER_SPACING {
+                let mid = prev_len + LADDER_SPACING;
+                let mut pmf = match i.checked_sub(1) {
+                    Some(p) => self.checkpoints[p].pmf.clone(),
+                    None => PoiBin::empty(),
+                };
+                for &e in &eps[prev_len..mid] {
+                    pmf.push(e);
+                }
+                self.checkpoints.insert(i, Checkpoint { len: mid, pmf });
+                // Re-examine from the new checkpoint: the remainder of
+                // the gap may still be oversized.
+            }
+            prev_len = match self.checkpoints.get(i) {
+                Some(cp) => cp.len,
+                None => break,
+            };
+            i += 1;
+        }
     }
 }
 
@@ -152,18 +257,31 @@ mod tests {
     }
 
     fn assert_ladder_close(got: &PmfLadder, eps: &[f64], tol: f64) {
-        let want = PmfLadder::build(eps);
-        assert_eq!(got.checkpoints.len(), want.checkpoints.len());
-        for (k, (g, w)) in got.checkpoints.iter().zip(&want.checkpoints).enumerate() {
-            assert_eq!(g.n(), w.n(), "checkpoint {k}");
-            for i in 0..=g.n() {
+        let mut fresh = PoiBin::empty();
+        for cp in &got.checkpoints {
+            assert_eq!(cp.pmf.n(), cp.len);
+            assert!(cp.len <= eps.len());
+            fresh.assign_error_rates_dp(&eps[..cp.len]);
+            for i in 0..=cp.len {
                 assert!(
-                    (g.prob_eq(i) - w.prob_eq(i)).abs() < tol,
-                    "checkpoint {k} entry {i}: {} vs {}",
-                    g.prob_eq(i),
-                    w.prob_eq(i)
+                    (cp.pmf.prob_eq(i) - fresh.prob_eq(i)).abs() < tol,
+                    "checkpoint len {} entry {i}: {} vs {}",
+                    cp.len,
+                    cp.pmf.prob_eq(i),
+                    fresh.prob_eq(i)
                 );
             }
+        }
+        // The gap invariant must hold after every repair.
+        let limit = eps.len().min(LADDER_MAX);
+        let mut prev = 0usize;
+        for cp in &got.checkpoints {
+            assert!(cp.len > prev || prev == 0, "lengths ascending");
+            assert!(cp.len - prev < 2 * LADDER_SPACING, "gap {prev}..{}", cp.len);
+            prev = cp.len;
+        }
+        if limit > prev {
+            assert!(limit - prev < 2 * LADDER_SPACING, "tail gap {prev}..{limit}");
         }
     }
 
@@ -215,6 +333,87 @@ mod tests {
         assert!(ladder.repair_remove(&eps, old_e, 5));
         assert_eq!(ladder.checkpoints.len(), 1);
         assert_ladder_close(&ladder, &eps, 1e-10);
+    }
+
+    #[test]
+    fn repair_insert_pushes_and_keeps_gaps_bounded() {
+        let mut eps = rates(300);
+        let mut ladder = PmfLadder::build(&eps);
+        // Hammer inserts at a low rank, a mid-gap rank and the far end;
+        // gaps must stay bounded and every checkpoint must track.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        for round in 0..200 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let e = match round % 3 {
+                0 => 0.021 + (state % 1000) as f64 * 1e-5, // low rank
+                1 => 0.5 + (state % 1000) as f64 * 1e-5,   // mid run
+                _ => 0.93 + (state % 1000) as f64 * 1e-5,  // far end
+            };
+            let r = eps.partition_point(|&x| x < e);
+            eps.insert(r, e);
+            ladder.repair_insert(&eps, r);
+        }
+        assert_ladder_close(&ladder, &eps, 1e-9);
+        // prefix_into still agrees everywhere after the drift.
+        let mut out = PoiBin::empty();
+        for c in [1usize, 64, 129, 250, 400, 499] {
+            ladder.prefix_into(&eps, c, &mut out);
+            let want = PoiBin::from_error_rates(&eps[..c]);
+            for k in 0..=c {
+                assert!((out.prob_eq(k) - want.prob_eq(k)).abs() < 1e-9, "c={c} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn repair_insert_respects_the_coverage_cap() {
+        // Sustained ingest into a run at the coverage cap must neither
+        // grow any checkpoint past LADDER_MAX nor let the ladder's
+        // memory track the insert count.
+        let mut eps = rates(LADDER_MAX + 50);
+        let mut ladder = PmfLadder::build(&eps);
+        for i in 0..300 {
+            let e = 0.02 + i as f64 * 1e-6; // lowest ranks: every checkpoint affected
+            let r = eps.partition_point(|&x| x < e);
+            eps.insert(r, e);
+            ladder.repair_insert(&eps, r);
+        }
+        assert!(ladder.checkpoints.iter().all(|cp| cp.len <= LADDER_MAX));
+        assert!(ladder.checkpoints.len() <= LADDER_MAX / LADDER_SPACING + 1);
+        assert_ladder_close(&ladder, &eps, 1e-9);
+    }
+
+    #[test]
+    fn repair_insert_on_short_run_grows_coverage() {
+        // A run shorter than one spacing has no checkpoints; inserts
+        // must create them once the run crosses the spacing boundary.
+        let mut eps = rates(60);
+        let mut ladder = PmfLadder::build(&eps);
+        assert!(ladder.checkpoints.is_empty());
+        for i in 0..140 {
+            let e = 0.3 + i as f64 * 1e-4;
+            let r = eps.partition_point(|&x| x < e);
+            eps.insert(r, e);
+            ladder.repair_insert(&eps, r);
+        }
+        assert!(!ladder.checkpoints.is_empty(), "coverage must grow with the run");
+        assert_ladder_close(&ladder, &eps, 1e-10);
+    }
+
+    #[test]
+    fn resume_for_returns_deepest_checkpoint() {
+        let eps = rates(300);
+        let ladder = PmfLadder::build(&eps);
+        assert!(ladder.resume_for(10).is_none());
+        let (len, pmf) = ladder.resume_for(100).unwrap();
+        assert_eq!(len, 64);
+        assert_eq!(pmf.n(), 64);
+        let (len, _) = ladder.resume_for(128).unwrap();
+        assert_eq!(len, 128);
+        let (len, _) = ladder.resume_for(5000).unwrap();
+        assert_eq!(len, 256);
     }
 
     #[test]

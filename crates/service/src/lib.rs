@@ -9,21 +9,36 @@
 //!
 //! * **pool registry** — pools are registered once and addressed by
 //!   [`PoolId`]; jurors can be inserted, updated and removed in place.
-//! * **per-pool cache** — the ε-sorted order, the incremental prefix-pmf
-//!   JER profile, the solved AltrM selection and PayALG's greedy visit
-//!   order are computed once per pool *generation*. A warm AltrM task is
-//!   a cache lookup; a warm PayM task is a **budget-staircase** lookup
-//!   (below), falling back to one greedy scan on the cached order.
-//! * **rescan-free mutation repair** — a juror *update* or *removal*
-//!   repairs warm state in place instead of invalidating it: every
-//!   sorted order (flat, per-shard and merged) gets one remove + one
-//!   rank-insert (`O(n)` memmoves, provably the same permutation a
-//!   re-sort would produce), and every affected prefix-pmf checkpoint is
-//!   patched by dividing the juror's `(1−ε, ε)` factor out of the
-//!   Poisson binomial ([`jury_numeric::poibin::PoiBin::remove_factor`])
-//!   — `O(n)` per checkpoint instead of `O(n·spacing + n log n)`
-//!   re-convolution. Inserts still drop the owning shard (or the flat
-//!   cache).
+//! * **per-pool cache** — the ε-sorted order, PayALG's greedy visit
+//!   order and the solved AltrM selection are computed once per pool
+//!   *generation* (the prefix-pmf JER profile and checkpoint ladder
+//!   stay lazy until queried). A warm AltrM task is a cache lookup —
+//!   shared, not copied, under [`JuryService::solve_batch_shared`]; a
+//!   warm PayM task is a **budget-staircase** lookup (below), falling
+//!   back to one greedy scan on the cached order.
+//! * **rescan-free mutation repair** — a juror *update*, *removal* or
+//!   (on flat pools) *insert* repairs warm state in place instead of
+//!   invalidating it: every sorted order (flat, per-shard and merged)
+//!   gets one remove + one rank-insert (`O(n)` memmoves, provably the
+//!   same permutation a re-sort would produce), every affected
+//!   prefix-pmf checkpoint is patched by dividing the juror's
+//!   `(1−ε, ε)` factor out of the Poisson binomial
+//!   ([`jury_numeric::poibin::PoiBin::remove_factor`]; inserts need
+//!   only a push) — `O(n)` per checkpoint instead of
+//!   `O(n·spacing + n log n)` re-convolution — and a materialised JER
+//!   profile reuses every untouched prefix entry verbatim, re-deriving
+//!   only the suffix from the nearest checkpoint. Sharded inserts still
+//!   drop the owning shard.
+//! * **rescan-free warm AltrM** — the one artefact a mutation must drop
+//!   is the solved AltrM answer (the optimum may genuinely move). The
+//!   re-solve is **bound-pruned** ([`AltrAlg::solve_pruned`]): prefix
+//!   sums of ε and ε(1−ε) ([`jury_numeric::bounds::PrefixMoments`])
+//!   evaluate Paley–Zygmund lower and Cantelli/Chernoff upper JER
+//!   bounds in `O(1)` per odd size, every size whose lower bound clears
+//!   the best upper bound is eliminated, and exact JER runs only at the
+//!   survivors — `O(N + M²)` for largest survivor `M` instead of the
+//!   `O(N²)` full prefix rescan (the `altrm_throughput` bench records
+//!   ~10³× at 10⁴ jurors on an expert-plus-mob pool).
 //! * **PayM budget staircase** — Algorithm 4's selection is piecewise
 //!   constant in the budget, so each pool's warm greedy order carries a
 //!   [`jury_core::paym::Staircase`]: recorded step intervals map any
@@ -43,12 +58,13 @@
 //!
 //! # Bit-identity vs numerical contracts
 //!
-//! Results are **bit-identical** to calling [`AltrAlg::solve`] /
-//! [`PayAlg::solve`] directly — cold cache, warm cache, batched,
-//! staircase-replayed, flat and sharded paths all reduce to the same
-//! scratch-threaded solver internals (`tests/equivalence.rs` and
-//! `tests/sharded_differential.rs` assert this). The two caching layers
-//! sit on opposite sides of that line:
+//! Selections — members, JER bits, cost bits — are **bit-identical** to
+//! calling [`AltrAlg::solve`] / [`PayAlg::solve`] directly: cold cache,
+//! warm cache, batched, staircase-replayed, bound-pruned, flat and
+//! sharded paths all reduce to the same scratch-threaded solver
+//! internals (`tests/equivalence.rs` and
+//! `tests/sharded_differential.rs` assert this). The caching layers sit
+//! on either side of that line:
 //!
 //! * **Staircase replays are bit-identical.** A staircase step is
 //!   recorded by the ordinary greedy scan, instrumented only to remember
@@ -57,14 +73,29 @@
 //!   float op for float op, [`SolverStats`](jury_core::SolverStats)
 //!   included — is the one the scan performed, so replaying the stored
 //!   [`Selection`] *is* replaying [`PayAlg::solve_presorted`].
+//! * **Bound-pruned AltrM selections are bit-identical; the stats are
+//!   not.** The pruned scan evaluates survivors with the identical
+//!   sequential pushes the full scan performs and pruning is sound
+//!   (an eliminated size's exact JER strictly exceeds the incumbent's,
+//!   smallest-`n` tie-break preserved — see
+//!   [`AltrAlg::solve_pruned`]), so members/JER/cost match the full
+//!   scan bit for bit. The [`SolverStats`](jury_core::SolverStats)
+//!   *document the pruning instead of hiding it*: `jer_evaluations`
+//!   counts survivors only and `pruned_by_bound` the eliminated sizes
+//!   (their sum equals the full scan's evaluation count). This is the
+//!   one place service answers differ from the direct solver's, by
+//!   design. Crucially, the pruned scan builds its pmfs from scratch —
+//!   it never reads a repaired checkpoint — which is what keeps
+//!   post-mutation AltrM answers on the bit-identical side.
 //! * **Deconvolution repairs are numerical.** Dividing a factor out of a
 //!   Poisson binomial re-derives the cached prefix pmfs in a different
-//!   float order than building them fresh, so ladder-backed answers
-//!   ([`JuryService::jer_probe`]) are only *numerically* equal — within
-//!   [`PROBE_REPAIR_TOL`] of a from-scratch evaluation, with an a-priori
-//!   conditioning guard plus validation fallback
-//!   ([`ServiceStats::pmf_rebuilds`]) bounding the drift. Nothing on the
-//!   bit-identical side ever reads a repaired pmf.
+//!   float order than building them fresh, so ladder-backed answers —
+//!   [`JuryService::jer_probe`], and [`JuryService::jer_profile`]
+//!   entries re-derived by an in-place profile repair — are only
+//!   *numerically* equal: within [`PROBE_REPAIR_TOL`] of a from-scratch
+//!   evaluation, with an a-priori conditioning guard plus validation
+//!   fallback ([`ServiceStats::pmf_rebuilds`]) bounding the drift.
+//!   Nothing on the bit-identical side ever reads a repaired pmf.
 //!
 //! # Sharding invariants
 //!
@@ -88,16 +119,20 @@
 //!    merged-pmf path powers only [`JuryService::jer_probe`], whose
 //!    contract is numerical equality within convolution rounding.
 //!
-//! Mutation cost is where the repair paths pay: a juror update or
-//! removal costs a few `O(n)` memmoves plus `O(ladder)` factor
-//! divisions, and the next PayM task re-records its staircase step with
-//! a single greedy scan — no re-sort, no K-way re-merge, no `O(N²)`
-//! artefact rebuild on the PayM lane at any pool size. The
+//! Mutation cost is where the repair paths pay: a juror update, removal
+//! or flat insert costs a few `O(n)` memmoves plus `O(ladder)` factor
+//! divisions (pushes for inserts), the next PayM task re-records its
+//! staircase step with a single greedy scan, and the next AltrM task
+//! re-solves with the bound-pruned sweep — no re-sort, no K-way
+//! re-merge, no `O(N²)` rescan on either lane (on pools whose sorted
+//! prefix mean crosses ½; below that the pruned scan degrades
+//! gracefully to the full one plus an `O(N)` sweep). The
 //! [`ServiceStats`] counters (`cache_invalidations`, `order_repairs`,
-//! `staircase_hits`, `pmf_repairs`, `pmf_rebuilds`, `shard_repairs`,
-//! `full_repairs`) make that behaviour observable; the
-//! `sharded_throughput` and `staircase_throughput` benches record it at
-//! pool sizes up to 10⁶.
+//! `staircase_hits`, `pmf_repairs`, `pmf_rebuilds`, `profile_repairs`,
+//! `bound_pruned`, `shard_repairs`, `full_repairs`,
+//! `degenerate_shards`) make that behaviour observable; the
+//! `sharded_throughput`, `staircase_throughput` and `altrm_throughput`
+//! benches record it at pool sizes up to 10⁶.
 //!
 //! ```
 //! use jury_core::juror::pool_from_rates_and_costs;
@@ -127,7 +162,7 @@ mod shard;
 pub use ladder::PROBE_REPAIR_TOL;
 pub use shard::ShardConfig;
 
-use jury_core::altr::{AltrAlg, AltrConfig};
+use jury_core::altr::{AltrAlg, AltrConfig, AltrStrategy, JerProfile};
 use jury_core::error::JuryError;
 use jury_core::jer::JerEngine;
 use jury_core::juror::Juror;
@@ -141,6 +176,7 @@ use serde::{Deserialize, Error as SerdeError, Serialize, Value};
 use shard::{reinsert_eps, reinsert_greedy, renumber_out, MutationEffect, ShardedPool};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Upper bound on sequential staircase-recording scans per batch. Only
 /// `(pool, budget)` pairs that repeat within the batch are recorded up
@@ -150,6 +186,14 @@ use std::fmt;
 /// workers' presorted scans (correct either way — the staircase is a
 /// cache, not a requirement).
 const MAX_BATCH_STAIRCASE_SCANS: usize = 32;
+
+/// Minimum tasks a batch assigns per worker thread before it spawns
+/// another one. Fanning a large batch over every available core makes
+/// each chunk so small that thread spawn/join overhead and allocator
+/// contention outweigh the parallelism — the `service_throughput`
+/// pool-10⁴/batch-1024 regression. Capping workers at
+/// `tasks / MIN_TASKS_PER_WORKER` keeps per-worker chunks coarse.
+const MIN_TASKS_PER_WORKER: usize = 32;
 
 /// Opaque handle to a registered juror pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -325,20 +369,29 @@ pub struct ServiceStats {
     /// pool's from-scratch build, or a sharded warm-up with every shard
     /// cold (including each pool's first build).
     pub full_repairs: usize,
+    /// Materialised JER profiles repaired in place after a juror
+    /// mutation (prefix entries reused verbatim, suffix re-derived from
+    /// the nearest pmf-ladder checkpoint) instead of being dropped for
+    /// an `O(N²)` rebuild.
+    pub profile_repairs: usize,
+    /// Candidate jury sizes eliminated by the warm AltrM bound sweep
+    /// (`AltrAlg::solve_pruned`'s Paley–Zygmund vs Cantelli/Chernoff
+    /// comparison) across all AltrM (re)solves — exact JER was never
+    /// computed for these.
+    pub bound_pruned: usize,
+    /// Shards observed shrinking below the configured fraction of the
+    /// mean shard size ([`ShardConfig::degenerate_percent`]); each shard
+    /// counts once per episode of degeneracy. Detection only —
+    /// re-balancing is future work, this counter is the observability
+    /// hook.
+    pub degenerate_shards: usize,
 }
 
-/// A solved AltrM answer plus the JER profile — the pmf-derived half of
-/// a flat pool's cache, dropped by every mutation (the orders half can
-/// survive an update via the `O(n)` repair).
-#[derive(Debug, Clone)]
-struct SolvedArtifacts {
-    /// The incremental prefix-pmf JER profile: `(n, JER of the n best)`
-    /// for every odd `n` (Figure 3(a)'s curve for this pool).
-    profile: Vec<(usize, f64)>,
-    /// The solved AltrM answer (or the error the solver reports for this
-    /// pool, e.g. an empty one) — replayed verbatim on every AltrM task.
-    altr: Result<Selection, JuryError>,
-}
+/// The solved AltrM answer of one pool snapshot: shared so batch
+/// replays can hand out the same allocation
+/// ([`JuryService::solve_batch_shared`]) instead of copying a
+/// potentially huge member list per task.
+type AltrAnswer = Result<Arc<Selection>, JuryError>;
 
 /// Everything derived from one immutable snapshot of a flat pool.
 #[derive(Debug, Clone)]
@@ -349,11 +402,18 @@ struct PoolCache {
     eps_sorted: Vec<f64>,
     /// PayALG's budget-independent greedy visit order.
     greedy_order: Vec<usize>,
-    /// The pmf-derived artefacts, rebuilt lazily after an order repair.
-    solved: Option<SolvedArtifacts>,
+    /// The solved AltrM answer, replayed verbatim on every AltrM task.
+    /// Dropped by mutations (the selection may genuinely change) and
+    /// re-solved rescan-free by the bound-pruned scan.
+    altr: Option<AltrAnswer>,
+    /// The odd-size JER profile (Figure 3(a)'s curve for this pool),
+    /// built lazily by [`JuryService::jer_profile`] and *repaired in
+    /// place* on juror mutations (prefix entries reused, suffix resumed
+    /// from the pmf ladder).
+    profile: Option<JerProfile>,
     /// Prefix-pmf checkpoints over `eps_sorted`, built lazily by the
-    /// first [`JuryService::jer_probe`] and repaired in place on juror
-    /// updates/removals (see [`ladder`]).
+    /// first [`JuryService::jer_probe`] or profile repair and repaired
+    /// in place on juror mutations (see [`ladder`]).
     ladder: Option<PmfLadder>,
     /// The PayM budget→selection staircase over `greedy_order`, recorded
     /// lazily per budget and cleared by every mutation.
@@ -427,7 +487,11 @@ impl JuryService {
         let id = self.next_pool;
         self.next_pool += 1;
         let state = if self.config.shard.applies(jurors.len()) {
-            PoolState::Sharded(ShardedPool::new(jurors.len(), self.config.shard.shards))
+            PoolState::Sharded(ShardedPool::new(
+                jurors.len(),
+                self.config.shard.shards,
+                self.config.shard.degenerate_percent,
+            ))
         } else {
             PoolState::Flat { cache: None }
         };
@@ -470,27 +534,46 @@ impl JuryService {
             .ok_or(ServiceError::UnknownPool(pool))
     }
 
-    /// Appends a juror; returns its position. Invalidates the flat cache
-    /// or the owning shard; a flat pool crossing
-    /// [`ShardConfig::threshold`] is promoted to sharded.
+    /// Appends a juror; returns its position. A warm *flat* pool is
+    /// repaired in place — one rank-insert per sorted order, one
+    /// [`PoiBin::push`] per affected pmf-ladder checkpoint and an
+    /// in-place profile repair; only the AltrM answer (re-solved
+    /// rescan-free by the bound-pruned scan) and the budget staircase
+    /// drop. A sharded pool still invalidates the owning (smallest)
+    /// shard; a flat pool crossing [`ShardConfig::threshold`] is
+    /// promoted to sharded (a full rebuild).
     pub fn insert_juror(&mut self, pool: PoolId, juror: Juror) -> Result<usize, ServiceError> {
         let shard_config = self.config.shard;
         let entry = self.pools.get_mut(&pool.0).ok_or(ServiceError::UnknownPool(pool))?;
         entry.jurors.push(juror);
         let pos = entry.jurors.len() - 1;
-        let (invalidated, promote) = match &mut entry.state {
-            PoolState::Flat { cache } => {
-                (cache.take().is_some(), shard_config.applies(entry.jurors.len()))
+        let promote = matches!(entry.state, PoolState::Flat { .. })
+            && shard_config.applies(entry.jurors.len());
+        let effect = match &mut entry.state {
+            PoolState::Flat { cache } if promote => {
+                MutationEffect { invalidated: cache.take().is_some(), ..Default::default() }
             }
-            PoolState::Sharded(sp) => (sp.insert(entry.jurors.len()), false),
+            PoolState::Flat { cache } => match cache.as_mut() {
+                Some(c) => repair_flat_insert(c, &entry.jurors, pos),
+                None => MutationEffect::default(),
+            },
+            PoolState::Sharded(sp) => {
+                let mut effect = MutationEffect {
+                    invalidated: sp.insert(entry.jurors.len()),
+                    ..Default::default()
+                };
+                effect.newly_degenerate = sp.refresh_degeneracy(shard_config.degenerate_percent);
+                effect
+            }
         };
         if promote {
-            entry.state =
-                PoolState::Sharded(ShardedPool::new(entry.jurors.len(), shard_config.shards));
+            entry.state = PoolState::Sharded(ShardedPool::new(
+                entry.jurors.len(),
+                shard_config.shards,
+                shard_config.degenerate_percent,
+            ));
         }
-        if invalidated {
-            self.stats.cache_invalidations += 1;
-        }
+        self.count_mutation(effect);
         Ok(pos)
     }
 
@@ -540,12 +623,17 @@ impl JuryService {
         if index >= len {
             return Err(ServiceError::JurorOutOfRange { pool, index, len });
         }
+        let degenerate_percent = self.config.shard.degenerate_percent;
         let effect = match &mut entry.state {
             PoolState::Flat { cache } => match cache.as_mut() {
                 Some(c) => repair_flat_remove(c, index),
                 None => MutationEffect::default(),
             },
-            PoolState::Sharded(sp) => sp.remove(index),
+            PoolState::Sharded(sp) => {
+                let mut effect = sp.remove(index);
+                effect.newly_degenerate = sp.refresh_degeneracy(degenerate_percent);
+                effect
+            }
         };
         let removed = entry.jurors.remove(index);
         self.count_mutation(effect);
@@ -566,17 +654,21 @@ impl JuryService {
         if effect.pmf_rebuilt {
             self.stats.pmf_rebuilds += 1;
         }
+        if effect.profile_repaired {
+            self.stats.profile_repairs += 1;
+        }
+        self.stats.degenerate_shards += effect.newly_degenerate;
     }
 
     // ------------------------------------------------------------------
     // Cache
     // ------------------------------------------------------------------
 
-    /// Builds whatever cached state is cold: a flat pool's full cache
-    /// (or just its pmf-derived half after an order repair), a sharded
-    /// pool's cold shards plus the merged orders. Called automatically
-    /// by the solve paths; exposed so benches can separate cold from
-    /// warm.
+    /// Builds whatever cached state is cold: a flat pool's orders and
+    /// AltrM answer (just the answer after an order repair — a
+    /// bound-pruned rescan-free solve), a sharded pool's cold shards
+    /// plus the merged orders. Called automatically by the solve paths;
+    /// exposed so benches can separate cold from warm.
     pub fn warm_pool(&mut self, pool: PoolId) -> Result<(), ServiceError> {
         let altr_config = self.config.altr;
         // Borrow-split: the scratch is taken out while the entry is
@@ -585,18 +677,24 @@ impl JuryService {
         let mut builds = 0usize;
         let mut fulls = 0usize;
         let mut shard_reps = 0usize;
+        let mut pruned = 0usize;
         let outcome = match self.pools.get_mut(&pool.0) {
             None => Err(ServiceError::UnknownPool(pool)),
             Some(PoolEntry { jurors, state }) => {
                 match state {
                     PoolState::Flat { cache } => match cache {
                         None => {
-                            *cache = Some(build_full_cache(jurors, &altr_config, &mut scratch));
+                            let built = build_full_cache(jurors, &altr_config, &mut scratch);
+                            pruned += altr_pruned(built.altr.as_ref());
+                            *cache = Some(built);
                             builds += 1;
                             fulls += 1;
                         }
-                        Some(c) if c.solved.is_none() => {
-                            c.solved = Some(build_solved(jurors, c, &altr_config, &mut scratch));
+                        Some(c) if c.altr.is_none() => {
+                            let answer =
+                                solve_altr_cached(jurors, &c.eps_order, &altr_config, &mut scratch);
+                            pruned += altr_pruned(Some(&answer));
+                            c.altr = Some(answer);
                             builds += 1;
                         }
                         Some(_) => {}
@@ -620,15 +718,17 @@ impl JuryService {
         self.stats.cache_builds += builds;
         self.stats.full_repairs += fulls;
         self.stats.shard_repairs += shard_reps;
+        self.stats.bound_pruned += pruned;
         outcome
     }
 
-    /// Whether `pool`'s cache is currently warm (flat: all artefacts
-    /// present; sharded: merged orders present — the AltrM selection and
-    /// profile may still be lazily pending).
+    /// Whether `pool`'s cache is currently warm (flat: orders and the
+    /// AltrM answer present — the profile and ladder stay lazy; sharded:
+    /// merged orders present — the AltrM selection and profile may still
+    /// be lazily pending).
     pub fn is_warm(&self, pool: PoolId) -> bool {
         self.pools.get(&pool.0).is_some_and(|entry| match &entry.state {
-            PoolState::Flat { cache } => cache.as_ref().is_some_and(|c| c.solved.is_some()),
+            PoolState::Flat { cache } => cache.as_ref().is_some_and(|c| c.altr.is_some()),
             PoolState::Sharded(sp) => sp.is_warm(),
         })
     }
@@ -652,15 +752,29 @@ impl JuryService {
 
     /// The cached odd-size JER profile of `pool` (computed on demand):
     /// `(n, JER of the n lowest-ε jurors)` for `n = 1, 3, 5, …`.
-    /// Bit-identical between flat and sharded pools (both run the same
-    /// sequential pushes over the same ε-sorted order).
+    /// Fresh builds are bit-identical between flat and sharded pools
+    /// (both run the same sequential pushes over the same ε-sorted
+    /// order). After juror mutations a flat pool's materialised profile
+    /// is *repaired in place* — entries whose prefix is untouched are
+    /// reused verbatim, the suffix resumes from the pmf ladder — so
+    /// repaired entries are only *numerically* equal to a rebuild
+    /// (within [`PROBE_REPAIR_TOL`], like
+    /// [`jer_probe`](JuryService::jer_probe); see the crate docs).
     pub fn jer_profile(&mut self, pool: PoolId) -> Result<&[(usize, f64)], ServiceError> {
         self.warm_pool(pool)?;
         let PoolEntry { jurors, state } = self.pools.get_mut(&pool.0).expect("warmed above");
         match state {
             PoolState::Flat { cache } => {
-                let cache = cache.as_ref().expect("warmed above");
-                Ok(&cache.solved.as_ref().expect("warmed above").profile)
+                let cache = cache.as_mut().expect("warmed above");
+                if cache.profile.is_none() {
+                    // The ladder gives future profile repairs their
+                    // resume checkpoints; build it alongside.
+                    if cache.ladder.is_none() {
+                        cache.ladder = Some(PmfLadder::build(&cache.eps_sorted));
+                    }
+                    cache.profile = Some(JerProfile::build(&cache.eps_sorted));
+                }
+                Ok(cache.profile.as_ref().expect("built above").entries())
             }
             PoolState::Sharded(sp) => Ok(sp.ensure_profile(jurors)),
         }
@@ -751,17 +865,30 @@ impl JuryService {
 
     /// Solves one task, warming the pool cache if needed.
     ///
-    /// Bit-identical to [`AltrAlg::solve`] / [`PayAlg::solve`] on the
-    /// pool's current jurors, flat or sharded. A warm PayM task whose
-    /// budget falls inside a recorded staircase step is answered without
-    /// a greedy rescan ([`ServiceStats::staircase_hits`]); a PayM task
-    /// never builds the `O(N²)` pmf artefacts AltrM needs.
+    /// Members, JER and cost are bit-identical to [`AltrAlg::solve`] /
+    /// [`PayAlg::solve`] on the pool's current jurors, flat or sharded
+    /// (AltrM solver *stats* reflect the service's bound-pruned scan;
+    /// see the crate docs). A warm PayM task whose budget falls inside a
+    /// recorded staircase step is answered without a greedy rescan
+    /// ([`ServiceStats::staircase_hits`]); a PayM task never builds the
+    /// pmf artefacts AltrM needs. A warm AltrM task whose pool was
+    /// mutated re-solves rescan-free: a bound sweep plus exact JER at
+    /// the surviving sizes only — never a full `O(N²)` rescan, and never
+    /// a full cache rebuild ([`ServiceStats::full_repairs`] stays put).
     pub fn solve(&mut self, task: &DecisionTask) -> Result<Selection, ServiceError> {
         if let CrowdModel::PayAsYouGo { budget } = task.model {
             return self.solve_paym(task.pool, budget);
         }
         let was_warm = self.is_warm(task.pool);
+        let had_orders = self.has_orders(task.pool);
+        let full_repairs_before = self.stats.full_repairs;
         self.prepare(task)?;
+        if had_orders {
+            debug_assert_eq!(
+                self.stats.full_repairs, full_repairs_before,
+                "an AltrM re-solve on warm orders must never trigger a full repair"
+            );
+        }
         let mut scratch = self.scratches.pop().unwrap_or_default();
         let result = solve_on_entry(&self.pools[&task.pool.0], task, &self.config, &mut scratch);
         self.scratches.push(scratch);
@@ -769,7 +896,7 @@ impl JuryService {
         if was_warm {
             self.stats.cache_hits += 1;
         }
-        result
+        result.map(Arc::unwrap_or_clone)
     }
 
     /// The PayM solve path: orders-only warming, then the staircase.
@@ -825,10 +952,37 @@ impl JuryService {
     /// mutates the registry; sharded pools referenced by AltrM tasks also
     /// get their lazy AltrM selection solved once here rather than per
     /// worker), then the tasks fan out over `config.threads` scoped
-    /// workers, each with a persistent [`SolverScratch`]; on a warm cache
-    /// a task's solver path performs no heap allocation beyond the
-    /// returned [`Selection`].
+    /// workers (capped so each receives at least
+    /// [`MIN_TASKS_PER_WORKER`] tasks), each with a persistent
+    /// [`SolverScratch`]; on a warm cache a task's solver path performs
+    /// no heap allocation beyond the returned [`Selection`].
+    ///
+    /// Every result is an owned [`Selection`] — on replay-heavy AltrM
+    /// traffic that is one member-list copy per task;
+    /// [`JuryService::solve_batch_shared`] skips those copies.
     pub fn solve_batch(&mut self, tasks: &[DecisionTask]) -> Vec<Result<Selection, ServiceError>> {
+        self.solve_batch_arcs(tasks).into_iter().map(|r| r.map(Arc::unwrap_or_clone)).collect()
+    }
+
+    /// [`JuryService::solve_batch`] with *shared* results: tasks that
+    /// replay the same cached AltrM answer receive clones of one
+    /// [`Arc`], so a batch of a thousand identical decision tasks costs
+    /// a thousand reference bumps instead of a thousand member-list
+    /// copies — the allocation traffic behind the `service_throughput`
+    /// large-batch collapse. Fresh solves (cold pools, staircase misses)
+    /// are wrapped in a new [`Arc`]; the [`Selection`] values are
+    /// bit-identical to [`JuryService::solve_batch`]'s either way.
+    pub fn solve_batch_shared(
+        &mut self,
+        tasks: &[DecisionTask],
+    ) -> Vec<Result<Arc<Selection>, ServiceError>> {
+        self.solve_batch_arcs(tasks)
+    }
+
+    fn solve_batch_arcs(
+        &mut self,
+        tasks: &[DecisionTask],
+    ) -> Vec<Result<Arc<Selection>, ServiceError>> {
         self.stats.batches += 1;
         self.stats.tasks_solved += tasks.len();
         // A hit is a task whose needed state was warm before this batch
@@ -892,7 +1046,10 @@ impl JuryService {
             }
         }
 
-        let threads = self.effective_threads().min(tasks.len()).max(1);
+        // Coarse partitioning: never spawn a worker for fewer than
+        // MIN_TASKS_PER_WORKER tasks — see the constant's docs.
+        let threads =
+            self.effective_threads().min(tasks.len().div_ceil(MIN_TASKS_PER_WORKER)).max(1);
         if threads == 1 {
             let mut scratch = self.scratches.pop().unwrap_or_default();
             let out: Vec<_> =
@@ -982,12 +1139,16 @@ impl JuryService {
         if matches!(task.model, CrowdModel::Altruism) {
             let altr_config = self.config.altr;
             let mut scratch = self.scratches.pop().unwrap_or_default();
+            let mut pruned = 0usize;
             if let Some(PoolEntry { jurors, state: PoolState::Sharded(sp) }) =
                 self.pools.get_mut(&task.pool.0)
             {
-                sp.ensure_altr(jurors, &altr_config, &mut scratch);
+                if sp.cached_altr().is_none() {
+                    pruned = altr_pruned(Some(sp.ensure_altr(jurors, &altr_config, &mut scratch)));
+                }
             }
             self.scratches.push(scratch);
+            self.stats.bound_pruned += pruned;
         }
         Ok(())
     }
@@ -997,7 +1158,7 @@ impl JuryService {
         &self,
         task: &DecisionTask,
         scratch: &mut SolverScratch,
-    ) -> Result<Selection, ServiceError> {
+    ) -> Result<Arc<Selection>, ServiceError> {
         match self.pools.get(&task.pool.0) {
             None => Err(ServiceError::UnknownPool(task.pool)),
             Some(entry) => solve_on_entry(entry, task, &self.config, scratch),
@@ -1012,36 +1173,48 @@ impl JuryService {
     }
 }
 
-/// Builds every cached artefact for one flat-pool snapshot.
-fn build_full_cache(jurors: &[Juror], altr: &AltrConfig, scratch: &mut SolverScratch) -> PoolCache {
-    let altr_result = AltrAlg::new(*altr).solve_with(jurors, scratch);
-    // The solve already sorted the pool by ε into the scratch; snapshot
-    // its order and derive the profile from the sorted rates instead of
-    // sorting (and scanning) the pool again.
-    let (eps_order, eps_sorted, profile) = if jurors.is_empty() {
-        (Vec::new(), Vec::new(), Vec::new())
+/// Solves AltrM over a cached (or merged) ε-sorted order, with the
+/// bound-pruned rescan-free scan whenever the configured strategy is the
+/// default [`AltrStrategy::Incremental`] — members, JER and cost are
+/// bit-identical either way (`AltrAlg::solve_pruned`'s contract), only
+/// the [`jury_core::SolverStats`] reflect which scan ran. Other
+/// strategies run the configured presorted scan verbatim. The answer is
+/// wrapped for shared replay.
+pub(crate) fn solve_altr_cached(
+    jurors: &[Juror],
+    order: &[usize],
+    config: &AltrConfig,
+    scratch: &mut SolverScratch,
+) -> AltrAnswer {
+    let alg = AltrAlg::new(*config);
+    let result = if config.strategy == AltrStrategy::Incremental {
+        alg.solve_pruned(jurors, order, scratch)
     } else {
-        (
-            scratch.last_order().to_vec(),
-            scratch.last_sorted_eps().to_vec(),
-            AltrAlg::jer_profile_sorted(scratch.last_sorted_eps()),
-        )
+        alg.solve_presorted(jurors, order, scratch)
     };
-    let mut greedy_order = Vec::with_capacity(jurors.len());
-    PayAlg::greedy_order_into(jurors, &mut greedy_order);
-    PoolCache {
-        eps_order,
-        eps_sorted,
-        greedy_order,
-        solved: Some(SolvedArtifacts { profile, altr: altr_result }),
-        ladder: None,
-        staircase: Staircase::new(),
+    result.map(Arc::new)
+}
+
+/// How many candidate sizes an AltrM answer's scan pruned by bounds.
+fn altr_pruned(answer: Option<&AltrAnswer>) -> usize {
+    match answer {
+        Some(Ok(sel)) => sel.stats.pruned_by_bound,
+        _ => 0,
     }
+}
+
+/// Builds every eagerly-cached artefact for one flat-pool snapshot:
+/// the sorted orders plus the AltrM answer (profile and ladder stay
+/// lazy).
+fn build_full_cache(jurors: &[Juror], altr: &AltrConfig, scratch: &mut SolverScratch) -> PoolCache {
+    let mut cache = build_orders_only(jurors);
+    cache.altr = Some(solve_altr_cached(jurors, &cache.eps_order, altr, scratch));
+    cache
 }
 
 /// Builds just the sorted orders (no solve, no profile) — the cache
 /// state an `update_juror` repair also leaves behind; `warm_pool`
-/// completes it with [`build_solved`] on demand.
+/// completes it with a rescan-free bound-pruned solve on demand.
 fn build_orders_only(jurors: &[Juror]) -> PoolCache {
     let mut eps_order = Vec::with_capacity(jurors.len());
     jury_core::solver::sorted_order_into(jurors, &mut eps_order);
@@ -1052,37 +1225,47 @@ fn build_orders_only(jurors: &[Juror]) -> PoolCache {
         eps_order,
         eps_sorted,
         greedy_order,
-        solved: None,
+        altr: None,
+        profile: None,
         ladder: None,
         staircase: Staircase::new(),
     }
 }
 
-/// Rebuilds only the pmf-derived artefacts from a cache whose orders
-/// survived (were repaired in place by an update). Bit-identical to a
-/// from-scratch build: the repaired order equals the re-sorted order
-/// (total orders sort uniquely), and `solve_presorted` runs the same
-/// scan the sorting entry point would.
-fn build_solved(
-    jurors: &[Juror],
-    cache: &PoolCache,
-    altr: &AltrConfig,
-    scratch: &mut SolverScratch,
-) -> SolvedArtifacts {
-    let altr_result = AltrAlg::new(*altr).solve_presorted(jurors, &cache.eps_order, scratch);
-    let profile =
-        if jurors.is_empty() { Vec::new() } else { AltrAlg::jer_profile_sorted(&cache.eps_sorted) };
-    SolvedArtifacts { profile, altr: altr_result }
+/// Repairs a materialised JER profile in place after the flat pool's
+/// sorted run changed at `rank` (the lowest affected rank): entries for
+/// prefixes below the rank are reused verbatim, the suffix is re-derived
+/// by sequential pushes resumed from the deepest pmf-ladder checkpoint
+/// at or below the rank. The ladder must already be repaired for the
+/// post-mutation run. Resumed entries carry the checkpoint's lineage —
+/// numerically within [`PROBE_REPAIR_TOL`] of a rebuild, outside the
+/// bit-identity contract (nothing on a solver path reads a profile).
+fn repair_profile(cache: &mut PoolCache, rank: usize, effect: &mut MutationEffect) {
+    let Some(profile) = cache.profile.as_mut() else {
+        return;
+    };
+    let mut pmf = PoiBin::empty();
+    let resume = match cache.ladder.as_ref().and_then(|l| l.resume_for(rank)) {
+        Some((len, checkpoint)) => {
+            pmf.copy_from(checkpoint);
+            len
+        }
+        None => 0,
+    };
+    profile.repair_from(&cache.eps_sorted, rank, resume, &mut pmf);
+    effect.profile_repaired = true;
 }
 
 /// Repairs a flat cache after `jurors[idx]` was replaced (its old rate
 /// was `old_eps`): one remove + one insert per sorted order (`O(n)`
 /// memmoves, no re-sort), one factor division per affected pmf-ladder
-/// checkpoint. The orders are total with distinct keys, so remove +
+/// checkpoint, and an in-place profile repair (prefix entries reused
+/// verbatim). The orders are total with distinct keys, so remove +
 /// rank-insert lands on exactly the permutation a full re-sort would
-/// produce. The solved artefacts (AltrM selection, profile) are dropped
-/// for lazy rebuild and the budget staircase is cleared — the traces they
-/// summarise may genuinely change.
+/// produce. Only the AltrM answer is dropped — the selection it holds
+/// may genuinely change — and the next AltrM task re-solves it
+/// rescan-free with the bound-pruned scan; the budget staircase is
+/// cleared likewise.
 fn repair_flat_update(
     cache: &mut PoolCache,
     jurors: &[Juror],
@@ -1102,15 +1285,16 @@ fn repair_flat_update(
             effect.pmf_rebuilt = true;
         }
     }
-    cache.solved = None;
+    repair_profile(cache, r_old.min(r_new), &mut effect);
+    cache.altr = None;
     cache.staircase.clear();
     effect
 }
 
 /// Repairs a flat cache after `jurors[idx]` was removed: one remove per
 /// sorted order plus a renumbering pass (positions above `idx` shift
-/// down, preserving both total orders), and one factor division per
-/// affected ladder checkpoint.
+/// down, preserving both total orders), one factor division per
+/// affected ladder checkpoint, and an in-place profile repair.
 fn repair_flat_remove(cache: &mut PoolCache, idx: usize) -> MutationEffect {
     let pos = cache.eps_order.iter().position(|&i| i == idx).expect("cached order covers pool");
     let old_eps = cache.eps_sorted[pos];
@@ -1127,44 +1311,77 @@ fn repair_flat_remove(cache: &mut PoolCache, idx: usize) -> MutationEffect {
             effect.pmf_rebuilt = true;
         }
     }
-    cache.solved = None;
+    repair_profile(cache, pos, &mut effect);
+    cache.altr = None;
+    cache.staircase.clear();
+    effect
+}
+
+/// Repairs a flat cache after a juror was appended at pool position
+/// `idx`: one rank-insert per sorted order, one [`PoiBin::push`] per
+/// affected ladder checkpoint (inserts never need deconvolution), and
+/// an in-place profile repair. Like the other repairs, only the AltrM
+/// answer and the staircase drop.
+fn repair_flat_insert(cache: &mut PoolCache, jurors: &[Juror], idx: usize) -> MutationEffect {
+    use std::cmp::Ordering;
+    let eps_cmp = jury_core::solver::eps_cmp;
+    let r_new = cache.eps_order.partition_point(|&j| eps_cmp(jurors, j, idx) == Ordering::Less);
+    cache.eps_order.insert(r_new, idx);
+    cache.eps_sorted.insert(r_new, jurors[idx].epsilon());
+    let g_new = cache
+        .greedy_order
+        .partition_point(|&j| PayAlg::greedy_cmp(jurors, j, idx) == Ordering::Less);
+    cache.greedy_order.insert(g_new, idx);
+
+    let mut effect =
+        MutationEffect { invalidated: true, orders_repaired: true, ..Default::default() };
+    if let Some(ladder) = cache.ladder.as_mut() {
+        ladder.repair_insert(&cache.eps_sorted, r_new);
+        effect.pmf_repaired = true;
+    }
+    repair_profile(cache, r_new, &mut effect);
+    cache.altr = None;
     cache.staircase.clear();
     effect
 }
 
 /// Dispatches one task against a warm (or deliberately cold) entry.
 ///
-/// AltrM replays the cached selection; PayM replays the cached greedy
-/// order through the scratch-threaded scan. A cold cache (possible when
-/// `warm_pool` was skipped for an unknown pool that has since appeared)
-/// falls back to the direct solver — same results either way.
+/// AltrM replays the cached selection by bumping its [`Arc`] (the
+/// owned-result APIs copy it out afterwards); PayM replays the cached
+/// greedy order through the scratch-threaded scan. A cold cache
+/// (possible when `warm_pool` was skipped for an unknown pool that has
+/// since appeared) falls back to the direct solver — same selections
+/// either way.
 fn solve_on_entry(
     entry: &PoolEntry,
     task: &DecisionTask,
     config: &ServiceConfig,
     scratch: &mut SolverScratch,
-) -> Result<Selection, ServiceError> {
+) -> Result<Arc<Selection>, ServiceError> {
     match &entry.state {
         PoolState::Flat { cache } => match (task.model, cache.as_ref()) {
-            (CrowdModel::Altruism, Some(cache)) => match cache.solved.as_ref() {
-                Some(solved) => solved.altr.clone().map_err(ServiceError::from),
-                None => AltrAlg::new(config.altr)
-                    .solve_presorted(&entry.jurors, &cache.eps_order, scratch)
+            (CrowdModel::Altruism, Some(cache)) => match cache.altr.as_ref() {
+                Some(answer) => answer.clone().map_err(ServiceError::from),
+                None => solve_altr_cached(&entry.jurors, &cache.eps_order, &config.altr, scratch)
                     .map_err(ServiceError::from),
             },
             (CrowdModel::Altruism, None) => AltrAlg::new(config.altr)
                 .solve_with(&entry.jurors, scratch)
+                .map(Arc::new)
                 .map_err(ServiceError::from),
             (CrowdModel::PayAsYouGo { budget }, Some(cache)) => {
                 match cache.staircase.lookup(budget) {
-                    Some(replay) => replay.map_err(ServiceError::from),
+                    Some(replay) => replay.map(Arc::new).map_err(ServiceError::from),
                     None => PayAlg::new(budget, config.pay)
                         .solve_presorted(&entry.jurors, &cache.greedy_order, scratch)
+                        .map(Arc::new)
                         .map_err(ServiceError::from),
                 }
             }
             (CrowdModel::PayAsYouGo { budget }, None) => PayAlg::new(budget, config.pay)
                 .solve_with(&entry.jurors, scratch)
+                .map(Arc::new)
                 .map_err(ServiceError::from),
         },
         PoolState::Sharded(sp) => match task.model {
@@ -1172,23 +1389,25 @@ fn solve_on_entry(
                 if let Some(result) = sp.cached_altr() {
                     result.clone().map_err(ServiceError::from)
                 } else if let Some(order) = sp.merged_eps_order() {
-                    AltrAlg::new(config.altr)
-                        .solve_presorted(&entry.jurors, order, scratch)
+                    solve_altr_cached(&entry.jurors, order, &config.altr, scratch)
                         .map_err(ServiceError::from)
                 } else {
                     AltrAlg::new(config.altr)
                         .solve_with(&entry.jurors, scratch)
+                        .map(Arc::new)
                         .map_err(ServiceError::from)
                 }
             }
             CrowdModel::PayAsYouGo { budget } => match sp.staircase_lookup(budget) {
-                Some(replay) => replay.map_err(ServiceError::from),
+                Some(replay) => replay.map(Arc::new).map_err(ServiceError::from),
                 None => match sp.merged_greedy_order() {
                     Some(order) => PayAlg::new(budget, config.pay)
                         .solve_presorted(&entry.jurors, order, scratch)
+                        .map(Arc::new)
                         .map_err(ServiceError::from),
                     None => PayAlg::new(budget, config.pay)
                         .solve_with(&entry.jurors, scratch)
+                        .map(Arc::new)
                         .map_err(ServiceError::from),
                 },
             },
@@ -1215,7 +1434,10 @@ mod tests {
     }
 
     fn sharded_config(threshold: usize, shards: usize) -> ServiceConfig {
-        ServiceConfig { shard: ShardConfig { threshold, shards }, ..Default::default() }
+        ServiceConfig {
+            shard: ShardConfig { threshold, shards, ..Default::default() },
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -1428,13 +1650,24 @@ mod tests {
         let direct = AltrAlg::solve(service.pool(pool).unwrap(), &AltrConfig::default()).unwrap();
         assert_eq!(service.solve(&DecisionTask::altruism(pool)).unwrap(), direct);
 
-        // Insert/remove still drop the whole flat cache (no repair).
+        // A flat insert now repairs in place too: one rank-insert per
+        // order, the AltrM answer dropped for a rescan-free re-solve.
         service.insert_juror(pool, Juror::new(50, ErrorRate::new(0.3).unwrap(), 0.0)).unwrap();
         let stats = service.stats();
         assert_eq!(stats.cache_invalidations, 2);
-        assert_eq!(stats.order_repairs, 1, "insert must not count as a repair");
+        assert_eq!(stats.order_repairs, 2, "insert repairs the orders");
+        let expected_order = {
+            let mut fresh = JuryService::new();
+            let p = fresh.create_pool(service.pool(pool).unwrap().to_vec());
+            fresh.reliability_order(p).unwrap().to_vec()
+        };
+        assert_eq!(service.reliability_order(pool).unwrap(), expected_order.as_slice());
         service.warm_pool(pool).unwrap();
-        assert_eq!(service.stats().full_repairs, 2);
+        assert_eq!(service.stats().full_repairs, 1, "no full rebuild after an insert repair");
+        let direct = AltrAlg::solve(service.pool(pool).unwrap(), &AltrConfig::default()).unwrap();
+        let served = service.solve(&DecisionTask::altruism(pool)).unwrap();
+        assert_eq!(served.members, direct.members);
+        assert_eq!(served.jer.to_bits(), direct.jer.to_bits());
     }
 
     #[test]
@@ -1548,6 +1781,165 @@ mod tests {
         let stats = service.stats();
         assert_eq!(stats.staircase_hits, 27 + 30);
         assert_eq!(stats.cache_hits, 30);
+    }
+
+    #[test]
+    fn altr_resolve_after_update_never_full_repairs() {
+        // The counter gate: a pure AltrM re-solve after one juror update
+        // must ride the repaired orders and the bound-pruned scan — no
+        // full rebuild, ever (the debug_assert in `solve` enforces it in
+        // debug builds; this pins the counters in any build).
+        for (label, config) in
+            [("flat", ServiceConfig::default()), ("sharded", sharded_config(1, 4))]
+        {
+            let rates: Vec<f64> =
+                (0..60).map(|i| 0.02 + 0.9 * ((i as f64 * 0.6180339887498949) % 1.0)).collect();
+            let mut service = JuryService::with_config(config);
+            let pool = service.create_pool(pool_from_rates(&rates).unwrap());
+            service.solve(&DecisionTask::altruism(pool)).unwrap();
+            let full_repairs_cold = service.stats().full_repairs;
+            assert_eq!(full_repairs_cold, 1, "{label}: the cold build is the only full repair");
+
+            for round in 0..3 {
+                let idx = (round * 17 + 3) % rates.len();
+                let e = 0.05 + round as f64 * 0.21;
+                service
+                    .update_juror(pool, idx, Juror::new(900, ErrorRate::new(e).unwrap(), 0.1))
+                    .unwrap();
+                let sel = service.solve(&DecisionTask::altruism(pool)).unwrap();
+                let stats = service.stats();
+                assert_eq!(
+                    stats.full_repairs, full_repairs_cold,
+                    "{label} round {round}: AltrM re-solve must not full-repair"
+                );
+                assert_eq!(stats.order_repairs, round + 1, "{label}: orders repaired in place");
+                // The rescan-free answer matches the direct solver.
+                let direct =
+                    AltrAlg::solve(service.pool(pool).unwrap(), &AltrConfig::default()).unwrap();
+                assert_eq!(sel.members, direct.members, "{label} round {round}");
+                assert_eq!(sel.jer.to_bits(), direct.jer.to_bits(), "{label} round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn bound_pruning_is_observable() {
+        // A few experts plus an unreliable mob: the bound sweep must
+        // eliminate the mob sizes and say so in the stats.
+        let rates: Vec<f64> =
+            (0..201).map(|i| if i < 9 { 0.04 + i as f64 * 0.02 } else { 0.82 }).collect();
+        let mut service = JuryService::new();
+        let pool = service.create_pool(pool_from_rates(&rates).unwrap());
+        let sel = service.solve(&DecisionTask::altruism(pool)).unwrap();
+        let stats = service.stats();
+        assert!(stats.bound_pruned > 0, "pruning must fire: {stats:?}");
+        assert_eq!(stats.bound_pruned, sel.stats.pruned_by_bound);
+        // Replays do not re-prune; a post-update re-solve prunes again.
+        service.solve(&DecisionTask::altruism(pool)).unwrap();
+        assert_eq!(service.stats().bound_pruned, stats.bound_pruned);
+        service.update_juror(pool, 3, Juror::new(3, ErrorRate::new(0.06).unwrap(), 0.0)).unwrap();
+        service.solve(&DecisionTask::altruism(pool)).unwrap();
+        assert!(service.stats().bound_pruned > stats.bound_pruned);
+    }
+
+    #[test]
+    fn profile_repairs_in_place_within_tolerance() {
+        let rates: Vec<f64> = (0..180).map(|i| 0.03 + ((i * 29) % 90) as f64 / 100.0).collect();
+        let mut service = JuryService::new();
+        let pool = service.create_pool(pool_from_rates(&rates).unwrap());
+        // Materialise the profile (and its resume ladder).
+        let cold = service.jer_profile(pool).unwrap().to_vec();
+        assert_eq!(cold.len(), rates.len().div_ceil(2));
+
+        // Update, insert and remove must repair — not drop — it.
+        service.update_juror(pool, 40, Juror::new(40, ErrorRate::new(0.07).unwrap(), 0.1)).unwrap();
+        assert_eq!(service.stats().profile_repairs, 1);
+        service.insert_juror(pool, Juror::new(500, ErrorRate::new(0.42).unwrap(), 0.2)).unwrap();
+        assert_eq!(service.stats().profile_repairs, 2);
+        service.remove_juror(pool, 11).unwrap();
+        assert_eq!(service.stats().profile_repairs, 3);
+
+        let repaired = service.jer_profile(pool).unwrap().to_vec();
+        assert_eq!(service.stats().profile_repairs, 3, "reads must not rebuild");
+        let fresh = {
+            let mut other = JuryService::new();
+            let p = other.create_pool(service.pool(pool).unwrap().to_vec());
+            other.jer_profile(p).unwrap().to_vec()
+        };
+        assert_eq!(repaired.len(), fresh.len());
+        for ((rn, rj), (fn_, fj)) in repaired.iter().zip(&fresh) {
+            assert_eq!(rn, fn_);
+            assert!((rj - fj).abs() < PROBE_REPAIR_TOL, "n={rn}: repaired {rj} vs fresh {fj}");
+        }
+    }
+
+    #[test]
+    fn degenerate_shards_are_detected_once_per_episode() {
+        let mut service = JuryService::with_config(sharded_config(1, 4));
+        let pool = service.create_pool(pool_from_rates(&[0.2; 40]).unwrap());
+        // Drain shard 0 (original positions 0, 4, 8, …): after removing
+        // original 4k the juror originally at 4(k+1) sits at position
+        // 3(k+1).
+        for k in 0..9 {
+            service.remove_juror(pool, 3 * k).unwrap();
+        }
+        // Shard 0 holds 1 of 31 jurors; mean is 31/4: 1 < 25% of mean.
+        let stats = service.stats();
+        assert_eq!(stats.degenerate_shards, 1, "one shard entered degeneracy once");
+        // Draining it completely is the same episode — no double count.
+        service.remove_juror(pool, 27).unwrap();
+        assert_eq!(service.stats().degenerate_shards, 1);
+        // Inserts land on the smallest shard: the episode ends, and a
+        // fresh drain counts as a new one.
+        for i in 0..6 {
+            service
+                .insert_juror(pool, Juror::new(100 + i, ErrorRate::new(0.3).unwrap(), 0.0))
+                .unwrap();
+        }
+        assert_eq!(service.stats().degenerate_shards, 1, "recovered shard re-arms");
+    }
+
+    #[test]
+    fn shards_born_tiny_are_not_degeneracy_episodes() {
+        // A pool smaller than K leaves shards empty from creation; their
+        // flags are pre-armed, so the counter tracks only shards
+        // *hollowed out by mutations*.
+        let mut service = JuryService::with_config(sharded_config(1, 8));
+        let pool = service.create_pool(pool_from_rates(&[0.1, 0.2, 0.3]).unwrap());
+        service.insert_juror(pool, Juror::new(10, ErrorRate::new(0.25).unwrap(), 0.0)).unwrap();
+        assert_eq!(service.stats().degenerate_shards, 0, "born-empty shards never register");
+        // Removing a shard's only member IS a genuine episode.
+        service.remove_juror(pool, 0).unwrap();
+        assert_eq!(service.stats().degenerate_shards, 1, "a mutation-emptied shard counts once");
+    }
+
+    #[test]
+    fn shared_batches_share_replayed_answers() {
+        let mut service = JuryService::new();
+        let pool = service.create_pool(figure1());
+        let tasks: Vec<DecisionTask> = (0..8)
+            .map(|i| {
+                if i % 4 == 3 {
+                    DecisionTask::pay_as_you_go(pool, 1.0)
+                } else {
+                    DecisionTask::altruism(pool)
+                }
+            })
+            .collect();
+        let owned = service.solve_batch(&tasks);
+        let shared = service.solve_batch_shared(&tasks);
+        for (o, s) in owned.iter().zip(&shared) {
+            match (o, s) {
+                (Ok(o), Ok(s)) => {
+                    assert_eq!(o, s.as_ref());
+                    assert_eq!(o.jer.to_bits(), s.jer.to_bits());
+                }
+                other => panic!("owned/shared divergence: {other:?}"),
+            }
+        }
+        // Replayed AltrM answers are literally the same allocation.
+        let (a, b) = (shared[0].as_ref().unwrap(), shared[1].as_ref().unwrap());
+        assert!(Arc::ptr_eq(a, b), "replays must share the cached answer");
     }
 
     #[test]

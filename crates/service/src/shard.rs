@@ -64,12 +64,20 @@ pub struct ShardConfig {
     pub threshold: usize,
     /// Number of shards K (clamped to ≥ 1) for pools that shard.
     pub shards: usize,
+    /// A shard whose membership drops below this percentage of the mean
+    /// shard size (pool size / K) is flagged *degenerate* — repeated
+    /// removals have hollowed it out, so its run no longer amortises the
+    /// per-shard bookkeeping. Detection only: each episode bumps
+    /// [`ServiceStats::degenerate_shards`](crate::ServiceStats::degenerate_shards)
+    /// once; re-balancing is future work.
+    pub degenerate_percent: usize,
 }
 
 impl Default for ShardConfig {
-    /// Sharding disabled; 8 shards once enabled.
+    /// Sharding disabled; 8 shards once enabled; shards flagged
+    /// degenerate below 25% of the mean shard size.
     fn default() -> Self {
-        Self { threshold: usize::MAX, shards: 8 }
+        Self { threshold: usize::MAX, shards: 8, degenerate_percent: 25 }
     }
 }
 
@@ -104,6 +112,10 @@ struct Shard {
     /// monotone renumbering on removal preserve this).
     members: Vec<usize>,
     cache: Option<ShardCache>,
+    /// Whether the shard is currently flagged degenerate (membership
+    /// below the configured fraction of the mean shard size). The flag
+    /// makes each degeneracy *episode* count once in the stats.
+    degenerate: bool,
 }
 
 /// Global artefacts derived by merging the per-shard runs.
@@ -115,9 +127,10 @@ struct MergedCache {
     /// K-way merge of the shards' `greedy_order` runs — bit-identical to
     /// the flat pool's greedy order.
     greedy_order: Vec<usize>,
-    /// Lazily solved AltrM answer (the `O(N²)` scan runs only when an
-    /// AltrM task actually arrives).
-    altr: Option<Result<Selection, JuryError>>,
+    /// Lazily solved AltrM answer (the bound-pruned scan runs only when
+    /// an AltrM task actually arrives), shared so batch replays can
+    /// hand out the same allocation.
+    altr: Option<crate::AltrAnswer>,
     /// Lazily computed odd-size JER profile (push-based over the merged
     /// order — bit-identical to the flat profile; `O(N²)`, on demand).
     profile: Option<Vec<(usize, f64)>>,
@@ -140,6 +153,10 @@ pub(crate) struct MutationEffect {
     pub pmf_repaired: bool,
     /// The deconvolution guard declined and the ladder was rebuilt.
     pub pmf_rebuilt: bool,
+    /// A materialised JER profile was repaired in place (flat pools).
+    pub profile_repaired: bool,
+    /// Shards that entered degeneracy because of this mutation.
+    pub newly_degenerate: usize,
 }
 
 /// What a [`ShardedPool::warm`] call rebuilt — feeds the service's
@@ -168,15 +185,21 @@ pub(crate) struct ShardedPool {
 
 impl ShardedPool {
     /// Partitions positions `0..len` round-robin over `k` shards
-    /// (clamped to ≥ 1); all caches start cold.
-    pub(crate) fn new(len: usize, k: usize) -> Self {
+    /// (clamped to ≥ 1); all caches start cold. Shards already under the
+    /// `degenerate_percent` line at birth (a pool smaller than K leaves
+    /// some shards empty from creation) have their degeneracy flag
+    /// pre-armed, so only shards *hollowed out by later mutations* ever
+    /// count as episodes.
+    pub(crate) fn new(len: usize, k: usize, degenerate_percent: usize) -> Self {
         let k = k.max(1);
         let mut shards = vec![Shard::default(); k];
         let owner = (0..len).map(|i| (i % k) as u32).collect();
         for i in 0..len {
             shards[i % k].members.push(i);
         }
-        Self { shards, owner, merged: None, conv: ConvScratch::new() }
+        let mut pool = Self { shards, owner, merged: None, conv: ConvScratch::new() };
+        pool.refresh_degeneracy(degenerate_percent);
+        pool
     }
 
     pub(crate) fn shard_count(&self) -> usize {
@@ -412,24 +435,45 @@ impl ShardedPool {
     }
 
     /// The cached AltrM selection, if already solved.
-    pub(crate) fn cached_altr(&self) -> Option<&Result<Selection, JuryError>> {
+    pub(crate) fn cached_altr(&self) -> Option<&crate::AltrAnswer> {
         self.merged.as_ref().and_then(|m| m.altr.as_ref())
     }
 
-    /// Solves AltrM over the merged order (bit-identical to the flat
+    /// Solves AltrM over the merged order (bound-pruned under the
+    /// default strategy — members/JER/cost bit-identical to the flat
     /// path) and caches the result. Requires a prior [`Self::warm`].
     pub(crate) fn ensure_altr(
         &mut self,
         jurors: &[Juror],
         config: &AltrConfig,
         scratch: &mut SolverScratch,
-    ) -> &Result<Selection, JuryError> {
+    ) -> &crate::AltrAnswer {
         let merged = self.merged.as_mut().expect("warm() must precede ensure_altr");
         if merged.altr.is_none() {
             merged.altr =
-                Some(AltrAlg::new(*config).solve_presorted(jurors, &merged.eps_order, scratch));
+                Some(crate::solve_altr_cached(jurors, &merged.eps_order, config, scratch));
         }
         merged.altr.as_ref().expect("filled above")
+    }
+
+    /// Re-evaluates every shard's degeneracy flag against the current
+    /// mean shard size; returns how many shards *entered* degeneracy
+    /// (each episode counts once — a shard recovering above the line
+    /// re-arms its flag). `O(K)`, called by the registry after
+    /// membership-changing mutations.
+    pub(crate) fn refresh_degeneracy(&mut self, percent: usize) -> usize {
+        let k = self.shards.len();
+        let total = self.owner.len();
+        let mut newly = 0usize;
+        for shard in &mut self.shards {
+            // members < (percent/100) · (total/K), in integer arithmetic.
+            let degenerate = shard.members.len() * k * 100 < percent * total;
+            if degenerate && !shard.degenerate {
+                newly += 1;
+            }
+            shard.degenerate = degenerate;
+        }
+        newly
     }
 
     /// The odd-size JER profile over the merged order, computed lazily
@@ -594,7 +638,7 @@ mod tests {
         for &n in &[1usize, 2, 5, 17, 100] {
             for &k in &[1usize, 2, 7, 16] {
                 let jurors = pool(n);
-                let mut sp = ShardedPool::new(n, k);
+                let mut sp = ShardedPool::new(n, k, 25);
                 sp.warm(&jurors);
                 let mut flat_eps = Vec::new();
                 sorted_order_into(&jurors, &mut flat_eps);
@@ -613,7 +657,7 @@ mod tests {
     #[test]
     fn remove_repairs_in_place_and_renumbers() {
         let mut jurors = pool(40);
-        let mut sp = ShardedPool::new(40, 4);
+        let mut sp = ShardedPool::new(40, 4, 25);
         sp.warm(&jurors);
         let victim = 11; // shard 11 % 4 == 3
         jurors.remove(victim);
@@ -638,7 +682,7 @@ mod tests {
     fn update_repairs_orders_and_ladder_in_place() {
         use jury_core::juror::ErrorRate;
         let mut jurors = pool(300);
-        let mut sp = ShardedPool::new(300, 4);
+        let mut sp = ShardedPool::new(300, 4, 25);
         sp.warm(&jurors);
         let probe_direct = |jurors: &[Juror], n: usize| {
             let mut order = Vec::new();
@@ -673,7 +717,7 @@ mod tests {
     #[test]
     fn insert_goes_to_smallest_shard_only() {
         let mut jurors = pool(9);
-        let mut sp = ShardedPool::new(9, 4); // shard sizes 3,2,2,2
+        let mut sp = ShardedPool::new(9, 4, 25); // shard sizes 3,2,2,2
         sp.warm(&jurors);
         jurors.push(jurors[0]);
         sp.insert(jurors.len());
@@ -689,7 +733,7 @@ mod tests {
     #[test]
     fn bulk_dirty_shards_rebuild_in_parallel() {
         let mut jurors = pool(64);
-        let mut sp = ShardedPool::new(64, 8);
+        let mut sp = ShardedPool::new(64, 8, 25);
         sp.warm(&jurors);
         // A bulk ingest dirties several shards at once.
         for _ in 0..24 {
@@ -712,7 +756,7 @@ mod tests {
     #[test]
     fn probe_matches_direct_jer_within_tolerance() {
         let jurors = pool(300);
-        let mut sp = ShardedPool::new(300, 7);
+        let mut sp = ShardedPool::new(300, 7, 25);
         sp.warm(&jurors);
         let mut order = Vec::new();
         sorted_order_into(&jurors, &mut order);
@@ -730,7 +774,7 @@ mod tests {
         // A single huge shard: probes beyond LADDER_MAX take the batch
         // branch and must still agree.
         let jurors = pool(LADDER_MAX + 300);
-        let mut sp = ShardedPool::new(jurors.len(), 1);
+        let mut sp = ShardedPool::new(jurors.len(), 1, 25);
         sp.warm(&jurors);
         let n = LADDER_MAX + 201;
         let mut order = Vec::new();

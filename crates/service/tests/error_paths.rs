@@ -28,7 +28,7 @@ fn services() -> Vec<(&'static str, JuryService)> {
         (
             "sharded",
             JuryService::with_config(ServiceConfig {
-                shard: ShardConfig { threshold: 1, shards: 3 },
+                shard: ShardConfig { threshold: 1, shards: 3, ..Default::default() },
                 ..Default::default()
             }),
         ),

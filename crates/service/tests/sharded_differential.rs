@@ -36,7 +36,7 @@ const SHARD_COUNTS: [usize; 4] = [1, 2, 7, 16];
 
 fn sharded_service(k: usize) -> JuryService {
     JuryService::with_config(ServiceConfig {
-        shard: ShardConfig { threshold: 0, shards: k },
+        shard: ShardConfig { threshold: 0, shards: k, ..Default::default() },
         ..Default::default()
     })
 }
@@ -78,6 +78,53 @@ fn assert_identical(
     }
 }
 
+/// Bit-level *selection* equality — members, JER bits, cost bits — with
+/// stats exempted: the documented contract between the bound-pruned
+/// AltrM scan (what the service runs) and the full presorted scan. The
+/// accounting identity `jer_evaluations + pruned_by_bound ==
+/// candidates_considered` is pinned instead.
+fn assert_selection_identical(
+    got: &Result<Selection, ServiceError>,
+    want: &Result<Selection, ServiceError>,
+    ctx: &str,
+) {
+    match (got, want) {
+        (Ok(g), Ok(w)) => {
+            assert_eq!(g.members, w.members, "{ctx}: members");
+            assert_eq!(g.jer.to_bits(), w.jer.to_bits(), "{ctx}: jer bits");
+            assert_eq!(g.total_cost.to_bits(), w.total_cost.to_bits(), "{ctx}: cost bits");
+            assert_eq!(
+                g.stats.candidates_considered, w.stats.candidates_considered,
+                "{ctx}: candidate counts"
+            );
+            assert_eq!(
+                g.stats.jer_evaluations + g.stats.pruned_by_bound,
+                w.stats.jer_evaluations + w.stats.pruned_by_bound,
+                "{ctx}: every size is either evaluated or pruned"
+            );
+        }
+        (Err(g), Err(w)) => assert_eq!(g, w, "{ctx}"),
+        other => panic!("{ctx}: pruned/full divergence: {other:?}"),
+    }
+}
+
+/// Solves AltrM over `jurors` through both `AltrAlg::solve_presorted`
+/// (the full scan) and `AltrAlg::solve_pruned` (the service's
+/// rescan-free bound sweep), asserting bit-identical selections, and
+/// returns the pruned answer so callers can pin service replies against
+/// it *stats included* (the service runs exactly this scan).
+fn check_altr_pruned(jurors: &[Juror], ctx: &str) -> Result<Selection, ServiceError> {
+    let mut order = Vec::new();
+    jury_core::solver::sorted_order_into(jurors, &mut order);
+    let alg = AltrAlg::default();
+    let full =
+        alg.solve_presorted(jurors, &order, &mut SolverScratch::new()).map_err(ServiceError::from);
+    let pruned =
+        alg.solve_pruned(jurors, &order, &mut SolverScratch::new()).map_err(ServiceError::from);
+    assert_selection_identical(&pruned, &full, &format!("{ctx}: pruned vs presorted"));
+    pruned
+}
+
 /// Budgets that force juries to straddle shard boundaries: cumulative
 /// greedy-order costs (the exact affordability cliffs), plus the
 /// endpoints and an unlimited budget.
@@ -116,17 +163,25 @@ fn check_task(
     let f = flat.solve(&task);
     assert_identical(&s, &f, &format!("{ctx}: sharded vs flat service"));
     let jurors = flat.pool(pool).unwrap();
-    let direct = match model {
-        CrowdModel::Altruism => AltrAlg::solve(jurors, &AltrConfig::default()),
-        CrowdModel::PayAsYouGo { budget } => PayAlg::solve(jurors, budget, &PayConfig::default()),
-    }
-    .map_err(ServiceError::from);
-    assert_identical(&s, &direct, &format!("{ctx}: sharded vs direct solver"));
-    if matches!(model, CrowdModel::PayAsYouGo { .. }) {
-        let s_hit = sharded.solve(&task);
-        let f_hit = flat.solve(&task);
-        assert_identical(&s_hit, &direct, &format!("{ctx}: sharded staircase hit vs direct"));
-        assert_identical(&f_hit, &direct, &format!("{ctx}: flat staircase hit vs direct"));
+    match model {
+        CrowdModel::Altruism => {
+            // The selection must match the direct full scan bit-for-bit
+            // (stats exempted — the service runs the bound-pruned scan)
+            // and the standalone pruned scan stats included.
+            let direct = AltrAlg::solve(jurors, &AltrConfig::default()).map_err(ServiceError::from);
+            assert_selection_identical(&s, &direct, &format!("{ctx}: sharded vs direct solver"));
+            let pruned = check_altr_pruned(jurors, ctx);
+            assert_identical(&s, &pruned, &format!("{ctx}: sharded vs pruned scan"));
+        }
+        CrowdModel::PayAsYouGo { budget } => {
+            let direct =
+                PayAlg::solve(jurors, budget, &PayConfig::default()).map_err(ServiceError::from);
+            assert_identical(&s, &direct, &format!("{ctx}: sharded vs direct solver"));
+            let s_hit = sharded.solve(&task);
+            let f_hit = flat.solve(&task);
+            assert_identical(&s_hit, &direct, &format!("{ctx}: sharded staircase hit vs direct"));
+            assert_identical(&f_hit, &direct, &format!("{ctx}: flat staircase hit vs direct"));
+        }
     }
 }
 
@@ -254,6 +309,16 @@ proptest! {
                 // direct scan bit-for-bit on every affordability cliff.
                 check_staircase(&current, &boundary_budgets(&current), &format!("step={step}"));
             }
+            // The pruned scan stays bit-identical to the full scan on
+            // the mutated pool, and every service's repaired warm path
+            // must reproduce it exactly (stats included).
+            let altr_ref = check_altr_pruned(&current, &format!("step={step}"));
+            let altr_task = DecisionTask::altruism(fp);
+            assert_identical(
+                &flat.solve(&altr_task),
+                &altr_ref,
+                &format!("step={step} flat repaired altr"),
+            );
             for (k, s) in &mut services {
                 prop_assert_eq!(s.pool(fp).unwrap(), current.as_slice(), "k={} step={}", k, step);
                 for &b in &budgets {
@@ -264,10 +329,9 @@ proptest! {
                         &format!("k={k} step={step} budget={b}"),
                     );
                 }
-                let task = DecisionTask::altruism(fp);
                 assert_identical(
-                    &s.solve(&task),
-                    &flat.solve(&task),
+                    &s.solve(&altr_task),
+                    &altr_ref,
                     &format!("k={k} step={step} altr"),
                 );
             }
@@ -285,7 +349,7 @@ proptest! {
         let jurors = build(&pairs);
         let threshold = jurors.len() + extras.len() / 2;
         let mut promoting = JuryService::with_config(ServiceConfig {
-            shard: ShardConfig { threshold, shards: 7 },
+            shard: ShardConfig { threshold, shards: 7, ..Default::default() },
             ..Default::default()
         });
         let mut flat = JuryService::new();
