@@ -60,6 +60,7 @@
 pub mod altr;
 pub mod error;
 pub mod exact;
+pub mod fingerprint;
 pub mod jer;
 pub mod juror;
 pub mod jury;
@@ -75,6 +76,7 @@ pub mod wire;
 pub use altr::{AltrAlg, AltrConfig, AltrStrategy};
 pub use error::JuryError;
 pub use exact::{exact_paym, exact_paym_parallel, ExactConfig, ExactPaym};
+pub use fingerprint::{FingerprintKey, PoolFingerprint};
 pub use jer::{jer_lower_bound, JerEngine, JerScratch};
 pub use juror::{ErrorRate, Juror};
 pub use jury::Jury;
@@ -90,6 +92,7 @@ pub mod prelude {
     pub use crate::altr::{AltrAlg, AltrConfig, AltrStrategy};
     pub use crate::error::JuryError;
     pub use crate::exact::{exact_paym, exact_paym_parallel, ExactConfig, ExactPaym};
+    pub use crate::fingerprint::{FingerprintKey, PoolFingerprint};
     pub use crate::jer::{jer_lower_bound, JerEngine, JerScratch};
     pub use crate::juror::{ErrorRate, Juror};
     pub use crate::jury::Jury;

@@ -33,6 +33,7 @@ pub mod complex;
 pub mod conv;
 pub mod fft;
 pub mod float;
+pub mod hash;
 pub mod kahan;
 pub mod poibin;
 

@@ -273,6 +273,24 @@ impl PoiBin {
         &self.pmf
     }
 
+    /// A stable 64-bit summary of this distribution's exact bit content:
+    /// a SplitMix64-style fold over the trial count and every pmf entry's
+    /// IEEE-754 bits. Two distributions hash equal iff their pmf vectors
+    /// are bit-identical, so warm-artifact stores and differential tests
+    /// can compare cached prefix-pmf checkpoints (a flat ladder rung, a
+    /// shard's resume point) without materialising both sides — e.g.
+    /// asserting that a shared checkpoint is the same evaluation lineage
+    /// as a privately built one, or that a deconvolution repair changed
+    /// it. Purely content-addressed: no RandomState, stable across runs
+    /// and platforms.
+    pub fn content_hash(&self) -> u64 {
+        let mut h = 0x243f_6a88_85a3_08d3u64 ^ (self.pmf.len() as u64);
+        for &p in &self.pmf {
+            h = crate::hash::splitmix64(h ^ p.to_bits());
+        }
+        h
+    }
+
     /// `Pr(C = k)`, zero outside the support.
     #[inline]
     pub fn prob_eq(&self, k: usize) -> f64 {
@@ -544,6 +562,21 @@ mod tests {
 
     fn majority_threshold(n: usize) -> usize {
         n / 2 + 1 // == (n+1)/2 for odd n
+    }
+
+    #[test]
+    fn content_hash_tracks_bit_content() {
+        let a = PoiBin::from_error_rates(&TABLE2_EPS);
+        let b = PoiBin::from_error_rates(&TABLE2_EPS);
+        assert_eq!(a.content_hash(), b.content_hash(), "same pushes, same bits, same hash");
+        // The DP batch path performs the identical sequential pushes.
+        assert_eq!(a.content_hash(), PoiBin::from_error_rates_dp(&TABLE2_EPS).content_hash());
+        // An ulp-level perturbation of one factor is different content.
+        let mut eps = TABLE2_EPS;
+        eps[3] = f64::from_bits(eps[3].to_bits() + 1);
+        assert_ne!(a.content_hash(), PoiBin::from_error_rates(&eps).content_hash());
+        // Length alone distinguishes prefixes even when masses match.
+        assert_ne!(PoiBin::empty().content_hash(), PoiBin::from_error_rates(&[0.0]).content_hash());
     }
 
     #[test]

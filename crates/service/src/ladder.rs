@@ -427,7 +427,15 @@ mod tests {
         let r_new = eps.partition_point(|&e| e < 0.07);
         eps.insert(r_new, 0.07);
         assert!(!ladder.repair_update(&eps, old_e, r_old, r_new), "guard must trip");
-        // The fallback rebuild is exact.
+        // The fallback rebuild is exact — checkpoint for checkpoint it
+        // carries the same bits as a fresh build (pinned via the stable
+        // pmf content hash, the summary warm-artifact consumers compare).
         assert_ladder_close(&ladder, &eps, f64::EPSILON);
+        let fresh = PmfLadder::build(&eps);
+        assert_eq!(ladder.checkpoints.len(), fresh.checkpoints.len());
+        for (a, b) in ladder.checkpoints.iter().zip(&fresh.checkpoints) {
+            assert_eq!(a.len, b.len);
+            assert_eq!(a.pmf.content_hash(), b.pmf.content_hash(), "len {}", a.len);
+        }
     }
 }

@@ -119,6 +119,66 @@
 //!    merged-pmf path powers only [`JuryService::jer_probe`], whose
 //!    contract is numerical equality within convolution rounding.
 //!
+//! # The warm-artifact store and its fingerprint contract
+//!
+//! All pools of one service share a **content-addressed warm-artifact
+//! store**: registering N pools over the same juror content builds the
+//! warm artifacts **once** and hands every further pool `Arc` clones of
+//! one interned set. The contract:
+//!
+//! * **What is keyed.** Every artifact set is interned under
+//!   `(fingerprint, layout, solver config)`. The fingerprint is a
+//!   commutative multiset hash
+//!   ([`jury_core::fingerprint::PoolFingerprint`]) over each juror's
+//!   solver-relevant content — the pair `(ε.to_bits(), cost.to_bits())`;
+//!   juror *ids* are payload and never enter the key. The layout
+//!   separates flat from K-shard artifact shapes; the config covers the
+//!   [`AltrConfig`]/[`PayConfig`] knobs that change solver output.
+//!   Because raw IEEE-754 bits are hashed, the fingerprint is exactly as
+//!   strict as the solvers' `total_cmp` orders (`0.5` vs `0.5 + 1e-12`
+//!   is different content). Maintained incrementally: one
+//!   constant-time hash update per mutation, never a rescan.
+//! * **What is shared.** A pool whose juror sequence equals an entry's
+//!   founding sequence position-for-position shares *everything*: both
+//!   orders, sorted ε values, pmf ladder, JER profile, the Arc'd AltrM
+//!   answer and the (lazily growing, lock-guarded) PayM budget
+//!   staircase. A pool that is a *permutation* of the founding sequence
+//!   still shares every rank-space artifact pointer-equal (sorted ε
+//!   values, ladder, profile, the AltrM answer's JER/cost/stats) and
+//!   derives its position-space orders by an `O(N)` sort-free
+//!   translation; its staircase stays private (recorded selections are
+//!   position-space). Permuted sharing additionally requires the entry
+//!   to be **tie-free** (no equal-ε, different-cost juror pair), which
+//!   makes the translated orders bit-identical to the pool's own sort.
+//! * **CoW detach and re-join.** Mutations never write through a shared
+//!   entry: the pool detaches first (sole holders reclaim the artifacts
+//!   zero-copy; pools with siblings clone exactly what the repair will
+//!   touch), the existing in-place repairs run on the private copy, the
+//!   fingerprint is updated incrementally, and the pool re-joins an
+//!   existing entry if one matches the post-mutation content (verified
+//!   by content comparison, never by hash alone). A pool that detached
+//!   from siblings publishes its repaired artifacts under the new key
+//!   for identically-mutated siblings to follow; entries no pool holds
+//!   are evicted. [`ServiceStats::artifact_share_hits`],
+//!   [`ServiceStats::artifact_detaches`] and
+//!   [`ServiceStats::artifact_rejoins`] make all of this observable.
+//! * **What stays outside the bit-identity guarantee.** Sharing never
+//!   changes any answer: shared-artifact AltrM/PayM selections are
+//!   bit-identical (members/JER/cost/stats) to privately-built ones —
+//!   the differential harness proves it across interleaved
+//!   detach/re-join mutations. The pre-existing numerical carve-outs
+//!   are unchanged: [`JuryService::jer_probe`] and repaired
+//!   [`JuryService::jer_profile`] entries remain numerical-contract
+//!   ([`PROBE_REPAIR_TOL`]), and a re-joining pool adopts the entry's
+//!   pmf-lineage artifacts (fresh-built or repaired), which is
+//!   indistinguishable within that same tolerance. For sharded pools
+//!   the store interns the merged-layer artifacts (merged orders, AltrM
+//!   answer, profile) for sequence-identical pools only; per-shard
+//!   caches and the sharded staircase stay per-pool.
+//!
+//! Sharing is on by default; [`ServiceConfig::share_artifacts`] turns it
+//! off (the `multi_tenant_throughput` bench measures the difference).
+//!
 //! Mutation cost is where the repair paths pay: a juror update, removal
 //! or flat insert costs a few `O(n)` memmoves plus `O(ladder)` factor
 //! divisions (pushes for inserts), the next PayM task re-records its
@@ -158,12 +218,14 @@
 
 mod ladder;
 mod shard;
+mod store;
 
 pub use ladder::PROBE_REPAIR_TOL;
 pub use shard::ShardConfig;
 
 use jury_core::altr::{AltrAlg, AltrConfig, AltrStrategy, JerProfile};
 use jury_core::error::JuryError;
+use jury_core::fingerprint::{FingerprintKey, PoolFingerprint};
 use jury_core::jer::JerEngine;
 use jury_core::juror::Juror;
 use jury_core::model::CrowdModel;
@@ -177,6 +239,10 @@ use shard::{reinsert_eps, reinsert_greedy, renumber_out, MutationEffect, Sharded
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
+use store::{
+    translate_selection, ArtifactSet, ArtifactStore, Attach, LayoutKey, PermutedView, StoreKey,
+    StoreLink,
+};
 
 /// Upper bound on sequential staircase-recording scans per batch. Only
 /// `(pool, budget)` pairs that repeat within the batch are recorded up
@@ -293,7 +359,7 @@ impl From<JuryError> for ServiceError {
 }
 
 /// Tuning knobs for a [`JuryService`].
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServiceConfig {
     /// Worker threads for [`JuryService::solve_batch`]
     /// (0 = one per available core).
@@ -304,6 +370,23 @@ pub struct ServiceConfig {
     pub pay: PayConfig,
     /// When pools are partitioned into shards (disabled by default).
     pub shard: ShardConfig,
+    /// Whether equal-content pools share one warm artifact set through
+    /// the content-addressed store (on by default; see the crate docs
+    /// for the fingerprint contract). Turning it off makes every pool
+    /// build privately — the `multi_tenant_throughput` bench's baseline.
+    pub share_artifacts: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            threads: 0,
+            altr: AltrConfig::default(),
+            pay: PayConfig::default(),
+            shard: ShardConfig::default(),
+            share_artifacts: true,
+        }
+    }
 }
 
 /// Monotone counters describing the service's work so far.
@@ -363,7 +446,10 @@ pub struct ServiceStats {
     /// exceeded).
     pub pmf_rebuilds: usize,
     /// Shard-local repairs: per-shard cache rebuilds performed while
-    /// other shards stayed warm (each rebuilt shard counts once).
+    /// the rest of the warm state survived — other shards stayed warm,
+    /// or the merged layer was adopted from an interned artifact set
+    /// (per-shard caches are always built per pool; each rebuilt shard
+    /// counts once).
     pub shard_repairs: usize,
     /// Full repairs: cache builds that recomputed everything — a flat
     /// pool's from-scratch build, or a sharded warm-up with every shard
@@ -385,6 +471,18 @@ pub struct ServiceStats {
     /// re-balancing is future work, this counter is the observability
     /// hook.
     pub degenerate_shards: usize,
+    /// Pools that attached to an already-interned warm-artifact set
+    /// instead of building their own (registration-time and
+    /// warm-time attaches; re-joins after mutations count separately).
+    pub artifact_share_hits: usize,
+    /// Mutations that detached a pool from a shared artifact set onto a
+    /// privately-owned copy (copy-on-write; sole holders reclaim the
+    /// artifacts zero-copy).
+    pub artifact_detaches: usize,
+    /// Post-mutation re-attaches: the incrementally-updated fingerprint
+    /// matched an existing entry (content-verified) and the pool dropped
+    /// its private copy for the shared one.
+    pub artifact_rejoins: usize,
 }
 
 /// The solved AltrM answer of one pool snapshot: shared so batch
@@ -420,27 +518,90 @@ struct PoolCache {
     staircase: Staircase,
 }
 
+/// A flat pool's warm state: cold, privately owned (mutated in place by
+/// the repair paths), or attached to a shared warm-artifact set.
+#[derive(Debug, Clone)]
+enum FlatCache {
+    /// Nothing warm yet.
+    Cold,
+    /// Privately-owned artifacts — the only state repairs write to.
+    Private(PoolCache),
+    /// Attached to an interned [`ArtifactSet`]; mutations detach first.
+    Shared(SharedFlat),
+}
+
+/// A flat pool's attachment to a store entry.
+#[derive(Debug, Clone)]
+struct SharedFlat {
+    link: StoreLink,
+    /// `None` for sequence-identical attachers (founding position space
+    /// *is* this pool's); `Some` for permuted attachers, holding the
+    /// σ-translated orders plus the position-space artifacts that cannot
+    /// be shared across permutations.
+    view: Option<PermutedView>,
+}
+
+impl FlatCache {
+    /// The position-space ε order, however the cache is held.
+    fn eps_order(&self) -> Option<&[usize]> {
+        match self {
+            Self::Cold => None,
+            Self::Private(c) => Some(&c.eps_order),
+            Self::Shared(sf) => Some(match &sf.view {
+                None => &sf.link.set.eps_order,
+                Some(view) => &view.eps_order,
+            }),
+        }
+    }
+
+    /// Whether any orders are present (the warmth level PayM needs).
+    fn has_orders(&self) -> bool {
+        !matches!(self, Self::Cold)
+    }
+
+    /// Whether the AltrM answer this pool would replay is present.
+    fn has_altr(&self) -> bool {
+        match self {
+            Self::Cold => false,
+            Self::Private(c) => c.altr.is_some(),
+            Self::Shared(sf) => match &sf.view {
+                None => sf.link.set.altr.get().is_some(),
+                Some(view) => view.altr.is_some(),
+            },
+        }
+    }
+}
+
 /// How a registered pool is served: flat (one sorted scan) or sharded.
 #[derive(Debug, Clone)]
 enum PoolState {
     /// Below the shard threshold: one cache over the whole pool.
     Flat {
-        /// The per-generation cache (`None` when cold).
-        cache: Option<PoolCache>,
+        /// The per-generation cache.
+        cache: FlatCache,
     },
-    /// At or above the shard threshold: K shards with per-shard caches.
-    Sharded(ShardedPool),
+    /// At or above the shard threshold: K shards with per-shard caches;
+    /// `link` attaches the merged-layer artifacts to the store.
+    Sharded {
+        /// The sharded pool.
+        sp: ShardedPool,
+        /// Store attachment of the merged-layer artifacts, if any.
+        link: Option<StoreLink>,
+    },
 }
 
 #[derive(Debug, Clone)]
 struct PoolEntry {
     jurors: Vec<Juror>,
     state: PoolState,
+    /// Running multiset hash of the jurors' solver-relevant content —
+    /// the store key, updated in `O(1)` per mutation.
+    fp: PoolFingerprint,
 }
 
 /// The serving layer: pool registry + per-pool caches + batched parallel
 /// solving. See the crate docs for the architecture.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct JuryService {
     config: ServiceConfig,
     pools: HashMap<u64, PoolEntry>,
@@ -448,6 +609,67 @@ pub struct JuryService {
     stats: ServiceStats,
     /// Persistent per-worker scratches, reused across batches.
     scratches: Vec<SolverScratch>,
+    /// The content-addressed warm-artifact store (see the crate docs).
+    store: ArtifactStore,
+}
+
+impl Clone for JuryService {
+    /// A fully independent copy. The warm-artifact store is
+    /// deep-cloned — every interned entry re-wrapped in a fresh `Arc`
+    /// (immutable innards still share memory) and every attached pool
+    /// re-linked to its copy — because sharing entries across services
+    /// would break the exact strong-count accounting behind sole-owner
+    /// detach and orphan eviction. Warm state, counters and pool ids
+    /// carry over; worker scratches start empty (they refill lazily).
+    fn clone(&self) -> Self {
+        let (store, remap) = self.store.deep_clone();
+        let mut pools = self.pools.clone();
+        for entry in pools.values_mut() {
+            let link = match &mut entry.state {
+                PoolState::Flat { cache: FlatCache::Shared(sf) } => Some(&mut sf.link),
+                PoolState::Sharded { link: Some(link), .. } => Some(link),
+                _ => None,
+            };
+            if let Some(link) = link {
+                // Every attached pool's handle is the map's (publish
+                // never replaces an entry), so the remap always hits;
+                // the fallback keeps an unexpected stray handle working
+                // as a plain non-sole holder.
+                if let Some(copy) = remap.get(&Arc::as_ptr(&link.set)) {
+                    link.set = copy.clone();
+                }
+            }
+        }
+        Self {
+            config: self.config,
+            pools,
+            next_pool: self.next_pool,
+            stats: self.stats,
+            scratches: Vec::new(),
+            store,
+        }
+    }
+}
+
+/// The solver-relevant configuration bits entering every store key: the
+/// knobs that change what a solver *outputs* (threads, shard thresholds
+/// and degeneracy percentages only change how fast).
+fn config_key(config: &ServiceConfig) -> u64 {
+    let strategy = match config.altr.strategy {
+        AltrStrategy::PaperRecompute => 0u64,
+        AltrStrategy::Incremental => 1,
+    };
+    let engine = match config.altr.engine {
+        JerEngine::Naive => 0u64,
+        JerEngine::DynamicProgramming => 1,
+        JerEngine::TailDp => 2,
+        JerEngine::Convolution => 3,
+        JerEngine::Auto => 4,
+    };
+    strategy
+        | (u64::from(config.altr.use_lower_bound) << 1)
+        | (engine << 2)
+        | (u64::from(config.pay.strict_improvement) << 5)
 }
 
 impl JuryService {
@@ -487,23 +709,77 @@ impl JuryService {
         let id = self.next_pool;
         self.next_pool += 1;
         let state = if self.config.shard.applies(jurors.len()) {
-            PoolState::Sharded(ShardedPool::new(
-                jurors.len(),
-                self.config.shard.shards,
-                self.config.shard.degenerate_percent,
-            ))
+            PoolState::Sharded {
+                sp: ShardedPool::new(
+                    jurors.len(),
+                    self.config.shard.shards,
+                    self.config.shard.degenerate_percent,
+                ),
+                link: None,
+            }
         } else {
-            PoolState::Flat { cache: None }
+            PoolState::Flat { cache: FlatCache::Cold }
         };
-        self.pools.insert(id, PoolEntry { jurors, state });
+        let fp = PoolFingerprint::from_jurors(&jurors);
+        self.pools.insert(id, PoolEntry { jurors, state, fp });
         PoolId(id)
     }
 
     /// Unregisters a pool, returning its jurors. The id is never reused,
     /// so stale handles keep failing with
     /// [`ServiceError::UnknownPool`] instead of aliasing a later pool.
+    /// Shared warm artifacts the pool held are released (entries no pool
+    /// holds any more are evicted from the store).
     pub fn remove_pool(&mut self, pool: PoolId) -> Result<Vec<Juror>, ServiceError> {
-        self.pools.remove(&pool.0).map(|entry| entry.jurors).ok_or(ServiceError::UnknownPool(pool))
+        let entry = self.pools.remove(&pool.0).ok_or(ServiceError::UnknownPool(pool))?;
+        let key = match &entry.state {
+            PoolState::Flat { cache: FlatCache::Shared(sf) } => Some(sf.link.key),
+            PoolState::Sharded { link: Some(link), .. } => Some(link.key),
+            _ => None,
+        };
+        let jurors = entry.jurors;
+        drop(entry.state);
+        if let Some(key) = key {
+            self.store.evict_if_orphaned(&key);
+        }
+        Ok(jurors)
+    }
+
+    /// The pool's current content-fingerprint key — equal multisets of
+    /// solver-relevant juror content (ε and cost bits) produce equal
+    /// keys regardless of arrangement; any single-juror content change
+    /// produces a different key. Maintained incrementally, so this is a
+    /// constant-time read.
+    pub fn fingerprint(&self, pool: PoolId) -> Result<FingerprintKey, ServiceError> {
+        self.pools.get(&pool.0).map(|entry| entry.fp.key()).ok_or(ServiceError::UnknownPool(pool))
+    }
+
+    /// Whether two pools currently hold the *same* interned warm-artifact
+    /// set (pointer equality of the shared `Arc`) — true for pools that
+    /// attached, re-joined or published to one store entry; false when
+    /// either is cold, privately detached, or the pools' content
+    /// diverged.
+    pub fn shares_artifacts_with(&self, a: PoolId, b: PoolId) -> Result<bool, ServiceError> {
+        let set_of = |id: PoolId| -> Result<Option<&Arc<ArtifactSet>>, ServiceError> {
+            let entry = self.pools.get(&id.0).ok_or(ServiceError::UnknownPool(id))?;
+            Ok(match &entry.state {
+                PoolState::Flat { cache: FlatCache::Shared(sf) } => Some(&sf.link.set),
+                PoolState::Sharded { link: Some(link), .. } => Some(&link.set),
+                _ => None,
+            })
+        };
+        let (sa, sb) = (set_of(a)?, set_of(b)?);
+        Ok(match (sa, sb) {
+            (Some(sa), Some(sb)) => Arc::ptr_eq(sa, sb),
+            _ => false,
+        })
+    }
+
+    /// Number of artifact sets currently interned in the warm-artifact
+    /// store (observability; live pools keep their entries alive,
+    /// orphaned entries are evicted on detach).
+    pub fn artifact_entries(&self) -> usize {
+        self.store.len()
     }
 
     /// The current jurors of `pool` (selection member indices refer to
@@ -519,7 +795,7 @@ impl JuryService {
     pub fn is_sharded(&self, pool: PoolId) -> Result<bool, ServiceError> {
         self.pools
             .get(&pool.0)
-            .map(|entry| matches!(entry.state, PoolState::Sharded(_)))
+            .map(|entry| matches!(entry.state, PoolState::Sharded { .. }))
             .ok_or(ServiceError::UnknownPool(pool))
     }
 
@@ -529,7 +805,7 @@ impl JuryService {
             .get(&pool.0)
             .map(|entry| match &entry.state {
                 PoolState::Flat { .. } => None,
-                PoolState::Sharded(sp) => Some(sp.shard_count()),
+                PoolState::Sharded { sp, .. } => Some(sp.shard_count()),
             })
             .ok_or(ServiceError::UnknownPool(pool))
     }
@@ -544,20 +820,32 @@ impl JuryService {
     /// promoted to sharded (a full rebuild).
     pub fn insert_juror(&mut self, pool: PoolId, juror: Juror) -> Result<usize, ServiceError> {
         let shard_config = self.config.shard;
-        let entry = self.pools.get_mut(&pool.0).ok_or(ServiceError::UnknownPool(pool))?;
+        let Self { pools, store, .. } = &mut *self;
+        let entry = pools.get_mut(&pool.0).ok_or(ServiceError::UnknownPool(pool))?;
+        let promote = matches!(entry.state, PoolState::Flat { .. })
+            && shard_config.applies(entry.jurors.len() + 1);
+        let flat_was_warm = matches!(&entry.state, PoolState::Flat { cache } if cache.has_orders());
+        // A promotion replaces the flat cache wholesale, so a shared
+        // attachment is merely dropped — never materialised into the
+        // private copy an in-place repair would need.
+        let detached = if promote {
+            discard_flat_share(store, &mut entry.state)
+        } else {
+            detach_pool(store, &mut entry.state)
+        };
+        entry.fp.insert(&juror);
         entry.jurors.push(juror);
         let pos = entry.jurors.len() - 1;
-        let promote = matches!(entry.state, PoolState::Flat { .. })
-            && shard_config.applies(entry.jurors.len());
         let effect = match &mut entry.state {
             PoolState::Flat { cache } if promote => {
-                MutationEffect { invalidated: cache.take().is_some(), ..Default::default() }
+                *cache = FlatCache::Cold;
+                MutationEffect { invalidated: flat_was_warm, ..Default::default() }
             }
-            PoolState::Flat { cache } => match cache.as_mut() {
-                Some(c) => repair_flat_insert(c, &entry.jurors, pos),
-                None => MutationEffect::default(),
+            PoolState::Flat { cache } => match cache {
+                FlatCache::Private(c) => repair_flat_insert(c, &entry.jurors, pos),
+                _ => MutationEffect::default(),
             },
-            PoolState::Sharded(sp) => {
+            PoolState::Sharded { sp, .. } => {
                 let mut effect = MutationEffect {
                     invalidated: sp.insert(entry.jurors.len()),
                     ..Default::default()
@@ -567,13 +855,17 @@ impl JuryService {
             }
         };
         if promote {
-            entry.state = PoolState::Sharded(ShardedPool::new(
-                entry.jurors.len(),
-                shard_config.shards,
-                shard_config.degenerate_percent,
-            ));
+            entry.state = PoolState::Sharded {
+                sp: ShardedPool::new(
+                    entry.jurors.len(),
+                    shard_config.shards,
+                    shard_config.degenerate_percent,
+                ),
+                link: None,
+            };
         }
         self.count_mutation(effect);
+        self.settle_after_mutation(pool, detached);
         Ok(pos)
     }
 
@@ -592,7 +884,8 @@ impl JuryService {
         index: usize,
         juror: Juror,
     ) -> Result<(), ServiceError> {
-        let entry = self.pools.get_mut(&pool.0).ok_or(ServiceError::UnknownPool(pool))?;
+        let Self { pools, store, .. } = &mut *self;
+        let entry = pools.get_mut(&pool.0).ok_or(ServiceError::UnknownPool(pool))?;
         let len = entry.jurors.len();
         let slot = entry.jurors.get_mut(index).ok_or(ServiceError::JurorOutOfRange {
             pool,
@@ -601,14 +894,17 @@ impl JuryService {
         })?;
         let old = *slot;
         *slot = juror;
+        entry.fp.replace(&old, &juror);
+        let detached = detach_pool(store, &mut entry.state);
         let effect = match &mut entry.state {
-            PoolState::Flat { cache } => match cache.as_mut() {
-                Some(c) => repair_flat_update(c, &entry.jurors, index, &old),
-                None => MutationEffect::default(),
+            PoolState::Flat { cache } => match cache {
+                FlatCache::Private(c) => repair_flat_update(c, &entry.jurors, index, &old),
+                _ => MutationEffect::default(),
             },
-            PoolState::Sharded(sp) => sp.update(index, &entry.jurors, &old),
+            PoolState::Sharded { sp, .. } => sp.update(index, &entry.jurors, &old),
         };
         self.count_mutation(effect);
+        self.settle_after_mutation(pool, detached);
         Ok(())
     }
 
@@ -618,26 +914,120 @@ impl JuryService {
     /// [`JuryService::update_juror`], with an extra renumbering pass over
     /// the surviving positions.
     pub fn remove_juror(&mut self, pool: PoolId, index: usize) -> Result<Juror, ServiceError> {
-        let entry = self.pools.get_mut(&pool.0).ok_or(ServiceError::UnknownPool(pool))?;
+        let degenerate_percent = self.config.shard.degenerate_percent;
+        let Self { pools, store, .. } = &mut *self;
+        let entry = pools.get_mut(&pool.0).ok_or(ServiceError::UnknownPool(pool))?;
         let len = entry.jurors.len();
         if index >= len {
             return Err(ServiceError::JurorOutOfRange { pool, index, len });
         }
-        let degenerate_percent = self.config.shard.degenerate_percent;
+        let detached = detach_pool(store, &mut entry.state);
         let effect = match &mut entry.state {
-            PoolState::Flat { cache } => match cache.as_mut() {
-                Some(c) => repair_flat_remove(c, index),
-                None => MutationEffect::default(),
+            PoolState::Flat { cache } => match cache {
+                FlatCache::Private(c) => repair_flat_remove(c, index),
+                _ => MutationEffect::default(),
             },
-            PoolState::Sharded(sp) => {
+            PoolState::Sharded { sp, .. } => {
                 let mut effect = sp.remove(index);
                 effect.newly_degenerate = sp.refresh_degeneracy(degenerate_percent);
                 effect
             }
         };
         let removed = entry.jurors.remove(index);
+        entry.fp.remove(&removed);
         self.count_mutation(effect);
+        self.settle_after_mutation(pool, detached);
         Ok(removed)
+    }
+
+    /// The closing half of every mutation: counts a detach, then tries
+    /// to settle the pool back into the store under its post-mutation
+    /// fingerprint — **re-joining** an existing entry when one matches
+    /// (content-verified, never by hash alone), or **publishing** the
+    /// repaired private artifacts under the new key when the pool
+    /// detached from an entry with surviving siblings (identically
+    /// mutated siblings then re-join it instead of re-repairing).
+    /// Mutated pools with no entry to join and no siblings to serve stay
+    /// private — repairs keep their in-place cost and the store stays
+    /// bounded by live content states.
+    fn settle_after_mutation(&mut self, pool: PoolId, detached: Option<bool>) {
+        let had_siblings = match detached {
+            Some(siblings) => {
+                self.stats.artifact_detaches += 1;
+                siblings
+            }
+            None => false,
+        };
+        if !self.config.share_artifacts {
+            return;
+        }
+        let config_bits = config_key(&self.config);
+        let Self { pools, store, stats, .. } = &mut *self;
+        let Some(entry) = pools.get_mut(&pool.0) else {
+            return;
+        };
+        match &mut entry.state {
+            PoolState::Flat { cache } => {
+                if !matches!(cache, FlatCache::Private(_)) {
+                    return;
+                }
+                let key =
+                    StoreKey { fp: entry.fp.key(), layout: LayoutKey::Flat, config: config_bits };
+                if let Some(shared) = attach_flat(store, key, &entry.jurors) {
+                    // Seed the entry's empty lazy slots with the
+                    // just-repaired rank-space artifacts instead of
+                    // dropping them — the whole cohort then skips the
+                    // O(N²) rebuild (repair lineage is the documented
+                    // numerical carve-out either way).
+                    if let (FlatCache::Private(c), FlatCache::Shared(sf)) = (&mut *cache, &shared) {
+                        if let Some(ladder) = c.ladder.take() {
+                            let _ = sf.link.set.ladder.set(ladder);
+                        }
+                        if let Some(profile) = c.profile.take() {
+                            let _ = sf.link.set.profile.set(Arc::new(profile));
+                        }
+                    }
+                    *cache = shared;
+                    stats.artifact_rejoins += 1;
+                } else if had_siblings && !store.contains(&key) {
+                    let FlatCache::Private(c) = std::mem::replace(cache, FlatCache::Cold) else {
+                        unreachable!("checked above");
+                    };
+                    *cache = match store.publish(key, ArtifactSet::from_cache(c, &entry.jurors)) {
+                        Ok(set) => FlatCache::Shared(SharedFlat {
+                            link: StoreLink { key, set },
+                            view: None,
+                        }),
+                        Err(set) => FlatCache::Private(set.into_cache()),
+                    };
+                }
+            }
+            PoolState::Sharded { sp, link } => {
+                if !sp.is_warm() {
+                    return;
+                }
+                let key = StoreKey {
+                    fp: entry.fp.key(),
+                    layout: LayoutKey::Sharded { shards: sp.shard_count() },
+                    config: config_bits,
+                };
+                if let Some(set) = store.get(&key) {
+                    if matches!(set.match_pool(&entry.jurors), Some(Attach::Identical)) {
+                        sp.adopt_merged(set.eps_order.clone(), set.greedy_order.clone());
+                        *link = Some(StoreLink { key, set });
+                        stats.artifact_rejoins += 1;
+                    }
+                } else if had_siblings {
+                    if let Some((eps, greedy)) = sp.merged_order_arcs() {
+                        if let Ok(set) =
+                            store.publish(key, ArtifactSet::from_merged(eps, greedy, &entry.jurors))
+                        {
+                            *link = Some(StoreLink { key, set });
+                        }
+                    }
+                }
+            }
+        }
     }
 
     /// Folds one mutation's repair outcome into the stats counters.
@@ -671,6 +1061,8 @@ impl JuryService {
     /// exposed so benches can separate cold from warm.
     pub fn warm_pool(&mut self, pool: PoolId) -> Result<(), ServiceError> {
         let altr_config = self.config.altr;
+        let share = self.config.share_artifacts;
+        let config_bits = config_key(&self.config);
         // Borrow-split: the scratch is taken out while the entry is
         // borrowed mutably.
         let mut scratch = self.scratches.pop().unwrap_or_default();
@@ -678,35 +1070,153 @@ impl JuryService {
         let mut fulls = 0usize;
         let mut shard_reps = 0usize;
         let mut pruned = 0usize;
-        let outcome = match self.pools.get_mut(&pool.0) {
+        let mut share_hits = 0usize;
+        let Self { pools, store, .. } = &mut *self;
+        let outcome = match pools.get_mut(&pool.0) {
             None => Err(ServiceError::UnknownPool(pool)),
-            Some(PoolEntry { jurors, state }) => {
+            Some(PoolEntry { jurors, state, fp }) => {
                 match state {
-                    PoolState::Flat { cache } => match cache {
-                        None => {
-                            let built = build_full_cache(jurors, &altr_config, &mut scratch);
-                            pruned += altr_pruned(built.altr.as_ref());
-                            *cache = Some(built);
-                            builds += 1;
-                            fulls += 1;
+                    PoolState::Flat { cache } => {
+                        // Phase 1: a cold pool attaches to an interned
+                        // artifact set, or builds one and publishes it.
+                        if matches!(cache, FlatCache::Cold) {
+                            let key = StoreKey {
+                                fp: fp.key(),
+                                layout: LayoutKey::Flat,
+                                config: config_bits,
+                            };
+                            let (acquired, attached) =
+                                acquire_flat(store, key, jurors, share, || {
+                                    let built =
+                                        build_full_cache(jurors, &altr_config, &mut scratch);
+                                    pruned += altr_pruned(built.altr.as_ref());
+                                    builds += 1;
+                                    fulls += 1;
+                                    built
+                                });
+                            share_hits += usize::from(attached);
+                            *cache = acquired;
                         }
-                        Some(c) if c.altr.is_none() => {
-                            let answer =
-                                solve_altr_cached(jurors, &c.eps_order, &altr_config, &mut scratch);
-                            pruned += altr_pruned(Some(&answer));
-                            c.altr = Some(answer);
-                            builds += 1;
+                        // Phase 2: ensure the AltrM answer wherever the
+                        // cache lives (attached orders-only entries and
+                        // post-repair private caches solve it here —
+                        // rescan-free, bound-pruned).
+                        match cache {
+                            FlatCache::Cold => unreachable!("filled above"),
+                            FlatCache::Private(c) => {
+                                if c.altr.is_none() {
+                                    let answer = solve_altr_cached(
+                                        jurors,
+                                        &c.eps_order,
+                                        &altr_config,
+                                        &mut scratch,
+                                    );
+                                    pruned += altr_pruned(Some(&answer));
+                                    c.altr = Some(answer);
+                                    builds += 1;
+                                }
+                            }
+                            FlatCache::Shared(sf) => match &mut sf.view {
+                                None => {
+                                    if sf.link.set.altr.get().is_none() {
+                                        let answer = solve_altr_cached(
+                                            jurors,
+                                            &sf.link.set.eps_order,
+                                            &altr_config,
+                                            &mut scratch,
+                                        );
+                                        pruned += altr_pruned(Some(&answer));
+                                        builds += 1;
+                                        let _ = sf.link.set.altr.set(answer);
+                                    }
+                                }
+                                Some(view) => {
+                                    if view.altr.is_none() {
+                                        let answer = match sf.link.set.altr.get() {
+                                            Some(Ok(sel)) => Ok(Arc::new(translate_selection(
+                                                sel,
+                                                &view.sigma,
+                                                jurors,
+                                            ))),
+                                            Some(Err(e)) => Err(e.clone()),
+                                            None => {
+                                                let ans = solve_altr_cached(
+                                                    jurors,
+                                                    &view.eps_order,
+                                                    &altr_config,
+                                                    &mut scratch,
+                                                );
+                                                pruned += altr_pruned(Some(&ans));
+                                                builds += 1;
+                                                // Publish the answer in
+                                                // founding space so later
+                                                // attachers replay instead
+                                                // of re-solving.
+                                                let set = &sf.link.set;
+                                                let founding = match &ans {
+                                                    Ok(sel) => Ok(Arc::new(
+                                                        set.untranslate_selection(sel, &view.sigma),
+                                                    )),
+                                                    Err(e) => Err(e.clone()),
+                                                };
+                                                let _ = set.altr.set(founding);
+                                                ans
+                                            }
+                                        };
+                                        view.altr = Some(answer);
+                                    }
+                                }
+                            },
                         }
-                        Some(_) => {}
-                    },
-                    PoolState::Sharded(sp) => {
-                        let warm = sp.warm(jurors);
-                        if warm.merged_rebuilt {
-                            builds += 1;
-                            if warm.shards_built == warm.shard_count {
-                                fulls += 1;
-                            } else {
-                                shard_reps += warm.shards_built;
+                    }
+                    PoolState::Sharded { sp, link } => {
+                        let shards_built = sp.warm_shards(jurors);
+                        if !sp.is_warm() {
+                            let key = StoreKey {
+                                fp: fp.key(),
+                                layout: LayoutKey::Sharded { shards: sp.shard_count() },
+                                config: config_bits,
+                            };
+                            let attached = share.then(|| store.get(&key)).flatten().filter(|set| {
+                                matches!(set.match_pool(jurors), Some(Attach::Identical))
+                            });
+                            match attached {
+                                Some(set) => {
+                                    sp.adopt_merged(
+                                        set.eps_order.clone(),
+                                        set.greedy_order.clone(),
+                                    );
+                                    *link = Some(StoreLink { key, set });
+                                    share_hits += 1;
+                                    // The per-shard caches were still
+                                    // built privately (only the merged
+                                    // layer is interned) — report that
+                                    // work instead of hiding it.
+                                    shard_reps += shards_built;
+                                }
+                                None => {
+                                    sp.ensure_merged(jurors);
+                                    builds += 1;
+                                    if shards_built == sp.shard_count() {
+                                        fulls += 1;
+                                    } else {
+                                        shard_reps += shards_built;
+                                    }
+                                    if share {
+                                        if let Some((eps, greedy)) = sp.merged_order_arcs() {
+                                            // An occupied key refused the
+                                            // attach above — the incumbent
+                                            // wins and this pool stays
+                                            // unlinked.
+                                            if let Ok(set) = store.publish(
+                                                key,
+                                                ArtifactSet::from_merged(eps, greedy, jurors),
+                                            ) {
+                                                *link = Some(StoreLink { key, set });
+                                            }
+                                        }
+                                    }
+                                }
                             }
                         }
                     }
@@ -719,6 +1229,7 @@ impl JuryService {
         self.stats.full_repairs += fulls;
         self.stats.shard_repairs += shard_reps;
         self.stats.bound_pruned += pruned;
+        self.stats.artifact_share_hits += share_hits;
         outcome
     }
 
@@ -728,16 +1239,16 @@ impl JuryService {
     /// be lazily pending).
     pub fn is_warm(&self, pool: PoolId) -> bool {
         self.pools.get(&pool.0).is_some_and(|entry| match &entry.state {
-            PoolState::Flat { cache } => cache.as_ref().is_some_and(|c| c.altr.is_some()),
-            PoolState::Sharded(sp) => sp.is_warm(),
+            PoolState::Flat { cache } => cache.has_altr(),
+            PoolState::Sharded { sp, .. } => sp.is_warm(),
         })
     }
 
     /// Whether the sorted orders — all a PayM task needs — are present.
     fn has_orders(&self, pool: PoolId) -> bool {
         self.pools.get(&pool.0).is_some_and(|entry| match &entry.state {
-            PoolState::Flat { cache } => cache.is_some(),
-            PoolState::Sharded(sp) => sp.is_warm(),
+            PoolState::Flat { cache } => cache.has_orders(),
+            PoolState::Sharded { sp, .. } => sp.is_warm(),
         })
     }
 
@@ -762,21 +1273,50 @@ impl JuryService {
     /// [`jer_probe`](JuryService::jer_probe); see the crate docs).
     pub fn jer_profile(&mut self, pool: PoolId) -> Result<&[(usize, f64)], ServiceError> {
         self.warm_pool(pool)?;
-        let PoolEntry { jurors, state } = self.pools.get_mut(&pool.0).expect("warmed above");
+        let PoolEntry { jurors, state, .. } = self.pools.get_mut(&pool.0).expect("warmed above");
         match state {
-            PoolState::Flat { cache } => {
-                let cache = cache.as_mut().expect("warmed above");
-                if cache.profile.is_none() {
-                    // The ladder gives future profile repairs their
-                    // resume checkpoints; build it alongside.
-                    if cache.ladder.is_none() {
-                        cache.ladder = Some(PmfLadder::build(&cache.eps_sorted));
+            PoolState::Flat { cache } => match cache {
+                FlatCache::Cold => unreachable!("warmed above"),
+                FlatCache::Private(c) => {
+                    if c.profile.is_none() {
+                        // The ladder gives future profile repairs their
+                        // resume checkpoints; build it alongside.
+                        if c.ladder.is_none() {
+                            c.ladder = Some(PmfLadder::build(&c.eps_sorted));
+                        }
+                        c.profile = Some(JerProfile::build(&c.eps_sorted));
                     }
-                    cache.profile = Some(JerProfile::build(&cache.eps_sorted));
+                    Ok(c.profile.as_ref().expect("built above").entries())
                 }
-                Ok(cache.profile.as_ref().expect("built above").entries())
+                FlatCache::Shared(sf) => {
+                    // The profile is rank-space (a function of the sorted
+                    // ε values alone), so one shared build serves every
+                    // attacher, permuted ones included. The ladder is
+                    // laid alongside like the private path, so a later
+                    // detach repairs it instead of rebuilding.
+                    let set = &sf.link.set;
+                    let profile = set.profile.get_or_init(|| {
+                        let _ = set.ladder.get_or_init(|| PmfLadder::build(&set.eps_sorted));
+                        Arc::new(JerProfile::build(&set.eps_sorted))
+                    });
+                    Ok(profile.entries())
+                }
+            },
+            PoolState::Sharded { sp, link } => {
+                // Seed a missing profile from the attached entry, and
+                // publish a freshly built one back to it — rank-space,
+                // bit-identical across equal pools either way.
+                if !sp.has_profile() {
+                    if let Some(shared) = link.as_ref().and_then(|l| l.set.profile.get()) {
+                        sp.seed_profile(shared.clone());
+                    }
+                }
+                let profile = sp.ensure_profile(jurors);
+                if let Some(l) = link.as_ref() {
+                    let _ = l.set.profile.set(profile.clone());
+                }
+                Ok(profile.entries())
             }
-            PoolState::Sharded(sp) => Ok(sp.ensure_profile(jurors)),
         }
     }
 
@@ -787,8 +1327,8 @@ impl JuryService {
         self.warm_pool(pool)?;
         let entry = &self.pools[&pool.0];
         match &entry.state {
-            PoolState::Flat { cache } => Ok(&cache.as_ref().expect("warmed above").eps_order),
-            PoolState::Sharded(sp) => Ok(sp.merged_eps_order().expect("warmed above")),
+            PoolState::Flat { cache } => Ok(cache.eps_order().expect("warmed above")),
+            PoolState::Sharded { sp, .. } => Ok(sp.merged_eps_order().expect("warmed above")),
         }
     }
 
@@ -816,7 +1356,7 @@ impl JuryService {
     /// [`JuryError::EvenJurySize`]).
     pub fn jer_probe(&mut self, pool: PoolId, n: usize) -> Result<f64, ServiceError> {
         self.warm_orders(pool)?;
-        let PoolEntry { jurors, state } = self.pools.get_mut(&pool.0).expect("warmed above");
+        let PoolEntry { jurors, state, .. } = self.pools.get_mut(&pool.0).expect("warmed above");
         if jurors.is_empty() {
             return Err(ServiceError::Solver(JuryError::EmptyPool));
         }
@@ -830,30 +1370,55 @@ impl JuryService {
         let n = n.min(if len % 2 == 1 { len } else { len - 1 });
         match state {
             PoolState::Flat { cache } => {
-                let cache = cache.as_mut().expect("warmed above");
-                let ladder =
-                    cache.ladder.get_or_insert_with(|| PmfLadder::build(&cache.eps_sorted));
+                let (ladder, eps_sorted): (&PmfLadder, &[f64]) = match cache {
+                    FlatCache::Cold => unreachable!("warmed above"),
+                    FlatCache::Private(c) => (
+                        c.ladder.get_or_insert_with(|| PmfLadder::build(&c.eps_sorted)),
+                        &c.eps_sorted,
+                    ),
+                    FlatCache::Shared(sf) => {
+                        // Rank-space: one shared ladder serves every
+                        // attacher, permuted ones included.
+                        let set = &sf.link.set;
+                        (
+                            set.ladder.get_or_init(|| PmfLadder::build(&set.eps_sorted)),
+                            &set.eps_sorted,
+                        )
+                    }
+                };
                 let mut pmf = PoiBin::empty();
-                ladder.prefix_into(&cache.eps_sorted, n, &mut pmf);
+                ladder.prefix_into(eps_sorted, n, &mut pmf);
                 Ok(pmf.tail(JerEngine::majority_threshold(n)))
             }
-            PoolState::Sharded(sp) => Ok(sp.jer_probe(n)),
+            PoolState::Sharded { sp, .. } => Ok(sp.jer_probe(n)),
         }
     }
 
     /// Warms only the sorted orders: full [`JuryService::warm_pool`] for
     /// sharded pools (their warm is already order-level — the AltrM
-    /// solve stays lazy), an orders-only build for cold flat pools so
-    /// order consumers like [`JuryService::jer_probe`] never pay for the
-    /// pmf-derived artefacts they do not read.
+    /// solve stays lazy), an orders-only attach or build for cold flat
+    /// pools so order consumers like [`JuryService::jer_probe`] never
+    /// pay for the pmf-derived artefacts they do not read. An attach
+    /// shares whatever the entry already holds; an orders-only build is
+    /// published with its lazy slots empty, filled later by whichever
+    /// attached pool first needs them.
     fn warm_orders(&mut self, pool: PoolId) -> Result<(), ServiceError> {
         if self.is_sharded(pool)? {
             return self.warm_pool(pool);
         }
-        let entry = self.pools.get_mut(&pool.0).expect("checked above");
+        let share = self.config.share_artifacts;
+        let config_bits = config_key(&self.config);
+        let Self { pools, store, stats, .. } = &mut *self;
+        let entry = pools.get_mut(&pool.0).expect("checked above");
         if let PoolState::Flat { cache } = &mut entry.state {
-            if cache.is_none() {
-                *cache = Some(build_orders_only(&entry.jurors));
+            if matches!(cache, FlatCache::Cold) {
+                let key =
+                    StoreKey { fp: entry.fp.key(), layout: LayoutKey::Flat, config: config_bits };
+                let (acquired, attached) = acquire_flat(store, key, &entry.jurors, share, || {
+                    build_orders_only(&entry.jurors)
+                });
+                stats.artifact_share_hits += usize::from(attached);
+                *cache = acquired;
             }
         }
         Ok(())
@@ -877,8 +1442,34 @@ impl JuryService {
     /// a full cache rebuild ([`ServiceStats::full_repairs`] stays put).
     pub fn solve(&mut self, task: &DecisionTask) -> Result<Selection, ServiceError> {
         if let CrowdModel::PayAsYouGo { budget } = task.model {
-            return self.solve_paym(task.pool, budget);
+            return self.solve_paym(task.pool, budget, true);
         }
+        self.solve_altr_arc(task, true).map(Arc::unwrap_or_clone)
+    }
+
+    /// One task through the single-solve machinery, returning the shared
+    /// answer — the per-task body of [`JuryService::solve`] and of the
+    /// small-batch inline path (`count_hit` lets the batch path keep its
+    /// "warm before the batch" cache-hit semantics).
+    fn solve_one_arc(
+        &mut self,
+        task: &DecisionTask,
+        count_hit: bool,
+    ) -> Result<Arc<Selection>, ServiceError> {
+        match task.model {
+            CrowdModel::PayAsYouGo { budget } => {
+                self.solve_paym(task.pool, budget, count_hit).map(Arc::new)
+            }
+            CrowdModel::Altruism => self.solve_altr_arc(task, count_hit),
+        }
+    }
+
+    /// The AltrM single-solve path (shared answer out).
+    fn solve_altr_arc(
+        &mut self,
+        task: &DecisionTask,
+        count_hit: bool,
+    ) -> Result<Arc<Selection>, ServiceError> {
         let was_warm = self.is_warm(task.pool);
         let had_orders = self.has_orders(task.pool);
         let full_repairs_before = self.stats.full_repairs;
@@ -893,14 +1484,19 @@ impl JuryService {
         let result = solve_on_entry(&self.pools[&task.pool.0], task, &self.config, &mut scratch);
         self.scratches.push(scratch);
         self.stats.tasks_solved += 1;
-        if was_warm {
+        if count_hit && was_warm {
             self.stats.cache_hits += 1;
         }
-        result.map(Arc::unwrap_or_clone)
+        result
     }
 
     /// The PayM solve path: orders-only warming, then the staircase.
-    fn solve_paym(&mut self, pool: PoolId, budget: f64) -> Result<Selection, ServiceError> {
+    fn solve_paym(
+        &mut self,
+        pool: PoolId,
+        budget: f64,
+        count_hit: bool,
+    ) -> Result<Selection, ServiceError> {
         let was_warm = self.has_orders(pool);
         let full_repairs_before = self.stats.full_repairs;
         self.warm_orders(pool)?;
@@ -911,7 +1507,7 @@ impl JuryService {
             );
         }
         self.stats.tasks_solved += 1;
-        if was_warm {
+        if count_hit && was_warm {
             self.stats.cache_hits += 1;
         }
         let pay = PayAlg::new(budget, self.config.pay);
@@ -919,8 +1515,9 @@ impl JuryService {
         let entry = self.pools.get_mut(&pool.0).expect("warmed above");
         let mut hit = false;
         let result = match &mut entry.state {
-            PoolState::Flat { cache } => match cache.as_mut() {
-                Some(c) => {
+            PoolState::Flat { cache } => match cache {
+                FlatCache::Cold => pay.solve_with(&entry.jurors, &mut scratch),
+                FlatCache::Private(c) => {
                     hit = c.staircase.covers(budget);
                     pay.solve_staircase(
                         &entry.jurors,
@@ -929,9 +1526,33 @@ impl JuryService {
                         &mut scratch,
                     )
                 }
-                None => pay.solve_with(&entry.jurors, &mut scratch),
+                FlatCache::Shared(sf) => match &mut sf.view {
+                    None => {
+                        // Recording happens under the registry's
+                        // exclusive borrow; batch workers only take the
+                        // read lock for replays.
+                        let set = &sf.link.set;
+                        let mut staircase = set.staircase_write();
+                        hit = staircase.covers(budget);
+                        pay.solve_staircase(
+                            &entry.jurors,
+                            &set.greedy_order,
+                            &mut staircase,
+                            &mut scratch,
+                        )
+                    }
+                    Some(view) => {
+                        hit = view.staircase.covers(budget);
+                        pay.solve_staircase(
+                            &entry.jurors,
+                            &view.greedy_order,
+                            &mut view.staircase,
+                            &mut scratch,
+                        )
+                    }
+                },
             },
-            PoolState::Sharded(sp) => match sp.paym_cache() {
+            PoolState::Sharded { sp, .. } => match sp.paym_cache() {
                 Some((order, staircase)) => {
                     hit = staircase.covers(budget);
                     pay.solve_staircase(&entry.jurors, order, staircase, &mut scratch)
@@ -983,6 +1604,26 @@ impl JuryService {
         &mut self,
         tasks: &[DecisionTask],
     ) -> Vec<Result<Arc<Selection>, ServiceError>> {
+        // Small batches (notably batch = 1, the interactive case) skip
+        // the batch machinery entirely — no repeated-budget scan, no
+        // dedup vectors, no worker spawn/chunking — and solve inline on
+        // the caller thread with the per-service scratch, exactly like
+        // [`JuryService::solve`]. This removes the small-pool batch-1
+        // regression where the warm-phase bookkeeping cost more than the
+        // solve itself.
+        if tasks.len() < MIN_TASKS_PER_WORKER {
+            self.stats.batches += 1;
+            // Keep the batch semantics for hits and attempts: a hit is a
+            // task whose needed state was warm before this batch did any
+            // warming, and every task counts as a solved attempt even
+            // when it fails (unknown pools included).
+            self.stats.cache_hits += tasks.iter().filter(|t| self.is_warm_for(t)).count();
+            let solved_before = self.stats.tasks_solved;
+            let out = tasks.iter().map(|task| self.solve_one_arc(task, false)).collect();
+            self.stats.tasks_solved = solved_before + tasks.len();
+            return out;
+        }
+
         self.stats.batches += 1;
         self.stats.tasks_solved += tasks.len();
         // A hit is a task whose needed state was warm before this batch
@@ -1098,8 +1739,15 @@ impl JuryService {
     /// Whether the pool's warm staircase already covers `budget`.
     fn staircase_covers(&self, pool: PoolId, budget: f64) -> bool {
         self.pools.get(&pool.0).is_some_and(|entry| match &entry.state {
-            PoolState::Flat { cache } => cache.as_ref().is_some_and(|c| c.staircase.covers(budget)),
-            PoolState::Sharded(sp) => sp.staircase_covers(budget),
+            PoolState::Flat { cache } => match cache {
+                FlatCache::Cold => false,
+                FlatCache::Private(c) => c.staircase.covers(budget),
+                FlatCache::Shared(sf) => match &sf.view {
+                    None => sf.link.set.staircase_read().covers(budget),
+                    Some(view) => view.staircase.covers(budget),
+                },
+            },
+            PoolState::Sharded { sp, .. } => sp.staircase_covers(budget),
         })
     }
 
@@ -1111,8 +1759,9 @@ impl JuryService {
         let mut scratch = self.scratches.pop().unwrap_or_default();
         if let Some(entry) = self.pools.get_mut(&pool.0) {
             match &mut entry.state {
-                PoolState::Flat { cache } => {
-                    if let Some(c) = cache.as_mut() {
+                PoolState::Flat { cache } => match cache {
+                    FlatCache::Cold => {}
+                    FlatCache::Private(c) => {
                         let _ = pay.solve_staircase(
                             &entry.jurors,
                             &c.greedy_order,
@@ -1120,8 +1769,28 @@ impl JuryService {
                             &mut scratch,
                         );
                     }
-                }
-                PoolState::Sharded(sp) => {
+                    FlatCache::Shared(sf) => match &mut sf.view {
+                        None => {
+                            let set = &sf.link.set;
+                            let mut staircase = set.staircase_write();
+                            let _ = pay.solve_staircase(
+                                &entry.jurors,
+                                &set.greedy_order,
+                                &mut staircase,
+                                &mut scratch,
+                            );
+                        }
+                        Some(view) => {
+                            let _ = pay.solve_staircase(
+                                &entry.jurors,
+                                &view.greedy_order,
+                                &mut view.staircase,
+                                &mut scratch,
+                            );
+                        }
+                    },
+                },
+                PoolState::Sharded { sp, .. } => {
                     if let Some((order, staircase)) = sp.paym_cache() {
                         let _ = pay.solve_staircase(&entry.jurors, order, staircase, &mut scratch);
                     }
@@ -1140,11 +1809,24 @@ impl JuryService {
             let altr_config = self.config.altr;
             let mut scratch = self.scratches.pop().unwrap_or_default();
             let mut pruned = 0usize;
-            if let Some(PoolEntry { jurors, state: PoolState::Sharded(sp) }) =
+            if let Some(PoolEntry { jurors, state: PoolState::Sharded { sp, link }, .. }) =
                 self.pools.get_mut(&task.pool.0)
             {
                 if sp.cached_altr().is_none() {
-                    pruned = altr_pruned(Some(sp.ensure_altr(jurors, &altr_config, &mut scratch)));
+                    // An attached entry's answer rides the identical
+                    // merged order — seed it instead of re-solving; a
+                    // fresh solve is published back for siblings.
+                    let seeded = link.as_ref().and_then(|l| l.set.altr.get()).cloned();
+                    match seeded {
+                        Some(answer) => sp.seed_altr(answer),
+                        None => {
+                            let answer = sp.ensure_altr(jurors, &altr_config, &mut scratch).clone();
+                            pruned = altr_pruned(Some(&answer));
+                            if let Some(l) = link.as_ref() {
+                                let _ = l.set.altr.set(answer);
+                            }
+                        }
+                    }
                 }
             }
             self.scratches.push(scratch);
@@ -1360,17 +2042,47 @@ fn solve_on_entry(
     scratch: &mut SolverScratch,
 ) -> Result<Arc<Selection>, ServiceError> {
     match &entry.state {
-        PoolState::Flat { cache } => match (task.model, cache.as_ref()) {
-            (CrowdModel::Altruism, Some(cache)) => match cache.altr.as_ref() {
+        PoolState::Flat { cache } => match (task.model, cache) {
+            (CrowdModel::Altruism, FlatCache::Private(cache)) => match cache.altr.as_ref() {
                 Some(answer) => answer.clone().map_err(ServiceError::from),
                 None => solve_altr_cached(&entry.jurors, &cache.eps_order, &config.altr, scratch)
                     .map_err(ServiceError::from),
             },
-            (CrowdModel::Altruism, None) => AltrAlg::new(config.altr)
+            (CrowdModel::Altruism, FlatCache::Shared(sf)) => match &sf.view {
+                None => {
+                    // `get_or_init` is thread-safe: the first worker to
+                    // need an unfilled answer solves it once for every
+                    // attached pool.
+                    let set = &sf.link.set;
+                    set.altr
+                        .get_or_init(|| {
+                            solve_altr_cached(&entry.jurors, &set.eps_order, &config.altr, scratch)
+                        })
+                        .clone()
+                        .map_err(ServiceError::from)
+                }
+                Some(view) => match &view.altr {
+                    Some(answer) => answer.clone().map_err(ServiceError::from),
+                    // `prepare` fills the view before workers run; this
+                    // fallback keeps stray cold paths correct without
+                    // mutating the (shared) registry.
+                    None => match sf.link.set.altr.get() {
+                        Some(Ok(sel)) => {
+                            Ok(Arc::new(translate_selection(sel, &view.sigma, &entry.jurors)))
+                        }
+                        Some(Err(e)) => Err(ServiceError::from(e.clone())),
+                        None => {
+                            solve_altr_cached(&entry.jurors, &view.eps_order, &config.altr, scratch)
+                                .map_err(ServiceError::from)
+                        }
+                    },
+                },
+            },
+            (CrowdModel::Altruism, FlatCache::Cold) => AltrAlg::new(config.altr)
                 .solve_with(&entry.jurors, scratch)
                 .map(Arc::new)
                 .map_err(ServiceError::from),
-            (CrowdModel::PayAsYouGo { budget }, Some(cache)) => {
+            (CrowdModel::PayAsYouGo { budget }, FlatCache::Private(cache)) => {
                 match cache.staircase.lookup(budget) {
                     Some(replay) => replay.map(Arc::new).map_err(ServiceError::from),
                     None => PayAlg::new(budget, config.pay)
@@ -1379,12 +2091,27 @@ fn solve_on_entry(
                         .map_err(ServiceError::from),
                 }
             }
-            (CrowdModel::PayAsYouGo { budget }, None) => PayAlg::new(budget, config.pay)
+            (CrowdModel::PayAsYouGo { budget }, FlatCache::Shared(sf)) => {
+                let (greedy_order, replay) = match &sf.view {
+                    None => {
+                        (&*sf.link.set.greedy_order, sf.link.set.staircase_read().lookup(budget))
+                    }
+                    Some(view) => (&view.greedy_order, view.staircase.lookup(budget)),
+                };
+                match replay {
+                    Some(replay) => replay.map(Arc::new).map_err(ServiceError::from),
+                    None => PayAlg::new(budget, config.pay)
+                        .solve_presorted(&entry.jurors, greedy_order, scratch)
+                        .map(Arc::new)
+                        .map_err(ServiceError::from),
+                }
+            }
+            (CrowdModel::PayAsYouGo { budget }, FlatCache::Cold) => PayAlg::new(budget, config.pay)
                 .solve_with(&entry.jurors, scratch)
                 .map(Arc::new)
                 .map_err(ServiceError::from),
         },
-        PoolState::Sharded(sp) => match task.model {
+        PoolState::Sharded { sp, .. } => match task.model {
             CrowdModel::Altruism => {
                 if let Some(result) = sp.cached_altr() {
                     result.clone().map_err(ServiceError::from)
@@ -1412,6 +2139,140 @@ fn solve_on_entry(
                 },
             },
         },
+    }
+}
+
+/// The one place a cold flat pool acquires warm state: attach to an
+/// interned entry when the store admits the pool, otherwise run `build`
+/// and publish the result (an occupied key that refused the attach
+/// keeps its incumbent and the builder stays private, losslessly).
+/// Returns the new cache plus whether it *attached* (the caller's
+/// share-hit accounting). With sharing off this is exactly the old
+/// private build.
+fn acquire_flat(
+    store: &mut ArtifactStore,
+    key: StoreKey,
+    jurors: &[Juror],
+    share: bool,
+    build: impl FnOnce() -> PoolCache,
+) -> (FlatCache, bool) {
+    if share {
+        if let Some(shared) = attach_flat(store, key, jurors) {
+            return (shared, true);
+        }
+    }
+    let built = build();
+    if !share {
+        return (FlatCache::Private(built), false);
+    }
+    let cache = match store.publish(key, ArtifactSet::from_cache(built, jurors)) {
+        Ok(set) => FlatCache::Shared(SharedFlat { link: StoreLink { key, set }, view: None }),
+        Err(set) => FlatCache::Private(set.into_cache()),
+    };
+    (cache, false)
+}
+
+/// Attaches a flat pool to the interned entry at `key`, if one exists
+/// and its content admits this pool: sequence-identical attachers share
+/// the entry outright, permuted-but-equal ones get a σ-translated
+/// position-space view. Returns `None` when there is no entry or the
+/// verification refuses (content differs, or a tie-violating entry
+/// cannot serve a permuted attacher). The single place the attach rules
+/// live — registration ([`JuryService::warm_pool`] /
+/// [`JuryService::warm_orders`]) and post-mutation re-join
+/// ([`JuryService::settle_after_mutation`]) all route through it.
+fn attach_flat(store: &ArtifactStore, key: StoreKey, jurors: &[Juror]) -> Option<FlatCache> {
+    let set = store.get(&key)?;
+    let attach = set.match_pool(jurors)?;
+    Some(match attach {
+        Attach::Identical => {
+            FlatCache::Shared(SharedFlat { link: StoreLink { key, set }, view: None })
+        }
+        Attach::Permuted(sigma) => {
+            let view = PermutedView::new(&set, sigma);
+            FlatCache::Shared(SharedFlat { link: StoreLink { key, set }, view: Some(view) })
+        }
+    })
+}
+
+/// Drops a flat pool's shared attachment *without* materialising a
+/// private copy — for mutations that immediately discard the flat cache
+/// anyway (shard promotion). Same return contract as [`detach_pool`].
+fn discard_flat_share(store: &mut ArtifactStore, state: &mut PoolState) -> Option<bool> {
+    let PoolState::Flat { cache } = state else {
+        return None;
+    };
+    if !matches!(cache, FlatCache::Shared(_)) {
+        return None;
+    }
+    let FlatCache::Shared(sf) = std::mem::replace(cache, FlatCache::Cold) else {
+        unreachable!("checked above");
+    };
+    let key = sf.link.key;
+    let had_siblings = Arc::strong_count(&sf.link.set) > 2;
+    drop(sf);
+    store.evict_if_orphaned(&key);
+    Some(had_siblings)
+}
+
+/// Converts a pool's shared warm state into privately-owned state ahead
+/// of a mutation's in-place repair — the copy-on-write boundary. A sole
+/// holder reclaims the interned artifacts zero-copy (the entry is
+/// removed and unwrapped); a pool with siblings clones exactly what the
+/// repair will touch and leaves the entry to them. Returns
+/// `Some(had_siblings)` when a detach happened, `None` for cold and
+/// already-private pools.
+fn detach_pool(store: &mut ArtifactStore, state: &mut PoolState) -> Option<bool> {
+    match state {
+        PoolState::Flat { cache } => {
+            if !matches!(cache, FlatCache::Shared(_)) {
+                return None;
+            }
+            let FlatCache::Shared(sf) = std::mem::replace(cache, FlatCache::Cold) else {
+                unreachable!("checked above");
+            };
+            let sole = store.take_if_sole(&sf.link.key, &sf.link.set);
+            let SharedFlat { link: StoreLink { key, set }, view } = sf;
+            let private = match view {
+                None => match Arc::try_unwrap(set) {
+                    Ok(owned) => owned.into_cache(),
+                    Err(set) => {
+                        let cloned = set.cache_clone();
+                        drop(set);
+                        store.evict_if_orphaned(&key);
+                        cloned
+                    }
+                },
+                Some(view) => {
+                    // Same rank-space reclaim as an identical-sequence
+                    // detach (zero-copy for a sole holder); only the
+                    // position-space orders come from the σ-translated
+                    // view.
+                    let mut private = match Arc::try_unwrap(set) {
+                        Ok(owned) => owned.into_cache(),
+                        Err(set) => {
+                            let cloned = set.cache_clone();
+                            drop(set);
+                            store.evict_if_orphaned(&key);
+                            cloned
+                        }
+                    };
+                    private.eps_order = view.eps_order;
+                    private.greedy_order = view.greedy_order;
+                    private
+                }
+            };
+            *cache = FlatCache::Private(private);
+            Some(!sole)
+        }
+        PoolState::Sharded { link, .. } => {
+            let taken = link.take()?;
+            let had_siblings = Arc::strong_count(&taken.set) > 2;
+            let key = taken.key;
+            drop(taken);
+            store.evict_if_orphaned(&key);
+            Some(had_siblings)
+        }
     }
 }
 

@@ -42,7 +42,7 @@
 //! contract is numerical equality within convolution rounding.
 
 use crate::ladder::PmfLadder;
-use jury_core::altr::{AltrAlg, AltrConfig};
+use jury_core::altr::{AltrConfig, JerProfile};
 use jury_core::error::JuryError;
 use jury_core::jer::JerEngine;
 use jury_core::juror::Juror;
@@ -53,6 +53,10 @@ use jury_core::solver::{eps_cmp, SolverScratch};
 use jury_numeric::conv::ConvScratch;
 use jury_numeric::poibin::PoiBin;
 use std::cmp::Ordering;
+use std::sync::Arc;
+
+/// A shared handle to one position-space visit order (merged or flat).
+pub(crate) type SharedOrder = Arc<Vec<usize>>;
 
 /// When a [`JuryService`](crate::JuryService) shards its pools.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -118,25 +122,31 @@ struct Shard {
     degenerate: bool,
 }
 
-/// Global artefacts derived by merging the per-shard runs.
+/// Global artefacts derived by merging the per-shard runs. The orders
+/// are `Arc`'d so equal-content pools can adopt one interned merge from
+/// the warm-artifact store ([`crate::store`]); in-place repairs go
+/// through `Arc::make_mut`, which is exactly the copy-on-write boundary
+/// (a sole owner repairs in place, an attached pool clones off first).
 #[derive(Debug, Clone)]
 struct MergedCache {
     /// K-way merge of the shards' `eps_order` runs — bit-identical to
     /// the flat pool's ε-sorted order.
-    eps_order: Vec<usize>,
+    eps_order: Arc<Vec<usize>>,
     /// K-way merge of the shards' `greedy_order` runs — bit-identical to
     /// the flat pool's greedy order.
-    greedy_order: Vec<usize>,
+    greedy_order: Arc<Vec<usize>>,
     /// Lazily solved AltrM answer (the bound-pruned scan runs only when
     /// an AltrM task actually arrives), shared so batch replays can
     /// hand out the same allocation.
     altr: Option<crate::AltrAnswer>,
     /// Lazily computed odd-size JER profile (push-based over the merged
-    /// order — bit-identical to the flat profile; `O(N²)`, on demand).
-    profile: Option<Vec<(usize, f64)>>,
+    /// order — bit-identical to the flat profile; `O(N²)`, on demand;
+    /// `Arc`'d for store seeding/publication across equal pools).
+    profile: Option<Arc<JerProfile>>,
     /// The PayM budget→selection staircase over `greedy_order`, recorded
     /// lazily per budget and cleared by every mutation (the greedy trace
-    /// it certifies may change).
+    /// it certifies may change). Always per-pool — sharded staircases
+    /// are not interned.
     staircase: Staircase,
 }
 
@@ -159,14 +169,15 @@ pub(crate) struct MutationEffect {
     pub newly_degenerate: usize,
 }
 
-/// What a [`ShardedPool::warm`] call rebuilt — feeds the service's
-/// repair counters.
+/// What a [`ShardedPool::warm`] call rebuilt (test observability; the
+/// service drives [`ShardedPool::warm_shards`] and
+/// [`ShardedPool::ensure_merged`] separately so it can adopt interned
+/// merged orders between the two).
+#[cfg(test)]
 #[derive(Debug, Clone, Copy, Default)]
 pub(crate) struct ShardWarmOutcome {
     /// Per-shard caches built by this warm.
     pub shards_built: usize,
-    /// Total shards in the pool.
-    pub shard_count: usize,
     /// Whether the merged orders were rebuilt.
     pub merged_rebuilt: bool,
 }
@@ -263,8 +274,8 @@ impl ShardedPool {
             effect.pmf_rebuilt = true;
         }
         if let Some(merged) = self.merged.as_mut() {
-            reinsert_eps(&mut merged.eps_order, None, jurors, idx, old);
-            reinsert_greedy(&mut merged.greedy_order, jurors, idx, old);
+            reinsert_eps(Arc::make_mut(&mut merged.eps_order), None, jurors, idx, old);
+            reinsert_greedy(Arc::make_mut(&mut merged.greedy_order), jurors, idx, old);
             merged.altr = None;
             merged.profile = None;
             merged.staircase.clear();
@@ -322,8 +333,8 @@ impl ShardedPool {
         }
         if effect.invalidated {
             if let Some(merged) = self.merged.as_mut() {
-                renumber_out(&mut merged.eps_order, idx);
-                renumber_out(&mut merged.greedy_order, idx);
+                renumber_out(Arc::make_mut(&mut merged.eps_order), idx);
+                renumber_out(Arc::make_mut(&mut merged.greedy_order), idx);
                 merged.altr = None;
                 merged.profile = None;
                 merged.staircase.clear();
@@ -338,15 +349,22 @@ impl ShardedPool {
     }
 
     /// Builds any cold shard caches and (re)merges the global orders.
-    /// When more than one shard is dirty (bulk ingest, rebalance) the
+    #[cfg(test)]
+    pub(crate) fn warm(&mut self, jurors: &[Juror]) -> ShardWarmOutcome {
+        let mut outcome =
+            ShardWarmOutcome { shards_built: self.warm_shards(jurors), merged_rebuilt: false };
+        if self.merged.is_none() {
+            self.ensure_merged(jurors);
+            outcome.merged_rebuilt = true;
+        }
+        outcome
+    }
+
+    /// Builds any cold shard caches, returning how many were built. When
+    /// more than one shard is dirty (bulk ingest, rebalance) the
     /// independent per-shard rebuilds fan out over scoped threads, the
     /// same pattern `jury_core::exact` uses for its subtree search.
-    pub(crate) fn warm(&mut self, jurors: &[Juror]) -> ShardWarmOutcome {
-        let mut outcome = ShardWarmOutcome {
-            shards_built: 0,
-            shard_count: self.shards.len(),
-            merged_rebuilt: false,
-        };
+    pub(crate) fn warm_shards(&mut self, jurors: &[Juror]) -> usize {
         let cold: Vec<usize> = self
             .shards
             .iter()
@@ -354,7 +372,6 @@ impl ShardedPool {
             .filter(|(_, s)| s.cache.is_none())
             .map(|(i, _)| i)
             .collect();
-        outcome.shards_built = cold.len();
         if cold.len() == 1 {
             let si = cold[0];
             self.shards[si].cache = Some(build_shard_cache(jurors, &self.shards[si].members));
@@ -383,25 +400,73 @@ impl ShardedPool {
                 self.shards[si].cache = Some(cache);
             }
         }
-        if self.merged.is_none() {
-            let eps_runs: Vec<&[usize]> =
-                self.shards.iter().map(|s| cache(s).eps_order.as_slice()).collect();
-            let mut eps_order = Vec::new();
-            kway_merge_by(&eps_runs, |a, b| eps_cmp(jurors, a, b), &mut eps_order);
-            let greedy_runs: Vec<&[usize]> =
-                self.shards.iter().map(|s| cache(s).greedy_order.as_slice()).collect();
-            let mut greedy_order = Vec::new();
-            kway_merge_by(&greedy_runs, |a, b| PayAlg::greedy_cmp(jurors, a, b), &mut greedy_order);
-            self.merged = Some(MergedCache {
-                eps_order,
-                greedy_order,
-                altr: None,
-                profile: None,
-                staircase: Staircase::new(),
-            });
-            outcome.merged_rebuilt = true;
+        cold.len()
+    }
+
+    /// K-way-merges the per-shard runs into the global orders if they
+    /// are missing. Requires warm shards ([`ShardedPool::warm_shards`]).
+    pub(crate) fn ensure_merged(&mut self, jurors: &[Juror]) {
+        if self.merged.is_some() {
+            return;
         }
-        outcome
+        let eps_runs: Vec<&[usize]> =
+            self.shards.iter().map(|s| cache(s).eps_order.as_slice()).collect();
+        let mut eps_order = Vec::new();
+        kway_merge_by(&eps_runs, |a, b| eps_cmp(jurors, a, b), &mut eps_order);
+        let greedy_runs: Vec<&[usize]> =
+            self.shards.iter().map(|s| cache(s).greedy_order.as_slice()).collect();
+        let mut greedy_order = Vec::new();
+        kway_merge_by(&greedy_runs, |a, b| PayAlg::greedy_cmp(jurors, a, b), &mut greedy_order);
+        self.merged = Some(MergedCache {
+            eps_order: Arc::new(eps_order),
+            greedy_order: Arc::new(greedy_order),
+            altr: None,
+            profile: None,
+            staircase: Staircase::new(),
+        });
+    }
+
+    /// Installs interned merged orders (an identical-content pool's
+    /// K-way merge, adopted from the warm-artifact store) instead of
+    /// re-merging. The global sort is partition-independent, so adopted
+    /// orders are bit-identical to the merge this pool would perform —
+    /// only the per-shard caches remain pool-local. The lazy artefacts
+    /// start empty; the service seeds them from the store entry on
+    /// demand.
+    pub(crate) fn adopt_merged(&mut self, eps_order: SharedOrder, greedy_order: SharedOrder) {
+        self.merged = Some(MergedCache {
+            eps_order,
+            greedy_order,
+            altr: None,
+            profile: None,
+            staircase: Staircase::new(),
+        });
+    }
+
+    /// The merged orders as shared handles, for publication to the
+    /// warm-artifact store.
+    pub(crate) fn merged_order_arcs(&self) -> Option<(SharedOrder, SharedOrder)> {
+        self.merged.as_ref().map(|m| (m.eps_order.clone(), m.greedy_order.clone()))
+    }
+
+    /// Installs an AltrM answer solved over an identical merged order
+    /// (a store entry's) without re-running the scan.
+    pub(crate) fn seed_altr(&mut self, answer: crate::AltrAnswer) {
+        if let Some(merged) = self.merged.as_mut() {
+            merged.altr = Some(answer);
+        }
+    }
+
+    /// Whether the lazily-derived profile is already present.
+    pub(crate) fn has_profile(&self) -> bool {
+        self.merged.as_ref().is_some_and(|m| m.profile.is_some())
+    }
+
+    /// Installs a profile built over an identical merged order.
+    pub(crate) fn seed_profile(&mut self, profile: Arc<JerProfile>) {
+        if let Some(merged) = self.merged.as_mut() {
+            merged.profile = Some(profile);
+        }
     }
 
     /// The merged ε order, if warm.
@@ -477,13 +542,15 @@ impl ShardedPool {
     }
 
     /// The odd-size JER profile over the merged order, computed lazily
-    /// with the same sequential pushes as the flat path (bit-identical).
-    /// Requires a prior [`Self::warm`].
-    pub(crate) fn ensure_profile(&mut self, jurors: &[Juror]) -> &[(usize, f64)] {
+    /// with the same sequential pushes as the flat path (bit-identical,
+    /// and therefore shareable across equal-content pools — the service
+    /// seeds/publishes it through the warm-artifact store). Requires a
+    /// prior [`Self::warm`].
+    pub(crate) fn ensure_profile(&mut self, jurors: &[Juror]) -> &Arc<JerProfile> {
         let merged = self.merged.as_mut().expect("warm() must precede ensure_profile");
         if merged.profile.is_none() {
             let eps: Vec<f64> = merged.eps_order.iter().map(|&i| jurors[i].epsilon()).collect();
-            merged.profile = Some(AltrAlg::jer_profile_sorted(&eps));
+            merged.profile = Some(Arc::new(JerProfile::build(&eps)));
         }
         merged.profile.as_ref().expect("filled above")
     }

@@ -338,6 +338,95 @@ proptest! {
         }
     }
 
+    // The warm-artifact store must be invisible: replicated pools served
+    // from one interned artifact set answer bit-identically — members,
+    // JER bits, cost bits *and* stats — to a sharing-disabled service,
+    // across interleaved mutations that detach pools copy-on-write,
+    // publish repaired artifacts and re-join converged siblings. Both
+    // flat and sharded layouts are driven; every PayM task is solved
+    // twice so the shared staircase's replay hit is pinned too.
+    #[test]
+    fn shared_artifacts_match_private_across_detach_rejoin(
+        pairs in pools(40),
+        edits in vec(((0.001..0.999f64, 0.0..1.0f64), any::<prop::sample::Index>()), 1..5),
+        budget in 0.0..2.0f64,
+    ) {
+        for k in [None, Some(2), Some(7)] {
+            let config = |share: bool| ServiceConfig {
+                share_artifacts: share,
+                shard: match k {
+                    None => ShardConfig::default(),
+                    Some(k) => ShardConfig { threshold: 0, shards: k, ..Default::default() },
+                },
+                ..Default::default()
+            };
+            let jurors = build(&pairs);
+            let mut shared = JuryService::with_config(config(true));
+            let mut private = JuryService::with_config(config(false));
+            let replicas: Vec<PoolId> =
+                (0..3).map(|_| shared.create_pool(jurors.clone())).collect();
+            let p = private.create_pool(jurors.clone());
+
+            let check = |shared: &mut JuryService,
+                         private: &mut JuryService,
+                         pool: PoolId,
+                         ctx: &str| {
+                let altr = DecisionTask::altruism(pool);
+                let altr_p = DecisionTask::altruism(p);
+                assert_identical(
+                    &shared.solve(&altr),
+                    &private.solve(&altr_p),
+                    &format!("{ctx}: altr"),
+                );
+                let len = private.pool(p).unwrap().len() as f64;
+                for b in [budget, budget * len, f64::MAX] {
+                    let task = DecisionTask::pay_as_you_go(pool, b);
+                    let task_p = DecisionTask::pay_as_you_go(p, b);
+                    let want = private.solve(&task_p);
+                    assert_identical(&shared.solve(&task), &want, &format!("{ctx}: paym {b}"));
+                    assert_identical(
+                        &shared.solve(&task),
+                        &want,
+                        &format!("{ctx}: paym replay {b}"),
+                    );
+                }
+            };
+
+            for (i, &pool) in replicas.iter().enumerate() {
+                check(&mut shared, &mut private, pool, &format!("k={k:?} cold replica {i}"));
+            }
+            prop_assert!(
+                shared.shares_artifacts_with(replicas[0], replicas[2]).unwrap(),
+                "k={:?}: replicas must share one artifact set", k
+            );
+
+            for (step, ((e, c), idx)) in edits.iter().enumerate() {
+                let i = idx.index(jurors.len());
+                let edit = Juror::new(2000 + step as u32, ErrorRate::new(*e).unwrap(), *c);
+                private.update_juror(p, i, edit).unwrap();
+                // Staggered application: the first replica detaches (and
+                // publishes — it had siblings), the rest re-join the
+                // published entry one by one.
+                for (r, &pool) in replicas.iter().enumerate() {
+                    shared.update_juror(pool, i, edit).unwrap();
+                    check(
+                        &mut shared,
+                        &mut private,
+                        pool,
+                        &format!("k={k:?} step={step} replica {r}"),
+                    );
+                }
+                prop_assert!(
+                    shared.shares_artifacts_with(replicas[0], replicas[2]).unwrap(),
+                    "k={:?} step={}: identically-mutated replicas must converge", k, step
+                );
+            }
+            let stats = shared.stats();
+            prop_assert!(stats.artifact_detaches >= 3, "k={:?}: every replica detached", k);
+            prop_assert!(stats.artifact_rejoins >= 2, "k={:?}: followers re-joined", k);
+        }
+    }
+
     // A flat pool promoted mid-stream (inserts crossing the shard
     // threshold) keeps matching a never-sharded reference.
     #[test]

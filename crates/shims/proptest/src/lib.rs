@@ -450,6 +450,18 @@ macro_rules! prop_assert_ne {
             );
         }
     }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            panic!(
+                "property failed: {} != {}: {}\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                format!($($fmt)*),
+                l
+            );
+        }
+    }};
 }
 
 /// Rejects the current case (re-drawn, not counted) unless `cond` holds.
