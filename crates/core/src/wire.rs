@@ -12,14 +12,220 @@
 //! * structs become objects with snake_case field names (derive-compatible);
 //! * fieldless enums become lowercase kebab-case strings;
 //! * [`CrowdModel`] uses an adjacently-tagged object
-//!   (`{"model": "altruism"}` / `{"model": "pay-as-you-go", "budget": b}`).
+//!   (`{"model": "altruism"}` / `{"model": "pay-as-you-go", "budget": b}`);
+//! * [`JuryError`] uses a kind-tagged object
+//!   (`{"kind": "no-feasible-jury", "budget": b}`) so clients can switch
+//!   on the kind without parsing prose;
+//! * HTTP front-ends wrap every response in an [`Envelope`]:
+//!   `{"ok": true, "result": …}` on success,
+//!   `{"ok": false, "error": {"kind": …, "message": …}}` on failure
+//!   (plus `retry_after_ms` on backpressure rejections).
 
 use crate::altr::{AltrConfig, AltrStrategy};
+use crate::error::JuryError;
 use crate::jer::JerEngine;
+use crate::juror::{ErrorRate, Juror};
 use crate::model::CrowdModel;
 use crate::paym::PayConfig;
 use crate::problem::{Selection, SolverStats};
 use serde::{Deserialize, Error, Serialize, Value};
+
+impl Serialize for Juror {
+    fn to_value(&self) -> Value {
+        Value::object([
+            ("id", self.id.to_value()),
+            ("error_rate", self.epsilon().to_value()),
+            ("cost", self.cost.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Juror {
+    /// Re-validates on the way in: wire jurors are untrusted, so the
+    /// Definition-4 rate constraint and the finite-cost constraint are
+    /// enforced exactly like [`Juror::try_new`].
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let id: u32 = field(value, "id")?;
+        let rate: f64 = field(value, "error_rate")?;
+        let cost: f64 = field(value, "cost")?;
+        let rate = ErrorRate::new(rate).map_err(|e| Error::custom(e.to_string()))?;
+        Juror::try_new(id, rate, cost).map_err(|e| Error::custom(e.to_string()))
+    }
+}
+
+impl Serialize for JuryError {
+    fn to_value(&self) -> Value {
+        let kind = |k: &str| ("kind", k.to_value());
+        match *self {
+            Self::InvalidErrorRate(v) => {
+                Value::object([kind("invalid-error-rate"), ("value", v.to_value())])
+            }
+            Self::InvalidCost(v) => Value::object([kind("invalid-cost"), ("value", v.to_value())]),
+            Self::EvenJurySize(n) => {
+                Value::object([kind("even-jury-size"), ("size", n.to_value())])
+            }
+            Self::EmptyJury => Value::object([kind("empty-jury")]),
+            Self::VotingSizeMismatch { expected, actual } => Value::object([
+                kind("voting-size-mismatch"),
+                ("expected", expected.to_value()),
+                ("actual", actual.to_value()),
+            ]),
+            Self::EmptyPool => Value::object([kind("empty-pool")]),
+            Self::NoFeasibleJury { budget } => {
+                Value::object([kind("no-feasible-jury"), ("budget", budget.to_value())])
+            }
+            Self::InvalidBudget(b) => {
+                Value::object([kind("invalid-budget"), ("budget", b.to_value())])
+            }
+            Self::PoolTooLargeForExact { size, limit } => Value::object([
+                kind("pool-too-large-for-exact"),
+                ("size", size.to_value()),
+                ("limit", limit.to_value()),
+            ]),
+        }
+    }
+}
+
+impl Deserialize for JuryError {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value.get("kind").and_then(Value::as_str) {
+            Some("invalid-error-rate") => Ok(Self::InvalidErrorRate(float_field(value, "value")?)),
+            Some("invalid-cost") => Ok(Self::InvalidCost(float_field(value, "value")?)),
+            Some("even-jury-size") => Ok(Self::EvenJurySize(field(value, "size")?)),
+            Some("empty-jury") => Ok(Self::EmptyJury),
+            Some("voting-size-mismatch") => Ok(Self::VotingSizeMismatch {
+                expected: field(value, "expected")?,
+                actual: field(value, "actual")?,
+            }),
+            Some("empty-pool") => Ok(Self::EmptyPool),
+            Some("no-feasible-jury") => {
+                Ok(Self::NoFeasibleJury { budget: float_field(value, "budget")? })
+            }
+            Some("invalid-budget") => Ok(Self::InvalidBudget(float_field(value, "budget")?)),
+            Some("pool-too-large-for-exact") => Ok(Self::PoolTooLargeForExact {
+                size: field(value, "size")?,
+                limit: field(value, "limit")?,
+            }),
+            _ => Err(Error::expected("a jury error object", value)),
+        }
+    }
+}
+
+/// A structured wire error: a machine-readable kebab-case kind, a human
+/// message, and (for backpressure rejections) a retry hint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireError {
+    /// Kebab-case error class (e.g. `"unknown-pool"`, `"overloaded"`).
+    pub kind: String,
+    /// Human-readable description.
+    pub message: String,
+    /// How long the client should back off before retrying, when the
+    /// error is a transient admission-control rejection.
+    pub retry_after_ms: Option<u64>,
+}
+
+impl WireError {
+    /// A plain error with no retry hint.
+    pub fn new(kind: impl Into<String>, message: impl Into<String>) -> Self {
+        Self { kind: kind.into(), message: message.into(), retry_after_ms: None }
+    }
+
+    /// A backpressure rejection carrying a retry hint.
+    pub fn with_retry_after(mut self, retry_after_ms: u64) -> Self {
+        self.retry_after_ms = Some(retry_after_ms);
+        self
+    }
+}
+
+impl Serialize for WireError {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![("kind", self.kind.to_value()), ("message", self.message.to_value())];
+        if let Some(ms) = self.retry_after_ms {
+            fields.push(("retry_after_ms", ms.to_value()));
+        }
+        Value::object(fields)
+    }
+}
+
+impl Deserialize for WireError {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(Self {
+            kind: field(value, "kind")?,
+            message: field(value, "message")?,
+            retry_after_ms: match value.get("retry_after_ms") {
+                None | Some(Value::Null) => None,
+                Some(v) => Some(u64::from_value(v)?),
+            },
+        })
+    }
+}
+
+/// The uniform response envelope HTTP front-ends speak: every body is
+/// `{"ok": true, "result": …}` or `{"ok": false, "error": …}`, so a
+/// client can always parse the body before (or instead of) switching on
+/// the HTTP status code.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Envelope {
+    /// Success, carrying the endpoint-specific result value.
+    Ok(Value),
+    /// Failure, carrying a structured [`WireError`].
+    Err(WireError),
+}
+
+impl Envelope {
+    /// Wraps a successful result.
+    pub fn ok<T: Serialize>(result: &T) -> Self {
+        Self::Ok(result.to_value())
+    }
+
+    /// Wraps an error.
+    pub fn err(error: WireError) -> Self {
+        Self::Err(error)
+    }
+
+    /// Unwraps into a `Result` for client-side consumption.
+    pub fn into_result(self) -> Result<Value, WireError> {
+        match self {
+            Self::Ok(v) => Ok(v),
+            Self::Err(e) => Err(e),
+        }
+    }
+}
+
+impl Serialize for Envelope {
+    fn to_value(&self) -> Value {
+        match self {
+            Self::Ok(result) => {
+                Value::object([("ok", true.to_value()), ("result", result.clone())])
+            }
+            Self::Err(error) => {
+                Value::object([("ok", false.to_value()), ("error", error.to_value())])
+            }
+        }
+    }
+}
+
+impl Deserialize for Envelope {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value.get("ok").and_then(Value::as_bool) {
+            Some(true) => Ok(Self::Ok(
+                value.get("result").ok_or_else(|| Error::missing_field("result"))?.clone(),
+            )),
+            Some(false) => Ok(Self::Err(field(value, "error")?)),
+            None => Err(Error::expected("an envelope with a boolean `ok`", value)),
+        }
+    }
+}
+
+/// Reads an `f64` field, mapping JSON `null` back to NaN (the writer
+/// emits `null` for non-finite floats, mirroring serde_json).
+fn float_field(value: &Value, name: &str) -> Result<f64, Error> {
+    match value.get(name) {
+        None => Err(Error::missing_field(name)),
+        Some(Value::Null) => Ok(f64::NAN),
+        Some(v) => f64::from_value(v),
+    }
+}
 
 impl Serialize for SolverStats {
     fn to_value(&self) -> Value {
@@ -232,5 +438,55 @@ mod tests {
     fn unknown_engine_is_rejected() {
         assert!(json::from_str::<JerEngine>("\"quantum\"").is_err());
         assert!(json::from_str::<Selection>("{}").is_err());
+    }
+
+    #[test]
+    fn jurors_round_trip_and_revalidate() {
+        round_trip(&Juror::new(7, ErrorRate::new(0.25).unwrap(), 1.5));
+        round_trip(&Juror::free(0, ErrorRate::new(0.999).unwrap()));
+        // Wire jurors are untrusted: invalid rates and costs are refused.
+        assert!(json::from_str::<Juror>(r#"{"id": 1, "error_rate": 1.2, "cost": 0}"#).is_err());
+        assert!(json::from_str::<Juror>(r#"{"id": 1, "error_rate": 0.2, "cost": -3}"#).is_err());
+        assert!(json::from_str::<Juror>(r#"{"id": 1, "error_rate": 0.2}"#).is_err());
+    }
+
+    #[test]
+    fn jury_errors_round_trip() {
+        for err in [
+            JuryError::InvalidErrorRate(1.5),
+            JuryError::InvalidCost(-1.0),
+            JuryError::EvenJurySize(4),
+            JuryError::EmptyJury,
+            JuryError::VotingSizeMismatch { expected: 3, actual: 2 },
+            JuryError::EmptyPool,
+            JuryError::NoFeasibleJury { budget: 0.125 },
+            JuryError::InvalidBudget(-2.0),
+            JuryError::PoolTooLargeForExact { size: 40, limit: 26 },
+        ] {
+            round_trip(&err);
+        }
+        // Non-finite payloads survive as NaN (JSON null), not as a parse
+        // failure — the service really does produce InvalidBudget(NaN).
+        let text = json::to_string(&JuryError::InvalidBudget(f64::NAN));
+        match json::from_str::<JuryError>(&text).unwrap() {
+            JuryError::InvalidBudget(b) => assert!(b.is_nan()),
+            other => panic!("wrong variant: {other:?}"),
+        }
+        assert!(json::from_str::<JuryError>(r#"{"kind": "novel"}"#).is_err());
+    }
+
+    #[test]
+    fn envelopes_round_trip() {
+        round_trip(&Envelope::ok(&CrowdModel::PayAsYouGo { budget: 2.0 }));
+        round_trip(&Envelope::err(WireError::new("unknown-pool", "unknown pool#9")));
+        round_trip(&Envelope::err(
+            WireError::new("overloaded", "tenant queue full").with_retry_after(50),
+        ));
+        let ok = Envelope::ok(&3usize).into_result().unwrap();
+        assert_eq!(ok.as_u64(), Some(3));
+        let err =
+            Envelope::err(WireError::new("bad-request", "no body")).into_result().unwrap_err();
+        assert_eq!(err.kind, "bad-request");
+        assert!(json::from_str::<Envelope>(r#"{"result": 3}"#).is_err());
     }
 }

@@ -1,0 +1,170 @@
+//! A small blocking keep-alive client for the front-end's protocol —
+//! used by the integration tests, the example, and the load generator's
+//! over-the-wire spot checks. One [`Client`] is one connection.
+
+use jury_core::problem::Selection;
+use jury_core::wire::{Envelope, WireError};
+use jury_service::{DecisionTask, PoolId, ServiceStats};
+use serde::{json, Deserialize, Serialize, Value};
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::coalesce::FrontendStats;
+use crate::proto::find_head_end;
+
+/// One HTTP response: status, optional `Retry-After` (milliseconds, as
+/// hinted by the error body when present, else the header), and the
+/// decoded envelope.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// The decoded body envelope, already split ok/err.
+    pub result: Result<Value, WireError>,
+}
+
+/// Combined `/stats` payload.
+#[derive(Debug, Clone, Copy)]
+pub struct StatsSnapshot {
+    /// The wrapped service's counters.
+    pub service: ServiceStats,
+    /// The front-end's counters.
+    pub frontend: FrontendStats,
+    /// Interned warm-artifact entries.
+    pub artifact_entries: usize,
+}
+
+/// A blocking HTTP/1.1 keep-alive connection to a front-end.
+pub struct Client {
+    stream: TcpStream,
+    pending: Vec<u8>,
+}
+
+impl Client {
+    /// Connects to a running [`crate::HttpServer`].
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream, pending: Vec::new() })
+    }
+
+    /// Sends one request and decodes the envelope. `body = None` sends
+    /// no `Content-Length` payload (GET).
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> io::Result<Response> {
+        let body = body.unwrap_or("");
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: jury\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n",
+            body.len(),
+        );
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body.as_bytes())?;
+        self.stream.flush()?;
+        self.read_response()
+    }
+
+    /// `POST /v1/solve` for `tenant`; `Ok(Err(_))` is a structured
+    /// refusal (backpressure, unknown pool, solver error), `Err(_)` a
+    /// transport failure.
+    pub fn solve(
+        &mut self,
+        tenant: &str,
+        task: &DecisionTask,
+    ) -> io::Result<Result<Selection, WireError>> {
+        let body = json::to_string(&Value::object([
+            ("tenant", tenant.to_value()),
+            ("task", task.to_value()),
+        ]));
+        let response = self.request("POST", "/v1/solve", Some(&body))?;
+        Ok(response.result.and_then(|value| {
+            Selection::from_value(&value).map_err(|e| WireError::new("bad-response", e.to_string()))
+        }))
+    }
+
+    /// `POST /v1/pools`.
+    pub fn create_pool(
+        &mut self,
+        jurors: &[jury_core::juror::Juror],
+    ) -> io::Result<Result<PoolId, WireError>> {
+        let body = json::to_string(&Value::object([("jurors", jurors.to_vec().to_value())]));
+        let response = self.request("POST", "/v1/pools", Some(&body))?;
+        Ok(response.result.and_then(|value| {
+            value
+                .get("pool")
+                .ok_or_else(|| WireError::new("bad-response", "missing pool id"))
+                .and_then(|v| {
+                    PoolId::from_value(v).map_err(|e| WireError::new("bad-response", e.to_string()))
+                })
+        }))
+    }
+
+    /// `GET /stats`.
+    pub fn stats(&mut self) -> io::Result<Result<StatsSnapshot, WireError>> {
+        let response = self.request("GET", "/stats", None)?;
+        Ok(response.result.and_then(|value| {
+            let field = |name: &str| {
+                value.get(name).ok_or_else(|| WireError::new("bad-response", "missing field"))
+            };
+            let bad = |e: serde::Error| WireError::new("bad-response", e.to_string());
+            Ok(StatsSnapshot {
+                service: ServiceStats::from_value(field("service")?).map_err(bad)?,
+                frontend: FrontendStats::from_value(field("frontend")?).map_err(bad)?,
+                artifact_entries: usize::from_value(field("artifact_entries")?).map_err(bad)?,
+            })
+        }))
+    }
+
+    fn fill(&mut self) -> io::Result<usize> {
+        let mut chunk = [0u8; 4096];
+        let n = self.stream.read(&mut chunk)?;
+        self.pending.extend_from_slice(&chunk[..n]);
+        Ok(n)
+    }
+
+    fn read_response(&mut self) -> io::Result<Response> {
+        let head_end = loop {
+            if let Some(end) = find_head_end(&self.pending) {
+                break end;
+            }
+            if self.fill()? == 0 {
+                return Err(io::ErrorKind::UnexpectedEof.into());
+            }
+        };
+        let head = String::from_utf8_lossy(&self.pending[..head_end]).into_owned();
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().unwrap_or("");
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+        let mut content_length = 0usize;
+        for line in lines {
+            if let Some((name, value)) = line.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad length"))?;
+                }
+            }
+        }
+        let body_end = head_end + 4 + content_length;
+        while self.pending.len() < body_end {
+            if self.fill()? == 0 {
+                return Err(io::ErrorKind::UnexpectedEof.into());
+            }
+        }
+        let mut consumed: Vec<u8> = self.pending.drain(..body_end).collect();
+        let body = consumed.split_off(head_end + 4);
+        let text = String::from_utf8(body)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 body"))?;
+        let envelope: Envelope = json::from_str(&text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        Ok(Response { status, result: envelope.into_result() })
+    }
+}

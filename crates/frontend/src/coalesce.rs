@@ -1,0 +1,557 @@
+//! The adaptive coalescing engine: concurrent single-task submissions
+//! are merged into [`JuryService::solve_batch_shared`] windows keyed by
+//! `(tenant, pool)`, so N arrivals that replay one cached answer cost
+//! one solver pass plus N `Arc` bumps instead of N passes.
+//!
+//! # Window semantics
+//!
+//! A window opens when the first task for its `(tenant, pool)` key is
+//! queued and closes — becoming a dispatched batch — on the first of:
+//!
+//! * **max-batch**: the window holds [`FrontendConfig::max_batch`] tasks;
+//! * **max-delay**: the window's *oldest* task has waited
+//!   [`FrontendConfig::max_delay`] (the p99 latency knob — under any
+//!   load, no admitted task waits longer than `max_delay` plus one
+//!   in-flight window's solve time before its solve begins);
+//! * **idle service**: the solver is free and no other window is ready —
+//!   adaptive greedy dispatch, so light load pays solve latency, not the
+//!   full delay bound, while heavy load accumulates occupancy behind the
+//!   in-flight window.
+//!
+//! An idle front-end skips the machinery entirely: a submission that
+//! finds zero queued tasks and an uncontended solver solves inline on
+//! the caller thread ([`JuryService`]'s own small-batch fast path), so
+//! batch-1 latency matches the bare library call.
+//!
+//! # Backpressure contract
+//!
+//! Admission control is per tenant: each tenant may hold at most
+//! [`FrontendConfig::queue_capacity`] queued tasks across its windows.
+//! The submission that would exceed the cap is refused *immediately*
+//! with [`SubmitError::Overloaded`] carrying a `retry_after` hint (one
+//! max-delay), never queued — a slow tenant cannot grow another
+//! tenant's tail. Refusals are counted in
+//! [`FrontendStats::queue_rejections`].
+
+use jury_core::problem::Selection;
+use jury_service::{DecisionTask, JuryService, PoolId, ServiceError, ServiceStats};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for the coalescing front-end.
+#[derive(Debug, Clone)]
+pub struct FrontendConfig {
+    /// Tasks per window before it closes regardless of age. Values at or
+    /// above the service's internal small-batch threshold (32) let a
+    /// full window take the multi-task solver path.
+    pub max_batch: usize,
+    /// Oldest-task age at which a window closes regardless of occupancy
+    /// — the latency bound traded against batching opportunity.
+    pub max_delay: Duration,
+    /// Per-tenant cap on queued tasks; the submission that would exceed
+    /// it is refused with a 429-style [`SubmitError::Overloaded`].
+    pub queue_capacity: usize,
+}
+
+impl Default for FrontendConfig {
+    fn default() -> Self {
+        Self { max_batch: 64, max_delay: Duration::from_millis(25), queue_capacity: 1024 }
+    }
+}
+
+/// Why a submission was not solved.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SubmitError {
+    /// The tenant's queue is full; retry after the hinted delay.
+    Overloaded {
+        /// Backoff hint, surfaced as HTTP `Retry-After`.
+        retry_after: Duration,
+    },
+    /// The front-end is draining for shutdown; no new work is admitted.
+    ShuttingDown,
+    /// The service refused the task (unknown pool, solver error, …).
+    Service(ServiceError),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Overloaded { retry_after } => {
+                write!(f, "tenant queue full, retry after {retry_after:?}")
+            }
+            Self::ShuttingDown => write!(f, "front-end is shutting down"),
+            Self::Service(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Monotone counters describing the front-end's traffic so far (the
+/// `/stats` payload next to [`ServiceStats`]). All counters are updated
+/// with relaxed atomics — they are observability, not synchronization.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FrontendStats {
+    /// Submissions admitted (inline + queued), excluding rejections.
+    pub requests: u64,
+    /// Submissions solved inline on the caller thread (idle fast path).
+    pub inline_solves: u64,
+    /// Windows dispatched through the coalescing queue.
+    pub coalesced_windows: u64,
+    /// Tasks carried by those windows (mean occupancy =
+    /// `coalesced_tasks / coalesced_windows`).
+    pub coalesced_tasks: u64,
+    /// Largest single-window occupancy seen.
+    pub max_window_occupancy: u64,
+    /// Submissions refused by per-tenant admission control.
+    pub queue_rejections: u64,
+    /// High-water mark of tasks queued across all windows.
+    pub queue_depth_highwater: u64,
+    /// Requests the HTTP layer refused before reaching the queue
+    /// (malformed JSON, oversized bodies, unknown routes).
+    pub malformed_requests: u64,
+    /// Total queueing delay (enqueue → window dispatch) over all
+    /// coalesced tasks, in nanoseconds.
+    pub queue_wait_nanos: u64,
+    /// Total solver time attributed to coalesced tasks, in nanoseconds
+    /// (per-task durations from the service's timing hook, summed).
+    pub solve_nanos: u64,
+}
+
+#[derive(Default)]
+pub(crate) struct Counters {
+    requests: AtomicU64,
+    inline_solves: AtomicU64,
+    coalesced_windows: AtomicU64,
+    coalesced_tasks: AtomicU64,
+    max_window_occupancy: AtomicU64,
+    queue_rejections: AtomicU64,
+    queue_depth_highwater: AtomicU64,
+    pub(crate) malformed_requests: AtomicU64,
+    queue_wait_nanos: AtomicU64,
+    solve_nanos: AtomicU64,
+}
+
+impl Counters {
+    fn snapshot(&self) -> FrontendStats {
+        FrontendStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            inline_solves: self.inline_solves.load(Ordering::Relaxed),
+            coalesced_windows: self.coalesced_windows.load(Ordering::Relaxed),
+            coalesced_tasks: self.coalesced_tasks.load(Ordering::Relaxed),
+            max_window_occupancy: self.max_window_occupancy.load(Ordering::Relaxed),
+            queue_rejections: self.queue_rejections.load(Ordering::Relaxed),
+            queue_depth_highwater: self.queue_depth_highwater.load(Ordering::Relaxed),
+            malformed_requests: self.malformed_requests.load(Ordering::Relaxed),
+            queue_wait_nanos: self.queue_wait_nanos.load(Ordering::Relaxed),
+            solve_nanos: self.solve_nanos.load(Ordering::Relaxed),
+        }
+    }
+
+    fn raise_max(cell: &AtomicU64, seen: u64) {
+        let mut current = cell.load(Ordering::Relaxed);
+        while seen > current {
+            match cell.compare_exchange_weak(current, seen, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => break,
+                Err(now) => current = now,
+            }
+        }
+    }
+}
+
+/// One queued submission's rendezvous: the dispatcher deposits the
+/// result and signals; the submitting thread sleeps on the condvar.
+struct Waiter {
+    slot: Mutex<Option<Result<Arc<Selection>, ServiceError>>>,
+    ready: Condvar,
+    enqueued: Instant,
+}
+
+struct Window {
+    tasks: Vec<DecisionTask>,
+    waiters: Vec<Arc<Waiter>>,
+    opened: Instant,
+}
+
+#[derive(Default)]
+struct QueueState {
+    windows: HashMap<(String, PoolId), Window>,
+    tenant_pending: HashMap<String, usize>,
+    total_pending: usize,
+}
+
+struct Shared {
+    service: Mutex<JuryService>,
+    queue: Mutex<QueueState>,
+    /// Signals the dispatcher: new work queued, or shutdown requested.
+    work: Condvar,
+    config: FrontendConfig,
+    counters: Counters,
+    shutdown: AtomicBool,
+}
+
+/// The coalescing front-end around one [`JuryService`]. See the module
+/// docs for window semantics and the backpressure contract.
+///
+/// `Frontend` is the transport-free core: [`Frontend::submit`] is the
+/// whole request path, and the HTTP layer in [`crate::http`] is a thin
+/// codec over it. Cloning the handle (`Arc` internally) shares the same
+/// queue, dispatcher and service.
+pub struct Frontend {
+    shared: Arc<Shared>,
+    dispatcher: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl Frontend {
+    /// Starts the front-end over `service`, spawning the dispatcher
+    /// thread that closes and solves coalescing windows.
+    pub fn start(service: JuryService, config: FrontendConfig) -> Arc<Self> {
+        let shared = Arc::new(Shared {
+            service: Mutex::new(service),
+            queue: Mutex::new(QueueState::default()),
+            work: Condvar::new(),
+            config,
+            counters: Counters::default(),
+            shutdown: AtomicBool::new(false),
+        });
+        let dispatcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("jury-dispatch".into())
+                .spawn(move || dispatcher_loop(&shared))
+                .expect("spawn dispatcher")
+        };
+        Arc::new(Self { shared, dispatcher: Mutex::new(Some(dispatcher)) })
+    }
+
+    /// Submits one task for `tenant`, blocking until it is solved (or
+    /// refused). This is the complete admission → coalesce → solve path;
+    /// see the module docs for when it solves inline versus queues.
+    pub fn submit(&self, tenant: &str, task: DecisionTask) -> Result<Arc<Selection>, SubmitError> {
+        let shared = &*self.shared;
+        if shared.shutdown.load(Ordering::Acquire) {
+            return Err(SubmitError::ShuttingDown);
+        }
+        let waiter;
+        {
+            let mut queue = shared.queue.lock().expect("queue poisoned");
+            // Re-checked under the queue lock: the dispatcher's exit
+            // scan holds this lock, so a submission that sees the flag
+            // clear here is guaranteed to be drained before exit.
+            if shared.shutdown.load(Ordering::Acquire) {
+                return Err(SubmitError::ShuttingDown);
+            }
+            let pending = queue.tenant_pending.get(tenant).copied().unwrap_or(0);
+            if pending >= shared.config.queue_capacity {
+                shared.counters.queue_rejections.fetch_add(1, Ordering::Relaxed);
+                return Err(SubmitError::Overloaded { retry_after: shared.config.max_delay });
+            }
+            shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+            if queue.total_pending == 0 {
+                // Idle fast path: nothing queued and the solver free —
+                // solve on this thread through the service's own
+                // small-batch path. The dispatcher cannot be starved:
+                // with zero pending tasks it has nothing to dispatch.
+                if let Ok(mut service) = shared.service.try_lock() {
+                    drop(queue);
+                    shared.counters.inline_solves.fetch_add(1, Ordering::Relaxed);
+                    let mut out = service.solve_batch_shared(std::slice::from_ref(&task));
+                    return out.pop().expect("one result per task").map_err(SubmitError::Service);
+                }
+            }
+            waiter = Arc::new(Waiter {
+                slot: Mutex::new(None),
+                ready: Condvar::new(),
+                enqueued: Instant::now(),
+            });
+            let key = (tenant.to_string(), task.pool);
+            let window = queue.windows.entry(key).or_insert_with(|| Window {
+                tasks: Vec::new(),
+                waiters: Vec::new(),
+                opened: Instant::now(),
+            });
+            window.tasks.push(task);
+            window.waiters.push(Arc::clone(&waiter));
+            *queue.tenant_pending.entry(tenant.to_string()).or_insert(0) += 1;
+            queue.total_pending += 1;
+            Counters::raise_max(&shared.counters.queue_depth_highwater, queue.total_pending as u64);
+            shared.work.notify_one();
+        }
+        let mut slot = waiter.slot.lock().expect("waiter poisoned");
+        while slot.is_none() {
+            slot = waiter.ready.wait(slot).expect("waiter poisoned");
+        }
+        slot.take().expect("checked above").map_err(SubmitError::Service)
+    }
+
+    /// Runs `f` with exclusive access to the wrapped service — the
+    /// mutation side-channel (juror churn, pool registration) and the
+    /// test hook for holding the solver busy. Blocks dispatch while `f`
+    /// runs; queued windows simply accumulate occupancy.
+    pub fn with_service<R>(&self, f: impl FnOnce(&mut JuryService) -> R) -> R {
+        let mut service = self.shared.service.lock().expect("service poisoned");
+        f(&mut service)
+    }
+
+    /// Snapshot of the front-end counters.
+    pub fn stats(&self) -> FrontendStats {
+        self.shared.counters.snapshot()
+    }
+
+    /// Snapshot of the wrapped service's counters (blocks on the
+    /// service lock like any solve).
+    pub fn service_stats(&self) -> ServiceStats {
+        self.with_service(|s| s.stats())
+    }
+
+    /// Count of interned warm-artifact entries in the service's store.
+    pub fn artifact_entries(&self) -> usize {
+        self.with_service(|s| s.artifact_entries())
+    }
+
+    pub(crate) fn counters(&self) -> &Counters {
+        &self.shared.counters
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Graceful shutdown: stops admitting, lets the dispatcher drain
+    /// every queued window (each waiter still receives its result), then
+    /// returns the wrapped service. Idempotent across clones — only the
+    /// first caller gets `Some(service)`.
+    pub fn shutdown(&self) -> Option<JuryService> {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.work.notify_all();
+        let handle = self.dispatcher.lock().expect("dispatcher handle poisoned").take()?;
+        handle.join().expect("dispatcher panicked");
+        let service = std::mem::replace(
+            &mut *self.shared.service.lock().expect("service poisoned"),
+            JuryService::new(),
+        );
+        Some(service)
+    }
+}
+
+impl Drop for Frontend {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Outcome of one queue scan: a batch to solve (with the service guard
+/// when greedy dispatch already claimed it), or how long to sleep.
+enum Dispatch<'a> {
+    Batch {
+        tasks: Vec<DecisionTask>,
+        waiters: Vec<Arc<Waiter>>,
+        service: Option<MutexGuard<'a, JuryService>>,
+    },
+    Sleep(Option<Duration>),
+    Exit,
+}
+
+fn scan<'a>(shared: &'a Shared, queue: &mut QueueState, now: Instant) -> Dispatch<'a> {
+    if queue.total_pending == 0 {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return Dispatch::Exit;
+        }
+        return Dispatch::Sleep(None);
+    }
+    let draining = shared.shutdown.load(Ordering::Acquire);
+    // Ready = full window, expired window, or (drain mode) anything.
+    // Among ready windows take the oldest; otherwise remember the
+    // earliest deadline to sleep toward.
+    let mut ready: Option<(&(String, PoolId), Instant)> = None;
+    let mut next_deadline: Option<Instant> = None;
+    for (key, window) in &queue.windows {
+        let full = window.tasks.len() >= shared.config.max_batch;
+        let deadline = window.opened + shared.config.max_delay;
+        if full || draining || now >= deadline {
+            if ready.is_none_or(|(_, opened)| window.opened < opened) {
+                ready = Some((key, window.opened));
+            }
+        } else if next_deadline.is_none_or(|d| deadline < d) {
+            next_deadline = Some(deadline);
+        }
+    }
+    // Adaptive greedy dispatch: nothing has hit its bound yet, but the
+    // solver is idle — ship the oldest window now rather than letting
+    // an idle solver wait out max_delay. `try_lock` under the queue
+    // lock is safe: submitters take the same q → service order and
+    // never block on the service while holding the queue.
+    let mut claimed = None;
+    if ready.is_none() {
+        if let Ok(guard) = shared.service.try_lock() {
+            claimed = Some(guard);
+            ready = queue
+                .windows
+                .iter()
+                .min_by_key(|(_, w)| w.opened)
+                .map(|(key, window)| (key, window.opened));
+        }
+    }
+    let Some((key, _)) = ready else {
+        return Dispatch::Sleep(next_deadline.map(|d| d.saturating_duration_since(now)));
+    };
+    let key = key.clone();
+    let window = queue.windows.get_mut(&key).expect("key just scanned");
+    let take = window.tasks.len().min(shared.config.max_batch);
+    let tasks: Vec<DecisionTask> = window.tasks.drain(..take).collect();
+    let waiters: Vec<Arc<Waiter>> = window.waiters.drain(..take).collect();
+    if window.tasks.is_empty() {
+        queue.windows.remove(&key);
+    } else {
+        // Leftovers beyond max_batch start a fresh delay clock.
+        window.opened = now;
+    }
+    queue.total_pending -= tasks.len();
+    if let Some(pending) = queue.tenant_pending.get_mut(&key.0) {
+        *pending = pending.saturating_sub(tasks.len());
+        if *pending == 0 {
+            queue.tenant_pending.remove(&key.0);
+        }
+    }
+    Dispatch::Batch { tasks, waiters, service: claimed }
+}
+
+fn dispatcher_loop(shared: &Shared) {
+    let mut solve_times: Vec<Duration> = Vec::new();
+    loop {
+        let (tasks, waiters, claimed) = {
+            let mut queue = shared.queue.lock().expect("queue poisoned");
+            loop {
+                match scan(shared, &mut queue, Instant::now()) {
+                    Dispatch::Exit => return,
+                    Dispatch::Batch { tasks, waiters, service } => break (tasks, waiters, service),
+                    Dispatch::Sleep(timeout) => {
+                        let wait = timeout.unwrap_or(Duration::from_millis(100));
+                        let (q, _) = shared.work.wait_timeout(queue, wait).expect("queue poisoned");
+                        queue = q;
+                    }
+                }
+            }
+        };
+        let dispatched = Instant::now();
+        let mut service = match claimed {
+            Some(guard) => guard,
+            None => shared.service.lock().expect("service poisoned"),
+        };
+        let results = service.solve_batch_shared_timed(&tasks, &mut solve_times);
+        drop(service);
+
+        let counters = &shared.counters;
+        counters.coalesced_windows.fetch_add(1, Ordering::Relaxed);
+        counters.coalesced_tasks.fetch_add(tasks.len() as u64, Ordering::Relaxed);
+        Counters::raise_max(&counters.max_window_occupancy, tasks.len() as u64);
+        let solved: u64 = solve_times.iter().map(|d| d.as_nanos() as u64).sum();
+        counters.solve_nanos.fetch_add(solved, Ordering::Relaxed);
+        let waited: u64 = waiters
+            .iter()
+            .map(|w| dispatched.saturating_duration_since(w.enqueued).as_nanos() as u64)
+            .sum();
+        counters.queue_wait_nanos.fetch_add(waited, Ordering::Relaxed);
+
+        for (waiter, result) in waiters.into_iter().zip(results) {
+            let mut slot = waiter.slot.lock().expect("waiter poisoned");
+            *slot = Some(result);
+            waiter.ready.notify_one();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jury_core::juror::pool_from_rates_and_costs;
+
+    fn service_with_pool() -> (JuryService, jury_service::PoolId) {
+        let jurors =
+            pool_from_rates_and_costs(&[(0.1, 0.2), (0.2, 0.1), (0.3, 0.4), (0.25, 0.3)]).unwrap();
+        let mut service = JuryService::new();
+        let pool = service.create_pool(jurors);
+        (service, pool)
+    }
+
+    #[test]
+    fn idle_submission_solves_inline() {
+        let (service, pool) = service_with_pool();
+        let frontend = Frontend::start(service, FrontendConfig::default());
+        let selection = frontend.submit("t0", DecisionTask::altruism(pool)).unwrap();
+        assert!(!selection.members.is_empty());
+        let stats = frontend.stats();
+        assert_eq!(stats.requests, 1);
+        assert_eq!(stats.inline_solves, 1);
+        assert_eq!(stats.coalesced_windows, 0);
+    }
+
+    #[test]
+    fn held_service_coalesces_concurrent_submissions() {
+        // Holding the service lock keeps every submission off the inline
+        // fast path and parks the dispatcher, so concurrent submissions
+        // pile into windows; releasing the lock ships them batched.
+        let (service, pool) = service_with_pool();
+        let frontend = Frontend::start(service, FrontendConfig::default());
+        let hold = std::sync::Barrier::new(2);
+        let release = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let fe = &frontend;
+            let (hold, release) = (&hold, &release);
+            scope.spawn(move || {
+                fe.with_service(|_| {
+                    hold.wait();
+                    while !release.load(Ordering::Acquire) {
+                        std::thread::yield_now();
+                    }
+                });
+            });
+            hold.wait();
+            for _ in 0..8 {
+                scope.spawn(move || {
+                    fe.submit("t0", DecisionTask::altruism(pool)).unwrap();
+                });
+            }
+            // Wait for all eight to queue behind the held lock before
+            // letting the dispatcher at them.
+            while fe.stats().requests < 8 {
+                std::thread::yield_now();
+            }
+            release.store(true, Ordering::Release);
+        });
+        let stats = frontend.stats();
+        assert_eq!(stats.requests, 8);
+        assert!(stats.coalesced_windows >= 1);
+        assert_eq!(stats.coalesced_tasks + stats.inline_solves, 8);
+        assert!(stats.max_window_occupancy >= 2, "held lock must coalesce: {stats:?}");
+    }
+
+    #[test]
+    fn tenant_overflow_is_rejected_with_retry_hint() {
+        let (service, pool) = service_with_pool();
+        let config = FrontendConfig { queue_capacity: 0, ..Default::default() };
+        let frontend = Frontend::start(service, config);
+        let err = frontend.submit("t0", DecisionTask::altruism(pool)).unwrap_err();
+        assert!(matches!(err, SubmitError::Overloaded { .. }));
+        assert_eq!(frontend.stats().queue_rejections, 1);
+        assert_eq!(frontend.stats().requests, 0, "rejected submissions are not admitted");
+    }
+
+    #[test]
+    fn shutdown_refuses_new_work_and_returns_the_service() {
+        let (service, pool) = service_with_pool();
+        let frontend = Frontend::start(service, FrontendConfig::default());
+        frontend.submit("t0", DecisionTask::altruism(pool)).unwrap();
+        let mut service = frontend.shutdown().expect("first shutdown returns the service");
+        assert!(frontend.shutdown().is_none(), "second shutdown is a no-op");
+        assert!(matches!(
+            frontend.submit("t0", DecisionTask::altruism(pool)),
+            Err(SubmitError::ShuttingDown)
+        ));
+        assert_eq!(service.stats().tasks_solved, 1);
+        assert!(service.solve(&DecisionTask::altruism(pool)).is_ok());
+    }
+}

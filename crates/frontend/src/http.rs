@@ -1,0 +1,307 @@
+//! The std-only HTTP layer: one acceptor thread feeding a fixed worker
+//! pool over an [`mpsc`] channel. Each worker owns one connection at a
+//! time and runs its keep-alive loop; protocol failures answer a
+//! structured wire error (best-effort) and close that connection only —
+//! the acceptor and the coalescing queue never see them.
+
+use crate::coalesce::{Frontend, SubmitError};
+use crate::proto::{self, Conn, ReadOutcome, Request};
+use jury_core::wire::{Envelope, WireError};
+use jury_service::{DecisionTask, JuryService, ServiceError};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+/// How often blocked reads wake to poll the stop flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// The HTTP front door over a [`Frontend`]. See the crate docs for the
+/// protocol.
+pub struct HttpServer {
+    frontend: Arc<Frontend>,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts the acceptor plus `workers` connection handlers.
+    pub fn start(frontend: Arc<Frontend>, addr: &str, workers: usize) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let (sender, receiver) = mpsc::channel::<TcpStream>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                let frontend = Arc::clone(&frontend);
+                let stop = Arc::clone(&stop);
+                std::thread::Builder::new()
+                    .name(format!("jury-http-{i}"))
+                    .spawn(move || {
+                        // Channel closed = acceptor gone = shutdown.
+                        loop {
+                            let next = receiver.lock().expect("receiver poisoned").recv();
+                            match next {
+                                Ok(stream) => handle_connection(stream, &frontend, &stop),
+                                Err(_) => return,
+                            }
+                        }
+                    })
+                    .expect("spawn http worker")
+            })
+            .collect();
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("jury-accept".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+                        let _ = stream.set_nodelay(true);
+                        if sender.send(stream).is_err() {
+                            break;
+                        }
+                    }
+                    // Dropping the sender drains the workers.
+                })
+                .expect("spawn acceptor")
+        };
+        Ok(Self { frontend, addr, stop, acceptor: Some(acceptor), workers })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The coalescing front-end this server feeds.
+    pub fn frontend(&self) -> &Arc<Frontend> {
+        &self.frontend
+    }
+
+    /// Graceful shutdown: stops accepting, lets in-flight requests
+    /// finish, drains the coalescing queue, and returns the wrapped
+    /// service (None if another handle already claimed it).
+    pub fn shutdown(mut self) -> Option<JuryService> {
+        self.stop_http();
+        self.frontend.shutdown()
+    }
+
+    fn stop_http(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock the acceptor with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        if self.acceptor.is_some() {
+            self.stop_http();
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, frontend: &Arc<Frontend>, stop: &AtomicBool) {
+    let mut conn = Conn::new(stream);
+    loop {
+        match conn.read_request(stop) {
+            ReadOutcome::Closed => return,
+            ReadOutcome::Malformed(msg) => {
+                // Best-effort 400 — the peer may already be gone, which
+                // is fine; the point is this worker survives.
+                count_malformed(frontend);
+                let _ = respond_error(&mut conn, 400, None, false, "bad-request", msg);
+                return;
+            }
+            ReadOutcome::TooLarge => {
+                count_malformed(frontend);
+                let _ = respond_error(
+                    &mut conn,
+                    413,
+                    None,
+                    false,
+                    "too-large",
+                    "request exceeds the configured size limits",
+                );
+                return;
+            }
+            ReadOutcome::Request(request) => {
+                let keep_alive = request.keep_alive;
+                if route(&mut conn, frontend, request).is_err() || !keep_alive {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn count_malformed(frontend: &Frontend) {
+    frontend.counters().malformed_requests.fetch_add(1, Ordering::Relaxed);
+}
+
+fn respond_error(
+    conn: &mut Conn,
+    status: u16,
+    retry_after: Option<Duration>,
+    keep_alive: bool,
+    kind: &str,
+    message: &str,
+) -> io::Result<()> {
+    let mut error = WireError::new(kind, message);
+    if let Some(delay) = retry_after {
+        error = error.with_retry_after(delay.as_millis() as u64);
+    }
+    let body = serde::json::to_string(&Envelope::err(error));
+    proto::write_response(&mut conn.stream, status, retry_after, keep_alive, &body)
+}
+
+fn respond_ok<T: serde::Serialize>(
+    conn: &mut Conn,
+    keep_alive: bool,
+    result: &T,
+) -> io::Result<()> {
+    let body = serde::json::to_string(&Envelope::ok(result));
+    proto::write_response(&mut conn.stream, 200, None, keep_alive, &body)
+}
+
+fn route(conn: &mut Conn, frontend: &Arc<Frontend>, request: Request) -> io::Result<()> {
+    let keep = request.keep_alive;
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/v1/solve") => {
+            let parsed: Result<SolveRequest, _> = parse_body(&request.body);
+            let solve = match parsed {
+                Ok(solve) => solve,
+                Err(msg) => {
+                    count_malformed(frontend);
+                    return respond_error(conn, 400, None, keep, "bad-request", &msg);
+                }
+            };
+            match frontend.submit(&solve.tenant, solve.task) {
+                Ok(selection) => respond_ok(conn, keep, &*selection),
+                Err(SubmitError::Overloaded { retry_after }) => respond_error(
+                    conn,
+                    429,
+                    Some(retry_after),
+                    keep,
+                    "overloaded",
+                    "tenant queue is full",
+                ),
+                Err(SubmitError::ShuttingDown) => {
+                    respond_error(conn, 503, None, keep, "shutting-down", "front-end is draining")
+                }
+                Err(SubmitError::Service(err)) => {
+                    let status = match err {
+                        ServiceError::UnknownPool(_) => 404,
+                        _ => 422,
+                    };
+                    respond_error(conn, status, None, keep, error_kind(&err), &err.to_string())
+                }
+            }
+        }
+        ("POST", "/v1/pools") => {
+            if frontend.is_shutting_down() {
+                return respond_error(
+                    conn,
+                    503,
+                    None,
+                    keep,
+                    "shutting-down",
+                    "front-end is draining",
+                );
+            }
+            let parsed: Result<CreatePool, _> = parse_body(&request.body);
+            match parsed {
+                Ok(create) => {
+                    let pool = frontend.with_service(|s| s.create_pool(create.jurors));
+                    respond_ok(conn, keep, &PoolCreated { pool })
+                }
+                Err(msg) => {
+                    count_malformed(frontend);
+                    respond_error(conn, 400, None, keep, "bad-request", &msg)
+                }
+            }
+        }
+        ("GET", "/stats") => {
+            use serde::Serialize;
+            let service = frontend.service_stats();
+            let entries = frontend.artifact_entries();
+            let stats = serde::Value::object([
+                ("service", service.to_value()),
+                ("frontend", frontend.stats().to_value()),
+                ("artifact_entries", entries.to_value()),
+            ]);
+            respond_ok(conn, keep, &stats)
+        }
+        _ => {
+            count_malformed(frontend);
+            respond_error(conn, 404, None, keep, "not-found", "no such route")
+        }
+    }
+}
+
+fn error_kind(err: &ServiceError) -> &'static str {
+    match err {
+        ServiceError::UnknownPool(_) => "unknown-pool",
+        ServiceError::JurorOutOfRange { .. } => "juror-out-of-range",
+        ServiceError::Solver(_) => "solver",
+    }
+}
+
+fn parse_body<T: serde::Deserialize>(body: &[u8]) -> Result<T, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    serde::json::from_str(text).map_err(|e| e.to_string())
+}
+
+struct SolveRequest {
+    tenant: String,
+    task: DecisionTask,
+}
+
+impl serde::Deserialize for SolveRequest {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let tenant = value
+            .get("tenant")
+            .ok_or_else(|| serde::Error::missing_field("tenant"))
+            .and_then(String::from_value)?;
+        let task = value.get("task").ok_or_else(|| serde::Error::missing_field("task"))?;
+        Ok(Self { tenant, task: DecisionTask::from_value(task)? })
+    }
+}
+
+struct CreatePool {
+    jurors: Vec<jury_core::juror::Juror>,
+}
+
+impl serde::Deserialize for CreatePool {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let jurors = value.get("jurors").ok_or_else(|| serde::Error::missing_field("jurors"))?;
+        Ok(Self { jurors: Vec::from_value(jurors)? })
+    }
+}
+
+struct PoolCreated {
+    pool: jury_service::PoolId,
+}
+
+impl serde::Serialize for PoolCreated {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::object([("pool", self.pool.to_value())])
+    }
+}

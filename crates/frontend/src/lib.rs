@@ -1,0 +1,126 @@
+//! Coalescing HTTP/1.1 front-end for the jury-selection service.
+//!
+//! The serving library ([`jury_service`]) solves decision tasks at
+//! millions per second *when handed batches*; real micro-blog traffic
+//! arrives as independent single-task requests. This crate closes that
+//! gap with an [adaptive coalescing queue](coalesce) that merges
+//! concurrent arrivals into `solve_batch_shared` windows, plus a
+//! std-only HTTP layer (no async runtime — a dedicated acceptor thread
+//! and a small worker pool over [`std::net`], matching the workspace's
+//! offline vendored-shim approach).
+//!
+//! # Protocol
+//!
+//! JSON over HTTP/1.1 with keep-alive; `Content-Length` framing only.
+//! Every response body is a [`jury_core::wire::Envelope`]:
+//! `{"ok": true, "result": …}` or
+//! `{"ok": false, "error": {"kind": …, "message": …}}` (plus
+//! `retry_after_ms` on backpressure refusals, mirrored in the HTTP
+//! `Retry-After` header).
+//!
+//! | Route | Body | Result |
+//! |---|---|---|
+//! | `POST /v1/solve` | `{"tenant": "…", "task": {"pool": N, "task": {"model": "altruism"}}}` | the [`Selection`](jury_core::problem::Selection) |
+//! | `POST /v1/pools` | `{"jurors": [{"id": …, "error_rate": …, "cost": …}, …]}` | `{"pool": N}` |
+//! | `GET /stats` | — | `{"service": ServiceStats, "frontend": FrontendStats, "artifact_entries": N}` |
+//!
+//! PayM tasks use `{"model": "pay-as-you-go", "budget": b}` — the
+//! adjacently-tagged [`jury_core::model::CrowdModel`] wire form.
+//!
+//! Error statuses: `400` malformed request (JSON or framing), `404`
+//! unknown route or pool, `413` oversized body, `429` tenant queue full
+//! (with `Retry-After`), `503` shutting down. Protocol failures never
+//! kill the acceptor and never poison a coalescing window: the worker
+//! answers (or abandons a half-read connection) and moves on.
+//!
+//! # Coalescing window semantics & backpressure
+//!
+//! See the [`coalesce`] module docs: windows are keyed by
+//! `(tenant, pool)`, close on max-batch / max-delay / idle-service
+//! (whichever first), solo arrivals on an idle service solve inline on
+//! the handler thread, and per-tenant admission control refuses work
+//! beyond [`FrontendConfig::queue_capacity`] *before* it queues.
+//! Graceful [`shutdown`](Frontend::shutdown) stops admitting, drains
+//! every queued window (each waiter still gets its answer), then hands
+//! the wrapped [`JuryService`](jury_service::JuryService) back.
+
+pub mod client;
+mod coalesce;
+mod http;
+mod proto;
+
+pub use coalesce::{Frontend, FrontendConfig, FrontendStats, SubmitError};
+pub use http::HttpServer;
+
+use serde::{Deserialize, Error as SerdeError, Serialize, Value};
+
+impl Serialize for FrontendStats {
+    fn to_value(&self) -> Value {
+        Value::object([
+            ("requests", self.requests.to_value()),
+            ("inline_solves", self.inline_solves.to_value()),
+            ("coalesced_windows", self.coalesced_windows.to_value()),
+            ("coalesced_tasks", self.coalesced_tasks.to_value()),
+            ("max_window_occupancy", self.max_window_occupancy.to_value()),
+            ("queue_rejections", self.queue_rejections.to_value()),
+            ("queue_depth_highwater", self.queue_depth_highwater.to_value()),
+            ("malformed_requests", self.malformed_requests.to_value()),
+            ("queue_wait_nanos", self.queue_wait_nanos.to_value()),
+            ("solve_nanos", self.solve_nanos.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for FrontendStats {
+    /// Missing counters read as zero and unknown counters are ignored,
+    /// so `/stats` consumers keep working across front-end versions.
+    fn from_value(value: &Value) -> Result<Self, SerdeError> {
+        if !matches!(value, Value::Object(_)) {
+            return Err(SerdeError::expected("a front-end stats object", value));
+        }
+        let counter = |name: &str| -> Result<u64, SerdeError> {
+            value.get(name).map_or(Ok(0), u64::from_value)
+        };
+        Ok(Self {
+            requests: counter("requests")?,
+            inline_solves: counter("inline_solves")?,
+            coalesced_windows: counter("coalesced_windows")?,
+            coalesced_tasks: counter("coalesced_tasks")?,
+            max_window_occupancy: counter("max_window_occupancy")?,
+            queue_rejections: counter("queue_rejections")?,
+            queue_depth_highwater: counter("queue_depth_highwater")?,
+            malformed_requests: counter("malformed_requests")?,
+            queue_wait_nanos: counter("queue_wait_nanos")?,
+            solve_nanos: counter("solve_nanos")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::json;
+
+    #[test]
+    fn frontend_stats_round_trip() {
+        let stats = FrontendStats {
+            requests: 101,
+            inline_solves: 7,
+            coalesced_windows: 5,
+            coalesced_tasks: 94,
+            max_window_occupancy: 40,
+            queue_rejections: 3,
+            queue_depth_highwater: 61,
+            malformed_requests: 2,
+            queue_wait_nanos: 123_456_789,
+            solve_nanos: 42_000,
+        };
+        let text = json::to_string(&stats);
+        let back: FrontendStats = json::from_str(&text).unwrap();
+        assert_eq!(back, stats);
+
+        let lax: FrontendStats = json::from_str(r#"{"requests": 9, "new_counter": 1}"#).unwrap();
+        assert_eq!(lax, FrontendStats { requests: 9, ..Default::default() });
+        assert!(json::from_str::<FrontendStats>("[]").is_err());
+    }
+}

@@ -1,0 +1,150 @@
+//! Protocol error paths over a live server: every failure mode answers
+//! a structured wire error (or silently drops a vanished peer), and
+//! none of them kill the acceptor, a worker, or a coalescing window.
+
+use jury_core::juror::pool_from_rates_and_costs;
+use jury_frontend::client::Client;
+use jury_frontend::{Frontend, FrontendConfig, HttpServer};
+use jury_service::{DecisionTask, JuryService, PoolId};
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+fn start_server(config: FrontendConfig) -> (HttpServer, PoolId) {
+    let jurors =
+        pool_from_rates_and_costs(&[(0.1, 0.2), (0.2, 0.1), (0.3, 0.4), (0.25, 0.3)]).unwrap();
+    let mut service = JuryService::new();
+    let pool = service.create_pool(jurors);
+    let frontend = Frontend::start(service, config);
+    let server = HttpServer::start(frontend, "127.0.0.1:0", 2).unwrap();
+    (server, pool)
+}
+
+fn wait_for<T>(mut probe: impl FnMut() -> Option<T>, what: &str) -> T {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if let Some(value) = probe() {
+            return value;
+        }
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn protocol_failures_answer_structured_errors_and_spare_the_server() {
+    let (server, pool) = start_server(FrontendConfig::default());
+    let addr = server.local_addr();
+
+    // Malformed JSON body: 400 with a wire error, connection stays up
+    // for the next (valid) request.
+    let mut client = Client::connect(addr).unwrap();
+    let response = client.request("POST", "/v1/solve", Some("{this is not json")).unwrap();
+    assert_eq!(response.status, 400);
+    assert_eq!(response.result.unwrap_err().kind, "bad-request");
+    let solved = client.solve("t0", &DecisionTask::altruism(pool)).unwrap().unwrap();
+    assert!(!solved.members.is_empty(), "same connection keeps working after a 400");
+
+    // Unknown pool id: 404 with kind unknown-pool.
+    let ghost = server.frontend().with_service(|s| {
+        let ghost = s.create_pool(pool_from_rates_and_costs(&[(0.2, 0.1)]).unwrap());
+        s.remove_pool(ghost).unwrap();
+        ghost
+    });
+    let err = client.solve("t0", &DecisionTask::altruism(ghost)).unwrap().unwrap_err();
+    assert_eq!(err.kind, "unknown-pool");
+
+    // Unknown route: 404, still structured.
+    let response = client.request("GET", "/v1/nope", None).unwrap();
+    assert_eq!(response.status, 404);
+    assert_eq!(response.result.unwrap_err().kind, "not-found");
+
+    // Solver refusal (empty pool): 422, kind solver. Invalid budgets
+    // never get this far — the wire layer re-validates them at parse
+    // time and answers 400.
+    let empty = server.frontend().with_service(|s| s.create_pool(Vec::new()));
+    let response = client.solve("t0", &DecisionTask::altruism(empty)).unwrap();
+    assert_eq!(response.unwrap_err().kind, "solver");
+    let response = client
+        .request(
+            "POST",
+            "/v1/solve",
+            Some(r#"{"tenant": "t0", "task": {"pool": 0, "task": {"model": "pay-as-you-go", "budget": -1}}}"#),
+        )
+        .unwrap();
+    assert_eq!(response.status, 400);
+    assert_eq!(response.result.unwrap_err().kind, "bad-request");
+
+    // Oversized request: the declared body busts the cap, so the 413
+    // arrives before any body byte is read (or sent).
+    let mut big = TcpStream::connect(addr).unwrap();
+    big.write_all(b"POST /v1/solve HTTP/1.1\r\ncontent-length: 10000000\r\n\r\n").unwrap();
+    let mut status_line = Vec::new();
+    std::io::Read::read_to_end(&mut big, &mut status_line).unwrap();
+    let text = String::from_utf8_lossy(&status_line);
+    assert!(text.starts_with("HTTP/1.1 413"), "got: {text}");
+    assert!(text.contains("too-large"), "got: {text}");
+
+    // Mid-request disconnects (half a head; a declared body that never
+    // arrives) are abandoned without hurting anyone else.
+    let before = server.frontend().stats().malformed_requests;
+    {
+        let mut half_head = TcpStream::connect(addr).unwrap();
+        half_head.write_all(b"POST /v1/solve HT").unwrap();
+    }
+    {
+        let mut half_body = TcpStream::connect(addr).unwrap();
+        half_body
+            .write_all(b"POST /v1/solve HTTP/1.1\r\ncontent-length: 64\r\n\r\n{\"ten")
+            .unwrap();
+    }
+    wait_for(
+        || (server.frontend().stats().malformed_requests >= before + 2).then_some(()),
+        "disconnects to be abandoned",
+    );
+
+    // The acceptor and the coalescing machinery shrug all of it off.
+    let mut fresh = Client::connect(addr).unwrap();
+    let solved = fresh.solve("t0", &DecisionTask::altruism(pool)).unwrap().unwrap();
+    assert!(!solved.members.is_empty());
+    let stats = fresh.stats().unwrap().unwrap();
+    assert!(stats.frontend.malformed_requests >= 4, "400/404s and disconnects are counted");
+    assert!(stats.service.tasks_solved >= 2);
+    assert_eq!(stats.frontend.queue_rejections, 0);
+
+    let service = server.shutdown().expect("server returns the service");
+    assert!(service.stats().tasks_solved >= 2);
+}
+
+#[test]
+fn overflow_returns_429_with_retry_hint() {
+    let (server, pool) = start_server(FrontendConfig {
+        queue_capacity: 0,
+        max_delay: Duration::from_millis(10),
+        ..Default::default()
+    });
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let err = client.solve("t0", &DecisionTask::altruism(pool)).unwrap().unwrap_err();
+    assert_eq!(err.kind, "overloaded");
+    assert_eq!(err.retry_after_ms, Some(10), "the body carries the precise backoff");
+    let stats = client.stats().unwrap().unwrap();
+    assert_eq!(stats.frontend.queue_rejections, 1);
+    assert_eq!(stats.frontend.requests, 0, "rejected work is never admitted");
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn pools_register_over_the_wire_and_solve() {
+    let (server, _) = start_server(FrontendConfig::default());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let jurors = pool_from_rates_and_costs(&[(0.15, 0.3), (0.22, 0.2), (0.31, 0.5)]).unwrap();
+    let pool = client.create_pool(&jurors).unwrap().unwrap();
+    let selection = client.solve("t9", &DecisionTask::altruism(pool)).unwrap().unwrap();
+    let direct =
+        server.frontend().with_service(|s| s.solve(&DecisionTask::altruism(pool))).unwrap();
+    assert_eq!(selection.members, direct.members);
+    assert_eq!(selection.jer.to_bits(), direct.jer.to_bits());
+    drop(client);
+    server.shutdown();
+}

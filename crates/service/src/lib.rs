@@ -239,6 +239,7 @@ use shard::{reinsert_eps, reinsert_greedy, renumber_out, MutationEffect, Sharded
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 use store::{
     translate_selection, ArtifactSet, ArtifactStore, Attach, LayoutKey, PermutedView, StoreKey,
     StoreLink,
@@ -358,6 +359,41 @@ impl From<JuryError> for ServiceError {
     }
 }
 
+impl Serialize for ServiceError {
+    fn to_value(&self) -> Value {
+        match self {
+            Self::UnknownPool(id) => {
+                Value::object([("kind", "unknown-pool".to_value()), ("pool", id.to_value())])
+            }
+            Self::JurorOutOfRange { pool, index, len } => Value::object([
+                ("kind", "juror-out-of-range".to_value()),
+                ("pool", pool.to_value()),
+                ("index", index.to_value()),
+                ("len", len.to_value()),
+            ]),
+            Self::Solver(e) => {
+                Value::object([("kind", "solver".to_value()), ("error", e.to_value())])
+            }
+        }
+    }
+}
+
+impl Deserialize for ServiceError {
+    fn from_value(value: &Value) -> Result<Self, SerdeError> {
+        let field = |name: &str| value.get(name).ok_or_else(|| SerdeError::missing_field(name));
+        match value.get("kind").and_then(Value::as_str) {
+            Some("unknown-pool") => Ok(Self::UnknownPool(PoolId::from_value(field("pool")?)?)),
+            Some("juror-out-of-range") => Ok(Self::JurorOutOfRange {
+                pool: PoolId::from_value(field("pool")?)?,
+                index: usize::from_value(field("index")?)?,
+                len: usize::from_value(field("len")?)?,
+            }),
+            Some("solver") => Ok(Self::Solver(JuryError::from_value(field("error")?)?)),
+            _ => Err(SerdeError::expected("a service error object", value)),
+        }
+    }
+}
+
 /// Tuning knobs for a [`JuryService`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServiceConfig {
@@ -375,6 +411,20 @@ pub struct ServiceConfig {
     /// for the fingerprint contract). Turning it off makes every pool
     /// build privately — the `multi_tenant_throughput` bench's baseline.
     pub share_artifacts: bool,
+    /// TTL/idle eviction for **orphaned** warm-artifact entries. With the
+    /// default `None`, an entry is evicted the instant its last holder
+    /// detaches (refcount eviction — today's behaviour, and the cheapest:
+    /// sole holders reclaim artifacts zero-copy). With `Some(ttl)`,
+    /// detaches leave the entry interned and *stamp* it orphaned instead;
+    /// a pool whose content returns within `ttl` re-joins the warm entry
+    /// (impossible under refcount eviction), and entries that stay
+    /// orphaned past `ttl` are reaped by the sweep that runs after every
+    /// mutation / pool removal (or explicitly via
+    /// [`JuryService::sweep_artifact_ttl`]), counted by
+    /// [`ServiceStats::store_ttl_evictions`]. The trade: detaches lose
+    /// the sole-holder zero-copy reclaim (they clone what repairs touch),
+    /// and orphans hold memory for up to `ttl`.
+    pub store_ttl: Option<Duration>,
 }
 
 impl Default for ServiceConfig {
@@ -385,6 +435,7 @@ impl Default for ServiceConfig {
             pay: PayConfig::default(),
             shard: ShardConfig::default(),
             share_artifacts: true,
+            store_ttl: None,
         }
     }
 }
@@ -483,6 +534,73 @@ pub struct ServiceStats {
     /// matched an existing entry (content-verified) and the pool dropped
     /// its private copy for the shared one.
     pub artifact_rejoins: usize,
+    /// Orphaned warm-artifact entries reaped by the TTL sweep — entries
+    /// no pool held for longer than [`ServiceConfig::store_ttl`]. Stays
+    /// zero under the default refcount-eviction policy.
+    pub store_ttl_evictions: usize,
+}
+
+impl Serialize for ServiceStats {
+    fn to_value(&self) -> Value {
+        Value::object([
+            ("tasks_solved", self.tasks_solved.to_value()),
+            ("cache_hits", self.cache_hits.to_value()),
+            ("cache_builds", self.cache_builds.to_value()),
+            ("batches", self.batches.to_value()),
+            ("cache_invalidations", self.cache_invalidations.to_value()),
+            ("order_repairs", self.order_repairs.to_value()),
+            ("staircase_hits", self.staircase_hits.to_value()),
+            ("pmf_repairs", self.pmf_repairs.to_value()),
+            ("pmf_rebuilds", self.pmf_rebuilds.to_value()),
+            ("shard_repairs", self.shard_repairs.to_value()),
+            ("full_repairs", self.full_repairs.to_value()),
+            ("profile_repairs", self.profile_repairs.to_value()),
+            ("bound_pruned", self.bound_pruned.to_value()),
+            ("degenerate_shards", self.degenerate_shards.to_value()),
+            ("artifact_share_hits", self.artifact_share_hits.to_value()),
+            ("artifact_detaches", self.artifact_detaches.to_value()),
+            ("artifact_rejoins", self.artifact_rejoins.to_value()),
+            ("store_ttl_evictions", self.store_ttl_evictions.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for ServiceStats {
+    fn from_value(value: &Value) -> Result<Self, SerdeError> {
+        if !matches!(value, Value::Object(_)) {
+            return Err(SerdeError::expected("a stats object", value));
+        }
+        Ok(Self {
+            tasks_solved: stat_field(value, "tasks_solved")?,
+            cache_hits: stat_field(value, "cache_hits")?,
+            cache_builds: stat_field(value, "cache_builds")?,
+            batches: stat_field(value, "batches")?,
+            cache_invalidations: stat_field(value, "cache_invalidations")?,
+            order_repairs: stat_field(value, "order_repairs")?,
+            staircase_hits: stat_field(value, "staircase_hits")?,
+            pmf_repairs: stat_field(value, "pmf_repairs")?,
+            pmf_rebuilds: stat_field(value, "pmf_rebuilds")?,
+            shard_repairs: stat_field(value, "shard_repairs")?,
+            full_repairs: stat_field(value, "full_repairs")?,
+            profile_repairs: stat_field(value, "profile_repairs")?,
+            bound_pruned: stat_field(value, "bound_pruned")?,
+            degenerate_shards: stat_field(value, "degenerate_shards")?,
+            artifact_share_hits: stat_field(value, "artifact_share_hits")?,
+            artifact_detaches: stat_field(value, "artifact_detaches")?,
+            artifact_rejoins: stat_field(value, "artifact_rejoins")?,
+            store_ttl_evictions: stat_field(value, "store_ttl_evictions")?,
+        })
+    }
+}
+
+/// Reads one counter field. Missing fields read as zero so stats
+/// payloads stay forward-compatible: an older client can parse a newer
+/// server's `/stats` (extra counters ignored by lookup) and vice versa.
+fn stat_field(value: &Value, name: &str) -> Result<usize, SerdeError> {
+    match value.get(name) {
+        None => Ok(0),
+        Some(v) => usize::from_value(v),
+    }
 }
 
 /// The solved AltrM answer of one pool snapshot: shared so batch
@@ -740,8 +858,9 @@ impl JuryService {
         let jurors = entry.jurors;
         drop(entry.state);
         if let Some(key) = key {
-            self.store.evict_if_orphaned(&key);
+            self.store.release(&key, self.config.store_ttl.is_some());
         }
+        self.sweep_store_ttl();
         Ok(jurors)
     }
 
@@ -820,6 +939,7 @@ impl JuryService {
     /// promoted to sharded (a full rebuild).
     pub fn insert_juror(&mut self, pool: PoolId, juror: Juror) -> Result<usize, ServiceError> {
         let shard_config = self.config.shard;
+        let ttl_enabled = self.config.store_ttl.is_some();
         let Self { pools, store, .. } = &mut *self;
         let entry = pools.get_mut(&pool.0).ok_or(ServiceError::UnknownPool(pool))?;
         let promote = matches!(entry.state, PoolState::Flat { .. })
@@ -829,9 +949,9 @@ impl JuryService {
         // attachment is merely dropped — never materialised into the
         // private copy an in-place repair would need.
         let detached = if promote {
-            discard_flat_share(store, &mut entry.state)
+            discard_flat_share(store, &mut entry.state, ttl_enabled)
         } else {
-            detach_pool(store, &mut entry.state)
+            detach_pool(store, &mut entry.state, ttl_enabled)
         };
         entry.fp.insert(&juror);
         entry.jurors.push(juror);
@@ -884,6 +1004,7 @@ impl JuryService {
         index: usize,
         juror: Juror,
     ) -> Result<(), ServiceError> {
+        let ttl_enabled = self.config.store_ttl.is_some();
         let Self { pools, store, .. } = &mut *self;
         let entry = pools.get_mut(&pool.0).ok_or(ServiceError::UnknownPool(pool))?;
         let len = entry.jurors.len();
@@ -895,7 +1016,7 @@ impl JuryService {
         let old = *slot;
         *slot = juror;
         entry.fp.replace(&old, &juror);
-        let detached = detach_pool(store, &mut entry.state);
+        let detached = detach_pool(store, &mut entry.state, ttl_enabled);
         let effect = match &mut entry.state {
             PoolState::Flat { cache } => match cache {
                 FlatCache::Private(c) => repair_flat_update(c, &entry.jurors, index, &old),
@@ -915,13 +1036,14 @@ impl JuryService {
     /// the surviving positions.
     pub fn remove_juror(&mut self, pool: PoolId, index: usize) -> Result<Juror, ServiceError> {
         let degenerate_percent = self.config.shard.degenerate_percent;
+        let ttl_enabled = self.config.store_ttl.is_some();
         let Self { pools, store, .. } = &mut *self;
         let entry = pools.get_mut(&pool.0).ok_or(ServiceError::UnknownPool(pool))?;
         let len = entry.jurors.len();
         if index >= len {
             return Err(ServiceError::JurorOutOfRange { pool, index, len });
         }
-        let detached = detach_pool(store, &mut entry.state);
+        let detached = detach_pool(store, &mut entry.state, ttl_enabled);
         let effect = match &mut entry.state {
             PoolState::Flat { cache } => match cache {
                 FlatCache::Private(c) => repair_flat_remove(c, index),
@@ -951,6 +1073,11 @@ impl JuryService {
     /// private — repairs keep their in-place cost and the store stays
     /// bounded by live content states.
     fn settle_after_mutation(&mut self, pool: PoolId, detached: Option<bool>) {
+        self.settle_after_mutation_inner(pool, detached);
+        self.sweep_store_ttl();
+    }
+
+    fn settle_after_mutation_inner(&mut self, pool: PoolId, detached: Option<bool>) {
         let had_siblings = match detached {
             Some(siblings) => {
                 self.stats.artifact_detaches += 1;
@@ -1028,6 +1155,31 @@ impl JuryService {
                 }
             }
         }
+    }
+
+    /// Runs the idle-orphan sweep when [`ServiceConfig::store_ttl`] is
+    /// set: store entries no live pool holds (stamped at release time)
+    /// are evicted once they have sat unclaimed past the TTL. A no-op
+    /// under the default refcount policy, where orphans never outlive
+    /// the releasing mutation. Called after every mutation and pool
+    /// removal; also reachable directly via
+    /// [`JuryService::sweep_artifact_ttl`] for idle services.
+    fn sweep_store_ttl(&mut self) {
+        if let Some(ttl) = self.config.store_ttl {
+            self.stats.store_ttl_evictions += self.store.sweep_ttl(ttl);
+        }
+    }
+
+    /// Explicitly sweeps TTL-expired orphan entries from the artifact
+    /// store, returning how many were evicted this call. Mutations and
+    /// pool removals sweep automatically; this entry point exists for
+    /// services that go idle after a burst of churn and want the memory
+    /// back without waiting for the next mutation. No-op (returns 0)
+    /// when [`ServiceConfig::store_ttl`] is `None`.
+    pub fn sweep_artifact_ttl(&mut self) -> usize {
+        let before = self.stats.store_ttl_evictions;
+        self.sweep_store_ttl();
+        self.stats.store_ttl_evictions - before
     }
 
     /// Folds one mutation's repair outcome into the stats counters.
@@ -1582,7 +1734,10 @@ impl JuryService {
     /// traffic that is one member-list copy per task;
     /// [`JuryService::solve_batch_shared`] skips those copies.
     pub fn solve_batch(&mut self, tasks: &[DecisionTask]) -> Vec<Result<Selection, ServiceError>> {
-        self.solve_batch_arcs(tasks).into_iter().map(|r| r.map(Arc::unwrap_or_clone)).collect()
+        self.solve_batch_arcs(tasks, None)
+            .into_iter()
+            .map(|r| r.map(Arc::unwrap_or_clone))
+            .collect()
     }
 
     /// [`JuryService::solve_batch`] with *shared* results: tasks that
@@ -1597,12 +1752,33 @@ impl JuryService {
         &mut self,
         tasks: &[DecisionTask],
     ) -> Vec<Result<Arc<Selection>, ServiceError>> {
-        self.solve_batch_arcs(tasks)
+        self.solve_batch_arcs(tasks, None)
+    }
+
+    /// [`JuryService::solve_batch_shared`] with a per-task timing hook:
+    /// `per_task_solve` is cleared and refilled with one wall-clock
+    /// duration per task, measuring only that task's *solver* time —
+    /// front-ends subtract it from end-to-end latency to separate
+    /// queueing delay from solve time. The shared warm phase (pool
+    /// warming, staircase recording) is deliberately excluded: it is
+    /// batch-level work no single task owns, so each task's duration is
+    /// its marginal cost on an already-warm service. The untimed entry
+    /// points compile out the clock reads entirely — replay-heavy hot
+    /// paths pay nothing for this hook existing.
+    pub fn solve_batch_shared_timed(
+        &mut self,
+        tasks: &[DecisionTask],
+        per_task_solve: &mut Vec<Duration>,
+    ) -> Vec<Result<Arc<Selection>, ServiceError>> {
+        per_task_solve.clear();
+        per_task_solve.resize(tasks.len(), Duration::ZERO);
+        self.solve_batch_arcs(tasks, Some(per_task_solve))
     }
 
     fn solve_batch_arcs(
         &mut self,
         tasks: &[DecisionTask],
+        timings: Option<&mut Vec<Duration>>,
     ) -> Vec<Result<Arc<Selection>, ServiceError>> {
         // Small batches (notably batch = 1, the interactive case) skip
         // the batch machinery entirely — no repeated-budget scan, no
@@ -1619,7 +1795,19 @@ impl JuryService {
             // when it fails (unknown pools included).
             self.stats.cache_hits += tasks.iter().filter(|t| self.is_warm_for(t)).count();
             let solved_before = self.stats.tasks_solved;
-            let out = tasks.iter().map(|task| self.solve_one_arc(task, false)).collect();
+            let out = match timings {
+                None => tasks.iter().map(|task| self.solve_one_arc(task, false)).collect(),
+                Some(buf) => tasks
+                    .iter()
+                    .zip(buf.iter_mut())
+                    .map(|(task, slot)| {
+                        let started = Instant::now();
+                        let result = self.solve_one_arc(task, false);
+                        *slot = started.elapsed();
+                        result
+                    })
+                    .collect(),
+            };
             self.stats.tasks_solved = solved_before + tasks.len();
             return out;
         }
@@ -1693,8 +1881,19 @@ impl JuryService {
             self.effective_threads().min(tasks.len().div_ceil(MIN_TASKS_PER_WORKER)).max(1);
         if threads == 1 {
             let mut scratch = self.scratches.pop().unwrap_or_default();
-            let out: Vec<_> =
-                tasks.iter().map(|task| self.solve_prewarmed(task, &mut scratch)).collect();
+            let out: Vec<_> = match timings {
+                None => tasks.iter().map(|task| self.solve_prewarmed(task, &mut scratch)).collect(),
+                Some(buf) => tasks
+                    .iter()
+                    .zip(buf.iter_mut())
+                    .map(|(task, slot)| {
+                        let started = Instant::now();
+                        let result = self.solve_prewarmed(task, &mut scratch);
+                        *slot = started.elapsed();
+                        result
+                    })
+                    .collect(),
+            };
             self.scratches.push(scratch);
             return out;
         }
@@ -1709,19 +1908,40 @@ impl JuryService {
         let pools = &self.pools;
         let config = &self.config;
 
+        let mut timing_chunks: Vec<Option<&mut [Duration]>> = match timings {
+            Some(buf) => buf.chunks_mut(chunk_len).map(Some).collect(),
+            None => (0..n_chunks).map(|_| None).collect(),
+        };
+
         let mut out = Vec::with_capacity(tasks.len());
         let mut returned = Vec::with_capacity(threads);
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(threads);
-            for (chunk, mut scratch) in tasks.chunks(chunk_len).zip(scratches.drain(..n_chunks)) {
+            for ((chunk, mut scratch), timing) in tasks
+                .chunks(chunk_len)
+                .zip(scratches.drain(..n_chunks))
+                .zip(timing_chunks.drain(..))
+            {
                 handles.push(scope.spawn(move || {
-                    let results: Vec<_> = chunk
-                        .iter()
-                        .map(|task| match pools.get(&task.pool.0) {
-                            None => Err(ServiceError::UnknownPool(task.pool)),
-                            Some(entry) => solve_on_entry(entry, task, config, &mut scratch),
-                        })
-                        .collect();
+                    let solve_one = |task: &DecisionTask, scratch: &mut SolverScratch| match pools
+                        .get(&task.pool.0)
+                    {
+                        None => Err(ServiceError::UnknownPool(task.pool)),
+                        Some(entry) => solve_on_entry(entry, task, config, scratch),
+                    };
+                    let results: Vec<_> = match timing {
+                        None => chunk.iter().map(|task| solve_one(task, &mut scratch)).collect(),
+                        Some(slots) => chunk
+                            .iter()
+                            .zip(slots.iter_mut())
+                            .map(|(task, slot)| {
+                                let started = Instant::now();
+                                let result = solve_one(task, &mut scratch);
+                                *slot = started.elapsed();
+                                result
+                            })
+                            .collect(),
+                    };
                     (results, scratch)
                 }));
             }
@@ -2198,7 +2418,11 @@ fn attach_flat(store: &ArtifactStore, key: StoreKey, jurors: &[Juror]) -> Option
 /// Drops a flat pool's shared attachment *without* materialising a
 /// private copy — for mutations that immediately discard the flat cache
 /// anyway (shard promotion). Same return contract as [`detach_pool`].
-fn discard_flat_share(store: &mut ArtifactStore, state: &mut PoolState) -> Option<bool> {
+fn discard_flat_share(
+    store: &mut ArtifactStore,
+    state: &mut PoolState,
+    ttl_enabled: bool,
+) -> Option<bool> {
     let PoolState::Flat { cache } = state else {
         return None;
     };
@@ -2211,7 +2435,7 @@ fn discard_flat_share(store: &mut ArtifactStore, state: &mut PoolState) -> Optio
     let key = sf.link.key;
     let had_siblings = Arc::strong_count(&sf.link.set) > 2;
     drop(sf);
-    store.evict_if_orphaned(&key);
+    store.release(&key, ttl_enabled);
     Some(had_siblings)
 }
 
@@ -2219,10 +2443,17 @@ fn discard_flat_share(store: &mut ArtifactStore, state: &mut PoolState) -> Optio
 /// of a mutation's in-place repair — the copy-on-write boundary. A sole
 /// holder reclaims the interned artifacts zero-copy (the entry is
 /// removed and unwrapped); a pool with siblings clones exactly what the
-/// repair will touch and leaves the entry to them. Returns
-/// `Some(had_siblings)` when a detach happened, `None` for cold and
-/// already-private pools.
-fn detach_pool(store: &mut ArtifactStore, state: &mut PoolState) -> Option<bool> {
+/// repair will touch and leaves the entry to them. Under the TTL
+/// eviction policy (`ttl_enabled`) the sole-holder fast path is
+/// deliberately skipped: the entry survives as a stamped orphan — the
+/// pre-mutation content stays warm for a re-join within the TTL — at the
+/// cost of cloning instead of reclaiming. Returns `Some(had_siblings)`
+/// when a detach happened, `None` for cold and already-private pools.
+fn detach_pool(
+    store: &mut ArtifactStore,
+    state: &mut PoolState,
+    ttl_enabled: bool,
+) -> Option<bool> {
     match state {
         PoolState::Flat { cache } => {
             if !matches!(cache, FlatCache::Shared(_)) {
@@ -2231,7 +2462,10 @@ fn detach_pool(store: &mut ArtifactStore, state: &mut PoolState) -> Option<bool>
             let FlatCache::Shared(sf) = std::mem::replace(cache, FlatCache::Cold) else {
                 unreachable!("checked above");
             };
-            let sole = store.take_if_sole(&sf.link.key, &sf.link.set);
+            let had_siblings = Arc::strong_count(&sf.link.set) > 2;
+            if !ttl_enabled {
+                store.take_if_sole(&sf.link.key, &sf.link.set);
+            }
             let SharedFlat { link: StoreLink { key, set }, view } = sf;
             let private = match view {
                 None => match Arc::try_unwrap(set) {
@@ -2239,7 +2473,7 @@ fn detach_pool(store: &mut ArtifactStore, state: &mut PoolState) -> Option<bool>
                     Err(set) => {
                         let cloned = set.cache_clone();
                         drop(set);
-                        store.evict_if_orphaned(&key);
+                        store.release(&key, ttl_enabled);
                         cloned
                     }
                 },
@@ -2253,7 +2487,7 @@ fn detach_pool(store: &mut ArtifactStore, state: &mut PoolState) -> Option<bool>
                         Err(set) => {
                             let cloned = set.cache_clone();
                             drop(set);
-                            store.evict_if_orphaned(&key);
+                            store.release(&key, ttl_enabled);
                             cloned
                         }
                     };
@@ -2263,14 +2497,14 @@ fn detach_pool(store: &mut ArtifactStore, state: &mut PoolState) -> Option<bool>
                 }
             };
             *cache = FlatCache::Private(private);
-            Some(!sole)
+            Some(had_siblings)
         }
         PoolState::Sharded { link, .. } => {
             let taken = link.take()?;
             let had_siblings = Arc::strong_count(&taken.set) > 2;
             let key = taken.key;
             drop(taken);
-            store.evict_if_orphaned(&key);
+            store.release(&key, ttl_enabled);
             Some(had_siblings)
         }
     }

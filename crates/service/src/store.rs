@@ -66,6 +66,7 @@ use jury_core::paym::Staircase;
 use jury_core::problem::Selection;
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, OnceLock, RwLock};
+use std::time::{Duration, Instant};
 
 /// Which serving layout an artifact set was built for. Keyed separately
 /// because flat and sharded pools derive (and repair) different artifact
@@ -379,6 +380,11 @@ pub(crate) fn translate_selection(
 #[derive(Debug, Default)]
 pub(crate) struct ArtifactStore {
     entries: HashMap<StoreKey, Arc<ArtifactSet>>,
+    /// When each currently-orphaned entry lost its last holder — the TTL
+    /// eviction policy's stamps ([`ArtifactStore::stamp_if_orphaned`]).
+    /// Only populated when the policy is on; a stamp is invalidated (and
+    /// removed by the next sweep) the moment a pool re-attaches.
+    orphans: HashMap<StoreKey, Instant>,
 }
 
 impl ArtifactStore {
@@ -395,7 +401,7 @@ impl ArtifactStore {
             remap.insert(Arc::as_ptr(arc), copy.clone());
             entries.insert(*key, copy);
         }
-        (Self { entries }, remap)
+        (Self { entries, orphans: self.orphans.clone() }, remap)
     }
     /// The entry at `key`, if interned.
     pub(crate) fn get(&self, key: &StoreKey) -> Option<Arc<ArtifactSet>> {
@@ -435,7 +441,51 @@ impl ArtifactStore {
     pub(crate) fn evict_if_orphaned(&mut self, key: &StoreKey) {
         if self.entries.get(key).is_some_and(|arc| Arc::strong_count(arc) == 1) {
             self.entries.remove(key);
+            self.orphans.remove(key);
         }
+    }
+
+    /// The TTL policy's replacement for [`ArtifactStore::evict_if_orphaned`]:
+    /// an entry no pool holds is *stamped* with the current time instead
+    /// of being removed, so returning content can re-join it warm until
+    /// [`ArtifactStore::sweep_ttl`] reaps it.
+    pub(crate) fn stamp_if_orphaned(&mut self, key: &StoreKey) {
+        if self.entries.get(key).is_some_and(|arc| Arc::strong_count(arc) == 1) {
+            self.orphans.entry(*key).or_insert_with(Instant::now);
+        }
+    }
+
+    /// Routes to stamping (TTL policy) or immediate eviction (refcount
+    /// policy) — every detach/removal call site picks by configuration.
+    pub(crate) fn release(&mut self, key: &StoreKey, ttl_enabled: bool) {
+        if ttl_enabled {
+            self.stamp_if_orphaned(key);
+        } else {
+            self.evict_if_orphaned(key);
+        }
+    }
+
+    /// Reaps entries that have been orphaned for at least `ttl`,
+    /// returning how many were evicted. Stamps whose entry regained a
+    /// holder since (a re-join or fresh attach) are dropped without
+    /// eviction — the strong count is re-checked here, never trusted
+    /// from stamp time.
+    pub(crate) fn sweep_ttl(&mut self, ttl: Duration) -> usize {
+        let mut evicted = 0usize;
+        let entries = &mut self.entries;
+        self.orphans.retain(|key, stamped| {
+            let still_orphaned = entries.get(key).is_some_and(|arc| Arc::strong_count(arc) == 1);
+            if !still_orphaned {
+                return false; // re-attached (or already gone): unstamp.
+            }
+            if stamped.elapsed() >= ttl {
+                entries.remove(key);
+                evicted += 1;
+                return false;
+            }
+            true
+        });
+        evicted
     }
 
     /// Removes and returns the entry at `key` iff exactly one pool holds

@@ -1,0 +1,90 @@
+//! The coalescing HTTP front-end, end to end over a real socket.
+//!
+//! Starts a [`jury_frontend::HttpServer`] on an ephemeral port,
+//! registers the Figure-1 pool over the wire (`POST /v1/pools`), fires
+//! a burst of concurrent `POST /v1/solve` requests from several client
+//! threads — which the front-end coalesces into shared solver windows —
+//! reads the combined counters back from `GET /stats`, and shuts down
+//! gracefully, recovering the wrapped service.
+//!
+//! Run with: `cargo run --release --example http_frontend`
+
+use jury_frontend::client::Client;
+use jury_frontend::{Frontend, FrontendConfig, HttpServer};
+use jury_service::{DecisionTask, JuryService};
+use std::time::Duration;
+
+fn main() {
+    // --- The Figure-1 pool: (error rate, payment requirement) ---
+    let jurors = jury_core::juror::pool_from_rates_and_costs(&[
+        (0.1, 0.2),
+        (0.2, 0.2),
+        (0.2, 0.3),
+        (0.3, 0.4),
+        (0.3, 0.65),
+        (0.4, 0.05),
+        (0.4, 0.05),
+    ])
+    .expect("valid rates and costs");
+
+    // --- Boot: a service wrapped in the coalescing front-end, served ---
+    let frontend = Frontend::start(
+        JuryService::new(),
+        FrontendConfig {
+            max_batch: 32,
+            max_delay: Duration::from_millis(10),
+            ..Default::default()
+        },
+    );
+    let server = HttpServer::start(frontend, "127.0.0.1:0", 2).expect("bind front-end");
+    let addr = server.local_addr();
+    println!("front-end listening on http://{addr}");
+
+    // --- Register the pool over the wire ---
+    let mut admin = Client::connect(addr).expect("connect");
+    let pool = admin.create_pool(&jurors).expect("transport").expect("pool accepted");
+
+    // --- A concurrent burst: 4 tenants x 8 requests each ---
+    let handles: Vec<_> = (0..4)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let tenant = format!("tenant-{t}");
+                let mut client = Client::connect(addr).expect("connect");
+                for i in 0..8 {
+                    let task = if i % 2 == 0 {
+                        DecisionTask::altruism(pool)
+                    } else {
+                        DecisionTask::pay_as_you_go(pool, 0.8 + 0.2 * i as f64)
+                    };
+                    let selection =
+                        client.solve(&tenant, &task).expect("transport").expect("solved");
+                    if i == 0 {
+                        println!(
+                            "{tenant}: jury {:?}, JER {:.6}, cost {:.2}",
+                            selection.members, selection.jer, selection.total_cost
+                        );
+                    }
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("client thread");
+    }
+
+    // --- What the machinery did, from GET /stats ---
+    let stats = admin.stats().expect("transport").expect("stats");
+    println!(
+        "solved {} tasks: {} inline, {} through {} coalesced windows (max occupancy {})",
+        stats.service.tasks_solved,
+        stats.frontend.inline_solves,
+        stats.frontend.coalesced_tasks,
+        stats.frontend.coalesced_windows,
+        stats.frontend.max_window_occupancy,
+    );
+
+    // --- Graceful shutdown returns the wrapped service ---
+    drop(admin);
+    let service = server.shutdown().expect("service recovered");
+    println!("drained; service reports {} tasks solved", service.stats().tasks_solved);
+}
