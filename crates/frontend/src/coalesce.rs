@@ -28,10 +28,16 @@
 //! Admission control is per tenant: each tenant may hold at most
 //! [`FrontendConfig::queue_capacity`] queued tasks across its windows.
 //! The submission that would exceed the cap is refused *immediately*
-//! with [`SubmitError::Overloaded`] carrying a `retry_after` hint (one
-//! max-delay), never queued — a slow tenant cannot grow another
-//! tenant's tail. Refusals are counted in
+//! with [`SubmitError::Overloaded`], never queued — a slow tenant
+//! cannot grow another tenant's tail. Refusals are counted in
 //! [`FrontendStats::queue_rejections`].
+//!
+//! The refusal's `retry_after` hint scales with the backlog: it is the
+//! queued-window count times the mean per-window solve time observed
+//! so far (floored at one `max_delay`, which is also the estimate
+//! before any window has been dispatched). A tenant refused behind a
+//! deep backlog is told to come back after the backlog's expected
+//! drain time, not after one window's delay bound.
 
 use jury_core::problem::Selection;
 use jury_service::{DecisionTask, JuryService, PoolId, ServiceError, ServiceStats};
@@ -246,7 +252,7 @@ impl Frontend {
             let pending = queue.tenant_pending.get(tenant).copied().unwrap_or(0);
             if pending >= shared.config.queue_capacity {
                 shared.counters.queue_rejections.fetch_add(1, Ordering::Relaxed);
-                return Err(SubmitError::Overloaded { retry_after: shared.config.max_delay });
+                return Err(SubmitError::Overloaded { retry_after: retry_hint(shared, &queue) });
             }
             shared.counters.requests.fetch_add(1, Ordering::Relaxed);
             if queue.total_pending == 0 {
@@ -341,6 +347,21 @@ impl Drop for Frontend {
     fn drop(&mut self) {
         self.shutdown();
     }
+}
+
+/// Backoff hint for a refused submission: the backlog's expected drain
+/// time — queued windows times the mean per-window solve time observed
+/// so far — floored at one `max_delay` (also the per-window estimate
+/// before the first window has been dispatched).
+fn retry_hint(shared: &Shared, queue: &QueueState) -> Duration {
+    let backlog = u32::try_from(queue.windows.len().max(1)).unwrap_or(u32::MAX);
+    let per_window = shared
+        .counters
+        .solve_nanos
+        .load(Ordering::Relaxed)
+        .checked_div(shared.counters.coalesced_windows.load(Ordering::Relaxed))
+        .map_or(shared.config.max_delay, Duration::from_nanos);
+    shared.config.max_delay.max(per_window.saturating_mul(backlog))
 }
 
 /// Outcome of one queue scan: a batch to solve (with the service guard
@@ -538,6 +559,69 @@ mod tests {
         assert!(matches!(err, SubmitError::Overloaded { .. }));
         assert_eq!(frontend.stats().queue_rejections, 1);
         assert_eq!(frontend.stats().requests, 0, "rejected submissions are not admitted");
+    }
+
+    #[test]
+    fn fuller_queue_raises_retry_hint() {
+        // The Overloaded hint must grow with the backlog: a tenant
+        // refused behind two queued windows is told to wait longer than
+        // one refused behind a single window. A huge max_delay keeps
+        // every window below its bound, and the held service lock keeps
+        // the dispatcher from claiming anything greedily, so the
+        // backlog is exactly what the test queued.
+        let (service, pool) = service_with_pool();
+        let config = FrontendConfig {
+            queue_capacity: 1,
+            max_delay: Duration::from_secs(3600),
+            ..Default::default()
+        };
+        let max_delay = config.max_delay;
+        let frontend = Frontend::start(service, config);
+        let hold = std::sync::Barrier::new(2);
+        let release = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let fe = &frontend;
+            let (hold, release) = (&hold, &release);
+            scope.spawn(move || {
+                fe.with_service(|_| {
+                    hold.wait();
+                    while !release.load(Ordering::Acquire) {
+                        std::thread::yield_now();
+                    }
+                });
+            });
+            hold.wait();
+            // One queued window: tenant t0 reaches its capacity of 1.
+            scope.spawn(move || {
+                fe.submit("t0", DecisionTask::altruism(pool)).unwrap();
+            });
+            while fe.stats().requests < 1 {
+                std::thread::yield_now();
+            }
+            let shallow = match fe.submit("t0", DecisionTask::altruism(pool)).unwrap_err() {
+                SubmitError::Overloaded { retry_after } => retry_after,
+                other => panic!("expected Overloaded, got {other:?}"),
+            };
+            // A second tenant's window deepens the backlog; t0's next
+            // refusal must carry a strictly larger hint.
+            scope.spawn(move || {
+                fe.submit("t1", DecisionTask::altruism(pool)).unwrap();
+            });
+            while fe.stats().requests < 2 {
+                std::thread::yield_now();
+            }
+            let deep = match fe.submit("t0", DecisionTask::altruism(pool)).unwrap_err() {
+                SubmitError::Overloaded { retry_after } => retry_after,
+                other => panic!("expected Overloaded, got {other:?}"),
+            };
+            assert!(shallow >= max_delay, "hint is floored at max_delay: {shallow:?}");
+            assert!(deep > shallow, "deeper backlog must raise the hint: {deep:?} vs {shallow:?}");
+            release.store(true, Ordering::Release);
+            // The dispatcher is parked for the full (huge) delay bound;
+            // drain mode wakes it so the queued submitters can return.
+            frontend.shutdown();
+        });
+        assert_eq!(frontend.stats().queue_rejections, 2);
     }
 
     #[test]

@@ -16,19 +16,19 @@
 //!   shared, not copied, under [`JuryService::solve_batch_shared`]; a
 //!   warm PayM task is a **budget-staircase** lookup (below), falling
 //!   back to one greedy scan on the cached order.
-//! * **rescan-free mutation repair** — a juror *update*, *removal* or
-//!   (on flat pools) *insert* repairs warm state in place instead of
-//!   invalidating it: every sorted order (flat, per-shard and merged)
-//!   gets one remove + one rank-insert (`O(n)` memmoves, provably the
-//!   same permutation a re-sort would produce), every affected
-//!   prefix-pmf checkpoint is patched by dividing the juror's
-//!   `(1−ε, ε)` factor out of the Poisson binomial
+//! * **rescan-free mutation repair** — every juror mutation — *update*,
+//!   *removal* and *insert*, flat or sharded — repairs warm state in
+//!   place instead of invalidating it: every sorted order (flat,
+//!   per-shard and merged) gets one rank-insert (plus one remove for
+//!   updates/removals; `O(n)` memmoves, provably the same permutation a
+//!   re-sort would produce), every affected prefix-pmf checkpoint is
+//!   patched by dividing the juror's `(1−ε, ε)` factor out of the
+//!   Poisson binomial
 //!   ([`jury_numeric::poibin::PoiBin::remove_factor`]; inserts need
 //!   only a push) — `O(n)` per checkpoint instead of
 //!   `O(n·spacing + n log n)` re-convolution — and a materialised JER
 //!   profile reuses every untouched prefix entry verbatim, re-deriving
-//!   only the suffix from the nearest checkpoint. Sharded inserts still
-//!   drop the owning shard.
+//!   only the suffix from the nearest checkpoint.
 //! * **rescan-free warm AltrM** — the one artefact a mutation must drop
 //!   is the solved AltrM answer (the optimum may genuinely move). The
 //!   re-solve is **bound-pruned** ([`AltrAlg::solve_pruned`]): prefix
@@ -47,10 +47,13 @@
 //! * **pool sharding** — pools at or above
 //!   [`ShardConfig::threshold`] are partitioned into K shards, each with
 //!   its own ε-sorted order, greedy frontier and prefix Poisson-binomial
-//!   pmf ladder. An insert invalidates **one shard** (1/K of the cached
-//!   state, rebuilt in parallel with its siblings under
-//!   `std::thread::scope` when several are dirty); the global orders are
-//!   rebuilt by K-way merging the per-shard sorted runs.
+//!   pmf ladder. The global orders are K-way merges of the per-shard
+//!   sorted runs, kept warm across mutations by the in-place repairs
+//!   above; a cold pool's per-shard builds fan out in parallel under
+//!   `std::thread::scope`. Shards hollowed out by skewed churn are
+//!   **re-balanced online**: a degeneracy episode moves members from the
+//!   largest shards into the starved one, repairing both sides' runs
+//!   and ladders in place ([`ServiceStats::shard_rebalances`]).
 //! * **batched parallel solving** — [`JuryService::solve_batch`] fans a
 //!   slice of [`DecisionTask`]s across scoped worker threads, each with
 //!   its own persistent [`SolverScratch`], so a warm task performs no
@@ -99,7 +102,7 @@
 //!
 //! # Sharding invariants
 //!
-//! For sharded pools the bit-identity guarantee rests on two facts:
+//! For sharded pools the bit-identity guarantee rests on three facts:
 //!
 //! 1. **Orders merge bit-identically.** Both solver visit orders are
 //!    *total* orders with the pool position as final tie-break
@@ -118,6 +121,15 @@
 //!    bit-identical therefore never flows through pmf merging; the
 //!    merged-pmf path powers only [`JuryService::jer_probe`], whose
 //!    contract is numerical equality within convolution rounding.
+//! 3. **The partition is not part of the answer.** Which shard owns a
+//!    juror never influences a selection — only the merged orders do —
+//!    so *inserts* repair the owning shard and the merged orders by
+//!    rank-insert (no shard drop, no re-merge), and *re-balancing*
+//!    (healing a shard hollowed out by skewed churn by stealing members
+//!    from the largest shards) is a pure permutation of shard
+//!    membership: per-shard runs change hands, the merged global orders
+//!    are untouched, and `tests/sharded_differential.rs` proves
+//!    selections bit-identical across forced-degeneracy episodes.
 //!
 //! # The warm-artifact store and its fingerprint contract
 //!
@@ -173,14 +185,19 @@
 //!   pmf-lineage artifacts (fresh-built or repaired), which is
 //!   indistinguishable within that same tolerance. For sharded pools
 //!   the store interns the merged-layer artifacts (merged orders, AltrM
-//!   answer, profile) for sequence-identical pools only; per-shard
-//!   caches and the sharded staircase stay per-pool.
+//!   answer, profile) *and* the per-shard layer (owner assignment plus
+//!   every shard's runs and ladder — adopted only when the partitions
+//!   match exactly, since different mutation histories may partition
+//!   equal content differently) for sequence-identical pools; the
+//!   sharded staircase stays per-pool. Adopted shard caches are
+//!   copy-on-write: `Arc::make_mut` at every repair site clones the one
+//!   touched shard off privately.
 //!
 //! Sharing is on by default; [`ServiceConfig::share_artifacts`] turns it
 //! off (the `multi_tenant_throughput` bench measures the difference).
 //!
 //! Mutation cost is where the repair paths pay: a juror update, removal
-//! or flat insert costs a few `O(n)` memmoves plus `O(ladder)` factor
+//! or insert costs a few `O(n)` memmoves plus `O(ladder)` factor
 //! divisions (pushes for inserts), the next PayM task re-records its
 //! staircase step with a single greedy scan, and the next AltrM task
 //! re-solves with the bound-pruned sweep — no re-sort, no K-way
@@ -188,11 +205,12 @@
 //! prefix mean crosses ½; below that the pruned scan degrades
 //! gracefully to the full one plus an `O(N)` sweep). The
 //! [`ServiceStats`] counters (`cache_invalidations`, `order_repairs`,
-//! `staircase_hits`, `pmf_repairs`, `pmf_rebuilds`, `profile_repairs`,
-//! `bound_pruned`, `shard_repairs`, `full_repairs`,
-//! `degenerate_shards`) make that behaviour observable; the
-//! `sharded_throughput`, `staircase_throughput` and `altrm_throughput`
-//! benches record it at pool sizes up to 10⁶.
+//! `insert_repairs`, `staircase_hits`, `pmf_repairs`, `pmf_rebuilds`,
+//! `profile_repairs`, `bound_pruned`, `shard_repairs`, `full_repairs`,
+//! `degenerate_shards`, `shard_rebalances`) make that behaviour
+//! observable; the `sharded_throughput`, `staircase_throughput`,
+//! `altrm_throughput` and `rebalance_throughput` benches record it at
+//! pool sizes up to 10⁶.
 //!
 //! ```
 //! use jury_core::juror::pool_from_rates_and_costs;
@@ -480,10 +498,15 @@ pub struct ServiceStats {
     /// Mutations that invalidated (dropped or repaired) warm cached
     /// state. Mutations on cold pools count nothing.
     pub cache_invalidations: usize,
-    /// Juror updates/removals whose sorted orders (flat, per-shard and
-    /// merged) were repaired in place (`O(n)` remove + insert, plus a
+    /// Juror mutations whose sorted orders (flat, per-shard and merged)
+    /// were repaired in place (`O(n)` remove + insert, plus a
     /// renumbering pass for removals) instead of being recomputed.
     pub order_repairs: usize,
+    /// Juror inserts absorbed by in-place repair — one rank-insert per
+    /// sorted run plus a [`PoiBin::push`] per affected pmf-ladder
+    /// checkpoint — on a warm pool, flat or sharded (a sharded insert
+    /// used to drop the owning shard; this counter gates the fix).
+    pub insert_repairs: usize,
     /// Warm PayM tasks answered from the budget staircase — a binary
     /// search plus a selection clone instead of a greedy rescan.
     pub staircase_hits: usize,
@@ -518,10 +541,17 @@ pub struct ServiceStats {
     pub bound_pruned: usize,
     /// Shards observed shrinking below the configured fraction of the
     /// mean shard size ([`ShardConfig::degenerate_percent`]); each shard
-    /// counts once per episode of degeneracy. Detection only —
-    /// re-balancing is future work, this counter is the observability
-    /// hook.
+    /// counts once per episode of degeneracy. Under the default
+    /// [`ShardConfig::rebalance`] policy every episode is healed online
+    /// (see [`ServiceStats::shard_rebalances`]); with re-balancing off
+    /// this is detection only.
     pub degenerate_shards: usize,
+    /// Online re-balancing episodes: a degeneracy-flagged pool had
+    /// members moved between shards, each move repairing both shards'
+    /// runs and ladders in place. Membership permutation only — the
+    /// merged orders, and therefore every selection, are unchanged. Each
+    /// episode counts once however many jurors moved.
+    pub shard_rebalances: usize,
     /// Pools that attached to an already-interned warm-artifact set
     /// instead of building their own (registration-time and
     /// warm-time attaches; re-joins after mutations count separately).
@@ -549,6 +579,7 @@ impl Serialize for ServiceStats {
             ("batches", self.batches.to_value()),
             ("cache_invalidations", self.cache_invalidations.to_value()),
             ("order_repairs", self.order_repairs.to_value()),
+            ("insert_repairs", self.insert_repairs.to_value()),
             ("staircase_hits", self.staircase_hits.to_value()),
             ("pmf_repairs", self.pmf_repairs.to_value()),
             ("pmf_rebuilds", self.pmf_rebuilds.to_value()),
@@ -557,6 +588,7 @@ impl Serialize for ServiceStats {
             ("profile_repairs", self.profile_repairs.to_value()),
             ("bound_pruned", self.bound_pruned.to_value()),
             ("degenerate_shards", self.degenerate_shards.to_value()),
+            ("shard_rebalances", self.shard_rebalances.to_value()),
             ("artifact_share_hits", self.artifact_share_hits.to_value()),
             ("artifact_detaches", self.artifact_detaches.to_value()),
             ("artifact_rejoins", self.artifact_rejoins.to_value()),
@@ -577,6 +609,7 @@ impl Deserialize for ServiceStats {
             batches: stat_field(value, "batches")?,
             cache_invalidations: stat_field(value, "cache_invalidations")?,
             order_repairs: stat_field(value, "order_repairs")?,
+            insert_repairs: stat_field(value, "insert_repairs")?,
             staircase_hits: stat_field(value, "staircase_hits")?,
             pmf_repairs: stat_field(value, "pmf_repairs")?,
             pmf_rebuilds: stat_field(value, "pmf_rebuilds")?,
@@ -585,6 +618,7 @@ impl Deserialize for ServiceStats {
             profile_repairs: stat_field(value, "profile_repairs")?,
             bound_pruned: stat_field(value, "bound_pruned")?,
             degenerate_shards: stat_field(value, "degenerate_shards")?,
+            shard_rebalances: stat_field(value, "shard_rebalances")?,
             artifact_share_hits: stat_field(value, "artifact_share_hits")?,
             artifact_detaches: stat_field(value, "artifact_detaches")?,
             artifact_rejoins: stat_field(value, "artifact_rejoins")?,
@@ -929,14 +963,15 @@ impl JuryService {
             .ok_or(ServiceError::UnknownPool(pool))
     }
 
-    /// Appends a juror; returns its position. A warm *flat* pool is
-    /// repaired in place — one rank-insert per sorted order, one
-    /// [`PoiBin::push`] per affected pmf-ladder checkpoint and an
-    /// in-place profile repair; only the AltrM answer (re-solved
-    /// rescan-free by the bound-pruned scan) and the budget staircase
-    /// drop. A sharded pool still invalidates the owning (smallest)
-    /// shard; a flat pool crossing [`ShardConfig::threshold`] is
-    /// promoted to sharded (a full rebuild).
+    /// Appends a juror; returns its position. A warm pool — flat or
+    /// sharded — is repaired in place: one rank-insert per sorted order
+    /// (the owning shard's runs and the merged orders, for sharded
+    /// pools), one [`PoiBin::push`] per affected pmf-ladder checkpoint
+    /// and (flat) an in-place profile repair; only the AltrM answer
+    /// (re-solved rescan-free by the bound-pruned scan) and the budget
+    /// staircase drop. A flat pool crossing [`ShardConfig::threshold`]
+    /// is promoted to sharded (a full rebuild); a sharded insert that
+    /// tips a shard into degeneracy triggers an online re-balance.
     pub fn insert_juror(&mut self, pool: PoolId, juror: Juror) -> Result<usize, ServiceError> {
         let shard_config = self.config.shard;
         let ttl_enabled = self.config.store_ttl.is_some();
@@ -966,11 +1001,13 @@ impl JuryService {
                 _ => MutationEffect::default(),
             },
             PoolState::Sharded { sp, .. } => {
-                let mut effect = MutationEffect {
-                    invalidated: sp.insert(entry.jurors.len()),
-                    ..Default::default()
-                };
+                let mut effect = sp.insert(&entry.jurors);
                 effect.newly_degenerate = sp.refresh_degeneracy(shard_config.degenerate_percent);
+                if shard_config.rebalance && effect.newly_degenerate > 0 {
+                    effect.rebalanced =
+                        sp.rebalance(&entry.jurors, shard_config.degenerate_percent);
+                    sp.refresh_degeneracy(shard_config.degenerate_percent);
+                }
                 effect
             }
         };
@@ -1035,7 +1072,7 @@ impl JuryService {
     /// [`JuryService::update_juror`], with an extra renumbering pass over
     /// the surviving positions.
     pub fn remove_juror(&mut self, pool: PoolId, index: usize) -> Result<Juror, ServiceError> {
-        let degenerate_percent = self.config.shard.degenerate_percent;
+        let shard_config = self.config.shard;
         let ttl_enabled = self.config.store_ttl.is_some();
         let Self { pools, store, .. } = &mut *self;
         let entry = pools.get_mut(&pool.0).ok_or(ServiceError::UnknownPool(pool))?;
@@ -1044,19 +1081,24 @@ impl JuryService {
             return Err(ServiceError::JurorOutOfRange { pool, index, len });
         }
         let detached = detach_pool(store, &mut entry.state, ttl_enabled);
-        let effect = match &mut entry.state {
+        let mut effect = match &mut entry.state {
             PoolState::Flat { cache } => match cache {
                 FlatCache::Private(c) => repair_flat_remove(c, index),
                 _ => MutationEffect::default(),
             },
-            PoolState::Sharded { sp, .. } => {
-                let mut effect = sp.remove(index);
-                effect.newly_degenerate = sp.refresh_degeneracy(degenerate_percent);
-                effect
-            }
+            // The victim is still present: its runs entries are located
+            // by binary rank against the pre-removal pool.
+            PoolState::Sharded { sp, .. } => sp.remove(index, &entry.jurors),
         };
         let removed = entry.jurors.remove(index);
         entry.fp.remove(&removed);
+        if let PoolState::Sharded { sp, .. } = &mut entry.state {
+            effect.newly_degenerate = sp.refresh_degeneracy(shard_config.degenerate_percent);
+            if shard_config.rebalance && effect.newly_degenerate > 0 {
+                effect.rebalanced = sp.rebalance(&entry.jurors, shard_config.degenerate_percent);
+                sp.refresh_degeneracy(shard_config.degenerate_percent);
+            }
+        }
         self.count_mutation(effect);
         self.settle_after_mutation(pool, detached);
         Ok(removed)
@@ -1140,6 +1182,17 @@ impl JuryService {
                 };
                 if let Some(set) = store.get(&key) {
                     if matches!(set.match_pool(&entry.jurors), Some(Attach::Identical)) {
+                        // A re-joining pool is fully warm (repairs never
+                        // drop shards), so seed the entry's shard layer
+                        // if it is still empty — identically-mutated
+                        // siblings then adopt these repaired caches
+                        // (repair lineage is the documented numerical
+                        // carve-out either way).
+                        if set.shard_layer.get().is_none() {
+                            if let Some(layer) = sp.export_shard_layer() {
+                                let _ = set.shard_layer.set(layer);
+                            }
+                        }
                         sp.adopt_merged(set.eps_order.clone(), set.greedy_order.clone());
                         *link = Some(StoreLink { key, set });
                         stats.artifact_rejoins += 1;
@@ -1149,6 +1202,9 @@ impl JuryService {
                         if let Ok(set) =
                             store.publish(key, ArtifactSet::from_merged(eps, greedy, &entry.jurors))
                         {
+                            if let Some(layer) = sp.export_shard_layer() {
+                                let _ = set.shard_layer.set(layer);
+                            }
                             *link = Some(StoreLink { key, set });
                         }
                     }
@@ -1199,7 +1255,13 @@ impl JuryService {
         if effect.profile_repaired {
             self.stats.profile_repairs += 1;
         }
+        if effect.insert_repaired {
+            self.stats.insert_repairs += 1;
+        }
         self.stats.degenerate_shards += effect.newly_degenerate;
+        if effect.rebalanced > 0 {
+            self.stats.shard_rebalances += 1;
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1322,7 +1384,6 @@ impl JuryService {
                         }
                     }
                     PoolState::Sharded { sp, link } => {
-                        let shards_built = sp.warm_shards(jurors);
                         if !sp.is_warm() {
                             let key = StoreKey {
                                 fp: fp.key(),
@@ -1334,19 +1395,31 @@ impl JuryService {
                             });
                             match attached {
                                 Some(set) => {
+                                    // Adopt the interned per-shard layer
+                                    // first (partition-verified): covered
+                                    // shards skip their private build
+                                    // entirely; only the holes are built.
+                                    if let Some(layer) = set.shard_layer.get() {
+                                        sp.adopt_shard_layer(layer);
+                                    }
+                                    let shards_built = sp.warm_shards(jurors);
                                     sp.adopt_merged(
                                         set.eps_order.clone(),
                                         set.greedy_order.clone(),
                                     );
+                                    if set.shard_layer.get().is_none() {
+                                        if let Some(layer) = sp.export_shard_layer() {
+                                            let _ = set.shard_layer.set(layer);
+                                        }
+                                    }
                                     *link = Some(StoreLink { key, set });
                                     share_hits += 1;
-                                    // The per-shard caches were still
-                                    // built privately (only the merged
-                                    // layer is interned) — report that
-                                    // work instead of hiding it.
+                                    // Only the shards the interned layer
+                                    // did not cover were built privately.
                                     shard_reps += shards_built;
                                 }
                                 None => {
+                                    let shards_built = sp.warm_shards(jurors);
                                     sp.ensure_merged(jurors);
                                     builds += 1;
                                     if shards_built == sp.shard_count() {
@@ -1364,6 +1437,9 @@ impl JuryService {
                                                 key,
                                                 ArtifactSet::from_merged(eps, greedy, jurors),
                                             ) {
+                                                if let Some(layer) = sp.export_shard_layer() {
+                                                    let _ = set.shard_layer.set(layer);
+                                                }
                                                 *link = Some(StoreLink { key, set });
                                             }
                                         }
@@ -1383,6 +1459,44 @@ impl JuryService {
         self.stats.bound_pruned += pruned;
         self.stats.artifact_share_hits += share_hits;
         outcome
+    }
+
+    /// Drops every piece of `pool`'s warm state — orders, ladders,
+    /// profile, staircase, per-shard caches and any store attachment —
+    /// so the next [`JuryService::warm_pool`] pays the full cold build.
+    /// An operational hook (reclaim the memory of a pool gone quiet,
+    /// force a from-scratch rebuild) and the referee for the repair
+    /// paths: the `rebalance_throughput` bench measures warm in-place
+    /// insert repairs against exactly this invalidate-and-rebuild
+    /// baseline. Sharded pools are re-partitioned round-robin; entries
+    /// the store holds for sibling pools survive.
+    pub fn invalidate_warm(&mut self, pool: PoolId) -> Result<(), ServiceError> {
+        let shard_config = self.config.shard;
+        let ttl_enabled = self.config.store_ttl.is_some();
+        let Self { pools, store, .. } = &mut *self;
+        let entry = pools.get_mut(&pool.0).ok_or(ServiceError::UnknownPool(pool))?;
+        match &mut entry.state {
+            PoolState::Flat { .. } => {
+                // A shared attachment is dropped, never materialised.
+                let _ = discard_flat_share(store, &mut entry.state, ttl_enabled);
+                if let PoolState::Flat { cache } = &mut entry.state {
+                    *cache = FlatCache::Cold;
+                }
+            }
+            PoolState::Sharded { sp, link } => {
+                if let Some(taken) = link.take() {
+                    let key = taken.key;
+                    drop(taken);
+                    store.release(&key, ttl_enabled);
+                }
+                *sp = ShardedPool::new(
+                    entry.jurors.len(),
+                    sp.shard_count(),
+                    shard_config.degenerate_percent,
+                );
+            }
+        }
+        Ok(())
     }
 
     /// Whether `pool`'s cache is currently warm (flat: orders and the
@@ -2225,18 +2339,16 @@ fn repair_flat_remove(cache: &mut PoolCache, idx: usize) -> MutationEffect {
 /// an in-place profile repair. Like the other repairs, only the AltrM
 /// answer and the staircase drop.
 fn repair_flat_insert(cache: &mut PoolCache, jurors: &[Juror], idx: usize) -> MutationEffect {
-    use std::cmp::Ordering;
-    let eps_cmp = jury_core::solver::eps_cmp;
-    let r_new = cache.eps_order.partition_point(|&j| eps_cmp(jurors, j, idx) == Ordering::Less);
-    cache.eps_order.insert(r_new, idx);
-    cache.eps_sorted.insert(r_new, jurors[idx].epsilon());
-    let g_new = cache
-        .greedy_order
-        .partition_point(|&j| PayAlg::greedy_cmp(jurors, j, idx) == Ordering::Less);
-    cache.greedy_order.insert(g_new, idx);
+    let r_new =
+        shard::rank_insert_eps(&mut cache.eps_order, Some(&mut cache.eps_sorted), jurors, idx);
+    shard::rank_insert_greedy(&mut cache.greedy_order, jurors, idx);
 
-    let mut effect =
-        MutationEffect { invalidated: true, orders_repaired: true, ..Default::default() };
+    let mut effect = MutationEffect {
+        invalidated: true,
+        orders_repaired: true,
+        insert_repaired: true,
+        ..Default::default()
+    };
     if let Some(ladder) = cache.ladder.as_mut() {
         ladder.repair_insert(&cache.eps_sorted, r_new);
         effect.pmf_repaired = true;
@@ -2801,16 +2913,17 @@ mod tests {
         let stats = service.stats();
         assert_eq!((stats.cache_builds, stats.full_repairs, stats.shard_repairs), (1, 1, 0));
 
-        // An insert still invalidates the smallest shard; re-warming
-        // rebuilds exactly that shard plus the merged orders.
+        // An insert repairs the owning shard in place too: the pool
+        // stays warm and no shard is ever rebuilt.
         service.insert_juror(pool, Juror::new(99, ErrorRate::new(0.2).unwrap(), 0.0)).unwrap();
-        assert!(!service.is_warm(pool), "insert drops the owning shard");
+        assert!(service.is_warm(pool), "insert repairs the owning shard in place");
         service.warm_pool(pool).unwrap();
         let stats = service.stats();
-        assert_eq!((stats.cache_builds, stats.full_repairs, stats.shard_repairs), (2, 1, 1));
+        assert_eq!((stats.cache_builds, stats.full_repairs, stats.shard_repairs), (1, 1, 0));
         assert_eq!(stats.cache_invalidations, 3);
+        assert_eq!(stats.insert_repairs, 1);
         // Repairs never queued a full rebuild of pmf artefacts.
-        assert_eq!(stats.pmf_repairs + stats.pmf_rebuilds, 2);
+        assert_eq!(stats.pmf_repairs + stats.pmf_rebuilds, 3);
     }
 
     #[test]
@@ -2970,7 +3083,12 @@ mod tests {
 
     #[test]
     fn degenerate_shards_are_detected_once_per_episode() {
-        let mut service = JuryService::with_config(sharded_config(1, 4));
+        // Re-balancing off: this test pins the *detector's* episode
+        // arithmetic, which requires the drained shard to stay drained.
+        let mut service = JuryService::with_config(ServiceConfig {
+            shard: ShardConfig { threshold: 1, shards: 4, rebalance: false, ..Default::default() },
+            ..Default::default()
+        });
         let pool = service.create_pool(pool_from_rates(&[0.2; 40]).unwrap());
         // Drain shard 0 (original positions 0, 4, 8, …): after removing
         // original 4k the juror originally at 4(k+1) sits at position

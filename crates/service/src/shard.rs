@@ -15,15 +15,24 @@
 //!   **bit-identical** selections; the merged greedy order additionally
 //!   carries the PayM budget [`Staircase`], answering warm PayM tasks by
 //!   binary search instead of a greedy rescan;
-//! * a juror insert touches one shard; an update or remove is *repaired
-//!   in place* — one remove + one rank-insert per sorted run (shard and
-//!   merged), a renumbering pass for removals, and a factor
-//!   division per affected ladder checkpoint
-//!   ([`PmfLadder::repair_update`]) — so no shard re-sort, no K-way
-//!   re-merge and no pmf re-convolution happen at all ("rescan-free
-//!   repair"). Only the lazily-derived merged artefacts (AltrM
-//!   selection, profile, staircase) are dropped, since the selection
-//!   they summarise may genuinely change.
+//! * every mutation is *repaired in place*: an insert is one
+//!   rank-insert per sorted run (shard and merged) plus one
+//!   [`PoiBin::push`] per affected ladder checkpoint
+//!   ([`PmfLadder::repair_insert`] — pushes never need deconvolution),
+//!   an update or remove one remove + one rank-insert per run, a
+//!   renumbering pass for removals, and a factor division per affected
+//!   checkpoint ([`PmfLadder::repair_update`]) — so no shard re-sort, no
+//!   K-way re-merge and no pmf re-convolution happen at all
+//!   ("rescan-free repair"). Only the lazily-derived merged artefacts
+//!   (AltrM selection, profile, staircase) are dropped, since the
+//!   selection they summarise may genuinely change;
+//! * shards hollowed out by skewed churn are *re-balanced* online
+//!   ([`ShardedPool::rebalance`]): members move from the largest shards
+//!   into degenerate ones, each move repairing both shards' runs and
+//!   ladders in place. Re-balancing permutes shard **membership** only —
+//!   the merged global orders are a property of the pool, not the
+//!   partition, so they are untouched and bit-identity is preserved by
+//!   construction.
 //!
 //! ## What merges bit-identically, and what does not
 //!
@@ -71,17 +80,26 @@ pub struct ShardConfig {
     /// A shard whose membership drops below this percentage of the mean
     /// shard size (pool size / K) is flagged *degenerate* — repeated
     /// removals have hollowed it out, so its run no longer amortises the
-    /// per-shard bookkeeping. Detection only: each episode bumps
+    /// per-shard bookkeeping. Each episode bumps
     /// [`ServiceStats::degenerate_shards`](crate::ServiceStats::degenerate_shards)
-    /// once; re-balancing is future work.
+    /// once and (unless [`ShardConfig::rebalance`] is off) triggers an
+    /// online re-balance that heals the shard in place.
     pub degenerate_percent: usize,
+    /// Whether a degeneracy episode triggers online re-balancing
+    /// ([`ShardedPool::rebalance`] via the registry): members are stolen
+    /// from the largest shards into the degenerate ones, repairing both
+    /// sides' runs and ladders in place. Membership permutation only —
+    /// the merged orders (and therefore every selection) are unchanged.
+    /// `false` reverts to detection-only.
+    pub rebalance: bool,
 }
 
 impl Default for ShardConfig {
     /// Sharding disabled; 8 shards once enabled; shards flagged
-    /// degenerate below 25% of the mean shard size.
+    /// degenerate below 25% of the mean shard size and re-balanced
+    /// online.
     fn default() -> Self {
-        Self { threshold: usize::MAX, shards: 8, degenerate_percent: 25 }
+        Self { threshold: usize::MAX, shards: 8, degenerate_percent: 25, rebalance: true }
     }
 }
 
@@ -93,9 +111,13 @@ impl ShardConfig {
     }
 }
 
-/// Everything derived from one shard's membership snapshot.
+/// Everything derived from one shard's membership snapshot. Held behind
+/// an `Arc` so equal pools can adopt one interned build via
+/// [`ShardLayer`]; every in-place repair goes through `Arc::make_mut`,
+/// which is the per-shard copy-on-write boundary (a sole owner repairs
+/// in place, an attached pool clones the one shard it touches first).
 #[derive(Debug, Clone, Default)]
-struct ShardCache {
+pub(crate) struct ShardCache {
     /// The shard's members sorted by the global ε order (ties by pool
     /// position) — one sorted run of the global ε order.
     eps_order: Vec<usize>,
@@ -112,10 +134,11 @@ struct ShardCache {
 /// One shard: an owned subset of pool positions plus its cached state.
 #[derive(Debug, Clone, Default)]
 struct Shard {
-    /// Owned pool positions, ascending (append-only insertion plus
-    /// monotone renumbering on removal preserve this).
+    /// Owned pool positions, ascending (append-only insertion, monotone
+    /// renumbering on removal and rank-located re-balance moves all
+    /// preserve this).
     members: Vec<usize>,
-    cache: Option<ShardCache>,
+    cache: Option<Arc<ShardCache>>,
     /// Whether the shard is currently flagged degenerate (membership
     /// below the configured fraction of the mean shard size). The flag
     /// makes each degeneracy *episode* count once in the stats.
@@ -165,8 +188,29 @@ pub(crate) struct MutationEffect {
     pub pmf_rebuilt: bool,
     /// A materialised JER profile was repaired in place (flat pools).
     pub profile_repaired: bool,
+    /// A juror insert was absorbed by in-place repair (rank-inserts plus
+    /// ladder pushes) instead of dropping warm state.
+    pub insert_repaired: bool,
     /// Shards that entered degeneracy because of this mutation.
     pub newly_degenerate: usize,
+    /// Jurors moved between shards by the re-balance this mutation
+    /// triggered (0 when no re-balance ran).
+    pub rebalanced: usize,
+}
+
+/// A sharded pool's complete per-shard warm layer — the owner assignment
+/// plus every shard's cache — interned in the warm-artifact store so
+/// sequence-identical sharded pools share one build of the K sorted
+/// runs and pmf ladders, not just the merged orders. Adoption requires
+/// the owner vectors to match exactly (partitions may legitimately
+/// diverge across different mutation histories even over equal
+/// content); the caches are `Arc`-shared, and `Arc::make_mut` at every
+/// repair site copies a shard off privately the moment its pool
+/// mutates.
+#[derive(Debug, Clone)]
+pub(crate) struct ShardLayer {
+    owner: Vec<u32>,
+    caches: Vec<Arc<ShardCache>>,
 }
 
 /// What a [`ShardedPool::warm`] call rebuilt (test observability; the
@@ -224,11 +268,16 @@ impl ShardedPool {
     }
 
     /// Registers the juror just appended to the pool (position =
-    /// `len - 1`), assigning it to the smallest shard. Only that shard's
-    /// cache (plus the merged orders) is invalidated. Returns whether
-    /// any warm state was actually dropped.
-    pub(crate) fn insert(&mut self, len_after: usize) -> bool {
-        let idx = len_after - 1;
+    /// `len - 1`, so `jurors` is the **post-insert** pool), assigning it
+    /// to the smallest shard. A warm owning shard is *repaired in
+    /// place*: one rank-insert per sorted run (shard and merged) and one
+    /// [`PoiBin::push`] per affected ladder checkpoint
+    /// ([`PmfLadder::repair_insert`] — inserts never need
+    /// deconvolution, so this repair cannot decline). Only the merged
+    /// pool's lazily-derived artefacts (AltrM selection, profile,
+    /// staircase) are dropped.
+    pub(crate) fn insert(&mut self, jurors: &[Juror]) -> MutationEffect {
+        let idx = jurors.len() - 1;
         debug_assert_eq!(idx, self.owner.len());
         let target = self
             .shards
@@ -237,12 +286,36 @@ impl ShardedPool {
             .min_by_key(|(_, s)| s.members.len())
             .map(|(i, _)| i)
             .expect("at least one shard");
-        let dropped = self.shards[target].cache.is_some() || self.merged.is_some();
         self.owner.push(target as u32);
         self.shards[target].members.push(idx);
-        self.shards[target].cache = None;
-        self.merged = None;
-        dropped
+        let mut effect = MutationEffect::default();
+        match self.shards[target].cache.as_mut() {
+            Some(cache) => {
+                let cache = Arc::make_mut(cache);
+                effect.invalidated = true;
+                effect.orders_repaired = true;
+                effect.insert_repaired = true;
+                let r = rank_insert_eps(&mut cache.eps_order, Some(&mut cache.eps), jurors, idx);
+                cache.ladder.repair_insert(&cache.eps, r);
+                effect.pmf_repaired = true;
+                rank_insert_greedy(&mut cache.greedy_order, jurors, idx);
+                if let Some(merged) = self.merged.as_mut() {
+                    rank_insert_eps(Arc::make_mut(&mut merged.eps_order), None, jurors, idx);
+                    rank_insert_greedy(Arc::make_mut(&mut merged.greedy_order), jurors, idx);
+                    merged.altr = None;
+                    merged.profile = None;
+                    merged.staircase.clear();
+                }
+            }
+            None => {
+                // Cold owning shard: nothing to repair, and the merged
+                // orders (if any survived) lack the new juror — drop
+                // them.
+                effect.invalidated = self.merged.is_some();
+                self.merged = None;
+            }
+        }
+        effect
     }
 
     /// Repairs warm state after the juror at position `idx` was replaced
@@ -263,6 +336,7 @@ impl ShardedPool {
             self.merged = None;
             return effect;
         };
+        let cache = Arc::make_mut(cache);
         effect.invalidated = true;
         effect.orders_repaired = true;
         let (r_old, r_new) =
@@ -290,18 +364,33 @@ impl ShardedPool {
     /// stay warm) is then *renumbered* — decrementing positions greater
     /// than `idx` preserves each run's relative order under both
     /// comparators, so no sorted run, ε value or pmf checkpoint is ever
-    /// recomputed.
-    pub(crate) fn remove(&mut self, idx: usize) -> MutationEffect {
+    /// recomputed. `jurors` is the **pre-removal** pool (the victim
+    /// still present at `idx`): the stale entries are binary-located by
+    /// rank, not scanned.
+    pub(crate) fn remove(&mut self, idx: usize, jurors: &[Juror]) -> MutationEffect {
         let s = self.owner.remove(idx) as usize;
         let mut effect = MutationEffect::default();
         if let Some(cache) = self.shards[s].cache.as_mut() {
+            let cache = Arc::make_mut(cache);
             effect.invalidated = true;
             effect.orders_repaired = true;
-            let r = cache.eps_order.iter().position(|&m| m == idx).expect("order covers shard");
+            let r = cache.eps_order.partition_point(|&j| eps_cmp(jurors, j, idx) == Ordering::Less);
+            debug_assert_eq!(
+                cache.eps_order.iter().position(|&m| m == idx),
+                Some(r),
+                "binary ε rank must agree with the linear scan"
+            );
             let old_e = cache.eps[r];
             cache.eps_order.remove(r);
             cache.eps.remove(r);
-            let g = cache.greedy_order.iter().position(|&m| m == idx).expect("order covers shard");
+            let g = cache
+                .greedy_order
+                .partition_point(|&j| PayAlg::greedy_cmp(jurors, j, idx) == Ordering::Less);
+            debug_assert_eq!(
+                cache.greedy_order.iter().position(|&m| m == idx),
+                Some(g),
+                "binary greedy rank must agree with the linear scan"
+            );
             cache.greedy_order.remove(g);
             if cache.ladder.repair_remove(&cache.eps, old_e, r) {
                 effect.pmf_repaired = true;
@@ -319,6 +408,7 @@ impl ShardedPool {
                 }
             }
             if let Some(cache) = shard.cache.as_mut() {
+                let cache = Arc::make_mut(cache);
                 for m in &mut cache.eps_order {
                     if *m > idx {
                         *m -= 1;
@@ -374,7 +464,8 @@ impl ShardedPool {
             .collect();
         if cold.len() == 1 {
             let si = cold[0];
-            self.shards[si].cache = Some(build_shard_cache(jurors, &self.shards[si].members));
+            self.shards[si].cache =
+                Some(Arc::new(build_shard_cache(jurors, &self.shards[si].members)));
         } else if cold.len() > 1 {
             let workers =
                 std::thread::available_parallelism().map(usize::from).unwrap_or(1).min(cold.len());
@@ -397,10 +488,115 @@ impl ShardedPool {
                     .collect()
             });
             for (si, cache) in built {
-                self.shards[si].cache = Some(cache);
+                self.shards[si].cache = Some(Arc::new(cache));
             }
         }
         cold.len()
+    }
+
+    /// The per-shard warm layer as shared handles, for publication to
+    /// the warm-artifact store. `None` while any shard is cold (a
+    /// partial layer is not worth interning — the attacher would rebuild
+    /// the holes anyway).
+    pub(crate) fn export_shard_layer(&self) -> Option<ShardLayer> {
+        let caches: Option<Vec<Arc<ShardCache>>> =
+            self.shards.iter().map(|s| s.cache.clone()).collect();
+        Some(ShardLayer { owner: self.owner.clone(), caches: caches? })
+    }
+
+    /// Installs an interned per-shard layer (an identical-content pool's
+    /// builds) into this pool's cold shards, returning how many were
+    /// adopted. Requires the partitions to agree exactly — the owner
+    /// vectors are compared, not trusted — because per-shard runs are a
+    /// property of the partition, unlike the merged orders. Warm shards
+    /// keep their own (possibly repaired) caches.
+    pub(crate) fn adopt_shard_layer(&mut self, layer: &ShardLayer) -> usize {
+        if layer.caches.len() != self.shards.len() || layer.owner != self.owner {
+            return 0;
+        }
+        let mut adopted = 0usize;
+        for (shard, cache) in self.shards.iter_mut().zip(&layer.caches) {
+            if shard.cache.is_none() {
+                shard.cache = Some(cache.clone());
+                adopted += 1;
+            }
+        }
+        adopted
+    }
+
+    /// Moves members from the largest shards into degenerate ones until
+    /// no shard sits under the [`ShardConfig::degenerate_percent`] line
+    /// (or no move can make progress), returning how many jurors moved.
+    /// Each move repairs both shards in place ([`Self::move_member`]):
+    /// one rank-remove + one rank-insert per sorted run, a factor
+    /// division / push per affected ladder checkpoint. The merged
+    /// orders are untouched — re-balancing permutes shard membership
+    /// only, and the K-way merge of the new runs is the same global
+    /// permutation — so every selection stays bit-identical across the
+    /// episode.
+    pub(crate) fn rebalance(&mut self, jurors: &[Juror], percent: usize) -> usize {
+        let k = self.shards.len();
+        let total = self.owner.len();
+        let mut moved = 0usize;
+        loop {
+            let mut dest: Option<(usize, usize)> = None;
+            let mut src = 0usize;
+            for (i, shard) in self.shards.iter().enumerate() {
+                let len = shard.members.len();
+                if len * k * 100 < percent * total && dest.is_none_or(|(_, dl)| len < dl) {
+                    dest = Some((i, len));
+                }
+                if len > self.shards[src].members.len() {
+                    src = i;
+                }
+            }
+            let Some((d, dl)) = dest else { break };
+            let sl = self.shards[src].members.len();
+            if src == d || sl <= dl + 1 {
+                break; // a move would only swap the imbalance around
+            }
+            let m = *self.shards[src].members.last().expect("largest shard is non-empty");
+            self.move_member(m, src, d, jurors);
+            moved += 1;
+        }
+        moved
+    }
+
+    /// Moves pool position `m` from shard `src` to shard `dst`,
+    /// repairing both shards' sorted runs and pmf ladders in place. The
+    /// removal side mirrors [`Self::remove`] without the renumbering
+    /// (the pool itself is unchanged); the insertion side mirrors
+    /// [`Self::insert`]. Cold shards just update membership.
+    fn move_member(&mut self, m: usize, src: usize, dst: usize, jurors: &[Juror]) {
+        self.owner[m] = dst as u32;
+        let members = &mut self.shards[src].members;
+        let p = members.binary_search(&m).expect("member of the source shard");
+        members.remove(p);
+        if let Some(cache) = self.shards[src].cache.as_mut() {
+            let cache = Arc::make_mut(cache);
+            let r = cache.eps_order.partition_point(|&j| eps_cmp(jurors, j, m) == Ordering::Less);
+            debug_assert_eq!(cache.eps_order.get(r), Some(&m), "rank must locate the mover");
+            let old_e = cache.eps[r];
+            cache.eps_order.remove(r);
+            cache.eps.remove(r);
+            // A declined deconvolution rebuilds the ladder internally —
+            // either way the source shard stays warm.
+            let _ = cache.ladder.repair_remove(&cache.eps, old_e, r);
+            let g = cache
+                .greedy_order
+                .partition_point(|&j| PayAlg::greedy_cmp(jurors, j, m) == Ordering::Less);
+            debug_assert_eq!(cache.greedy_order.get(g), Some(&m), "rank must locate the mover");
+            cache.greedy_order.remove(g);
+        }
+        let members = &mut self.shards[dst].members;
+        let p = members.binary_search(&m).expect_err("not yet a member of the destination");
+        members.insert(p, m);
+        if let Some(cache) = self.shards[dst].cache.as_mut() {
+            let cache = Arc::make_mut(cache);
+            let r = rank_insert_eps(&mut cache.eps_order, Some(&mut cache.eps), jurors, m);
+            cache.ladder.repair_insert(&cache.eps, r);
+            rank_insert_greedy(&mut cache.greedy_order, jurors, m);
+        }
     }
 
     /// K-way-merges the per-shard runs into the global orders if they
@@ -622,6 +818,32 @@ pub(crate) fn reinsert_greedy(order: &mut Vec<usize>, jurors: &[Juror], idx: usi
     order.insert(g_new, idx);
 }
 
+/// Rank-inserts pool position `idx` into an ε-sorted run — the insert
+/// half of [`reinsert_eps`], shared by the flat, per-shard and merged
+/// insert repairs. Maintains the aligned ε values when given; returns
+/// the new rank for ladder repair.
+pub(crate) fn rank_insert_eps(
+    order: &mut Vec<usize>,
+    eps: Option<&mut Vec<f64>>,
+    jurors: &[Juror],
+    idx: usize,
+) -> usize {
+    let r = order.partition_point(|&j| eps_cmp(jurors, j, idx) == Ordering::Less);
+    order.insert(r, idx);
+    if let Some(eps) = eps {
+        eps.insert(r, jurors[idx].epsilon());
+    }
+    r
+}
+
+/// Rank-inserts pool position `idx` into a greedy-sorted run, returning
+/// the new rank.
+pub(crate) fn rank_insert_greedy(order: &mut Vec<usize>, jurors: &[Juror], idx: usize) -> usize {
+    let g = order.partition_point(|&j| PayAlg::greedy_cmp(jurors, j, idx) == Ordering::Less);
+    order.insert(g, idx);
+    g
+}
+
 /// Binary-locates position `idx` in an ε-sorted run using the juror's
 /// *pre-mutation* rate (the run is still sorted under it; probing any
 /// other entry reads the pool, where only `idx` changed).
@@ -669,7 +891,7 @@ pub(crate) fn renumber_out(order: &mut Vec<usize>, idx: usize) {
 
 /// Shorthand for a shard's cache that `warm` has guaranteed to exist.
 fn cache(shard: &Shard) -> &ShardCache {
-    shard.cache.as_ref().expect("shard warmed")
+    shard.cache.as_deref().expect("shard warmed")
 }
 
 /// Sorts one shard's members under both global comparators and lays the
@@ -727,8 +949,8 @@ mod tests {
         let mut sp = ShardedPool::new(40, 4, 25);
         sp.warm(&jurors);
         let victim = 11; // shard 11 % 4 == 3
+        let effect = sp.remove(victim, &jurors);
         jurors.remove(victim);
-        let effect = sp.remove(victim);
         assert!(effect.invalidated && effect.orders_repaired);
         // Every shard stays warm — the owning one was repaired, not
         // dropped — and the merged orders survive the renumbering.
@@ -782,35 +1004,56 @@ mod tests {
     }
 
     #[test]
-    fn insert_goes_to_smallest_shard_only() {
+    fn insert_repairs_the_owning_shard_in_place() {
         let mut jurors = pool(9);
         let mut sp = ShardedPool::new(9, 4, 25); // shard sizes 3,2,2,2
         sp.warm(&jurors);
         jurors.push(jurors[0]);
-        sp.insert(jurors.len());
+        let effect = sp.insert(&jurors);
         assert_eq!(sp.owner[9], 1, "smallest shard with lowest id wins");
-        assert_eq!(sp.shards.iter().filter(|s| s.cache.is_none()).count(), 1);
+        assert!(effect.invalidated && effect.orders_repaired && effect.insert_repaired);
+        assert!(effect.pmf_repaired);
+        // Nothing went cold: the owning shard was repaired and the
+        // merged orders absorbed the newcomer by rank-insert.
+        assert!(sp.shards.iter().all(|s| s.cache.is_some()));
         let outcome = sp.warm(&jurors);
-        assert_eq!(outcome.shards_built, 1);
+        assert_eq!(outcome.shards_built, 0);
+        assert!(!outcome.merged_rebuilt);
+        let mut flat_eps = Vec::new();
+        sorted_order_into(&jurors, &mut flat_eps);
+        assert_eq!(sp.merged_eps_order().unwrap(), flat_eps.as_slice());
         let mut flat = Vec::new();
         PayAlg::greedy_order_into(&jurors, &mut flat);
         assert_eq!(sp.merged_greedy_order().unwrap(), flat.as_slice());
     }
 
     #[test]
-    fn bulk_dirty_shards_rebuild_in_parallel() {
-        let mut jurors = pool(64);
-        let mut sp = ShardedPool::new(64, 8, 25);
+    fn sustained_ingest_keeps_probes_within_tolerance() {
+        let mut jurors = pool(200);
+        let mut sp = ShardedPool::new(200, 4, 25);
         sp.warm(&jurors);
-        // A bulk ingest dirties several shards at once.
-        for _ in 0..24 {
-            jurors.push(jurors[jurors.len() % 7]);
-            sp.insert(jurors.len());
+        for step in 0..150 {
+            jurors.push(jurors[(step * 7) % 50]);
+            let effect = sp.insert(&jurors);
+            assert!(effect.insert_repaired, "warm inserts must repair, step {step}");
         }
-        let cold = sp.shards.iter().filter(|s| s.cache.is_none()).count();
-        assert!(cold > 1, "bulk ingest must dirty more than one shard");
+        let mut order = Vec::new();
+        sorted_order_into(&jurors, &mut order);
+        let eps: Vec<f64> = order.iter().map(|&i| jurors[i].epsilon()).collect();
+        for n in [1usize, 63, 65, 129, 349] {
+            let direct = PoiBin::from_error_rates(&eps[..n]).tail(JerEngine::majority_threshold(n));
+            assert!((sp.jer_probe(n) - direct).abs() < crate::ladder::PROBE_REPAIR_TOL, "n={n}");
+        }
+    }
+
+    #[test]
+    fn bulk_cold_shards_build_in_parallel() {
+        // A creation-cold pool has every shard dirty at once; the warm-up
+        // fans the independent builds over scoped threads.
+        let jurors = pool(88);
+        let mut sp = ShardedPool::new(88, 8, 25);
         let outcome = sp.warm(&jurors);
-        assert_eq!(outcome.shards_built, cold);
+        assert_eq!(outcome.shards_built, 8);
         // The threaded rebuild must be invisible in the results.
         let mut flat_eps = Vec::new();
         sorted_order_into(&jurors, &mut flat_eps);
@@ -818,6 +1061,61 @@ mod tests {
         let mut flat_greedy = Vec::new();
         PayAlg::greedy_order_into(&jurors, &mut flat_greedy);
         assert_eq!(sp.merged_greedy_order().unwrap(), flat_greedy.as_slice());
+    }
+
+    #[test]
+    fn rebalance_heals_degeneracy_without_touching_merged_orders() {
+        let mut jurors = pool(60);
+        let mut sp = ShardedPool::new(60, 4, 25);
+        sp.warm(&jurors);
+        // Hollow out shard 2 until it is degenerate.
+        while sp.shards[2].members.len() > 1 {
+            let victim = *sp.shards[2].members.last().unwrap();
+            sp.remove(victim, &jurors);
+            jurors.remove(victim);
+        }
+        assert!(sp.refresh_degeneracy(25) > 0, "the hollowed shard must be flagged");
+        let merged_before: Vec<usize> = sp.merged_eps_order().unwrap().to_vec();
+        let greedy_before: Vec<usize> = sp.merged_greedy_order().unwrap().to_vec();
+        let moved = sp.rebalance(&jurors, 25);
+        assert!(moved > 0, "the episode must move jurors");
+        sp.refresh_degeneracy(25);
+        assert!(sp.shards.iter().all(|s| !s.degenerate), "re-balance must heal the flag");
+        // Membership permutation only: merged orders byte-for-byte
+        // unchanged, every shard still warm and internally consistent.
+        assert_eq!(sp.merged_eps_order().unwrap(), merged_before.as_slice());
+        assert_eq!(sp.merged_greedy_order().unwrap(), greedy_before.as_slice());
+        assert!(sp.shards.iter().all(|s| s.cache.is_some()));
+        for (si, shard) in sp.shards.iter().enumerate() {
+            assert!(shard.members.windows(2).all(|w| w[0] < w[1]), "members ascending");
+            for &m in &shard.members {
+                assert_eq!(sp.owner[m] as usize, si, "owner table tracks the move");
+            }
+            let c = cache(shard);
+            assert_eq!(c.eps_order.len(), shard.members.len());
+            assert_eq!(c.greedy_order.len(), shard.members.len());
+        }
+        // Rebuilding from scratch agrees with the repaired runs.
+        let mut fresh = ShardedPool::new(0, 4, 25);
+        fresh.owner = sp.owner.clone();
+        fresh.shards = sp
+            .shards
+            .iter()
+            .map(|s| Shard { members: s.members.clone(), cache: None, degenerate: false })
+            .collect();
+        fresh.warm(&jurors);
+        for (a, b) in sp.shards.iter().zip(&fresh.shards) {
+            assert_eq!(cache(a).eps_order, cache(b).eps_order);
+            assert_eq!(cache(a).greedy_order, cache(b).greedy_order);
+        }
+        // Probes ride the repaired ladders and stay within tolerance.
+        let mut order = Vec::new();
+        sorted_order_into(&jurors, &mut order);
+        let eps: Vec<f64> = order.iter().map(|&i| jurors[i].epsilon()).collect();
+        for n in [1usize, 15, 33, 45] {
+            let direct = PoiBin::from_error_rates(&eps[..n]).tail(JerEngine::majority_threshold(n));
+            assert!((sp.jer_probe(n) - direct).abs() < crate::ladder::PROBE_REPAIR_TOL, "n={n}");
+        }
     }
 
     #[test]

@@ -132,8 +132,15 @@ pub(crate) struct ArtifactSet {
     /// The odd-size JER profile — rank space.
     pub profile: OnceLock<Arc<JerProfile>>,
     /// Prefix-pmf checkpoint ladder over `eps_sorted` — rank space
-    /// (flat layouts only; sharded layouts keep per-shard ladders).
+    /// (flat layouts only; sharded layouts intern `shard_layer`).
     pub ladder: OnceLock<crate::ladder::PmfLadder>,
+    /// A sharded pool's per-shard warm layer (owner assignment plus
+    /// every shard's runs and ladder), filled by the first fully-warm
+    /// holder. Adoption is partition-verified: a pool whose owner
+    /// vector differs (equal content, different mutation history)
+    /// simply builds its shards privately. Flat layouts leave this
+    /// empty.
+    pub shard_layer: OnceLock<crate::shard::ShardLayer>,
     /// The PayM budget staircase over `greedy_order` (founding position
     /// space), recorded lazily per budget.
     pub staircase: RwLock<Staircase>,
@@ -152,6 +159,7 @@ impl ArtifactSet {
             altr: once_from(cache.altr),
             profile: once_from(cache.profile.map(Arc::new)),
             ladder: once_from(cache.ladder),
+            shard_layer: OnceLock::new(),
             staircase: RwLock::new(cache.staircase),
         }
     }
@@ -175,6 +183,7 @@ impl ArtifactSet {
             altr: OnceLock::new(),
             profile: OnceLock::new(),
             ladder: OnceLock::new(),
+            shard_layer: OnceLock::new(),
             staircase: RwLock::new(Staircase::new()),
         }
     }
@@ -276,6 +285,7 @@ impl ArtifactSet {
             altr: once_from(self.altr.get().cloned()),
             profile: once_from(self.profile.get().cloned()),
             ladder: once_from(self.ladder.get().cloned()),
+            shard_layer: once_from(self.shard_layer.get().cloned()),
             staircase: RwLock::new(self.staircase_read().clone()),
         }
     }

@@ -496,6 +496,98 @@ fn size_sweep_including_empty_shards() {
     }
 }
 
+/// A forced-degeneracy episode — hot-topic removals hollowing one shard
+/// until `refresh_degeneracy` flags it, healed by an online steal, then
+/// skewed ingest pouring every insert into the rebuilt gap — must keep
+/// selections bit-identical to a flat reference before, during and
+/// after the re-balance. Re-balancing is a pure permutation of shard
+/// membership, so the K-way-merged global order (and therefore every
+/// float the solvers touch) never changes.
+#[test]
+fn forced_degeneracy_rebalance_keeps_bit_identity() {
+    let k = 4;
+    let quotes: Vec<(f64, f64)> = (0..60)
+        .map(|i| {
+            let u = (i as f64 * 0.6180339887498949) % 1.0;
+            (0.02 + 0.93 * u, ((i * 3) % 7) as f64 / 7.0)
+        })
+        .collect();
+    let jurors = build(&quotes);
+    let mut sharded = sharded_service(k);
+    let mut flat = JuryService::new();
+    let sp = sharded.create_pool(jurors.clone());
+    let fp = flat.create_pool(jurors);
+    assert_eq!(sp, fp);
+    sharded.warm_pool(sp).unwrap();
+    flat.warm_pool(fp).unwrap();
+    let warm_full_repairs = sharded.stats().full_repairs;
+
+    let check = |sharded: &mut JuryService, flat: &mut JuryService, ctx: &str| {
+        for model in [CrowdModel::Altruism, CrowdModel::PayAsYouGo { budget: 1.3 }] {
+            let s = sharded.solve(&DecisionTask { pool: sp, model });
+            let f = flat.solve(&DecisionTask { pool: fp, model });
+            assert_identical(&s, &f, ctx);
+        }
+    };
+    check(&mut sharded, &mut flat, "warm baseline");
+
+    // Hollow out shard 0: its creation-time members sit at positions
+    // 0, 4, 8, … = 4m, and after removing original 4m the juror
+    // originally at 4(m+1) sits at position 3(m+1). Shard 0 starts with
+    // 15 of 60 jurors; the 13th removal drops it below 25% of the mean
+    // shard size, flagging the episode and triggering the steal.
+    for m in 0..13 {
+        sharded.remove_juror(sp, 3 * m).unwrap();
+        flat.remove_juror(fp, 3 * m).unwrap();
+        check(&mut sharded, &mut flat, &format!("during drain, removal {m}"));
+    }
+    let stats = sharded.stats();
+    assert_eq!(stats.degenerate_shards, 1, "the drain is one degeneracy episode");
+    assert_eq!(stats.shard_rebalances, 1, "the episode was healed by one re-balance");
+    assert_eq!(stats.full_repairs, warm_full_repairs, "healing never rebuilt a shard");
+    assert!(sharded.is_warm(sp), "the steal repairs in place — the pool stays warm");
+
+    // Skewed ingest: every insert lands on the smallest shard (the one
+    // just stolen from), and each is repaired in place.
+    for i in 0..16u32 {
+        let j = Juror::new(9000 + i, ErrorRate::new(0.03 + f64::from(i) / 40.0).unwrap(), 0.4);
+        sharded.insert_juror(sp, j).unwrap();
+        flat.insert_juror(fp, j).unwrap();
+        check(&mut sharded, &mut flat, &format!("after skewed insert {i}"));
+    }
+    let stats = sharded.stats();
+    assert_eq!(stats.insert_repairs, 16, "every insert was a rank-insert repair");
+    assert_eq!(stats.full_repairs, warm_full_repairs, "skewed ingest never rebuilt a shard");
+    assert!(sharded.is_warm(sp), "the pool never went cold across the episode");
+}
+
+/// Counter gate: a warm sharded insert repairs the owning shard in
+/// place — `full_repairs` must never tick, `insert_repairs` counts
+/// every one, and the pool stays warm throughout.
+#[test]
+fn warm_sharded_insert_never_full_repairs() {
+    for k in SHARD_COUNTS {
+        let quotes: Vec<(f64, f64)> = (0..40)
+            .map(|i| {
+                let u = (i as f64 * 0.6180339887498949) % 1.0;
+                (0.02 + 0.93 * u, ((i * 7) % 5) as f64 / 5.0)
+            })
+            .collect();
+        let mut service = sharded_service(k);
+        let pool = service.create_pool(build(&quotes));
+        service.warm_pool(pool).unwrap();
+        let base = service.stats().full_repairs;
+        for i in 0..24u32 {
+            let j = Juror::new(9000 + i, ErrorRate::new(0.05 + f64::from(i) / 50.0).unwrap(), 0.2);
+            service.insert_juror(pool, j).unwrap();
+            let stats = service.stats();
+            assert_eq!(stats.full_repairs, base, "k={k}: insert {i} must not full-repair");
+            assert_eq!(stats.insert_repairs, i as usize + 1, "k={k}: insert {i} repairs in place");
+            assert!(service.is_warm(pool), "k={k}: insert {i} must keep the pool warm");
+        }
+    }
+}
+
 /// An empty sharded pool reports the solver's errors, exactly like an
 /// empty flat pool.
 #[test]
