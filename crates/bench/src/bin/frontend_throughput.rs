@@ -301,7 +301,12 @@ fn main() {
         service.solve(&DecisionTask::altruism(p)).expect("warm-up solve");
         let frontend = Frontend::start(
             service,
-            FrontendConfig { max_batch, max_delay: MAX_DELAY, queue_capacity: 4096 },
+            FrontendConfig {
+                max_batch,
+                max_delay: MAX_DELAY,
+                queue_capacity: 4096,
+                ..FrontendConfig::default()
+            },
         );
         let stop = Arc::new(AtomicBool::new(false));
         let churn =

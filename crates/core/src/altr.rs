@@ -451,6 +451,14 @@ impl JerProfile {
         &self.entries
     }
 
+    /// Rebuilds a profile from decoded entries (snapshot restore),
+    /// re-validating the shape [`JerProfile::build`] guarantees: entry
+    /// `i` covers exactly `n = 2i + 1`. Returns `None` for any other
+    /// shape — the repair machinery indexes by that contract.
+    pub fn from_entries(entries: Vec<(usize, f64)>) -> Option<Self> {
+        entries.iter().enumerate().all(|(i, &(n, _))| n == 2 * i + 1).then_some(Self { entries })
+    }
+
     /// Repairs the profile after the run changed at (0-based) rank
     /// `rank` — the lowest rank whose value differs from the pre-mutation
     /// run (for an update that moved a value between ranks `a` and `b`,

@@ -181,4 +181,32 @@ proptest! {
         let expected = if yes * 2 > bits.len() { Decision::Yes } else { Decision::No };
         prop_assert_eq!(majority_vote(&v), expected);
     }
+
+    // A recorded staircase — including the +∞ top window and refusal
+    // (`null` selection) steps — must survive wire encode → decode →
+    // encode byte-identically, and decode lax against unknown fields
+    // (the snapshot persistence path depends on both).
+    #[test]
+    fn staircase_json_round_trips_and_decodes_lax(
+        pairs in rate_cost_pairs(24),
+        budgets in vec(0.0..6.0f64, 1..=12),
+    ) {
+        use serde::json;
+        let pool = paid_pool(&pairs);
+        let mut order = Vec::new();
+        PayAlg::greedy_order_into(&pool, &mut order);
+        let mut staircase = Staircase::new();
+        let mut scratch = SolverScratch::new();
+        for &budget in &budgets {
+            let alg = PayAlg::new(budget, PayConfig::default());
+            let _ = alg.solve_staircase(&pool, &order, &mut staircase, &mut scratch);
+        }
+        prop_assume!(!staircase.is_empty());
+        let text = json::to_string(&staircase);
+        let back: Staircase = json::from_str(&text).unwrap();
+        prop_assert_eq!(json::to_string(&back), text.clone());
+        let lax = format!("{{\"future_field\": [1, 2], {}", &text[1..]);
+        let back: Staircase = json::from_str(&lax).unwrap();
+        prop_assert_eq!(json::to_string(&back), text);
+    }
 }

@@ -144,8 +144,27 @@ fn handle_connection(stream: TcpStream, frontend: &Arc<Frontend>, stop: &AtomicB
             }
             ReadOutcome::Request(request) => {
                 let keep_alive = request.keep_alive;
-                if route(&mut conn, frontend, request).is_err() || !keep_alive {
-                    return;
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    route(&mut conn, frontend, request)
+                }));
+                match outcome {
+                    Ok(Ok(())) if keep_alive => {}
+                    Ok(_) => return,
+                    Err(_) => {
+                        // A panicking handler costs its connection, not
+                        // its worker: count it, answer a best-effort
+                        // 500, and go back to the accept loop.
+                        frontend.counters().worker_panics.fetch_add(1, Ordering::Relaxed);
+                        let _ = respond_error(
+                            &mut conn,
+                            500,
+                            None,
+                            false,
+                            "internal",
+                            "request handler panicked",
+                        );
+                        return;
+                    }
                 }
             }
         }
@@ -206,6 +225,14 @@ fn route(conn: &mut Conn, frontend: &Arc<Frontend>, request: Request) -> io::Res
                 Err(SubmitError::ShuttingDown) => {
                     respond_error(conn, 503, None, keep, "shutting-down", "front-end is draining")
                 }
+                Err(SubmitError::DeadlineExceeded) => respond_error(
+                    conn,
+                    429,
+                    None,
+                    keep,
+                    "deadline-exceeded",
+                    "queueing deadline elapsed before the task was dispatched",
+                ),
                 Err(SubmitError::Service(err)) => {
                     let status = match err {
                         ServiceError::UnknownPool(_) => 404,
@@ -238,6 +265,22 @@ fn route(conn: &mut Conn, frontend: &Arc<Frontend>, request: Request) -> io::Res
                 }
             }
         }
+        ("POST", "/v1/snapshot") => {
+            let dir = match snapshot_dir(&request.body, frontend) {
+                Ok(dir) => dir,
+                Err(msg) => {
+                    count_malformed(frontend);
+                    return respond_error(conn, 422, None, keep, "bad-request", &msg);
+                }
+            };
+            match frontend.with_service(|s| s.snapshot(&dir)) {
+                Ok(report) => respond_ok(conn, keep, &report),
+                Err(e) => respond_error(conn, 500, None, keep, "snapshot-failed", &e.to_string()),
+            }
+        }
+        ("POST", "/debug/panic") if frontend.debug_fault_routes() => {
+            panic!("debug fault injection requested via /debug/panic")
+        }
         ("GET", "/stats") => {
             use serde::Serialize;
             let service = frontend.service_stats();
@@ -254,6 +297,26 @@ fn route(conn: &mut Conn, frontend: &Arc<Frontend>, request: Request) -> io::Res
             respond_error(conn, 404, None, keep, "not-found", "no such route")
         }
     }
+}
+
+/// The snapshot target for `POST /v1/snapshot`: an explicit `{"dir"}`
+/// in the body wins, else the service's configured `snapshot_dir`, else
+/// the request is unprocessable.
+fn snapshot_dir(body: &[u8], frontend: &Frontend) -> Result<std::path::PathBuf, String> {
+    use serde::Deserialize as _;
+    if !body.is_empty() {
+        let value: serde::Value = {
+            let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+            serde::json::parse(text).map_err(|e| e.to_string())?
+        };
+        if let Some(dir) = value.get("dir") {
+            let dir = String::from_value(dir).map_err(|e| e.to_string())?;
+            return Ok(std::path::PathBuf::from(dir));
+        }
+    }
+    frontend
+        .with_service(|s| s.config().snapshot_dir.clone())
+        .ok_or_else(|| "no \"dir\" in body and no snapshot_dir configured".to_string())
 }
 
 fn error_kind(err: &ServiceError) -> &'static str {

@@ -67,6 +67,8 @@ impl Serialize for FrontendStats {
             ("malformed_requests", self.malformed_requests.to_value()),
             ("queue_wait_nanos", self.queue_wait_nanos.to_value()),
             ("solve_nanos", self.solve_nanos.to_value()),
+            ("deadline_rejections", self.deadline_rejections.to_value()),
+            ("worker_panics", self.worker_panics.to_value()),
         ])
     }
 }
@@ -92,6 +94,8 @@ impl Deserialize for FrontendStats {
             malformed_requests: counter("malformed_requests")?,
             queue_wait_nanos: counter("queue_wait_nanos")?,
             solve_nanos: counter("solve_nanos")?,
+            deadline_rejections: counter("deadline_rejections")?,
+            worker_panics: counter("worker_panics")?,
         })
     }
 }
@@ -114,6 +118,8 @@ mod tests {
             malformed_requests: 2,
             queue_wait_nanos: 123_456_789,
             solve_nanos: 42_000,
+            deadline_rejections: 6,
+            worker_panics: 1,
         };
         let text = json::to_string(&stats);
         let back: FrontendStats = json::from_str(&text).unwrap();

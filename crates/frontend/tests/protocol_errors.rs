@@ -135,6 +135,82 @@ fn overflow_returns_429_with_retry_hint() {
 }
 
 #[test]
+fn handler_panics_cost_their_connection_not_their_worker() {
+    let (server, pool) =
+        start_server(FrontendConfig { debug_fault_routes: true, ..FrontendConfig::default() });
+    let addr = server.local_addr();
+
+    // Three panics across a pool of two workers: if a panic killed its
+    // worker, the third request would find the pool empty.
+    for _ in 0..3 {
+        let mut client = Client::connect(addr).unwrap();
+        let response = client.request("POST", "/debug/panic", None).unwrap();
+        assert_eq!(response.status, 500);
+        assert_eq!(response.result.unwrap_err().kind, "internal");
+    }
+
+    // The acceptor and every worker survived; the service still solves.
+    let mut fresh = Client::connect(addr).unwrap();
+    let solved = fresh.solve("t0", &DecisionTask::altruism(pool)).unwrap().unwrap();
+    assert!(!solved.members.is_empty());
+    let stats = fresh.stats().unwrap().unwrap();
+    assert_eq!(stats.frontend.worker_panics, 3);
+    drop(fresh);
+    server.shutdown();
+
+    // The fault route is gated: off by default, it is an ordinary 404.
+    let (server, _) = start_server(FrontendConfig::default());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let response = client.request("POST", "/debug/panic", None).unwrap();
+    assert_eq!(response.status, 404);
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn blown_deadline_maps_to_429() {
+    use serde::Serialize;
+    let (server, pool) = start_server(FrontendConfig {
+        deadline: Some(Duration::from_millis(1)),
+        ..FrontendConfig::default()
+    });
+    let addr = server.local_addr();
+    let body = serde::json::to_string(&serde::Value::object([
+        ("tenant", "t0".to_string().to_value()),
+        ("task", DecisionTask::altruism(pool).to_value()),
+    ]));
+
+    let hold = std::sync::Barrier::new(2);
+    let release = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        use std::sync::atomic::Ordering;
+        let fe = server.frontend();
+        let (hold, release, body) = (&hold, &release, &body);
+        scope.spawn(move || {
+            fe.with_service(|_| {
+                hold.wait();
+                while !release.load(Ordering::Acquire) {
+                    std::thread::yield_now();
+                }
+            });
+        });
+        hold.wait();
+        let stale = scope.spawn(move || {
+            let mut client = Client::connect(addr).unwrap();
+            client.request("POST", "/v1/solve", Some(body)).unwrap()
+        });
+        wait_for(|| (fe.stats().requests >= 1).then_some(()), "the solve to queue");
+        std::thread::sleep(Duration::from_millis(30));
+        release.store(true, Ordering::Release);
+        let response = stale.join().expect("client panicked");
+        assert_eq!(response.status, 429);
+        assert_eq!(response.result.unwrap_err().kind, "deadline-exceeded");
+    });
+    assert_eq!(server.frontend().stats().deadline_rejections, 1);
+    server.shutdown();
+}
+
+#[test]
 fn pools_register_over_the_wire_and_solve() {
     let (server, _) = start_server(FrontendConfig::default());
     let mut client = Client::connect(server.local_addr()).unwrap();
@@ -147,4 +223,57 @@ fn pools_register_over_the_wire_and_solve() {
     assert_eq!(selection.jer.to_bits(), direct.jer.to_bits());
     drop(client);
     server.shutdown();
+}
+
+#[test]
+fn snapshot_route_persists_and_a_restarted_server_restores() {
+    use jury_service::ServiceConfig;
+    use serde::Serialize as _;
+
+    let dir = std::env::temp_dir().join(format!("jury-frontend-snapshot-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let (server, pool) = start_server(FrontendConfig::default());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // No body and no configured snapshot_dir: unprocessable, structured.
+    let response = client.request("POST", "/v1/snapshot", None).unwrap();
+    assert_eq!(response.status, 422);
+    assert_eq!(response.result.unwrap_err().kind, "bad-request");
+
+    // Warm the pool, then snapshot to an explicit directory from the body.
+    let first = client.solve("t0", &DecisionTask::altruism(pool)).unwrap().unwrap();
+    let body = serde::json::to_string(&serde::Value::object([(
+        "dir",
+        dir.display().to_string().to_value(),
+    )]));
+    let response = client.request("POST", "/v1/snapshot", Some(&body)).unwrap();
+    assert_eq!(response.status, 200);
+    let report = response.result.unwrap();
+    let entries = report.get("entries").and_then(serde::Value::as_f64).unwrap();
+    assert!(entries >= 1.0, "snapshot persisted nothing: {report:?}");
+    assert!(dir.join("manifest.json").is_file(), "manifest is the commit point");
+    server.shutdown();
+
+    // A restarted server over the same juror content and the directory
+    // configured answers its first task from the verified snapshot,
+    // bit-identically.
+    let jurors =
+        pool_from_rates_and_costs(&[(0.1, 0.2), (0.2, 0.1), (0.3, 0.4), (0.25, 0.3)]).unwrap();
+    let mut service = JuryService::with_config(ServiceConfig {
+        snapshot_dir: Some(dir.clone()),
+        ..Default::default()
+    });
+    let restarted = service.create_pool(jurors);
+    let frontend = Frontend::start(service, FrontendConfig::default());
+    let server = HttpServer::start(frontend, "127.0.0.1:0", 2).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let restored = client.solve("t0", &DecisionTask::altruism(restarted)).unwrap().unwrap();
+    assert_eq!(restored.members, first.members);
+    assert_eq!(restored.jer.to_bits(), first.jer.to_bits());
+    let stats = client.stats().unwrap().unwrap();
+    assert_eq!(stats.service.snapshot_restores, 1, "first answer came from the snapshot");
+    assert_eq!(stats.service.snapshot_rejections, 0);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
 }

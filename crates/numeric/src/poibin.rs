@@ -261,6 +261,18 @@ impl PoiBin {
         Self { pmf }
     }
 
+    /// Non-panicking [`PoiBin::from_pmf`] for untrusted inputs (wire
+    /// decodes, snapshot restores): `None` whenever `from_pmf` would
+    /// panic — empty pmf, non-probability entries, or a total off 1 by
+    /// more than `1e-6`.
+    pub fn try_from_pmf(pmf: Vec<f64>) -> Option<Self> {
+        if pmf.is_empty() || !pmf.iter().all(|&p| is_probability(p)) {
+            return None;
+        }
+        let total: f64 = pmf.iter().copied().collect::<KahanSum>().value();
+        ((total - 1.0).abs() < 1e-6).then_some(Self { pmf })
+    }
+
     /// Number of underlying Bernoulli trials (jury size).
     #[inline]
     pub fn n(&self) -> usize {

@@ -39,6 +39,7 @@
 //! they share the same numerical (not bit-level) contract.
 
 use jury_numeric::poibin::PoiBin;
+use serde::{Deserialize, Error, Serialize, Value};
 
 /// Target spacing between prefix-pmf checkpoints in a ladder. Repairs
 /// let individual checkpoints drift off exact multiples; rebalancing
@@ -243,6 +244,66 @@ impl PmfLadder {
             i += 1;
         }
     }
+
+    /// Raw checkpoints for the snapshot codec: `(len, pmf)` ascending in
+    /// `len`.
+    pub(crate) fn checkpoints_raw(&self) -> impl Iterator<Item = (usize, &PoiBin)> {
+        self.checkpoints.iter().map(|cp| (cp.len, &cp.pmf))
+    }
+
+    /// Rebuilds a ladder from decoded checkpoints, re-validating the
+    /// structural invariants every repair maintains — snapshot bytes are
+    /// untrusted. Rejects non-ascending or zero lengths, lengths over
+    /// [`LADDER_MAX`], and any pmf not covering exactly `len` trials.
+    /// (Whether the pmf *values* match the run is the caller's gate —
+    /// [`PoiBin::content_hash`] against the recorded hash.)
+    pub(crate) fn from_checkpoints_raw(raw: Vec<(usize, PoiBin)>) -> Option<Self> {
+        let mut prev = 0usize;
+        for &(len, ref pmf) in &raw {
+            if len <= prev || len > LADDER_MAX || pmf.n() != len {
+                return None;
+            }
+            prev = len;
+        }
+        Some(Self {
+            checkpoints: raw.into_iter().map(|(len, pmf)| Checkpoint { len, pmf }).collect(),
+        })
+    }
+}
+
+impl Serialize for PmfLadder {
+    fn to_value(&self) -> Value {
+        let checkpoints: Vec<Value> = self
+            .checkpoints
+            .iter()
+            .map(|cp| {
+                Value::object([
+                    ("len", cp.len.to_value()),
+                    ("pmf", cp.pmf.pmf().to_vec().to_value()),
+                ])
+            })
+            .collect();
+        Value::object([("checkpoints", Value::Array(checkpoints))])
+    }
+}
+
+impl Deserialize for PmfLadder {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let Some(Value::Array(checkpoints)) = value.get("checkpoints") else {
+            return Err(Error::expected("a ladder with a `checkpoints` array", value));
+        };
+        let mut raw = Vec::with_capacity(checkpoints.len());
+        for cp in checkpoints {
+            let len = usize::from_value(cp.get("len").ok_or_else(|| Error::missing_field("len"))?)?;
+            let pmf =
+                Vec::<f64>::from_value(cp.get("pmf").ok_or_else(|| Error::missing_field("pmf"))?)?;
+            let pmf = PoiBin::try_from_pmf(pmf)
+                .ok_or_else(|| Error::custom("checkpoint pmf is not a distribution"))?;
+            raw.push((len, pmf));
+        }
+        Self::from_checkpoints_raw(raw)
+            .ok_or_else(|| Error::custom("ladder checkpoints violate the length invariant"))
+    }
 }
 
 #[cfg(test)]
@@ -436,6 +497,32 @@ mod tests {
         for (a, b) in ladder.checkpoints.iter().zip(&fresh.checkpoints) {
             assert_eq!(a.len, b.len);
             assert_eq!(a.pmf.content_hash(), b.pmf.content_hash(), "len {}", a.len);
+        }
+    }
+
+    mod wire_round_trip {
+        use super::*;
+        use proptest::collection::vec;
+        use proptest::prelude::*;
+        use serde::json;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+            // Encode → decode → encode is byte-identical, and a decoder
+            // meeting a future writer's extra fields ignores them (the
+            // snapshot restore path and `/stats` consumers rely on both).
+            #[test]
+            fn ladder_json_round_trips_and_decodes_lax(eps in vec(0.02..0.98f64, 1..=300)) {
+                let mut eps = eps;
+                eps.sort_by(f64::total_cmp);
+                let ladder = PmfLadder::build(&eps);
+                let text = json::to_string(&ladder);
+                let back: PmfLadder = json::from_str(&text).unwrap();
+                prop_assert_eq!(json::to_string(&back), text.clone());
+                let lax = format!("{{\"future_field\": true, {}", &text[1..]);
+                let back: PmfLadder = json::from_str(&lax).unwrap();
+                prop_assert_eq!(json::to_string(&back), text);
+            }
         }
     }
 }

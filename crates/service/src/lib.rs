@@ -212,6 +212,47 @@
 //! `altrm_throughput` and `rebalance_throughput` benches record it at
 //! pool sizes up to 10⁶.
 //!
+//! # Persistence contract
+//!
+//! [`JuryService::snapshot`] persists the warm-artifact store to a
+//! directory; a service whose [`ServiceConfig::snapshot_dir`] points at
+//! one restores matching pools on registration instead of rebuilding.
+//! The contract has three clauses:
+//!
+//! * **Writes are crash-safe.** Each store entry becomes one
+//!   checksummed binary file, written to a temp name, fsync'd, and
+//!   atomically renamed; the manifest naming the entries is written
+//!   last, by the same dance, and is the commit point. A crash at any
+//!   instant leaves either the previous snapshot or the new one —
+//!   never a torn mix — and a crash mid-entry leaves the manifest
+//!   pointing only at fully-written files.
+//! * **Restores are verified, never trusted.** A snapshot is input,
+//!   not state: before anything is attached the whole file is
+//!   re-checksummed, every section is re-checksummed and decoded, the
+//!   orders are checked to be permutations, sorted ε values re-bound
+//!   bit-for-bit against the registering pool's jurors, the pmf
+//!   ladder's content hash re-derived, shard layouts re-validated
+//!   (the shard layer's owner/cache binding), and the decoded
+//!   juror content compared against the pool's actual content — the
+//!   same `match_pool` comparison the in-memory attach path uses. A
+//!   restored artifact set is therefore indistinguishable from one the
+//!   store built itself, and restored answers are bit-identical to
+//!   cold-built ones.
+//! * **Failure is always a cold build.** Any mismatch — truncation, a
+//!   flipped bit anywhere, a stale manifest, layout or config drift, a
+//!   snapshot of different juror content — rejects that entry and
+//!   falls back to the ordinary cold build. Restore failures are never
+//!   an error and can never change an answer; they cost exactly one
+//!   [`ServiceStats::snapshot_rejections`] increment. Successful
+//!   attaches count [`ServiceStats::snapshot_restores`].
+//!
+//! `tests/snapshot_faults.rs` drives the full fault matrix (truncation
+//! at every section boundary, one flipped bit per field class, swapped
+//! manifest entries, post-snapshot mutation, manifest skew) and proves
+//! cold-fallback bit-identity under every fault; the
+//! `restart_throughput` bench measures restart-to-first-answer, cold vs
+//! restored, at pool sizes up to 10⁶.
+//!
 //! ```
 //! use jury_core::juror::pool_from_rates_and_costs;
 //! use jury_service::{DecisionTask, JuryService};
@@ -236,10 +277,12 @@
 
 mod ladder;
 mod shard;
+mod snapshot;
 mod store;
 
 pub use ladder::PROBE_REPAIR_TOL;
 pub use shard::ShardConfig;
+pub use snapshot::{snapshot_checksum, SnapshotReport};
 
 use jury_core::altr::{AltrAlg, AltrConfig, AltrStrategy, JerProfile};
 use jury_core::error::JuryError;
@@ -256,6 +299,7 @@ use serde::{Deserialize, Error as SerdeError, Serialize, Value};
 use shard::{reinsert_eps, reinsert_greedy, renumber_out, MutationEffect, ShardedPool};
 use std::collections::HashMap;
 use std::fmt;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use store::{
@@ -413,7 +457,7 @@ impl Deserialize for ServiceError {
 }
 
 /// Tuning knobs for a [`JuryService`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServiceConfig {
     /// Worker threads for [`JuryService::solve_batch`]
     /// (0 = one per available core).
@@ -443,6 +487,18 @@ pub struct ServiceConfig {
     /// the sole-holder zero-copy reclaim (they clone what repairs touch),
     /// and orphans hold memory for up to `ttl`.
     pub store_ttl: Option<Duration>,
+    /// Directory of a warm-state snapshot to restore from (see the
+    /// crate docs' *persistence contract*). With `Some(dir)`, a pool
+    /// registering content the snapshot holds attaches to the verified
+    /// restored artifacts at warm-up instead of cold-building; every
+    /// loaded artifact is re-verified against the live pool first, and
+    /// any mismatch falls back to the cold build (counted by
+    /// [`ServiceStats::snapshot_rejections`]) — never an error, never
+    /// a wrong answer. `None` (the default) restores nothing.
+    /// Restoring requires [`ServiceConfig::share_artifacts`] (restored
+    /// entries are store entries). The directory is only *read*;
+    /// writing snapshots is explicit via [`JuryService::snapshot`].
+    pub snapshot_dir: Option<PathBuf>,
 }
 
 impl Default for ServiceConfig {
@@ -454,6 +510,7 @@ impl Default for ServiceConfig {
             shard: ShardConfig::default(),
             share_artifacts: true,
             store_ttl: None,
+            snapshot_dir: None,
         }
     }
 }
@@ -568,6 +625,16 @@ pub struct ServiceStats {
     /// no pool held for longer than [`ServiceConfig::store_ttl`]. Stays
     /// zero under the default refcount-eviction policy.
     pub store_ttl_evictions: usize,
+    /// Warm-up attaches served from a verified snapshot entry
+    /// ([`ServiceConfig::snapshot_dir`]): the pool skipped its cold
+    /// build because restored artifacts passed every verification gate.
+    pub snapshot_restores: usize,
+    /// Snapshot candidates *refused* at restore time — truncated or
+    /// bit-flipped files, section/manifest checksum mismatches, version
+    /// skew, key or content mismatches against the registering pool,
+    /// and layout/config drift over known content. Each rejection falls
+    /// back to the ordinary cold build.
+    pub snapshot_rejections: usize,
 }
 
 impl Serialize for ServiceStats {
@@ -593,6 +660,8 @@ impl Serialize for ServiceStats {
             ("artifact_detaches", self.artifact_detaches.to_value()),
             ("artifact_rejoins", self.artifact_rejoins.to_value()),
             ("store_ttl_evictions", self.store_ttl_evictions.to_value()),
+            ("snapshot_restores", self.snapshot_restores.to_value()),
+            ("snapshot_rejections", self.snapshot_rejections.to_value()),
         ])
     }
 }
@@ -623,6 +692,8 @@ impl Deserialize for ServiceStats {
             artifact_detaches: stat_field(value, "artifact_detaches")?,
             artifact_rejoins: stat_field(value, "artifact_rejoins")?,
             store_ttl_evictions: stat_field(value, "store_ttl_evictions")?,
+            snapshot_restores: stat_field(value, "snapshot_restores")?,
+            snapshot_rejections: stat_field(value, "snapshot_rejections")?,
         })
     }
 }
@@ -763,6 +834,9 @@ pub struct JuryService {
     scratches: Vec<SolverScratch>,
     /// The content-addressed warm-artifact store (see the crate docs).
     store: ArtifactStore,
+    /// The parsed snapshot catalog when [`ServiceConfig::snapshot_dir`]
+    /// is set — consulted (read-only) by warm-ups before cold-building.
+    snapshots: Option<snapshot::Catalog>,
 }
 
 impl Clone for JuryService {
@@ -793,12 +867,13 @@ impl Clone for JuryService {
             }
         }
         Self {
-            config: self.config,
+            config: self.config.clone(),
             pools,
             next_pool: self.next_pool,
             stats: self.stats,
             scratches: Vec::new(),
             store,
+            snapshots: self.snapshots.clone(),
         }
     }
 }
@@ -830,9 +905,14 @@ impl JuryService {
         Self::default()
     }
 
-    /// A service with explicit configuration.
+    /// A service with explicit configuration. When
+    /// [`ServiceConfig::snapshot_dir`] is set, the directory's manifest
+    /// is read (once, here); entry files are opened lazily as matching
+    /// content registers. A missing manifest is simply an empty catalog
+    /// — a fresh directory restores nothing and rejects nothing.
     pub fn with_config(config: ServiceConfig) -> Self {
-        Self { config, ..Self::default() }
+        let snapshots = config.snapshot_dir.as_deref().map(snapshot::Catalog::load);
+        Self { config, snapshots, ..Self::default() }
     }
 
     /// The active configuration.
@@ -848,6 +928,19 @@ impl JuryService {
     /// Number of registered pools.
     pub fn pool_count(&self) -> usize {
         self.pools.len()
+    }
+
+    /// Persists every interned warm-artifact entry to `dir`,
+    /// crash-safely: each entry file is temp-written, fsynced and
+    /// atomically renamed, and the manifest is committed *last* the
+    /// same way — a crash mid-snapshot leaves the previous snapshot
+    /// fully readable (see the crate docs' *persistence contract*).
+    /// Read back by a service whose [`ServiceConfig::snapshot_dir`]
+    /// points here. Only store entries are persisted: private
+    /// (unshared) pool caches and pool registrations themselves are
+    /// rebuilt by the restarted process's own `create_pool` calls.
+    pub fn snapshot(&self, dir: impl AsRef<Path>) -> std::io::Result<SnapshotReport> {
+        snapshot::write_snapshot(dir.as_ref(), self.store.iter_entries())
     }
 
     // ------------------------------------------------------------------
@@ -1285,7 +1378,9 @@ impl JuryService {
         let mut shard_reps = 0usize;
         let mut pruned = 0usize;
         let mut share_hits = 0usize;
-        let Self { pools, store, .. } = &mut *self;
+        let mut restores = 0usize;
+        let mut rejections = 0usize;
+        let Self { pools, store, snapshots, .. } = &mut *self;
         let outcome = match pools.get_mut(&pool.0) {
             None => Err(ServiceError::UnknownPool(pool)),
             Some(PoolEntry { jurors, state, fp }) => {
@@ -1299,6 +1394,16 @@ impl JuryService {
                                 layout: LayoutKey::Flat,
                                 config: config_bits,
                             };
+                            if share {
+                                restore_into_store(
+                                    store,
+                                    snapshots.as_ref(),
+                                    &key,
+                                    jurors,
+                                    &mut restores,
+                                    &mut rejections,
+                                );
+                            }
                             let (acquired, attached) =
                                 acquire_flat(store, key, jurors, share, || {
                                     let built =
@@ -1390,6 +1495,16 @@ impl JuryService {
                                 layout: LayoutKey::Sharded { shards: sp.shard_count() },
                                 config: config_bits,
                             };
+                            if share {
+                                restore_into_store(
+                                    store,
+                                    snapshots.as_ref(),
+                                    &key,
+                                    jurors,
+                                    &mut restores,
+                                    &mut rejections,
+                                );
+                            }
                             let attached = share.then(|| store.get(&key)).flatten().filter(|set| {
                                 matches!(set.match_pool(jurors), Some(Attach::Identical))
                             });
@@ -1458,6 +1573,8 @@ impl JuryService {
         self.stats.shard_repairs += shard_reps;
         self.stats.bound_pruned += pruned;
         self.stats.artifact_share_hits += share_hits;
+        self.stats.snapshot_restores += restores;
+        self.stats.snapshot_rejections += rejections;
         outcome
     }
 
@@ -1674,12 +1791,22 @@ impl JuryService {
         }
         let share = self.config.share_artifacts;
         let config_bits = config_key(&self.config);
-        let Self { pools, store, stats, .. } = &mut *self;
+        let Self { pools, store, stats, snapshots, .. } = &mut *self;
         let entry = pools.get_mut(&pool.0).expect("checked above");
         if let PoolState::Flat { cache } = &mut entry.state {
             if matches!(cache, FlatCache::Cold) {
                 let key =
                     StoreKey { fp: entry.fp.key(), layout: LayoutKey::Flat, config: config_bits };
+                if share {
+                    restore_into_store(
+                        store,
+                        snapshots.as_ref(),
+                        &key,
+                        &entry.jurors,
+                        &mut stats.snapshot_restores,
+                        &mut stats.snapshot_rejections,
+                    );
+                }
                 let (acquired, attached) = acquire_flat(store, key, &entry.jurors, share, || {
                     build_orders_only(&entry.jurors)
                 });
@@ -2471,6 +2598,34 @@ fn solve_on_entry(
                 },
             },
         },
+    }
+}
+
+/// Seeds the store from the snapshot catalog before an attach: when
+/// `key` is not interned and the catalog holds a candidate, the first
+/// fully-verified entry is published so the ordinary attach path that
+/// follows finds it warm. Counts into the two snapshot stats; a
+/// rejected or absent candidate simply leaves the store unchanged (the
+/// caller cold-builds). No-op without a catalog or when the key is
+/// already interned (live state always wins).
+fn restore_into_store(
+    store: &mut ArtifactStore,
+    catalog: Option<&snapshot::Catalog>,
+    key: &StoreKey,
+    jurors: &[Juror],
+    restores: &mut usize,
+    rejections: &mut usize,
+) {
+    let Some(catalog) = catalog else { return };
+    if store.contains(key) {
+        return;
+    }
+    let attempt = catalog.restore(key, jurors);
+    *rejections += attempt.rejections;
+    if let Some(set) = attempt.set {
+        if store.publish(*key, set).is_ok() {
+            *restores += 1;
+        }
     }
 }
 

@@ -61,6 +61,7 @@ use jury_core::problem::Selection;
 use jury_core::solver::{eps_cmp, SolverScratch};
 use jury_numeric::conv::ConvScratch;
 use jury_numeric::poibin::PoiBin;
+use serde::{Deserialize, Error, Serialize, Value};
 use std::cmp::Ordering;
 use std::sync::Arc;
 
@@ -129,6 +130,33 @@ pub(crate) struct ShardCache {
     /// Prefix-pmf checkpoints over `eps`, repaired in place on juror
     /// mutations (see [`crate::ladder`]).
     ladder: PmfLadder,
+}
+
+impl ShardCache {
+    /// Raw parts for the snapshot codec:
+    /// `(eps_order, eps, greedy_order, ladder)`.
+    pub(crate) fn raw_parts(&self) -> (&[usize], &[f64], &[usize], &PmfLadder) {
+        (&self.eps_order, &self.eps, &self.greedy_order, &self.ladder)
+    }
+
+    /// Rebuilds a shard cache from decoded parts, checking only the
+    /// run-local shape (aligned lengths, ascending ε run). Membership
+    /// consistency against the owner vector is [`ShardLayer::from_raw`]'s
+    /// job — it sees all shards at once.
+    pub(crate) fn from_raw_parts(
+        eps_order: Vec<usize>,
+        eps: Vec<f64>,
+        greedy_order: Vec<usize>,
+        ladder: PmfLadder,
+    ) -> Option<Self> {
+        if eps_order.len() != eps.len() || eps_order.len() != greedy_order.len() {
+            return None;
+        }
+        if eps.windows(2).any(|w| w[0].partial_cmp(&w[1]).is_none_or(|o| o.is_gt())) {
+            return None; // incomparable (NaN) rates rejected too
+        }
+        Some(Self { eps_order, eps, greedy_order, ladder })
+    }
 }
 
 /// One shard: an owned subset of pool positions plus its cached state.
@@ -211,6 +239,104 @@ pub(crate) struct MutationEffect {
 pub(crate) struct ShardLayer {
     owner: Vec<u32>,
     caches: Vec<Arc<ShardCache>>,
+}
+
+impl ShardLayer {
+    /// The owning shard per pool position.
+    pub(crate) fn owner(&self) -> &[u32] {
+        &self.owner
+    }
+
+    /// The per-shard caches, indexed by shard.
+    pub(crate) fn caches(&self) -> &[Arc<ShardCache>] {
+        &self.caches
+    }
+
+    /// Rebuilds a layer from decoded parts, re-validating the partition
+    /// invariants — snapshot bytes are untrusted and a malformed layer
+    /// would index out of the pool or desynchronise the per-shard runs.
+    /// Each pool position must be owned by an existing shard and appear
+    /// in **exactly** that shard's ε run and greedy run (checked with
+    /// per-order seen maps, so duplicates and omissions both reject).
+    pub(crate) fn from_raw(owner: Vec<u32>, caches: Vec<Arc<ShardCache>>) -> Option<Self> {
+        if owner.iter().any(|&o| (o as usize) >= caches.len()) {
+            return None;
+        }
+        let total: usize = caches.iter().map(|c| c.eps_order.len()).sum();
+        if total != owner.len() {
+            return None;
+        }
+        let mut seen_eps = vec![false; owner.len()];
+        let mut seen_greedy = vec![false; owner.len()];
+        for (si, cache) in caches.iter().enumerate() {
+            if cache.greedy_order.len() != cache.eps_order.len() {
+                return None;
+            }
+            for (seen, order) in
+                [(&mut seen_eps, &cache.eps_order), (&mut seen_greedy, &cache.greedy_order)]
+            {
+                for &p in order.iter() {
+                    if p >= owner.len()
+                        || owner[p] as usize != si
+                        || std::mem::replace(&mut seen[p], true)
+                    {
+                        return None;
+                    }
+                }
+            }
+        }
+        Some(Self { owner, caches })
+    }
+}
+
+impl Serialize for ShardCache {
+    fn to_value(&self) -> Value {
+        Value::object([
+            ("eps_order", self.eps_order.clone().to_value()),
+            ("eps", self.eps.clone().to_value()),
+            ("greedy_order", self.greedy_order.clone().to_value()),
+            ("ladder", self.ladder.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for ShardCache {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let field = |name: &str| value.get(name).ok_or_else(|| Error::missing_field(name));
+        Self::from_raw_parts(
+            Vec::<usize>::from_value(field("eps_order")?)?,
+            Vec::<f64>::from_value(field("eps")?)?,
+            Vec::<usize>::from_value(field("greedy_order")?)?,
+            PmfLadder::from_value(field("ladder")?)?,
+        )
+        .ok_or_else(|| Error::custom("shard cache runs are misaligned or unsorted"))
+    }
+}
+
+impl Serialize for ShardLayer {
+    fn to_value(&self) -> Value {
+        Value::object([
+            ("owner", self.owner.clone().to_value()),
+            ("caches", Value::Array(self.caches.iter().map(|c| c.to_value()).collect())),
+        ])
+    }
+}
+
+impl Deserialize for ShardLayer {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let owner = Vec::<u32>::from_value(
+            value.get("owner").ok_or_else(|| Error::missing_field("owner"))?,
+        )?;
+        let Some(Value::Array(caches)) = value.get("caches") else {
+            return Err(Error::expected("a layer with a `caches` array", value));
+        };
+        let caches = caches
+            .iter()
+            .map(|c| ShardCache::from_value(c).map(Arc::new))
+            .collect::<Result<Vec<_>, _>>()?;
+        Self::from_raw(owner, caches)
+            .ok_or_else(|| Error::custom("shard layer violates the partition invariant"))
+    }
 }
 
 /// What a [`ShardedPool::warm`] call rebuilt (test observability; the
@@ -1147,5 +1273,44 @@ mod tests {
         let eps: Vec<f64> = order.iter().map(|&i| jurors[i].epsilon()).collect();
         let direct = PoiBin::from_error_rates(&eps[..n]).tail(JerEngine::majority_threshold(n));
         assert!((sp.jer_probe(n) - direct).abs() < 1e-9);
+    }
+
+    mod wire_round_trip {
+        use super::*;
+        use proptest::collection::vec;
+        use proptest::prelude::*;
+        use serde::json;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+            // A warm layer — owner partition, per-shard sorted runs and
+            // greedy orders, nested ladders — must survive encode →
+            // decode → encode byte-identically, and decode lax against
+            // unknown fields at both the layer and the cache level.
+            #[test]
+            fn shard_layer_json_round_trips_and_decodes_lax(
+                pairs in vec((0.02..0.95f64, 0.0..1.0f64), 1..=60),
+                k in 1usize..6,
+            ) {
+                let jurors = pool_from_rates_and_costs(&pairs).unwrap();
+                let mut sp = ShardedPool::new(jurors.len(), k, 25);
+                sp.warm(&jurors);
+                let layer = sp.export_shard_layer().unwrap();
+                let text = json::to_string(&layer);
+                let back: ShardLayer = json::from_str(&text).unwrap();
+                prop_assert_eq!(json::to_string(&back), text.clone());
+                let lax = format!("{{\"future_field\": 7, {}", &text[1..]);
+                let back: ShardLayer = json::from_str(&lax).unwrap();
+                prop_assert_eq!(json::to_string(&back), text);
+
+                let cache = layer.caches().first().unwrap();
+                let text = json::to_string(&**cache);
+                let back: ShardCache = json::from_str(&text).unwrap();
+                prop_assert_eq!(json::to_string(&back), text.clone());
+                let lax = format!("{{\"future_field\": \"x\", {}", &text[1..]);
+                let back: ShardCache = json::from_str(&lax).unwrap();
+                prop_assert_eq!(json::to_string(&back), text);
+            }
+        }
     }
 }

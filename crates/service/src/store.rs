@@ -188,6 +188,47 @@ impl ArtifactSet {
         }
     }
 
+    /// The founding `(ε bits, cost bits)` sequence — the content identity
+    /// the snapshot codec persists and restore re-verifies.
+    pub(crate) fn seq(&self) -> &[(u64, u64)] {
+        &self.seq
+    }
+
+    /// Reassembles an entry from verified snapshot parts. `tie_free` is
+    /// *recomputed* from the sequence, never trusted from disk — it gates
+    /// permuted sharing, where a wrong `true` would break bit-identity.
+    /// Content/shape validation (the permutation and binding checks) is
+    /// the snapshot loader's job; this only rebuilds the struct.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_restored(
+        seq: Vec<(u64, u64)>,
+        eps_order: Vec<usize>,
+        eps_sorted: Vec<f64>,
+        greedy_order: Vec<usize>,
+        altr: Option<AltrAnswer>,
+        profile: Option<Arc<JerProfile>>,
+        ladder: Option<crate::ladder::PmfLadder>,
+        shard_layer: Option<crate::shard::ShardLayer>,
+        staircase: Staircase,
+    ) -> Self {
+        let tie_free = eps_order.windows(2).all(|w| {
+            let (a, b) = (seq[w[0]], seq[w[1]]);
+            a.0 != b.0 || a.1 == b.1
+        });
+        Self {
+            seq,
+            tie_free,
+            eps_order: Arc::new(eps_order),
+            eps_sorted: Arc::new(eps_sorted),
+            greedy_order: Arc::new(greedy_order),
+            altr: once_from(altr),
+            profile: once_from(profile),
+            ladder: once_from(ladder),
+            shard_layer: once_from(shard_layer),
+            staircase: RwLock::new(staircase),
+        }
+    }
+
     /// Classifies `jurors` against the founding sequence: identical,
     /// permuted-but-equal (tie-free entries only), or no match (content
     /// differs — a fingerprint collision, which only costs the share).
@@ -515,5 +556,10 @@ impl ArtifactStore {
     /// Number of interned entries (observability / tests).
     pub(crate) fn len(&self) -> usize {
         self.entries.len()
+    }
+
+    /// Every interned entry, for the snapshot writer.
+    pub(crate) fn iter_entries(&self) -> impl Iterator<Item = (&StoreKey, &Arc<ArtifactSet>)> {
+        self.entries.iter()
     }
 }
