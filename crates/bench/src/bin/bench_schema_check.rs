@@ -59,12 +59,51 @@ fn main() -> ExitCode {
             missing.push((section, emitter));
         }
     }
-    if missing.is_empty() {
+    // Field-level guard: every "restart" row must carry the
+    // incremental-checkpoint figures, not just the restore ones — a
+    // regression to the full-rewrite emitter would otherwise keep the
+    // section present while silently dropping the trajectory.
+    let restart_rows_ok = fields.iter().any(|(key, value)| {
+        key == "restart"
+            && match value {
+                Value::Object(inner) => inner.iter().any(|(k, v)| {
+                    k == "results"
+                        && matches!(v, Value::Array(rows) if !rows.is_empty()
+                            && rows.iter().all(row_has_checkpoint_fields))
+                }),
+                _ => false,
+            }
+    });
+
+    if missing.is_empty() && restart_rows_ok {
         println!("[schema] {path}: all {} sections present", REQUIRED_SECTIONS.len());
         return ExitCode::SUCCESS;
     }
     for (section, emitter) in &missing {
         eprintln!("[schema] {path}: section \"{section}\" missing or empty (re-run {emitter})");
     }
+    if !restart_rows_ok {
+        eprintln!(
+            "[schema] {path}: \"restart\" rows lack the incremental-checkpoint fields \
+             {CHECKPOINT_FIELDS:?} (re-run restart_throughput)"
+        );
+    }
     ExitCode::FAILURE
+}
+
+/// The incremental-checkpoint figures every restart row must report.
+const CHECKPOINT_FIELDS: [&str; 4] = [
+    "checkpoint_written",
+    "checkpoint_full_secs",
+    "checkpoint_incremental_secs",
+    "checkpoint_speedup",
+];
+
+fn row_has_checkpoint_fields(row: &Value) -> bool {
+    match row {
+        Value::Object(fields) => {
+            CHECKPOINT_FIELDS.iter().all(|want| fields.iter().any(|(key, _)| key == want))
+        }
+        _ => false,
+    }
 }

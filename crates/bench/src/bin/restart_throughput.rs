@@ -14,6 +14,14 @@
 //! service, register the pool, solve the first task. Both answers are
 //! asserted bit-identical before anything is reported.
 //!
+//! A second measurement prices the *incremental checkpoint*: a fleet of
+//! content-distinct pools is warmed and fully checkpointed once, then
+//! ~1% of the fleet churns (a pool retires, a fresh-content replacement
+//! warms up) and the directory is re-checkpointed. The second commit
+//! must write exactly the churned entries (counter-asserted) and, at
+//! the 10⁶-juror scale, come in at least 10× cheaper than the full
+//! rewrite.
+//!
 //! Appends a `"restart"` section to `BENCH_service.json` (run
 //! `service_throughput` first — it rewrites the whole file). `--smoke`
 //! runs a sub-second version on a tiny pool and writes nothing — CI
@@ -24,7 +32,7 @@
 //! ```
 
 use jury_bench::report::{fmt_secs, Report};
-use jury_bench::timing::time_best_of;
+use jury_bench::timing::{time_best_of, time_it};
 use jury_core::juror::{pool_from_rates_and_costs, Juror};
 use jury_service::{DecisionTask, JuryService, ServiceConfig};
 use serde::{json, Serialize, Value};
@@ -38,10 +46,18 @@ use std::path::{Path, PathBuf};
 /// uniform ε spread causes (the sorted prefix mean must cross ½ for
 /// the bound sweep to prune — see `AltrAlg::solve_pruned`).
 fn pool(n: usize) -> Vec<Juror> {
+    distinct_pool(n, 0)
+}
+
+/// A content-distinct variant of [`pool`]: `salt` rotates the
+/// golden-ratio phase, so every member of the checkpoint fleet interns
+/// its own store entry (equal juror multisets would share one).
+fn distinct_pool(n: usize, salt: usize) -> Vec<Juror> {
     let experts = n.div_ceil(50);
     let quotes: Vec<(f64, f64)> = (0..n)
         .map(|i| {
-            let u = (i as f64 * 0.6180339887498949) % 1.0; // golden-ratio spread
+            // golden-ratio spread, phase-rotated per pool
+            let u = (i as f64 * 0.6180339887498949 + salt as f64 * 0.3819660112501051) % 1.0;
             let eps = if i < experts { 0.02 + 0.43 * u } else { 0.55 + 0.40 * u };
             (eps, 0.05 + u * u)
         })
@@ -85,6 +101,36 @@ fn seed_snapshot(dir: &Path, jurors: &[Juror]) {
     assert!(report.entries >= 1, "seed snapshot persisted nothing");
 }
 
+/// Incremental-checkpoint economics: warms a fleet of `fleet`
+/// content-distinct pools of `per` jurors each, prices the full first
+/// checkpoint of `dir`, churns `churned` pools (one retires, a
+/// fresh-content replacement warms up), and prices the re-checkpoint —
+/// which must write exactly the churned entries and retain the rest by
+/// reference. Returns `(full_secs, incremental_secs)`.
+fn checkpoint_costs(dir: &Path, fleet: usize, per: usize, churned: usize) -> (f64, f64) {
+    let _ = std::fs::remove_dir_all(dir);
+    let mut service = JuryService::new();
+    let ids: Vec<_> = (0..fleet)
+        .map(|salt| {
+            let id = service.create_pool(distinct_pool(per, salt));
+            service.warm_pool(id).expect("fleet pool warms");
+            id
+        })
+        .collect();
+    let (full, full_secs) = time_it(|| service.snapshot(dir).expect("full checkpoint"));
+    assert_eq!(full.written, fleet, "the first checkpoint writes the whole fleet");
+    for (i, id) in ids.into_iter().take(churned).enumerate() {
+        service.remove_pool(id).expect("pool retires");
+        let fresh = service.create_pool(distinct_pool(per, fleet + i));
+        service.warm_pool(fresh).expect("replacement warms");
+    }
+    let (incr, incr_secs) = time_it(|| service.snapshot(dir).expect("incremental checkpoint"));
+    assert_eq!(incr.written, churned, "only the churned entries are rewritten");
+    assert_eq!(incr.retained, fleet - churned, "unchanged entries are retained by reference");
+    assert_eq!(incr.generation, full.generation + 1, "the re-checkpoint commits one generation");
+    (full_secs, incr_secs)
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let (sizes, repeats): (Vec<usize>, usize) =
@@ -99,7 +145,7 @@ fn main() {
     let mut report = Report::new(
         "restart_throughput",
         "restart-to-first-answer: cold warm-build vs verified snapshot restore",
-        &["pool", "cold", "snapshot", "speedup", "restores"],
+        &["pool", "cold", "snapshot", "speedup", "restores", "ckpt-full", "ckpt-incr", "ckpt-gain"],
     );
     let mut rows: Vec<Value> = Vec::new();
 
@@ -119,6 +165,22 @@ fn main() {
             "restored first answer must be bit-identical to the cold build's"
         );
 
+        // Checkpoint economics over a fleet carrying the same total
+        // juror count, with ~1% of its pools churned between commits.
+        let fleet = if smoke { 20 } else { 100 };
+        let per = (n / fleet).max(4);
+        let churned = fleet.div_ceil(100);
+        let (full_secs, incr_secs) =
+            checkpoint_costs(&dir.join(format!("fleet-{n}")), fleet, per, churned);
+        let ckpt_speedup = full_secs / incr_secs;
+        if n >= 1_000_000 {
+            assert!(
+                ckpt_speedup >= 10.0,
+                "incremental checkpoint must be >=10x cheaper than a full rewrite at 10^6 \
+                 jurors (full {full_secs:.4}s, incremental {incr_secs:.4}s)"
+            );
+        }
+
         let speedup = cold_secs / snap_secs;
         report.row(&[
             &n,
@@ -126,6 +188,9 @@ fn main() {
             &fmt_secs(snap_secs),
             &format!("{speedup:.1}x"),
             &snap_restores,
+            &fmt_secs(full_secs),
+            &fmt_secs(incr_secs),
+            &format!("{ckpt_speedup:.1}x"),
         ]);
         rows.push(Value::object([
             ("pool_size", n.to_value()),
@@ -133,6 +198,11 @@ fn main() {
             ("snapshot_secs", snap_secs.to_value()),
             ("speedup", speedup.to_value()),
             ("snapshot_restores", snap_restores.to_value()),
+            ("checkpoint_pools", fleet.to_value()),
+            ("checkpoint_written", churned.to_value()),
+            ("checkpoint_full_secs", full_secs.to_value()),
+            ("checkpoint_incremental_secs", incr_secs.to_value()),
+            ("checkpoint_speedup", ckpt_speedup.to_value()),
         ]));
     }
     let _ = std::fs::remove_dir_all(&dir);
@@ -155,7 +225,9 @@ fn main() {
         (
             "workload",
             "restart-to-first-answer (AltrM, one pool): cold warm-build vs verified \
-             snapshot restore, best of repeats, registration clone pre-staged"
+             snapshot restore, best of repeats, registration clone pre-staged; plus \
+             incremental-checkpoint economics over a 100-pool fleet with ~1% churn \
+             between commits"
                 .to_value(),
         ),
         ("pool_sizes", Value::Array(sizes.iter().map(|n| n.to_value()).collect())),

@@ -73,6 +73,14 @@ pub struct FrontendConfig {
     /// layer — a handler that panics on purpose, for proving worker
     /// panic isolation. Off by default; never enable in production.
     pub debug_fault_routes: bool,
+    /// With `Some(interval)`, a checkpoint thread calls the service's
+    /// `snapshot()` every `interval` under live churn (incremental:
+    /// only dirty entries are rewritten). A failed checkpoint is
+    /// counted in [`FrontendStats::checkpoint_failures`] and backs off
+    /// by doubling the wait, capped at 8× the interval; the next
+    /// success resets it. `None` (the default) checkpoints only on
+    /// graceful drain. Requires the service to have a `snapshot_dir`.
+    pub checkpoint_interval: Option<Duration>,
 }
 
 impl Default for FrontendConfig {
@@ -83,6 +91,7 @@ impl Default for FrontendConfig {
             queue_capacity: 1024,
             deadline: None,
             debug_fault_routes: false,
+            checkpoint_interval: None,
         }
     }
 }
@@ -155,6 +164,13 @@ pub struct FrontendStats {
     /// the worker caught the unwind, answered a best-effort 500 and
     /// went back to the accept loop.
     pub worker_panics: u64,
+    /// Periodic checkpoints that committed (timer thread; the final
+    /// drain snapshot is not counted here).
+    pub checkpoints: u64,
+    /// Periodic checkpoints that failed (lease contention, fencing,
+    /// I/O). Each failure doubles the timer's wait, capped at 8× the
+    /// configured interval.
+    pub checkpoint_failures: u64,
 }
 
 #[derive(Default)]
@@ -171,6 +187,8 @@ pub(crate) struct Counters {
     solve_nanos: AtomicU64,
     deadline_rejections: AtomicU64,
     pub(crate) worker_panics: AtomicU64,
+    checkpoints: AtomicU64,
+    checkpoint_failures: AtomicU64,
 }
 
 impl Counters {
@@ -188,6 +206,8 @@ impl Counters {
             solve_nanos: self.solve_nanos.load(Ordering::Relaxed),
             deadline_rejections: self.deadline_rejections.load(Ordering::Relaxed),
             worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            checkpoints: self.checkpoints.load(Ordering::Relaxed),
+            checkpoint_failures: self.checkpoint_failures.load(Ordering::Relaxed),
         }
     }
 
@@ -231,6 +251,11 @@ struct Shared {
     config: FrontendConfig,
     counters: Counters,
     shutdown: AtomicBool,
+    /// Parking spot for the checkpoint timer thread; `checkpoint_wake`
+    /// is notified on shutdown so the thread exits promptly instead of
+    /// sleeping out its interval.
+    checkpoint_gate: Mutex<()>,
+    checkpoint_wake: Condvar,
 }
 
 /// The coalescing front-end around one [`JuryService`]. See the module
@@ -243,6 +268,7 @@ struct Shared {
 pub struct Frontend {
     shared: Arc<Shared>,
     dispatcher: Mutex<Option<std::thread::JoinHandle<()>>>,
+    checkpointer: Mutex<Option<std::thread::JoinHandle<()>>>,
 }
 
 impl Frontend {
@@ -256,6 +282,8 @@ impl Frontend {
             config,
             counters: Counters::default(),
             shutdown: AtomicBool::new(false),
+            checkpoint_gate: Mutex::new(()),
+            checkpoint_wake: Condvar::new(),
         });
         let dispatcher = {
             let shared = Arc::clone(&shared);
@@ -264,7 +292,18 @@ impl Frontend {
                 .spawn(move || dispatcher_loop(&shared))
                 .expect("spawn dispatcher")
         };
-        Arc::new(Self { shared, dispatcher: Mutex::new(Some(dispatcher)) })
+        let checkpointer = shared.config.checkpoint_interval.map(|interval| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("jury-checkpoint".into())
+                .spawn(move || checkpoint_loop(&shared, interval))
+                .expect("spawn checkpointer")
+        });
+        Arc::new(Self {
+            shared,
+            dispatcher: Mutex::new(Some(dispatcher)),
+            checkpointer: Mutex::new(checkpointer),
+        })
     }
 
     /// Submits one task for `tenant`, blocking until it is solved (or
@@ -372,17 +411,24 @@ impl Frontend {
     pub fn shutdown(&self) -> Option<JuryService> {
         self.shared.shutdown.store(true, Ordering::Release);
         self.shared.work.notify_all();
+        self.shared.checkpoint_wake.notify_all();
+        if let Some(ckpt) = self.checkpointer.lock().expect("checkpointer handle poisoned").take() {
+            ckpt.join().expect("checkpointer panicked");
+        }
         let handle = self.dispatcher.lock().expect("dispatcher handle poisoned").take()?;
         handle.join().expect("dispatcher panicked");
-        let service = std::mem::replace(
+        let mut service = std::mem::replace(
             &mut *self.shared.service.lock().expect("service poisoned"),
             JuryService::new(),
         );
         // Graceful drain persists the warm store so the next process
-        // starts warm. Best-effort: a failed write must not turn a
-        // clean shutdown into an error.
+        // starts warm, then hands the writer lease back so a successor
+        // can start checkpointing without waiting out the ttl.
+        // Best-effort: a failed write must not turn a clean shutdown
+        // into an error.
         if let Some(dir) = service.config().snapshot_dir.clone() {
-            let _ = service.snapshot(dir);
+            let _ = service.snapshot(&dir);
+            let _ = service.release_snapshot_lease(&dir);
         }
         Some(service)
     }
@@ -483,6 +529,43 @@ fn scan<'a>(shared: &'a Shared, queue: &mut QueueState, now: Instant) -> Dispatc
         }
     }
     Dispatch::Batch { tasks, waiters, service: claimed }
+}
+
+/// The checkpoint timer: snapshots the service every `interval` so a
+/// crash loses at most one interval of warmth. Failures (lease held by
+/// another process, fenced, I/O) double the wait — capped at 8× the
+/// interval — so a contended directory is not hammered; the next
+/// success resets the cadence. Exits as soon as shutdown is flagged
+/// (the drain path takes its own final snapshot).
+fn checkpoint_loop(shared: &Shared, interval: Duration) {
+    let cap = interval.saturating_mul(8);
+    let mut wait = interval;
+    let mut gate = shared.checkpoint_gate.lock().expect("checkpoint gate poisoned");
+    loop {
+        let (g, _) =
+            shared.checkpoint_wake.wait_timeout(gate, wait).expect("checkpoint gate poisoned");
+        gate = g;
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let outcome = {
+            let mut service = shared.service.lock().expect("service poisoned");
+            // No directory to checkpoint into means nothing this
+            // thread can ever do — it parks until shutdown below.
+            service.config().snapshot_dir.clone().map(|dir| service.snapshot(&dir))
+        };
+        match outcome {
+            None => wait = Duration::from_secs(3600),
+            Some(Ok(_)) => {
+                shared.counters.checkpoints.fetch_add(1, Ordering::Relaxed);
+                wait = interval;
+            }
+            Some(Err(_)) => {
+                shared.counters.checkpoint_failures.fetch_add(1, Ordering::Relaxed);
+                wait = wait.saturating_mul(2).min(cap);
+            }
+        }
+    }
 }
 
 fn dispatcher_loop(shared: &Shared) {
@@ -735,6 +818,103 @@ mod tests {
         assert_eq!(stats.coalesced_tasks, 0, "a refused task is never solved");
         let fresh = frontend.submit("t0", DecisionTask::altruism(pool));
         assert!(fresh.is_ok(), "the front-end keeps serving after a refusal");
+    }
+
+    fn wait_for(mut probe: impl FnMut() -> bool, what: &str) {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !probe() {
+            assert!(Instant::now() < deadline, "timed out waiting for {what}");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    struct TempDir(std::path::PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            let dir = std::env::temp_dir()
+                .join(format!("jury-frontend-ckpt-{}-{tag}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).unwrap();
+            Self(dir)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn checkpoint_timer_snapshots_periodically_and_drain_releases_the_lease() {
+        let tmp = TempDir::new("timer");
+        let jurors =
+            pool_from_rates_and_costs(&[(0.1, 0.2), (0.2, 0.1), (0.3, 0.4), (0.25, 0.3)]).unwrap();
+        let mut service = jury_service::JuryService::with_config(jury_service::ServiceConfig {
+            snapshot_dir: Some(tmp.0.clone()),
+            ..Default::default()
+        });
+        let pool = service.create_pool(jurors);
+        let config = FrontendConfig {
+            checkpoint_interval: Some(Duration::from_millis(5)),
+            ..Default::default()
+        };
+        let frontend = Frontend::start(service, config);
+        frontend.submit("t0", DecisionTask::altruism(pool)).unwrap();
+        wait_for(|| frontend.stats().checkpoints >= 2, "two periodic checkpoints");
+        assert_eq!(frontend.stats().checkpoint_failures, 0);
+        assert!(
+            tmp.0.join("writer.lease").is_file(),
+            "a live checkpointing front-end holds the writer lease"
+        );
+        frontend.shutdown().expect("first shutdown returns the service");
+        assert!(
+            !tmp.0.join("writer.lease").exists(),
+            "graceful drain releases the lease for a successor"
+        );
+        let manifests = std::fs::read_dir(&tmp.0)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref().unwrap().file_name().to_str().is_some_and(|n| n.starts_with("manifest-"))
+            })
+            .count();
+        assert_eq!(manifests, 1, "GC keeps exactly the newest generation manifest");
+    }
+
+    #[test]
+    fn failed_checkpoints_are_counted_and_backed_off() {
+        let tmp = TempDir::new("contended");
+        // A *live* foreign lease (fresh heartbeat, default 30s ttl):
+        // every periodic checkpoint loses the acquire and must count a
+        // failure rather than write anything.
+        let now_ms =
+            std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap().as_millis()
+                as u64;
+        std::fs::write(
+            tmp.0.join("writer.lease"),
+            format!(
+                r#"{{"format":"jury-lease","holder":"other-process","epoch":"{:016x}","heartbeat_ms":"{now_ms:016x}"}}"#,
+                7
+            ),
+        )
+        .unwrap();
+        let jurors = pool_from_rates_and_costs(&[(0.1, 0.2), (0.2, 0.1)]).unwrap();
+        let mut service = jury_service::JuryService::with_config(jury_service::ServiceConfig {
+            snapshot_dir: Some(tmp.0.clone()),
+            ..Default::default()
+        });
+        let pool = service.create_pool(jurors);
+        let config = FrontendConfig {
+            checkpoint_interval: Some(Duration::from_millis(5)),
+            ..Default::default()
+        };
+        let frontend = Frontend::start(service, config);
+        frontend.submit("t0", DecisionTask::altruism(pool)).unwrap();
+        wait_for(|| frontend.stats().checkpoint_failures >= 1, "a counted checkpoint failure");
+        assert_eq!(frontend.stats().checkpoints, 0, "nothing committed under a foreign lease");
+        assert!(!tmp.0.join("manifest-1.json").exists(), "no manifest under a foreign lease");
+        frontend.shutdown();
     }
 
     #[test]

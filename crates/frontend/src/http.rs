@@ -7,7 +7,7 @@
 use crate::coalesce::{Frontend, SubmitError};
 use crate::proto::{self, Conn, ReadOutcome, Request};
 use jury_core::wire::{Envelope, WireError};
-use jury_service::{DecisionTask, JuryService, ServiceError};
+use jury_service::{DecisionTask, JuryService, ServiceError, SnapshotError};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -275,6 +275,38 @@ fn route(conn: &mut Conn, frontend: &Arc<Frontend>, request: Request) -> io::Res
             };
             match frontend.with_service(|s| s.snapshot(&dir)) {
                 Ok(report) => respond_ok(conn, keep, &report),
+                // Another live writer owns the directory, or this
+                // writer was fenced out: the request conflicts with
+                // the directory's current owner, not with anything the
+                // caller can fix by rewording — 409.
+                Err(e @ (SnapshotError::LeaseHeld { .. } | SnapshotError::Fenced { .. })) => {
+                    respond_error(conn, 409, None, keep, "snapshot-conflict", &e.to_string())
+                }
+                // A partial failure committed nothing (readers still
+                // see the previous generation) but must not masquerade
+                // as success: a structured 500 carrying the counts.
+                Err(SnapshotError::Partial { written, failed, error }) => {
+                    use serde::Serialize as _;
+                    let body = serde::json::to_string(&serde::Value::object([
+                        ("ok", false.to_value()),
+                        (
+                            "error",
+                            serde::Value::object([
+                                ("kind", "snapshot-partial".to_value()),
+                                (
+                                    "message",
+                                    format!(
+                                        "snapshot partially failed, no manifest committed: {error}"
+                                    )
+                                    .to_value(),
+                                ),
+                                ("written", written.to_value()),
+                                ("failed", failed.to_value()),
+                            ]),
+                        ),
+                    ]));
+                    proto::write_response(&mut conn.stream, 500, None, keep, &body)
+                }
                 Err(e) => respond_error(conn, 500, None, keep, "snapshot-failed", &e.to_string()),
             }
         }

@@ -69,6 +69,8 @@ impl Serialize for FrontendStats {
             ("solve_nanos", self.solve_nanos.to_value()),
             ("deadline_rejections", self.deadline_rejections.to_value()),
             ("worker_panics", self.worker_panics.to_value()),
+            ("checkpoints", self.checkpoints.to_value()),
+            ("checkpoint_failures", self.checkpoint_failures.to_value()),
         ])
     }
 }
@@ -96,6 +98,8 @@ impl Deserialize for FrontendStats {
             solve_nanos: counter("solve_nanos")?,
             deadline_rejections: counter("deadline_rejections")?,
             worker_panics: counter("worker_panics")?,
+            checkpoints: counter("checkpoints")?,
+            checkpoint_failures: counter("checkpoint_failures")?,
         })
     }
 }
@@ -120,6 +124,8 @@ mod tests {
             solve_nanos: 42_000,
             deadline_rejections: 6,
             worker_panics: 1,
+            checkpoints: 12,
+            checkpoint_failures: 4,
         };
         let text = json::to_string(&stats);
         let back: FrontendStats = json::from_str(&text).unwrap();

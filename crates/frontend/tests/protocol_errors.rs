@@ -252,7 +252,7 @@ fn snapshot_route_persists_and_a_restarted_server_restores() {
     let report = response.result.unwrap();
     let entries = report.get("entries").and_then(serde::Value::as_f64).unwrap();
     assert!(entries >= 1.0, "snapshot persisted nothing: {report:?}");
-    assert!(dir.join("manifest.json").is_file(), "manifest is the commit point");
+    assert!(dir.join("manifest-1.json").is_file(), "the generation manifest is the commit point");
     server.shutdown();
 
     // A restarted server over the same juror content and the directory
@@ -274,6 +274,88 @@ fn snapshot_route_persists_and_a_restarted_server_restores() {
     let stats = client.stats().unwrap().unwrap();
     assert_eq!(stats.service.snapshot_restores, 1, "first answer came from the snapshot");
     assert_eq!(stats.service.snapshot_rejections, 0);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// One raw HTTP exchange, bypassing [`Client`]'s typed wire error so
+/// the test can read *extra* fields in a structured error body.
+fn raw_request(
+    addr: std::net::SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> (u16, serde::Value) {
+    use std::io::Read as _;
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .write_all(
+            format!(
+                "{method} {path} HTTP/1.1\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).unwrap();
+    let text = String::from_utf8(raw).unwrap();
+    let status: u16 = text.split_whitespace().nth(1).unwrap().parse().unwrap();
+    let json = &text[text.find("\r\n\r\n").unwrap() + 4..];
+    (status, serde::json::parse(json).unwrap())
+}
+
+#[test]
+fn partially_failed_snapshot_answers_a_structured_500_with_counts() {
+    use serde::Serialize as _;
+
+    let dir = std::env::temp_dir().join(format!("jury-frontend-partial-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let (server, pool) = start_server(FrontendConfig::default());
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).unwrap();
+    client.solve("t0", &DecisionTask::altruism(pool)).unwrap().unwrap();
+    let body = serde::json::to_string(&serde::Value::object([(
+        "dir",
+        dir.display().to_string().to_value(),
+    )]));
+    let response = client.request("POST", "/v1/snapshot", Some(&body)).unwrap();
+    assert_eq!(response.status, 200);
+
+    // Sabotage the next write: delete the generation-1 entry file (so
+    // the writer must self-heal by rewriting it at generation 2) and
+    // squat a *directory* on the exact path that rewrite will take —
+    // the atomic rename cannot replace a directory and must fail.
+    let entry = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .find(|p| p.extension().is_some_and(|x| x == "snap"))
+        .expect("one entry file after the first snapshot");
+    let healed_name = entry.file_name().unwrap().to_str().unwrap().replace("-g1-", "-g2-");
+    std::fs::remove_file(&entry).unwrap();
+    std::fs::create_dir(dir.join(&healed_name)).unwrap();
+
+    let (status, envelope) = raw_request(addr, "POST", "/v1/snapshot", &body);
+    assert_eq!(status, 500, "partial failure must not masquerade as success: {envelope:?}");
+    let error = envelope.get("error").expect("structured error body");
+    assert_eq!(error.get("kind").and_then(serde::Value::as_str), Some("snapshot-partial"));
+    assert_eq!(error.get("written").and_then(serde::Value::as_f64), Some(0.0));
+    assert_eq!(error.get("failed").and_then(serde::Value::as_f64), Some(1.0));
+    // No manifest was committed over the failure: generation 1 is
+    // still the (only) published manifest.
+    assert!(dir.join("manifest-1.json").is_file());
+    assert!(!dir.join("manifest-2.json").exists());
+
+    // Clearing the obstruction heals on the next snapshot: the entry
+    // is rewritten and a new generation commits.
+    std::fs::remove_dir(dir.join(&healed_name)).unwrap();
+    let mut client = Client::connect(addr).unwrap();
+    let response = client.request("POST", "/v1/snapshot", Some(&body)).unwrap();
+    assert_eq!(response.status, 200);
+    let report = response.result.unwrap();
+    assert!(report.get("written").and_then(serde::Value::as_f64).unwrap() >= 1.0);
+    drop(client);
     server.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
 }

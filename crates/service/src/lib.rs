@@ -253,6 +253,53 @@
 //! `restart_throughput` bench measures restart-to-first-answer, cold vs
 //! restored, at pool sizes up to 10⁶.
 //!
+//! ## Multi-process contract
+//!
+//! Several processes may share one snapshot directory; four more
+//! clauses govern that:
+//!
+//! * **Checkpoints are incremental generations.** Each successful
+//!   [`JuryService::snapshot`] writes only the entries that changed
+//!   since the directory's last committed generation, then publishes
+//!   `manifest-<gen>.json` (monotonically numbered; the pre-generation
+//!   `manifest.json` reads as generation 0) referencing fresh files
+//!   and files retained from earlier generations alike. Old
+//!   generations are garbage-collected only after the new manifest is
+//!   durable, so a crash at any byte boundary — including between an
+//!   entry write and the manifest commit, or mid-GC — leaves the
+//!   previous generation fully restorable. A checkpoint with nothing
+//!   dirty touches no file at all.
+//! * **One writer, advisory lease.** Writers coordinate through a
+//!   `writer.lease` file acquired by atomic create, carrying holder
+//!   id, **epoch**, and a heartbeat refreshed on every checkpoint. A
+//!   second writer gets [`SnapshotError::LeaseHeld`] (it can still
+//!   restore read-only) until the heartbeat goes stale past
+//!   [`LeaseConfig::ttl`], at which point it *breaks* the lease with
+//!   an epoch bump.
+//! * **Fencing: a zombie can never commit.** Every commit re-reads the
+//!   lease immediately before the manifest rename; a writer whose
+//!   lease was broken (foreign holder, higher epoch) is refused with
+//!   [`SnapshotError::Fenced`] and must re-acquire from the current
+//!   disk state. Epochs never run backwards past a committed
+//!   generation (broken leases bump above the manifest's epoch), and
+//!   entry file names embed generation and epoch so racing writers
+//!   cannot collide on a name.
+//! * **Readers pick the highest durable generation, bounded by age.**
+//!   Restores scan for the highest parseable manifest (corrupt
+//!   generations fall through to older ones), verify as above, and
+//!   surface `snapshot_generation`/`snapshot_age_ms` gauges in
+//!   [`ServiceStats`]. With [`ServiceConfig::max_snapshot_age`] set, a
+//!   generation older than the bound (or one with no commit stamp) is
+//!   refused — counted in [`ServiceStats::stale_snapshot_skips`] — and
+//!   the pool cold-builds instead; staleness can cost warmth, never
+//!   correctness.
+//!
+//! `tests/shared_snapshot_faults.rs` drives the multi-process matrix
+//! (crash at every commit-sequence boundary, lease-holder death and
+//! break, fenced zombie commits, mid-GC readers, restore racing a
+//! writer thread) and proves bit-identical answers with exact counter
+//! deltas under every interleaving.
+//!
 //! ```
 //! use jury_core::juror::pool_from_rates_and_costs;
 //! use jury_service::{DecisionTask, JuryService};
@@ -282,7 +329,7 @@ mod store;
 
 pub use ladder::PROBE_REPAIR_TOL;
 pub use shard::ShardConfig;
-pub use snapshot::{snapshot_checksum, SnapshotReport};
+pub use snapshot::{snapshot_checksum, LeaseConfig, SnapshotError, SnapshotReport};
 
 use jury_core::altr::{AltrAlg, AltrConfig, AltrStrategy, JerProfile};
 use jury_core::error::JuryError;
@@ -499,6 +546,16 @@ pub struct ServiceConfig {
     /// entries are store entries). The directory is only *read*;
     /// writing snapshots is explicit via [`JuryService::snapshot`].
     pub snapshot_dir: Option<PathBuf>,
+    /// Reader staleness policy (see the crate docs' *multi-process
+    /// contract*). With `Some(age)`, restore refuses snapshot
+    /// generations whose commit stamp is older than `age` — or absent
+    /// (legacy manifests carry none) — counting each refusal in
+    /// [`ServiceStats::stale_snapshot_skips`] and cold-building
+    /// instead. `None` (the default) restores any verified generation.
+    pub max_snapshot_age: Option<Duration>,
+    /// Writer-lease tuning for shared snapshot directories (see the
+    /// crate docs' *multi-process contract*).
+    pub lease: LeaseConfig,
 }
 
 impl Default for ServiceConfig {
@@ -511,6 +568,8 @@ impl Default for ServiceConfig {
             share_artifacts: true,
             store_ttl: None,
             snapshot_dir: None,
+            max_snapshot_age: None,
+            lease: LeaseConfig::default(),
         }
     }
 }
@@ -635,6 +694,20 @@ pub struct ServiceStats {
     /// and layout/config drift over known content. Each rejection falls
     /// back to the ordinary cold build.
     pub snapshot_rejections: usize,
+    /// Restores refused by the staleness policy
+    /// ([`ServiceConfig::max_snapshot_age`]): the snapshot generation
+    /// was verified-restorable but too old (or unstamped), so the pool
+    /// cold-built instead.
+    pub stale_snapshot_skips: usize,
+    /// Gauge (not a counter): the highest snapshot generation this
+    /// service has observed — committed by its own writer or read from
+    /// [`ServiceConfig::snapshot_dir`]. 0 until a generation exists
+    /// (legacy `manifest.json` snapshots also read as 0).
+    pub snapshot_generation: usize,
+    /// Gauge (not a counter): milliseconds since that generation's
+    /// commit stamp at the moment [`JuryService::stats`] was called; 0
+    /// when no stamped generation has been observed.
+    pub snapshot_age_ms: usize,
 }
 
 impl Serialize for ServiceStats {
@@ -662,6 +735,9 @@ impl Serialize for ServiceStats {
             ("store_ttl_evictions", self.store_ttl_evictions.to_value()),
             ("snapshot_restores", self.snapshot_restores.to_value()),
             ("snapshot_rejections", self.snapshot_rejections.to_value()),
+            ("stale_snapshot_skips", self.stale_snapshot_skips.to_value()),
+            ("snapshot_generation", self.snapshot_generation.to_value()),
+            ("snapshot_age_ms", self.snapshot_age_ms.to_value()),
         ])
     }
 }
@@ -694,6 +770,9 @@ impl Deserialize for ServiceStats {
             store_ttl_evictions: stat_field(value, "store_ttl_evictions")?,
             snapshot_restores: stat_field(value, "snapshot_restores")?,
             snapshot_rejections: stat_field(value, "snapshot_rejections")?,
+            stale_snapshot_skips: stat_field(value, "stale_snapshot_skips")?,
+            snapshot_generation: stat_field(value, "snapshot_generation")?,
+            snapshot_age_ms: stat_field(value, "snapshot_age_ms")?,
         })
     }
 }
@@ -837,6 +916,11 @@ pub struct JuryService {
     /// The parsed snapshot catalog when [`ServiceConfig::snapshot_dir`]
     /// is set — consulted (read-only) by warm-ups before cold-building.
     snapshots: Option<snapshot::Catalog>,
+    /// Writer-side snapshot state: holder identity, per-directory
+    /// generation/lease view (see the crate docs' *multi-process
+    /// contract*). Never cloned — a cloned service is a distinct
+    /// would-be writer.
+    snap: snapshot::WriterState,
 }
 
 impl Clone for JuryService {
@@ -874,6 +958,7 @@ impl Clone for JuryService {
             scratches: Vec::new(),
             store,
             snapshots: self.snapshots.clone(),
+            snap: snapshot::WriterState::default(),
         }
     }
 }
@@ -920,9 +1005,30 @@ impl JuryService {
         &self.config
     }
 
-    /// Work counters.
+    /// Work counters, plus the snapshot gauges
+    /// (`snapshot_generation`/`snapshot_age_ms`) computed from the
+    /// highest generation this service has observed — read from
+    /// [`ServiceConfig::snapshot_dir`] at construction or committed by
+    /// its own writer since.
     pub fn stats(&self) -> ServiceStats {
-        self.stats
+        let mut stats = self.stats;
+        let mut gen = 0u64;
+        let mut written_at = None;
+        if let Some(catalog) = &self.snapshots {
+            gen = catalog.generation();
+            written_at = catalog.written_at_ms();
+        }
+        if let Some((g, w)) = self.snap.observed() {
+            if g >= gen {
+                gen = g;
+                written_at = w;
+            }
+        }
+        stats.snapshot_generation = gen as usize;
+        if let Some(written) = written_at {
+            stats.snapshot_age_ms = snapshot::lease::now_ms().saturating_sub(written) as usize;
+        }
+        stats
     }
 
     /// Number of registered pools.
@@ -930,17 +1036,43 @@ impl JuryService {
         self.pools.len()
     }
 
-    /// Persists every interned warm-artifact entry to `dir`,
-    /// crash-safely: each entry file is temp-written, fsynced and
-    /// atomically renamed, and the manifest is committed *last* the
-    /// same way — a crash mid-snapshot leaves the previous snapshot
-    /// fully readable (see the crate docs' *persistence contract*).
-    /// Read back by a service whose [`ServiceConfig::snapshot_dir`]
-    /// points here. Only store entries are persisted: private
-    /// (unshared) pool caches and pool registrations themselves are
-    /// rebuilt by the restarted process's own `create_pool` calls.
-    pub fn snapshot(&self, dir: impl AsRef<Path>) -> std::io::Result<SnapshotReport> {
-        snapshot::write_snapshot(dir.as_ref(), self.store.iter_entries())
+    /// Writes an incremental, lease-coordinated checkpoint of the
+    /// warm-artifact store to `dir` (see the crate docs' *persistence
+    /// contract* and *multi-process contract*): acquires or refreshes
+    /// the single-writer lease (breaking a stale one by epoch bump),
+    /// writes only the entries that changed since the directory's last
+    /// generation, re-verifies the lease, commits
+    /// `manifest-<gen>.json`, then garbage-collects superseded files.
+    /// A crash at any byte boundary leaves the previous generation
+    /// fully readable; a checkpoint with nothing dirty touches no
+    /// file. Read back by a service whose
+    /// [`ServiceConfig::snapshot_dir`] points here. Only store entries
+    /// are persisted: private (unshared) pool caches and pool
+    /// registrations themselves are rebuilt by the restarted process's
+    /// own `create_pool` calls.
+    ///
+    /// Errors are never silent partial successes:
+    /// [`SnapshotError::LeaseHeld`] (another live writer — restore
+    /// read-only instead), [`SnapshotError::Fenced`] (this writer's
+    /// lease was broken; no commit happened), or
+    /// [`SnapshotError::Partial`] (entry writes failed; the manifest
+    /// was *not* committed, readers keep the previous generation).
+    pub fn snapshot(&mut self, dir: impl AsRef<Path>) -> Result<SnapshotReport, SnapshotError> {
+        snapshot::write_incremental(
+            &mut self.snap,
+            dir.as_ref(),
+            self.config.lease.ttl,
+            self.store.iter_entries(),
+        )
+    }
+
+    /// Releases the writer lease on `dir` if this service holds it —
+    /// the graceful-drain complement to [`JuryService::snapshot`]. A
+    /// lease another writer broke or now holds is left untouched.
+    /// Never required for safety (an unreleased lease merely makes the
+    /// next writer wait out [`LeaseConfig::ttl`]).
+    pub fn release_snapshot_lease(&mut self, dir: impl AsRef<Path>) -> std::io::Result<()> {
+        snapshot::release_lease(&mut self.snap, dir.as_ref())
     }
 
     // ------------------------------------------------------------------
@@ -1243,10 +1375,10 @@ impl JuryService {
                     // numerical carve-out either way).
                     if let (FlatCache::Private(c), FlatCache::Shared(sf)) = (&mut *cache, &shared) {
                         if let Some(ladder) = c.ladder.take() {
-                            let _ = sf.link.set.ladder.set(ladder);
+                            sf.link.set.set_ladder(ladder);
                         }
                         if let Some(profile) = c.profile.take() {
-                            let _ = sf.link.set.profile.set(Arc::new(profile));
+                            sf.link.set.set_profile(Arc::new(profile));
                         }
                     }
                     *cache = shared;
@@ -1283,7 +1415,7 @@ impl JuryService {
                         // carve-out either way).
                         if set.shard_layer.get().is_none() {
                             if let Some(layer) = sp.export_shard_layer() {
-                                let _ = set.shard_layer.set(layer);
+                                set.set_shard_layer(layer);
                             }
                         }
                         sp.adopt_merged(set.eps_order.clone(), set.greedy_order.clone());
@@ -1296,7 +1428,7 @@ impl JuryService {
                             store.publish(key, ArtifactSet::from_merged(eps, greedy, &entry.jurors))
                         {
                             if let Some(layer) = sp.export_shard_layer() {
-                                let _ = set.shard_layer.set(layer);
+                                set.set_shard_layer(layer);
                             }
                             *link = Some(StoreLink { key, set });
                         }
@@ -1380,6 +1512,8 @@ impl JuryService {
         let mut share_hits = 0usize;
         let mut restores = 0usize;
         let mut rejections = 0usize;
+        let mut stale_skips = 0usize;
+        let max_age = self.config.max_snapshot_age;
         let Self { pools, store, snapshots, .. } = &mut *self;
         let outcome = match pools.get_mut(&pool.0) {
             None => Err(ServiceError::UnknownPool(pool)),
@@ -1400,8 +1534,10 @@ impl JuryService {
                                     snapshots.as_ref(),
                                     &key,
                                     jurors,
+                                    max_age,
                                     &mut restores,
                                     &mut rejections,
+                                    &mut stale_skips,
                                 );
                             }
                             let (acquired, attached) =
@@ -1446,7 +1582,7 @@ impl JuryService {
                                         );
                                         pruned += altr_pruned(Some(&answer));
                                         builds += 1;
-                                        let _ = sf.link.set.altr.set(answer);
+                                        sf.link.set.set_altr(answer);
                                     }
                                 }
                                 Some(view) => {
@@ -1478,7 +1614,7 @@ impl JuryService {
                                                     )),
                                                     Err(e) => Err(e.clone()),
                                                 };
-                                                let _ = set.altr.set(founding);
+                                                set.set_altr(founding);
                                                 ans
                                             }
                                         };
@@ -1501,8 +1637,10 @@ impl JuryService {
                                     snapshots.as_ref(),
                                     &key,
                                     jurors,
+                                    max_age,
                                     &mut restores,
                                     &mut rejections,
+                                    &mut stale_skips,
                                 );
                             }
                             let attached = share.then(|| store.get(&key)).flatten().filter(|set| {
@@ -1524,7 +1662,7 @@ impl JuryService {
                                     );
                                     if set.shard_layer.get().is_none() {
                                         if let Some(layer) = sp.export_shard_layer() {
-                                            let _ = set.shard_layer.set(layer);
+                                            set.set_shard_layer(layer);
                                         }
                                     }
                                     *link = Some(StoreLink { key, set });
@@ -1553,7 +1691,7 @@ impl JuryService {
                                                 ArtifactSet::from_merged(eps, greedy, jurors),
                                             ) {
                                                 if let Some(layer) = sp.export_shard_layer() {
-                                                    let _ = set.shard_layer.set(layer);
+                                                    set.set_shard_layer(layer);
                                                 }
                                                 *link = Some(StoreLink { key, set });
                                             }
@@ -1575,6 +1713,7 @@ impl JuryService {
         self.stats.artifact_share_hits += share_hits;
         self.stats.snapshot_restores += restores;
         self.stats.snapshot_rejections += rejections;
+        self.stats.stale_snapshot_skips += stale_skips;
         outcome
     }
 
@@ -1678,8 +1817,8 @@ impl JuryService {
                     // laid alongside like the private path, so a later
                     // detach repairs it instead of rebuilding.
                     let set = &sf.link.set;
-                    let profile = set.profile.get_or_init(|| {
-                        let _ = set.ladder.get_or_init(|| PmfLadder::build(&set.eps_sorted));
+                    let profile = set.profile_or_init(|| {
+                        set.ladder_or_init(|| PmfLadder::build(&set.eps_sorted));
                         Arc::new(JerProfile::build(&set.eps_sorted))
                     });
                     Ok(profile.entries())
@@ -1696,7 +1835,7 @@ impl JuryService {
                 }
                 let profile = sp.ensure_profile(jurors);
                 if let Some(l) = link.as_ref() {
-                    let _ = l.set.profile.set(profile.clone());
+                    l.set.set_profile(profile.clone());
                 }
                 Ok(profile.entries())
             }
@@ -1763,10 +1902,7 @@ impl JuryService {
                         // Rank-space: one shared ladder serves every
                         // attacher, permuted ones included.
                         let set = &sf.link.set;
-                        (
-                            set.ladder.get_or_init(|| PmfLadder::build(&set.eps_sorted)),
-                            &set.eps_sorted,
-                        )
+                        (set.ladder_or_init(|| PmfLadder::build(&set.eps_sorted)), &set.eps_sorted)
                     }
                 };
                 let mut pmf = PoiBin::empty();
@@ -1791,6 +1927,7 @@ impl JuryService {
         }
         let share = self.config.share_artifacts;
         let config_bits = config_key(&self.config);
+        let max_age = self.config.max_snapshot_age;
         let Self { pools, store, stats, snapshots, .. } = &mut *self;
         let entry = pools.get_mut(&pool.0).expect("checked above");
         if let PoolState::Flat { cache } = &mut entry.state {
@@ -1803,8 +1940,10 @@ impl JuryService {
                         snapshots.as_ref(),
                         &key,
                         &entry.jurors,
+                        max_age,
                         &mut stats.snapshot_restores,
                         &mut stats.snapshot_rejections,
+                        &mut stats.stale_snapshot_skips,
                     );
                 }
                 let (acquired, attached) = acquire_flat(store, key, &entry.jurors, share, || {
@@ -2284,7 +2423,7 @@ impl JuryService {
                             let answer = sp.ensure_altr(jurors, &altr_config, &mut scratch).clone();
                             pruned = altr_pruned(Some(&answer));
                             if let Some(l) = link.as_ref() {
-                                let _ = l.set.altr.set(answer);
+                                l.set.set_altr(answer);
                             }
                         }
                     }
@@ -2509,16 +2648,15 @@ fn solve_on_entry(
             },
             (CrowdModel::Altruism, FlatCache::Shared(sf)) => match &sf.view {
                 None => {
-                    // `get_or_init` is thread-safe: the first worker to
+                    // `altr_or_init` is thread-safe: the first worker to
                     // need an unfilled answer solves it once for every
                     // attached pool.
                     let set = &sf.link.set;
-                    set.altr
-                        .get_or_init(|| {
-                            solve_altr_cached(&entry.jurors, &set.eps_order, &config.altr, scratch)
-                        })
-                        .clone()
-                        .map_err(ServiceError::from)
+                    set.altr_or_init(|| {
+                        solve_altr_cached(&entry.jurors, &set.eps_order, &config.altr, scratch)
+                    })
+                    .clone()
+                    .map_err(ServiceError::from)
                 }
                 Some(view) => match &view.altr {
                     Some(answer) => answer.clone().map_err(ServiceError::from),
@@ -2608,16 +2746,27 @@ fn solve_on_entry(
 /// rejected or absent candidate simply leaves the store unchanged (the
 /// caller cold-builds). No-op without a catalog or when the key is
 /// already interned (live state always wins).
+#[allow(clippy::too_many_arguments)]
 fn restore_into_store(
     store: &mut ArtifactStore,
     catalog: Option<&snapshot::Catalog>,
     key: &StoreKey,
     jurors: &[Juror],
+    max_age: Option<Duration>,
     restores: &mut usize,
     rejections: &mut usize,
+    stale_skips: &mut usize,
 ) {
     let Some(catalog) = catalog else { return };
     if store.contains(key) {
+        return;
+    }
+    // The staleness gate runs before any file is opened: a too-old (or
+    // unstamped, under an explicit policy) generation is skipped —
+    // counted, never an error — and the pool cold-builds. Only pools
+    // the snapshot could actually have served count a skip.
+    if catalog.has_candidates(&key.fp) && catalog.is_stale(max_age) {
+        *stale_skips += 1;
         return;
     }
     let attempt = catalog.restore(key, jurors);

@@ -46,6 +46,25 @@
 //! warm start, never a wrong answer. (Like any trusted-storage cache,
 //! the checksums guard against crashes and bit rot, not an adversary
 //! who can forge internally-consistent files.)
+//!
+//! ## Multi-process sharing: generations, lease, fencing
+//!
+//! Checkpoints are **incremental** and **generation-numbered**: each
+//! commit writes only the entries that changed since the previous
+//! generation (new files named `art-<key>-g<gen>-e<epoch>.snap`), then
+//! publishes `manifest-<gen>.json` referencing both the fresh files
+//! and the retained files of earlier generations. The manifest rename
+//! is the commit point; files orphaned by the new generation are
+//! garbage-collected only *after* it is durable, so a crash at any
+//! byte boundary leaves the previous generation fully readable.
+//! Readers scan for the highest parseable generation (legacy
+//! `manifest.json` reads as generation 0) and verify everything as
+//! before.
+//!
+//! Writes are coordinated by the advisory single-writer lease in
+//! [`lease`] (see its docs for the acquire/break/fence protocol); the
+//! staleness policy for readers lives in
+//! [`ServiceConfig::max_snapshot_age`](crate::ServiceConfig).
 
 use crate::ladder::{PmfLadder, LADDER_MAX};
 use crate::shard::{ShardCache, ShardLayer};
@@ -60,11 +79,16 @@ use jury_core::problem::Selection;
 use jury_numeric::hash::splitmix64;
 use jury_numeric::poibin::PoiBin;
 use serde::{json, Deserialize, Serialize, Value};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fs::{self, File};
 use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::Duration;
+
+pub(crate) mod lease;
+
+pub use lease::LeaseConfig;
 
 /// First bytes of every entry file. The trailing digit is the format
 /// version: decoders refuse other versions (version skew is a counted
@@ -120,15 +144,101 @@ fn section_checksum(tag: u32, payload: &[u8]) -> u64 {
 /// admin route reports it).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SnapshotReport {
-    /// Interned entries persisted.
+    /// Interned entries the committed generation references in total
+    /// (freshly written plus retained).
     pub entries: usize,
-    /// Total entry-file bytes written (manifest excluded).
+    /// Entries actually (re)written this checkpoint — the dirty set.
+    pub written: usize,
+    /// Entries retained unchanged from earlier generations.
+    pub retained: usize,
+    /// Entry-file bytes written this checkpoint (manifest excluded).
     pub bytes: u64,
+    /// The committed generation number (`0` = nothing ever committed:
+    /// an empty store over an empty directory).
+    pub generation: u64,
 }
 
 impl Serialize for SnapshotReport {
     fn to_value(&self) -> Value {
-        Value::object([("entries", self.entries.to_value()), ("bytes", self.bytes.to_value())])
+        Value::object([
+            ("entries", self.entries.to_value()),
+            ("written", self.written.to_value()),
+            ("retained", self.retained.to_value()),
+            ("bytes", self.bytes.to_value()),
+            ("generation", self.generation.to_value()),
+        ])
+    }
+}
+
+/// Why a snapshot write did not (fully) commit.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Filesystem failure before any per-entry accounting applied.
+    Io(io::Error),
+    /// Another writer holds a live lease on the directory; this
+    /// service can still restore read-only. `age_ms` is how old the
+    /// holder's heartbeat was.
+    LeaseHeld {
+        /// The live holder's id.
+        holder: String,
+        /// Heartbeat age observed, milliseconds.
+        age_ms: u64,
+    },
+    /// This writer's lease was broken (stale heartbeat, epoch bumped)
+    /// and its commit was refused by the fence. The service must not
+    /// write again without a fresh acquire; `winner: 0` means the
+    /// superseding epoch could not be read.
+    Fenced {
+        /// The epoch this writer believed it held.
+        ours: u64,
+        /// The superseding epoch (0 if unknown).
+        winner: u64,
+    },
+    /// Some entry files failed to write; **no manifest was committed**,
+    /// so readers still see the previous generation intact.
+    Partial {
+        /// Entries written successfully before/around the failure.
+        written: usize,
+        /// Entries whose write failed.
+        failed: usize,
+        /// The first underlying failure.
+        error: io::Error,
+    },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "snapshot io: {e}"),
+            Self::LeaseHeld { holder, age_ms } => {
+                write!(f, "writer lease held by {holder} (heartbeat {age_ms} ms old)")
+            }
+            Self::Fenced { ours, winner } => {
+                write!(f, "writer fenced: epoch {ours} superseded by epoch {winner}")
+            }
+            Self::Partial { written, failed, error } => {
+                write!(
+                    f,
+                    "partial snapshot: {written} entries written, {failed} failed, \
+                     manifest not committed: {error}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) | Self::Partial { error: e, .. } => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
     }
 }
 
@@ -638,6 +748,46 @@ fn from_hex(value: Option<&Value>) -> Option<u64> {
     u64::from_str_radix(value?.as_str()?, 16).ok()
 }
 
+/// The name of generation `gen`'s manifest. Generation 0 is the
+/// legacy single-manifest name so pre-generation snapshots stay
+/// readable.
+fn manifest_name(gen: u64) -> String {
+    if gen == 0 {
+        MANIFEST.to_string()
+    } else {
+        format!("manifest-{gen}.json")
+    }
+}
+
+/// Inverse of [`manifest_name`]: `Some(gen)` iff `name` is a manifest
+/// file name.
+fn manifest_generation(name: &str) -> Option<u64> {
+    if name == MANIFEST {
+        return Some(0);
+    }
+    let digits = name.strip_prefix("manifest-")?.strip_suffix(".json")?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// Every manifest present in `dir`, highest generation first.
+fn scan_manifests(dir: &Path) -> Vec<(u64, String)> {
+    let mut found = Vec::new();
+    if let Ok(read) = fs::read_dir(dir) {
+        for entry in read.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(gen) = manifest_generation(name) {
+                found.push((gen, name.to_string()));
+            }
+        }
+    }
+    found.sort_by_key(|&(gen, _)| std::cmp::Reverse(gen));
+    found
+}
+
 /// The parsed manifest of a snapshot directory, indexed by content
 /// fingerprint alone — so a pool whose content *was* snapshotted but
 /// whose layout or config bits have since drifted still registers a
@@ -646,9 +796,15 @@ fn from_hex(value: Option<&Value>) -> Option<u64> {
 #[derive(Debug, Clone, Default)]
 pub(crate) struct Catalog {
     dir: PathBuf,
-    /// Manifest present but unreadable (corrupt JSON, version skew):
-    /// every restore attempt is a counted rejection.
+    /// Manifests present but none readable (corrupt JSON, version
+    /// skew): every restore attempt is a counted rejection.
     poisoned: bool,
+    /// The generation this catalog reflects (0 = legacy manifest or
+    /// nothing on disk).
+    generation: u64,
+    /// When that generation was committed (absent on legacy
+    /// manifests) — the basis of the staleness gate.
+    written_at_ms: Option<u64>,
     entries: HashMap<FingerprintKey, Vec<ManifestEntry>>,
 }
 
@@ -660,24 +816,66 @@ pub(crate) struct RestoreAttempt {
 }
 
 impl Catalog {
-    /// Reads the manifest under `dir`. A missing manifest is an empty
-    /// catalog (fresh directory, nothing to restore — not an error); a
-    /// present-but-unreadable one poisons the catalog so attempts are
-    /// counted as rejections.
+    /// Reads the highest parseable manifest generation under `dir`.
+    /// Unreadable generations (corrupt JSON, torn GC race, version
+    /// skew) fall through to the next lower one; only a directory
+    /// whose *every* manifest is unreadable poisons the catalog so
+    /// attempts are counted as rejections. No manifests at all is an
+    /// empty catalog (fresh directory, nothing to restore — not an
+    /// error). One re-scan absorbs the race where a writer commits a
+    /// new generation and GCs the old one mid-load.
     pub(crate) fn load(dir: &Path) -> Self {
-        let text = match fs::read_to_string(dir.join(MANIFEST)) {
-            Ok(text) => text,
-            Err(_) => return Self { dir: dir.to_path_buf(), ..Self::default() },
-        };
-        match parse_manifest(&text) {
-            Some(records) => {
+        for _ in 0..2 {
+            let found = scan_manifests(dir);
+            if found.is_empty() {
+                return Self { dir: dir.to_path_buf(), ..Self::default() };
+            }
+            for (gen, name) in &found {
+                let Ok(text) = fs::read_to_string(dir.join(name)) else { continue };
+                let Some(parsed) = parse_manifest(&text) else { continue };
                 let mut entries: HashMap<FingerprintKey, Vec<ManifestEntry>> = HashMap::new();
-                for (fp, record) in records {
+                for (fp, record) in parsed.records {
                     entries.entry(fp).or_default().push(record);
                 }
-                Self { dir: dir.to_path_buf(), poisoned: false, entries }
+                return Self {
+                    dir: dir.to_path_buf(),
+                    poisoned: false,
+                    generation: *gen,
+                    written_at_ms: parsed.written_at_ms,
+                    entries,
+                };
             }
-            None => Self { dir: dir.to_path_buf(), poisoned: true, entries: HashMap::new() },
+        }
+        Self { dir: dir.to_path_buf(), poisoned: true, ..Self::default() }
+    }
+
+    /// The generation this catalog reflects (0 = legacy or none).
+    pub(crate) fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// When this catalog's generation was committed, if recorded.
+    pub(crate) fn written_at_ms(&self) -> Option<u64> {
+        self.written_at_ms
+    }
+
+    /// Whether this catalog holds candidate entries for `fp` — i.e. a
+    /// restore attempt would actually open files (used to scope the
+    /// staleness gate to pools the snapshot could have served).
+    pub(crate) fn has_candidates(&self, fp: &FingerprintKey) -> bool {
+        !self.poisoned && self.entries.contains_key(fp)
+    }
+
+    /// The staleness gate: `true` when [`crate::ServiceConfig::
+    /// max_snapshot_age`] is set and this catalog's commit stamp is
+    /// older than allowed — or absent entirely (legacy manifests have
+    /// no stamp; under an explicit staleness policy an unstampable
+    /// snapshot is conservatively treated as stale).
+    pub(crate) fn is_stale(&self, max_age: Option<Duration>) -> bool {
+        let Some(max_age) = max_age else { return false };
+        match self.written_at_ms {
+            Some(written) => lease::now_ms().saturating_sub(written) > max_age.as_millis() as u64,
+            None => true,
         }
     }
 
@@ -713,7 +911,18 @@ impl Catalog {
     }
 }
 
-fn parse_manifest(text: &str) -> Option<Vec<(FingerprintKey, ManifestEntry)>> {
+/// A successfully parsed manifest: the entry records plus the
+/// generation metadata (absent on legacy manifests — the fields are
+/// additive, so pre-generation manifests still parse).
+struct ParsedManifest {
+    records: Vec<(FingerprintKey, ManifestEntry)>,
+    /// Lease epoch the manifest was committed under (0 = legacy).
+    epoch: u64,
+    /// Wall-clock commit stamp, milliseconds since the Unix epoch.
+    written_at_ms: Option<u64>,
+}
+
+fn parse_manifest(text: &str) -> Option<ParsedManifest> {
     let value = json::parse(text).ok()?;
     if value.get("format")?.as_str()? != "jury-snapshot"
         || value.get("version")?.as_u64()? != MANIFEST_VERSION
@@ -752,16 +961,22 @@ fn parse_manifest(text: &str) -> Option<Vec<(FingerprintKey, ManifestEntry)>> {
         };
         records.push((fp, record));
     }
-    Some(records)
+    Some(ParsedManifest {
+        records,
+        epoch: from_hex(value.get("epoch")).unwrap_or(0),
+        written_at_ms: from_hex(value.get("written_at_ms")),
+    })
 }
 
 // ---------------------------------------------------------------------
 // Crash-safe write
 // ---------------------------------------------------------------------
 
-/// Content-keyed entry file name: equal keys overwrite (atomically),
-/// distinct keys coexist across snapshot generations.
-fn entry_file_name(key: &StoreKey) -> String {
+/// Content-keyed entry file name, qualified by the generation and
+/// lease epoch that first wrote it: retained files from earlier
+/// generations coexist with fresh ones, and two writers racing across
+/// an epoch bump can never collide on a name.
+fn entry_file_name(key: &StoreKey, gen: u64, epoch: u64) -> String {
     let mut h = splitmix64(key.fp.lanes[0]);
     h = splitmix64(h ^ key.fp.lanes[1]);
     h = splitmix64(h ^ key.fp.len);
@@ -770,7 +985,7 @@ fn entry_file_name(key: &StoreKey) -> String {
         LayoutKey::Sharded { shards } => 1 | (shards as u64) << 1,
     };
     h = splitmix64(h ^ layout_word);
-    format!("art-{:016x}.snap", splitmix64(h ^ key.config))
+    format!("art-{:016x}-g{gen}-e{epoch}.snap", splitmix64(h ^ key.config))
 }
 
 /// Temp-write + fsync + atomic rename + (best-effort) directory fsync.
@@ -787,44 +1002,309 @@ fn write_atomic(dir: &Path, name: &str, bytes: &[u8]) -> io::Result<()> {
     Ok(())
 }
 
-/// Writes a full snapshot of the store: every entry file first, the
-/// manifest last — the manifest rename is the commit point.
-pub(crate) fn write_snapshot<'a>(
-    dir: &Path,
-    entries: impl Iterator<Item = (&'a StoreKey, &'a Arc<ArtifactSet>)>,
-) -> io::Result<SnapshotReport> {
-    fs::create_dir_all(dir)?;
-    let mut manifest_entries = Vec::new();
-    let mut total = 0u64;
-    for (key, set) in entries {
-        let bytes = encode_entry(key, set);
-        let file = entry_file_name(key);
-        write_atomic(dir, &file, &bytes)?;
-        total += bytes.len() as u64;
-        let (layout, shards) = match key.layout {
-            LayoutKey::Flat => ("flat", None),
-            LayoutKey::Sharded { shards } => ("sharded", Some(shards)),
-        };
-        let mut fields = vec![
-            ("file", Value::String(file)),
-            ("lanes", Value::Array(vec![hex(key.fp.lanes[0]), hex(key.fp.lanes[1])])),
-            ("len", hex(key.fp.len)),
-            ("layout", Value::String(layout.to_string())),
-        ];
-        if let Some(shards) = shards {
-            fields.push(("shards", hex(shards as u64)));
-        }
-        fields.push(("config", hex(key.config)));
-        fields.push(("bytes", hex(bytes.len() as u64)));
-        fields.push(("checksum", hex(snapshot_checksum(&bytes))));
-        manifest_entries.push(Value::object(fields));
+/// The manifest record for one persisted entry.
+fn manifest_record(key: &StoreKey, file: &str, bytes: u64, checksum: u64) -> Value {
+    let (layout, shards) = match key.layout {
+        LayoutKey::Flat => ("flat", None),
+        LayoutKey::Sharded { shards } => ("sharded", Some(shards)),
+    };
+    let mut fields = vec![
+        ("file", Value::String(file.to_string())),
+        ("lanes", Value::Array(vec![hex(key.fp.lanes[0]), hex(key.fp.lanes[1])])),
+        ("len", hex(key.fp.len)),
+        ("layout", Value::String(layout.to_string())),
+    ];
+    if let Some(shards) = shards {
+        fields.push(("shards", hex(shards as u64)));
     }
-    let count = manifest_entries.len();
+    fields.push(("config", hex(key.config)));
+    fields.push(("bytes", hex(bytes)));
+    fields.push(("checksum", hex(checksum)));
+    Value::object(fields)
+}
+
+/// One entry as the writer last committed it — enough to decide
+/// cleanness without re-reading the file.
+#[derive(Debug, Clone)]
+struct Persisted {
+    file: String,
+    bytes: u64,
+    checksum: u64,
+    /// The [`ArtifactSet::mutation_version`] the persisted bytes
+    /// reflect. `None` when the record was reloaded from a manifest
+    /// (another process, or a prior life of this one) — cleanness then
+    /// falls back to an encode-and-compare check.
+    version: Option<u64>,
+}
+
+/// The writer's view of one snapshot directory across checkpoints.
+#[derive(Debug, Default)]
+struct DirState {
+    /// Whether `gen`/`persisted` reflect an actual disk read (a fresh
+    /// state over an untouched legacy directory has `gen == 0` both
+    /// ways, but nothing loaded).
+    loaded: bool,
+    /// The last generation this writer observed committed.
+    gen: u64,
+    /// The lease epoch this writer believes it holds, if any.
+    epoch: Option<u64>,
+    /// Commit stamp of `gen`, for the stats gauges.
+    written_at_ms: Option<u64>,
+    persisted: HashMap<StoreKey, Persisted>,
+}
+
+/// Per-service writer state: a stable holder id plus one [`DirState`]
+/// per snapshot directory ever written. Never cloned with the service
+/// — a clone is a distinct would-be writer with its own identity.
+#[derive(Debug)]
+pub(crate) struct WriterState {
+    holder: String,
+    dirs: HashMap<PathBuf, DirState>,
+}
+
+impl Default for WriterState {
+    fn default() -> Self {
+        Self { holder: lease::new_holder_id(), dirs: HashMap::new() }
+    }
+}
+
+impl WriterState {
+    /// The highest generation (and its commit stamp) this writer has
+    /// observed across every directory it wrote, for the stats gauges.
+    /// `None` until something committed.
+    pub(crate) fn observed(&self) -> Option<(u64, Option<u64>)> {
+        self.dirs
+            .values()
+            .filter(|st| st.loaded && st.gen > 0)
+            .max_by_key(|st| st.gen)
+            .map(|st| (st.gen, st.written_at_ms))
+    }
+}
+
+/// Canonical map key for a snapshot directory (two spellings of one
+/// path must share writer state).
+fn dir_key(dir: &Path) -> PathBuf {
+    fs::canonicalize(dir).unwrap_or_else(|_| dir.to_path_buf())
+}
+
+/// Releases the writer lease on `dir` if this writer holds it —
+/// graceful drain. Forgetting the epoch also makes any later write a
+/// fresh acquire rather than a believed-held refresh.
+pub(crate) fn release_lease(state: &mut WriterState, dir: &Path) -> io::Result<()> {
+    let key = dir_key(dir);
+    let held = state.dirs.get(&key).is_some_and(|st| st.epoch.is_some());
+    if held {
+        if let Some(st) = state.dirs.get_mut(&key) {
+            st.epoch = None;
+        }
+        lease::release(&key, &state.holder)?;
+    }
+    Ok(())
+}
+
+/// Writes an incremental, lease-fenced checkpoint of the store.
+///
+/// The commit sequence: acquire/refresh the lease (possibly breaking a
+/// stale one — see [`lease`]), sync this writer's view with the
+/// highest on-disk generation, diff the live store against it (a
+/// matching mutation-version or matching encoded length+checksum means
+/// *clean*: the already-persisted file is retained untouched), write
+/// only the dirty entries (fresh `-g<gen>-` names, temp + fsync +
+/// rename each), re-verify the lease (the fence), commit
+/// `manifest-<gen>.json`, then garbage-collect files no manifest of
+/// this generation references. A failure anywhere before the manifest
+/// rename leaves the previous generation fully readable; per-entry
+/// write failures abort the commit as [`SnapshotError::Partial`].
+///
+/// A checkpoint with nothing dirty and nothing removed skips the
+/// commit entirely — no file in the directory is touched (beyond the
+/// lease heartbeat) and the report shows `written == 0` at the current
+/// generation.
+pub(crate) fn write_incremental<'a>(
+    state: &mut WriterState,
+    dir: &Path,
+    ttl: Duration,
+    entries: impl Iterator<Item = (&'a StoreKey, &'a Arc<ArtifactSet>)>,
+) -> Result<SnapshotReport, SnapshotError> {
+    fs::create_dir_all(dir)?;
+    let key = dir_key(dir);
+    let dir = key.as_path();
+
+    // Sync with the highest parseable on-disk generation. The epoch
+    // recorded there floors any lease we acquire or break.
+    let mut disk_gen = 0u64;
+    let mut floor_epoch = 0u64;
+    let mut disk_manifest: Option<ParsedManifest> = None;
+    for (gen, name) in scan_manifests(dir) {
+        let Ok(text) = fs::read_to_string(dir.join(&name)) else { continue };
+        if let Some(parsed) = parse_manifest(&text) {
+            disk_gen = gen;
+            floor_epoch = parsed.epoch;
+            disk_manifest = Some(parsed);
+            break;
+        }
+    }
+
+    let st = state.dirs.entry(key.clone()).or_default();
+    if !st.loaded || st.gen != disk_gen {
+        // Someone else committed (or this is our first look): adopt
+        // the disk view. Versions are unknown, so cleanness degrades
+        // to encode-and-compare until our next commit re-stamps.
+        st.loaded = true;
+        st.gen = disk_gen;
+        let parsed = disk_manifest.unwrap_or(ParsedManifest {
+            records: Vec::new(),
+            epoch: 0,
+            written_at_ms: None,
+        });
+        st.written_at_ms = parsed.written_at_ms;
+        st.persisted = parsed
+            .records
+            .into_iter()
+            .map(|(fp, r)| {
+                let key = StoreKey { fp, layout: r.layout, config: r.config };
+                (
+                    key,
+                    Persisted { file: r.file, bytes: r.bytes, checksum: r.checksum, version: None },
+                )
+            })
+            .collect();
+    }
+
+    let epoch = match lease::acquire(dir, &state.holder, st.epoch, ttl, floor_epoch) {
+        Ok(epoch) => epoch,
+        Err(e) => {
+            if matches!(e, SnapshotError::Fenced { .. }) {
+                // We no longer hold anything; a later call starts over.
+                st.epoch = None;
+                st.loaded = false;
+            }
+            return Err(e);
+        }
+    };
+    st.epoch = Some(epoch);
+
+    // Diff the live store against the persisted view.
+    let next_gen = st.gen + 1;
+    let mut live: HashSet<StoreKey> = HashSet::new();
+    let mut retained: Vec<(StoreKey, Persisted)> = Vec::new();
+    let mut fresh: Vec<(StoreKey, Persisted)> = Vec::new();
+    let mut written = 0usize;
+    let mut failed = 0usize;
+    let mut bytes_written = 0u64;
+    let mut first_error: Option<io::Error> = None;
+    for (key, set) in entries {
+        live.insert(*key);
+        let version = set.mutation_version();
+        let mut encoded: Option<Vec<u8>> = None;
+        if let Some(rec) = st.persisted.get(key) {
+            let on_disk = dir.join(&rec.file).is_file();
+            if on_disk && rec.version == Some(version) {
+                retained.push((*key, rec.clone()));
+                continue;
+            }
+            if on_disk {
+                let enc = encode_entry(key, set);
+                if rec.bytes == enc.len() as u64 && rec.checksum == snapshot_checksum(&enc) {
+                    // Byte-identical to what is already persisted:
+                    // retain the file, re-stamp the version.
+                    retained.push((*key, Persisted { version: Some(version), ..rec.clone() }));
+                    continue;
+                }
+                encoded = Some(enc);
+            }
+            // A missing retained file falls through to a rewrite —
+            // self-healing against out-of-band deletion.
+        }
+        let enc = encoded.unwrap_or_else(|| encode_entry(key, set));
+        let file = entry_file_name(key, next_gen, epoch);
+        match write_atomic(dir, &file, &enc) {
+            Ok(()) => {
+                written += 1;
+                bytes_written += enc.len() as u64;
+                let checksum = snapshot_checksum(&enc);
+                fresh.push((
+                    *key,
+                    Persisted { file, bytes: enc.len() as u64, checksum, version: Some(version) },
+                ));
+            }
+            Err(e) => {
+                failed += 1;
+                first_error.get_or_insert(e);
+            }
+        }
+    }
+    if let Some(error) = first_error {
+        // No manifest commit: readers keep the previous generation,
+        // and the writer's view is left untouched for a retry.
+        return Err(SnapshotError::Partial { written, failed, error });
+    }
+
+    let removed = st.persisted.keys().any(|k| !live.contains(k));
+    if written == 0 && !removed {
+        // Nothing changed: skip the commit, keep every mtime. Only
+        // the version re-stamps learned above are carried forward.
+        let report = SnapshotReport {
+            entries: retained.len(),
+            written: 0,
+            retained: retained.len(),
+            bytes: 0,
+            generation: st.gen,
+        };
+        st.persisted = retained.into_iter().collect();
+        return Ok(report);
+    }
+
+    // The fence: a zombie whose lease was broken while it encoded must
+    // not publish. Checked immediately before the commit rename.
+    if let Err(e) = lease::verify(dir, &state.holder, epoch) {
+        st.epoch = None;
+        st.loaded = false;
+        return Err(e);
+    }
+
+    let mut manifest_entries = Vec::with_capacity(retained.len() + fresh.len());
+    for (key, rec) in retained.iter().chain(fresh.iter()) {
+        manifest_entries.push(manifest_record(key, &rec.file, rec.bytes, rec.checksum));
+    }
     let manifest = Value::object([
         ("format", Value::String("jury-snapshot".to_string())),
         ("version", MANIFEST_VERSION.to_value()),
+        ("generation", hex(next_gen)),
+        ("epoch", hex(epoch)),
+        ("written_at_ms", hex(lease::now_ms())),
         ("entries", Value::Array(manifest_entries)),
     ]);
-    write_atomic(dir, MANIFEST, json::to_string_pretty(&manifest).as_bytes())?;
-    Ok(SnapshotReport { entries: count, bytes: total })
+    let manifest_file = manifest_name(next_gen);
+    write_atomic(dir, &manifest_file, json::to_string_pretty(&manifest).as_bytes())?;
+
+    // The new generation is durable: garbage-collect everything it
+    // does not reference — older manifests, orphaned entry files, and
+    // stray temp files from crashed writers.
+    let keep: HashSet<&str> =
+        retained.iter().chain(fresh.iter()).map(|(_, rec)| rec.file.as_str()).collect();
+    if let Ok(read) = fs::read_dir(dir) {
+        for entry in read.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let stale_manifest = manifest_generation(name).is_some_and(|g| g != next_gen);
+            let stale_entry = name.ends_with(".snap") && !keep.contains(name);
+            let stray_tmp = name.ends_with(".tmp");
+            if stale_manifest || stale_entry || stray_tmp {
+                let _ = fs::remove_file(entry.path());
+            }
+        }
+    }
+
+    let report = SnapshotReport {
+        entries: retained.len() + fresh.len(),
+        written,
+        retained: retained.len(),
+        bytes: bytes_written,
+        generation: next_gen,
+    };
+    st.gen = next_gen;
+    st.written_at_ms = Some(lease::now_ms());
+    st.persisted = retained.into_iter().chain(fresh).collect();
+    Ok(report)
 }

@@ -65,6 +65,7 @@ use jury_core::juror::Juror;
 use jury_core::paym::Staircase;
 use jury_core::problem::Selection;
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
 use std::time::{Duration, Instant};
 
@@ -144,6 +145,16 @@ pub(crate) struct ArtifactSet {
     /// The PayM budget staircase over `greedy_order` (founding position
     /// space), recorded lazily per budget.
     pub staircase: RwLock<Staircase>,
+    /// Monotone mutation counter: bumped whenever a lazy slot fills or
+    /// the staircase takes a write lock. The incremental snapshot
+    /// writer compares it against the version it last persisted to
+    /// decide cleanness without re-encoding; over-counting (a bump
+    /// that changed nothing) is harmless — the writer's
+    /// encode-and-compare fallback still detects byte-identical
+    /// entries — but a *missed* bump would only cost warmth, never
+    /// correctness (persisted artifacts are deterministic functions of
+    /// pool content).
+    version: AtomicU64,
 }
 
 impl ArtifactSet {
@@ -161,6 +172,7 @@ impl ArtifactSet {
             ladder: once_from(cache.ladder),
             shard_layer: OnceLock::new(),
             staircase: RwLock::new(cache.staircase),
+            version: AtomicU64::new(0),
         }
     }
 
@@ -185,6 +197,7 @@ impl ArtifactSet {
             ladder: OnceLock::new(),
             shard_layer: OnceLock::new(),
             staircase: RwLock::new(Staircase::new()),
+            version: AtomicU64::new(0),
         }
     }
 
@@ -226,6 +239,7 @@ impl ArtifactSet {
             ladder: once_from(ladder),
             shard_layer: once_from(shard_layer),
             staircase: RwLock::new(staircase),
+            version: AtomicU64::new(0),
         }
     }
 
@@ -328,6 +342,7 @@ impl ArtifactSet {
             ladder: once_from(self.ladder.get().cloned()),
             shard_layer: once_from(self.shard_layer.get().cloned()),
             staircase: RwLock::new(self.staircase_read().clone()),
+            version: AtomicU64::new(self.version.load(Ordering::Acquire)),
         }
     }
 
@@ -337,9 +352,88 @@ impl ArtifactSet {
         self.staircase.read().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
-    /// Write access for recording a step.
+    /// Write access for recording a step. Conservatively counts as a
+    /// mutation (see [`ArtifactSet::note_mutation`]) — a write lock
+    /// that records nothing is caught by the snapshot writer's
+    /// encode-and-compare fallback.
     pub(crate) fn staircase_write(&self) -> std::sync::RwLockWriteGuard<'_, Staircase> {
+        self.note_mutation();
         self.staircase.write().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// The current mutation version (see the `version` field).
+    pub(crate) fn mutation_version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// Marks this entry dirty for the next incremental snapshot.
+    pub(crate) fn note_mutation(&self) {
+        self.version.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Fills the AltrM answer slot (first writer wins) and marks the
+    /// entry dirty when it actually filled.
+    pub(crate) fn set_altr(&self, answer: AltrAnswer) {
+        if self.altr.set(answer).is_ok() {
+            self.note_mutation();
+        }
+    }
+
+    /// [`OnceLock::get_or_init`] over the AltrM slot, dirty-tracked.
+    pub(crate) fn altr_or_init(&self, init: impl FnOnce() -> AltrAnswer) -> &AltrAnswer {
+        if let Some(answer) = self.altr.get() {
+            return answer;
+        }
+        let answer = self.altr.get_or_init(init);
+        self.note_mutation();
+        answer
+    }
+
+    /// Fills the JER-profile slot, dirty-tracked.
+    pub(crate) fn set_profile(&self, profile: Arc<JerProfile>) {
+        if self.profile.set(profile).is_ok() {
+            self.note_mutation();
+        }
+    }
+
+    /// [`OnceLock::get_or_init`] over the profile slot, dirty-tracked.
+    pub(crate) fn profile_or_init(
+        &self,
+        init: impl FnOnce() -> Arc<JerProfile>,
+    ) -> &Arc<JerProfile> {
+        if let Some(profile) = self.profile.get() {
+            return profile;
+        }
+        let profile = self.profile.get_or_init(init);
+        self.note_mutation();
+        profile
+    }
+
+    /// Fills the pmf-ladder slot, dirty-tracked.
+    pub(crate) fn set_ladder(&self, ladder: crate::ladder::PmfLadder) {
+        if self.ladder.set(ladder).is_ok() {
+            self.note_mutation();
+        }
+    }
+
+    /// [`OnceLock::get_or_init`] over the ladder slot, dirty-tracked.
+    pub(crate) fn ladder_or_init(
+        &self,
+        init: impl FnOnce() -> crate::ladder::PmfLadder,
+    ) -> &crate::ladder::PmfLadder {
+        if let Some(ladder) = self.ladder.get() {
+            return ladder;
+        }
+        let ladder = self.ladder.get_or_init(init);
+        self.note_mutation();
+        ladder
+    }
+
+    /// Fills the shard-layer slot, dirty-tracked.
+    pub(crate) fn set_shard_layer(&self, layer: crate::shard::ShardLayer) {
+        if self.shard_layer.set(layer).is_ok() {
+            self.note_mutation();
+        }
     }
 }
 

@@ -155,7 +155,28 @@ fn assert_cold_fallback(
 // On-disk surgery
 // ---------------------------------------------------------------------
 
-const MANIFEST: &str = "manifest.json";
+/// The highest-generation manifest in `dir` — the one a reader loads
+/// first, and therefore the one every forgery must overwrite.
+fn manifest_path(dir: &Path) -> PathBuf {
+    let mut best: Option<(u64, PathBuf)> = None;
+    for entry in fs::read_dir(dir).unwrap() {
+        let path = entry.unwrap().path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("").to_string();
+        let generation = if name == "manifest.json" {
+            Some(0)
+        } else {
+            name.strip_prefix("manifest-")
+                .and_then(|rest| rest.strip_suffix(".json"))
+                .and_then(|g| g.parse::<u64>().ok())
+        };
+        if let Some(generation) = generation {
+            if best.as_ref().is_none_or(|(b, _)| generation > *b) {
+                best = Some((generation, path));
+            }
+        }
+    }
+    best.expect("no manifest in dir").1
+}
 
 /// The single `art-*.snap` entry file of a one-pool snapshot.
 fn entry_file(dir: &Path) -> PathBuf {
@@ -172,7 +193,7 @@ fn entry_file(dir: &Path) -> PathBuf {
 /// is on disk right now, so mutations pass the whole-file gate and the
 /// *inner* verification gates are the ones exercised.
 fn reforge_manifest(dir: &Path) {
-    let old = json::parse(&fs::read_to_string(dir.join(MANIFEST)).unwrap()).unwrap();
+    let old = json::parse(&fs::read_to_string(manifest_path(dir)).unwrap()).unwrap();
     let mut entries = Vec::new();
     for entry in old.get("entries").unwrap().as_array().unwrap() {
         let file = entry.get("file").unwrap().as_str().unwrap().to_string();
@@ -207,7 +228,7 @@ fn write_manifest(dir: &Path, entries: Vec<Value>) {
         ("version", 1u64.to_value()),
         ("entries", Value::Array(entries)),
     ]);
-    fs::write(dir.join(MANIFEST), json::to_string(&manifest)).unwrap();
+    fs::write(manifest_path(dir), json::to_string(&manifest)).unwrap();
 }
 
 /// One section of an entry file, by byte offsets into the file.
@@ -448,7 +469,7 @@ fn swapped_manifest_entries_fall_back_cold() {
     let report = seeder.snapshot(tmp.path()).unwrap();
     assert_eq!(report.entries, 2, "two distinct pools, two entries");
 
-    let old = json::parse(&fs::read_to_string(tmp.path().join(MANIFEST)).unwrap()).unwrap();
+    let old = json::parse(&fs::read_to_string(manifest_path(tmp.path())).unwrap()).unwrap();
     let entries = old.get("entries").unwrap().as_array().unwrap();
     assert_eq!(entries.len(), 2);
     let file_0 = entries[0].get("file").unwrap().as_str().unwrap().to_string();
@@ -491,7 +512,7 @@ fn mutated_past_replay_falls_back_cold() {
     let fp = service.fingerprint(pool_id).unwrap();
     let cold = control(&config, &mutated);
 
-    let old = json::parse(&fs::read_to_string(tmp.path().join(MANIFEST)).unwrap()).unwrap();
+    let old = json::parse(&fs::read_to_string(manifest_path(tmp.path())).unwrap()).unwrap();
     let entry = &old.get("entries").unwrap().as_array().unwrap()[0];
     let file = entry.get("file").unwrap().as_str().unwrap().to_string();
     let bytes = fs::read(tmp.path().join(&file)).unwrap();
@@ -531,19 +552,19 @@ fn manifest_skew_and_config_drift_fall_back_cold() {
     // Version skew.
     let tmp = TempDir::new("manifest-version");
     seed_snapshot(tmp.path(), &config, &jurors);
-    let old = json::parse(&fs::read_to_string(tmp.path().join(MANIFEST)).unwrap()).unwrap();
+    let old = json::parse(&fs::read_to_string(manifest_path(tmp.path())).unwrap()).unwrap();
     let manifest = Value::object([
         ("format", Value::String("jury-snapshot".to_string())),
         ("version", 2u64.to_value()),
         ("entries", old.get("entries").unwrap().clone()),
     ]);
-    fs::write(tmp.path().join(MANIFEST), json::to_string(&manifest)).unwrap();
+    fs::write(manifest_path(tmp.path()), json::to_string(&manifest)).unwrap();
     assert_cold_fallback(tmp.path(), &config, &jurors, &cold, "manifest version skew");
 
     // Corrupt JSON.
     let tmp = TempDir::new("manifest-garbage");
     seed_snapshot(tmp.path(), &config, &jurors);
-    fs::write(tmp.path().join(MANIFEST), b"{this is not a manifest").unwrap();
+    fs::write(manifest_path(tmp.path()), b"{this is not a manifest").unwrap();
     assert_cold_fallback(tmp.path(), &config, &jurors, &cold, "corrupt manifest JSON");
 
     // Config drift: the snapshot promised this content under a flat
@@ -560,7 +581,7 @@ fn manifest_skew_and_config_drift_fall_back_cold() {
     // no restore, no rejection — nothing was promised.
     let tmp = TempDir::new("missing-manifest");
     seed_snapshot(tmp.path(), &config, &jurors);
-    fs::remove_file(tmp.path().join(MANIFEST)).unwrap();
+    fs::remove_file(manifest_path(tmp.path())).unwrap();
     let mut service = JuryService::with_config(with_snapshot(config.clone(), tmp.path()));
     let pool_id = service.create_pool(jurors.clone());
     assert_eq!(drive(&mut service, pool_id), cold);
