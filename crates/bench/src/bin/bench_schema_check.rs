@@ -17,7 +17,7 @@ use std::process::ExitCode;
 /// Every section an emitter has ever published, with the emitter that
 /// owns it. Grows monotonically: removing an entry here is a reviewed
 /// decision, not an accident.
-const REQUIRED_SECTIONS: [(&str, &str); 8] = [
+const REQUIRED_SECTIONS: [(&str, &str); 9] = [
     ("results", "service_throughput"),
     ("sharded", "sharded_throughput"),
     ("staircase", "staircase_throughput"),
@@ -26,6 +26,7 @@ const REQUIRED_SECTIONS: [(&str, &str); 8] = [
     ("frontend", "frontend_throughput"),
     ("rebalance", "rebalance_throughput"),
     ("restart", "restart_throughput"),
+    ("failover", "failover_throughput"),
 ];
 
 fn main() -> ExitCode {

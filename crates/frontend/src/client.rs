@@ -7,7 +7,8 @@ use jury_core::wire::{Envelope, WireError};
 use jury_service::{DecisionTask, PoolId, ServiceStats};
 use serde::{json, Deserialize, Serialize, Value};
 use std::io::{self, Read, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use crate::coalesce::FrontendStats;
 use crate::proto::find_head_end;
@@ -34,10 +35,35 @@ pub struct StatsSnapshot {
     pub artifact_entries: usize,
 }
 
+/// How [`Client::submit_with_retry`] spaces its attempts: capped
+/// exponential backoff with decorrelated jitter, overridden by any
+/// `Retry-After` the server sends (its hint is authoritative — it
+/// knows its backlog's drain time; the client merely caps it).
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts, the first included. 0 behaves as 1.
+    pub max_attempts: usize,
+    /// First backoff, and the lower bound of every jittered draw.
+    pub base: Duration,
+    /// Upper bound on any single backoff, server-hinted or drawn.
+    pub cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self { max_attempts: 8, base: Duration::from_millis(10), cap: Duration::from_secs(1) }
+    }
+}
+
 /// A blocking HTTP/1.1 keep-alive connection to a front-end.
 pub struct Client {
     stream: TcpStream,
     pending: Vec<u8>,
+    /// The resolved peer, kept so retries can transparently reconnect
+    /// after the server restarts.
+    addr: SocketAddr,
+    /// splitmix64 state for backoff jitter.
+    jitter: u64,
 }
 
 impl Client {
@@ -45,7 +71,22 @@ impl Client {
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(Self { stream, pending: Vec::new() })
+        let addr = stream.peer_addr()?;
+        // Seed jitter from the ephemeral local port: deterministic per
+        // connection, distinct across concurrent clients.
+        let seed =
+            0x9e37_79b9_7f4a_7c15u64 ^ u64::from(stream.local_addr().map_or(0, |a| a.port()));
+        Ok(Self { stream, pending: Vec::new(), addr, jitter: seed })
+    }
+
+    /// Drops the (possibly dead) connection and dials the same peer
+    /// again. Any half-read response is discarded.
+    fn reconnect(&mut self) -> io::Result<()> {
+        let stream = TcpStream::connect(self.addr)?;
+        stream.set_nodelay(true)?;
+        self.stream = stream;
+        self.pending.clear();
+        Ok(())
     }
 
     /// Sends one request and decodes the envelope. `body = None` sends
@@ -75,14 +116,111 @@ impl Client {
         tenant: &str,
         task: &DecisionTask,
     ) -> io::Result<Result<Selection, WireError>> {
+        self.solve_once(tenant, task).map(|(_, result)| result)
+    }
+
+    fn solve_once(
+        &mut self,
+        tenant: &str,
+        task: &DecisionTask,
+    ) -> io::Result<(u16, Result<Selection, WireError>)> {
         let body = json::to_string(&Value::object([
             ("tenant", tenant.to_value()),
             ("task", task.to_value()),
         ]));
         let response = self.request("POST", "/v1/solve", Some(&body))?;
-        Ok(response.result.and_then(|value| {
+        let status = response.status;
+        let result = response.result.and_then(|value| {
             Selection::from_value(&value).map_err(|e| WireError::new("bad-response", e.to_string()))
-        }))
+        });
+        Ok((status, result))
+    }
+
+    /// [`Client::solve`] with transparent retries: `429` and `503`
+    /// refusals (backpressure, drain, a follower without a writer) and
+    /// transport failures (connection reset by a restarting server —
+    /// reconnects to the same peer) are retried up to
+    /// [`RetryPolicy::max_attempts`], sleeping the server's
+    /// `Retry-After` hint when one is sent, else a decorrelated-jitter
+    /// backoff (`min(cap, uniform(base, 3·previous))`). Anything else —
+    /// success, a 4xx the caller must fix, a malformed response — is
+    /// returned immediately. When attempts run out the last retryable
+    /// outcome is returned as-is, so callers see exactly what the
+    /// server last said.
+    pub fn submit_with_retry(
+        &mut self,
+        tenant: &str,
+        task: &DecisionTask,
+        policy: &RetryPolicy,
+    ) -> io::Result<Result<Selection, WireError>> {
+        let attempts = policy.max_attempts.max(1);
+        let mut previous = policy.base;
+        let mut broken = false;
+        let mut attempt = 0;
+        loop {
+            if broken {
+                match self.reconnect() {
+                    Ok(()) => broken = false,
+                    // Server still down: a failed dial is a failed
+                    // attempt — keep backing off.
+                    Err(e) => {
+                        attempt += 1;
+                        if attempt >= attempts {
+                            return Err(e);
+                        }
+                        previous = self.backoff(policy, previous, None);
+                        continue;
+                    }
+                }
+            }
+            match self.solve_once(tenant, task) {
+                Ok((status, result)) => match result {
+                    Err(err) if status == 429 || status == 503 => {
+                        attempt += 1;
+                        if attempt >= attempts {
+                            return Ok(Err(err));
+                        }
+                        let hint = err.retry_after_ms.map(Duration::from_millis);
+                        previous = self.backoff(policy, previous, hint);
+                    }
+                    other => return Ok(other),
+                },
+                Err(transport) => {
+                    attempt += 1;
+                    if attempt >= attempts {
+                        return Err(transport);
+                    }
+                    broken = true;
+                    previous = self.backoff(policy, previous, None);
+                }
+            }
+        }
+    }
+
+    /// Sleeps one backoff and returns it (the next draw's upper-bound
+    /// seed). The server's hint wins when present; both are capped.
+    fn backoff(
+        &mut self,
+        policy: &RetryPolicy,
+        previous: Duration,
+        hint: Option<Duration>,
+    ) -> Duration {
+        let delay = match hint {
+            Some(hinted) => hinted.clamp(policy.base, policy.cap),
+            None => {
+                // Decorrelated jitter: uniform in [base, 3·previous].
+                self.jitter = self.jitter.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = self.jitter;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^= z >> 31;
+                let lo = policy.base.as_nanos() as u64;
+                let hi = (previous.as_nanos() as u64).saturating_mul(3).max(lo + 1);
+                Duration::from_nanos(lo + z % (hi - lo)).min(policy.cap)
+            }
+        };
+        std::thread::sleep(delay);
+        delay.max(policy.base)
     }
 
     /// `POST /v1/pools`.

@@ -40,9 +40,11 @@
 //! drain time, not after one window's delay bound.
 
 use jury_core::problem::Selection;
-use jury_service::{DecisionTask, JuryService, PoolId, ServiceError, ServiceStats};
+use jury_service::{
+    DecisionTask, JuryService, PoolId, ServiceError, ServiceStats, SnapshotError, SnapshotWatcher,
+};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
@@ -81,7 +83,46 @@ pub struct FrontendConfig {
     /// success resets it. `None` (the default) checkpoints only on
     /// graceful drain. Requires the service to have a `snapshot_dir`.
     pub checkpoint_interval: Option<Duration>,
+    /// With `Some(interval)`, the front-end starts as a warm
+    /// **follower** (see the `jury-service` crate docs' *failover
+    /// contract*) and the checkpoint thread becomes a role-aware
+    /// supervisor polling the service's `snapshot_dir` roughly every
+    /// `interval` (±25% jitter). Follower ticks adopt newer committed
+    /// generations without restart and probe for promotion — a stale
+    /// or absent writer lease promotes this front-end to **writer**,
+    /// after which ticks checkpoint exactly like
+    /// [`FrontendConfig::checkpoint_interval`] (which, when also set,
+    /// provides the writer-role cadence). A fenced checkpoint demotes
+    /// back to follower. Solves flow in both roles; mutating routes
+    /// answer 503 plus a leader hint on followers. `None` (the
+    /// default): the front-end is a plain writer from the start and
+    /// never demotes.
+    pub follower_watch: Option<Duration>,
 }
+
+/// The supervisor role a front-end is currently serving in (see
+/// [`FrontendConfig::follower_watch`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Holds (or is entitled to take) the writer lease: checkpoints
+    /// periodically and accepts mutations.
+    Writer,
+    /// Serves solves from adopted generations, refuses mutations, and
+    /// probes for promotion.
+    Follower,
+}
+
+impl std::fmt::Display for Role {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Self::Writer => "writer",
+            Self::Follower => "follower",
+        })
+    }
+}
+
+const ROLE_WRITER: u8 = 0;
+const ROLE_FOLLOWER: u8 = 1;
 
 impl Default for FrontendConfig {
     fn default() -> Self {
@@ -92,6 +133,7 @@ impl Default for FrontendConfig {
             deadline: None,
             debug_fault_routes: false,
             checkpoint_interval: None,
+            follower_watch: None,
         }
     }
 }
@@ -171,6 +213,14 @@ pub struct FrontendStats {
     /// I/O). Each failure doubles the timer's wait, capped at 8× the
     /// configured interval.
     pub checkpoint_failures: u64,
+    /// Follower → writer transitions: a supervisor tick found the
+    /// writer lease stale (or absent), broke it by epoch bump, and
+    /// committed — this front-end now checkpoints.
+    pub promotions: u64,
+    /// Writer → follower transitions: a checkpoint came back fenced
+    /// (another writer holds a higher epoch), so this front-end
+    /// stepped back to adopting generations.
+    pub demotions: u64,
 }
 
 #[derive(Default)]
@@ -189,6 +239,8 @@ pub(crate) struct Counters {
     pub(crate) worker_panics: AtomicU64,
     checkpoints: AtomicU64,
     checkpoint_failures: AtomicU64,
+    promotions: AtomicU64,
+    demotions: AtomicU64,
 }
 
 impl Counters {
@@ -208,6 +260,8 @@ impl Counters {
             worker_panics: self.worker_panics.load(Ordering::Relaxed),
             checkpoints: self.checkpoints.load(Ordering::Relaxed),
             checkpoint_failures: self.checkpoint_failures.load(Ordering::Relaxed),
+            promotions: self.promotions.load(Ordering::Relaxed),
+            demotions: self.demotions.load(Ordering::Relaxed),
         }
     }
 
@@ -256,6 +310,21 @@ struct Shared {
     /// sleeping out its interval.
     checkpoint_gate: Mutex<()>,
     checkpoint_wake: Condvar,
+    /// [`ROLE_WRITER`] or [`ROLE_FOLLOWER`]; flipped only by the
+    /// supervisor thread, read by routes and stats.
+    role: AtomicU8,
+    /// The lease holder a promotion probe last saw — surfaced to
+    /// clients whose writes a follower refuses.
+    leader_hint: Mutex<Option<String>>,
+}
+
+impl Shared {
+    fn role(&self) -> Role {
+        match self.role.load(Ordering::Acquire) {
+            ROLE_FOLLOWER => Role::Follower,
+            _ => Role::Writer,
+        }
+    }
 }
 
 /// The coalescing front-end around one [`JuryService`]. See the module
@@ -275,6 +344,8 @@ impl Frontend {
     /// Starts the front-end over `service`, spawning the dispatcher
     /// thread that closes and solves coalescing windows.
     pub fn start(service: JuryService, config: FrontendConfig) -> Arc<Self> {
+        let initial_role =
+            if config.follower_watch.is_some() { ROLE_FOLLOWER } else { ROLE_WRITER };
         let shared = Arc::new(Shared {
             service: Mutex::new(service),
             queue: Mutex::new(QueueState::default()),
@@ -284,6 +355,8 @@ impl Frontend {
             shutdown: AtomicBool::new(false),
             checkpoint_gate: Mutex::new(()),
             checkpoint_wake: Condvar::new(),
+            role: AtomicU8::new(initial_role),
+            leader_hint: Mutex::new(None),
         });
         let dispatcher = {
             let shared = Arc::clone(&shared);
@@ -292,13 +365,23 @@ impl Frontend {
                 .spawn(move || dispatcher_loop(&shared))
                 .expect("spawn dispatcher")
         };
-        let checkpointer = shared.config.checkpoint_interval.map(|interval| {
+        let checkpointer = if let Some(watch) = shared.config.follower_watch {
             let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name("jury-checkpoint".into())
-                .spawn(move || checkpoint_loop(&shared, interval))
-                .expect("spawn checkpointer")
-        });
+            Some(
+                std::thread::Builder::new()
+                    .name("jury-supervisor".into())
+                    .spawn(move || supervisor_loop(&shared, watch))
+                    .expect("spawn supervisor"),
+            )
+        } else {
+            shared.config.checkpoint_interval.map(|interval| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name("jury-checkpoint".into())
+                    .spawn(move || checkpoint_loop(&shared, interval))
+                    .expect("spawn checkpointer")
+            })
+        };
         Arc::new(Self {
             shared,
             dispatcher: Mutex::new(Some(dispatcher)),
@@ -399,6 +482,19 @@ impl Frontend {
         self.shared.config.debug_fault_routes
     }
 
+    /// The supervisor role this front-end currently serves in. Always
+    /// [`Role::Writer`] without [`FrontendConfig::follower_watch`].
+    pub fn role(&self) -> Role {
+        self.shared.role()
+    }
+
+    /// The writer-lease holder a promotion probe last observed — the
+    /// leader hint a follower attaches to refused writes. `None` until
+    /// a probe has seen a live foreign lease (or after a promotion).
+    pub fn leader_hint(&self) -> Option<String> {
+        self.shared.leader_hint.lock().expect("leader hint poisoned").clone()
+    }
+
     /// Whether shutdown has been requested.
     pub fn is_shutting_down(&self) -> bool {
         self.shared.shutdown.load(Ordering::Acquire)
@@ -425,10 +521,14 @@ impl Frontend {
         // starts warm, then hands the writer lease back so a successor
         // can start checkpointing without waiting out the ttl.
         // Best-effort: a failed write must not turn a clean shutdown
-        // into an error.
-        if let Some(dir) = service.config().snapshot_dir.clone() {
-            let _ = service.snapshot(&dir);
-            let _ = service.release_snapshot_lease(&dir);
+        // into an error. A draining *follower* skips this — taking the
+        // lease on the way out would fence the live writer's epoch for
+        // nothing.
+        if self.shared.role() == Role::Writer {
+            if let Some(dir) = service.config().snapshot_dir.clone() {
+                let _ = service.snapshot(&dir);
+                let _ = service.release_snapshot_lease(&dir);
+            }
         }
         Some(service)
     }
@@ -563,6 +663,115 @@ fn checkpoint_loop(shared: &Shared, interval: Duration) {
             Some(Err(_)) => {
                 shared.counters.checkpoint_failures.fetch_add(1, Ordering::Relaxed);
                 wait = wait.saturating_mul(2).min(cap);
+            }
+        }
+    }
+}
+
+/// The role-aware supervisor (see [`FrontendConfig::follower_watch`]):
+/// one thread that is a generation watcher + promotion prober while
+/// the front-end follows, and the checkpoint timer while it writes.
+///
+/// * **Follower tick.** First adopt: a jittered [`SnapshotWatcher`]
+///   poll (directory-mtime fast path) detects newer committed
+///   generations and [`JuryService::adopt_snapshot`] hot-swaps them in
+///   — solves keep flowing throughout; the service lock is held only
+///   for the swap itself. Then probe: one `snapshot()` attempt. A live
+///   foreign lease refuses it (`LeaseHeld` — the holder id is recorded
+///   as the leader hint); a stale or absent one is broken by epoch
+///   bump and the commit *is* the promotion.
+/// * **Writer tick.** Checkpoint exactly like [`checkpoint_loop`]
+///   (failure backoff included), except [`SnapshotError::Fenced`]
+///   demotes back to follower instead of merely counting a failure:
+///   another writer holds a higher epoch, and this one's next ticks
+///   should adopt that writer's generations, not fight it.
+fn supervisor_loop(shared: &Shared, watch: Duration) {
+    let dir = {
+        let service = shared.service.lock().expect("service poisoned");
+        service.config().snapshot_dir.clone()
+    };
+    let Some(dir) = dir else {
+        // Nothing to watch or checkpoint — park until shutdown.
+        let mut gate = shared.checkpoint_gate.lock().expect("checkpoint gate poisoned");
+        while !shared.shutdown.load(Ordering::Acquire) {
+            let (g, _) = shared
+                .checkpoint_wake
+                .wait_timeout(gate, Duration::from_secs(3600))
+                .expect("checkpoint gate poisoned");
+            gate = g;
+        }
+        return;
+    };
+    let mut watcher = SnapshotWatcher::new(&dir, watch);
+    {
+        // Seed the watch with whatever generation the service restored
+        // at startup, so a quiet directory settles onto the stat-only
+        // fast path instead of rescanning an already-adopted commit.
+        let service = shared.service.lock().expect("service poisoned");
+        watcher.observe(service.stats().follower_generation as u64);
+    }
+    let checkpoint_every = shared.config.checkpoint_interval.unwrap_or(watch);
+    let cap = checkpoint_every.saturating_mul(8);
+    let mut wait = watcher.next_wait();
+    let mut gate = shared.checkpoint_gate.lock().expect("checkpoint gate poisoned");
+    loop {
+        let (g, _) =
+            shared.checkpoint_wake.wait_timeout(gate, wait).expect("checkpoint gate poisoned");
+        gate = g;
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        match shared.role() {
+            Role::Follower => {
+                if watcher.poll().is_some() {
+                    let adopted = {
+                        let mut service = shared.service.lock().expect("service poisoned");
+                        service.adopt_snapshot()
+                    };
+                    if let Some(report) = adopted {
+                        watcher.observe(report.generation);
+                    }
+                }
+                let probe = {
+                    let mut service = shared.service.lock().expect("service poisoned");
+                    service.snapshot(&dir)
+                };
+                match probe {
+                    Ok(_) => {
+                        shared.role.store(ROLE_WRITER, Ordering::Release);
+                        *shared.leader_hint.lock().expect("leader hint poisoned") = None;
+                        shared.counters.promotions.fetch_add(1, Ordering::Relaxed);
+                        shared.counters.checkpoints.fetch_add(1, Ordering::Relaxed);
+                        wait = checkpoint_every;
+                    }
+                    Err(SnapshotError::LeaseHeld { holder, .. }) => {
+                        *shared.leader_hint.lock().expect("leader hint poisoned") = Some(holder);
+                        wait = watcher.next_wait();
+                    }
+                    Err(_) => wait = watcher.next_wait(),
+                }
+            }
+            Role::Writer => {
+                let outcome = {
+                    let mut service = shared.service.lock().expect("service poisoned");
+                    service.snapshot(&dir)
+                };
+                match outcome {
+                    Ok(_) => {
+                        shared.counters.checkpoints.fetch_add(1, Ordering::Relaxed);
+                        wait = checkpoint_every;
+                    }
+                    Err(SnapshotError::Fenced { .. }) => {
+                        shared.role.store(ROLE_FOLLOWER, Ordering::Release);
+                        shared.counters.demotions.fetch_add(1, Ordering::Relaxed);
+                        shared.counters.checkpoint_failures.fetch_add(1, Ordering::Relaxed);
+                        wait = watcher.next_wait();
+                    }
+                    Err(_) => {
+                        shared.counters.checkpoint_failures.fetch_add(1, Ordering::Relaxed);
+                        wait = wait.saturating_mul(2).min(cap);
+                    }
+                }
             }
         }
     }

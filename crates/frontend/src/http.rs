@@ -4,7 +4,7 @@
 //! structured wire error (best-effort) and close that connection only —
 //! the acceptor and the coalescing queue never see them.
 
-use crate::coalesce::{Frontend, SubmitError};
+use crate::coalesce::{Frontend, Role, SubmitError};
 use crate::proto::{self, Conn, ReadOutcome, Request};
 use jury_core::wire::{Envelope, WireError};
 use jury_service::{DecisionTask, JuryService, ServiceError, SnapshotError};
@@ -253,6 +253,9 @@ fn route(conn: &mut Conn, frontend: &Arc<Frontend>, request: Request) -> io::Res
                     "front-end is draining",
                 );
             }
+            if let Some(err) = refuse_follower_write(conn, frontend, keep) {
+                return err;
+            }
             let parsed: Result<CreatePool, _> = parse_body(&request.body);
             match parsed {
                 Ok(create) => {
@@ -266,6 +269,9 @@ fn route(conn: &mut Conn, frontend: &Arc<Frontend>, request: Request) -> io::Res
             }
         }
         ("POST", "/v1/snapshot") => {
+            if let Some(err) = refuse_follower_write(conn, frontend, keep) {
+                return err;
+            }
             let dir = match snapshot_dir(&request.body, frontend) {
                 Ok(dir) => dir,
                 Err(msg) => {
@@ -324,11 +330,61 @@ fn route(conn: &mut Conn, frontend: &Arc<Frontend>, request: Request) -> io::Res
             ]);
             respond_ok(conn, keep, &stats)
         }
+        // Liveness: always 200 while the process serves HTTP at all —
+        // a follower is alive, a draining front-end is alive. The body
+        // carries role, generation and lag for operators and tests.
+        ("GET", "/healthz") => respond_ok(conn, keep, &health_payload(frontend)),
+        // Readiness: 503 while draining (load balancers should stop
+        // routing here), 200 in both serving roles — followers answer
+        // solves, so they are ready.
+        ("GET", "/readyz") => {
+            if frontend.is_shutting_down() {
+                respond_error(conn, 503, None, keep, "shutting-down", "front-end is draining")
+            } else {
+                respond_ok(conn, keep, &health_payload(frontend))
+            }
+        }
         _ => {
             count_malformed(frontend);
             respond_error(conn, 404, None, keep, "not-found", "no such route")
         }
     }
+}
+
+/// Refuses a mutating route on a follower with 503 + the leader hint
+/// (see the `jury-service` crate docs' *failover contract*): solves
+/// keep flowing in both roles, writes belong to the writer. Returns
+/// `None` on a writer so the route proceeds.
+fn refuse_follower_write(
+    conn: &mut Conn,
+    frontend: &Arc<Frontend>,
+    keep: bool,
+) -> Option<io::Result<()>> {
+    if frontend.role() != Role::Follower {
+        return None;
+    }
+    let message = match frontend.leader_hint() {
+        Some(leader) => format!("this front-end is a follower; the writer is \"{leader}\""),
+        None => "this front-end is a follower; no writer is currently known".to_string(),
+    };
+    Some(respond_error(conn, 503, None, keep, "not-leader", &message))
+}
+
+/// The `/healthz` / `/readyz` body: current role, the snapshot
+/// generation the service reads from, its lag, and the drain flag.
+fn health_payload(frontend: &Arc<Frontend>) -> serde::Value {
+    use serde::Serialize as _;
+    let stats = frontend.service_stats();
+    let (generation, lag_ms) = match frontend.role() {
+        Role::Writer => (stats.snapshot_generation, stats.snapshot_age_ms),
+        Role::Follower => (stats.follower_generation, stats.follower_lag_ms),
+    };
+    serde::Value::object([
+        ("role", frontend.role().to_string().to_value()),
+        ("generation", generation.to_value()),
+        ("lag_ms", lag_ms.to_value()),
+        ("draining", frontend.is_shutting_down().to_value()),
+    ])
 }
 
 /// The snapshot target for `POST /v1/snapshot`: an explicit `{"dir"}`

@@ -23,15 +23,20 @@
 //! | `POST /v1/solve` | `{"tenant": "…", "task": {"pool": N, "task": {"model": "altruism"}}}` | the [`Selection`](jury_core::problem::Selection) |
 //! | `POST /v1/pools` | `{"jurors": [{"id": …, "error_rate": …, "cost": …}, …]}` | `{"pool": N}` |
 //! | `GET /stats` | — | `{"service": ServiceStats, "frontend": FrontendStats, "artifact_entries": N}` |
+//! | `GET /healthz` | — | `{"role": "writer"\|"follower", "generation": N, "lag_ms": N, "draining": bool}` — 200 while the process serves at all |
+//! | `GET /readyz` | — | same body; `503` while draining |
 //!
 //! PayM tasks use `{"model": "pay-as-you-go", "budget": b}` — the
 //! adjacently-tagged [`jury_core::model::CrowdModel`] wire form.
 //!
 //! Error statuses: `400` malformed request (JSON or framing), `404`
 //! unknown route or pool, `413` oversized body, `429` tenant queue full
-//! (with `Retry-After`), `503` shutting down. Protocol failures never
-//! kill the acceptor and never poison a coalescing window: the worker
-//! answers (or abandons a half-read connection) and moves on.
+//! (with `Retry-After`), `503` shutting down — or, on a follower
+//! front-end ([`FrontendConfig::follower_watch`]), a mutating route
+//! refused with kind `not-leader` and the current writer's identity in
+//! the message (solves keep flowing in both roles). Protocol failures
+//! never kill the acceptor and never poison a coalescing window: the
+//! worker answers (or abandons a half-read connection) and moves on.
 //!
 //! # Coalescing window semantics & backpressure
 //!
@@ -49,7 +54,7 @@ mod coalesce;
 mod http;
 mod proto;
 
-pub use coalesce::{Frontend, FrontendConfig, FrontendStats, SubmitError};
+pub use coalesce::{Frontend, FrontendConfig, FrontendStats, Role, SubmitError};
 pub use http::HttpServer;
 
 use serde::{Deserialize, Error as SerdeError, Serialize, Value};
@@ -71,6 +76,8 @@ impl Serialize for FrontendStats {
             ("worker_panics", self.worker_panics.to_value()),
             ("checkpoints", self.checkpoints.to_value()),
             ("checkpoint_failures", self.checkpoint_failures.to_value()),
+            ("promotions", self.promotions.to_value()),
+            ("demotions", self.demotions.to_value()),
         ])
     }
 }
@@ -100,6 +107,8 @@ impl Deserialize for FrontendStats {
             worker_panics: counter("worker_panics")?,
             checkpoints: counter("checkpoints")?,
             checkpoint_failures: counter("checkpoint_failures")?,
+            promotions: counter("promotions")?,
+            demotions: counter("demotions")?,
         })
     }
 }
@@ -126,6 +135,8 @@ mod tests {
             worker_panics: 1,
             checkpoints: 12,
             checkpoint_failures: 4,
+            promotions: 2,
+            demotions: 1,
         };
         let text = json::to_string(&stats);
         let back: FrontendStats = json::from_str(&text).unwrap();

@@ -1,0 +1,318 @@
+//! Role transitions and retry behaviour over live HTTP: a follower
+//! front-end that reports its role, refuses writes with a leader hint,
+//! promotes itself over a stale writer lease, demotes when fenced —
+//! and a client that rides out backpressure and a full server restart
+//! with `submit_with_retry`.
+
+use jury_core::juror::{pool_from_rates_and_costs, Juror};
+use jury_frontend::client::{Client, RetryPolicy};
+use jury_frontend::{Frontend, FrontendConfig, HttpServer, Role};
+use jury_service::{DecisionTask, JuryService, LeaseConfig, PoolId, ServiceConfig};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir =
+            std::env::temp_dir().join(format!("jury-failover-http-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        Self(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn jurors() -> Vec<Juror> {
+    pool_from_rates_and_costs(&[(0.1, 0.2), (0.2, 0.1), (0.3, 0.4), (0.25, 0.3)]).unwrap()
+}
+
+fn now_ms() -> u64 {
+    SystemTime::now().duration_since(UNIX_EPOCH).unwrap().as_millis() as u64
+}
+
+fn forge_lease(dir: &Path, holder: &str, epoch: u64, heartbeat_ms: u64) {
+    std::fs::write(
+        dir.join("writer.lease"),
+        format!(
+            r#"{{"format":"jury-lease","holder":"{holder}","epoch":"{epoch:016x}","heartbeat_ms":"{heartbeat_ms:016x}"}}"#
+        ),
+    )
+    .unwrap();
+}
+
+fn lease_holder(dir: &Path) -> String {
+    let value =
+        serde::json::parse(&std::fs::read_to_string(dir.join("writer.lease")).unwrap()).unwrap();
+    value.get("holder").unwrap().as_str().unwrap().to_string()
+}
+
+/// Seeds `dir` with a committed generation 1 over [`jurors`] and
+/// releases the seeder's lease.
+fn seed_generation(dir: &Path) {
+    let mut seeder = JuryService::new();
+    let pool = seeder.create_pool(jurors());
+    seeder.warm_pool(pool).unwrap();
+    seeder.solve(&DecisionTask::altruism(pool)).unwrap();
+    seeder.snapshot(dir).unwrap();
+    seeder.release_snapshot_lease(dir).unwrap();
+}
+
+/// A follower front-end over `dir`: service restores from (and would
+/// checkpoint into) the shared directory, lease ttl as given, the
+/// supervisor polling every few milliseconds.
+fn follower_server(dir: &Path, ttl: Duration) -> (HttpServer, PoolId) {
+    let mut service = JuryService::with_config(ServiceConfig {
+        snapshot_dir: Some(dir.to_path_buf()),
+        lease: LeaseConfig { ttl },
+        ..Default::default()
+    });
+    let pool = service.create_pool(jurors());
+    let frontend = Frontend::start(
+        service,
+        FrontendConfig { follower_watch: Some(Duration::from_millis(10)), ..Default::default() },
+    );
+    let server = HttpServer::start(frontend, "127.0.0.1:0", 2).unwrap();
+    (server, pool)
+}
+
+fn wait_for<T>(mut probe: impl FnMut() -> Option<T>, what: &str) -> T {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if let Some(value) = probe() {
+            return value;
+        }
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// Behind a live writer, a follower front-end keeps solving, reports
+/// `follower` on both health routes, and refuses mutating routes with
+/// the writer's identity — without ever touching the lease.
+#[test]
+fn follower_serves_solves_but_refuses_writes_with_a_leader_hint() {
+    let tmp = TempDir::new("follower-refusal");
+    seed_generation(tmp.path());
+    // A live rival writer: fresh heartbeat, never goes stale in-test.
+    forge_lease(tmp.path(), "the-writer", 2, now_ms());
+
+    let (server, pool) = follower_server(tmp.path(), Duration::from_secs(30));
+    assert_eq!(server.frontend().role(), Role::Follower, "follower_watch starts as follower");
+
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // Solves flow in follower role, against the restored generation.
+    let selection = client.solve("t0", &DecisionTask::altruism(pool)).unwrap().unwrap();
+    assert!(!selection.members.is_empty());
+    let stats = client.stats().unwrap().unwrap();
+    assert_eq!(stats.service.snapshot_restores, 1, "the follower serves restored bytes");
+    assert_eq!(stats.frontend.promotions, 0);
+
+    // Health reports the role and the followed generation.
+    let health = client.request("GET", "/healthz", None).unwrap();
+    assert_eq!(health.status, 200);
+    let body = health.result.unwrap();
+    assert_eq!(body.get("role").and_then(serde::Value::as_str), Some("follower"));
+    assert_eq!(body.get("generation").and_then(serde::Value::as_f64), Some(1.0));
+    assert_eq!(body.get("draining").and_then(serde::Value::as_bool), Some(false));
+    let ready = client.request("GET", "/readyz", None).unwrap();
+    assert_eq!(ready.status, 200, "a serving follower is ready");
+
+    // The supervisor's probe learns who the writer is; from then on
+    // every refused write names it.
+    wait_for(|| server.frontend().leader_hint(), "the leader hint to be learned");
+    let refused = client.request("POST", "/v1/pools", Some(r#"{"jurors": []}"#)).unwrap();
+    assert_eq!(refused.status, 503);
+    let err = refused.result.unwrap_err();
+    assert_eq!(err.kind, "not-leader");
+    assert!(err.message.contains("the-writer"), "hint names the writer: {}", err.message);
+    let refused = client.request("POST", "/v1/snapshot", Some("{}")).unwrap();
+    assert_eq!(refused.status, 503);
+    assert_eq!(refused.result.unwrap_err().kind, "not-leader");
+
+    // The live lease was never touched, and the follower never
+    // promoted behind it.
+    assert_eq!(lease_holder(tmp.path()), "the-writer");
+    assert_eq!(server.frontend().role(), Role::Follower);
+    drop(client);
+    server.shutdown();
+    assert_eq!(lease_holder(tmp.path()), "the-writer", "a follower drain releases nothing");
+}
+
+/// The full failover arc over HTTP: stale lease → automatic promotion
+/// (writes open up), forged usurper → fencing demotion (writes refuse
+/// again, naming the usurper). The usurper's heartbeat is forged in
+/// the future, which doubles as the backwards-clock guard: its age
+/// clamps to zero, so the demoted follower never breaks it back.
+#[test]
+fn follower_promotes_over_a_stale_lease_and_demotes_when_fenced() {
+    let tmp = TempDir::new("promote-demote");
+    seed_generation(tmp.path());
+    // The previous writer died two minutes ago.
+    forge_lease(tmp.path(), "dead-writer", 3, now_ms().saturating_sub(120_000));
+
+    let (server, pool) = follower_server(tmp.path(), Duration::from_millis(50));
+    let frontend = server.frontend();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // The supervisor breaks the stale lease and promotes.
+    wait_for(|| (frontend.role() == Role::Writer).then_some(()), "promotion over a stale lease");
+    let stats = wait_for(
+        || {
+            let stats = frontend.stats();
+            (stats.promotions >= 1).then_some(stats)
+        },
+        "the promotion to be counted",
+    );
+    assert_eq!(stats.promotions, 1, "one stale lease, one promotion");
+    assert_eq!(stats.demotions, 0);
+    let health = client.request("GET", "/healthz", None).unwrap();
+    assert_eq!(health.result.unwrap().get("role").and_then(serde::Value::as_str), Some("writer"));
+
+    // Writes are open now: pool registration over the wire works.
+    let extra = pool_from_rates_and_costs(&[(0.15, 0.3), (0.22, 0.2), (0.31, 0.5)]).unwrap();
+    let new_pool = client.create_pool(&extra).unwrap().unwrap();
+    let solved = client.solve("t1", &DecisionTask::altruism(new_pool)).unwrap().unwrap();
+    assert!(!solved.members.is_empty());
+
+    // A usurper fences the promoted writer. Its heartbeat claims a
+    // minute in the future — age clamps to zero, so it reads live
+    // forever (within this test) and can never be broken back.
+    forge_lease(tmp.path(), "usurper", 99, now_ms() + 60_000);
+    wait_for(|| (frontend.role() == Role::Follower).then_some(()), "the fencing demotion");
+    wait_for(|| (frontend.stats().demotions >= 1).then_some(()), "the demotion to be counted");
+
+    // Solves keep flowing; writes refuse again and name the usurper.
+    let solved = client.solve("t0", &DecisionTask::altruism(pool)).unwrap().unwrap();
+    assert!(!solved.members.is_empty());
+    wait_for(
+        || frontend.leader_hint().filter(|h| h == "usurper"),
+        "the new leader hint to be learned",
+    );
+    let refused = client.request("POST", "/v1/pools", Some(r#"{"jurors": []}"#)).unwrap();
+    assert_eq!(refused.status, 503);
+    assert!(refused.result.unwrap_err().message.contains("usurper"));
+
+    // Over the wire, the stats round-trip carries both transitions.
+    let stats = client.stats().unwrap().unwrap();
+    assert_eq!(stats.frontend.promotions, 1);
+    assert_eq!(stats.frontend.demotions, 1);
+
+    // Draining as a (demoted) follower leaves the usurper's lease
+    // alone.
+    drop(client);
+    server.shutdown();
+    assert_eq!(lease_holder(tmp.path()), "usurper");
+}
+
+/// `submit_with_retry` honours the server's `Retry-After` hint on 429
+/// backpressure: three attempts against a zero-capacity queue sleep
+/// the hinted backoff twice, then surface the server's last refusal
+/// untouched.
+#[test]
+fn retry_honours_the_servers_retry_after_hint() {
+    let mut service = JuryService::new();
+    let pool = service.create_pool(jurors());
+    let frontend = Frontend::start(
+        service,
+        FrontendConfig {
+            queue_capacity: 0,
+            max_delay: Duration::from_millis(10),
+            ..Default::default()
+        },
+    );
+    let server = HttpServer::start(frontend, "127.0.0.1:0", 2).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let policy = RetryPolicy {
+        max_attempts: 3,
+        base: Duration::from_millis(5),
+        cap: Duration::from_secs(1),
+    };
+    let started = Instant::now();
+    let outcome = client.submit_with_retry("t0", &DecisionTask::altruism(pool), &policy).unwrap();
+    let elapsed = started.elapsed();
+    let err = outcome.expect_err("a zero-capacity queue refuses every attempt");
+    assert_eq!(err.kind, "overloaded", "the last refusal is surfaced as-is");
+    assert_eq!(err.retry_after_ms, Some(10));
+    assert!(
+        elapsed >= Duration::from_millis(20),
+        "two hinted backoffs of 10ms must have been slept, got {elapsed:?}"
+    );
+    drop(client);
+    server.shutdown();
+}
+
+/// The drain-and-restart arc: a client whose server goes away mid-
+/// session transparently rides through with `submit_with_retry` —
+/// failed dials back off, the reconnect lands on the restarted server,
+/// and the answer is bit-identical to the pre-restart one.
+#[test]
+fn retry_rides_through_a_drained_and_restarted_server() {
+    let mut service = JuryService::new();
+    let pool = service.create_pool(jurors());
+    let frontend = Frontend::start(service, FrontendConfig::default());
+    let server = HttpServer::start(frontend, "127.0.0.1:0", 2).unwrap();
+    let addr = server.local_addr();
+
+    let mut client = Client::connect(addr).unwrap();
+    let before = client.solve("t0", &DecisionTask::altruism(pool)).unwrap().unwrap();
+
+    // Drain: the server hands the warm service back and the port goes
+    // dark. (This client held the only connection, and its retry
+    // writes below abort the server-side socket, so the port is
+    // immediately rebindable.)
+    let service = server.shutdown().expect("drain returns the service");
+
+    std::thread::scope(|scope| {
+        let retried = scope.spawn(move || {
+            let policy = RetryPolicy {
+                max_attempts: 200,
+                base: Duration::from_millis(5),
+                cap: Duration::from_millis(50),
+            };
+            let selection = client
+                .submit_with_retry("t0", &DecisionTask::altruism(pool), &policy)
+                .expect("retries must outlast the restart window")
+                .expect("the restarted server solves");
+            // The same connection keeps working after the ride-through.
+            let again = client.solve("t0", &DecisionTask::altruism(pool)).unwrap().unwrap();
+            (selection, again)
+        });
+
+        // A visible downtime window, then restart on the same address
+        // with the drained service.
+        std::thread::sleep(Duration::from_millis(80));
+        let frontend = Frontend::start(service, FrontendConfig::default());
+        let restarted = {
+            let deadline = Instant::now() + Duration::from_secs(10);
+            loop {
+                match HttpServer::start(Arc::clone(&frontend), &addr.to_string(), 2) {
+                    Ok(server) => break server,
+                    Err(e) => {
+                        assert!(Instant::now() < deadline, "could not rebind {addr}: {e}");
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                }
+            }
+        };
+
+        let (selection, again) = retried.join().expect("retrying client panicked");
+        assert_eq!(selection.members, before.members, "the answer rode through bit-identically");
+        assert_eq!(selection.jer.to_bits(), before.jer.to_bits());
+        assert_eq!(again.members, before.members);
+        restarted.shutdown();
+    });
+}

@@ -300,6 +300,54 @@
 //! writer thread) and proves bit-identical answers with exact counter
 //! deltas under every interleaving.
 //!
+//! ## Failover contract
+//!
+//! A deployment runs one *writer* and any number of *warm followers*
+//! over a shared snapshot directory. `jury-frontend`'s supervisor
+//! drives the role transitions; the mechanisms live here:
+//!
+//! * **Followers serve, bounded-lag.** A follower answers every solve
+//!   from its adopted generation: selections are bit-identical to a
+//!   writer serving the same juror content (restore verification
+//!   guarantees it) — merely warm from an older generation.
+//!   [`JuryService::adopt_snapshot`] hot-swaps a newer committed
+//!   generation into a live service without restart, re-verified
+//!   through the very gates a cold restore uses (counted in
+//!   [`ServiceStats::generations_adopted`] /
+//!   [`ServiceStats::adoptions_rejected`]), and pre-warms only *cold*
+//!   pools — warm state, and therefore every in-flight answer, is
+//!   never perturbed mid-mutation. The `follower_generation` /
+//!   `follower_lag_ms` gauges bound the staleness: lag is the age of
+//!   the adopted generation's commit stamp, and [`SnapshotWatcher`]'s
+//!   jittered poll bounds how long a newer commit can go unnoticed —
+//!   together, a follower trails the writer by at most one poll
+//!   interval (+25% jitter) plus one adoption.
+//! * **Promotion.** A follower promotes by simply checkpointing:
+//!   [`JuryService::snapshot`] acquires the lease, breaking a stale
+//!   one (heartbeat older than [`LeaseConfig::ttl`]) by epoch bump. A
+//!   live writer's heartbeat refuses promotion with
+//!   [`SnapshotError::LeaseHeld`], whose holder id doubles as the
+//!   leader hint. Wall-clock steps never fake staleness: heartbeat
+//!   ages are clamped at zero, so a future-dated heartbeat (a clock
+//!   that ran backwards) reads as fresh and promotion waits out the
+//!   full TTL instead of usurping a live writer.
+//! * **Demotion.** Exactly one writer can commit: the fence re-reads
+//!   the lease immediately before every manifest rename, and a writer
+//!   that lost it gets [`SnapshotError::Fenced`] with nothing
+//!   committed. The correct response is to demote back to following —
+//!   adopt the winner's generations, and retry promotion only when
+//!   the winner in turn goes stale.
+//! * **Writes route to the writer.** Followers refuse mutations (the
+//!   frontend answers 503 plus a leader hint) but never refuse
+//!   solves: both roles keep serving reads through every transition.
+//!
+//! `tests/failover_faults.rs` drives the chaos matrix — a writer
+//! killed at every commit fs-op boundary via the injectable
+//! [`FaultPlane`], promotion races between two followers, stalled
+//! heartbeats, adoption racing GC — and proves exactly one surviving
+//! writer, no half-adopted generation, and follower answers
+//! bit-identical to a never-failed control.
+//!
 //! ```
 //! use jury_core::juror::pool_from_rates_and_costs;
 //! use jury_service::{DecisionTask, JuryService};
@@ -329,7 +377,10 @@ mod store;
 
 pub use ladder::PROBE_REPAIR_TOL;
 pub use shard::ShardConfig;
-pub use snapshot::{snapshot_checksum, LeaseConfig, SnapshotError, SnapshotReport};
+pub use snapshot::{
+    snapshot_checksum, FaultAction, FaultPlane, FaultScheduler, LeaseConfig, NoFaults,
+    SnapshotError, SnapshotReport, SnapshotWatcher,
+};
 
 use jury_core::altr::{AltrAlg, AltrConfig, AltrStrategy, JerProfile};
 use jury_core::error::JuryError;
@@ -708,6 +759,29 @@ pub struct ServiceStats {
     /// commit stamp at the moment [`JuryService::stats`] was called; 0
     /// when no stamped generation has been observed.
     pub snapshot_age_ms: usize,
+    /// Gauge (not a counter): the generation of the snapshot catalog
+    /// this service currently *reads from* — loaded at construction
+    /// from [`ServiceConfig::snapshot_dir`] or hot-swapped in by
+    /// [`JuryService::adopt_snapshot`] since. 0 with no catalog
+    /// attached. Unlike [`ServiceStats::snapshot_generation`] this
+    /// never tracks the service's own writer — it is the follower's
+    /// view of the directory.
+    pub follower_generation: usize,
+    /// Gauge (not a counter): milliseconds since the adopted
+    /// generation's commit stamp — how stale the follower's view of
+    /// the directory is, and (together with the watch poll interval)
+    /// the bound on how far a follower trails its writer. 0 with no
+    /// stamped adopted generation.
+    pub follower_lag_ms: usize,
+    /// Newer committed generations hot-swapped into this live service
+    /// by [`JuryService::adopt_snapshot`] — each one re-verified
+    /// through the ordinary restore gates, no restart involved.
+    pub generations_adopted: usize,
+    /// Snapshot entries *refused* during adoption pre-warm — the
+    /// adoption-path slice of [`ServiceStats::snapshot_rejections`]
+    /// (every adoption rejection counts in both). The generation still
+    /// adopts; the refused pools cold-build as usual.
+    pub adoptions_rejected: usize,
 }
 
 impl Serialize for ServiceStats {
@@ -738,6 +812,10 @@ impl Serialize for ServiceStats {
             ("stale_snapshot_skips", self.stale_snapshot_skips.to_value()),
             ("snapshot_generation", self.snapshot_generation.to_value()),
             ("snapshot_age_ms", self.snapshot_age_ms.to_value()),
+            ("follower_generation", self.follower_generation.to_value()),
+            ("follower_lag_ms", self.follower_lag_ms.to_value()),
+            ("generations_adopted", self.generations_adopted.to_value()),
+            ("adoptions_rejected", self.adoptions_rejected.to_value()),
         ])
     }
 }
@@ -773,6 +851,10 @@ impl Deserialize for ServiceStats {
             stale_snapshot_skips: stat_field(value, "stale_snapshot_skips")?,
             snapshot_generation: stat_field(value, "snapshot_generation")?,
             snapshot_age_ms: stat_field(value, "snapshot_age_ms")?,
+            follower_generation: stat_field(value, "follower_generation")?,
+            follower_lag_ms: stat_field(value, "follower_lag_ms")?,
+            generations_adopted: stat_field(value, "generations_adopted")?,
+            adoptions_rejected: stat_field(value, "adoptions_rejected")?,
         })
     }
 }
@@ -901,6 +983,22 @@ struct PoolEntry {
     fp: PoolFingerprint,
 }
 
+/// What one [`JuryService::adopt_snapshot`] call did — returned only
+/// when a strictly newer committed generation was adopted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdoptReport {
+    /// The generation now serving reads.
+    pub generation: u64,
+    /// Cold pools pre-warmed from the adopted generation (verified
+    /// restores published into the store; also counted in
+    /// [`ServiceStats::snapshot_restores`]).
+    pub restored: usize,
+    /// Candidate entries refused by verification during pre-warm (also
+    /// counted in [`ServiceStats::snapshot_rejections`] and
+    /// [`ServiceStats::adoptions_rejected`]).
+    pub rejected: usize,
+}
+
 /// The serving layer: pool registry + per-pool caches + batched parallel
 /// solving. See the crate docs for the architecture.
 #[derive(Debug, Default)]
@@ -1017,6 +1115,10 @@ impl JuryService {
         if let Some(catalog) = &self.snapshots {
             gen = catalog.generation();
             written_at = catalog.written_at_ms();
+            stats.follower_generation = gen as usize;
+            if let Some(written) = written_at {
+                stats.follower_lag_ms = snapshot::lease::now_ms().saturating_sub(written) as usize;
+            }
         }
         if let Some((g, w)) = self.snap.observed() {
             if g >= gen {
@@ -1073,6 +1175,87 @@ impl JuryService {
     /// next writer wait out [`LeaseConfig::ttl`]).
     pub fn release_snapshot_lease(&mut self, dir: impl AsRef<Path>) -> std::io::Result<()> {
         snapshot::release_lease(&mut self.snap, dir.as_ref())
+    }
+
+    /// Hot-swaps a newer committed snapshot generation into this live
+    /// service — the warm-follower adoption step (see the crate docs'
+    /// *failover contract*). Re-reads [`ServiceConfig::snapshot_dir`];
+    /// when the highest durable generation there is strictly newer
+    /// than the catalog this service reads from, the fresh catalog
+    /// replaces it and every still-**cold** pool is pre-warmed through
+    /// the ordinary verified-restore path (the same content gates a
+    /// cold start uses — adoption can never loosen verification).
+    /// Warm pools are deliberately untouched: their in-flight answers
+    /// stay bit-identical, and they pick the new generation up
+    /// whenever they next go cold. Returns `None` when there is
+    /// nothing newer (including an unreadable or empty directory —
+    /// adoption never moves backwards); otherwise one
+    /// [`ServiceStats::generations_adopted`] is counted and pre-warm
+    /// rejections feed both [`ServiceStats::snapshot_rejections`] and
+    /// [`ServiceStats::adoptions_rejected`].
+    pub fn adopt_snapshot(&mut self) -> Option<AdoptReport> {
+        let dir = self.config.snapshot_dir.clone()?;
+        let current = self.snapshots.as_ref().map_or(0, snapshot::Catalog::generation);
+        let fresh = snapshot::Catalog::load(&dir);
+        let generation = fresh.generation();
+        if generation <= current {
+            return None;
+        }
+        self.snapshots = Some(fresh);
+        self.stats.generations_adopted += 1;
+        let restores_before = self.stats.snapshot_restores;
+        let rejections_before = self.stats.snapshot_rejections;
+        if self.config.share_artifacts {
+            let config_bits = config_key(&self.config);
+            let max_age = self.config.max_snapshot_age;
+            let Self { pools, store, stats, snapshots, .. } = &mut *self;
+            for entry in pools.values() {
+                let key = match &entry.state {
+                    PoolState::Flat { cache: FlatCache::Cold } => StoreKey {
+                        fp: entry.fp.key(),
+                        layout: LayoutKey::Flat,
+                        config: config_bits,
+                    },
+                    PoolState::Sharded { sp, link: None } if !sp.is_warm() => StoreKey {
+                        fp: entry.fp.key(),
+                        layout: LayoutKey::Sharded { shards: sp.shard_count() },
+                        config: config_bits,
+                    },
+                    // Anything warm keeps serving what it has.
+                    _ => continue,
+                };
+                restore_into_store(
+                    store,
+                    snapshots.as_ref(),
+                    &key,
+                    &entry.jurors,
+                    max_age,
+                    &mut stats.snapshot_restores,
+                    &mut stats.snapshot_rejections,
+                    &mut stats.stale_snapshot_skips,
+                );
+            }
+        }
+        let restored = self.stats.snapshot_restores - restores_before;
+        let rejected = self.stats.snapshot_rejections - rejections_before;
+        self.stats.adoptions_rejected += rejected;
+        Some(AdoptReport { generation, restored, rejected })
+    }
+
+    /// Installs a [`FaultPlane`] over this service's snapshot and
+    /// lease filesystem operations — test instrumentation for the
+    /// chaos harness (see [`snapshot watch` module docs](SnapshotWatcher)
+    /// and [`FaultScheduler`]). Production services keep the default
+    /// [`NoFaults`] plane.
+    pub fn set_snapshot_fault_plane(&mut self, faults: Arc<dyn FaultPlane>) {
+        self.snap.set_fault_plane(faults);
+    }
+
+    /// The holder id this service writes into `writer.lease` — what a
+    /// competing writer sees in [`SnapshotError::LeaseHeld`] and a
+    /// frontend serves as the leader hint.
+    pub fn snapshot_holder(&self) -> &str {
+        self.snap.holder()
     }
 
     // ------------------------------------------------------------------

@@ -86,9 +86,13 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Duration;
 
+pub mod fault;
 pub(crate) mod lease;
+pub mod watch;
 
+pub use fault::{FaultAction, FaultPlane, FaultScheduler, NoFaults};
 pub use lease::LeaseConfig;
+pub use watch::SnapshotWatcher;
 
 /// First bytes of every entry file. The trailing digit is the format
 /// version: decoders refuse other versions (version skew is a counted
@@ -989,12 +993,24 @@ fn entry_file_name(key: &StoreKey, gen: u64, epoch: u64) -> String {
 }
 
 /// Temp-write + fsync + atomic rename + (best-effort) directory fsync.
-fn write_atomic(dir: &Path, name: &str, bytes: &[u8]) -> io::Result<()> {
+/// `op` prefixes the fault-plane consultation before each stage
+/// (`"entry"` or `"manifest"`), so a chaos kill can land between the
+/// write, the durability point, and the publish rename.
+fn write_atomic(
+    faults: &dyn fault::FaultPlane,
+    op: &str,
+    dir: &Path,
+    name: &str,
+    bytes: &[u8],
+) -> io::Result<()> {
     let tmp = dir.join(format!("{name}.tmp"));
+    faults.before(&format!("{op}.create"))?;
     let mut file = File::create(&tmp)?;
     file.write_all(bytes)?;
+    faults.before(&format!("{op}.sync"))?;
     file.sync_all()?;
     drop(file);
+    faults.before(&format!("{op}.rename"))?;
     fs::rename(&tmp, dir.join(name))?;
     if let Ok(d) = File::open(dir) {
         let _ = d.sync_all();
@@ -1060,15 +1076,35 @@ struct DirState {
 pub(crate) struct WriterState {
     holder: String,
     dirs: HashMap<PathBuf, DirState>,
+    /// The fault plane every snapshot/lease filesystem operation
+    /// consults — [`fault::NoFaults`] in production, a
+    /// [`fault::FaultScheduler`] under the chaos harness.
+    faults: Arc<dyn fault::FaultPlane>,
 }
 
 impl Default for WriterState {
     fn default() -> Self {
-        Self { holder: lease::new_holder_id(), dirs: HashMap::new() }
+        Self {
+            holder: lease::new_holder_id(),
+            dirs: HashMap::new(),
+            faults: Arc::new(fault::NoFaults),
+        }
     }
 }
 
 impl WriterState {
+    /// This writer's cross-process holder identity (the id its lease
+    /// files carry).
+    pub(crate) fn holder(&self) -> &str {
+        &self.holder
+    }
+
+    /// Replaces the fault plane (test/chaos instrumentation; the
+    /// default is the no-op production plane).
+    pub(crate) fn set_fault_plane(&mut self, faults: Arc<dyn fault::FaultPlane>) {
+        self.faults = faults;
+    }
+
     /// The highest generation (and its commit stamp) this writer has
     /// observed across every directory it wrote, for the stats gauges.
     /// `None` until something committed.
@@ -1097,7 +1133,7 @@ pub(crate) fn release_lease(state: &mut WriterState, dir: &Path) -> io::Result<(
         if let Some(st) = state.dirs.get_mut(&key) {
             st.epoch = None;
         }
-        lease::release(&key, &state.holder)?;
+        lease::release(&*state.faults, &key, &state.holder)?;
     }
     Ok(())
 }
@@ -1129,13 +1165,17 @@ pub(crate) fn write_incremental<'a>(
     fs::create_dir_all(dir)?;
     let key = dir_key(dir);
     let dir = key.as_path();
+    let faults = Arc::clone(&state.faults);
+    let faults = &*faults;
 
     // Sync with the highest parseable on-disk generation. The epoch
     // recorded there floors any lease we acquire or break.
+    faults.before("scan.dir")?;
     let mut disk_gen = 0u64;
     let mut floor_epoch = 0u64;
     let mut disk_manifest: Option<ParsedManifest> = None;
     for (gen, name) in scan_manifests(dir) {
+        faults.before("manifest.read")?;
         let Ok(text) = fs::read_to_string(dir.join(&name)) else { continue };
         if let Some(parsed) = parse_manifest(&text) {
             disk_gen = gen;
@@ -1171,7 +1211,7 @@ pub(crate) fn write_incremental<'a>(
             .collect();
     }
 
-    let epoch = match lease::acquire(dir, &state.holder, st.epoch, ttl, floor_epoch) {
+    let epoch = match lease::acquire(faults, dir, &state.holder, st.epoch, ttl, floor_epoch) {
         Ok(epoch) => epoch,
         Err(e) => {
             if matches!(e, SnapshotError::Fenced { .. }) {
@@ -1218,7 +1258,7 @@ pub(crate) fn write_incremental<'a>(
         }
         let enc = encoded.unwrap_or_else(|| encode_entry(key, set));
         let file = entry_file_name(key, next_gen, epoch);
-        match write_atomic(dir, &file, &enc) {
+        match write_atomic(faults, "entry", dir, &file, &enc) {
             Ok(()) => {
                 written += 1;
                 bytes_written += enc.len() as u64;
@@ -1257,7 +1297,7 @@ pub(crate) fn write_incremental<'a>(
 
     // The fence: a zombie whose lease was broken while it encoded must
     // not publish. Checked immediately before the commit rename.
-    if let Err(e) = lease::verify(dir, &state.holder, epoch) {
+    if let Err(e) = lease::verify(faults, dir, &state.holder, epoch) {
         st.epoch = None;
         st.loaded = false;
         return Err(e);
@@ -1276,7 +1316,13 @@ pub(crate) fn write_incremental<'a>(
         ("entries", Value::Array(manifest_entries)),
     ]);
     let manifest_file = manifest_name(next_gen);
-    write_atomic(dir, &manifest_file, json::to_string_pretty(&manifest).as_bytes())?;
+    write_atomic(
+        faults,
+        "manifest",
+        dir,
+        &manifest_file,
+        json::to_string_pretty(&manifest).as_bytes(),
+    )?;
 
     // The new generation is durable: garbage-collect everything it
     // does not reference — older manifests, orphaned entry files, and
@@ -1290,7 +1336,7 @@ pub(crate) fn write_incremental<'a>(
             let stale_manifest = manifest_generation(name).is_some_and(|g| g != next_gen);
             let stale_entry = name.ends_with(".snap") && !keep.contains(name);
             let stray_tmp = name.ends_with(".tmp");
-            if stale_manifest || stale_entry || stray_tmp {
+            if (stale_manifest || stale_entry || stray_tmp) && faults.before("gc.unlink").is_ok() {
                 let _ = fs::remove_file(entry.path());
             }
         }

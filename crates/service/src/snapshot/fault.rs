@@ -1,0 +1,171 @@
+//! Deterministic fault plane for the snapshot/lease filesystem paths.
+//!
+//! Crash-ordering bugs in the checkpoint/failover protocol hide in the
+//! gaps *between* filesystem operations: a writer that dies after the
+//! entry writes but before the manifest rename, a lease heartbeat that
+//! stalls mid-refresh, a GC pass interrupted halfway. Timing-based
+//! chaos tests reach those gaps only probabilistically; this module
+//! makes them addressable. Every filesystem operation on the snapshot
+//! write path and the lease protocol consults an injected
+//! [`FaultPlane`] first, naming the operation (`"entry.rename"`,
+//! `"lease.link"`, `"gc.unlink"`, …). The production plane
+//! ([`NoFaults`]) is a no-op the optimizer can see through; the test
+//! plane ([`FaultScheduler`]) counts operations and can **fail**,
+//! **delay**, or **kill** at exactly the Nth one — so a harness can
+//! sweep a kill through every boundary of a commit and assert the
+//! directory survives each.
+//!
+//! *Kill* semantics: a real `kill -9` stops a process between two
+//! syscalls and it never runs again. In-process we simulate that by
+//! poisoning the plane — the Nth operation and **every subsequent
+//! one** fail — and the harness then abandons the service instance
+//! (no more heartbeats, no more commits), exactly what a dead process
+//! looks like to its peers. The abandoned instance's lease file ages
+//! out and a follower breaks it; if the harness *does* drive the
+//! zombie again, every commit attempt dies before touching the
+//! directory, which is strictly more conservative than a real zombie
+//! (whose writes the commit-time fence refuses instead).
+//!
+//! Readers are deliberately outside the plane: restore already has its
+//! own byte-level fault matrix (`snapshot_faults.rs`), and a reader
+//! cannot corrupt shared state — only writers need deterministic
+//! crash points.
+
+use std::io;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Consulted immediately before every snapshot/lease filesystem
+/// operation. `Ok(())` lets the operation proceed; `Err` is injected
+/// in its place (the caller treats it exactly like the real syscall
+/// failing). Implementations must be cheap: the production plane is
+/// consulted on every checkpoint.
+pub trait FaultPlane: Send + Sync + std::fmt::Debug {
+    /// `op` names the operation about to run (stable, dot-separated:
+    /// `"scan.dir"`, `"manifest.read"`, `"entry.create"`,
+    /// `"entry.sync"`, `"entry.rename"`, `"manifest.create"`,
+    /// `"manifest.sync"`, `"manifest.rename"`, `"gc.unlink"`,
+    /// `"lease.read"`, `"lease.tmp"`, `"lease.link"`,
+    /// `"lease.refresh"`, `"lease.steal"`, `"lease.unlink"`).
+    fn before(&self, op: &str) -> io::Result<()>;
+}
+
+/// The production plane: every operation proceeds.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoFaults;
+
+impl FaultPlane for NoFaults {
+    fn before(&self, _op: &str) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// What the scheduler does when an armed operation index is reached.
+#[derive(Debug, Clone, Copy)]
+pub enum FaultAction {
+    /// Fail this one operation (`io::ErrorKind::Other`); later
+    /// operations proceed normally.
+    Fail,
+    /// Poison the plane: this operation and every later one fail —
+    /// the in-process stand-in for `kill -9` (see the module docs).
+    Kill,
+    /// Stall this operation for the given duration, then let it
+    /// proceed — a slow disk or a descheduled writer.
+    Delay(Duration),
+}
+
+#[derive(Debug, Default)]
+struct SchedulerState {
+    /// Operations consulted so far (the next operation's index).
+    seen: u64,
+    /// Armed `(operation index, action)` pairs.
+    rules: Vec<(u64, FaultAction)>,
+    /// Set by [`FaultAction::Kill`]; everything fails afterwards.
+    killed: bool,
+}
+
+/// The compiled-in test scheduler: deterministic faults at the Nth
+/// filesystem operation. Shared (`Arc`) between the harness and the
+/// service under test; all methods take `&self`.
+///
+/// Exposed `pub` so integration tests and the failover bench can use
+/// it, but it is test instrumentation — production services keep the
+/// default [`NoFaults`] plane.
+#[derive(Debug, Default)]
+pub struct FaultScheduler {
+    state: Mutex<SchedulerState>,
+}
+
+impl FaultScheduler {
+    /// A scheduler with no armed faults (pure operation counter).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arms `action` at operation index `at` (0-based, counted across
+    /// the scheduler's whole lifetime).
+    pub fn arm(&self, at: u64, action: FaultAction) {
+        self.state.lock().expect("fault scheduler poisoned").rules.push((at, action));
+    }
+
+    /// Operations consulted so far — run a scenario once un-armed to
+    /// learn its operation count, then sweep faults through `0..count`.
+    pub fn ops_seen(&self) -> u64 {
+        self.state.lock().expect("fault scheduler poisoned").seen
+    }
+
+    /// Whether a [`FaultAction::Kill`] has fired.
+    pub fn is_killed(&self) -> bool {
+        self.state.lock().expect("fault scheduler poisoned").killed
+    }
+
+    fn injected(op: &str, why: &str) -> io::Error {
+        io::Error::other(format!("injected fault ({why}) at {op}"))
+    }
+}
+
+impl FaultPlane for FaultScheduler {
+    fn before(&self, op: &str) -> io::Result<()> {
+        let action = {
+            let mut st = self.state.lock().expect("fault scheduler poisoned");
+            let index = st.seen;
+            st.seen += 1;
+            if st.killed {
+                return Err(Self::injected(op, "killed"));
+            }
+            let armed = st.rules.iter().find(|(at, _)| *at == index).map(|&(_, a)| a);
+            if let Some(FaultAction::Kill) = armed {
+                st.killed = true;
+            }
+            armed
+        };
+        match action {
+            None => Ok(()),
+            Some(FaultAction::Fail) => Err(Self::injected(op, "fail")),
+            Some(FaultAction::Kill) => Err(Self::injected(op, "kill")),
+            Some(FaultAction::Delay(pause)) => {
+                std::thread::sleep(pause);
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheduler_counts_fails_and_kills() {
+        let sched = FaultScheduler::new();
+        sched.arm(1, FaultAction::Fail);
+        sched.arm(3, FaultAction::Kill);
+        assert!(sched.before("a").is_ok());
+        assert!(sched.before("b").is_err(), "armed Fail fires once");
+        assert!(sched.before("c").is_ok(), "Fail does not poison");
+        assert!(sched.before("d").is_err(), "Kill fires");
+        assert!(sched.before("e").is_err(), "killed plane stays dead");
+        assert!(sched.is_killed());
+        assert_eq!(sched.ops_seen(), 5);
+    }
+}

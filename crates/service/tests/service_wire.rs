@@ -34,11 +34,25 @@ fn service_stats_round_trip() {
     assert!(stats.tasks_solved > 0 && stats.artifact_share_hits > 0 && stats.cache_builds > 0);
     round_trip(&stats);
 
+    // The follower-side gauges and adoption counters ride the same
+    // wire: non-zero values survive bit-exactly.
+    round_trip(&ServiceStats {
+        follower_generation: 7,
+        follower_lag_ms: 1_234,
+        generations_adopted: 3,
+        adoptions_rejected: 1,
+        ..Default::default()
+    });
+
     // Unknown counters from a newer peer are ignored; absent counters
     // read as zero (forward compatibility for `/stats` consumers).
     let lax: ServiceStats =
         json::from_str(r#"{"tasks_solved": 3, "counter_from_the_future": 9}"#).unwrap();
     assert_eq!(lax, ServiceStats { tasks_solved: 3, ..Default::default() });
+    // A pre-failover peer that has never heard of the follower gauges
+    // still parses — the new counters read as zero, not as an error.
+    let lax: ServiceStats = json::from_str(r#"{"generations_adopted": 2}"#).unwrap();
+    assert_eq!(lax, ServiceStats { generations_adopted: 2, ..Default::default() });
     assert!(json::from_str::<ServiceStats>("17").is_err(), "non-objects are refused");
 }
 
